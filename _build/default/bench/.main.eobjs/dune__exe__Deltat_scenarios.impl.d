@@ -1,0 +1,1 @@
+bench/deltat_scenarios.ml: List Printf Soda_base Soda_core Soda_net Soda_runtime Soda_sim String

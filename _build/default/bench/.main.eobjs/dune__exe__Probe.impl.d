@@ -1,0 +1,1 @@
+bench/probe.ml: List Printf Soda_base Workloads

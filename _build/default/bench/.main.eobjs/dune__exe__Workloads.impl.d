@@ -1,0 +1,1 @@
+bench/workloads.ml: Array Bytes List Printf Queue Soda_base Soda_core Soda_net Soda_runtime Soda_sim

@@ -1,0 +1,280 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (chapter 5), paper value vs measured, plus the ablations
+   called out in DESIGN.md, and finally a small Bechamel wall-clock suite
+   (one Test.make per reproduced table).
+
+   Run: dune exec bench/main.exe            (all sections)
+        dune exec bench/main.exe T1 A3      (selected sections) *)
+
+module Cost = Soda_base.Cost_model
+module W = Workloads
+module P = Paper_tables
+
+let hr title =
+  Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
+
+(* ---- T1: "SODA Performance" -------------------------------------------------- *)
+
+let t1_variant ~label ~cost ~op ~paper_ms ~paper_packets =
+  Printf.printf "\n  Milliseconds per %s (%s)  —  paper: %.0f packets per op\n"
+    (W.op_name op) label paper_packets;
+  Printf.printf "    %6s  %10s  %10s  %9s\n" "words" "paper ms" "ours ms" "pkts/op";
+  List.iter2
+    (fun words paper ->
+      let r = W.stream ~cost ~op ~words () in
+      Printf.printf "    %6d  %10.0f  %10.1f  %9.2f\n" words paper r.W.per_op_ms
+        r.W.packets_per_op)
+    P.word_sizes paper_ms
+
+let t1 () =
+  hr "T1. SODA Performance (paper table, §5.5)";
+  let np = Cost.non_pipelined and p = Cost.default in
+  t1_variant ~label:"non-pipelined" ~cost:np ~op:W.Put ~paper_ms:P.put_non_pipelined
+    ~paper_packets:(P.packets_per_op (`Put, `Non_pipelined));
+  t1_variant ~label:"pipelined" ~cost:p ~op:W.Put ~paper_ms:P.put_pipelined
+    ~paper_packets:(P.packets_per_op (`Put, `Pipelined));
+  t1_variant ~label:"non-pipelined" ~cost:np ~op:W.Get ~paper_ms:P.get_non_pipelined
+    ~paper_packets:(P.packets_per_op (`Get, `Non_pipelined));
+  t1_variant ~label:"pipelined" ~cost:p ~op:W.Get ~paper_ms:P.get_pipelined
+    ~paper_packets:(P.packets_per_op (`Get, `Pipelined));
+  t1_variant ~label:"non-pipelined" ~cost:np ~op:W.Exchange
+    ~paper_ms:P.exchange_non_pipelined
+    ~paper_packets:(P.packets_per_op (`Exchange, `Non_pipelined));
+  t1_variant ~label:"pipelined" ~cost:p ~op:W.Exchange ~paper_ms:P.exchange_pipelined
+    ~paper_packets:(P.packets_per_op (`Exchange, `Pipelined))
+
+(* ---- T2: breakdown of communications overhead --------------------------------- *)
+
+let t2 () =
+  hr "T2. Breakdown of Communications Overhead (per SIGNAL, §5.5)";
+  let r = W.stream ~op:W.Signal ~words:0 () in
+  Printf.printf "  (steady-state SIGNAL stream, %d ops, %.2f packets per SIGNAL)\n\n"
+    r.W.ops_measured r.W.packets_per_op;
+  Printf.printf "    %-22s %10s %10s\n" "category" "paper ms" "ours ms";
+  let total = ref 0.0 in
+  List.iter
+    (fun (category, ours) ->
+      let label = Cost.label category in
+      let paper = List.assoc label P.breakdown in
+      total := !total +. ours;
+      Printf.printf "    %-22s %10.1f %10.2f\n" label paper ours)
+    r.W.breakdown_ms;
+  Printf.printf "    %-22s %10.1f %10.2f\n" "total (accounted)" P.breakdown_total !total;
+  Printf.printf "    %-22s %10s %10.2f\n" "elapsed per SIGNAL" "7.1" r.W.per_op_ms
+
+(* ---- T3: comparison with *MOD -------------------------------------------------- *)
+
+let measure_starmod () =
+  let engine = Soda_sim.Engine.create ~seed:99 () in
+  let bus = Soda_net.Bus.create engine in
+  let a = Soda_baseline.Starmod.create_node ~engine ~bus ~mid:0 () in
+  let b = Soda_baseline.Starmod.create_node ~engine ~bus ~mid:1 () in
+  Soda_baseline.Starmod.define_port b ~port:1 (fun _ -> Some (Bytes.create 2));
+  Soda_baseline.Starmod.define_port b ~port:2 (fun _ -> None);
+  ignore a;
+  (* synchronous port calls, sequential *)
+  let n = 25 and warmup = 5 in
+  let t_warm = ref 0 and t_end = ref 0 in
+  let rec sync_loop i =
+    if i > n then t_end := Soda_sim.Engine.now engine
+    else begin
+      if i = warmup + 1 then t_warm := Soda_sim.Engine.now engine;
+      Soda_baseline.Starmod.sync_call a ~dst:1 ~port:1 (Bytes.create 2)
+        ~on_reply:(fun _ -> sync_loop (i + 1))
+    end
+  in
+  sync_loop 1;
+  ignore (Soda_sim.Engine.run ~until:10_000_000_000 engine);
+  let sync_ms = float_of_int (!t_end - !t_warm) /. float_of_int (n - warmup) /. 1000.0 in
+  (* asynchronous sends, sequential completion chain *)
+  let t_warm = ref 0 and t_end = ref 0 in
+  let rec async_loop i =
+    if i > n then t_end := Soda_sim.Engine.now engine
+    else begin
+      if i = warmup + 1 then t_warm := Soda_sim.Engine.now engine;
+      Soda_baseline.Starmod.async_send a ~dst:1 ~port:2 (Bytes.create 2)
+        ~on_done:(fun () -> async_loop (i + 1))
+    end
+  in
+  async_loop 1;
+  ignore (Soda_sim.Engine.run ~until:20_000_000_000 engine);
+  let async_ms = float_of_int (!t_end - !t_warm) /. float_of_int (n - warmup) /. 1000.0 in
+  (sync_ms, async_ms)
+
+let t3 () =
+  hr "T3. SODA vs *MOD port calls (§5.5 comparison)";
+  let b_handler = W.blocking_signal () in
+  let b_queued = W.blocking_signal ~mode:W.Task_queue () in
+  let nb_handler = W.stream ~op:W.Signal ~words:0 () in
+  let nb_queued = W.stream ~op:W.Signal ~words:0 ~mode:W.Task_queue () in
+  let sync_ms, async_ms = measure_starmod () in
+  Printf.printf "    %-44s %10s %10s\n" "primitive" "paper ms" "ours ms";
+  let row name paper ours = Printf.printf "    %-44s %10.1f %10.2f\n" name paper ours in
+  row "B_SIGNAL, ACCEPT in handler" P.b_signal_handler_accept b_handler;
+  row "B_SIGNAL, ACCEPT from task queue" P.b_signal_task_queue b_queued;
+  row "*MOD synchronous remote port call" P.starmod_sync_port_call sync_ms;
+  row "SIGNAL (non-blocking stream)" P.signal_non_blocking nb_handler.W.per_op_ms;
+  row "SIGNAL (non-blocking, task queue)" P.signal_non_blocking_queued nb_queued.W.per_op_ms;
+  row "*MOD asynchronous port call" P.starmod_async_port_call async_ms;
+  Printf.printf "\n    speedups (paper -> ours): sync %.1fx -> %.1fx, async %.1fx -> %.1fx\n"
+    (P.starmod_sync_port_call /. P.b_signal_handler_accept)
+    (sync_ms /. b_handler)
+    (P.starmod_async_port_call /. P.signal_non_blocking)
+    (async_ms /. nb_handler.W.per_op_ms)
+
+(* ---- F1: delta-t situations ------------------------------------------------------ *)
+
+let f1 () =
+  hr "F1. Typical Delta-t Situations (paper figure, §5.2.2)";
+  Deltat_scenarios.run ()
+
+(* ---- Ablations --------------------------------------------------------------------- *)
+
+let a1 () =
+  hr "A1. Ablation: acknowledgement piggybacking (delayed-ACK grace window)";
+  Printf.printf "    %-26s %12s %10s\n" "configuration" "pkts/SIGNAL" "ms/SIGNAL";
+  List.iter
+    (fun (label, grace) ->
+      let cost = { Cost.default with Cost.ack_grace_us = grace } in
+      let r = W.stream ~cost ~op:W.Signal ~words:0 () in
+      Printf.printf "    %-26s %12.2f %10.2f\n" label r.W.packets_per_op r.W.per_op_ms)
+    [ ("no piggybacking (grace=0)", 0); ("default grace (2 ms)", 2000) ]
+
+let a2 () =
+  hr "A2. Ablation: MAXREQUESTS (paper: >1 all equal; =1 degrades to blocking)";
+  Printf.printf "    %-14s %12s %12s\n" "MAXREQUESTS" "ms/SIGNAL" "pkts/SIGNAL";
+  List.iter
+    (fun m ->
+      let cost = { Cost.default with Cost.maxrequests = m } in
+      let r = W.stream ~cost ~op:W.Signal ~words:0 ~outstanding:m () in
+      Printf.printf "    %-14d %12.2f %12.2f\n" m r.W.per_op_ms r.W.packets_per_op)
+    [ 1; 2; 3; 4 ]
+
+let a3 () =
+  hr "A3. Ablation: packet-loss sweep (Delta-t reliability under fault injection)";
+  Printf.printf "    %-10s %12s %14s %16s\n" "loss" "ms/PUT" "pkts/PUT" "retransmissions";
+  List.iter
+    (fun loss ->
+      let r = W.stream ~op:W.Put ~words:100 ~loss ~n:60 ~warmup:10 () in
+      Printf.printf "    %8.0f%% %12.2f %14.2f %16d\n" (loss *. 100.0) r.W.per_op_ms
+        r.W.packets_per_op r.W.retransmissions)
+    [ 0.0; 0.02; 0.05; 0.10 ]
+
+let a4 () =
+  hr "A4. Ablation: BUSY-retry backoff policy (§5.2.2 adaptive slowdown)";
+  Printf.printf
+    "    (EXCHANGE stream, 1000 words, non-pipelined: the handler stays busy\n\
+     \     for a long data turnaround, so the retry policy matters)\n";
+  Printf.printf "    %-24s %12s %14s %8s\n" "policy" "ms/EXCHANGE" "pkts/EXCHANGE" "busy";
+  List.iter
+    (fun (label, backoff) ->
+      let cost = { Cost.non_pipelined with Cost.busy_retry_backoff = backoff } in
+      let r = W.stream ~cost ~op:W.Exchange ~words:1000 () in
+      Printf.printf "    %-24s %12.2f %14.2f %8d\n" label r.W.per_op_ms r.W.packets_per_op
+        r.W.busy_nacks)
+    [ ("fixed interval (x1.0)", 1.0); ("adaptive (x1.25)", 1.25); ("aggressive (x2.0)", 2.0) ]
+
+let a5 () =
+  hr "A5. Ablation: pattern table (ideal associative vs 256-slot of §5.4)";
+  List.iter
+    (fun (label, assoc) ->
+      let cost = { Cost.default with Cost.associative_patterns = assoc } in
+      let r = W.stream ~cost ~op:W.Signal ~words:0 () in
+      Printf.printf "    %-26s %10.2f ms/SIGNAL (semantic difference only)\n" label
+        r.W.per_op_ms)
+    [ ("associative (§3.4)", true); ("256-slot overwrite (§5.4)", false) ]
+
+let a6 () =
+  hr "A6. Ablation: client-level multipacket streaming (§6.17.4 chunk size)";
+  Printf.printf
+    "    (20 KB block over Stream.send; raw 1 Mbit/s line rate is 125 KB/s)\n";
+  Printf.printf "    %-12s %10s %14s\n" "chunk bytes" "total ms" "goodput KB/s";
+  List.iter
+    (fun chunk ->
+      let module Pattern = Soda_base.Pattern in
+      let module Network = Soda_core.Network in
+      let module Sodal = Soda_runtime.Sodal in
+      let module Stream = Soda_facilities.Stream in
+      let patt = Pattern.well_known 0o644 in
+      let net = Network.create ~seed:31 () in
+      let k0 = Network.add_node net ~mid:0 in
+      let k1 = Network.add_node net ~mid:1 in
+      ignore (Sodal.attach k0 (Stream.sink ~pattern:patt ~on_block:(fun _ ~src:_ _ -> ()) ()));
+      let elapsed = ref 0 in
+      ignore
+        (Sodal.attach k1
+           {
+             Sodal.default_spec with
+             task =
+               (fun env ->
+                 let t0 = Sodal.now env in
+                 (match
+                    Stream.send env (Sodal.server ~mid:0 ~pattern:patt) ~chunk_bytes:chunk
+                      (Bytes.create 20_480)
+                  with
+                  | Ok () -> elapsed := Sodal.now env - t0
+                  | Error _ -> failwith "stream failed");
+                 Sodal.serve env);
+           });
+      ignore (Network.run ~until:600_000_000 net);
+      let ms = float_of_int !elapsed /. 1000.0 in
+      Printf.printf "    %-12d %10.1f %14.1f\n" chunk ms (20_480.0 /. 1024.0 /. (ms /. 1000.0)))
+    [ 256; 512; 1024; 2048; 4096 ]
+
+(* ---- Bechamel wall-clock suite ----------------------------------------------------- *)
+
+let bechamel () =
+  hr "Bechamel wall-clock micro-benchmarks of the harness (one per table)";
+  let open Bechamel in
+  let open Toolkit in
+  let t1_test =
+    Test.make ~name:"T1.put-stream-100w"
+      (Staged.stage (fun () -> ignore (W.stream ~op:W.Put ~words:100 ~n:12 ~warmup:3 ())))
+  in
+  let t2_test =
+    Test.make ~name:"T2.signal-breakdown"
+      (Staged.stage (fun () -> ignore (W.stream ~op:W.Signal ~words:0 ~n:12 ~warmup:3 ())))
+  in
+  let t3_test =
+    Test.make ~name:"T3.blocking-signal"
+      (Staged.stage (fun () -> ignore (W.blocking_signal ~n:10 ~warmup:2 ())))
+  in
+  let tests = [ t1_test; t2_test; t3_test ] in
+  let benchmark test =
+    let instances = Instance.[ monotonic_clock ] in
+    let cfg = Benchmark.cfg ~limit:50 ~quota:(Time.second 0.5) ~kde:None () in
+    let raw = Benchmark.all cfg instances test in
+    let results =
+      Analyze.all
+        (Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |])
+        (Instance.monotonic_clock :> Measure.witness)
+        raw
+    in
+    Hashtbl.iter
+      (fun name result ->
+        match Analyze.OLS.estimates result with
+        | Some [ est ] ->
+          Printf.printf "    %-24s %12.3f ms wall-clock per run\n" name (est /. 1e6)
+        | _ -> Printf.printf "    %-24s (no estimate)\n" name)
+      results
+  in
+  List.iter benchmark tests
+
+(* ---- driver -------------------------------------------------------------------------- *)
+
+let sections =
+  [
+    ("T1", t1); ("T2", t2); ("T3", t3); ("F1", f1);
+    ("A1", a1); ("A2", a2); ("A3", a3); ("A4", a4); ("A5", a5); ("A6", a6);
+    ("BENCH", bechamel);
+  ]
+
+let () =
+  let requested = List.tl (Array.to_list Sys.argv) in
+  let selected =
+    if requested = [] then sections
+    else List.filter (fun (name, _) -> List.mem name requested) sections
+  in
+  Printf.printf "SODA reproduction benchmark harness (virtual-time measurements)\n";
+  Printf.printf "paper: Kepecs & Solomon, SODA, 1984; see EXPERIMENTS.md\n";
+  List.iter (fun (_, f) -> f ()) selected

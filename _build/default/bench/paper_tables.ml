@@ -1,0 +1,32 @@
+(* Reference numbers from the paper's evaluation (§5.5), used for the
+   paper-vs-measured columns. Times in milliseconds per operation. *)
+
+let word_sizes = [ 0; 1; 100; 200; 300; 400; 500; 600; 700; 800; 900; 1000 ]
+
+(* "SODA Performance" tables. *)
+let put_non_pipelined = [ 7.; 8.; 11.; 16.; 19.; 23.; 27.; 31.; 35.; 39.; 43.; 47. ]
+let put_pipelined = [ 8.; 8.; 12.; 15.; 19.; 23.; 28.; 31.; 35.; 39.; 43.; 46. ]
+let get_non_pipelined = [ 7.; 16.; 20.; 23.; 28.; 32.; 35.; 39.; 43.; 48.; 52.; 55. ]
+let get_pipelined = [ 8.; 11.; 16.; 19.; 23.; 27.; 31.; 34.; 39.; 42.; 47.; 50. ]
+let exchange_non_pipelined = [ 7.; 22.; 32.; 44.; 57.; 65.; 75.; 86.; 96.; 107.; 117.; 128. ]
+let exchange_pipelined = [ 8.; 12.; 20.; 27.; 35.; 43.; 50.; 58.; 67.; 75.; 82.; 90. ]
+
+let packets_per_op = function
+  | `Put, `Non_pipelined -> 2. | `Put, `Pipelined -> 2.
+  | `Get, `Non_pipelined -> 4. | `Get, `Pipelined -> 2.
+  | `Exchange, `Non_pipelined -> 6. | `Exchange, `Pipelined -> 2.
+
+(* "Breakdown of Communications Overhead" (per SIGNAL, ms). *)
+let breakdown =
+  [ ("connection timers", 1.0); ("retransmit timers", 0.7); ("context switch", 0.8);
+    ("transmission time", 0.4); ("client overhead", 2.2); ("protocol time", 2.0) ]
+
+let breakdown_total = 7.1
+
+(* §5.5 comparison numbers (ms). *)
+let b_signal_handler_accept = 8.5
+let b_signal_task_queue = 10.0
+let starmod_sync_port_call = 20.7
+let signal_non_blocking = 4.9
+let signal_non_blocking_queued = 5.8
+let starmod_async_port_call = 11.1

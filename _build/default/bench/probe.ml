@@ -1,0 +1,20 @@
+let () =
+  let module W = Workloads in
+  let module Cost = Soda_base.Cost_model in
+  let show name r =
+    Printf.printf "%-28s %7.2f ms/op  %5.2f pkts/op  retrans=%d busy=%d\n%!" name
+      r.W.per_op_ms r.W.packets_per_op r.W.retransmissions r.W.busy_nacks
+  in
+  List.iter
+    (fun (label, cost) ->
+      List.iter
+        (fun (op, words) ->
+          let r = W.stream ~cost ~op ~words () in
+          show (Printf.sprintf "%s %s w=%d" label (W.op_name op) words) r)
+        [ (W.Signal, 0); (W.Put, 1); (W.Put, 500); (W.Put, 1000);
+          (W.Get, 1); (W.Get, 1000); (W.Exchange, 1); (W.Exchange, 1000) ])
+    [ ("np", Cost.non_pipelined); ("p ", Cost.default) ];
+  Printf.printf "b_signal (handler) %.2f ms\n%!" (W.blocking_signal ());
+  Printf.printf "b_signal (queued)  %.2f ms\n%!" (W.blocking_signal ~mode:W.Task_queue ());
+  let r = W.stream ~op:W.Signal ~words:0 ~mode:W.Task_queue () in
+  show "p  SIGNAL queued" r

@@ -1,0 +1,1 @@
+examples/bounded_buffer.ml: Format Soda_examples

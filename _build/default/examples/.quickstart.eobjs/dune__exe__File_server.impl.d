@@ -1,0 +1,1 @@
+examples/file_server.ml: Format Soda_examples

@@ -1,0 +1,1 @@
+examples/migration.ml: Format Soda_examples

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Bytes List Printf Soda_base Soda_core Soda_examples Soda_facilities Soda_runtime String

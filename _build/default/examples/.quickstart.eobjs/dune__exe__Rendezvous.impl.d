@@ -1,0 +1,1 @@
+examples/rendezvous.ml: Bytes List Printf Soda_core Soda_facilities Soda_runtime

@@ -1,0 +1,5 @@
+(* Two-way bounded buffer (§4.4.1). Run: dune exec examples/bounded_buffer.exe *)
+
+let () =
+  let summary = Soda_examples.Bounded_buffer.run () in
+  Format.printf "bounded buffer: %a@." Soda_examples.Bounded_buffer.pp_summary summary

@@ -1,0 +1,7 @@
+(* Dining philosophers with deadlock detection (§4.4.3).
+   Run: dune exec examples/dining_philosophers.exe *)
+
+let () =
+  let summary = Soda_examples.Dining_philosophers.run ~duration_s:120.0 () in
+  Format.printf "dining philosophers: %a@." Soda_examples.Dining_philosophers.pp_summary
+    summary

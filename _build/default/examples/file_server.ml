@@ -1,0 +1,5 @@
+(* File service (§4.4.5). Run: dune exec examples/file_server.exe *)
+
+let () =
+  let summary = Soda_examples.File_server.run () in
+  Format.printf "file server: %a@." Soda_examples.File_server.pp_summary summary

@@ -1,0 +1,5 @@
+(* Four-way bounded buffer (§4.4.2). Run: dune exec examples/four_way_buffer.exe *)
+
+let () =
+  let summary = Soda_examples.Four_way_buffer.run () in
+  Format.printf "four-way buffer: %a@." Soda_examples.Four_way_buffer.pp_summary summary

@@ -1,0 +1,6 @@
+(* Process migration over the boot protocol (§6.2).
+   Run: dune exec examples/migration.exe *)
+
+let () =
+  let summary = Soda_examples.Migration.run () in
+  Format.printf "migration: %a@." Soda_examples.Migration.pp_summary summary

@@ -1,0 +1,79 @@
+(* Quickstart: the "Typical SODA Network" of the paper's introduction.
+
+   Five nodes on one broadcast bus:
+     mid 0 - time server        (Timeserver facility)
+     mid 1 - file server        (File_server example service)
+     mid 2 - tty driver         (an input port printing what it receives)
+     mid 3 - application client (discovers everything, uses everything)
+     mid 4 - a free machine advertising its BOOT pattern
+
+   Run with: dune exec examples/quickstart.exe *)
+
+module Pattern = Soda_base.Pattern
+module Types = Soda_base.Types
+module Network = Soda_core.Network
+module Sodal = Soda_runtime.Sodal
+module Timeserver = Soda_facilities.Timeserver
+module Port = Soda_facilities.Port
+module File_server = Soda_examples.File_server
+
+let tty_pattern = Pattern.well_known 0o777
+
+let () =
+  let net = Network.create ~seed:2026 () in
+  let k_time = Network.add_node net ~mid:0 in
+  let k_file = Network.add_node net ~mid:1 in
+  let k_tty = Network.add_node net ~mid:2 in
+  let k_app = Network.add_node net ~mid:3 in
+  let _free_machine = Network.add_node net ~mid:4 in
+
+  ignore (Sodal.attach k_time (Timeserver.spec ()));
+  ignore (Sodal.attach k_file (File_server.server_spec ()));
+  ignore
+    (Sodal.attach k_tty
+       (Port.spec ~pattern:tty_pattern
+          ~on_data:(fun env ~arg:_ data ->
+            Printf.printf "  [tty @%6.1f ms] %s\n" (float_of_int (Sodal.now env) /. 1000.0)
+              (Bytes.to_string data))
+          ()));
+
+  ignore
+    (Sodal.attach k_app
+       {
+         Sodal.default_spec with
+         task =
+           (fun env ->
+             let say fmt =
+               Printf.ksprintf
+                 (fun s ->
+                   Printf.printf "[app @%6.1f ms] %s\n" (float_of_int (Sodal.now env) /. 1000.0) s)
+                 fmt
+             in
+             say "discovering services with broadcast REQUESTs...";
+             let tty = Sodal.discover env tty_pattern in
+             let fs = Sodal.discover env File_server.fileserver_pattern in
+             let ts = Sodal.discover env Timeserver.alarm_pattern in
+             let mid_of s = match s.Types.sv_mid with Types.Mid m -> m | _ -> -1 in
+             say "found tty at mid %d, file server at mid %d, time server at mid %d"
+               (mid_of tty) (mid_of fs) (mid_of ts);
+             let free = Sodal.discover_list env (Pattern.boot_pattern 0) ~max:8 in
+             say "free machines of kind 0: [%s]"
+               (String.concat "; " (List.map string_of_int free));
+
+             say "writing a file over the network...";
+             let file = File_server.open_file env ~mid:(mid_of fs) "readme.txt" in
+             File_server.write env file (Bytes.of_string "SODA says hello");
+             File_server.seek env file ~pos:0;
+             let contents = File_server.read env file ~len:64 in
+             File_server.close env file;
+             say "read back: %S" (Bytes.to_string contents);
+
+             say "printing to the tty port...";
+             ignore (Port.write env tty (Bytes.of_string (Bytes.to_string contents)));
+
+             say "sleeping 250 ms on the time server...";
+             Timeserver.sleep env ts ~delay_us:250_000;
+             say "awake again; quickstart done");
+       });
+  ignore (Network.run ~until:120_000_000 net);
+  print_endline "quickstart finished."

@@ -1,0 +1,5 @@
+(* Concurrent readers and writers (§4.4.4). Run: dune exec examples/readers_writers.exe *)
+
+let () =
+  let summary = Soda_examples.Readers_writers.run () in
+  Format.printf "readers/writers: %a@." Soda_examples.Readers_writers.pp_summary summary

@@ -1,0 +1,78 @@
+(* Symmetric rendezvous with output guards via Bernstein's algorithm
+   (§4.2.5.1): the "Deadlock Danger" scenario resolved, then a token ring.
+   Run: dune exec examples/rendezvous.exe *)
+
+module Network = Soda_core.Network
+module Sodal = Soda_runtime.Sodal
+module Csp = Soda_facilities.Csp
+
+let () =
+  (* Scenario 1: A and B simultaneously offer both an output to and an
+     input from each other — the exact situation that deadlocks a naive
+     blocking rendezvous. Exactly one direction must win, consistently. *)
+  let net = Network.create ~seed:2026 () in
+  let k0 = Network.add_node net ~mid:0 in
+  let k1 = Network.add_node net ~mid:1 in
+  let describe self peer = function
+    | Some { Csp.index = 0; _ } -> Printf.printf "  P%d: my output to P%d fired\n" self peer
+    | Some { Csp.index = 1; data; _ } ->
+      Printf.printf "  P%d: my input fired, received %S from P%d\n" self
+        (Bytes.to_string data) peer
+    | Some _ | None -> Printf.printf "  P%d: alternative failed\n" self
+  in
+  let proc self peer tag =
+    Csp.make ~task:(fun env p ->
+        let result =
+          Csp.select env p
+            [
+              Csp.Output { peer; chan = 1; data = Bytes.of_string tag };
+              Csp.Input { peer = Some peer; chan = 1 };
+            ]
+        in
+        describe self peer result;
+        Sodal.serve env)
+  in
+  print_endline "deadlock-danger scenario (both sides: [P!x [] P?y]):";
+  let _pa, spec_a = proc 0 1 "from-A" in
+  let _pb, spec_b = proc 1 0 "from-B" in
+  ignore (Sodal.attach k0 spec_a);
+  ignore (Sodal.attach k1 spec_b);
+  ignore (Network.run ~until:60_000_000 net);
+
+  (* Scenario 2: a three-process ring, each passing a token to its
+     successor while receiving from its predecessor. *)
+  print_endline "\ntoken ring (each process: [next!token [] prev?t] until both fire):";
+  let net = Network.create ~seed:7 () in
+  let kernels = List.init 3 (fun mid -> Network.add_node net ~mid) in
+  List.iteri
+    (fun self k ->
+      let next = (self + 1) mod 3 and prev = (self + 2) mod 3 in
+      let _p, spec =
+        Csp.make ~task:(fun env p ->
+            let sent = ref false and got = ref false in
+            while not (!sent && !got) do
+              let guards =
+                (if !sent then []
+                 else
+                   [ Csp.Output
+                       { peer = next; chan = 7; data = Bytes.of_string (string_of_int self) } ])
+                @ if !got then [] else [ Csp.Input { peer = Some prev; chan = 7 } ]
+              in
+              match Csp.select env p guards with
+              | Some outcome ->
+                (match List.nth guards outcome.Csp.index with
+                 | Csp.Output _ ->
+                   sent := true;
+                   Printf.printf "  P%d -> P%d delivered\n" self next
+                 | Csp.Input _ ->
+                   got := true;
+                   Printf.printf "  P%d <- P%d received token %s\n" self prev
+                     (Bytes.to_string outcome.Csp.data))
+              | None -> failwith "ring broke"
+            done;
+            Sodal.serve env)
+      in
+      ignore (Sodal.attach k spec))
+    kernels;
+  ignore (Network.run ~until:240_000_000 net);
+  print_endline "rendezvous demo finished."

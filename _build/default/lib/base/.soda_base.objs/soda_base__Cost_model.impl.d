@@ -1,0 +1,1 @@
+lib/base/cost_model.ml:

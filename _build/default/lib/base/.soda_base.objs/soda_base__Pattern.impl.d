@@ -1,0 +1,1 @@
+lib/base/pattern.ml: Format Int Printf

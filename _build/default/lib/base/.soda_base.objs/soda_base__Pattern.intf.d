@@ -1,0 +1,1 @@
+lib/base/pattern.mli: Format

@@ -1,0 +1,1 @@
+lib/base/types.ml: Format Pattern

@@ -1,0 +1,104 @@
+type category =
+  | Conn_timer
+  | Retrans_timer
+  | Context_switch
+  | Transmission
+  | Client_overhead
+  | Protocol
+
+let label = function
+  | Conn_timer -> "connection timers"
+  | Retrans_timer -> "retransmit timers"
+  | Context_switch -> "context switch"
+  | Transmission -> "transmission time"
+  | Client_overhead -> "client overhead"
+  | Protocol -> "protocol time"
+
+let all_categories =
+  [ Conn_timer; Retrans_timer; Context_switch; Transmission; Client_overhead; Protocol ]
+
+type t = {
+  word_bytes : int;
+  header_bytes : int;
+  max_data_bytes : int;
+  packet_protocol_us : int;
+  conn_timer_us : int;
+  retrans_timer_us : int;
+  context_switch_us : int;
+  request_trap_us : int;
+  accept_trap_us : int;
+  small_trap_us : int;
+  handler_client_us : int;
+  copy_word_us : int;
+  ack_grace_us : int;
+  retrans_interval_us : int;
+  retrans_backoff : float;
+  max_retrans : int;
+  busy_retry_us : int;
+  busy_retry_backoff : float;
+  busy_retry_max_us : int;
+  probe_interval_us : int;
+  probe_miss_limit : int;
+  mpl_us : int;
+  discover_window_us : int;
+  discover_stagger_us : int;
+  maxrequests : int;
+  pipelined : bool;
+  associative_patterns : bool;
+}
+
+let default =
+  {
+    word_bytes = 2;
+    header_bytes = 16;
+    max_data_bytes = 4096;
+    packet_protocol_us = 500;
+    conn_timer_us = 250;
+    retrans_timer_us = 175;
+    context_switch_us = 400;
+    request_trap_us = 700;
+    accept_trap_us = 700;
+    small_trap_us = 60;
+    handler_client_us = 400;
+    copy_word_us = 12;
+    ack_grace_us = 2000;
+    retrans_interval_us = 10_000;
+    retrans_backoff = 1.5;
+    max_retrans = 6;
+    busy_retry_us = 5000;
+    busy_retry_backoff = 1.25;
+    busy_retry_max_us = 40_000;
+    probe_interval_us = 250_000;
+    probe_miss_limit = 3;
+    mpl_us = 50_000;
+    discover_window_us = 30_000;
+    discover_stagger_us = 1000;
+    maxrequests = 3;
+    pipelined = true;
+    associative_patterns = true;
+  }
+
+let non_pipelined = { default with pipelined = false }
+
+let r_us t =
+  let rec sum i interval acc =
+    if i >= t.max_retrans then acc
+    else
+      sum (i + 1)
+        (int_of_float (float_of_int interval *. t.retrans_backoff))
+        (acc + interval)
+  in
+  sum 0 t.retrans_interval_us 0
+
+let delta_t_us t = t.mpl_us + r_us t + t.ack_grace_us
+
+let record_expiry_us t = t.mpl_us + delta_t_us t
+
+let crash_quarantine_us t = (2 * t.mpl_us) + delta_t_us t
+
+let data_copy_us t ~bytes =
+  (* Round up to whole words; the PDP copies words, not bytes. *)
+  let words = (bytes + t.word_bytes - 1) / t.word_bytes in
+  words * t.copy_word_us
+
+let packet_bytes t ~data_bytes = t.header_bytes + data_bytes

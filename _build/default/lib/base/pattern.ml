@@ -1,0 +1,73 @@
+type t = int
+
+let patternsize_bits = 48
+
+let mask = (1 lsl patternsize_bits) - 1
+let reserved_bit = 1 lsl 47
+let well_known_bit = 1 lsl 46
+
+let of_int i =
+  if i land lnot mask <> 0 || i < 0 then
+    invalid_arg (Printf.sprintf "Pattern.of_int: %d does not fit in %d bits" i patternsize_bits);
+  i
+
+let to_int t = t
+
+let well_known i =
+  if i < 0 || i land lnot ((1 lsl 40) - 1) <> 0 then
+    invalid_arg "Pattern.well_known: name must fit in 40 bits";
+  well_known_bit lor i
+
+let reserved i =
+  if i < 0 || i land lnot ((1 lsl 40) - 1) <> 0 then
+    invalid_arg "Pattern.reserved: name must fit in 40 bits";
+  reserved_bit lor well_known_bit lor i
+
+let is_reserved t = t land reserved_bit <> 0
+let is_well_known t = t land well_known_bit <> 0
+
+let slot t = t land 0xFF
+
+let equal = Int.equal
+let compare = Int.compare
+
+let pp ppf t =
+  Format.fprintf ppf "%s%#x"
+    (if is_reserved t then "R:" else if is_well_known t then "W:" else "U:")
+    (t land ((1 lsl 40) - 1))
+
+let kill_pattern = reserved 0x01
+let system_pattern = reserved 0x02
+let boot_pattern kind =
+  if kind < 0 || kind > 0xFF then invalid_arg "Pattern.boot_pattern: kind in 0..255";
+  reserved (0x100 lor kind)
+
+module Mint = struct
+  type pattern = t
+
+  type t = { serial : int; boot_floor : int; mutable counter : int }
+
+  let counter_mask = (1 lsl 32) - 1
+
+  let create ~serial ~boot_clock =
+    if serial < 0 || serial > 0xFF then invalid_arg "Mint.create: serial in 0..255";
+    let start = boot_clock land counter_mask in
+    { serial; boot_floor = start; counter = start }
+
+  let boot_floor t = t.boot_floor
+  let ceiling t = t.counter
+
+  let next t =
+    let v = t.counter in
+    t.counter <- (t.counter + 1) land counter_mask;
+    v
+
+  (* 40-bit unique value: serial in the top 8 of 40 bits, counter below. *)
+  let fresh40 t = (t.serial lsl 32) lor next t
+
+  let fresh_pattern t = fresh40 t
+
+  let fresh_reserved t = reserved_bit lor fresh40 t
+
+  let fresh_tid t = (t.serial lsl 32) lor next t
+end

@@ -1,0 +1,1 @@
+lib/baseline/starmod.ml: Bytes Char Hashtbl Option Queue Soda_net Soda_sim

@@ -1,0 +1,1 @@
+lib/baseline/starmod.mli: Soda_net Soda_sim

@@ -1,0 +1,1 @@
+lib/core/kernel.ml: Array Buffer Bytes Char Hashtbl List Printf Queue Soda_base Soda_net Soda_proto Soda_sim

@@ -1,0 +1,1 @@
+lib/core/kernel.mli: Soda_base Soda_net Soda_sim

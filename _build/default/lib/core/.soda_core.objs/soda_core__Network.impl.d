@@ -1,0 +1,1 @@
+lib/core/network.ml: Hashtbl Kernel List Printf Soda_base Soda_net Soda_sim

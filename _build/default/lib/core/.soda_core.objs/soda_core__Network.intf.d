@@ -1,0 +1,1 @@
+lib/core/network.mli: Kernel Soda_base Soda_net Soda_sim

@@ -1,0 +1,46 @@
+module Engine = Soda_sim.Engine
+module Trace = Soda_sim.Trace
+module Bus = Soda_net.Bus
+module Cost = Soda_base.Cost_model
+
+type t = {
+  engine : Engine.t;
+  bus : Bus.t;
+  trace : Trace.t;
+  cost : Cost.t;
+  nodes : (int, Kernel.t) Hashtbl.t;
+}
+
+let create ?(seed = 42) ?(cost = Cost.default) ?bus_config ?(trace = false) () =
+  let engine = Engine.create ~seed () in
+  let bus = Bus.create ?config:bus_config engine in
+  { engine; bus; trace = Trace.create ~enabled:trace (); cost; nodes = Hashtbl.create 8 }
+
+let engine t = t.engine
+let bus t = t.bus
+let trace t = t.trace
+let cost t = t.cost
+
+let add_node ?(boot_kinds = [ 0 ]) t ~mid =
+  if Hashtbl.mem t.nodes mid then
+    invalid_arg (Printf.sprintf "Network.add_node: mid %d exists" mid);
+  let kernel =
+    Kernel.create ~engine:t.engine ~bus:t.bus ~trace:t.trace ~cost:t.cost ~mid ~boot_kinds
+  in
+  Hashtbl.replace t.nodes mid kernel;
+  kernel
+
+let node t ~mid =
+  match Hashtbl.find_opt t.nodes mid with
+  | Some k -> k
+  | None -> invalid_arg (Printf.sprintf "Network.node: no mid %d" mid)
+
+let nodes t =
+  Hashtbl.fold (fun mid k acc -> (mid, k) :: acc) t.nodes []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let run ?until t = Engine.run ?until t.engine
+
+let run_for t ~duration = Engine.run_for t.engine ~duration
+
+let now t = Engine.now t.engine

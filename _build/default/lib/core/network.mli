@@ -1,0 +1,42 @@
+(** Builder for a simulated SODA network: the engine, the broadcast bus and
+    a set of nodes, each a kernel processor awaiting (or running) a client.
+
+    Typical use:
+    {[
+      let net = Network.create ~seed:1 () in
+      let server = Network.add_node net ~mid:1 in
+      let client = Network.add_node net ~mid:2 in
+      (* attach clients via Soda_runtime.Node *)
+      Network.run_for net ~duration:1_000_000
+    ]} *)
+
+type t
+
+val create :
+  ?seed:int ->
+  ?cost:Soda_base.Cost_model.t ->
+  ?bus_config:Soda_net.Bus.config ->
+  ?trace:bool ->
+  unit ->
+  t
+
+val engine : t -> Soda_sim.Engine.t
+val bus : t -> Soda_net.Bus.t
+val trace : t -> Soda_sim.Trace.t
+val cost : t -> Soda_base.Cost_model.t
+
+(** [add_node t ~mid] creates a node with the network's cost model.
+    [boot_kinds] describes the client processor type for the BOOT patterns
+    (§3.5.2); defaults to [[0]].
+    @raise Invalid_argument on duplicate mid. *)
+val add_node : ?boot_kinds:int list -> t -> mid:int -> Kernel.t
+
+val node : t -> mid:int -> Kernel.t
+val nodes : t -> (int * Kernel.t) list
+
+(** [run t] processes events until quiescence (or [until], virtual us). *)
+val run : ?until:int -> t -> int
+
+val run_for : t -> duration:int -> int
+
+val now : t -> int

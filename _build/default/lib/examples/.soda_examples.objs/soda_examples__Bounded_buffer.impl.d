@@ -1,0 +1,1 @@
+lib/examples/bounded_buffer.ml: Array Bytes Format Hashtbl List Option Printf Soda_base Soda_core Soda_runtime String

@@ -1,0 +1,1 @@
+lib/examples/bounded_buffer.mli: Format

@@ -1,0 +1,1 @@
+lib/examples/dining_philosophers.ml: Array Bytes Char Format List Soda_base Soda_core Soda_facilities Soda_runtime Soda_sim String

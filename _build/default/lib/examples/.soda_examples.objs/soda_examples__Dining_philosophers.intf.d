@@ -1,0 +1,1 @@
+lib/examples/dining_philosophers.mli: Format

@@ -1,0 +1,1 @@
+lib/examples/file_server.ml: Bytes Char Format Hashtbl Option Printf Queue Soda_base Soda_core Soda_runtime String

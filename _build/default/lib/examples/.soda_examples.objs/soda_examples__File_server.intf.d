@@ -1,0 +1,1 @@
+lib/examples/file_server.mli: Format Soda_base Soda_runtime

@@ -1,0 +1,1 @@
+lib/examples/four_way_buffer.ml: Bytes Char Format Queue Soda_base Soda_core Soda_runtime

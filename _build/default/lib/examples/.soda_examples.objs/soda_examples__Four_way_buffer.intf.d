@@ -1,0 +1,1 @@
+lib/examples/four_way_buffer.mli: Format

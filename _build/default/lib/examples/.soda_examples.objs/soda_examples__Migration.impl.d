@@ -1,0 +1,1 @@
+lib/examples/migration.ml: Bytes Char Format List Printf Soda_base Soda_core Soda_runtime String

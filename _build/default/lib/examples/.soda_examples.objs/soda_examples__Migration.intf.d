@@ -1,0 +1,1 @@
+lib/examples/migration.mli: Format

@@ -1,0 +1,1 @@
+lib/examples/readers_writers.ml: Format List Queue Soda_base Soda_core Soda_runtime Soda_sim

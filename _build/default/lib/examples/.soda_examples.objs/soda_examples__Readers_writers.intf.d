@@ -1,0 +1,1 @@
+lib/examples/readers_writers.mli: Format

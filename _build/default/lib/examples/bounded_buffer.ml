@@ -1,0 +1,134 @@
+module Types = Soda_base.Types
+module Pattern = Soda_base.Pattern
+module Network = Soda_core.Network
+module Sodal = Soda_runtime.Sodal
+module Bqueue = Soda_runtime.Bqueue
+
+let consumer_pattern = Pattern.well_known 0o100
+
+type summary = {
+  produced : int;
+  consumed : int;
+  in_order : bool;
+  backpressure_closes : int;
+}
+
+let item_bytes = 32
+
+(* Producer (§4.4.1): double-buffered non-blocking PUTs — fill one buffer
+   while the other is in flight. *)
+let producer_spec ~consumer_mid ~id ~items ~produced =
+  let ready = ref true in
+  {
+    Sodal.default_spec with
+    on_completion = (fun _ _ -> ready := true);
+    task =
+      (fun env ->
+        let consumer = Sodal.server ~mid:consumer_mid ~pattern:consumer_pattern in
+        let buffers = [| Bytes.create item_bytes; Bytes.create item_bytes |] in
+        for seq = 1 to items do
+          let current = buffers.(seq land 1) in
+          Bytes.fill current 0 item_bytes ' ';
+          let text = Printf.sprintf "p%d:%d" id seq in
+          Bytes.blit_string text 0 current 0 (String.length text);
+          while not !ready do
+            Sodal.idle env
+          done;
+          ready := false;
+          ignore (Sodal.put env consumer ~arg:id current);
+          incr produced
+        done;
+        (* Wait for the final PUT to be accepted before dying. *)
+        while not !ready do
+          Sodal.idle env
+        done);
+  }
+
+(* Consumer: signature queue + data buffering from a free pool, with CLOSE
+   backpressure when the signature queue fills. *)
+let consumer_spec ~queue_len ~service_us ~consumed ~closes ~record =
+  let pending = Bqueue.create queue_len in
+  (* [produced_data] holds (buffer, length): buffers stay out of the free
+     pool until processed, which is what bounds the accepts (§4.4.1). *)
+  let produced_data = Bqueue.create queue_len in
+  let free_pool = Bqueue.create queue_len in
+  {
+    Sodal.default_spec with
+    init =
+      (fun env ~parent:_ ->
+        for _ = 1 to queue_len do
+          Bqueue.enqueue free_pool (Bytes.create item_bytes)
+        done;
+        Sodal.advertise env consumer_pattern);
+    on_request =
+      (fun env info ->
+        Bqueue.enqueue pending info.Sodal.asker;
+        if Bqueue.is_full pending then begin
+          incr closes;
+          Sodal.close_handler env
+        end);
+    task =
+      (fun env ->
+        while true do
+          (* Drain one pending signature into a free buffer, if any. *)
+          if (not (Bqueue.is_empty pending)) && not (Bqueue.is_empty free_pool) then begin
+            let asker = Bqueue.dequeue pending in
+            Sodal.open_handler env;
+            let buffer = Bqueue.dequeue free_pool in
+            let status, got = Sodal.accept_put env asker ~arg:0 ~into:buffer in
+            match status with
+            | Types.Accept_success -> Bqueue.enqueue produced_data (buffer, got)
+            | Types.Accept_cancelled | Types.Accept_crashed ->
+              Bqueue.enqueue free_pool buffer
+          end
+          else if not (Bqueue.is_empty produced_data) then begin
+            let buffer, got = Bqueue.dequeue produced_data in
+            (* process_data *)
+            Sodal.compute env service_us;
+            record (Bytes.sub_string buffer 0 got);
+            incr consumed;
+            Bqueue.enqueue free_pool buffer
+          end
+          else Sodal.idle env
+        done);
+  }
+
+let run ?(seed = 11) ?(producers = 4) ?(items_per_producer = 20)
+    ?(consumer_service_us = 12_000) () =
+  let net = Network.create ~seed () in
+  let consumer_kernel = Network.add_node net ~mid:0 in
+  let produced = ref 0 and consumed = ref 0 and closes = ref 0 in
+  let received : string list ref = ref [] in
+  ignore
+    (Sodal.attach consumer_kernel
+       (consumer_spec ~queue_len:3 ~service_us:consumer_service_us ~consumed ~closes
+          ~record:(fun s -> received := s :: !received)));
+  for id = 1 to producers do
+    let kernel = Network.add_node net ~mid:id in
+    ignore
+      (Sodal.attach kernel
+         (producer_spec ~consumer_mid:0 ~id ~items:items_per_producer ~produced))
+  done;
+  ignore (Network.run ~until:600_000_000 net);
+  (* Per-producer sequence numbers must arrive in order. *)
+  let last = Hashtbl.create 4 in
+  let in_order = ref true in
+  List.iter
+    (fun item ->
+      match String.split_on_char ':' (String.trim item) with
+      | [ producer; seq ] ->
+        let seq = int_of_string seq in
+        let prev = Option.value ~default:0 (Hashtbl.find_opt last producer) in
+        if seq <> prev + 1 then in_order := false;
+        Hashtbl.replace last producer seq
+      | _ -> in_order := false)
+    (List.rev !received);
+  { produced = !produced; consumed = !consumed; in_order = !in_order;
+    backpressure_closes = !closes }
+
+let pp_summary ppf s =
+  Format.fprintf ppf
+    "produced %d items, consumed %d, per-producer FIFO %s, %d backpressure CLOSEs"
+    s.produced s.consumed
+    (if s.in_order then "held" else "VIOLATED")
+    s.backpressure_closes

@@ -1,0 +1,25 @@
+(** Two-way bounded buffer (§4.4.1).
+
+    Producers (think teletype drivers) stream items to a consumer (think
+    file server) that buffers to smooth the speed mismatch. Producers
+    double-buffer so they keep working while their last PUT is pending; the
+    consumer queues REQUESTER SIGNATURES (never data) in its handler,
+    ACCEPTs into a free-pool buffer from its task, and exerts backpressure
+    by CLOSEing its handler when the signature queue fills. *)
+
+type summary = {
+  produced : int;  (** items sent by all producers *)
+  consumed : int;  (** items processed by the consumer *)
+  in_order : bool;  (** per-producer FIFO held *)
+  backpressure_closes : int;  (** times the consumer closed its handler *)
+}
+
+val run :
+  ?seed:int ->
+  ?producers:int ->
+  ?items_per_producer:int ->
+  ?consumer_service_us:int ->
+  unit ->
+  summary
+
+val pp_summary : Format.formatter -> summary -> unit

@@ -1,0 +1,274 @@
+module Types = Soda_base.Types
+module Pattern = Soda_base.Pattern
+module Network = Soda_core.Network
+module Sodal = Soda_runtime.Sodal
+module Timeserver = Soda_facilities.Timeserver
+module Rng = Soda_sim.Rng
+module Engine = Soda_sim.Engine
+
+(* Well-known patterns of the protocol (§4.4.3). *)
+let getfork = Pattern.well_known 0o301
+let putfork = Pattern.well_known 0o302
+let return_fork = Pattern.well_known 0o303
+let check = Pattern.well_known 0o304
+let give_back = Pattern.well_known 0o305
+
+type summary = {
+  meals : int array;
+  deadlocks_broken : int;
+  safety_violations : int;
+  false_deadlocks : int;
+}
+
+type fork_state = Mine | His | Idle
+
+(* Global instrumentation (the "god's eye" view used only for checking). *)
+type world = {
+  eating : bool array;
+  mutable safety_violations : int;
+  mutable total_meals : int;
+  needful : bool array;  (** truthful needful state, for false-positive checks *)
+}
+
+let encode_tid tid =
+  let b = Bytes.create 8 in
+  for i = 0 to 7 do
+    Bytes.set b i (Char.chr ((tid lsr (8 * (7 - i))) land 0xFF))
+  done;
+  b
+
+let decode_tid b =
+  let v = ref 0 in
+  for i = 0 to min 7 (Bytes.length b - 1) do
+    v := (!v lsl 8) lor Char.code (Bytes.get b i)
+  done;
+  !v
+
+(* Philosopher [self]; its LEFT neighbour (owner of its left fork) is
+   [(self + 1) mod n]. *)
+let philosopher_spec ~self ~n ~world ~meals ~rng ~duration_us =
+  let left_mid = (self + 1) mod n in
+  let fork_left = ref Idle in
+  let fork_own = ref Idle in
+  (* TID of our outstanding/latest request for the left fork; the detector
+     compares it across probes (§4.4.3 step 4). *)
+  let my_request = ref 0 in
+  let his_request : Types.requester_signature option ref = ref None in
+  let update_needful () = world.needful.(self) <- !fork_left = Mine && !fork_own = His in
+  {
+    Sodal.init = (fun env ~parent:_ ->
+        Sodal.advertise env getfork;
+        Sodal.advertise env putfork;
+        Sodal.advertise env return_fork;
+        Sodal.advertise env check;
+        Sodal.advertise env give_back);
+    on_completion =
+      (fun _env info ->
+        if info.Sodal.tid = !my_request && info.Sodal.status = Sodal.Comp_ok then begin
+          fork_left := Mine;
+          update_needful ()
+        end);
+    on_request =
+      (fun env info ->
+        let pattern = info.Sodal.pattern in
+        if Pattern.equal pattern getfork then begin
+          if !fork_own = Mine then his_request := Some info.Sodal.asker
+          else begin
+            fork_own := His;
+            update_needful ();
+            ignore (Sodal.accept_current_signal env ~arg:0)
+          end
+        end
+        else if Pattern.equal pattern putfork then begin
+          ignore (Sodal.accept_current_signal env ~arg:0);
+          fork_own := Idle;
+          update_needful ()
+        end
+        else if Pattern.equal pattern check then begin
+          if !fork_left = Mine && !fork_own = His then
+            ignore (Sodal.accept_current_get env ~arg:0 ~data:(encode_tid !my_request))
+          else Sodal.reject env
+        end
+        else if Pattern.equal pattern give_back then begin
+          ignore (Sodal.accept_current_signal env ~arg:0);
+          (* Release the left fork to break the deadlock; ask for it back
+             with RETURN_FORK so we regain it before our neighbour eats
+             twice (the fairness property of §4.4.3). *)
+          my_request := Sodal.signal env (Sodal.server ~mid:left_mid ~pattern:return_fork) ~arg:0;
+          fork_left := His;
+          update_needful ()
+        end
+        else if Pattern.equal pattern return_fork then begin
+          (* Our fork comes home; remember the giver wants it again. *)
+          fork_own := Mine;
+          update_needful ();
+          his_request := Some info.Sodal.asker
+        end);
+    task =
+      (fun env ->
+        let deadline = duration_us in
+        let think () =
+          (* Zero initial thinking forces the canonical deadlock. *)
+          if meals.(self) > 0 then Sodal.compute env (10_000 + Rng.int rng 40_000)
+        in
+        let grab_own_fork () =
+          Sodal.close_handler env;
+          let ok = !fork_own <> His in
+          if ok then fork_own := Mine;
+          Sodal.open_handler env;
+          if ok then update_needful ();
+          ok
+        in
+        while Sodal.now env < deadline do
+          think ();
+          my_request := Sodal.signal env (Sodal.server ~mid:left_mid ~pattern:getfork) ~arg:0;
+          while !fork_left <> Mine && Sodal.now env < deadline do
+            Sodal.idle env
+          done;
+          while ((not (grab_own_fork ())) || !fork_left <> Mine) && Sodal.now env < deadline do
+            Sodal.idle env
+          done;
+          if Sodal.now env < deadline then begin
+            (* eat *)
+            world.eating.(self) <- true;
+            if world.eating.((self + 1) mod n) || world.eating.((self + n - 1) mod n) then
+              world.safety_violations <- world.safety_violations + 1;
+            Sodal.compute env (10_000 + Rng.int rng 20_000);
+            world.eating.(self) <- false;
+            meals.(self) <- meals.(self) + 1;
+            world.total_meals <- world.total_meals + 1;
+            (* put back the left fork *)
+            ignore (Sodal.b_signal env (Sodal.server ~mid:left_mid ~pattern:putfork) ~arg:0);
+            Sodal.close_handler env;
+            fork_left := Idle;
+            if !fork_own = Mine then fork_own := Idle;
+            update_needful ();
+            let pending = !his_request in
+            his_request := None;
+            Sodal.open_handler env;
+            match pending with
+            | Some asker ->
+              Sodal.close_handler env;
+              fork_own := His;
+              update_needful ();
+              Sodal.open_handler env;
+              ignore (Sodal.accept_signal env asker ~arg:0)
+            | None -> ()
+          end
+        done;
+        Sodal.serve env);
+  }
+
+let detector_spec ~n ~timeserver_mid ~interval_us ~world ~broken ~false_positives =
+  let times_up = ref false in
+  let alarm_tid = ref 0 in
+  {
+    Sodal.default_spec with
+    init =
+      (fun env ~parent:_ ->
+        let ts = Sodal.server ~mid:timeserver_mid ~pattern:Timeserver.alarm_pattern in
+        alarm_tid := Sodal.signal env ts ~arg:interval_us);
+    on_completion =
+      (fun env info ->
+        if info.Sodal.tid = !alarm_tid then begin
+          times_up := true;
+          let ts = Sodal.server ~mid:timeserver_mid ~pattern:Timeserver.alarm_pattern in
+          alarm_tid := Sodal.signal env ts ~arg:interval_us
+        end);
+    task =
+      (fun env ->
+        let possible_victims = ref (List.init n (fun i -> i)) in
+        let rng = Rng.create ~seed:(97 * n) in
+        let pick_victim () =
+          (match !possible_victims with
+           | [] -> possible_victims := List.init n (fun i -> i)
+           | _ -> ());
+          let victims = !possible_victims in
+          let v = List.nth victims (Rng.int rng (List.length victims)) in
+          possible_victims := List.filter (fun x -> x <> v) victims;
+          v
+        in
+        let next_victim = ref (pick_victim ()) in
+        let check_philosopher mid =
+          let into = Bytes.create 8 in
+          let c = Sodal.b_get env (Sodal.server ~mid ~pattern:check) ~arg:0 ~into in
+          match c.Sodal.status with
+          | Sodal.Comp_ok -> Some (decode_tid into)
+          | Sodal.Comp_rejected | Sodal.Comp_crashed | Sodal.Comp_unadvertised -> None
+        in
+        while true do
+          if !times_up then begin
+            times_up := false;
+            let v = !next_victim in
+            (match check_philosopher v with
+             | None -> ()
+             | Some first_tid ->
+               (* Walk the ring of successors (each holds the next one's
+                  wanted fork). *)
+               (* Philosopher i's own fork is held by (i-1), so the chain
+                  of "holds what the previous one wants" walks downwards. *)
+               let rec walk current =
+                 let next = (current + n - 1) mod n in
+                 if next = v then true
+                 else
+                   match check_philosopher next with
+                   | Some _ -> walk next
+                   | None -> false
+               in
+               if walk v then begin
+                 match check_philosopher v with
+                 | Some second_tid when second_tid = first_tid ->
+                   (* Deadlock proven (§4.4.3): the victim's state cannot
+                      have changed between the two probes. *)
+                   if not (Array.for_all (fun x -> x) world.needful) then
+                     incr false_positives;
+                   incr broken;
+                   ignore (Sodal.b_signal env (Sodal.server ~mid:v ~pattern:give_back) ~arg:0);
+                   next_victim := pick_victim ()
+                 | Some _ | None -> ()
+               end)
+          end
+          else Sodal.idle env
+        done);
+  }
+
+let run ?(seed = 31) ?(duration_s = 120.0) ?(philosophers = 5) () =
+  let n = philosophers in
+  let net = Network.create ~seed () in
+  let duration_us = int_of_float (duration_s *. 1e6) in
+  let world =
+    {
+      eating = Array.make n false;
+      safety_violations = 0;
+      total_meals = 0;
+      needful = Array.make n false;
+    }
+  in
+  let meals = Array.make n 0 in
+  let rng = Rng.create ~seed:(seed * 7) in
+  for i = 0 to n - 1 do
+    let kernel = Network.add_node net ~mid:i in
+    ignore
+      (Sodal.attach kernel
+         (philosopher_spec ~self:i ~n ~world ~meals ~rng:(Rng.split rng) ~duration_us))
+  done;
+  let ts_kernel = Network.add_node net ~mid:n in
+  ignore (Sodal.attach ts_kernel (Timeserver.spec ()));
+  let det_kernel = Network.add_node net ~mid:(n + 1) in
+  let broken = ref 0 and false_positives = ref 0 in
+  ignore
+    (Sodal.attach det_kernel
+       (detector_spec ~n ~timeserver_mid:n ~interval_us:400_000 ~world ~broken
+          ~false_positives));
+  ignore (Network.run ~until:duration_us net);
+  {
+    meals;
+    deadlocks_broken = !broken;
+    safety_violations = world.safety_violations;
+    false_deadlocks = !false_positives;
+  }
+
+let pp_summary ppf s =
+  Format.fprintf ppf "meals per philosopher: [%s], %d deadlocks broken, %d safety violations, %d false deadlocks"
+    (String.concat "; " (Array.to_list (Array.map string_of_int s.meals)))
+    s.deadlocks_broken s.safety_violations s.false_deadlocks

@@ -1,0 +1,22 @@
+(** Dining philosophers with deadlock detection (§4.4.3).
+
+    The paper's novel solution: five philosophers, each owning one fork,
+    grab left fork then own fork — which deadlocks by construction — plus a
+    deadlock-detector process woken periodically by the timeserver. The
+    detector walks the ring asking each philosopher whether it is NEEDFUL
+    (holds its left fork, wants its own back); if it returns to the first
+    philosopher and the TID of that philosopher's fork request is
+    unchanged, deadlock is proven (the induction of §4.4.3) and the victim
+    is told to GIVE_BACK its fork. A fairness list ensures no philosopher
+    is victimised twice before all others have been. *)
+
+type summary = {
+  meals : int array;  (** meals per philosopher *)
+  deadlocks_broken : int;
+  safety_violations : int;  (** adjacent philosophers eating simultaneously *)
+  false_deadlocks : int;  (** GIVE_BACK sent when no deadlock existed *)
+}
+
+val run : ?seed:int -> ?duration_s:float -> ?philosophers:int -> unit -> summary
+
+val pp_summary : Format.formatter -> summary -> unit

@@ -1,0 +1,243 @@
+module Sodal = Soda_runtime.Sodal
+module Types = Soda_base.Types
+module Pattern = Soda_base.Pattern
+module Network = Soda_core.Network
+
+let fileserver_pattern = Pattern.well_known 0o500
+let open_pattern = Pattern.well_known 0o501
+
+(* Operation kinds, carried in the REQUEST argument. *)
+let op_read = 1
+let op_write = 2
+let op_seek = 3
+let op_close = 4
+
+exception File_error of string
+
+(* ---- server ---------------------------------------------------------------- *)
+
+type open_file_state = {
+  name : string;
+  mutable content : bytes;
+  mutable pos : int;
+  fd : Pattern.t;
+}
+
+type operation = {
+  client : Types.requester_signature;
+  kind : int;
+  file : open_file_state;
+  put_size : int;
+  get_size : int;
+}
+
+let encode_pattern p =
+  let b = Bytes.create 6 in
+  let v = Pattern.to_int p in
+  for i = 0 to 5 do
+    Bytes.set b i (Char.chr ((v lsr (8 * (5 - i))) land 0xFF))
+  done;
+  b
+
+let decode_pattern b =
+  let v = ref 0 in
+  for i = 0 to 5 do
+    v := (!v lsl 8) lor Char.code (Bytes.get b i)
+  done;
+  Pattern.of_int !v
+
+let server_spec () =
+  (* the volume: file name -> stored bytes (survives close) *)
+  let volume : (string, bytes) Hashtbl.t = Hashtbl.create 16 in
+  let by_fd : (int, open_file_state) Hashtbl.t = Hashtbl.create 16 in
+  let op_queue : operation Queue.t = Queue.create () in
+  let perform env op =
+    let file = op.file in
+    if op.kind = op_read then begin
+      let available = max 0 (Bytes.length file.content - file.pos) in
+      let len = min available op.get_size in
+      let data = Bytes.sub file.content file.pos len in
+      let status = Sodal.accept_get env op.client ~arg:0 ~data in
+      if status = Types.Accept_success then file.pos <- file.pos + len
+    end
+    else if op.kind = op_write then begin
+      let into = Bytes.create op.put_size in
+      let status, got = Sodal.accept_put env op.client ~arg:0 ~into in
+      if status = Types.Accept_success then begin
+        let needed = file.pos + got in
+        if needed > Bytes.length file.content then begin
+          let grown = Bytes.make needed '\000' in
+          Bytes.blit file.content 0 grown 0 (Bytes.length file.content);
+          file.content <- grown
+        end;
+        Bytes.blit into 0 file.content file.pos got;
+        file.pos <- file.pos + got;
+        Hashtbl.replace volume file.name file.content
+      end
+    end
+    else if op.kind = op_seek then begin
+      let into = Bytes.create 4 in
+      let status, got = Sodal.accept_put env op.client ~arg:0 ~into in
+      if status = Types.Accept_success && got = 4 then begin
+        let v = ref 0 in
+        for i = 0 to 3 do
+          v := (!v lsl 8) lor Char.code (Bytes.get into i)
+        done;
+        if !v <= Bytes.length file.content then file.pos <- !v
+      end
+    end
+    else if op.kind = op_close then begin
+      ignore (Sodal.accept_signal env op.client ~arg:0);
+      Hashtbl.replace volume file.name file.content;
+      Hashtbl.remove by_fd (Pattern.to_int file.fd);
+      Sodal.unadvertise env file.fd
+    end
+    else Sodal.reject_request env op.client
+  in
+  {
+    Sodal.default_spec with
+    init =
+      (fun env ~parent:_ ->
+        Sodal.advertise env fileserver_pattern;
+        Sodal.advertise env open_pattern);
+    on_request =
+      (fun env info ->
+        if Pattern.equal info.Sodal.pattern open_pattern then begin
+          (* OPEN: exchange the file name for a fresh fd pattern. *)
+          let fd = Sodal.getuniqueid env in
+          Sodal.advertise env fd;
+          let name_buf = Bytes.create info.Sodal.put_size in
+          let status, got =
+            Sodal.accept_current_exchange env ~arg:0 ~into:name_buf ~data:(encode_pattern fd)
+          in
+          match status with
+          | Types.Accept_success ->
+            let name = Bytes.sub_string name_buf 0 got in
+            let content = Option.value ~default:Bytes.empty (Hashtbl.find_opt volume name) in
+            Hashtbl.replace by_fd (Pattern.to_int fd) { name; content; pos = 0; fd }
+          | Types.Accept_cancelled | Types.Accept_crashed -> Sodal.unadvertise env fd
+        end
+        else begin
+          match Hashtbl.find_opt by_fd (Pattern.to_int info.Sodal.pattern) with
+          | Some file ->
+            Queue.push
+              {
+                client = info.Sodal.asker;
+                kind = info.Sodal.arg;
+                file;
+                put_size = info.Sodal.put_size;
+                get_size = info.Sodal.get_size;
+              }
+              op_queue
+          | None -> Sodal.reject env
+        end);
+    task =
+      (fun env ->
+        while true do
+          if Queue.is_empty op_queue then Sodal.idle env
+          else perform env (Queue.pop op_queue)
+        done);
+  }
+
+(* ---- client protocol ---------------------------------------------------------- *)
+
+type file = { server_mid : int; fd_pattern : Pattern.t }
+
+let open_file env ~mid name =
+  let into = Bytes.create 6 in
+  let c =
+    Sodal.b_exchange env (Sodal.server ~mid ~pattern:open_pattern) ~arg:0
+      (Bytes.of_string name) ~into
+  in
+  if c.Sodal.status <> Sodal.Comp_ok || c.Sodal.get_transferred <> 6 then
+    raise (File_error ("open failed for " ^ name));
+  { server_mid = mid; fd_pattern = decode_pattern into }
+
+let fd_server file = Sodal.server ~mid:file.server_mid ~pattern:file.fd_pattern
+
+let check what c =
+  match c.Sodal.status with
+  | Sodal.Comp_ok -> c
+  | Sodal.Comp_rejected -> raise (File_error (what ^ ": rejected"))
+  | Sodal.Comp_crashed -> raise (File_error (what ^ ": server crashed"))
+  | Sodal.Comp_unadvertised -> raise (File_error (what ^ ": bad file descriptor"))
+
+let write env file data = ignore (check "write" (Sodal.b_put env (fd_server file) ~arg:op_write data))
+
+let read env file ~len =
+  let into = Bytes.create len in
+  let c = check "read" (Sodal.b_get env (fd_server file) ~arg:op_read ~into) in
+  Bytes.sub into 0 c.Sodal.get_transferred
+
+let seek env file ~pos =
+  let b = Bytes.create 4 in
+  for i = 0 to 3 do
+    Bytes.set b i (Char.chr ((pos lsr (8 * (3 - i))) land 0xFF))
+  done;
+  ignore (check "seek" (Sodal.b_put env (fd_server file) ~arg:op_seek b))
+
+let close env file = ignore (check "close" (Sodal.b_signal env (fd_server file) ~arg:op_close))
+
+(* ---- demo harness ---------------------------------------------------------------- *)
+
+type summary = {
+  files_written : int;
+  bytes_written : int;
+  bytes_read_back : int;
+  round_trips_ok : bool;
+  stale_fd_rejected : bool;
+}
+
+let run ?(seed = 51) ?(clients = 3) () =
+  let net = Network.create ~seed () in
+  let server_kernel = Network.add_node net ~mid:0 in
+  ignore (Sodal.attach server_kernel (server_spec ()));
+  let written = ref 0 and read_back = ref 0 and files = ref 0 in
+  let ok = ref true and stale_rejected = ref false in
+  for i = 1 to clients do
+    let kernel = Network.add_node net ~mid:i in
+    ignore
+      (Sodal.attach kernel
+         {
+           Sodal.default_spec with
+           task =
+             (fun env ->
+               (* locate the file server *)
+               let fs = Sodal.discover env fileserver_pattern in
+               let mid = match fs.Types.sv_mid with Types.Mid m -> m | _ -> assert false in
+               let name = Printf.sprintf "file-%d" i in
+               let file = open_file env ~mid name in
+               incr files;
+               let contents = Printf.sprintf "the quick brown fox %d jumped" i in
+               write env file (Bytes.of_string contents);
+               written := !written + String.length contents;
+               (* rewind and read back *)
+               seek env file ~pos:0;
+               let data = read env file ~len:64 in
+               read_back := !read_back + Bytes.length data;
+               if Bytes.to_string data <> contents then ok := false;
+               (* partial read via seek *)
+               seek env file ~pos:4;
+               let part = read env file ~len:5 in
+               if Bytes.to_string part <> "quick" then ok := false;
+               close env file;
+               (* a closed fd must be dead *)
+               (try ignore (read env file ~len:4)
+                with File_error _ -> stale_rejected := true));
+         })
+  done;
+  ignore (Network.run ~until:600_000_000 net);
+  {
+    files_written = !files;
+    bytes_written = !written;
+    bytes_read_back = !read_back;
+    round_trips_ok = !ok;
+    stale_fd_rejected = !stale_rejected;
+  }
+
+let pp_summary ppf s =
+  Format.fprintf ppf
+    "%d files, %d bytes written, %d read back, round-trips %s, stale fd rejected: %b"
+    s.files_written s.bytes_written s.bytes_read_back
+    (if s.round_trips_ok then "ok" else "CORRUPT")
+    s.stale_fd_rejected

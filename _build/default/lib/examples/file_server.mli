@@ -1,0 +1,44 @@
+(** File service (§4.4.5).
+
+    A client locates the file server with DISCOVER, opens a file with an
+    EXCHANGE on the well-known OPEN entry (file name out, file-descriptor
+    {e pattern} back — a capability minted with GETUNIQUEID and advertised
+    by the server), then performs READ / WRITE / SEEK / CLOSE transactions
+    addressed directly to that pattern, the operation kind travelling in
+    the REQUEST argument. Operations are queued by the handler and executed
+    by the server task in arrival order. *)
+
+module Sodal = Soda_runtime.Sodal
+module Types = Soda_base.Types
+
+(** The well-known file-server name (specific enough to DISCOVER). *)
+val fileserver_pattern : Soda_base.Pattern.t
+
+(** Server program with an empty in-memory volume. *)
+val server_spec : unit -> Sodal.spec
+
+(** {1 Client protocol} *)
+
+type file  (** an open remote file: <server mid, fd pattern> + position *)
+
+exception File_error of string
+
+val open_file : Sodal.env -> mid:int -> string -> file
+val write : Sodal.env -> file -> bytes -> unit
+val read : Sodal.env -> file -> len:int -> bytes
+val seek : Sodal.env -> file -> pos:int -> unit
+val close : Sodal.env -> file -> unit
+
+(** {1 Demo harness} *)
+
+type summary = {
+  files_written : int;
+  bytes_written : int;
+  bytes_read_back : int;
+  round_trips_ok : bool;  (** every read-back matched what was written *)
+  stale_fd_rejected : bool;  (** access after CLOSE failed, as it must *)
+}
+
+val run : ?seed:int -> ?clients:int -> unit -> summary
+
+val pp_summary : Format.formatter -> summary -> unit

@@ -1,0 +1,191 @@
+module Types = Soda_base.Types
+module Pattern = Soda_base.Pattern
+module Network = Soda_core.Network
+module Sodal = Soda_runtime.Sodal
+module Bqueue = Soda_runtime.Bqueue
+
+let buffer_data = Pattern.well_known 0o200
+let restart = Pattern.well_known 0o201
+
+type summary = {
+  transferred_a_to_b : int;
+  transferred_b_to_a : int;
+  flow_stops : int;
+  lost : int;
+}
+
+(* A simulated character device: produces [to_produce] characters at
+   [produce_interval_us], consumes written characters at
+   [consume_interval_us], honours CTRL-S/CTRL-Q. *)
+type device = {
+  mutable to_produce : int;
+  mutable produced_seq : int;
+  mutable stopped : bool;  (* CTRL-S received *)
+  mutable last_produce : int;
+  mutable last_consume : int;
+  produce_interval_us : int;
+  consume_interval_us : int;
+  outgoing : char Queue.t;  (* produced, waiting for the client to read *)
+  mutable consumed : int;  (* characters written into the device *)
+}
+
+let make_device ~to_produce ~produce_interval_us ~consume_interval_us =
+  {
+    to_produce;
+    produced_seq = 0;
+    stopped = false;
+    last_produce = 0;
+    last_consume = 0;
+    produce_interval_us;
+    consume_interval_us;
+    outgoing = Queue.create ();
+    consumed = 0;
+  }
+
+(* Advance the device to the current time: it produces on its own clock
+   unless stopped. *)
+let device_step device ~now =
+  if (not device.stopped) && device.to_produce > 0 then begin
+    while device.last_produce + device.produce_interval_us <= now && device.to_produce > 0 do
+      device.last_produce <- device.last_produce + device.produce_interval_us;
+      device.produced_seq <- device.produced_seq + 1;
+      device.to_produce <- device.to_produce - 1;
+      Queue.push (Char.chr (device.produced_seq land 0x7F)) device.outgoing
+    done
+  end
+  else device.last_produce <- max device.last_produce (now - device.produce_interval_us)
+
+let device_input_ready device = not (Queue.is_empty device.outgoing)
+
+let device_output_ready device ~now = device.last_consume + device.consume_interval_us <= now
+
+type state = Continue | Full
+
+let status_byte = function Continue -> '\000' | Full -> '\001'
+let status_of_byte = function '\001' -> Full | _ -> Continue
+
+let client_spec ~other ~device ~queue_len ~counters =
+  let transferred, flow_stops, dropped = counters in
+  let q = Bqueue.create queue_len in
+  let partner_buf_full = ref false in
+  let partner_buf_empty = ref false in
+  let remote_client_stopped = ref false in
+  {
+    Sodal.default_spec with
+    init =
+      (fun env ~parent:_ ->
+        Sodal.advertise env buffer_data;
+        Sodal.advertise env restart);
+    on_request =
+      (fun env info ->
+        if Pattern.equal info.Sodal.pattern buffer_data then begin
+          (* Buffer data from the other client; the EXCHANGE reply carries
+             our buffer state so the producer can stop instantly. *)
+          let into = Bytes.create 1 in
+          let return_status =
+            if Bqueue.almost_full q || Bqueue.is_full q then begin
+              remote_client_stopped := true;
+              Full
+            end
+            else Continue
+          in
+          let reply = Bytes.make 1 (status_byte return_status) in
+          let status, got = Sodal.accept_current_exchange env ~arg:0 ~into ~data:reply in
+          match status with
+          | Types.Accept_success when got = 1 ->
+            if Bqueue.is_full q then incr dropped
+            else Bqueue.enqueue q (Bytes.get into 0)
+          | Types.Accept_success | Types.Accept_cancelled | Types.Accept_crashed -> ()
+        end
+        else begin
+          (* RESTART: ok to produce again. *)
+          ignore (Sodal.accept_current_signal env ~arg:0);
+          partner_buf_empty := true
+        end);
+    task =
+      (fun env ->
+        let remote_buffer = Sodal.server ~mid:other ~pattern:buffer_data in
+        let remote_restart = Sodal.server ~mid:other ~pattern:restart in
+        let idle_rounds = ref 0 in
+        while !idle_rounds < 200 do
+          let did_something = ref false in
+          device_step device ~now:(Sodal.now env);
+          (* READ loop: move device output to the remote client. *)
+          if (not !partner_buf_full) && device_input_ready device then begin
+            did_something := true;
+            let c = Queue.pop device.outgoing in
+            let into = Bytes.create 1 in
+            let completion =
+              Sodal.b_exchange env remote_buffer ~arg:0 (Bytes.make 1 c) ~into
+            in
+            if completion.Sodal.status = Sodal.Comp_ok then begin
+              incr transferred;
+              if completion.Sodal.get_transferred = 1 && status_of_byte (Bytes.get into 0) = Full
+              then begin
+                incr flow_stops;
+                partner_buf_full := true
+              end
+            end
+          end;
+          (* WRITE loop: feed buffered characters to the device. *)
+          device_step device ~now:(Sodal.now env);
+          if device_output_ready device ~now:(Sodal.now env) then begin
+            if !partner_buf_full && not device.stopped then begin
+              (* CTRL-S: stop our device from producing while the partner
+                 drains; sending stays blocked until the RESTART arrives. *)
+              device.stopped <- true;
+              did_something := true
+            end
+            else if !partner_buf_empty then begin
+              partner_buf_empty := false;
+              partner_buf_full := false;
+              device.stopped <- false;
+              did_something := true
+            end
+            else if not (Bqueue.is_empty q) then begin
+              did_something := true;
+              let c = Bqueue.dequeue q in
+              ignore c;
+              device.last_consume <- Sodal.now env;
+              device.consumed <- device.consumed + 1;
+              if Bqueue.is_empty q && !remote_client_stopped then begin
+                remote_client_stopped := false;
+                ignore (Sodal.b_signal env remote_restart ~arg:0)
+              end
+            end
+          end;
+          if !did_something then idle_rounds := 0
+          else begin
+            incr idle_rounds;
+            Sodal.compute env 2_000
+          end
+        done);
+  }
+
+let run ?(seed = 23) ?(chars_each_way = 60) ?(duration_s = 600.0) () =
+  let net = Network.create ~seed () in
+  let k0 = Network.add_node net ~mid:0 in
+  let k1 = Network.add_node net ~mid:1 in
+  (* Device A is fast, device B slow: flow control must engage. *)
+  let dev_a =
+    make_device ~to_produce:chars_each_way ~produce_interval_us:3_000
+      ~consume_interval_us:25_000
+  in
+  let dev_b =
+    make_device ~to_produce:chars_each_way ~produce_interval_us:20_000
+      ~consume_interval_us:4_000
+  in
+  let a_to_b = ref 0 and b_to_a = ref 0 and stops = ref 0 and dropped = ref 0 in
+  ignore (Sodal.attach k0 (client_spec ~other:1 ~device:dev_a ~queue_len:4 ~counters:(a_to_b, stops, dropped)));
+  ignore (Sodal.attach k1 (client_spec ~other:0 ~device:dev_b ~queue_len:4 ~counters:(b_to_a, stops, dropped)));
+  ignore (Network.run ~until:(int_of_float (duration_s *. 1e6)) net);
+  {
+    transferred_a_to_b = !a_to_b;
+    transferred_b_to_a = !b_to_a;
+    flow_stops = !stops;
+    lost = !dropped;
+  }
+
+let pp_summary ppf s =
+  Format.fprintf ppf "A->B %d chars, B->A %d chars, %d flow-control stops, %d lost"
+    s.transferred_a_to_b s.transferred_b_to_a s.flow_stops s.lost

@@ -1,0 +1,20 @@
+(** Four-way bounded buffer (§4.4.2).
+
+    Two clients, each attached to a character device with an internal
+    buffer and CTRL-S/CTRL-Q flow control. Each client reads from its
+    device and ships the data to the other client, which buffers it and
+    feeds its own device. The interesting part is the blocking EXCHANGE:
+    writing the remote buffer returns a status in the same transaction, so
+    the producer learns immediately that the remote side is full and stops
+    its device — four flow-controlled streams managed by two clients. *)
+
+type summary = {
+  transferred_a_to_b : int;  (** characters that completed the A -> B path *)
+  transferred_b_to_a : int;
+  flow_stops : int;  (** times a producer was paused by a FULL status *)
+  lost : int;  (** characters lost anywhere (must be 0) *)
+}
+
+val run : ?seed:int -> ?chars_each_way:int -> ?duration_s:float -> unit -> summary
+
+val pp_summary : Format.formatter -> summary -> unit

@@ -1,0 +1,151 @@
+module Types = Soda_base.Types
+module Pattern = Soda_base.Pattern
+module Network = Soda_core.Network
+module Kernel = Soda_core.Kernel
+module Sodal = Soda_runtime.Sodal
+
+let reporter_pattern = Pattern.well_known 0o750
+
+(* Machine kinds of the heterogeneous pipeline. *)
+let kind_disk = 1  (* has the program text *)
+let kind_fpu = 2  (* fast arithmetic *)
+let kind_printer = 3  (* attached printer *)
+
+type summary = {
+  hops : (int * string) list;
+  result : string;
+  machines_freed : bool;
+}
+
+let stage_of_kind kind =
+  if kind = kind_disk then "compile"
+  else if kind = kind_fpu then "compute"
+  else "print"
+
+(* The migrating job: its core image is its serialized state — the stage
+   plan still ahead and the work log so far. *)
+let decode_state image = String.split_on_char ';' (Bytes.to_string image)
+
+let encode_state parts = Bytes.of_string (String.concat ";" parts)
+
+let decode_load_pattern b =
+  let v = ref 0 in
+  for i = 0 to 5 do
+    v := (!v lsl 8) lor Char.code (Bytes.get b i)
+  done;
+  Pattern.of_int !v
+
+(* Boot a free machine of [kind] with [image] and start it. *)
+let migrate_to env ~kind ~image =
+  match Sodal.discover_list env (Pattern.boot_pattern kind) ~max:8 with
+  | [] -> Error `No_free_machine
+  | mid :: _ ->
+    let boot = Pattern.boot_pattern kind in
+    let into = Bytes.create 6 in
+    let c = Sodal.b_get env (Sodal.server ~mid ~pattern:boot) ~arg:0 ~into in
+    if c.Sodal.status <> Sodal.Comp_ok then Error `Boot_refused
+    else begin
+      let load = decode_load_pattern into in
+      let sv = Sodal.server ~mid ~pattern:load in
+      let put = Sodal.b_put env sv ~arg:0 image in
+      if put.Sodal.status <> Sodal.Comp_ok then Error `Image_failed
+      else begin
+        let start = Sodal.b_signal env sv ~arg:0 in
+        if start.Sodal.status = Sodal.Comp_ok then Ok mid else Error `Start_failed
+      end
+    end
+
+let job_spec ~hops image =
+  let state = decode_state image in
+  {
+    Sodal.default_spec with
+    task =
+      (fun env ->
+        match state with
+        | plan :: log ->
+          let stages = if plan = "" then [] else String.split_on_char ',' plan in
+          (match stages with
+           | [] ->
+             (* Plan exhausted: deliver the work log to the reporter. *)
+             let reporter = Sodal.discover env reporter_pattern in
+             ignore
+               (Sodal.b_put env reporter ~arg:0
+                  (Bytes.of_string (String.concat ";" (List.rev log))));
+             Sodal.die env
+           | stage :: rest ->
+             let kind = int_of_string stage in
+             (* do this stage's work here, then move on *)
+             Sodal.compute env 50_000;
+             let entry = Printf.sprintf "%s@%d" (stage_of_kind kind) (Sodal.my_mid env) in
+             hops := (Sodal.my_mid env, stage_of_kind kind) :: !hops;
+             let image' = encode_state (String.concat "," rest :: (entry :: log)) in
+             (match
+                if rest = [] then
+                  (* final state: report, no further migration *)
+                  Ok (Sodal.my_mid env)
+                else migrate_to env ~kind:(int_of_string (List.hd rest)) ~image:image'
+              with
+              | Ok _ when rest <> [] -> Sodal.die env
+              | Ok _ ->
+                let reporter = Sodal.discover env reporter_pattern in
+                ignore
+                  (Sodal.b_put env reporter ~arg:0
+                     (Bytes.of_string (String.concat ";" (List.rev (entry :: log)))));
+                Sodal.die env
+              | Error _ -> Sodal.die env))
+        | [] -> Sodal.die env);
+  }
+
+let run ?(seed = 61) () =
+  let net = Network.create ~seed () in
+  let hops = ref [] in
+  (* three free machines of the three kinds, in scrambled mid order *)
+  let k_disk = Network.add_node ~boot_kinds:[ kind_disk ] net ~mid:3 in
+  let k_fpu = Network.add_node ~boot_kinds:[ kind_fpu ] net ~mid:1 in
+  let k_printer = Network.add_node ~boot_kinds:[ kind_printer ] net ~mid:4 in
+  List.iter
+    (fun kernel -> Sodal.bootable_dynamic kernel (fun ~parent:_ ~image -> job_spec ~hops image))
+    [ k_disk; k_fpu; k_printer ];
+  (* the reporter, plus the launcher that starts the pipeline *)
+  let k_reporter = Network.add_node net ~mid:0 in
+  let result = ref "" in
+  ignore
+    (Sodal.attach k_reporter
+       {
+         Sodal.default_spec with
+         init = (fun env ~parent:_ -> Sodal.advertise env reporter_pattern);
+         on_request =
+           (fun env info ->
+             let into = Bytes.create info.Sodal.put_size in
+             let _, got = Sodal.accept_current_put env ~arg:0 ~into in
+             result := Bytes.sub_string into 0 got);
+       });
+  let k_launcher = Network.add_node net ~mid:2 in
+  let freed = ref false in
+  ignore
+    (Sodal.attach k_launcher
+       {
+         Sodal.default_spec with
+         task =
+           (fun env ->
+             let plan = Printf.sprintf "%d,%d,%d" kind_disk kind_fpu kind_printer in
+             (* Launch: migrate "ourselves" onto the disk machine with the
+                whole plan as the state. *)
+             (match migrate_to env ~kind:kind_disk ~image:(encode_state [ plan ]) with
+              | Ok _ -> ()
+              | Error _ -> failwith "launch failed");
+             (* After the pipeline drains, the intermediate machines must
+                be bootable again. *)
+             Sodal.compute env 3_000_000;
+             let free_disk = Sodal.discover_list env (Pattern.boot_pattern kind_disk) ~max:4 in
+             let free_fpu = Sodal.discover_list env (Pattern.boot_pattern kind_fpu) ~max:4 in
+             freed := free_disk <> [] && free_fpu <> [];
+             Sodal.serve env);
+       });
+  ignore (Network.run ~until:600_000_000 net);
+  { hops = List.rev !hops; result = !result; machines_freed = !freed }
+
+let pp_summary ppf s =
+  Format.fprintf ppf "visited [%s]; reporter received %S; machines freed: %b"
+    (String.concat " -> " (List.map (fun (mid, st) -> Printf.sprintf "%s@%d" st mid) s.hops))
+    s.result s.machines_freed

@@ -1,0 +1,22 @@
+(** Process migration over the boot protocol (§6.2).
+
+    "A program may be compiled on a machine attached to a disk containing
+    the program text, then move to a high-speed processor to perform
+    numerical tasks, and ultimately migrate to a processor attached to a
+    printer to produce output."
+
+    The migrating job carries its state as the core image it PUTs onto the
+    next machine's LOAD pattern: discover a free machine of the right kind,
+    GET its load pattern, ship state, SIGNAL it to life, and DIE — at which
+    point the old machine's BOOT patterns re-advertise and it is free
+    again. A stationary reporter collects the finished result. *)
+
+type summary = {
+  hops : (int * string) list;  (** (mid, stage) actually visited, in order *)
+  result : string;  (** what the reporter received at the end *)
+  machines_freed : bool;  (** intermediate machines became bootable again *)
+}
+
+val run : ?seed:int -> unit -> summary
+
+val pp_summary : Format.formatter -> summary -> unit

@@ -1,0 +1,159 @@
+module Types = Soda_base.Types
+module Pattern = Soda_base.Pattern
+module Network = Soda_core.Network
+module Sodal = Soda_runtime.Sodal
+module Rng = Soda_sim.Rng
+
+let start_read = Pattern.well_known 0o401
+let start_write = Pattern.well_known 0o402
+let end_read = Pattern.well_known 0o403
+let end_write = Pattern.well_known 0o404
+
+type summary = {
+  reads : int;
+  writes : int;
+  max_concurrent_readers : int;
+  exclusion_violations : int;
+  writer_starved : bool;
+}
+
+(* Shared instrumentation: the "database" whose invariants we check. *)
+type db = {
+  mutable active_readers : int;
+  mutable active_writers : int;
+  mutable max_readers : int;
+  mutable violations : int;
+  mutable reads : int;
+  mutable writes : int;
+  mutable reader_entered_while_writer_waited : bool;
+}
+
+(* The moderator (§4.4.4): everything happens in the handler. *)
+let moderator_spec () =
+  let read_queue = Queue.create () in
+  let write_queue = Queue.create () in
+  let readcount = ref 0 in
+  let writecount = ref 0 in
+  {
+    Sodal.default_spec with
+    init =
+      (fun env ~parent:_ ->
+        List.iter (Sodal.advertise env) [ start_read; start_write; end_read; end_write ]);
+    on_request =
+      (fun env info ->
+        let pattern = info.Sodal.pattern in
+        if Pattern.equal pattern start_read then begin
+          (* Fairness: a queued writer blocks new readers. *)
+          if Queue.is_empty write_queue && !writecount = 0 then begin
+            incr readcount;
+            ignore (Sodal.accept_current_signal env ~arg:0)
+          end
+          else Queue.push info.Sodal.asker read_queue
+        end
+        else if Pattern.equal pattern start_write then begin
+          if !readcount = 0 && !writecount = 0 then begin
+            incr writecount;
+            ignore (Sodal.accept_current_signal env ~arg:0)
+          end
+          else Queue.push info.Sodal.asker write_queue
+        end
+        else if Pattern.equal pattern end_read then begin
+          ignore (Sodal.accept_current_signal env ~arg:0);
+          decr readcount;
+          if !readcount = 0 && not (Queue.is_empty write_queue) then begin
+            incr writecount;
+            ignore (Sodal.accept_signal env (Queue.pop write_queue) ~arg:0)
+          end
+        end
+        else if Pattern.equal pattern end_write then begin
+          ignore (Sodal.accept_current_signal env ~arg:0);
+          decr writecount;
+          if not (Queue.is_empty read_queue) then begin
+            (* admit every reader that accumulated during the write *)
+            while not (Queue.is_empty read_queue) do
+              incr readcount;
+              ignore (Sodal.accept_signal env (Queue.pop read_queue) ~arg:0)
+            done
+          end
+          else if not (Queue.is_empty write_queue) then begin
+            incr writecount;
+            ignore (Sodal.accept_signal env (Queue.pop write_queue) ~arg:0)
+          end
+        end);
+  }
+
+let reader_spec ~moderator ~db ~rng ~operations =
+  {
+    Sodal.default_spec with
+    task =
+      (fun env ->
+        for _ = 1 to operations do
+          Sodal.compute env (Rng.int rng 30_000);
+          ignore (Sodal.b_signal env (Sodal.server ~mid:moderator ~pattern:start_read) ~arg:0);
+          db.active_readers <- db.active_readers + 1;
+          db.max_readers <- max db.max_readers db.active_readers;
+          if db.active_writers > 0 then db.violations <- db.violations + 1;
+          Sodal.compute env (5_000 + Rng.int rng 15_000);
+          db.reads <- db.reads + 1;
+          db.active_readers <- db.active_readers - 1;
+          ignore (Sodal.b_signal env (Sodal.server ~mid:moderator ~pattern:end_read) ~arg:0)
+        done);
+  }
+
+let writer_spec ~moderator ~db ~rng ~operations =
+  {
+    Sodal.default_spec with
+    task =
+      (fun env ->
+        for _ = 1 to operations do
+          Sodal.compute env (Rng.int rng 60_000);
+          ignore (Sodal.b_signal env (Sodal.server ~mid:moderator ~pattern:start_write) ~arg:0);
+          db.active_writers <- db.active_writers + 1;
+          if db.active_readers > 0 || db.active_writers > 1 then
+            db.violations <- db.violations + 1;
+          Sodal.compute env (8_000 + Rng.int rng 12_000);
+          db.writes <- db.writes + 1;
+          db.active_writers <- db.active_writers - 1;
+          ignore (Sodal.b_signal env (Sodal.server ~mid:moderator ~pattern:end_write) ~arg:0)
+        done);
+  }
+
+let run ?(seed = 41) ?(readers = 4) ?(writers = 2) ?(operations = 12) () =
+  let net = Network.create ~seed () in
+  let moderator_kernel = Network.add_node net ~mid:0 in
+  ignore (Sodal.attach moderator_kernel (moderator_spec ()));
+  let db =
+    {
+      active_readers = 0;
+      active_writers = 0;
+      max_readers = 0;
+      violations = 0;
+      reads = 0;
+      writes = 0;
+      reader_entered_while_writer_waited = false;
+    }
+  in
+  let rng = Rng.create ~seed in
+  for i = 1 to readers do
+    let kernel = Network.add_node net ~mid:i in
+    ignore
+      (Sodal.attach kernel (reader_spec ~moderator:0 ~db ~rng:(Rng.split rng) ~operations))
+  done;
+  for i = 1 to writers do
+    let kernel = Network.add_node net ~mid:(readers + i) in
+    ignore
+      (Sodal.attach kernel (writer_spec ~moderator:0 ~db ~rng:(Rng.split rng) ~operations))
+  done;
+  ignore (Network.run ~until:600_000_000 net);
+  {
+    reads = db.reads;
+    writes = db.writes;
+    max_concurrent_readers = db.max_readers;
+    exclusion_violations = db.violations;
+    writer_starved = db.reader_entered_while_writer_waited;
+  }
+
+let pp_summary ppf (s : summary) =
+  Format.fprintf ppf
+    "%d reads (max %d concurrent), %d writes, %d exclusion violations, writer starvation: %b"
+    s.reads s.max_concurrent_readers s.writes s.exclusion_violations s.writer_starved

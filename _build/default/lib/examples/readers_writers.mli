@@ -1,0 +1,22 @@
+(** Concurrent readers and writers (§4.4.4).
+
+    A moderator client arbitrates access to a database with the classic
+    fairness policy: readers share, writers exclude everyone, a pending
+    write blocks new reads, and readers accumulated during a write are all
+    admitted before the next write. All four operations (START_READ,
+    START_WRITE, END_READ, END_WRITE) are SIGNALs handled entirely in the
+    moderator's handler — the task never runs, showing SODA's flexible
+    accept scheduling (§6.7). *)
+
+type summary = {
+  reads : int;
+  writes : int;
+  max_concurrent_readers : int;
+  exclusion_violations : int;  (** reader+writer or writer+writer overlap *)
+  writer_starved : bool;  (** a writer waited while new readers kept entering *)
+}
+
+val run :
+  ?seed:int -> ?readers:int -> ?writers:int -> ?operations:int -> unit -> summary
+
+val pp_summary : Format.formatter -> summary -> unit

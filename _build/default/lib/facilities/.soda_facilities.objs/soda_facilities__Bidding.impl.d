@@ -1,0 +1,1 @@
+lib/facilities/bidding.ml: Bytes Char List Option Soda_base Soda_runtime

@@ -1,0 +1,1 @@
+lib/facilities/bidding.mli: Soda_base Soda_runtime

@@ -1,0 +1,1 @@
+lib/facilities/connector.ml: Buffer Bytes Char Hashtbl List Printf Soda_base Soda_core Soda_runtime String

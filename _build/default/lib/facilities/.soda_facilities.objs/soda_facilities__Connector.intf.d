@@ -1,0 +1,1 @@
+lib/facilities/connector.mli: Soda_base Soda_core Soda_runtime

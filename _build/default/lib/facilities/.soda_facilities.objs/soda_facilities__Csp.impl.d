@@ -1,0 +1,1 @@
+lib/facilities/csp.ml: Array Bytes List Soda_base Soda_runtime

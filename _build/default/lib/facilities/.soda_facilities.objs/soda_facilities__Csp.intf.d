@@ -1,0 +1,1 @@
+lib/facilities/csp.mli: Soda_base Soda_runtime

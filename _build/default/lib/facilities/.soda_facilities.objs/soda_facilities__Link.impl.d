@@ -1,0 +1,1 @@
+lib/facilities/link.ml: Bytes Char Hashtbl List Soda_base Soda_runtime

@@ -1,0 +1,1 @@
+lib/facilities/link.mli: Soda_base Soda_runtime

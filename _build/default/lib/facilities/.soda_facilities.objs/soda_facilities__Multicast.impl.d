@@ -1,0 +1,1 @@
+lib/facilities/multicast.ml: List Soda_base Soda_core Soda_runtime

@@ -1,0 +1,1 @@
+lib/facilities/multicast.mli: Soda_base Soda_runtime

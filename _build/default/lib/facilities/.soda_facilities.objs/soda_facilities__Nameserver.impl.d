@@ -1,0 +1,1 @@
+lib/facilities/nameserver.ml: Buffer Bytes Char Hashtbl List Soda_base Soda_runtime String

@@ -1,0 +1,1 @@
+lib/facilities/nameserver.mli: Soda_base Soda_runtime

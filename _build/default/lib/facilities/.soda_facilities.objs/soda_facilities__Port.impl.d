@@ -1,0 +1,1 @@
+lib/facilities/port.ml: Bytes List Soda_base Soda_runtime

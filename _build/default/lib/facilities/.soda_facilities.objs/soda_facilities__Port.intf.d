@@ -1,0 +1,1 @@
+lib/facilities/port.mli: Soda_base Soda_runtime

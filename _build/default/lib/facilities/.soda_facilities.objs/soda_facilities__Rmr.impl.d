@@ -1,0 +1,1 @@
+lib/facilities/rmr.ml: Bytes Char Soda_base Soda_runtime

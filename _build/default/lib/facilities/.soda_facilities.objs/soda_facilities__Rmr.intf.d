@@ -1,0 +1,1 @@
+lib/facilities/rmr.mli: Soda_base Soda_runtime

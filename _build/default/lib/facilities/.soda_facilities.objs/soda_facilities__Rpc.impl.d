@@ -1,0 +1,1 @@
+lib/facilities/rpc.ml: Bytes Hashtbl List Queue Soda_base Soda_runtime

@@ -1,0 +1,1 @@
+lib/facilities/rpc.mli: Soda_base Soda_runtime

@@ -1,0 +1,1 @@
+lib/facilities/stream.ml: Bytes Hashtbl List Soda_base Soda_core Soda_runtime

@@ -1,0 +1,1 @@
+lib/facilities/stream.mli: Soda_base Soda_runtime

@@ -1,0 +1,1 @@
+lib/facilities/timeserver.ml: List Soda_base Soda_runtime

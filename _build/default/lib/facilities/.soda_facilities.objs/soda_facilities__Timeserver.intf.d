@@ -1,0 +1,1 @@
+lib/facilities/timeserver.mli: Soda_base Soda_runtime

@@ -1,0 +1,58 @@
+module Types = Soda_base.Types
+module Pattern = Soda_base.Pattern
+module Sodal = Soda_runtime.Sodal
+
+(* The bid entry reuses the service pattern's bits with a distinguishing
+   tag in the upper name field, keeping the pairing deterministic for both
+   sides without a registry. *)
+let bid_tag = 0x2A lsl 32
+
+let bid_pattern pattern =
+  let base = Pattern.to_int pattern land ((1 lsl 32) - 1) in
+  if Pattern.is_reserved pattern then invalid_arg "Bidding.bid_pattern: reserved pattern";
+  Pattern.well_known (bid_tag lor base)
+
+let encode_load load =
+  let b = Bytes.create 4 in
+  for i = 0 to 3 do
+    Bytes.set b i (Char.chr ((load lsr (8 * (3 - i))) land 0xFF))
+  done;
+  b
+
+let decode_load b =
+  if Bytes.length b < 4 then None
+  else begin
+    let v = ref 0 in
+    for i = 0 to 3 do
+      v := (!v lsl 8) lor Char.code (Bytes.get b i)
+    done;
+    Some !v
+  end
+
+let serve_bids env ~pattern ~load =
+  Sodal.advertise env pattern;
+  let bids = bid_pattern pattern in
+  Sodal.advertise env bids;
+  fun env info ->
+    if Pattern.equal info.Sodal.pattern bids then begin
+      ignore (Sodal.accept_current_get env ~arg:0 ~data:(encode_load (load ())));
+      true
+    end
+    else false
+
+let select env ~pattern ?(max_bidders = 16) () =
+  let bids = bid_pattern pattern in
+  let candidates = Sodal.discover_list env pattern ~max:max_bidders in
+  let best = ref None in
+  List.iter
+    (fun mid ->
+      let into = Bytes.create 4 in
+      let c = Sodal.b_get env (Sodal.server ~mid ~pattern:bids) ~arg:0 ~into in
+      match c.Sodal.status, decode_load into with
+      | Sodal.Comp_ok, Some load ->
+        (match !best with
+         | Some (_, best_load) when best_load <= load -> ()
+         | _ -> best := Some (mid, load))
+      | _, _ -> ())
+    candidates;
+  Option.map (fun (mid, load) -> (Sodal.server ~mid ~pattern, load)) !best

@@ -1,0 +1,215 @@
+module Types = Soda_base.Types
+module Pattern = Soda_base.Pattern
+module Sodal = Soda_runtime.Sodal
+module Kernel = Soda_core.Kernel
+
+type program = resolve:(string -> Types.server_signature) -> Sodal.spec
+
+type registry = (string, program) Hashtbl.t
+
+type instance = { instance : string; module_name : string; boot_kind : int }
+
+exception Deploy_failure of string
+
+let setup_pattern = Pattern.well_known 0o6060
+
+let create_registry () = Hashtbl.create 8
+
+let define registry ~name program = Hashtbl.replace registry name program
+
+(* ---- wiring message codec ---------------------------------------------- *)
+(* record := role(1) name_len(1) name mid(2) pattern(6); message := count(1) records *)
+
+let encode_wiring records =
+  let buf = Buffer.create 64 in
+  Buffer.add_char buf (Char.chr (List.length records));
+  List.iter
+    (fun (role, name, mid, pattern) ->
+      Buffer.add_char buf (Char.chr role);
+      Buffer.add_char buf (Char.chr (String.length name));
+      Buffer.add_string buf name;
+      Buffer.add_char buf (Char.chr ((mid lsr 8) land 0xFF));
+      Buffer.add_char buf (Char.chr (mid land 0xFF));
+      let v = Pattern.to_int pattern in
+      for i = 0 to 5 do
+        Buffer.add_char buf (Char.chr ((v lsr (8 * (5 - i))) land 0xFF))
+      done)
+    records;
+  Buffer.to_bytes buf
+
+let decode_wiring b =
+  try
+    let pos = ref 0 in
+    let u8 () =
+      let v = Char.code (Bytes.get b !pos) in
+      incr pos;
+      v
+    in
+    let count = u8 () in
+    let records =
+      List.init count (fun _ ->
+          let role = u8 () in
+          let len = u8 () in
+          let name = Bytes.sub_string b !pos len in
+          pos := !pos + len;
+          (* sequence the reads: OCaml evaluates operands right-to-left *)
+          let hi = u8 () in
+          let lo = u8 () in
+          let mid = (hi lsl 8) lor lo in
+          let v = ref 0 in
+          for _ = 0 to 5 do
+            v := (!v lsl 8) lor u8 ()
+          done;
+          (role, name, mid, Pattern.of_int !v))
+    in
+    Some records
+  with Invalid_argument _ -> None
+
+(* ---- loader ---------------------------------------------------------------- *)
+
+(* The loader interposes on the user spec: its handler forwards to the user
+   handler once wiring is installed; its task blocks until then. *)
+let make_bootable registry kernel =
+  Sodal.bootable_dynamic kernel (fun ~parent:_ ~image ->
+      let module_name = Bytes.to_string image in
+      let wiring : (string, Types.server_signature) Hashtbl.t = Hashtbl.create 4 in
+      let user_spec = ref None in
+      let started = ref false in
+      let resolve name =
+        match Hashtbl.find_opt wiring name with
+        | Some signature -> signature
+        | None -> raise (Sodal.Sodal_error ("connector: no wiring for " ^ name))
+      in
+      let loader_spec =
+        {
+          Sodal.init = (fun env ~parent:_ -> Sodal.advertise env setup_pattern);
+          on_request =
+            (fun env info ->
+              if (not !started) && Pattern.equal info.Sodal.pattern setup_pattern then begin
+                let into = Bytes.create info.Sodal.put_size in
+                let status, got = Sodal.accept_current_put env ~arg:0 ~into in
+                match status with
+                | Types.Accept_success ->
+                  (match decode_wiring (Bytes.sub into 0 got) with
+                   | Some records ->
+                     List.iter
+                       (fun (role, name, mid, pattern) ->
+                         if role = 0 then
+                           (* We are the server end: advertise now, before
+                              the connector releases our clients. *)
+                           Sodal.advertise env pattern
+                         else
+                           Hashtbl.replace wiring name
+                             { Types.sv_mid = Types.Mid mid; sv_pattern = pattern })
+                       records;
+                     (match Hashtbl.find_opt registry module_name with
+                      | Some program ->
+                        let spec = program ~resolve in
+                        user_spec := Some spec;
+                        spec.Sodal.init env ~parent:0
+                      | None -> ());
+                     Sodal.unadvertise env setup_pattern;
+                     started := true
+                   | None -> ())
+                | Types.Accept_cancelled | Types.Accept_crashed -> ()
+              end
+              else begin
+                match !user_spec with
+                | Some spec when !started -> spec.Sodal.on_request env info
+                | Some _ | None -> Sodal.reject env
+              end);
+          on_completion =
+            (fun env info ->
+              match !user_spec with
+              | Some spec when !started -> spec.Sodal.on_completion env info
+              | Some _ | None -> ());
+          task =
+            (fun env ->
+              while not !started do
+                Sodal.compute env 2_000
+              done;
+              match !user_spec with
+              | Some spec -> spec.Sodal.task env
+              | None -> raise (Sodal.Sodal_error ("connector: unknown module " ^ module_name)));
+        }
+      in
+      loader_spec)
+
+(* ---- deploy ------------------------------------------------------------------ *)
+
+let decode_load_pattern b =
+  let v = ref 0 in
+  for i = 0 to 5 do
+    v := (!v lsl 8) lor Char.code (Bytes.get b i)
+  done;
+  Pattern.of_int !v
+
+let boot_one env ~mid ~kind ~module_name =
+  let boot = Pattern.boot_pattern kind in
+  let into = Bytes.create 6 in
+  let c = Sodal.b_get env (Sodal.server ~mid ~pattern:boot) ~arg:0 ~into in
+  if c.Sodal.status <> Sodal.Comp_ok then
+    raise (Deploy_failure (Printf.sprintf "machine %d refused boot" mid));
+  let load = decode_load_pattern into in
+  let sv = Sodal.server ~mid ~pattern:load in
+  let put = Sodal.b_put env sv ~arg:0 (Bytes.of_string module_name) in
+  if put.Sodal.status <> Sodal.Comp_ok then
+    raise (Deploy_failure (Printf.sprintf "image transfer to %d failed" mid));
+  let start = Sodal.b_signal env sv ~arg:0 in
+  if start.Sodal.status <> Sodal.Comp_ok then
+    raise (Deploy_failure (Printf.sprintf "start signal to %d failed" mid))
+
+let deploy env instances ~wiring =
+  (* 1. allocate distinct free machines per boot kind *)
+  let used = ref [] in
+  let placement =
+    List.map
+      (fun inst ->
+        let free = Sodal.discover_list env (Pattern.boot_pattern inst.boot_kind) ~max:32 in
+        match List.find_opt (fun m -> not (List.mem m !used)) free with
+        | Some mid ->
+          used := mid :: !used;
+          (inst, mid)
+        | None -> raise (Deploy_failure ("no free machine for " ^ inst.instance)))
+      instances
+  in
+  let mid_of name =
+    match List.find_opt (fun (i, _) -> i.instance = name) placement with
+    | Some (_, mid) -> mid
+    | None -> raise (Deploy_failure ("wiring names unknown instance " ^ name))
+  in
+  (* 2. boot every instance *)
+  List.iter (fun (inst, mid) -> boot_one env ~mid ~kind:inst.boot_kind ~module_name:inst.module_name) placement;
+  (* 3. mint one pattern per connection *)
+  let connections =
+    List.map
+      (fun (client, server) ->
+        let pattern = Sodal.getuniqueid env in
+        (client, server, pattern))
+      wiring
+  in
+  let records_for name =
+    List.concat_map
+      (fun (client, server, pattern) ->
+        if server = name then [ (0, client, mid_of client, pattern) ]
+        else if client = name then [ (1, server, mid_of server, pattern) ]
+        else [])
+      connections
+  in
+  (* 4. deliver wiring, server roles first so patterns are advertised
+        before any client starts talking *)
+  let is_server name = List.exists (fun (_, s, _) -> s = name) connections in
+  let ordered =
+    List.stable_sort
+      (fun (a, _) (b, _) ->
+        compare (not (is_server a.instance)) (not (is_server b.instance)))
+      placement
+  in
+  List.iter
+    (fun (inst, mid) ->
+      let payload = encode_wiring (records_for inst.instance) in
+      let c = Sodal.b_put env (Sodal.server ~mid ~pattern:setup_pattern) ~arg:0 payload in
+      if c.Sodal.status <> Sodal.Comp_ok then
+        raise (Deploy_failure ("wiring delivery to " ^ inst.instance ^ " failed")))
+    ordered;
+  List.map (fun (inst, mid) -> (inst.instance, mid)) placement

@@ -1,0 +1,46 @@
+(** The connector (§4.3.1): a loosely-coupling linkage editor.
+
+    A connector boots a set of modules onto free machines and establishes
+    communication paths between them: for each connection it mints a fresh
+    pattern with GETUNIQUEID, tells the server instance to advertise it,
+    and tells the client instance the full <mid, pattern> signature —
+    load-time interconnection, exactly as the paper's example ("Connector
+    has loaded client C1 on machine M1 ...").
+
+    Mechanically, every free machine registers the same {e loader} boot
+    program; the "core image" shipped over the LOAD pattern names which
+    module from the {!registry} to run. After the SIGNAL that starts the
+    client, the connector PUTs a wiring message to the loader's setup
+    entry; only then does the user program run, with its [resolve]
+    function bound. *)
+
+module Types = Soda_base.Types
+module Sodal = Soda_runtime.Sodal
+
+type registry
+
+(** A module's program: [resolve] maps a connected instance name to the
+    SERVER SIGNATURE to reach it (only names wired as this instance's
+    servers resolve). *)
+type program = resolve:(string -> Types.server_signature) -> Sodal.spec
+
+val create_registry : unit -> registry
+
+(** [define registry ~name program] makes [name] loadable. *)
+val define : registry -> name:string -> program -> unit
+
+(** [make_bootable registry kernel] installs the loader on a free node. *)
+val make_bootable : registry -> Soda_core.Kernel.t -> unit
+
+(** One instance to deploy: [(instance_name, module_name, boot_kind)]. *)
+type instance = { instance : string; module_name : string; boot_kind : int }
+
+exception Deploy_failure of string
+
+(** [deploy env instances ~wiring] boots every instance on a distinct free
+    machine and wires each [(client, server)] pair: afterwards, [client]'s
+    [resolve server] names a pattern advertised by [server]. Returns the
+    instance -> mid placement.
+    @raise Deploy_failure when machines run out or a boot step fails. *)
+val deploy :
+  Sodal.env -> instance list -> wiring:(string * string) list -> (string * int) list

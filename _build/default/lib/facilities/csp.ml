@@ -1,0 +1,178 @@
+module Types = Soda_base.Types
+module Pattern = Soda_base.Pattern
+module Sodal = Soda_runtime.Sodal
+
+let csp_name = Pattern.well_known 0o5050
+
+type guard =
+  | Output of { peer : int; chan : int; data : bytes }
+  | Input of { peer : int option; chan : int }
+
+type outcome = { index : int; peer : int; data : bytes }
+
+type state = Active | Querying | Waiting
+
+type parked = { p_asker : Types.requester_signature; p_chan : int; p_size : int }
+
+type process = {
+  mutable state : state;
+  mutable query_pending : bool;
+  mutable delayed : parked list;  (* reverse arrival order *)
+  mutable matched : outcome option;
+  mutable inputs : (int * guard) list;  (* (guard index, Input _) of the live alternative *)
+}
+
+let input_match process ~src ~chan =
+  List.find_opt
+    (fun (_, g) ->
+      match g with
+      | Input { peer; chan = c } -> c = chan && (peer = None || peer = Some src)
+      | Output _ -> false)
+    process.inputs
+
+(* Accept a (possibly parked) incoming output command, completing one of
+   our input guards. Runs in handler or task context. *)
+let accept_incoming env process ~asker ~size ~guard_index =
+  let into = Bytes.create size in
+  let status, got = Sodal.accept_put env asker ~arg:0 ~into in
+  match status with
+  | Types.Accept_success ->
+    process.matched <-
+      Some { index = guard_index; peer = asker.Types.rq_mid; data = Bytes.sub into 0 got };
+    process.state <- Active;
+    process.inputs <- [];
+    true
+  | Types.Accept_cancelled | Types.Accept_crashed -> false
+
+let make ~task =
+  let process =
+    { state = Active; query_pending = false; delayed = []; matched = None; inputs = [] }
+  in
+  let spec =
+    {
+      Sodal.default_spec with
+      Sodal.init = (fun env ~parent:_ -> Sodal.advertise env csp_name);
+      on_request =
+        (fun env info ->
+          let src = info.Sodal.asker.Types.rq_mid in
+          let chan = info.Sodal.arg in
+          match process.state, input_match process ~src ~chan with
+          | Waiting, Some (guard_index, _) ->
+            ignore
+              (accept_incoming env process ~asker:info.Sodal.asker
+                 ~size:info.Sodal.put_size ~guard_index)
+          | Querying, Some _
+            when process.query_pending && Sodal.my_mid env > src ->
+            (* Both of us are querying; the higher mid delays the lower
+               (Bernstein's tie-break). *)
+            process.delayed <-
+              { p_asker = info.Sodal.asker; p_chan = chan; p_size = info.Sodal.put_size }
+              :: process.delayed
+          | (Active | Querying | Waiting), _ ->
+            (* No match, or we are mid-query with a lower mid: REJECT; the
+               peer will retry or pair elsewhere. *)
+            Sodal.reject env);
+      task = (fun env -> task env process);
+    }
+  in
+  (process, spec)
+
+let flush_delayed env process =
+  let parked = process.delayed in
+  process.delayed <- [];
+  List.iter (fun p -> Sodal.reject_request env p.p_asker) parked
+
+(* Try to complete one parked query against the current input guards. *)
+let try_delayed env process =
+  let rec scan = function
+    | [] -> false
+    | parked :: rest ->
+      (match input_match process ~src:parked.p_asker.Types.rq_mid ~chan:parked.p_chan with
+       | Some (guard_index, _) ->
+         process.delayed <- List.filter (fun p -> p != parked) process.delayed;
+         if
+           accept_incoming env process ~asker:parked.p_asker ~size:parked.p_size
+             ~guard_index
+         then true
+         else scan rest
+       | None -> scan rest)
+  in
+  scan (List.rev process.delayed)
+
+let wait_interval_us = 15_000
+
+let select env process guards =
+  let indexed = List.mapi (fun i g -> (i, g)) guards in
+  let dead = Array.make (List.length guards) false in
+  process.matched <- None;
+  process.inputs <-
+    List.filter (fun (_, g) -> match g with Input _ -> true | Output _ -> false) indexed;
+  let outputs () =
+    List.filter
+      (fun (i, g) -> match g with Output _ -> not dead.(i) | Input _ -> false)
+      indexed
+  in
+  let finish result =
+    process.state <- Active;
+    process.inputs <- [];
+    process.query_pending <- false;
+    flush_delayed env process;
+    result
+  in
+  let rec round () =
+    if process.matched <> None then finish process.matched
+    else begin
+      process.state <- Querying;
+      let rec try_outputs = function
+        | [] -> None
+        | (i, Output { peer; chan; data }) :: rest ->
+          process.query_pending <- true;
+          let c = Sodal.b_put env (Sodal.server ~mid:peer ~pattern:csp_name) ~arg:chan data in
+          process.query_pending <- false;
+          (match c.Sodal.status with
+           | Sodal.Comp_ok -> Some { index = i; peer; data = Bytes.empty }
+           | Sodal.Comp_crashed | Sodal.Comp_unadvertised ->
+             (* CSP: a guard whose named process has terminated fails. *)
+             dead.(i) <- true;
+             try_outputs rest
+           | Sodal.Comp_rejected ->
+             (* The peer could not take us now. Give a parked lower-mid
+                query its chance, which may complete one of our inputs. *)
+             if process.matched = None && try_delayed env process then None
+             else try_outputs rest)
+        | (_, Input _) :: rest -> try_outputs rest
+      in
+      match try_outputs (outputs ()) with
+      | Some outcome -> finish (Some outcome)
+      | None ->
+        if process.matched <> None then finish process.matched
+        else begin
+          let live_outputs = outputs () <> [] in
+          let live_inputs = process.inputs <> [] in
+          if (not live_outputs) && not live_inputs then finish None
+          else begin
+            (* Nothing matched this round: become WAITING so incoming
+               queries can complete an input guard; re-query outputs after
+               a beat (the paper's processes are re-woken by new arrivals;
+               we also retry rejected outputs, which preserves safety). *)
+            process.state <- Waiting;
+            (match try_delayed env process with
+             | true -> ()
+             | false ->
+               let deadline = Sodal.now env + wait_interval_us in
+               while process.matched = None && Sodal.now env < deadline do
+                 Sodal.compute env 2_000
+               done);
+            round ()
+          end
+        end
+    end
+  in
+  round ()
+
+let output env process ~peer ~chan data =
+  match select env process [ Output { peer; chan; data } ] with
+  | Some _ -> true
+  | None -> false
+
+let input env process ?peer ~chan () = select env process [ Input { peer; chan } ]

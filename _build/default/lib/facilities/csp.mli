@@ -1,0 +1,45 @@
+(** CSP-style guarded communication with output guards, via Bernstein's
+    algorithm (§4.2.5.1).
+
+    Symmetric rendezvous is deadlock-prone: if two processes query each
+    other simultaneously and both block, nothing proceeds (figure
+    "Deadlock Danger in Symmetric Rendezvous"). Bernstein's algorithm
+    breaks the symmetry with machine-id ordering: a process that receives a
+    query while itself querying {e delays} the incoming query only when its
+    own mid is higher; otherwise it REJECTs, which unblocks the lower-mid
+    process and lets exactly one pairing win.
+
+    Each CSP process advertises the well-known name pattern; an output
+    command is a blocking PUT whose argument is the channel tag. *)
+
+module Types = Soda_base.Types
+module Sodal = Soda_runtime.Sodal
+
+type guard =
+  | Output of { peer : int; chan : int; data : bytes }
+      (** [peer ! data] on channel [chan] *)
+  | Input of { peer : int option; chan : int }
+      (** [peer ? x]; [None] accepts any sender on [chan] *)
+
+type outcome = {
+  index : int;  (** which guard fired *)
+  peer : int;
+  data : bytes;  (** received value for an [Input], empty for [Output] *)
+}
+
+type process
+
+(** [make ()] returns the process state and its client program. Run your
+    CSP code in [task]. *)
+val make : task:(Sodal.env -> process -> unit) -> process * Sodal.spec
+
+(** [select env p guards] evaluates an alternative command: blocks until
+    exactly one guard communicates, and returns it. Returns [None] when
+    every guard's peer has terminated (the CSP alternative fails). *)
+val select : Sodal.env -> process -> guard list -> outcome option
+
+(** Convenience: a lone output command [peer ! data]. *)
+val output : Sodal.env -> process -> peer:int -> chan:int -> bytes -> bool
+
+(** Convenience: a lone input command. *)
+val input : Sodal.env -> process -> ?peer:int -> chan:int -> unit -> outcome option

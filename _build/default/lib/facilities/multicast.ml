@@ -1,0 +1,50 @@
+module Types = Soda_base.Types
+module Sodal = Soda_runtime.Sodal
+module Cost = Soda_base.Cost_model
+module Kernel = Soda_core.Kernel
+
+type outcome = { mid : int; status : Sodal.comp_status; reply_arg : int }
+
+let transfer env ~group ~pattern ~arg payload =
+  let members = List.sort_uniq compare group in
+  let total = List.length members in
+  let maxrequests = (Kernel.cost (Sodal.kernel env)).Cost.maxrequests in
+  let window = max 1 (maxrequests - 1) in
+  let in_flight = ref 0 in
+  let outcomes = ref [] in
+  let launch mid =
+    let sv = Sodal.server ~mid ~pattern in
+    let tid =
+      match payload with
+      | Some data -> Sodal.put env sv ~arg data
+      | None -> Sodal.signal env sv ~arg
+    in
+    incr in_flight;
+    (* The collector runs in interrupt context: record and return; the idle
+       wait below is woken automatically. *)
+    Sodal.on_completion_of env tid (fun completion ->
+        decr in_flight;
+        outcomes :=
+          { mid; status = completion.Sodal.status; reply_arg = completion.Sodal.reply_arg }
+          :: !outcomes)
+  in
+  List.iter
+    (fun mid ->
+      while !in_flight >= window do
+        Sodal.idle env
+      done;
+      launch mid)
+    members;
+  while List.length !outcomes < total do
+    Sodal.idle env
+  done;
+  (* stable member order *)
+  List.map (fun mid -> List.find (fun o -> o.mid = mid) !outcomes) members
+
+let put env ~group ~pattern ?(arg = 0) data = transfer env ~group ~pattern ~arg (Some data)
+
+let signal env ~group ~pattern ?(arg = 0) () = transfer env ~group ~pattern ~arg None
+
+let put_discovered env ~pattern ?(arg = 0) ?(max_group = 32) data =
+  let group = Sodal.discover_list env pattern ~max:max_group in
+  put env ~group ~pattern ~arg data

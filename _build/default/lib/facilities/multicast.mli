@@ -1,0 +1,34 @@
+(** Reliable multicast as a library (§6.17.1).
+
+    SODA deliberately has no reliable-broadcast primitive: "if a client
+    wishes to send a message reliably to several sites in a group, it must
+    issue a separate REQUEST to each site". This module packages that —
+    the requests go out concurrently (non-blocking REQUESTs, bounded by
+    MAXREQUESTS) and the caller gets a per-member outcome. *)
+
+module Types = Soda_base.Types
+module Sodal = Soda_runtime.Sodal
+
+type outcome = {
+  mid : int;
+  status : Sodal.comp_status;
+  reply_arg : int;
+}
+
+(** [put env ~group ~pattern data] reliably delivers [data] to every
+    machine in [group]; blocks until every member has completed (or
+    failed). At most MAXREQUESTS transfers are in flight at a time. *)
+val put :
+  Sodal.env -> group:int list -> pattern:Soda_base.Pattern.t -> ?arg:int -> bytes ->
+  outcome list
+
+(** [signal env ~group ~pattern] — dataless variant. *)
+val signal :
+  Sodal.env -> group:int list -> pattern:Soda_base.Pattern.t -> ?arg:int -> unit ->
+  outcome list
+
+(** [put_discovered env ~pattern data] multicasts to every current
+    advertiser of [pattern] (one DISCOVER round). *)
+val put_discovered :
+  Sodal.env -> pattern:Soda_base.Pattern.t -> ?arg:int -> ?max_group:int -> bytes ->
+  outcome list

@@ -1,0 +1,201 @@
+module Types = Soda_base.Types
+module Pattern = Soda_base.Pattern
+module Sodal = Soda_runtime.Sodal
+
+let switchboard_pattern = Pattern.well_known 0o7070
+
+type error = Not_found | Already_registered | Unreachable
+
+(* Operations, carried in the REQUEST argument. SODA offers no way to
+   inspect a request's data before ACCEPTing it (§3.3.2 rule 2), so query
+   operations are two-phase: a PUT carrying the question, then a GET (+100)
+   fetching the remembered answer. *)
+let op_register = 1
+let op_unregister = 2
+let op_lookup = 3
+let op_list = 4
+let op_fetch = 100  (* added to the query op for the follow-up GET *)
+
+(* request payload: name_len(1) name [mid(2) pattern(6)] *)
+
+let encode_request ~name ?signature () =
+  let buf = Buffer.create 32 in
+  Buffer.add_char buf (Char.chr (String.length name land 0xFF));
+  Buffer.add_string buf name;
+  (match signature with
+   | Some { Types.sv_mid = Types.Mid mid; sv_pattern } ->
+     Buffer.add_char buf (Char.chr ((mid lsr 8) land 0xFF));
+     Buffer.add_char buf (Char.chr (mid land 0xFF));
+     let v = Pattern.to_int sv_pattern in
+     for i = 0 to 5 do
+       Buffer.add_char buf (Char.chr ((v lsr (8 * (5 - i))) land 0xFF))
+     done
+   | Some { Types.sv_mid = Types.Broadcast_mid; _ } ->
+     invalid_arg "Nameserver: cannot register a broadcast signature"
+   | None -> ());
+  Buffer.to_bytes buf
+
+let decode_request b =
+  try
+    let len = Char.code (Bytes.get b 0) in
+    let name = Bytes.sub_string b 1 len in
+    if Bytes.length b >= 1 + len + 8 then begin
+      let at = 1 + len in
+      let mid = (Char.code (Bytes.get b at) lsl 8) lor Char.code (Bytes.get b (at + 1)) in
+      let v = ref 0 in
+      for i = 0 to 5 do
+        v := (!v lsl 8) lor Char.code (Bytes.get b (at + 2 + i))
+      done;
+      Some (name, Some { Types.sv_mid = Types.Mid mid; sv_pattern = Pattern.of_int !v })
+    end
+    else Some (name, None)
+  with Invalid_argument _ -> None
+
+let encode_signature { Types.sv_mid; sv_pattern } =
+  let mid = match sv_mid with Types.Mid m -> m | Types.Broadcast_mid -> 0xFFFF in
+  let b = Bytes.create 8 in
+  Bytes.set b 0 (Char.chr ((mid lsr 8) land 0xFF));
+  Bytes.set b 1 (Char.chr (mid land 0xFF));
+  let v = Pattern.to_int sv_pattern in
+  for i = 0 to 5 do
+    Bytes.set b (2 + i) (Char.chr ((v lsr (8 * (5 - i))) land 0xFF))
+  done;
+  b
+
+let decode_signature b =
+  if Bytes.length b < 8 then None
+  else begin
+    let mid = (Char.code (Bytes.get b 0) lsl 8) lor Char.code (Bytes.get b 1) in
+    let v = ref 0 in
+    for i = 0 to 5 do
+      v := (!v lsl 8) lor Char.code (Bytes.get b (2 + i))
+    done;
+    match Pattern.of_int !v with
+    | p -> Some { Types.sv_mid = Types.Mid mid; sv_pattern = p }
+    | exception Invalid_argument _ -> None
+  end
+
+let has_prefix ~prefix name =
+  String.length name >= String.length prefix
+  && String.sub name 0 (String.length prefix) = prefix
+
+(* ---- server ---------------------------------------------------------------- *)
+
+let spec () =
+  let table : (string, Types.server_signature) Hashtbl.t = Hashtbl.create 32 in
+  (* Per-requester remembered answers for the two-phase queries. *)
+  let pending_lookup : (int, Types.server_signature option) Hashtbl.t = Hashtbl.create 8 in
+  let pending_list : (int, string) Hashtbl.t = Hashtbl.create 8 in
+  let receive_request env info =
+    let into = Bytes.create (max info.Sodal.put_size 1) in
+    let status, got = Sodal.accept_current_put env ~arg:0 ~into in
+    match status with
+    | Types.Accept_success -> decode_request (Bytes.sub into 0 got)
+    | Types.Accept_cancelled | Types.Accept_crashed -> None
+  in
+  {
+    Sodal.default_spec with
+    init = (fun env ~parent:_ -> Sodal.advertise env switchboard_pattern);
+    on_request =
+      (fun env info ->
+        let asker = info.Sodal.asker.Types.rq_mid in
+        let op = info.Sodal.arg in
+        if op = op_register then begin
+          match receive_request env info with
+          | Some (name, Some signature) when not (Hashtbl.mem table name) ->
+            Hashtbl.replace table name signature
+          | Some _ | None -> ()
+        end
+        else if op = op_unregister then begin
+          match receive_request env info with
+          | Some (name, _) -> Hashtbl.remove table name
+          | None -> ()
+        end
+        else if op = op_lookup then begin
+          match receive_request env info with
+          | Some (name, _) -> Hashtbl.replace pending_lookup asker (Hashtbl.find_opt table name)
+          | None -> ()
+        end
+        else if op = op_list then begin
+          match receive_request env info with
+          | Some (prefix, _) ->
+            let names =
+              Hashtbl.fold
+                (fun name _ acc -> if has_prefix ~prefix name then name :: acc else acc)
+                table []
+              |> List.sort compare
+            in
+            Hashtbl.replace pending_list asker (String.concat "\n" names)
+          | None -> ()
+        end
+        else if op = op_lookup + op_fetch then begin
+          match Hashtbl.find_opt pending_lookup asker with
+          | Some (Some signature) ->
+            Hashtbl.remove pending_lookup asker;
+            ignore (Sodal.accept_current_get env ~arg:0 ~data:(encode_signature signature))
+          | Some None ->
+            Hashtbl.remove pending_lookup asker;
+            Sodal.reject env
+          | None -> Sodal.reject env
+        end
+        else if op = op_list + op_fetch then begin
+          match Hashtbl.find_opt pending_list asker with
+          | Some listing ->
+            Hashtbl.remove pending_list asker;
+            ignore (Sodal.accept_current_get env ~arg:0 ~data:(Bytes.of_string listing))
+          | None -> Sodal.reject env
+        end
+        else Sodal.reject env);
+  }
+
+(* ---- client ------------------------------------------------------------------ *)
+
+let one_way env sb ~op payload =
+  let c = Sodal.b_put env sb ~arg:op payload in
+  match c.Sodal.status with
+  | Sodal.Comp_ok -> Ok ()
+  | Sodal.Comp_rejected -> Error Not_found
+  | Sodal.Comp_crashed | Sodal.Comp_unadvertised -> Error Unreachable
+
+let rec register env sb ~name signature =
+  match one_way env sb ~op:op_register (encode_request ~name ~signature ()) with
+  | Error _ as e -> e
+  | Ok () ->
+    (* Registration is first-wins at the server; verify we got the slot. *)
+    (match lookup env sb ~name with
+     | Ok bound when bound = signature -> Ok ()
+     | Ok _ -> Error Already_registered
+     | Error e -> Error e)
+
+and unregister env sb ~name = one_way env sb ~op:op_unregister (encode_request ~name ())
+
+and lookup env sb ~name =
+  match one_way env sb ~op:op_lookup (encode_request ~name ()) with
+  | Error e -> Error e
+  | Ok () ->
+    let into = Bytes.create 8 in
+    let c = Sodal.b_get env sb ~arg:(op_lookup + op_fetch) ~into in
+    (match c.Sodal.status with
+     | Sodal.Comp_ok ->
+       (match decode_signature into with
+        | Some signature -> Ok signature
+        | None -> Error Not_found)
+     | Sodal.Comp_rejected -> Error Not_found
+     | Sodal.Comp_crashed | Sodal.Comp_unadvertised -> Error Unreachable)
+
+let list env sb ~prefix =
+  match one_way env sb ~op:op_list (encode_request ~name:prefix ()) with
+  | Error e -> Error e
+  | Ok () ->
+    let into = Bytes.create 2048 in
+    let c = Sodal.b_get env sb ~arg:(op_list + op_fetch) ~into in
+    (match c.Sodal.status with
+     | Sodal.Comp_ok ->
+       let text = Bytes.sub_string into 0 c.Sodal.get_transferred in
+       Ok (if text = "" then [] else String.split_on_char '\n' text)
+     | Sodal.Comp_rejected -> Error Not_found
+     | Sodal.Comp_crashed | Sodal.Comp_unadvertised -> Error Unreachable)
+
+let find env ~name =
+  let sb = Sodal.discover env switchboard_pattern in
+  lookup env sb ~name

@@ -1,0 +1,44 @@
+(** A name-server client: the switchboard of §4.3.1 / §6.14.
+
+    SODA's kernel naming is deliberately flat (fixed-length patterns, exact
+    match); "more complex naming strategies (such as name hierarchies...)
+    can be provided by a name server client". This is that client: a
+    registry mapping string names to SERVER SIGNATURES, supporting
+    hierarchical lookup by prefix, interrogated at run time (run-time
+    interconnection). The switchboard itself is found with DISCOVER. *)
+
+module Types = Soda_base.Types
+module Sodal = Soda_runtime.Sodal
+
+(** The well-known switchboard pattern. *)
+val switchboard_pattern : Soda_base.Pattern.t
+
+(** The switchboard server program. *)
+val spec : unit -> Sodal.spec
+
+(** {1 Client operations} *)
+
+type error =
+  | Not_found
+  | Already_registered
+  | Unreachable
+
+(** [register env sb ~name signature] binds [name]; names are unique. *)
+val register :
+  Sodal.env -> Types.server_signature -> name:string -> Types.server_signature ->
+  (unit, error) result
+
+(** [unregister env sb ~name] — only removes existing bindings. *)
+val unregister : Sodal.env -> Types.server_signature -> name:string -> (unit, error) result
+
+(** [lookup env sb ~name] resolves an exact name. *)
+val lookup :
+  Sodal.env -> Types.server_signature -> name:string -> (Types.server_signature, error) result
+
+(** [list env sb ~prefix] returns names below a hierarchical prefix
+    (["/fs"] matches ["/fs/home"], ["/fs/tmp"], ...). *)
+val list : Sodal.env -> Types.server_signature -> prefix:string -> (string list, error) result
+
+(** [find env ~name] — convenience: DISCOVER the switchboard, then look
+    [name] up. *)
+val find : Sodal.env -> name:string -> (Types.server_signature, error) result

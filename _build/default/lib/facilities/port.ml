@@ -1,0 +1,71 @@
+module Types = Soda_base.Types
+module Sodal = Soda_runtime.Sodal
+module Bqueue = Soda_runtime.Bqueue
+
+type discipline = Fifo | Priority
+
+type entry = { asker : Types.requester_signature; priority : int; seq : int }
+
+(* The pending-request store: a bounded FIFO or a priority order on the
+   REQUEST argument (ties broken by arrival). *)
+type store = {
+  capacity : int;
+  mutable items : entry list;  (* kept sorted for Priority, appended for Fifo *)
+  mutable next_seq : int;
+  discipline : discipline;
+}
+
+let store_create discipline capacity = { capacity; items = []; next_seq = 0; discipline }
+
+let store_length s = List.length s.items
+
+let store_push s ~asker ~priority =
+  let entry = { asker; priority; seq = s.next_seq } in
+  s.next_seq <- s.next_seq + 1;
+  s.items <- s.items @ [ entry ]
+
+let store_pop s =
+  match s.items with
+  | [] -> None
+  | items ->
+    let best =
+      match s.discipline with
+      | Fifo -> List.hd items
+      | Priority ->
+        List.fold_left
+          (fun acc e ->
+            if e.priority > acc.priority || (e.priority = acc.priority && e.seq < acc.seq)
+            then e
+            else acc)
+          (List.hd items) (List.tl items)
+    in
+    s.items <- List.filter (fun e -> e.seq <> best.seq) items;
+    Some best
+
+let spec ~pattern ?(discipline = Fifo) ?(queue_len = 16) ?(item_size = 512) ~on_data () =
+  let store = store_create discipline queue_len in
+  {
+    Sodal.default_spec with
+    init = (fun env ~parent:_ -> Sodal.advertise env pattern);
+    on_request =
+      (fun env info ->
+        store_push store ~asker:info.Sodal.asker ~priority:info.Sodal.arg;
+        (* Flow control: stop taking requests while the signature queue is
+           full; the kernel will retry/hold them (§4.2.1). *)
+        if store_length store >= store.capacity then Sodal.close_handler env);
+    task =
+      (fun env ->
+        let buffer = Bytes.create item_size in
+        while true do
+          match store_pop store with
+          | Some entry ->
+            Sodal.open_handler env;
+            let status, got = Sodal.accept_put env entry.asker ~arg:0 ~into:buffer in
+            (match status with
+             | Types.Accept_success -> on_data env ~arg:entry.priority (Bytes.sub buffer 0 got)
+             | Types.Accept_cancelled | Types.Accept_crashed -> ())
+          | None -> Sodal.idle env
+        done);
+  }
+
+let write env signature ?(arg = 0) data = Sodal.b_put env signature ~arg data

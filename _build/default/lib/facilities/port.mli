@@ -1,0 +1,34 @@
+(** Input ports and priority queues over SODA (§4.2.1).
+
+    An input port is a queueing point for incoming messages: many writers,
+    one reader. The server advertises the port pattern; its handler only
+    enqueues REQUESTER SIGNATURES (closing the handler when the queue
+    fills, for flow control); the task dequeues and ACCEPTs, which is when
+    data actually moves — the kernel buffers no data (§6.13).
+
+    A priority queue is the same structure except that the REQUEST argument
+    is interpreted as a priority and the task completes the highest
+    priority entry first. *)
+
+module Types = Soda_base.Types
+module Sodal = Soda_runtime.Sodal
+
+type discipline =
+  | Fifo
+  | Priority  (** highest REQUEST argument first; FIFO among equals *)
+
+(** [spec ~pattern ~queue_len ~item_size ~on_data] builds a complete port
+    server program: every message written to the port is passed to
+    [on_data env ~arg data]. *)
+val spec :
+  pattern:Soda_base.Pattern.t ->
+  ?discipline:discipline ->
+  ?queue_len:int ->
+  ?item_size:int ->
+  on_data:(Sodal.env -> arg:int -> bytes -> unit) ->
+  unit ->
+  Sodal.spec
+
+(** [writer env sig data] writes to a remote port (a blocking PUT);
+    returns the completion. [arg] is the priority under [Priority]. *)
+val write : Sodal.env -> Types.server_signature -> ?arg:int -> bytes -> Sodal.completion_info

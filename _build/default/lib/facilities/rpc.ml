@@ -1,0 +1,99 @@
+module Types = Soda_base.Types
+module Pattern = Soda_base.Pattern
+module Sodal = Soda_runtime.Sodal
+
+type procedure = Sodal.env -> bytes -> bytes
+
+type error = Server_crashed | Call_rejected
+
+(* Per-caller call assembly (§4.2.2): the PUT (parameters) is ACCEPTed
+   right away in the handler — the caller's blocking PUT must complete so
+   that it can issue its GET — and the GET's signature is held until the
+   procedure has run. *)
+type pending_call = {
+  pattern : Pattern.t;
+  mutable params : bytes option;
+  mutable get : Types.requester_signature option;
+}
+
+type ready_call = {
+  rc_pattern : Pattern.t;
+  rc_params : bytes;
+  rc_get : Types.requester_signature;
+}
+
+let spec ?(max_params = 1024) procedures =
+  let table = Hashtbl.create 8 in
+  List.iter (fun (p, f) -> Hashtbl.replace table (Pattern.to_int p) f) procedures;
+  let pending : (int * int, pending_call) Hashtbl.t = Hashtbl.create 8 in
+  let ready = Queue.create () in
+  {
+    Sodal.default_spec with
+    init =
+      (fun env ~parent:_ ->
+        List.iter (fun (p, _) -> Sodal.advertise env p) procedures);
+    on_request =
+      (fun env info ->
+        let key = (info.Sodal.asker.Types.rq_mid, Pattern.to_int info.Sodal.pattern) in
+        let call =
+          match Hashtbl.find_opt pending key with
+          | Some c -> c
+          | None ->
+            let c = { pattern = info.Sodal.pattern; params = None; get = None } in
+            Hashtbl.replace pending key c;
+            c
+        in
+        if info.Sodal.put_size > 0 then begin
+          let into = Bytes.create (min info.Sodal.put_size max_params) in
+          let status, got = Sodal.accept_current_put env ~arg:0 ~into in
+          match status with
+          | Types.Accept_success -> call.params <- Some (Bytes.sub into 0 got)
+          | Types.Accept_cancelled | Types.Accept_crashed -> ()
+        end
+        else call.get <- Some info.Sodal.asker;
+        match call.params, call.get with
+        | Some params, Some get ->
+          Hashtbl.remove pending key;
+          Queue.push { rc_pattern = call.pattern; rc_params = params; rc_get = get } ready
+        | _ -> ());
+    task =
+      (fun env ->
+        while true do
+          if not (Queue.is_empty ready) then begin
+            let call = Queue.pop ready in
+            match Hashtbl.find_opt table (Pattern.to_int call.rc_pattern) with
+            | Some procedure ->
+              let results = procedure env call.rc_params in
+              ignore (Sodal.accept_get env call.rc_get ~arg:0 ~data:results)
+            | None -> Sodal.reject_request env call.rc_get
+          end
+          else Sodal.idle env
+        done);
+  }
+
+let call env server params ~result_size =
+  let put_completion = Sodal.b_put env server ~arg:0 params in
+  match put_completion.Sodal.status with
+  | Sodal.Comp_crashed | Sodal.Comp_unadvertised -> Error Server_crashed
+  | Sodal.Comp_rejected -> Error Call_rejected
+  | Sodal.Comp_ok ->
+    let into = Bytes.create result_size in
+    let get_completion = Sodal.b_get env server ~arg:0 ~into in
+    (match get_completion.Sodal.status with
+     | Sodal.Comp_ok -> Ok (Bytes.sub into 0 get_completion.Sodal.get_transferred)
+     | Sodal.Comp_rejected -> Error Call_rejected
+     | Sodal.Comp_crashed | Sodal.Comp_unadvertised -> Error Server_crashed)
+
+let call_any env ~pattern params ~result_size =
+  match Sodal.discover_list env pattern ~max:16 with
+  | [] -> Error Server_crashed
+  | candidates ->
+    let rec attempt = function
+      | [] -> Error Server_crashed
+      | mid :: rest ->
+        (match call env (Sodal.server ~mid ~pattern) params ~result_size with
+         | Ok result -> Ok (result, mid)
+         | Error Call_rejected -> Error Call_rejected
+         | Error Server_crashed -> attempt rest)
+    in
+    attempt candidates

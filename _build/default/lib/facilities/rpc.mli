@@ -1,0 +1,48 @@
+(** Remote procedure call over SODA (§4.2.2).
+
+    The caller PUTs the in-parameters and then issues a blocking GET for
+    the results; both use the pattern bound to the remote procedure. The
+    server invokes the procedure once both REQUESTs have arrived, ACCEPTing
+    the PUT to obtain the parameters and ACCEPTing the GET (which unblocks
+    the caller) to return the results.
+
+    Unlike the single-caller sketch in the paper, this implementation keys
+    call state by caller machine, so concurrent calls from different
+    machines are serviced in arrival order. *)
+
+module Types = Soda_base.Types
+module Sodal = Soda_runtime.Sodal
+
+(** A procedure: in-parameters to out-parameters, running in the server's
+    task (it may block, issue requests, etc.). *)
+type procedure = Sodal.env -> bytes -> bytes
+
+(** [spec procedures] builds an RPC server exporting each (pattern,
+    procedure) pair. *)
+val spec : ?max_params:int -> (Soda_base.Pattern.t * procedure) list -> Sodal.spec
+
+type error =
+  | Server_crashed
+  | Call_rejected  (** the server REJECTed (negative accept argument) *)
+
+(** [call env server params ~result_size] performs the two-request call
+    sequence. *)
+val call :
+  Sodal.env ->
+  Types.server_signature ->
+  bytes ->
+  result_size:int ->
+  (bytes, error) result
+
+(** [call_any env ~pattern params] — the crash-recovery pattern of §4.2.2:
+    "should the machine executing the remote subroutine crash, the caller
+    should be informed so that the call may be repeated using a different
+    machine". Discovers the advertisers and tries each until one answers.
+    NOTE: the procedure may have executed on a machine that crashed after
+    running it — at-least-once semantics, as with any simple RPC retry. *)
+val call_any :
+  Sodal.env ->
+  pattern:Soda_base.Pattern.t ->
+  bytes ->
+  result_size:int ->
+  (bytes * int, error) result

@@ -1,0 +1,124 @@
+module Types = Soda_base.Types
+module Pattern = Soda_base.Pattern
+module Sodal = Soda_runtime.Sodal
+module Cost = Soda_base.Cost_model
+module Kernel = Soda_core.Kernel
+
+type error = Receiver_gone | Rejected
+
+(* The REQUEST argument carries the chunk index; the end of the stream is a
+   zero-length PUT (SIGNAL) whose argument is the total chunk count. *)
+
+type assembly = { mutable chunks : bytes list; mutable next_index : int }
+
+let sink_hook ~pattern ~on_block =
+  let assemblies : (int, assembly) Hashtbl.t = Hashtbl.create 4 in
+  fun env info ->
+    if not (Pattern.equal info.Sodal.pattern pattern) then false
+    else begin
+      let src = info.Sodal.asker.Types.rq_mid in
+      let assembly =
+        match Hashtbl.find_opt assemblies src with
+        | Some a -> a
+        | None ->
+          let a = { chunks = []; next_index = 0 } in
+          Hashtbl.replace assemblies src a;
+          a
+      in
+      if info.Sodal.put_size = 0 then begin
+        (* end marker: argument = expected chunk count *)
+        ignore (Sodal.accept_current_signal env ~arg:0);
+        Hashtbl.remove assemblies src;
+        if info.Sodal.arg = assembly.next_index then begin
+          let total =
+            List.fold_left (fun n c -> n + Bytes.length c) 0 assembly.chunks
+          in
+          let block = Bytes.create total in
+          let _ =
+            List.fold_left
+              (fun at chunk ->
+                let at = at - Bytes.length chunk in
+                Bytes.blit chunk 0 block at (Bytes.length chunk);
+                at)
+              total assembly.chunks
+          in
+          on_block env ~src block
+        end
+        (* count mismatch: protocol misuse; drop the stream *)
+      end
+      else if info.Sodal.arg = assembly.next_index then begin
+        let into = Bytes.create info.Sodal.put_size in
+        let status, got = Sodal.accept_current_put env ~arg:0 ~into in
+        match status with
+        | Types.Accept_success ->
+          assembly.chunks <- Bytes.sub into 0 got :: assembly.chunks;
+          assembly.next_index <- assembly.next_index + 1
+        | Types.Accept_cancelled | Types.Accept_crashed -> ()
+      end
+      else begin
+        (* out-of-order chunk: impossible under SODA's ordering unless the
+           sender restarted; reject so it learns *)
+        Hashtbl.remove assemblies src;
+        Sodal.reject env
+      end;
+      true
+    end
+
+let sink ~pattern ~on_block () =
+  let hook = sink_hook ~pattern ~on_block in
+  {
+    Sodal.default_spec with
+    init = (fun env ~parent:_ -> Sodal.advertise env pattern);
+    on_request = (fun env info -> ignore (hook env info));
+  }
+
+let send env dst ?chunk_bytes data =
+  let cost = Kernel.cost (Sodal.kernel env) in
+  let chunk_bytes =
+    match chunk_bytes with
+    | Some c -> min (max 1 c) cost.Cost.max_data_bytes
+    | None -> cost.Cost.max_data_bytes
+  in
+  let total = Bytes.length data in
+  let chunk_count = (total + chunk_bytes - 1) / chunk_bytes in
+  let failed = ref None in
+  let completed = ref 0 in
+  let in_flight = ref 0 in
+  (* double buffering (§4.4.1): keep the pipe full up to MAXREQUESTS-1 *)
+  let window = max 1 (cost.Cost.maxrequests - 1) in
+  let launch index =
+    let offset = index * chunk_bytes in
+    let len = min chunk_bytes (total - offset) in
+    let tid = Sodal.put env dst ~arg:index (Bytes.sub data offset len) in
+    incr in_flight;
+    Sodal.on_completion_of env tid (fun c ->
+        decr in_flight;
+        incr completed;
+        match c.Sodal.status with
+        | Sodal.Comp_ok -> ()
+        | Sodal.Comp_rejected -> if !failed = None then failed := Some Rejected
+        | Sodal.Comp_crashed | Sodal.Comp_unadvertised ->
+          if !failed = None then failed := Some Receiver_gone)
+  in
+  let index = ref 0 in
+  while !index < chunk_count && !failed = None do
+    while !in_flight >= window && !failed = None do
+      Sodal.idle env
+    done;
+    if !failed = None then begin
+      launch !index;
+      incr index
+    end
+  done;
+  while !in_flight > 0 do
+    Sodal.idle env
+  done;
+  match !failed with
+  | Some e -> Error e
+  | None ->
+    (* end marker *)
+    let c = Sodal.b_signal env dst ~arg:chunk_count in
+    (match c.Sodal.status with
+     | Sodal.Comp_ok -> Ok ()
+     | Sodal.Comp_rejected -> Error Rejected
+     | Sodal.Comp_crashed | Sodal.Comp_unadvertised -> Error Receiver_gone)

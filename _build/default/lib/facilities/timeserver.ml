@@ -1,0 +1,55 @@
+module Types = Soda_base.Types
+module Pattern = Soda_base.Pattern
+module Sodal = Soda_runtime.Sodal
+
+let alarm_pattern = Pattern.well_known 0o1717
+
+type pending_alarm = { asker : Types.requester_signature; mutable remaining_us : int }
+
+let spec ?(tick_us = 10_000) () =
+  let alarms : pending_alarm list ref = ref [] in
+  {
+    Sodal.default_spec with
+    init = (fun env ~parent:_ -> Sodal.advertise env alarm_pattern);
+    on_request =
+      (fun _env info ->
+        (* The SIGNAL argument is the delay in microseconds. *)
+        alarms := { asker = info.Sodal.asker; remaining_us = max 0 info.Sodal.arg } :: !alarms);
+    task =
+      (fun env ->
+        (* Poll the hardware clock; each iteration is one tick. *)
+        while true do
+          Sodal.compute env tick_us;
+          let due, still =
+            List.partition
+              (fun a ->
+                a.remaining_us <- a.remaining_us - tick_us;
+                a.remaining_us <= 0)
+              !alarms
+          in
+          alarms := still;
+          List.iter (fun a -> ignore (Sodal.accept_signal env a.asker ~arg:0)) due
+        done);
+  }
+
+let alarm env server ~delay_us = Sodal.signal env server ~arg:delay_us
+
+let sleep env server ~delay_us =
+  let tid = alarm env server ~delay_us in
+  ignore (Sodal.await_completion env tid)
+
+let with_timeout env server ~delay_us f =
+  let alarm_tid = alarm env server ~delay_us in
+  let request_tid = f () in
+  let first = Sodal.await_first env [ alarm_tid; request_tid ] in
+  if first.Sodal.tid = request_tid then begin
+    (* Disarm: cancel the wakeup; if the alarm already fired, swallow its
+       completion interrupt. *)
+    if not (Sodal.cancel env alarm_tid) then Sodal.swallow_completion env alarm_tid;
+    Some first
+  end
+  else begin
+    (* Timed out: abort the slow request (§4.3.2). *)
+    if not (Sodal.cancel env request_tid) then Sodal.swallow_completion env request_tid;
+    None
+  end

@@ -1,0 +1,35 @@
+(** Timeserver: alarms and timeouts (§4.3.2, §4.4.3).
+
+    SODA deliberately has no timeouts in its primitives; an impatient
+    client registers a wakeup with a timeserver — a non-blocking SIGNAL
+    whose argument is the delay — and is notified by the completion of that
+    SIGNAL when the alarm expires. It may then CANCEL its outstanding
+    requests and take alternative action. *)
+
+module Types = Soda_base.Types
+module Sodal = Soda_runtime.Sodal
+
+(** The ALARM_CLOCK pattern (well-known). *)
+val alarm_pattern : Soda_base.Pattern.t
+
+(** [spec ~tick_us] builds the timeserver program ([tick_us] is the
+    hardware-clock granularity; alarms fire on tick boundaries). *)
+val spec : ?tick_us:int -> unit -> Sodal.spec
+
+(** [alarm env server ~delay_us] registers a wakeup; the returned tid's
+    completion is the alarm ringing. *)
+val alarm : Sodal.env -> Types.server_signature -> delay_us:int -> Types.tid
+
+(** [sleep env server ~delay_us] blocks until the alarm fires. *)
+val sleep : Sodal.env -> Types.server_signature -> delay_us:int -> unit
+
+(** [with_timeout env server ~delay_us f] runs [f ()], which must return
+    the tid of a request it issued; if the alarm fires before that request
+    completes, the request is CANCELLED and [None] returned; otherwise the
+    completion is returned. Demonstrates the §4.3.2 pattern. *)
+val with_timeout :
+  Sodal.env ->
+  Types.server_signature ->
+  delay_us:int ->
+  (unit -> Types.tid) ->
+  Sodal.completion_info option

@@ -1,0 +1,1 @@
+lib/net/bus.ml: Bytes Char Crc16 Frame Hashtbl List Printf Soda_sim

@@ -1,0 +1,1 @@
+lib/net/bus.mli: Frame Soda_sim

@@ -1,0 +1,1 @@
+lib/net/crc16.ml: Array Bytes Char Lazy

@@ -1,0 +1,1 @@
+lib/net/nic.ml: Bus Crc16 Frame

@@ -1,0 +1,100 @@
+module Engine = Soda_sim.Engine
+module Rng = Soda_sim.Rng
+module Stats = Soda_sim.Stats
+
+type config = {
+  bandwidth_bps : int;
+  propagation_us : int;
+  frame_overhead_bytes : int;
+  loss_rate : float;
+  corruption_rate : float;
+}
+
+let default_config =
+  {
+    bandwidth_bps = 1_000_000;
+    propagation_us = 5;
+    frame_overhead_bytes = 8;
+    loss_rate = 0.0;
+    corruption_rate = 0.0;
+  }
+
+type t = {
+  engine : Engine.t;
+  mutable config : config;
+  stations : (int, Frame.t -> unit) Hashtbl.t;
+  mutable busy_until : int;
+  fault_rng : Rng.t;
+  stats : Stats.t;
+}
+
+let create ?(config = default_config) engine =
+  {
+    engine;
+    config;
+    stations = Hashtbl.create 16;
+    busy_until = 0;
+    fault_rng = Rng.split (Engine.rng engine);
+    stats = Stats.create ();
+  }
+
+let engine t = t.engine
+let stats t = t.stats
+
+let set_loss_rate t rate = t.config <- { t.config with loss_rate = rate }
+let set_corruption_rate t rate = t.config <- { t.config with corruption_rate = rate }
+
+let transmission_time_us t ~payload_bytes =
+  let bytes = payload_bytes + t.config.frame_overhead_bytes + 2 (* CRC trailer *) in
+  (* bits * 1e6 / bps, rounded up to a whole microsecond. *)
+  let bits = bytes * 8 in
+  (bits * 1_000_000 + t.config.bandwidth_bps - 1) / t.config.bandwidth_bps
+
+let attach t ~mid ~rx =
+  if Hashtbl.mem t.stations mid then
+    invalid_arg (Printf.sprintf "Bus.attach: mid %d already attached" mid);
+  Hashtbl.replace t.stations mid rx
+
+let detach t ~mid = Hashtbl.remove t.stations mid
+
+let corrupt t wire =
+  let copy = Bytes.copy wire in
+  let idx = Rng.int t.fault_rng (Bytes.length copy) in
+  let byte = Char.code (Bytes.get copy idx) in
+  Bytes.set copy idx (Char.chr (byte lxor (1 + Rng.int t.fault_rng 255)));
+  copy
+
+let deliver t frame =
+  let deliver_to mid rx =
+    if mid <> frame.Frame.src && Frame.dst_matches frame.Frame.dst ~mid then begin
+      if Rng.chance t.fault_rng t.config.loss_rate then Stats.incr t.stats "bus.frames_lost"
+      else begin
+        let frame =
+          if Rng.chance t.fault_rng t.config.corruption_rate then begin
+            Stats.incr t.stats "bus.frames_corrupted";
+            { frame with Frame.wire = corrupt t frame.Frame.wire }
+          end
+          else frame
+        in
+        Stats.incr t.stats "bus.frames_delivered";
+        rx frame
+      end
+    end
+  in
+  (* Deterministic delivery order: ascending mid. *)
+  Hashtbl.fold (fun mid rx acc -> (mid, rx) :: acc) t.stations []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+  |> List.iter (fun (mid, rx) -> deliver_to mid rx)
+
+let send t ~src ~dst payload =
+  let wire = Crc16.append payload in
+  let frame = { Frame.src; dst; wire } in
+  let now = Engine.now t.engine in
+  let start = max now t.busy_until in
+  let tx = transmission_time_us t ~payload_bytes:(Bytes.length payload) in
+  t.busy_until <- start + tx;
+  Stats.incr t.stats "bus.frames_sent";
+  Stats.add t.stats "bus.bytes_sent" (Bytes.length payload);
+  Stats.add_time t.stats "bus.medium_busy" tx;
+  let arrival = start + tx + t.config.propagation_us - now in
+  ignore (Engine.schedule t.engine ~delay:arrival (fun () -> deliver t frame))

@@ -1,0 +1,51 @@
+(** Simulated broadcast bus (CompuNet Megalink, §5).
+
+    The bus is a shared serial medium: one transmission at a time, a
+    bandwidth-determined transmission delay, and a small propagation delay.
+    Queued senders acquire the medium in request order, which stands in for
+    the Megalink's fair line-access discipline (§6.10 relies on line access
+    completing in bounded time).
+
+    Fault injection: frames may be lost outright or have a byte corrupted
+    in flight; corrupted frames are later discarded by the receiving NIC's
+    CRC check, so both faults look like loss to the transport, exercising
+    the alternating-bit retransmission machinery. *)
+
+type t
+
+type config = {
+  bandwidth_bps : int;  (** 1_000_000 for the Megalink *)
+  propagation_us : int;  (** per-hop propagation delay *)
+  frame_overhead_bytes : int;  (** preamble + link header, charged per frame *)
+  loss_rate : float;  (** probability a frame vanishes *)
+  corruption_rate : float;  (** probability a frame is damaged in flight *)
+}
+
+val default_config : config
+
+val create : ?config:config -> Soda_sim.Engine.t -> t
+
+val engine : t -> Soda_sim.Engine.t
+val stats : t -> Soda_sim.Stats.t
+
+val set_loss_rate : t -> float -> unit
+val set_corruption_rate : t -> float -> unit
+
+(** [transmission_time_us t ~payload_bytes] is the time the medium is held
+    for a frame of that size (including overhead and CRC trailer). *)
+val transmission_time_us : t -> payload_bytes:int -> int
+
+(** [attach t ~mid ~rx] registers a station. [rx] receives every frame
+    whose destination matches [mid] (or broadcast), after loss and
+    corruption have been applied; CRC checking is the receiver's job.
+    A given [mid] may be attached only once.
+    @raise Invalid_argument on duplicate [mid]. *)
+val attach : t -> mid:int -> rx:(Frame.t -> unit) -> unit
+
+val detach : t -> mid:int -> unit
+
+(** [send t ~src ~dst payload] queues [payload] (CRC trailer added here)
+    for transmission. Delivery happens after queueing + transmission +
+    propagation delay. Frames from one source to one destination are
+    delivered in order (the medium is serial). *)
+val send : t -> src:int -> dst:Frame.dst -> bytes -> unit

@@ -1,0 +1,15 @@
+(** CRC-16/CCITT-FALSE (poly 0x1021, init 0xFFFF), as computed by the
+    simulated Megalink interface to detect transmission errors. A frame
+    whose CRC does not match is silently discarded by the receiving NIC,
+    exactly as in §5.2.2 of the paper. *)
+
+(** [compute bytes ~off ~len] returns the 16-bit checksum. *)
+val compute : bytes -> off:int -> len:int -> int
+
+(** [append payload] returns [payload] with its 2-byte big-endian CRC
+    appended. *)
+val append : bytes -> bytes
+
+(** [check wire] verifies a frame produced by [append]; returns the payload
+    without the trailer on success. *)
+val check : bytes -> bytes option

@@ -1,0 +1,12 @@
+type dst = To of int | Broadcast
+
+type t = { src : int; dst : dst; wire : bytes }
+
+let dst_matches dst ~mid =
+  match dst with
+  | To m -> m = mid
+  | Broadcast -> true
+
+let pp_dst ppf = function
+  | To m -> Format.fprintf ppf "mid:%d" m
+  | Broadcast -> Format.pp_print_string ppf "broadcast"

@@ -1,0 +1,15 @@
+(** Link-layer frames on the simulated broadcast bus. *)
+
+type dst =
+  | To of int  (** a specific machine id *)
+  | Broadcast  (** the special broadcast identifier recognised by all NICs *)
+
+type t = {
+  src : int;  (** sending machine id *)
+  dst : dst;
+  wire : bytes;  (** payload plus CRC trailer, possibly corrupted in flight *)
+}
+
+val dst_matches : dst -> mid:int -> bool
+
+val pp_dst : Format.formatter -> dst -> unit

@@ -1,0 +1,29 @@
+type t = {
+  bus : Bus.t;
+  mid : int;
+  mutable crc_drops : int;
+  mutable enabled : bool;
+}
+
+let attach bus ~mid ~rx =
+  let t = { bus; mid; crc_drops = 0; enabled = true } in
+  Bus.attach bus ~mid ~rx:(fun frame ->
+      if t.enabled then begin
+        match Crc16.check frame.Frame.wire with
+        | None -> t.crc_drops <- t.crc_drops + 1
+        | Some payload ->
+          let broadcast = match frame.Frame.dst with Frame.Broadcast -> true | Frame.To _ -> false in
+          rx ~src:frame.Frame.src ~broadcast payload
+      end);
+  t
+
+let mid t = t.mid
+
+let send t ~dst payload = Bus.send t.bus ~src:t.mid ~dst:(Frame.To dst) payload
+
+let broadcast t payload = Bus.send t.bus ~src:t.mid ~dst:Frame.Broadcast payload
+
+let crc_drops t = t.crc_drops
+
+let disable t = t.enabled <- false
+let enable t = t.enabled <- true

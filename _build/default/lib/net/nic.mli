@@ -1,0 +1,30 @@
+(** Per-node network interface.
+
+    The NIC performs the two cheap screening steps the paper assigns to the
+    line interface (§6.12): destination-MID filtering (done by the bus
+    delivery fan-out) and CRC verification — a frame with a bad CRC is
+    simply discarded (§5.2.2). Good payloads are handed to the attached
+    kernel. *)
+
+type t
+
+(** [attach bus ~mid ~rx] creates the station; [rx] receives verified
+    payload bytes together with the sender's mid and whether the frame was
+    broadcast. *)
+val attach : Bus.t -> mid:int -> rx:(src:int -> broadcast:bool -> bytes -> unit) -> t
+
+val mid : t -> int
+
+(** [send t ~dst payload] transmits to a specific machine. *)
+val send : t -> dst:int -> bytes -> unit
+
+(** [broadcast t payload] transmits to every station. *)
+val broadcast : t -> bytes -> unit
+
+(** Frames dropped by this NIC due to CRC failure. *)
+val crc_drops : t -> int
+
+(** Stop delivering frames (simulates powering the node down). *)
+val disable : t -> unit
+
+val enable : t -> unit

@@ -1,0 +1,1 @@
+lib/proto/transport.ml: Bytes Hashtbl List Option Printf Queue Soda_base Soda_net Soda_sim Wire

@@ -1,0 +1,1 @@
+lib/proto/transport.mli: Soda_base Soda_net Soda_sim

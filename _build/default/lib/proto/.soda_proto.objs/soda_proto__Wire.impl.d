@@ -1,0 +1,1 @@
+lib/proto/wire.ml: Buffer Bytes Char Format Printf Soda_base

@@ -1,0 +1,1246 @@
+module Engine = Soda_sim.Engine
+module Rng = Soda_sim.Rng
+module Stats = Soda_sim.Stats
+module Trace = Soda_sim.Trace
+module Bus = Soda_net.Bus
+module Nic = Soda_net.Nic
+module Pattern = Soda_base.Pattern
+module Cost = Soda_base.Cost_model
+module Types = Soda_base.Types
+
+type completion =
+  | Comp_accepted of { arg : int; put_transferred : int; get_data : bytes }
+  | Comp_unadvertised
+  | Comp_crashed
+  | Comp_discovered of int list
+
+type accept_outcome = Acc_success of bytes | Acc_cancelled | Acc_crashed
+
+type delivery_decision = [ `Deliver | `Busy | `Unadvertised ]
+
+type callbacks = {
+  deliver_request :
+    src:int ->
+    tid:int ->
+    pattern:Pattern.t ->
+    arg:int ->
+    put_size:int ->
+    get_size:int ->
+    delivery_decision;
+  complete_request : tid:int -> completion -> unit;
+  advertised : Pattern.t -> bool;
+  classify_unknown_tid : int -> [ `Completed | `Stale ];
+}
+
+(* ---- outbound reliable machinery -------------------------------------- *)
+
+type send_outcome =
+  | Out_acked
+  | Out_error of Wire.err_code
+  | Out_cancel_reply of bool
+  | Out_timeout
+
+type send_kind = K_request | K_accept | K_put_data | K_cancel
+
+type inflight = {
+  if_kind : send_kind;
+  if_tid : int;
+  if_body : Wire.body;
+  mutable if_seq : bool;
+  mutable if_retries : int;
+  mutable if_busy_attempts : int;
+  mutable if_waiting_busy : bool;  (* parked between BUSY retries *)
+  mutable if_timer : Engine.event_id option;
+  mutable if_finished : bool;
+  if_done : send_outcome -> unit;
+}
+
+type pending_send = {
+  ps_kind : send_kind;
+  ps_tid : int;
+  ps_body : Wire.body;
+  ps_done : send_outcome -> unit;
+  ps_retries : int;  (* preserved when a parked in-flight send is requeued *)
+  ps_busy : int;
+}
+
+type conn = {
+  peer : int;
+  mutable send_bit : bool;
+  mutable inflight : inflight option;
+  sendq : pending_send Queue.t;
+  mutable recv_bit : bool option;  (* expected next incoming bit; None = take any *)
+  mutable last_acked_bit : bool option;  (* last consumed incoming bit *)
+  mutable last_consumed : (int * int) option;  (* (kind code, tid) of last consumed *)
+  mutable last_response : Wire.body option;  (* replayed on duplicates *)
+  mutable ack_owed : bool option;
+  mutable ack_timer : Engine.event_id option;
+  mutable expiry_timer : Engine.event_id option;
+}
+
+(* ---- requester-side transaction records -------------------------------- *)
+
+type req_state = Rq_sent | Rq_delivered | Rq_done
+
+type out_req = {
+  or_tid : int;
+  or_dst : int;
+  or_put : bytes;
+  or_get_size : int;
+  mutable or_state : req_state;
+  mutable or_probe_timer : Engine.event_id option;
+  mutable or_probe_misses : int;
+  mutable or_probe_outstanding : bool;
+  mutable or_cancel_pending : (bool -> unit) option;
+      (* a CANCEL blocked until the server's state is known (§5.2.3) *)
+}
+
+type discover_req = {
+  dr_tid : int;
+  dr_max : int;
+  mutable dr_mids : int list;  (* reverse order *)
+  mutable dr_timer : Engine.event_id option;
+}
+
+(* ---- server-side transaction records ----------------------------------- *)
+
+type accept_ctx = {
+  ac_put_transferred : int;
+  mutable ac_need_data : bool;
+  mutable ac_awaiting_ack : bool;
+  mutable ac_received : bytes;
+  mutable ac_done : bool;
+  ac_on_done : accept_outcome -> unit;
+}
+
+type srv_state =
+  | Srv_buffered
+  | Srv_delivered
+  | Srv_accepting of accept_ctx
+  | Srv_completed
+  | Srv_cancelled
+
+type srv_txn = {
+  st_src : int;
+  st_tid : int;
+  st_put_size : int;
+  st_get_size : int;
+  mutable st_put_data : bytes option;
+  mutable st_state : srv_state;
+  mutable st_gc : Engine.event_id option;
+}
+
+type buffered_request = {
+  br_src : int;
+  br_tid : int;
+  br_pattern : Pattern.t;
+  br_arg : int;
+  br_put_size : int;
+  br_get_size : int;
+}
+
+type t = {
+  engine : Engine.t;
+  bus : Bus.t;
+  mid : int;
+  cost : Cost.t;
+  trace : Trace.t;
+  stats : Stats.t;
+  rng : Rng.t;
+  mutable nic : Nic.t option;
+  mutable cb : callbacks option;
+  conns : (int, conn) Hashtbl.t;
+  out_reqs : (int, out_req) Hashtbl.t;
+  discovers : (int, discover_req) Hashtbl.t;
+  srv_txns : (int * int, srv_txn) Hashtbl.t;
+  mutable buffered : buffered_request option;  (* pipelined input buffer *)
+  mutable epoch : int;  (* bumped on reset; stale deferred events are dropped *)
+}
+
+let mid t = t.mid
+let stats t = t.stats
+let cost t = t.cost
+
+let callbacks t =
+  match t.cb with
+  | Some cb -> cb
+  | None -> failwith "Transport: callbacks not set"
+
+let actor t = Printf.sprintf "soda-%d" t.mid
+
+(* Schedule an engine event that is dropped if the node resets meanwhile. *)
+let defer t ~delay fn =
+  let epoch = t.epoch in
+  Engine.schedule t.engine ~delay (fun () -> if t.epoch = epoch then fn ())
+
+(* Charge kernel CPU for one packet event and attribute it (§5.5 breakdown). *)
+let packet_cpu_us t =
+  Stats.add_time t.stats (Cost.label Cost.Protocol) t.cost.Cost.packet_protocol_us;
+  Stats.add_time t.stats (Cost.label Cost.Conn_timer) t.cost.Cost.conn_timer_us;
+  Stats.add_time t.stats (Cost.label Cost.Retrans_timer) t.cost.Cost.retrans_timer_us;
+  t.cost.Cost.packet_protocol_us + t.cost.Cost.conn_timer_us + t.cost.Cost.retrans_timer_us
+
+(* ---- connection records ------------------------------------------------ *)
+
+let conn_active conn =
+  conn.inflight <> None || not (Queue.is_empty conn.sendq) || conn.ack_owed <> None
+
+let rec arm_expiry t conn =
+  (match conn.expiry_timer with
+   | Some id -> Engine.cancel t.engine id
+   | None -> ());
+  let delay = Cost.record_expiry_us t.cost in
+  conn.expiry_timer <-
+    Some
+      (defer t ~delay (fun () ->
+           conn.expiry_timer <- None;
+           if conn_active conn then arm_expiry t conn
+           else begin
+             Trace.record t.trace ~now:(Engine.now t.engine) ~actor:(actor t)
+               "delta-t record for peer %d expired (take any SN)" conn.peer;
+             Stats.incr t.stats "deltat.records_expired";
+             Hashtbl.remove t.conns conn.peer
+           end))
+
+let conn_for t peer =
+  match Hashtbl.find_opt t.conns peer with
+  | Some c -> c
+  | None ->
+    let c =
+      {
+        peer;
+        send_bit = false;
+        inflight = None;
+        sendq = Queue.create ();
+        recv_bit = None;
+        last_acked_bit = None;
+        last_consumed = None;
+        last_response = None;
+        ack_owed = None;
+        ack_timer = None;
+        expiry_timer = None;
+      }
+    in
+    Hashtbl.replace t.conns peer c;
+    Trace.record t.trace ~now:(Engine.now t.engine) ~actor:(actor t)
+      "delta-t record created for peer %d" peer;
+    Stats.incr t.stats "deltat.records_created";
+    arm_expiry t c;
+    c
+
+let touch t conn = arm_expiry t conn
+
+(* ---- raw packet emission ----------------------------------------------- *)
+
+let kind_name body =
+  match body with
+  | Wire.Request _ -> "REQ"
+  | Wire.Accept _ -> "ACCEPT"
+  | Wire.Put_data _ -> "DATA"
+  | Wire.Ack -> "ACK"
+  | Wire.Busy _ -> "BUSY"
+  | Wire.Error _ -> "ERR"
+  | Wire.Cancel_request _ -> "CANCEL"
+  | Wire.Cancel_reply _ -> "CANCEL_R"
+  | Wire.Probe _ -> "PROBE"
+  | Wire.Probe_reply _ -> "PROBE_R"
+  | Wire.Discover _ -> "DISCOVER"
+  | Wire.Discover_reply _ -> "DISCOVER_R"
+
+(* Emit a packet to [dst], picking up any owed acknowledgement (piggyback,
+   §5.2.3). The kernel CPU cost is charged before the NIC transmits. *)
+let emit t ~dst ?(reliable = false) ?(seq = false) ?force_ack body =
+  let nic = match t.nic with Some n -> n | None -> failwith "Transport: no NIC" in
+  let ack =
+    match force_ack with
+    | Some _ as a -> a
+    | None ->
+      (match dst with
+       | `Peer peer ->
+         let conn = conn_for t peer in
+         let owed = conn.ack_owed in
+         if owed <> None then begin
+           conn.ack_owed <- None;
+           (match conn.ack_timer with
+            | Some id ->
+              Engine.cancel t.engine id;
+              conn.ack_timer <- None
+            | None -> ())
+         end;
+         owed
+       | `Broadcast -> None)
+  in
+  let pkt = { Wire.src = t.mid; reliable; seq; ack; body } in
+  let bytes = Wire.encode pkt in
+  let cpu = packet_cpu_us t in
+  let tx = Bus.transmission_time_us t.bus ~payload_bytes:(Bytes.length bytes) in
+  Stats.add_time t.stats (Cost.label Cost.Transmission) tx;
+  Stats.incr t.stats "pkt.sent.total";
+  Stats.incr t.stats (Printf.sprintf "pkt.sent.%s" (kind_name body));
+  Trace.record t.trace ~now:(Engine.now t.engine) ~actor:(actor t) "send %s to %s"
+    (Wire.describe pkt)
+    (match dst with `Peer p -> string_of_int p | `Broadcast -> "*");
+  ignore
+    (defer t ~delay:cpu (fun () ->
+         match dst with
+         | `Peer peer -> Nic.send nic ~dst:peer bytes
+         | `Broadcast -> Nic.broadcast nic bytes))
+
+(* A response to a consumed reliable message: remember it for duplicate
+   replay, and let it carry the owed ack. *)
+let respond_consumed t conn body =
+  conn.last_response <- Some body;
+  emit t ~dst:(`Peer conn.peer) body
+
+(* ---- owed acknowledgements --------------------------------------------- *)
+
+let owe_ack ?(extra_grace = 0) t conn bit =
+  conn.ack_owed <- Some bit;
+  if conn.ack_timer = None then
+    conn.ack_timer <-
+      Some
+        (defer t ~delay:(t.cost.Cost.ack_grace_us + extra_grace) (fun () ->
+             conn.ack_timer <- None;
+             if conn.ack_owed <> None then begin
+               Stats.incr t.stats "pkt.standalone_acks";
+               emit t ~dst:(`Peer conn.peer) Wire.Ack
+             end))
+
+let replay_response t conn =
+  Stats.incr t.stats "pkt.duplicates";
+  Trace.record t.trace ~now:(Engine.now t.engine) ~actor:(actor t)
+    "duplicate from peer %d; replaying response" conn.peer;
+  if conn.ack_owed <> None then begin
+    (* Our ack is still within its grace window; quell the retransmission
+       with an immediate standalone ack. *)
+    emit t ~dst:(`Peer conn.peer) Wire.Ack
+  end
+  else begin
+    match conn.last_response, conn.last_acked_bit with
+    | Some body, ack -> emit t ~dst:(`Peer conn.peer) ?force_ack:ack body
+    | None, Some bit -> emit t ~dst:(`Peer conn.peer) ~force_ack:bit Wire.Ack
+    | None, None -> ()
+  end
+
+(* ---- stop-and-wait sending --------------------------------------------- *)
+
+let retrans_delay t inflight =
+  let base =
+    float_of_int t.cost.Cost.retrans_interval_us
+    *. (t.cost.Cost.retrans_backoff ** float_of_int inflight.if_retries)
+  in
+  (* A 2000-byte frame holds the 1 Mbit medium for ~16 ms, and the expected
+     acknowledgement path includes the peer's data copies and (for a
+     REQUEST) the whole accept turn-around; the timeout must comfortably
+     exceed all of it or every large transfer retransmits spuriously. *)
+  let tx bytes = Bus.transmission_time_us t.bus ~payload_bytes:(bytes + 40) in
+  let copy bytes = Cost.data_copy_us t.cost ~bytes in
+  let turnaround =
+    t.cost.Cost.ack_grace_us + t.cost.Cost.accept_trap_us + t.cost.Cost.context_switch_us
+    + (4 * t.cost.Cost.packet_protocol_us)
+  in
+  let extra =
+    match inflight.if_body with
+    | Wire.Request { data; get_size; _ } ->
+      let d = Bytes.length data in
+      (2 * tx d) + (2 * copy d) + tx get_size + copy get_size + turnaround
+    | Wire.Accept { data; put_transferred; _ } ->
+      (* the ack usually rides the next REQUEST, which carries a comparable
+         put payload: allow for its copy and transmission too *)
+      let d = Bytes.length data in
+      (2 * tx d) + (2 * copy d) + (2 * copy put_transferred) + tx put_transferred
+      + turnaround
+    | Wire.Put_data { data; _ } ->
+      let d = Bytes.length data in
+      (2 * tx d) + (2 * copy d) + turnaround
+    | _ -> 2 * tx 0
+  in
+  let jitter = Rng.float t.rng (base *. 0.25) in
+  int_of_float (base +. jitter) + extra
+
+let busy_delay t inflight =
+  let base =
+    float_of_int t.cost.Cost.busy_retry_us
+    *. (t.cost.Cost.busy_retry_backoff ** float_of_int (inflight.if_busy_attempts - 1))
+  in
+  let capped = min base (float_of_int t.cost.Cost.busy_retry_max_us) in
+  let jitter = Rng.float t.rng (capped *. 0.1) in
+  int_of_float (capped +. jitter)
+
+let body_for_transmission inflight =
+  match inflight.if_body with
+  | Wire.Request r when inflight.if_retries + inflight.if_busy_attempts > 0 ->
+    (* Data rides only on the first transmission (§5.2.3). *)
+    Wire.Request
+      {
+        tid = r.tid;
+        pattern = r.pattern;
+        arg = r.arg;
+        put_size = r.put_size;
+        get_size = r.get_size;
+        data = Bytes.empty;
+        retry = true;
+      }
+  | body -> body
+
+let rec transmit_inflight t conn inflight =
+  inflight.if_seq <- conn.send_bit;
+  if inflight.if_retries + inflight.if_busy_attempts > 0 then
+    Stats.incr t.stats "pkt.retransmissions";
+  let body = body_for_transmission inflight in
+  (* The kernel copies the client buffer into the output buffer as part of
+     sending (§5.2): data-bearing transmissions pay one copy here, in the
+     stop-and-wait critical path. *)
+  let data_bytes =
+    match body with
+    | Wire.Request { data; _ } | Wire.Accept { data; _ } | Wire.Put_data { data; _ } ->
+      Bytes.length data
+    | _ -> 0
+  in
+  let copy_us = if data_bytes > 0 then Cost.data_copy_us t.cost ~bytes:data_bytes else 0 in
+  if copy_us > 0 then Stats.add_time t.stats (Cost.label Cost.Protocol) copy_us;
+  if copy_us = 0 then begin
+    emit t ~dst:(`Peer conn.peer) ~reliable:true ~seq:inflight.if_seq body;
+    arm_retrans t conn inflight
+  end
+  else begin
+    (* The imminent emission will carry any owed ack; hold the standalone
+       ack back while the output buffer is being filled. *)
+    (match conn.ack_timer with
+     | Some id when conn.ack_owed <> None ->
+       Engine.cancel t.engine id;
+       conn.ack_timer <- None
+     | Some _ | None -> ());
+    ignore
+      (defer t ~delay:copy_us (fun () ->
+           if not inflight.if_finished then begin
+             emit t ~dst:(`Peer conn.peer) ~reliable:true ~seq:inflight.if_seq body;
+             arm_retrans t conn inflight
+           end
+           else if conn.ack_owed <> None then
+             (* the emission was cancelled; release the held ack *)
+             owe_ack t conn (Option.get conn.ack_owed)))
+  end
+
+and arm_retrans t conn inflight =
+  (match inflight.if_timer with
+   | Some id -> Engine.cancel t.engine id
+   | None -> ());
+  let delay = retrans_delay t inflight in
+  inflight.if_timer <-
+    Some
+      (defer t ~delay (fun () ->
+           inflight.if_timer <- None;
+           if not inflight.if_finished then begin
+             if inflight.if_retries >= t.cost.Cost.max_retrans then
+               finish_inflight t conn inflight Out_timeout
+             else begin
+               inflight.if_retries <- inflight.if_retries + 1;
+               transmit_inflight t conn inflight
+             end
+           end))
+
+and finish_inflight t conn inflight outcome =
+  if not inflight.if_finished then begin
+    inflight.if_finished <- true;
+    (match inflight.if_timer with
+     | Some id ->
+       Engine.cancel t.engine id;
+       inflight.if_timer <- None
+     | None -> ());
+    (match outcome with
+     | Out_acked | Out_cancel_reply _ -> conn.send_bit <- not conn.send_bit
+     | Out_error code when code <> Wire.Err_unadvertised ->
+       (* The peer consumed the message before rejecting it. *)
+       conn.send_bit <- not conn.send_bit
+     | Out_error _ | Out_timeout -> ());
+    conn.inflight <- None;
+    inflight.if_done outcome;
+    start_next t conn
+  end
+
+and start_next t conn =
+  if conn.inflight = None && not (Queue.is_empty conn.sendq) then begin
+    let pending = Queue.pop conn.sendq in
+    let inflight =
+      {
+        if_kind = pending.ps_kind;
+        if_tid = pending.ps_tid;
+        if_body = pending.ps_body;
+        if_seq = conn.send_bit;
+        if_retries = pending.ps_retries;
+        if_busy_attempts = pending.ps_busy;
+        if_waiting_busy = false;
+        if_timer = None;
+        if_finished = false;
+        if_done = pending.ps_done;
+      }
+    in
+    conn.inflight <- Some inflight;
+    transmit_inflight t conn inflight
+  end
+
+let queue_push_front queue x =
+  let tmp = Queue.create () in
+  Queue.push x tmp;
+  Queue.transfer queue tmp;
+  Queue.transfer tmp queue
+
+(* The DATA of an in-progress exchange must not starve behind a new
+   REQUEST that is bouncing off the very handler the exchange is blocking:
+   park the busy-waiting request back at the head of the queue so the
+   pending Put_data goes first. *)
+let park_busy_inflight t conn inflight =
+  (match inflight.if_timer with
+   | Some id ->
+     Engine.cancel t.engine id;
+     inflight.if_timer <- None
+   | None -> ());
+  inflight.if_finished <- true;
+  conn.inflight <- None;
+  queue_push_front conn.sendq
+    {
+      ps_kind = inflight.if_kind;
+      ps_tid = inflight.if_tid;
+      ps_body = inflight.if_body;
+      ps_done = inflight.if_done;
+      ps_retries = inflight.if_retries;
+      ps_busy = inflight.if_busy_attempts;
+    };
+  (* keep any pending DATA ahead of requeued requests *)
+  let puts = Queue.create () and rest = Queue.create () in
+  Queue.iter (fun p -> Queue.push p (if p.ps_kind = K_put_data then puts else rest)) conn.sendq;
+  Queue.clear conn.sendq;
+  Queue.transfer puts conn.sendq;
+  Queue.transfer rest conn.sendq
+
+let send_reliable t ~peer ~kind ~tid body ~on_done =
+  let conn = conn_for t peer in
+  touch t conn;
+  let pending =
+    { ps_kind = kind; ps_tid = tid; ps_body = body; ps_done = on_done; ps_retries = 0;
+      ps_busy = 0 }
+  in
+  (match kind, conn.inflight with
+   | K_put_data, Some inflight
+     when inflight.if_waiting_busy && inflight.if_kind = K_request
+          && not inflight.if_finished ->
+     park_busy_inflight t conn inflight;
+     queue_push_front conn.sendq pending
+   | _ -> Queue.push pending conn.sendq);
+  start_next t conn
+
+(* ---- creation ----------------------------------------------------------- *)
+
+let create ~engine ~bus ~mid ~cost ~trace =
+  let t =
+    {
+      engine;
+      bus;
+      mid;
+      cost;
+      trace;
+      stats = Stats.create ();
+      rng = Rng.split (Engine.rng engine);
+      nic = None;
+      cb = None;
+      conns = Hashtbl.create 8;
+      out_reqs = Hashtbl.create 16;
+      discovers = Hashtbl.create 4;
+      srv_txns = Hashtbl.create 16;
+      buffered = None;
+      epoch = 0;
+    }
+  in
+  t
+
+let set_callbacks t cb = t.cb <- Some cb
+
+(* ---- probes (§3.6.2) ---------------------------------------------------- *)
+
+let stop_probing t req =
+  match req.or_probe_timer with
+  | Some id ->
+    Engine.cancel t.engine id;
+    req.or_probe_timer <- None
+  | None -> ()
+
+let complete_out_req t req completion =
+  if req.or_state <> Rq_done then begin
+    req.or_state <- Rq_done;
+    stop_probing t req;
+    Hashtbl.remove t.out_reqs req.or_tid;
+    (* A pending CANCEL loses the race against completion (§3.3.3). *)
+    (match req.or_cancel_pending with
+     | Some k ->
+       req.or_cancel_pending <- None;
+       k false
+     | None -> ());
+    (callbacks t).complete_request ~tid:req.or_tid completion
+  end
+
+let rec arm_probe t req =
+  req.or_probe_timer <-
+    Some
+      (defer t ~delay:t.cost.Cost.probe_interval_us (fun () ->
+           req.or_probe_timer <- None;
+           if req.or_state = Rq_delivered then begin
+             if req.or_probe_outstanding then begin
+               req.or_probe_misses <- req.or_probe_misses + 1;
+               Stats.incr t.stats "probe.misses"
+             end;
+             if req.or_probe_misses >= t.cost.Cost.probe_miss_limit then begin
+               Trace.record t.trace ~now:(Engine.now t.engine) ~actor:(actor t)
+                 "probe: server %d silent for request #%d; reporting CRASHED" req.or_dst
+                 req.or_tid;
+               complete_out_req t req Comp_crashed
+             end
+             else begin
+               req.or_probe_outstanding <- true;
+               Stats.incr t.stats "probe.sent";
+               emit t ~dst:(`Peer req.or_dst) (Wire.Probe { tid = req.or_tid });
+               arm_probe t req
+             end
+           end))
+
+let rec mark_delivered t req =
+  if req.or_state = Rq_sent then begin
+    req.or_state <- Rq_delivered;
+    arm_probe t req;
+    (* A CANCEL waiting for the server's state to become known can now
+       proceed remotely. *)
+    match req.or_cancel_pending with
+    | Some k ->
+      req.or_cancel_pending <- None;
+      send_remote_cancel t req k
+    | None -> ()
+  end
+
+and send_remote_cancel t req k =
+  send_reliable t ~peer:req.or_dst ~kind:K_cancel ~tid:req.or_tid
+    (Wire.Cancel_request { tid = req.or_tid })
+    ~on_done:(fun outcome ->
+      match outcome with
+      | Out_cancel_reply true ->
+        if req.or_state <> Rq_done then begin
+          req.or_state <- Rq_done;
+          stop_probing t req;
+          Hashtbl.remove t.out_reqs req.or_tid;
+          k true
+        end
+        else k false
+      | Out_cancel_reply false -> k false
+      | Out_error _ | Out_acked -> k false
+      | Out_timeout ->
+        (* Server dead: the request itself fails CRASHED; cancel fails
+           because the request "completed" first. *)
+        complete_out_req t req Comp_crashed;
+        k false)
+
+(* ---- requester: submitting --------------------------------------------- *)
+
+let submit_request t ~dst ~tid ~pattern ~arg ~put_data ~get_size =
+  let req =
+    {
+      or_tid = tid;
+      or_dst = dst;
+      or_put = put_data;
+      or_get_size = get_size;
+      or_state = Rq_sent;
+      or_probe_timer = None;
+      or_probe_misses = 0;
+      or_probe_outstanding = false;
+      or_cancel_pending = None;
+    }
+  in
+  Hashtbl.replace t.out_reqs tid req;
+  Stats.incr t.stats "req.submitted";
+  let body =
+    Wire.Request
+      {
+        tid;
+        pattern;
+        arg;
+        put_size = Bytes.length put_data;
+        get_size;
+        data = put_data;
+        retry = false;
+      }
+  in
+  send_reliable t ~peer:dst ~kind:K_request ~tid body ~on_done:(fun outcome ->
+      match outcome with
+      | Out_acked -> mark_delivered t req
+      | Out_error Wire.Err_unadvertised -> complete_out_req t req Comp_unadvertised
+      | Out_error _ -> complete_out_req t req Comp_crashed
+      | Out_timeout -> complete_out_req t req Comp_crashed
+      | Out_cancel_reply _ -> ())
+
+let submit_discover t ~tid ~pattern ~max_mids =
+  let dr = { dr_tid = tid; dr_max = max_mids; dr_mids = []; dr_timer = None } in
+  Hashtbl.replace t.discovers tid dr;
+  Stats.incr t.stats "discover.submitted";
+  emit t ~dst:`Broadcast (Wire.Discover { tid; pattern });
+  dr.dr_timer <-
+    Some
+      (defer t ~delay:t.cost.Cost.discover_window_us (fun () ->
+           dr.dr_timer <- None;
+           Hashtbl.remove t.discovers tid;
+           (callbacks t).complete_request ~tid (Comp_discovered (List.rev dr.dr_mids))))
+
+(* ---- server: transactions ----------------------------------------------- *)
+
+let srv_gc t txn =
+  (match txn.st_gc with Some id -> Engine.cancel t.engine id | None -> ());
+  txn.st_gc <-
+    Some
+      (defer t ~delay:(Cost.record_expiry_us t.cost) (fun () ->
+           Hashtbl.remove t.srv_txns (txn.st_src, txn.st_tid)))
+
+let accept_check_done t txn ctx =
+  if (not ctx.ac_done) && (not ctx.ac_need_data) && not ctx.ac_awaiting_ack then begin
+    ctx.ac_done <- true;
+    txn.st_state <- Srv_completed;
+    srv_gc t txn;
+    ctx.ac_on_done (Acc_success ctx.ac_received)
+  end
+
+let truncate_bytes data len =
+  if Bytes.length data <= len then data else Bytes.sub data 0 len
+
+let accept t ~requester_mid ~requester_tid ~arg ~get_capacity ~data_out ~on_done =
+  let key = (requester_mid, requester_tid) in
+  match Hashtbl.find_opt t.srv_txns key with
+  | Some { st_state = Srv_cancelled; _ } -> on_done Acc_cancelled
+  | Some ({ st_state = Srv_accepting _ | Srv_completed; _ } as _txn) ->
+    (* Double accept of the same request. *)
+    on_done Acc_cancelled
+  | Some ({ st_state = Srv_delivered | Srv_buffered; _ } as txn) ->
+    let put_transferred = min txn.st_put_size get_capacity in
+    let data_out = truncate_bytes data_out txn.st_get_size in
+    let need_data = put_transferred > 0 && txn.st_put_data = None in
+    let received =
+      match txn.st_put_data with
+      | Some data -> truncate_bytes data put_transferred
+      | None -> Bytes.empty
+    in
+    (* The input-buffer -> client copy of the requester's put data happens
+       as part of the ACCEPT command; the outbound copy is charged at
+       transmit time. *)
+    let copy_us = Cost.data_copy_us t.cost ~bytes:(Bytes.length received) in
+    Stats.add_time t.stats (Cost.label Cost.Protocol) copy_us;
+    let ctx =
+      {
+        ac_put_transferred = put_transferred;
+        ac_need_data = need_data;
+        ac_awaiting_ack = Bytes.length data_out > 0;
+        ac_received = received;
+        ac_done = false;
+        ac_on_done = on_done;
+      }
+    in
+    txn.st_state <- Srv_accepting ctx;
+    let body =
+      Wire.Accept
+        { tid = requester_tid; arg; put_transferred; need_put_data = need_data; data = data_out }
+    in
+    ignore
+      (defer t ~delay:copy_us (fun () ->
+           send_reliable t ~peer:requester_mid ~kind:K_accept ~tid:requester_tid body
+             ~on_done:(fun outcome ->
+               match outcome with
+               | Out_acked ->
+                 ctx.ac_awaiting_ack <- false;
+                 accept_check_done t txn ctx
+               | Out_error Wire.Err_cancelled ->
+                 if not ctx.ac_done then begin
+                   ctx.ac_done <- true;
+                   txn.st_state <- Srv_completed;
+                   srv_gc t txn;
+                   ctx.ac_on_done Acc_cancelled
+                 end
+               | Out_error _ | Out_timeout ->
+                 if not ctx.ac_done then begin
+                   ctx.ac_done <- true;
+                   txn.st_state <- Srv_completed;
+                   srv_gc t txn;
+                   ctx.ac_on_done Acc_crashed
+                 end
+               | Out_cancel_reply _ -> ());
+           accept_check_done t txn ctx))
+  | None ->
+    (* Blind accept: either a guessed signature or a requester that crashed
+       and lost our record. Send it; the requester's kernel will answer with
+       the appropriate error (§3.3.2 rule 6, §5.4 staleness). *)
+    let body =
+      Wire.Accept
+        { tid = requester_tid; arg; put_transferred = 0; need_put_data = false;
+          data = Bytes.empty }
+    in
+    send_reliable t ~peer:requester_mid ~kind:K_accept ~tid:requester_tid body
+      ~on_done:(fun outcome ->
+        match outcome with
+        | Out_acked -> on_done Acc_cancelled
+        | Out_error Wire.Err_crashed -> on_done Acc_crashed
+        | Out_error _ -> on_done Acc_cancelled
+        | Out_timeout -> on_done Acc_crashed
+        | Out_cancel_reply _ -> ())
+
+(* ---- cancel -------------------------------------------------------------- *)
+
+let cancel t ~tid ~on_done =
+  match Hashtbl.find_opt t.out_reqs tid with
+  | None -> on_done false
+  | Some req ->
+    (match req.or_state with
+     | Rq_done -> on_done false
+     | Rq_delivered -> send_remote_cancel t req on_done
+     | Rq_sent ->
+       let conn = conn_for t req.or_dst in
+       (* Still queued behind other traffic? Then the server has never seen
+          it: kill it locally. *)
+       let in_queue =
+         Queue.fold
+           (fun found p -> found || (p.ps_tid = tid && p.ps_kind = K_request))
+           false conn.sendq
+       in
+       if in_queue then begin
+         let keep = Queue.create () in
+         Queue.iter
+           (fun p -> if not (p.ps_tid = tid && p.ps_kind = K_request) then Queue.push p keep)
+           conn.sendq;
+         Queue.clear conn.sendq;
+         Queue.transfer keep conn.sendq;
+         req.or_state <- Rq_done;
+         Hashtbl.remove t.out_reqs tid;
+         on_done true
+       end
+       else begin
+         match conn.inflight with
+         | Some inflight
+           when inflight.if_tid = tid && inflight.if_kind = K_request
+                && inflight.if_waiting_busy ->
+           (* Bouncing off a busy handler: the server never took delivery
+              (BUSY does not consume the sequence bit), so a local abort is
+              safe and the sequence bit stays unflipped. *)
+           inflight.if_finished <- true;
+           (match inflight.if_timer with
+            | Some id ->
+              Engine.cancel t.engine id;
+              inflight.if_timer <- None
+            | None -> ());
+           conn.inflight <- None;
+           req.or_state <- Rq_done;
+           Hashtbl.remove t.out_reqs tid;
+           start_next t conn;
+           on_done true
+         | _ ->
+           (* Await the acknowledgement; the outcome callback resolves us. *)
+           req.or_cancel_pending <- Some on_done
+       end)
+
+(* ---- incoming packet processing ------------------------------------------ *)
+
+let handle_ack t conn bit =
+  match conn.inflight with
+  | Some inflight when inflight.if_seq = bit && inflight.if_kind = K_cancel ->
+    (* A CANCEL is resolved by its Cancel_reply body (usually in the same
+       packet as this ack), not by the bare acknowledgement. *)
+    ()
+  | Some inflight when inflight.if_seq = bit && not inflight.if_waiting_busy ->
+    finish_inflight t conn inflight Out_acked
+  | Some inflight when inflight.if_seq = bit && inflight.if_waiting_busy ->
+    (* The BUSY was stale; an ack arrived after all (e.g. pipelined hold). *)
+    inflight.if_waiting_busy <- false;
+    finish_inflight t conn inflight Out_acked
+  | _ -> ()
+
+(* Identify a reliable message for duplicate disambiguation: after the
+   sender exhausts retransmissions it reuses the sequence bit for its NEXT
+   message, so a stale-looking bit with a different transaction id is a
+   fresh message, not a duplicate. *)
+let message_key body =
+  match body with
+  | Wire.Request { tid; _ } -> Some (1, tid)
+  | Wire.Accept { tid; _ } -> Some (2, tid)
+  | Wire.Put_data { tid; _ } -> Some (3, tid)
+  | Wire.Cancel_request { tid } -> Some (4, tid)
+  | _ -> None
+
+(* Consume a reliable message's sequence bit if it is fresh. Returns
+   [`Fresh] if the body should be processed, [`Dup] otherwise. *)
+let consume_bit t conn ~key seq =
+  let is_dup =
+    match conn.recv_bit with
+    | Some expected when seq <> expected -> conn.last_consumed = key || key = None
+    | Some _ | None -> false
+  in
+  if is_dup then `Dup
+  else begin
+    if conn.recv_bit = None then
+      Trace.record t.trace ~now:(Engine.now t.engine) ~actor:(actor t)
+        "taking any SN from peer %d (no record)" conn.peer;
+    conn.recv_bit <- Some (not seq);
+    conn.last_acked_bit <- Some seq;
+    conn.last_consumed <- key;
+    conn.last_response <- None;
+    `Fresh
+  end
+
+let handle_request t conn src (r : Wire.body) seq =
+  match r with
+  | Wire.Request { tid; pattern; arg; put_size; get_size; data; retry } ->
+    (match conn.recv_bit with
+     | Some expected when seq <> expected && conn.last_consumed = Some (1, tid) ->
+       replay_response t conn
+     | _ ->
+       let cb = callbacks t in
+       (match cb.deliver_request ~src ~tid ~pattern ~arg ~put_size ~get_size with
+        | `Unadvertised ->
+          Stats.incr t.stats "req.unadvertised";
+          emit t ~dst:(`Peer conn.peer) (Wire.Error { tid; code = Wire.Err_unadvertised })
+        | `Deliver ->
+          ignore (consume_bit t conn ~key:(Some (1, tid)) seq);
+          (* Hold the ack long enough for a promptly-issued ACCEPT --
+             including both its input and output data copies -- to
+             piggyback it (§5.2.3). *)
+          let extra_grace =
+            Cost.data_copy_us t.cost ~bytes:put_size
+            + Cost.data_copy_us t.cost ~bytes:get_size
+            + t.cost.Cost.accept_trap_us + t.cost.Cost.context_switch_us
+            + t.cost.Cost.handler_client_us
+          in
+          owe_ack ~extra_grace t conn seq;
+          let txn =
+            {
+              st_src = src;
+              st_tid = tid;
+              st_put_size = put_size;
+              st_get_size = get_size;
+              st_put_data = (if (not retry) && put_size > 0 then Some data else None);
+              st_state = Srv_delivered;
+              st_gc = None;
+            }
+          in
+          Hashtbl.replace t.srv_txns (src, tid) txn;
+          Stats.incr t.stats "req.delivered"
+        | `Busy ->
+          if t.cost.Cost.pipelined && t.buffered = None then begin
+            ignore (consume_bit t conn ~key:(Some (1, tid)) seq);
+            let extra_grace =
+              Cost.data_copy_us t.cost ~bytes:put_size
+              + Cost.data_copy_us t.cost ~bytes:get_size
+              + t.cost.Cost.accept_trap_us + t.cost.Cost.context_switch_us
+              + t.cost.Cost.handler_client_us
+            in
+            owe_ack ~extra_grace t conn seq;
+            let txn =
+              {
+                st_src = src;
+                st_tid = tid;
+                st_put_size = put_size;
+                st_get_size = get_size;
+                st_put_data = (if (not retry) && put_size > 0 then Some data else None);
+                st_state = Srv_buffered;
+                st_gc = None;
+              }
+            in
+            Hashtbl.replace t.srv_txns (src, tid) txn;
+            t.buffered <-
+              Some
+                { br_src = src; br_tid = tid; br_pattern = pattern; br_arg = arg;
+                  br_put_size = put_size; br_get_size = get_size };
+            Stats.incr t.stats "req.buffered"
+          end
+          else begin
+            Stats.incr t.stats "req.busy_nacked";
+            emit t ~dst:(`Peer conn.peer) (Wire.Busy { tid })
+          end))
+  | _ -> assert false
+
+let flush_buffered t =
+  match t.buffered with
+  | None -> ()
+  | Some br ->
+    let cb = callbacks t in
+    (match
+       cb.deliver_request ~src:br.br_src ~tid:br.br_tid ~pattern:br.br_pattern
+         ~arg:br.br_arg ~put_size:br.br_put_size ~get_size:br.br_get_size
+     with
+     | `Deliver ->
+       t.buffered <- None;
+       (match Hashtbl.find_opt t.srv_txns (br.br_src, br.br_tid) with
+        | Some txn when txn.st_state = Srv_buffered -> txn.st_state <- Srv_delivered
+        | Some _ | None -> ());
+       Stats.incr t.stats "req.delivered";
+       Stats.incr t.stats "req.delivered_from_buffer"
+     | `Busy -> ()
+     | `Unadvertised ->
+       t.buffered <- None;
+       (match Hashtbl.find_opt t.srv_txns (br.br_src, br.br_tid) with
+        | Some txn when txn.st_state = Srv_buffered ->
+          Hashtbl.remove t.srv_txns (br.br_src, br.br_tid)
+        | Some _ | None -> ());
+       emit t ~dst:(`Peer br.br_src) (Wire.Error { tid = br.br_tid; code = Wire.Err_unadvertised }))
+
+let handle_accept_body t conn src (a : Wire.body) =
+  match a with
+  | Wire.Accept { tid; arg; put_transferred; need_put_data; data } ->
+    (match Hashtbl.find_opt t.out_reqs tid with
+     | Some req when req.or_state <> Rq_done ->
+       if src <> req.or_dst then
+         (* Rule 6 of §3.3.2: only the addressed server may accept. *)
+         respond_consumed t conn (Wire.Error { tid; code = Wire.Err_cancelled })
+       else begin
+         let get_data = truncate_bytes data req.or_get_size in
+         let copy_us = Cost.data_copy_us t.cost ~bytes:(Bytes.length get_data) in
+         Stats.add_time t.stats (Cost.label Cost.Protocol) copy_us;
+         if need_put_data then begin
+           (* The put data was wasted on a busy transmission and must be
+              re-sent; the data exchange -- and hence the requester's
+              completion -- is only over once the server acknowledges it. *)
+           let payload = truncate_bytes req.or_put put_transferred in
+           Stats.incr t.stats "req.data_resend";
+           send_reliable t ~peer:src ~kind:K_put_data ~tid
+             (Wire.Put_data { tid; data = payload })
+             ~on_done:(fun outcome ->
+               match outcome with
+               | Out_acked ->
+                 complete_out_req t req (Comp_accepted { arg; put_transferred; get_data })
+               | Out_error _ | Out_timeout -> complete_out_req t req Comp_crashed
+               | Out_cancel_reply _ -> ())
+         end
+         else if copy_us = 0 then
+           complete_out_req t req (Comp_accepted { arg; put_transferred; get_data })
+         else
+           ignore
+             (defer t ~delay:copy_us (fun () ->
+                  complete_out_req t req (Comp_accepted { arg; put_transferred; get_data })))
+       end
+     | Some _ | None ->
+       (match (callbacks t).classify_unknown_tid tid with
+        | `Completed -> respond_consumed t conn (Wire.Error { tid; code = Wire.Err_cancelled })
+        | `Stale -> respond_consumed t conn (Wire.Error { tid; code = Wire.Err_crashed })))
+  | _ -> assert false
+
+let handle_put_data t conn (d : Wire.body) =
+  match d with
+  | Wire.Put_data { tid; data } ->
+    (match Hashtbl.find_opt t.srv_txns (conn.peer, tid) with
+     | Some ({ st_state = Srv_accepting ctx; _ } as txn) when ctx.ac_need_data ->
+       ctx.ac_received <- truncate_bytes data ctx.ac_put_transferred;
+       ctx.ac_need_data <- false;
+       let copy_us = Cost.data_copy_us t.cost ~bytes:(Bytes.length ctx.ac_received) in
+       Stats.add_time t.stats (Cost.label Cost.Protocol) copy_us;
+       ignore (defer t ~delay:copy_us (fun () -> accept_check_done t txn ctx))
+     | Some _ | None -> ())
+  | _ -> assert false
+
+let handle_cancel_request t conn (c : Wire.body) =
+  match c with
+  | Wire.Cancel_request { tid } ->
+    let key = (conn.peer, tid) in
+    let ok =
+      match Hashtbl.find_opt t.srv_txns key with
+      | Some ({ st_state = Srv_delivered; _ } as txn) ->
+        txn.st_state <- Srv_cancelled;
+        srv_gc t txn;
+        true
+      | Some ({ st_state = Srv_buffered; _ } as txn) ->
+        txn.st_state <- Srv_cancelled;
+        srv_gc t txn;
+        (match t.buffered with
+         | Some br when br.br_src = conn.peer && br.br_tid = tid -> t.buffered <- None
+         | Some _ | None -> ());
+        true
+      | Some { st_state = Srv_cancelled; _ } -> true
+      | Some { st_state = Srv_accepting _ | Srv_completed; _ } -> false
+      | None -> true
+    in
+    if ok then Stats.incr t.stats "cancel.granted" else Stats.incr t.stats "cancel.refused";
+    respond_consumed t conn (Wire.Cancel_reply { tid; ok })
+  | _ -> assert false
+
+let handle_busy t conn tid =
+  match conn.inflight with
+  | Some inflight
+    when inflight.if_tid = tid && inflight.if_kind = K_request
+         && not inflight.if_finished ->
+    (match inflight.if_timer with
+     | Some id ->
+       Engine.cancel t.engine id;
+       inflight.if_timer <- None
+     | None -> ());
+    inflight.if_busy_attempts <- inflight.if_busy_attempts + 1;
+    inflight.if_waiting_busy <- true;
+    Stats.incr t.stats "req.busy_received";
+    let queued_put_data =
+      Queue.fold (fun found p -> found || p.ps_kind = K_put_data) false conn.sendq
+    in
+    if queued_put_data then begin
+      (* A pending DATA transfer is what will free the busy handler; let it
+         overtake the parked request. *)
+      park_busy_inflight t conn inflight;
+      start_next t conn
+    end
+    else begin
+      let delay = busy_delay t inflight in
+      inflight.if_timer <-
+        Some
+          (defer t ~delay (fun () ->
+               inflight.if_timer <- None;
+               if not inflight.if_finished then begin
+                 inflight.if_waiting_busy <- false;
+                 transmit_inflight t conn inflight
+               end))
+    end
+  | _ -> ()
+
+let handle_error t conn tid code =
+  match conn.inflight with
+  | Some inflight when inflight.if_tid = tid && not inflight.if_finished ->
+    finish_inflight t conn inflight (Out_error code)
+  | _ -> ()
+
+let handle_cancel_reply t conn tid ok =
+  match conn.inflight with
+  | Some inflight
+    when inflight.if_tid = tid && inflight.if_kind = K_cancel && not inflight.if_finished ->
+    finish_inflight t conn inflight (Out_cancel_reply ok)
+  | _ -> ignore t
+
+let handle_probe t conn tid =
+  let alive =
+    match Hashtbl.find_opt t.srv_txns (conn.peer, tid) with
+    | Some { st_state = Srv_cancelled; _ } -> false
+    | Some _ -> true
+    | None -> false
+  in
+  Stats.incr t.stats "probe.answered";
+  emit t ~dst:(`Peer conn.peer) (Wire.Probe_reply { tid; alive })
+
+let handle_probe_reply t tid alive =
+  match Hashtbl.find_opt t.out_reqs tid with
+  | Some req when req.or_state = Rq_delivered ->
+    req.or_probe_outstanding <- false;
+    req.or_probe_misses <- 0;
+    if not alive then begin
+      Trace.record t.trace ~now:(Engine.now t.engine) ~actor:(actor t)
+        "probe reply: server lost request #%d (crash+reboot); CRASHED" tid;
+      complete_out_req t req Comp_crashed
+    end
+  | Some _ | None -> ()
+
+let handle_discover t src tid pattern =
+  if (callbacks t).advertised pattern then begin
+    let delay = t.cost.Cost.discover_stagger_us * (t.mid + 1) in
+    Stats.incr t.stats "discover.matched";
+    ignore
+      (defer t ~delay (fun () -> emit t ~dst:(`Peer src) (Wire.Discover_reply { tid })))
+  end
+
+let handle_discover_reply t src tid =
+  match Hashtbl.find_opt t.discovers tid with
+  | Some dr ->
+    if (not (List.mem src dr.dr_mids)) && List.length dr.dr_mids < dr.dr_max then
+      dr.dr_mids <- src :: dr.dr_mids
+  | None -> ()
+
+let process_packet t pkt =
+  let src = pkt.Wire.src in
+  Stats.incr t.stats "pkt.recv.total";
+  Stats.incr t.stats (Printf.sprintf "pkt.recv.%s" (kind_name pkt.Wire.body));
+  Trace.record t.trace ~now:(Engine.now t.engine) ~actor:(actor t) "recv %s from %d"
+    (Wire.describe pkt) src;
+  let conn = conn_for t src in
+  touch t conn;
+  (* For reliable bodies, consume the sequence bit and register the owed
+     acknowledgement BEFORE processing the piggybacked ack: acking our
+     in-flight message may immediately transmit the next queued one, which
+     should carry the ack we now owe (§5.2.3 piggybacking). *)
+  let freshness =
+    match pkt.Wire.body with
+    | Wire.Accept { data; _ } ->
+      (match consume_bit t conn ~key:(message_key pkt.Wire.body) pkt.Wire.seq with
+       | `Dup -> `Dup
+       | `Fresh ->
+         (* Hold the ack long enough for the kernel->client copy and the
+            client's next request to piggyback it. *)
+         let extra_grace =
+           Cost.data_copy_us t.cost ~bytes:(Bytes.length data)
+           + t.cost.Cost.request_trap_us + t.cost.Cost.context_switch_us
+         in
+         owe_ack ~extra_grace t conn pkt.Wire.seq;
+         `Fresh)
+    | Wire.Put_data _ | Wire.Cancel_request _ ->
+      (match consume_bit t conn ~key:(message_key pkt.Wire.body) pkt.Wire.seq with
+       | `Dup -> `Dup
+       | `Fresh ->
+         owe_ack t conn pkt.Wire.seq;
+         `Fresh)
+    | _ -> `Fresh
+  in
+  (* An Error response both acknowledges (transport level) and rejects
+     (semantic level) the in-flight message; its body must win, so the
+     piggybacked ack is suppressed and handle_error flips the bit. *)
+  (match pkt.Wire.ack, pkt.Wire.body with
+   | Some _, Wire.Error _ -> ()
+   | Some bit, _ -> handle_ack t conn bit
+   | None, _ -> ());
+  match pkt.Wire.body, freshness with
+  | _, `Dup -> replay_response t conn
+  | Wire.Request _, _ -> handle_request t conn src pkt.Wire.body pkt.Wire.seq
+  | Wire.Accept _, _ -> handle_accept_body t conn src pkt.Wire.body
+  | Wire.Put_data _, _ -> handle_put_data t conn pkt.Wire.body
+  | Wire.Cancel_request _, _ -> handle_cancel_request t conn pkt.Wire.body
+  | Wire.Ack, _ -> ()
+  | Wire.Busy { tid }, _ -> handle_busy t conn tid
+  | Wire.Error { tid; code }, _ -> handle_error t conn tid code
+  | Wire.Cancel_reply { tid; ok }, _ -> handle_cancel_reply t conn tid ok
+  | Wire.Probe { tid }, _ -> handle_probe t conn tid
+  | Wire.Probe_reply { tid; alive }, _ -> handle_probe_reply t tid alive
+  | Wire.Discover { tid; pattern }, _ -> handle_discover t src tid pattern
+  | Wire.Discover_reply { tid }, _ -> handle_discover_reply t src tid
+
+let attach_nic t =
+  let nic =
+    Nic.attach t.bus ~mid:t.mid ~rx:(fun ~src:_ ~broadcast:_ payload ->
+        match Wire.decode payload with
+        | Error _ -> Stats.incr t.stats "pkt.decode_errors"
+        | Ok pkt ->
+          let cpu = packet_cpu_us t in
+          ignore (defer t ~delay:cpu (fun () -> process_packet t pkt)))
+  in
+  t.nic <- Some nic;
+  nic
+
+(* ---- reset ---------------------------------------------------------------- *)
+
+let reset t =
+  t.epoch <- t.epoch + 1;
+  Hashtbl.iter
+    (fun _ conn ->
+      (match conn.inflight with
+       | Some inflight ->
+         (match inflight.if_timer with Some id -> Engine.cancel t.engine id | None -> ())
+       | None -> ());
+      (match conn.ack_timer with Some id -> Engine.cancel t.engine id | None -> ());
+      (match conn.expiry_timer with Some id -> Engine.cancel t.engine id | None -> ()))
+    t.conns;
+  Hashtbl.iter
+    (fun _ req ->
+      match req.or_probe_timer with Some id -> Engine.cancel t.engine id | None -> ())
+    t.out_reqs;
+  Hashtbl.iter
+    (fun _ dr -> match dr.dr_timer with Some id -> Engine.cancel t.engine id | None -> ())
+    t.discovers;
+  Hashtbl.iter
+    (fun _ txn -> match txn.st_gc with Some id -> Engine.cancel t.engine id | None -> ())
+    t.srv_txns;
+  Hashtbl.reset t.conns;
+  Hashtbl.reset t.out_reqs;
+  Hashtbl.reset t.discovers;
+  Hashtbl.reset t.srv_txns;
+  t.buffered <- None;
+  Trace.record t.trace ~now:(Engine.now t.engine) ~actor:(actor t) "kernel state reset"
+
+let outstanding_requests t = Hashtbl.length t.out_reqs + Hashtbl.length t.discovers

@@ -1,0 +1,123 @@
+(** The SODA kernel's network half (§5.2.2–§5.2.3).
+
+    One [Transport.t] per node implements:
+
+    - the {b alternating-bit stop-and-wait} protocol: at most one
+      unacknowledged reliable message per peer per direction, duplicates
+      detected by a single sequence bit, lost packets recovered by
+      retransmission with randomised exponential backoff;
+    - {b Delta-t} connection management: no explicit connection setup; a
+      peer's record is created on first contact, expires after
+      MPL + Delta-t of silence, after which any sequence bit is accepted;
+    - {b BUSY NACKs}: a REQUEST meeting a busy/closed handler is refused
+      without consuming the sequence bit and retried by the requester at an
+      adaptively slowed rate; retries never carry data;
+    - the {b pipelined input buffer} (when [cost.pipelined]): instead of a
+      BUSY NACK, one arriving REQUEST is held and re-offered to the kernel
+      when the handler frees up;
+    - {b acknowledgement piggybacking}: an owed ACK waits [ack_grace_us]
+      for an outgoing packet (typically the ACCEPT) to carry it;
+    - {b probes} (§3.6.2): every delivered-but-unaccepted outbound request
+      is probed periodically; missing replies or a rebooted server complete
+      it as CRASHED;
+    - {b DISCOVER}: broadcast pattern lookup with per-mid staggered
+      replies (§5.3).
+
+    The client-facing semantics (patterns, handler states, MAXREQUESTS,
+    booting) live in [Soda_core.Kernel], which drives this module through
+    the callback record. *)
+
+module Types = Soda_base.Types
+
+(** How a request completed, reported to the kernel exactly once. *)
+type completion =
+  | Comp_accepted of { arg : int; put_transferred : int; get_data : bytes }
+  | Comp_unadvertised
+  | Comp_crashed
+  | Comp_discovered of int list  (** mids that answered a DISCOVER *)
+
+type accept_outcome =
+  | Acc_success of bytes  (** the put-direction data received *)
+  | Acc_cancelled
+  | Acc_crashed
+
+type delivery_decision =
+  [ `Deliver  (** handler open and idle; kernel will invoke it *)
+  | `Busy  (** handler busy or closed *)
+  | `Unadvertised ]
+
+type callbacks = {
+  deliver_request :
+    src:int ->
+    tid:int ->
+    pattern:Soda_base.Pattern.t ->
+    arg:int ->
+    put_size:int ->
+    get_size:int ->
+    delivery_decision;
+      (** Consulted when a REQUEST could be handed to the client. On
+          [`Deliver] the kernel must schedule the handler invocation. *)
+  complete_request : tid:int -> completion -> unit;
+      (** A request issued from this node finished. *)
+  advertised : Soda_base.Pattern.t -> bool;  (** DISCOVER screening *)
+  classify_unknown_tid : int -> [ `Completed | `Stale ];
+      (** Incoming ACCEPT names a tid we no longer track: was it completed
+          in this incarnation ([`Completed] -> CANCELLED) or minted before
+          the last reboot ([`Stale] -> CRASHED)? (§5.4) *)
+}
+
+type t
+
+val create :
+  engine:Soda_sim.Engine.t ->
+  bus:Soda_net.Bus.t ->
+  mid:int ->
+  cost:Soda_base.Cost_model.t ->
+  trace:Soda_sim.Trace.t ->
+  t
+
+(** Must be called exactly once before any traffic. *)
+val set_callbacks : t -> callbacks -> unit
+
+(** Attach the node's NIC to the bus and start receiving. The returned NIC
+    can be disabled/enabled to simulate the node powering down. *)
+val attach_nic : t -> Soda_net.Nic.t
+
+val mid : t -> int
+val stats : t -> Soda_sim.Stats.t
+val cost : t -> Soda_base.Cost_model.t
+
+(** Requester side. [put_data] is the put-direction payload (copied in);
+    [get_size] the receive-capacity in bytes. Completion arrives through
+    [complete_request]. *)
+val submit_request :
+  t -> dst:int -> tid:int -> pattern:Soda_base.Pattern.t -> arg:int ->
+  put_data:bytes -> get_size:int -> unit
+
+(** Broadcast DISCOVER; completes with [Comp_discovered] after the
+    collection window. *)
+val submit_discover : t -> tid:int -> pattern:Soda_base.Pattern.t -> max_mids:int -> unit
+
+(** Server side: complete a request. [get_capacity] is the server's
+    receive-buffer size for the requester's put data; [data_out] is the
+    data sent back (truncated to the requester's get buffer). [on_done]
+    fires when the data exchange is complete (bounded time). *)
+val accept :
+  t -> requester_mid:int -> requester_tid:int -> arg:int ->
+  get_capacity:int -> data_out:bytes -> on_done:(accept_outcome -> unit) -> unit
+
+(** Requester side: try to kill one of our uncompleted requests. [on_done
+    true] iff the cancel took effect (in which case no completion will ever
+    be delivered for the tid). *)
+val cancel : t -> tid:int -> on_done:(bool -> unit) -> unit
+
+(** The kernel's handler became available: re-offer a pipelined buffered
+    request, if any. *)
+val flush_buffered : t -> unit
+
+(** Crash or DIE: drop every connection record, transaction and timer.
+    The caller is responsible for the reboot quarantine. *)
+val reset : t -> unit
+
+(** Number of uncompleted outbound requests (for MAXREQUESTS). *)
+val outstanding_requests : t -> int

@@ -1,0 +1,276 @@
+module Pattern = Soda_base.Pattern
+
+type err_code = Err_unadvertised | Err_crashed | Err_cancelled
+
+type body =
+  | Request of {
+      tid : int;
+      pattern : Pattern.t;
+      arg : int;
+      put_size : int;
+      get_size : int;
+      data : bytes;
+      retry : bool;
+    }
+  | Accept of {
+      tid : int;
+      arg : int;
+      put_transferred : int;
+      need_put_data : bool;
+      data : bytes;
+    }
+  | Put_data of { tid : int; data : bytes }
+  | Ack
+  | Busy of { tid : int }
+  | Error of { tid : int; code : err_code }
+  | Cancel_request of { tid : int }
+  | Cancel_reply of { tid : int; ok : bool }
+  | Probe of { tid : int }
+  | Probe_reply of { tid : int; alive : bool }
+  | Discover of { tid : int; pattern : Pattern.t }
+  | Discover_reply of { tid : int }
+
+type t = {
+  src : int;
+  reliable : bool;
+  seq : bool;
+  ack : bool option;
+  body : body;
+}
+
+(* --- encoding helpers ------------------------------------------------- *)
+
+let put_u8 buf v = Buffer.add_char buf (Char.chr (v land 0xFF))
+
+let put_u16 buf v =
+  put_u8 buf (v lsr 8);
+  put_u8 buf v
+
+let put_u32 buf v =
+  put_u16 buf (v lsr 16);
+  put_u16 buf v
+
+let put_i32 buf v =
+  (* two's-complement 32-bit *)
+  put_u32 buf (v land 0xFFFFFFFF)
+
+let put_u48 buf v =
+  put_u16 buf (v lsr 32);
+  put_u32 buf v
+
+let put_data_field buf data =
+  put_u32 buf (Bytes.length data);
+  Buffer.add_bytes buf data
+
+type reader = { bytes : bytes; mutable pos : int }
+
+exception Truncated
+
+let get_u8 r =
+  if r.pos >= Bytes.length r.bytes then raise Truncated;
+  let v = Char.code (Bytes.get r.bytes r.pos) in
+  r.pos <- r.pos + 1;
+  v
+
+let get_u16 r =
+  let hi = get_u8 r in
+  (hi lsl 8) lor get_u8 r
+
+let get_u32 r =
+  let hi = get_u16 r in
+  (hi lsl 16) lor get_u16 r
+
+let get_i32 r =
+  let v = get_u32 r in
+  if v land 0x80000000 <> 0 then v - 0x100000000 else v
+
+let get_u48 r =
+  let hi = get_u16 r in
+  (hi lsl 32) lor get_u32 r
+
+let get_data_field r =
+  let len = get_u32 r in
+  if r.pos + len > Bytes.length r.bytes then raise Truncated;
+  let data = Bytes.sub r.bytes r.pos len in
+  r.pos <- r.pos + len;
+  data
+
+(* --- kinds ------------------------------------------------------------ *)
+
+let kind_of_body = function
+  | Request _ -> 1
+  | Accept _ -> 2
+  | Put_data _ -> 3
+  | Ack -> 4
+  | Busy _ -> 5
+  | Error _ -> 6
+  | Cancel_request _ -> 7
+  | Cancel_reply _ -> 8
+  | Probe _ -> 9
+  | Probe_reply _ -> 10
+  | Discover _ -> 11
+  | Discover_reply _ -> 12
+
+let err_to_int = function Err_unadvertised -> 0 | Err_crashed -> 1 | Err_cancelled -> 2
+
+let err_of_int = function
+  | 0 -> Ok Err_unadvertised
+  | 1 -> Ok Err_crashed
+  | 2 -> Ok Err_cancelled
+  | n -> Error (Printf.sprintf "bad error code %d" n)
+
+(* --- encode ----------------------------------------------------------- *)
+
+let flags t ~retry ~need_put_data =
+  (if t.reliable then 0x01 else 0)
+  lor (if t.seq then 0x02 else 0)
+  lor (match t.ack with None -> 0 | Some _ -> 0x04)
+  lor (match t.ack with Some true -> 0x08 | _ -> 0)
+  lor (if retry then 0x10 else 0)
+  lor if need_put_data then 0x20 else 0
+
+let encode t =
+  let buf = Buffer.create 64 in
+  let retry = match t.body with Request { retry; _ } -> retry | _ -> false in
+  let need_put_data =
+    match t.body with Accept { need_put_data; _ } -> need_put_data | _ -> false
+  in
+  put_u8 buf (kind_of_body t.body);
+  put_u8 buf (flags t ~retry ~need_put_data);
+  put_u16 buf t.src;
+  (match t.body with
+   | Request { tid; pattern; arg; put_size; get_size; data; retry = _ } ->
+     put_u48 buf tid;
+     put_u48 buf (Pattern.to_int pattern);
+     put_i32 buf arg;
+     put_u32 buf put_size;
+     put_u32 buf get_size;
+     put_data_field buf data
+   | Accept { tid; arg; put_transferred; need_put_data = _; data } ->
+     put_u48 buf tid;
+     put_i32 buf arg;
+     put_u32 buf put_transferred;
+     put_data_field buf data
+   | Put_data { tid; data } ->
+     put_u48 buf tid;
+     put_data_field buf data
+   | Ack -> ()
+   | Busy { tid } -> put_u48 buf tid
+   | Error { tid; code } ->
+     put_u48 buf tid;
+     put_u8 buf (err_to_int code)
+   | Cancel_request { tid } -> put_u48 buf tid
+   | Cancel_reply { tid; ok } ->
+     put_u48 buf tid;
+     put_u8 buf (if ok then 1 else 0)
+   | Probe { tid } -> put_u48 buf tid
+   | Probe_reply { tid; alive } ->
+     put_u48 buf tid;
+     put_u8 buf (if alive then 1 else 0)
+   | Discover { tid; pattern } ->
+     put_u48 buf tid;
+     put_u48 buf (Pattern.to_int pattern)
+   | Discover_reply { tid } -> put_u48 buf tid);
+  Buffer.to_bytes buf
+
+(* --- decode ----------------------------------------------------------- *)
+
+let decode bytes =
+  try
+    let r = { bytes; pos = 0 } in
+    let kind = get_u8 r in
+    let flags = get_u8 r in
+    let src = get_u16 r in
+    let reliable = flags land 0x01 <> 0 in
+    let seq = flags land 0x02 <> 0 in
+    let ack = if flags land 0x04 <> 0 then Some (flags land 0x08 <> 0) else None in
+    let retry = flags land 0x10 <> 0 in
+    let need_put_data = flags land 0x20 <> 0 in
+    let body_result =
+      match kind with
+      | 1 ->
+        let tid = get_u48 r in
+        let pattern = Pattern.of_int (get_u48 r) in
+        let arg = get_i32 r in
+        let put_size = get_u32 r in
+        let get_size = get_u32 r in
+        let data = get_data_field r in
+        Ok (Request { tid; pattern; arg; put_size; get_size; data; retry })
+      | 2 ->
+        let tid = get_u48 r in
+        let arg = get_i32 r in
+        let put_transferred = get_u32 r in
+        let data = get_data_field r in
+        Ok (Accept { tid; arg; put_transferred; need_put_data; data })
+      | 3 ->
+        let tid = get_u48 r in
+        let data = get_data_field r in
+        Ok (Put_data { tid; data })
+      | 4 -> Ok Ack
+      | 5 -> Ok (Busy { tid = get_u48 r })
+      | 6 ->
+        let tid = get_u48 r in
+        (match err_of_int (get_u8 r) with
+         | Ok code -> Ok (Error { tid; code })
+         | Error e -> Error e)
+      | 7 -> Ok (Cancel_request { tid = get_u48 r })
+      | 8 ->
+        let tid = get_u48 r in
+        Ok (Cancel_reply { tid; ok = get_u8 r <> 0 })
+      | 9 -> Ok (Probe { tid = get_u48 r })
+      | 10 ->
+        let tid = get_u48 r in
+        Ok (Probe_reply { tid; alive = get_u8 r <> 0 })
+      | 11 ->
+        let tid = get_u48 r in
+        let pattern = Pattern.of_int (get_u48 r) in
+        Ok (Discover { tid; pattern })
+      | 12 -> Ok (Discover_reply { tid = get_u48 r })
+      | n -> Error (Printf.sprintf "unknown packet kind %d" n)
+    in
+    match body_result with
+    | Error _ as e -> e
+    | Ok body ->
+      if r.pos <> Bytes.length bytes then Error "trailing bytes"
+      else Ok { src; reliable; seq; ack; body }
+  with
+  | Truncated -> Error "truncated packet"
+  | Invalid_argument msg -> Error msg
+
+let data_bytes t =
+  match t.body with
+  | Request { data; _ } | Accept { data; _ } | Put_data { data; _ } -> Bytes.length data
+  | Ack | Busy _ | Error _ | Cancel_request _ | Cancel_reply _ | Probe _ | Probe_reply _
+  | Discover _ | Discover_reply _ -> 0
+
+let describe t =
+  let body =
+    match t.body with
+    | Request { tid; data; retry; _ } ->
+      Printf.sprintf "REQ#%d%s%s" (tid land 0xFFFF)
+        (if Bytes.length data > 0 then Printf.sprintf "+%dB" (Bytes.length data) else "")
+        (if retry then " (retry)" else "")
+    | Accept { tid; data; need_put_data; _ } ->
+      Printf.sprintf "ACCEPT#%d%s%s" (tid land 0xFFFF)
+        (if Bytes.length data > 0 then Printf.sprintf "+%dB" (Bytes.length data) else "")
+        (if need_put_data then " (need-data)" else "")
+    | Put_data { tid; data } -> Printf.sprintf "DATA#%d+%dB" (tid land 0xFFFF) (Bytes.length data)
+    | Ack -> "ACK"
+    | Busy { tid } -> Printf.sprintf "BUSY#%d" (tid land 0xFFFF)
+    | Error { tid; code } ->
+      Printf.sprintf "ERR#%d:%s" (tid land 0xFFFF)
+        (match code with
+         | Err_unadvertised -> "unadvertised"
+         | Err_crashed -> "crashed"
+         | Err_cancelled -> "cancelled")
+    | Cancel_request { tid } -> Printf.sprintf "CANCEL#%d" (tid land 0xFFFF)
+    | Cancel_reply { tid; ok } -> Printf.sprintf "CANCEL-R#%d:%b" (tid land 0xFFFF) ok
+    | Probe { tid } -> Printf.sprintf "PROBE#%d" (tid land 0xFFFF)
+    | Probe_reply { tid; alive } -> Printf.sprintf "PROBE-R#%d:%b" (tid land 0xFFFF) alive
+    | Discover { tid; _ } -> Printf.sprintf "DISCOVER#%d" (tid land 0xFFFF)
+    | Discover_reply { tid } -> Printf.sprintf "DISCOVER-R#%d" (tid land 0xFFFF)
+  in
+  let ack = match t.ack with None -> "" | Some b -> Printf.sprintf "+ack(%b)" b in
+  Printf.sprintf "%s%s" body ack
+
+let pp ppf t = Format.pp_print_string ppf (describe t)

@@ -1,0 +1,71 @@
+(** SODA wire format.
+
+    Every kernel-to-kernel message is one of these packets, really encoded
+    to bytes before hitting the simulated bus (so transmission time, CRC
+    corruption and codec bugs are all exercised for real).
+
+    The protocol follows §5.2.2–§5.2.3 of the paper:
+    - [Request] carries put-direction data only on its first transmission;
+      retries are flagged and dataless;
+    - [Accept] is both the server's data transfer and (usually) the
+      piggybacked acknowledgement of the REQUEST;
+    - [Busy] is the NACK returned when the server handler (and, in the
+      non-pipelined kernel, the input buffer) is unavailable;
+    - [Put_data] re-supplies put-direction data that was wasted on a
+      transmission that met a busy handler (the "DATA+ACK" packet of the
+      six-packet EXCHANGE trace);
+    - [Probe]/[Probe_reply] implement delivered-request monitoring (§3.6.2);
+    - [Discover]/[Discover_reply] implement broadcast name lookup (§3.4.4). *)
+
+type err_code =
+  | Err_unadvertised  (** pattern not advertised at destination *)
+  | Err_crashed  (** transaction predates a crash/reboot *)
+  | Err_cancelled  (** transaction cancelled or already completed *)
+
+type body =
+  | Request of {
+      tid : int;
+      pattern : Soda_base.Pattern.t;
+      arg : int;
+      put_size : int;  (** bytes the requester is offering *)
+      get_size : int;  (** bytes the requester can receive *)
+      data : bytes;  (** put data; empty on retries *)
+      retry : bool;
+    }
+  | Accept of {
+      tid : int;
+      arg : int;
+      put_transferred : int;  (** bytes of put data the server is taking *)
+      need_put_data : bool;  (** true when the put data was wasted and must be resent *)
+      data : bytes;  (** get-direction data *)
+    }
+  | Put_data of { tid : int; data : bytes }
+  | Ack
+  | Busy of { tid : int }
+  | Error of { tid : int; code : err_code }
+  | Cancel_request of { tid : int }
+  | Cancel_reply of { tid : int; ok : bool }
+  | Probe of { tid : int }
+  | Probe_reply of { tid : int; alive : bool }
+  | Discover of { tid : int; pattern : Soda_base.Pattern.t }
+  | Discover_reply of { tid : int }
+
+type t = {
+  src : int;  (** sender machine id *)
+  reliable : bool;  (** sender retransmits until acknowledged *)
+  seq : bool;  (** alternating bit (meaningful when [reliable]) *)
+  ack : bool option;  (** piggybacked acknowledgement of the peer's bit *)
+  body : body;
+}
+
+val encode : t -> bytes
+
+val decode : bytes -> (t, string) result
+
+(** Number of payload-data bytes carried (for accounting). *)
+val data_bytes : t -> int
+
+(** Short human-readable form for traces: "REQ#12+800B" etc. *)
+val describe : t -> string
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/runtime/bqueue.ml: List Queue

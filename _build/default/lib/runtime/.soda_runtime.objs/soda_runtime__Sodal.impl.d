@@ -1,0 +1,1 @@
+lib/runtime/sodal.ml: Bytes Char Fiber Hashtbl List Soda_base Soda_core Soda_sim

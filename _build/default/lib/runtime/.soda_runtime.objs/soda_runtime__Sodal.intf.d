@@ -1,0 +1,1 @@
+lib/runtime/sodal.mli: Soda_base Soda_core

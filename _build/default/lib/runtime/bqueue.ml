@@ -1,0 +1,34 @@
+type 'a t = { capacity : int; items : 'a Queue.t }
+
+exception Empty
+exception Full
+
+let create capacity =
+  if capacity < 1 then invalid_arg "Bqueue.create: capacity must be >= 1";
+  { capacity; items = Queue.create () }
+
+let capacity t = t.capacity
+let length t = Queue.length t.items
+
+let enqueue t x =
+  if Queue.length t.items >= t.capacity then raise Full;
+  Queue.push x t.items
+
+let dequeue t = match Queue.pop t.items with x -> x | exception Queue.Empty -> raise Empty
+
+let peek t = Queue.peek_opt t.items
+
+let is_empty t = Queue.is_empty t.items
+let is_full t = Queue.length t.items >= t.capacity
+let almost_empty t = Queue.length t.items = 1
+let almost_full t = Queue.length t.items = t.capacity - 1
+
+let clear t = Queue.clear t.items
+
+let to_list t = List.of_seq (Queue.to_seq t.items)
+
+let filter_inplace t keep =
+  let kept = Queue.create () in
+  Queue.iter (fun x -> if keep x then Queue.push x kept) t.items;
+  Queue.clear t.items;
+  Queue.transfer kept t.items

@@ -1,0 +1,40 @@
+(** The SODAL bounded QUEUE type (§4.1.4).
+
+    [var q : QUEUE [n] of T] with the six operations of the paper:
+    EnQueue, DeQueue, IsEmpty, IsFull, AlmostEmpty, AlmostFull. *)
+
+type 'a t
+
+exception Empty
+exception Full
+
+(** [create n] — a queue holding at most [n] elements ([n >= 1]). *)
+val create : int -> 'a t
+
+val capacity : 'a t -> int
+val length : 'a t -> int
+
+(** @raise Full when at capacity. *)
+val enqueue : 'a t -> 'a -> unit
+
+(** @raise Empty when empty. *)
+val dequeue : 'a t -> 'a
+
+val peek : 'a t -> 'a option
+
+val is_empty : 'a t -> bool
+val is_full : 'a t -> bool
+
+(** True when exactly one element remains. *)
+val almost_empty : 'a t -> bool
+
+(** True when room for exactly one more element remains. *)
+val almost_full : 'a t -> bool
+
+val clear : 'a t -> unit
+
+val to_list : 'a t -> 'a list
+
+(** [filter_inplace q keep] drops elements failing [keep], preserving
+    order (used by link moving to flush rejected requests). *)
+val filter_inplace : 'a t -> ('a -> bool) -> unit

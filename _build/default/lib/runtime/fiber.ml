@@ -1,0 +1,28 @@
+exception Stop
+
+type _ Effect.t += Await : (('a -> unit) -> unit) -> 'a Effect.t
+
+let await f = Effect.perform (Await f)
+
+let spawn ?(on_exit = fun () -> ()) fn =
+  let open Effect.Deep in
+  match_with fn ()
+    {
+      retc = (fun () -> on_exit ());
+      exnc =
+        (fun e ->
+          on_exit ();
+          match e with Stop -> () | e -> raise e);
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | Await f ->
+            Some
+              (fun (k : (a, unit) continuation) ->
+                let resumed = ref false in
+                f (fun v ->
+                    if !resumed then failwith "Fiber: continuation resumed twice";
+                    resumed := true;
+                    continue k v))
+          | _ -> None);
+    }

@@ -1,0 +1,19 @@
+(** Cooperative fibers over OCaml effects.
+
+    A client processor's TASK and HANDLER (§3.1) each run as a fiber: plain
+    OCaml code that suspends at SODA primitives and [idle ()] and is
+    resumed by simulation events. One-shot continuations; a fiber whose
+    resume never fires simply leaks (the simulated machine halted). *)
+
+(** Raised inside a fiber to terminate it silently (client death, DIE). *)
+exception Stop
+
+(** [spawn ?on_exit fn] runs [fn ()] as a fiber. [on_exit] fires when the
+    fiber returns or terminates via {!Stop} (not when it suspends).
+    Other exceptions propagate to the scheduler after [on_exit]. *)
+val spawn : ?on_exit:(unit -> unit) -> (unit -> unit) -> unit
+
+(** [await f] suspends the current fiber; [f resume] must arrange for
+    [resume v] to be called exactly once (later calls raise). The awaited
+    value is returned from [await]. *)
+val await : (('a -> unit) -> unit) -> 'a

@@ -1,0 +1,79 @@
+type event = { id : int; fn : unit -> unit }
+
+type event_id = int
+
+type t = {
+  mutable clock : int;
+  mutable next_seq : int;
+  mutable live : int;
+  queue : event Heap.t;
+  cancelled : (int, unit) Hashtbl.t;
+  root_rng : Rng.t;
+}
+
+exception Stop
+
+let create ?(seed = 42) () =
+  {
+    clock = 0;
+    next_seq = 0;
+    live = 0;
+    queue = Heap.create ();
+    cancelled = Hashtbl.create 64;
+    root_rng = Rng.create ~seed;
+  }
+
+let now t = t.clock
+
+let rng t = t.root_rng
+
+let schedule t ~delay fn =
+  if delay < 0 then invalid_arg "Engine.schedule: negative delay";
+  let seq = t.next_seq in
+  t.next_seq <- seq + 1;
+  t.live <- t.live + 1;
+  Heap.push t.queue ~key:(t.clock + delay) ~seq { id = seq; fn };
+  seq
+
+let cancel t id =
+  if not (Hashtbl.mem t.cancelled id) then begin
+    Hashtbl.replace t.cancelled id ();
+    t.live <- t.live - 1
+  end
+
+let pending t = t.live
+
+let stop _t = raise Stop
+
+let step t ~until =
+  match Heap.peek_key t.queue with
+  | None -> false
+  | Some key when key > until -> false
+  | Some _ ->
+    (match Heap.pop_min t.queue with
+     | None -> false
+     | Some (time, _seq, event) ->
+       if Hashtbl.mem t.cancelled event.id then begin
+         Hashtbl.remove t.cancelled event.id;
+         true
+       end
+       else begin
+         t.clock <- time;
+         t.live <- t.live - 1;
+         event.fn ();
+         true
+       end)
+
+let run ?(until = max_int) t =
+  (try
+     while step t ~until do
+       ()
+     done
+   with Stop -> ());
+  (* If we stopped on the time horizon rather than queue exhaustion, the
+     clock still reflects the last executed event; advance it to the horizon
+     so that back-to-back [run_for] calls cover contiguous intervals. *)
+  if until <> max_int && t.clock < until then t.clock <- until;
+  t.clock
+
+let run_for t ~duration = run ~until:(t.clock + duration) t

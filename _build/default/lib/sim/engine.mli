@@ -1,0 +1,43 @@
+(** Deterministic discrete-event simulation engine.
+
+    The engine owns a virtual clock in integer microseconds and a queue of
+    timestamped callbacks. Everything in the SODA reproduction — network
+    transmission, kernel protocol timers, client CPU time — advances this
+    clock; no wall-clock time is ever consulted, so a run is a pure
+    function of its seed and workload. *)
+
+type t
+
+(** Handle to a scheduled event; used to cancel pending timers. *)
+type event_id
+
+val create : ?seed:int -> unit -> t
+
+(** Current virtual time in microseconds. *)
+val now : t -> int
+
+(** The engine's root random stream (split it rather than sharing). *)
+val rng : t -> Rng.t
+
+(** [schedule t ~delay f] runs [f] at [now t + delay] ([delay >= 0]).
+    Events scheduled for the same instant run in scheduling order. *)
+val schedule : t -> delay:int -> (unit -> unit) -> event_id
+
+(** [cancel t id] prevents a pending event from firing; cancelling an
+    already-fired or already-cancelled event is a no-op. *)
+val cancel : t -> event_id -> unit
+
+(** [pending t] is the number of live (not cancelled, not fired) events. *)
+val pending : t -> int
+
+(** [run t] processes events until the queue is empty or [until] virtual
+    microseconds is reached. Returns the final virtual time. *)
+val run : ?until:int -> t -> int
+
+(** [run_for t ~duration] runs until [now t + duration]. *)
+val run_for : t -> duration:int -> int
+
+exception Stop
+
+(** [stop t] aborts the current [run] from inside an event callback. *)
+val stop : t -> 'a

@@ -1,0 +1,70 @@
+type 'a entry = { key : int; seq : int; value : 'a }
+
+type 'a t = {
+  mutable data : 'a entry array;
+  mutable size : int;
+}
+
+let initial_capacity = 64
+
+let create () = { data = [||]; size = 0 }
+
+let length heap = heap.size
+
+let is_empty heap = heap.size = 0
+
+let less a b = a.key < b.key || (a.key = b.key && a.seq < b.seq)
+
+let grow heap entry =
+  let capacity = Array.length heap.data in
+  if heap.size = capacity then begin
+    let next = if capacity = 0 then initial_capacity else capacity * 2 in
+    let data = Array.make next entry in
+    Array.blit heap.data 0 data 0 heap.size;
+    heap.data <- data
+  end
+
+let rec sift_up data i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if less data.(i) data.(parent) then begin
+      let tmp = data.(i) in
+      data.(i) <- data.(parent);
+      data.(parent) <- tmp;
+      sift_up data parent
+    end
+  end
+
+let rec sift_down data size i =
+  let left = (2 * i) + 1 in
+  let right = left + 1 in
+  let smallest = ref i in
+  if left < size && less data.(left) data.(!smallest) then smallest := left;
+  if right < size && less data.(right) data.(!smallest) then smallest := right;
+  if !smallest <> i then begin
+    let tmp = data.(i) in
+    data.(i) <- data.(!smallest);
+    data.(!smallest) <- tmp;
+    sift_down data size !smallest
+  end
+
+let push heap ~key ~seq value =
+  let entry = { key; seq; value } in
+  grow heap entry;
+  heap.data.(heap.size) <- entry;
+  heap.size <- heap.size + 1;
+  sift_up heap.data (heap.size - 1)
+
+let pop_min heap =
+  if heap.size = 0 then None
+  else begin
+    let root = heap.data.(0) in
+    heap.size <- heap.size - 1;
+    if heap.size > 0 then begin
+      heap.data.(0) <- heap.data.(heap.size);
+      sift_down heap.data heap.size 0
+    end;
+    Some (root.key, root.seq, root.value)
+  end
+
+let peek_key heap = if heap.size = 0 then None else Some heap.data.(0).key

@@ -1,0 +1,24 @@
+(** Binary min-heap specialised for the event queue.
+
+    Elements are ordered by an integer key (the event time) with a
+    monotonically increasing sequence number as a tie-breaker, so that two
+    events scheduled for the same instant pop in insertion order. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+(** [push heap ~key ~seq value] inserts [value] with priority
+    [(key, seq)]. *)
+val push : 'a t -> key:int -> seq:int -> 'a -> unit
+
+(** [pop_min heap] removes and returns the element with the smallest
+    [(key, seq)], or [None] if the heap is empty. *)
+val pop_min : 'a t -> (int * int * 'a) option
+
+(** [peek_key heap] returns the smallest key without removing it. *)
+val peek_key : 'a t -> int option

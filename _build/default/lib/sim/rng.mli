@@ -1,0 +1,31 @@
+(** Deterministic pseudo-random number generator (PCG32).
+
+    Every simulated run is reproducible from a single integer seed. The
+    generator is splittable so that independent subsystems (bus fault
+    injection, backoff jitter, client workloads) draw from decorrelated
+    streams while remaining deterministic. *)
+
+type t
+
+(** [create ~seed] builds a generator. Equal seeds yield equal streams. *)
+val create : seed:int -> t
+
+(** [split rng] derives an independent generator from [rng], advancing
+    [rng]. *)
+val split : t -> t
+
+(** [bits32 rng] returns 32 uniformly random bits as a non-negative int. *)
+val bits32 : t -> int
+
+(** [int rng bound] returns a uniform integer in [\[0, bound)].
+    @raise Invalid_argument if [bound <= 0]. *)
+val int : t -> int -> int
+
+(** [float rng bound] returns a uniform float in [\[0, bound)]. *)
+val float : t -> float -> float
+
+(** [bool rng] returns a uniform boolean. *)
+val bool : t -> bool
+
+(** [chance rng p] is true with probability [p] (clamped to [\[0, 1\]]). *)
+val chance : t -> float -> bool

@@ -1,0 +1,84 @@
+type t = {
+  counters : (string, int ref) Hashtbl.t;
+  times : (string, int ref) Hashtbl.t;
+  series : (string, int list ref) Hashtbl.t;
+}
+
+let create () =
+  {
+    counters = Hashtbl.create 32;
+    times = Hashtbl.create 32;
+    series = Hashtbl.create 32;
+  }
+
+let cell table name =
+  match Hashtbl.find_opt table name with
+  | Some r -> r
+  | None ->
+    let r = ref 0 in
+    Hashtbl.replace table name r;
+    r
+
+let incr t name = Stdlib.incr (cell t.counters name)
+let add t name n = cell t.counters name := !(cell t.counters name) + n
+let counter t name = match Hashtbl.find_opt t.counters name with Some r -> !r | None -> 0
+
+let add_time t name us = cell t.times name := !(cell t.times name) + us
+let time_us t name = match Hashtbl.find_opt t.times name with Some r -> !r | None -> 0
+let time_ms t name = float_of_int (time_us t name) /. 1000.0
+
+let series_cell t name =
+  match Hashtbl.find_opt t.series name with
+  | Some r -> r
+  | None ->
+    let r = ref [] in
+    Hashtbl.replace t.series name r;
+    r
+
+let sample t name v =
+  let r = series_cell t name in
+  r := v :: !r
+
+let samples t name =
+  match Hashtbl.find_opt t.series name with
+  | Some r -> List.rev !r
+  | None -> []
+
+let count t name = List.length (samples t name)
+
+let mean_us t name =
+  match samples t name with
+  | [] -> 0.0
+  | xs ->
+    let sum = List.fold_left ( + ) 0 xs in
+    float_of_int sum /. float_of_int (List.length xs)
+
+let mean_ms t name = mean_us t name /. 1000.0
+
+let max_us t name = List.fold_left max 0 (samples t name)
+
+let percentile_us t name p =
+  match samples t name with
+  | [] -> 0
+  | xs ->
+    let sorted = List.sort compare xs in
+    let arr = Array.of_list sorted in
+    let n = Array.length arr in
+    let idx = int_of_float (ceil (p /. 100.0 *. float_of_int n)) - 1 in
+    arr.(max 0 (min (n - 1) idx))
+
+let reset t =
+  Hashtbl.reset t.counters;
+  Hashtbl.reset t.times;
+  Hashtbl.reset t.series
+
+let counter_names t =
+  Hashtbl.fold (fun name _ acc -> name :: acc) t.counters []
+  |> List.sort compare
+
+let pp ppf t =
+  let names = counter_names t in
+  List.iter (fun name -> Format.fprintf ppf "%s: %d@." name (counter t name)) names;
+  Hashtbl.iter
+    (fun name r -> Format.fprintf ppf "%s: %.3f ms@." name (float_of_int !r /. 1000.0))
+    t.times

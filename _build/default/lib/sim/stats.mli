@@ -1,0 +1,40 @@
+(** Named counters and accumulators for simulation measurements.
+
+    A [Stats.t] is a bag of named integer counters (packet counts, retries)
+    and named microsecond accumulators (time attributed to a protocol
+    category, as in the paper's "Breakdown of Communications Overhead"
+    table), plus simple latency series with mean/percentile summaries. *)
+
+type t
+
+val create : unit -> t
+
+(** Counters. *)
+
+val incr : t -> string -> unit
+val add : t -> string -> int -> unit
+val counter : t -> string -> int
+
+(** Microsecond accumulators, reported in milliseconds. *)
+
+val add_time : t -> string -> int -> unit
+val time_us : t -> string -> int
+val time_ms : t -> string -> float
+
+(** Latency samples (microseconds). *)
+
+val sample : t -> string -> int -> unit
+val samples : t -> string -> int list
+val count : t -> string -> int
+val mean_us : t -> string -> float
+val mean_ms : t -> string -> float
+val max_us : t -> string -> int
+val percentile_us : t -> string -> float -> int
+
+(** [reset t] clears everything. *)
+val reset : t -> unit
+
+(** All counter names currently present, sorted. *)
+val counter_names : t -> string list
+
+val pp : Format.formatter -> t -> unit

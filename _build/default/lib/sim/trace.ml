@@ -1,0 +1,34 @@
+type entry = { time_us : int; actor : string; message : string }
+
+type t = { mutable enabled : bool; mutable entries : entry list }
+
+let create ?(enabled = false) () = { enabled; entries = [] }
+
+let set_enabled t flag = t.enabled <- flag
+let enabled t = t.enabled
+
+let record t ~now ~actor fmt =
+  Format.kasprintf
+    (fun message ->
+      if t.enabled then t.entries <- { time_us = now; actor; message } :: t.entries)
+    fmt
+
+let entries t = List.rev t.entries
+
+let clear t = t.entries <- []
+
+let contains ~substring s =
+  let n = String.length substring and m = String.length s in
+  if n = 0 then true
+  else begin
+    let rec scan i = i + n <= m && (String.sub s i n = substring || scan (i + 1)) in
+    scan 0
+  end
+
+let find t ~substring =
+  List.filter (fun e -> contains ~substring e.message) (entries t)
+
+let pp ppf t =
+  List.iter
+    (fun e -> Format.fprintf ppf "%8d us  %-12s %s@." e.time_us e.actor e.message)
+    (entries t)

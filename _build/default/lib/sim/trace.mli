@@ -1,0 +1,28 @@
+(** Timestamped event trace.
+
+    Used to reproduce the paper's "Typical Delta-t Situations" figure as an
+    annotated timeline, and for debugging protocol state machines. Each
+    entry is [(time_us, actor, message)]. Tracing is off by default and
+    costs one branch per call when disabled. *)
+
+type t
+
+type entry = { time_us : int; actor : string; message : string }
+
+val create : ?enabled:bool -> unit -> t
+
+val set_enabled : t -> bool -> unit
+val enabled : t -> bool
+
+(** [record t ~now ~actor fmt ...] appends an entry when enabled. *)
+val record : t -> now:int -> actor:string -> ('a, Format.formatter, unit, unit) format4 -> 'a
+
+val entries : t -> entry list
+val clear : t -> unit
+
+(** [find t ~substring] returns entries whose message contains
+    [substring]. *)
+val find : t -> substring:string -> entry list
+
+(** Renders "  12345 us  actor     message" lines. *)
+val pp : Format.formatter -> t -> unit

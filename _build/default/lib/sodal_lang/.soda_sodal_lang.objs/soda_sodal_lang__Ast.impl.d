@@ -1,0 +1,1 @@
+lib/sodal_lang/ast.ml:

@@ -1,0 +1,1 @@
+lib/sodal_lang/interp.ml: Ast Bytes Format Hashtbl List Parser Printf Soda_base Soda_runtime String

@@ -1,0 +1,1 @@
+lib/sodal_lang/interp.mli: Ast Soda_core Soda_runtime

@@ -1,0 +1,1 @@
+lib/sodal_lang/lexer.ml: Buffer Format List Printf String

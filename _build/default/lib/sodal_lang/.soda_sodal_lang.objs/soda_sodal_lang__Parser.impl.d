@@ -1,0 +1,1 @@
+lib/sodal_lang/parser.ml: Ast Format Lexer List String

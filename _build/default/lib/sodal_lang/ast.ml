@@ -1,0 +1,54 @@
+(* Abstract syntax of SODAL (§4.1): a small Modula/Pascal-flavoured
+   language whose programs are divided into Initialization, Handler and
+   Task sections, with `case ENTRY of` / `case COMPLETION of` dispatch in
+   the handler and the blocking/non-blocking REQUEST variants as built-in
+   procedures. *)
+
+type binop =
+  | Add | Sub | Mul | Div | Mod
+  | Eq | Neq | Lt | Le | Gt | Ge
+  | And | Or
+
+type unop = Not | Neg
+
+type expr =
+  | Int of int
+  | Bool of bool
+  | Str of string
+  | Pattern_lit of int  (* %0123 literals *)
+  | Var of string
+  | Field of string * string  (* ASKER.MID etc. *)
+  | Binop of binop * expr * expr
+  | Unop of unop * expr
+  | Call of string * expr list  (* built-in functions *)
+
+type stmt =
+  | Assign of string * expr
+  | If of (expr * stmt list) list * stmt list  (* branches, else *)
+  | While of expr * stmt list
+  | Loop of stmt list  (* loop ... forever *)
+  | Expr of expr  (* built-in procedure call *)
+  | Case_entry of (expr option * stmt list) list  (* None = OTHERWISE *)
+  | Case_completion of (expr option * stmt list) list
+  | Skip
+  | Return
+
+type decl =
+  | Const of string * expr
+  | Var_decl of string list * type_name
+
+and type_name =
+  | T_integer
+  | T_boolean
+  | T_string
+  | T_pattern
+  | T_signature
+  | T_queue of int
+
+type program = {
+  name : string;
+  decls : decl list;
+  initialization : stmt list;
+  handler : stmt list;
+  task : stmt list;
+}

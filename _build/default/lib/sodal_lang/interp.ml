@@ -1,0 +1,439 @@
+open Ast
+module Pattern = Soda_base.Pattern
+module Types = Soda_base.Types
+module Sodal = Soda_runtime.Sodal
+module Bqueue = Soda_runtime.Bqueue
+
+exception Runtime_error of string
+
+exception Return_signal
+
+let error fmt = Printf.ksprintf (fun m -> raise (Runtime_error m)) fmt
+
+type value =
+  | VUnit
+  | VInt of int
+  | VBool of bool
+  | VStr of string
+  | VPattern of Pattern.t
+  | VSig of Types.requester_signature
+  | VQueue of value Bqueue.t
+
+let type_name = function
+  | VUnit -> "unit"
+  | VInt _ -> "integer"
+  | VBool _ -> "boolean"
+  | VStr _ -> "string"
+  | VPattern _ -> "pattern"
+  | VSig _ -> "signature"
+  | VQueue _ -> "queue"
+
+let as_int = function VInt n -> n | v -> error "expected an integer, got %s" (type_name v)
+let as_bool = function VBool b -> b | v -> error "expected a boolean, got %s" (type_name v)
+let as_str = function VStr s -> s | v -> error "expected a string, got %s" (type_name v)
+
+let as_pattern = function
+  | VPattern p -> p
+  | VInt n -> Pattern.well_known n
+  | v -> error "expected a pattern, got %s" (type_name v)
+
+let as_sig = function VSig s -> s | v -> error "expected a signature, got %s" (type_name v)
+
+let as_queue = function VQueue q -> q | v -> error "expected a queue, got %s" (type_name v)
+
+let value_to_string = function
+  | VUnit -> "()"
+  | VInt n -> string_of_int n
+  | VBool b -> string_of_bool b
+  | VStr s -> s
+  | VPattern p -> Format.asprintf "%a" Pattern.pp p
+  | VSig s -> Format.asprintf "%a" Types.pp_requester_signature s
+  | VQueue q -> Printf.sprintf "queue(%d/%d)" (Bqueue.length q) (Bqueue.capacity q)
+
+let values_equal a b =
+  match a, b with
+  | VPattern p, VPattern q -> Pattern.equal p q
+  | VPattern p, VInt n | VInt n, VPattern p -> Pattern.to_int p = Pattern.to_int (Pattern.well_known n)
+  | VSig x, VSig y -> Types.requester_signature_equal x y
+  | _ -> a = b
+
+type state = {
+  globals : (string, value ref) Hashtbl.t;
+  print : string -> unit;
+  program : Ast.program;
+}
+
+let var_cell state name =
+  match Hashtbl.find_opt state.globals (String.uppercase_ascii name) with
+  | Some cell -> cell
+  | None -> error "undeclared variable %s" name
+
+let set_builtin_var state name value =
+  Hashtbl.replace state.globals (String.uppercase_ascii name) (ref value)
+
+let status_string = function
+  | Sodal.Comp_ok -> "COMPLETED"
+  | Sodal.Comp_rejected -> "REJECTED"
+  | Sodal.Comp_crashed -> "CRASHED"
+  | Sodal.Comp_unadvertised -> "UNADVERTISED"
+
+let accept_status_string = function
+  | Types.Accept_success -> "SUCCESS"
+  | Types.Accept_cancelled -> "CANCELLED"
+  | Types.Accept_crashed -> "CRASHED"
+
+(* ---- builtins ------------------------------------------------------------ *)
+
+let server_of mid pattern = Sodal.server ~mid ~pattern
+
+let completion_result state c =
+  set_builtin_var state "LAST_STATUS" (VStr (status_string c.Sodal.status));
+  set_builtin_var state "LAST_ARG" (VInt c.Sodal.reply_arg)
+
+let call_builtin state env name args =
+  let arity n = if List.length args <> n then error "%s expects %d arguments" name n in
+  let arg i = List.nth args i in
+  match name with
+  | "ADVERTISE" ->
+    arity 1;
+    Sodal.advertise env (as_pattern (arg 0));
+    VUnit
+  | "UNADVERTISE" ->
+    arity 1;
+    Sodal.unadvertise env (as_pattern (arg 0));
+    VUnit
+  | "GETUNIQUEID" ->
+    arity 0;
+    VPattern (Sodal.getuniqueid env)
+  | "DISCOVER" ->
+    arity 1;
+    (match (Sodal.discover env (as_pattern (arg 0))).Types.sv_mid with
+     | Types.Mid m -> VInt m
+     | Types.Broadcast_mid -> error "DISCOVER returned broadcast")
+  | "MYMID" ->
+    arity 0;
+    VInt (Sodal.my_mid env)
+  | "OPEN" ->
+    arity 0;
+    Sodal.open_handler env;
+    VUnit
+  | "CLOSE" ->
+    arity 0;
+    Sodal.close_handler env;
+    VUnit
+  | "DIE" ->
+    arity 0;
+    Sodal.die env
+  | "IDLE" ->
+    arity 0;
+    Sodal.idle env;
+    VUnit
+  | "COMPUTE" ->
+    arity 1;
+    Sodal.compute env (as_int (arg 0));
+    VUnit
+  | "SIGNAL" ->
+    arity 3;
+    VInt (Sodal.signal env (server_of (as_int (arg 0)) (as_pattern (arg 1))) ~arg:(as_int (arg 2)))
+  | "PUT" ->
+    arity 4;
+    VInt
+      (Sodal.put env
+         (server_of (as_int (arg 0)) (as_pattern (arg 1)))
+         ~arg:(as_int (arg 2))
+         (Bytes.of_string (as_str (arg 3))))
+  | "B_SIGNAL" ->
+    arity 3;
+    let c =
+      Sodal.b_signal env (server_of (as_int (arg 0)) (as_pattern (arg 1))) ~arg:(as_int (arg 2))
+    in
+    completion_result state c;
+    VStr (status_string c.Sodal.status)
+  | "B_PUT" ->
+    arity 4;
+    let c =
+      Sodal.b_put env
+        (server_of (as_int (arg 0)) (as_pattern (arg 1)))
+        ~arg:(as_int (arg 2))
+        (Bytes.of_string (as_str (arg 3)))
+    in
+    completion_result state c;
+    VStr (status_string c.Sodal.status)
+  | "B_GET" ->
+    arity 4;
+    let into = Bytes.create (as_int (arg 3)) in
+    let c =
+      Sodal.b_get env (server_of (as_int (arg 0)) (as_pattern (arg 1))) ~arg:(as_int (arg 2))
+        ~into
+    in
+    completion_result state c;
+    VStr (Bytes.sub_string into 0 c.Sodal.get_transferred)
+  | "B_EXCHANGE" ->
+    arity 5;
+    let into = Bytes.create (as_int (arg 4)) in
+    let c =
+      Sodal.b_exchange env
+        (server_of (as_int (arg 0)) (as_pattern (arg 1)))
+        ~arg:(as_int (arg 2))
+        (Bytes.of_string (as_str (arg 3)))
+        ~into
+    in
+    completion_result state c;
+    VStr (Bytes.sub_string into 0 c.Sodal.get_transferred)
+  | "ACCEPT_SIGNAL" ->
+    arity 2;
+    VStr (accept_status_string (Sodal.accept_signal env (as_sig (arg 0)) ~arg:(as_int (arg 1))))
+  | "ACCEPT_PUT" ->
+    arity 3;
+    let into = Bytes.create (as_int (arg 2)) in
+    let status, got = Sodal.accept_put env (as_sig (arg 0)) ~arg:(as_int (arg 1)) ~into in
+    set_builtin_var state "LAST_STATUS" (VStr (accept_status_string status));
+    VStr (Bytes.sub_string into 0 got)
+  | "ACCEPT_GET" ->
+    arity 3;
+    VStr
+      (accept_status_string
+         (Sodal.accept_get env (as_sig (arg 0)) ~arg:(as_int (arg 1))
+            ~data:(Bytes.of_string (as_str (arg 2)))))
+  | "ACCEPT_EXCHANGE" ->
+    arity 4;
+    let into = Bytes.create (as_int (arg 2)) in
+    let status, got =
+      Sodal.accept_exchange env (as_sig (arg 0)) ~arg:(as_int (arg 1)) ~into
+        ~data:(Bytes.of_string (as_str (arg 3)))
+    in
+    set_builtin_var state "LAST_STATUS" (VStr (accept_status_string status));
+    VStr (Bytes.sub_string into 0 got)
+  | "ACCEPT_CURRENT_SIGNAL" ->
+    arity 1;
+    VStr (accept_status_string (Sodal.accept_current_signal env ~arg:(as_int (arg 0))))
+  | "ACCEPT_CURRENT_PUT" ->
+    arity 2;
+    let into = Bytes.create (as_int (arg 1)) in
+    let status, got = Sodal.accept_current_put env ~arg:(as_int (arg 0)) ~into in
+    set_builtin_var state "LAST_STATUS" (VStr (accept_status_string status));
+    VStr (Bytes.sub_string into 0 got)
+  | "ACCEPT_CURRENT_GET" ->
+    arity 2;
+    VStr
+      (accept_status_string
+         (Sodal.accept_current_get env ~arg:(as_int (arg 0))
+            ~data:(Bytes.of_string (as_str (arg 1)))))
+  | "ACCEPT_CURRENT_EXCHANGE" ->
+    arity 3;
+    let into = Bytes.create (as_int (arg 1)) in
+    let status, got =
+      Sodal.accept_current_exchange env ~arg:(as_int (arg 0)) ~into
+        ~data:(Bytes.of_string (as_str (arg 2)))
+    in
+    set_builtin_var state "LAST_STATUS" (VStr (accept_status_string status));
+    VStr (Bytes.sub_string into 0 got)
+  | "REJECT" ->
+    arity 0;
+    Sodal.reject env;
+    VUnit
+  | "CANCEL" ->
+    arity 1;
+    VBool (Sodal.cancel env (as_int (arg 0)))
+  | "ENQUEUE" ->
+    arity 2;
+    Bqueue.enqueue (as_queue (arg 0)) (arg 1);
+    VUnit
+  | "DEQUEUE" ->
+    arity 1;
+    Bqueue.dequeue (as_queue (arg 0))
+  | "ISEMPTY" ->
+    arity 1;
+    VBool (Bqueue.is_empty (as_queue (arg 0)))
+  | "ISFULL" ->
+    arity 1;
+    VBool (Bqueue.is_full (as_queue (arg 0)))
+  | "ALMOSTFULL" ->
+    arity 1;
+    VBool (Bqueue.almost_full (as_queue (arg 0)))
+  | "ALMOSTEMPTY" ->
+    arity 1;
+    VBool (Bqueue.almost_empty (as_queue (arg 0)))
+  | "SIG" ->
+    arity 2;
+    VSig { Types.rq_mid = as_int (arg 0); rq_tid = as_int (arg 1) }
+  | "CONCAT" ->
+    arity 2;
+    VStr (as_str (arg 0) ^ as_str (arg 1))
+  | "ITOA" ->
+    arity 1;
+    VStr (string_of_int (as_int (arg 0)))
+  | "LENGTH" ->
+    arity 1;
+    VInt (String.length (as_str (arg 0)))
+  | "PRINT" ->
+    state.print (String.concat "" (List.map value_to_string args));
+    VUnit
+  | _ -> error "unknown built-in %s" name
+
+(* ---- evaluation --------------------------------------------------------------- *)
+
+let rec eval state env expr =
+  match expr with
+  | Int n -> VInt n
+  | Bool b -> VBool b
+  | Str s -> VStr s
+  | Pattern_lit n -> VPattern (Pattern.well_known n)
+  | Var name -> !(var_cell state name)
+  | Field (name, field) ->
+    (match !(var_cell state name), field with
+     | VSig s, "MID" -> VInt s.Types.rq_mid
+     | VSig s, "TID" -> VInt s.Types.rq_tid
+     | v, f -> error "no field %s on %s" f (type_name v))
+  | Unop (Not, e) -> VBool (not (as_bool (eval state env e)))
+  | Unop (Neg, e) -> VInt (-as_int (eval state env e))
+  | Binop (op, l, r) -> eval_binop state env op l r
+  | Call (name, args) ->
+    let args = List.map (eval state env) args in
+    call_builtin state env name args
+
+and eval_binop state env op l r =
+  match op with
+  | And -> VBool (as_bool (eval state env l) && as_bool (eval state env r))
+  | Or -> VBool (as_bool (eval state env l) || as_bool (eval state env r))
+  | _ ->
+    let lv = eval state env l and rv = eval state env r in
+    (match op with
+     | Add ->
+       (match lv, rv with
+        | VStr a, VStr b -> VStr (a ^ b)
+        | _ -> VInt (as_int lv + as_int rv))
+     | Sub -> VInt (as_int lv - as_int rv)
+     | Mul -> VInt (as_int lv * as_int rv)
+     | Div ->
+       let d = as_int rv in
+       if d = 0 then error "division by zero";
+       VInt (as_int lv / d)
+     | Mod ->
+       let d = as_int rv in
+       if d = 0 then error "mod by zero";
+       VInt (as_int lv mod d)
+     | Eq -> VBool (values_equal lv rv)
+     | Neq -> VBool (not (values_equal lv rv))
+     | Lt -> VBool (as_int lv < as_int rv)
+     | Le -> VBool (as_int lv <= as_int rv)
+     | Gt -> VBool (as_int lv > as_int rv)
+     | Ge -> VBool (as_int lv >= as_int rv)
+     | And | Or -> assert false)
+
+and exec state env stmt =
+  match stmt with
+  | Skip -> ()
+  | Return -> raise Return_signal
+  | Assign (name, e) -> var_cell state name := eval state env e
+  | Expr e -> ignore (eval state env e)
+  | If (branches, else_body) ->
+    let rec try_branches = function
+      | [] -> exec_all state env else_body
+      | (condition, body) :: rest ->
+        if as_bool (eval state env condition) then exec_all state env body
+        else try_branches rest
+    in
+    try_branches branches
+  | While (condition, body) ->
+    while as_bool (eval state env condition) do
+      exec_all state env body
+    done
+  | Loop body ->
+    while true do
+      exec_all state env body
+    done
+  | Case_entry arms ->
+    if as_str !(var_cell state "STATUS") = "ARRIVAL" then
+      dispatch_case state env arms !(var_cell state "PATTERN")
+  | Case_completion arms ->
+    if as_str !(var_cell state "STATUS") <> "ARRIVAL" then
+      dispatch_case state env arms !(var_cell state "TID")
+
+and dispatch_case state env arms subject =
+  let rec scan = function
+    | [] -> ()
+    | (Some label, body) :: rest ->
+      if values_equal (eval state env label) subject then exec_all state env body
+      else scan rest
+    | (None, body) :: _ -> exec_all state env body
+  in
+  scan arms
+
+and exec_all state env stmts = List.iter (exec state env) stmts
+
+let exec_section state env stmts =
+  try exec_all state env stmts with Return_signal -> ()
+
+(* ---- program loading ------------------------------------------------------------ *)
+
+let default_value = function
+  | T_integer -> VInt 0
+  | T_boolean -> VBool false
+  | T_string -> VStr ""
+  | T_pattern -> VPattern (Pattern.well_known 0)
+  | T_signature -> VSig { Types.rq_mid = 0; rq_tid = 0 }
+  | T_queue n -> VQueue (Bqueue.create n)
+
+let make_state ?(print = print_endline) program =
+  let state = { globals = Hashtbl.create 32; print; program } in
+  (* handler context variables always exist *)
+  List.iter
+    (fun (name, v) -> set_builtin_var state name v)
+    [
+      ("ASKER", VSig { Types.rq_mid = 0; rq_tid = 0 });
+      ("ARG", VInt 0);
+      ("STATUS", VStr "");
+      ("PATTERN", VPattern (Pattern.well_known 0));
+      ("PUTSIZE", VInt 0);
+      ("GETSIZE", VInt 0);
+      ("TID", VInt 0);
+      ("PARENT", VInt 0);
+      ("LAST_STATUS", VStr "");
+      ("LAST_ARG", VInt 0);
+    ];
+  state
+
+let install_decls state env =
+  List.iter
+    (fun decl ->
+      match decl with
+      | Const (name, e) -> set_builtin_var state name (eval state env e)
+      | Var_decl (names, ty) ->
+        List.iter (fun name -> set_builtin_var state name (default_value ty)) names)
+    state.program.decls
+
+let spec_of_program ?print program =
+  let state = make_state ?print program in
+  {
+    Sodal.init =
+      (fun env ~parent ->
+        install_decls state env;
+        set_builtin_var state "PARENT" (VInt parent);
+        exec_section state env program.initialization);
+    on_request =
+      (fun env info ->
+        set_builtin_var state "ASKER" (VSig info.Sodal.asker);
+        set_builtin_var state "ARG" (VInt info.Sodal.arg);
+        set_builtin_var state "STATUS" (VStr "ARRIVAL");
+        set_builtin_var state "PATTERN" (VPattern info.Sodal.pattern);
+        set_builtin_var state "PUTSIZE" (VInt info.Sodal.put_size);
+        set_builtin_var state "GETSIZE" (VInt info.Sodal.get_size);
+        exec_section state env program.handler);
+    on_completion =
+      (fun env c ->
+        set_builtin_var state "STATUS" (VStr (status_string c.Sodal.status));
+        set_builtin_var state "ARG" (VInt c.Sodal.reply_arg);
+        set_builtin_var state "TID" (VInt c.Sodal.tid);
+        set_builtin_var state "PUTSIZE" (VInt c.Sodal.put_transferred);
+        set_builtin_var state "GETSIZE" (VInt c.Sodal.get_transferred);
+        exec_section state env program.handler);
+    task =
+      (fun env ->
+        exec_section state env program.task;
+        if program.task = [] then Sodal.serve env);
+  }
+
+let attach ?print kernel source =
+  let program = Parser.parse source in
+  Sodal.attach kernel (spec_of_program ?print program)

@@ -1,0 +1,35 @@
+(** SODAL interpreter: runs parsed programs as SODA clients.
+
+    The three program sections become the client's Initialization, Handler
+    and Task (§4.1). Inside the handler, the variables [ASKER], [ARG],
+    [STATUS], [PATTERN], [PUTSIZE], [GETSIZE] and (for completions) [TID]
+    are bound exactly as in the paper's skeleton, and [case entry of] /
+    [case completion of] dispatch on [PATTERN] / [TID].
+
+    Built-in procedures and functions (case-insensitive):
+    - naming: [ADVERTISE p], [UNADVERTISE p], [GETUNIQUEID()],
+      [DISCOVER p] (blocking; returns the machine id), [MYMID()]
+    - requests: [SIGNAL(mid,p,arg)], [PUT(mid,p,arg,data)] (non-blocking,
+      return the TID); [B_SIGNAL]/[B_PUT] (return the status string);
+      [B_GET(mid,p,arg,maxlen)] and [B_EXCHANGE(mid,p,arg,data,maxlen)]
+      (return the received string; [LAST_STATUS] holds the status)
+    - accepts: [ACCEPT_SIGNAL(sig,arg)], [ACCEPT_PUT(sig,arg,maxlen)],
+      [ACCEPT_GET(sig,arg,data)], [ACCEPT_EXCHANGE(sig,arg,maxlen,data)],
+      the [ACCEPT_CURRENT_*] forms, and [REJECT()]
+    - handler control: [OPEN()], [CLOSE()]; process control: [DIE()]
+    - task: [IDLE()], [COMPUTE(us)]
+    - queues: [ENQUEUE(q,v)], [DEQUEUE(q)], [ISEMPTY(q)], [ISFULL(q)],
+      [ALMOSTFULL(q)], [ALMOSTEMPTY(q)]
+    - misc: [PRINT(...)], [CONCAT(a,b)], [ITOA(n)], [LENGTH(s)],
+      [CANCEL(tid)], [SIG(mid,tid)] *)
+
+module Sodal = Soda_runtime.Sodal
+
+exception Runtime_error of string
+
+(** [spec_of_program ?print program] compiles the AST into a client spec.
+    [print] receives PRINT output (default: stdout). *)
+val spec_of_program : ?print:(string -> unit) -> Ast.program -> Sodal.spec
+
+(** [attach ?print kernel source] parses and installs a SODAL program. *)
+val attach : ?print:(string -> unit) -> Soda_core.Kernel.t -> string -> Sodal.env

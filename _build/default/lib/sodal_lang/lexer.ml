@@ -1,0 +1,109 @@
+type token =
+  | IDENT of string
+  | INT of int
+  | PATTERN of int
+  | STRING of string
+  | KW of string
+  | SYM of string
+  | EOF
+
+exception Lex_error of string * int
+
+let keywords =
+  [ "program"; "const"; "var"; "of"; "initialization"; "handler"; "task"; "begin"; "end";
+    "if"; "then"; "elsif"; "else"; "fi"; "while"; "do"; "loop"; "forever"; "case"; "esac";
+    "otherwise"; "skip"; "return"; "true"; "false"; "and"; "or"; "not"; "mod"; "integer";
+    "boolean"; "string"; "pattern"; "signature"; "queue"; "entry"; "completion" ]
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+let is_octal c = c >= '0' && c <= '7'
+
+let tokenize source =
+  let n = String.length source in
+  let tokens = ref [] in
+  let line = ref 1 in
+  let emit t = tokens := (t, !line) :: !tokens in
+  let i = ref 0 in
+  let peek off = if !i + off < n then Some source.[!i + off] else None in
+  while !i < n do
+    let c = source.[!i] in
+    if c = '\n' then begin
+      incr line;
+      incr i
+    end
+    else if c = ' ' || c = '\t' || c = '\r' then incr i
+    else if c = '-' && peek 1 = Some '-' then begin
+      (* line comment *)
+      while !i < n && source.[!i] <> '\n' do
+        incr i
+      done
+    end
+    else if is_ident_start c then begin
+      let start = !i in
+      while !i < n && is_ident_char source.[!i] do
+        incr i
+      done;
+      let word = String.sub source start (!i - start) in
+      let lower = String.lowercase_ascii word in
+      if List.mem lower keywords then emit (KW lower) else emit (IDENT word)
+    end
+    else if is_digit c then begin
+      let start = !i in
+      while !i < n && (is_digit source.[!i] || source.[!i] = '_') do
+        incr i
+      done;
+      let text = String.sub source start (!i - start) in
+      let text = String.concat "" (String.split_on_char '_' text) in
+      emit (INT (int_of_string text))
+    end
+    else if c = '%' then begin
+      incr i;
+      let start = !i in
+      while !i < n && is_octal source.[!i] do
+        incr i
+      done;
+      if !i = start then raise (Lex_error ("empty pattern literal", !line));
+      emit (PATTERN (int_of_string ("0o" ^ String.sub source start (!i - start))))
+    end
+    else if c = '"' then begin
+      incr i;
+      let buf = Buffer.create 16 in
+      let closed = ref false in
+      while (not !closed) && !i < n do
+        let d = source.[!i] in
+        if d = '"' then closed := true
+        else if d = '\n' then raise (Lex_error ("unterminated string", !line))
+        else Buffer.add_char buf d;
+        incr i
+      done;
+      if not !closed then raise (Lex_error ("unterminated string", !line));
+      emit (STRING (Buffer.contents buf))
+    end
+    else begin
+      let two = if !i + 1 < n then String.sub source !i 2 else "" in
+      match two with
+      | ":=" | "<>" | "<=" | ">=" ->
+        emit (SYM two);
+        i := !i + 2
+      | _ ->
+        (match c with
+         | '+' | '-' | '*' | '/' | '=' | '<' | '>' | '(' | ')' | ';' | ':' | ',' | '.'
+         | '[' | ']' ->
+           emit (SYM (String.make 1 c));
+           incr i
+         | _ -> raise (Lex_error (Printf.sprintf "unexpected character %C" c, !line)))
+    end
+  done;
+  emit EOF;
+  List.rev !tokens
+
+let pp_token ppf = function
+  | IDENT s -> Format.fprintf ppf "identifier %s" s
+  | INT n -> Format.fprintf ppf "integer %d" n
+  | PATTERN p -> Format.fprintf ppf "pattern %%%o" p
+  | STRING s -> Format.fprintf ppf "string %S" s
+  | KW k -> Format.fprintf ppf "keyword %s" k
+  | SYM s -> Format.fprintf ppf "'%s'" s
+  | EOF -> Format.fprintf ppf "end of input"

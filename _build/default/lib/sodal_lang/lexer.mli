@@ -1,0 +1,17 @@
+(** Lexer for SODAL source (§4.1): Pascal-ish keywords, [--] line comments,
+    [%0123] octal pattern literals, strings in double quotes. *)
+
+type token =
+  | IDENT of string
+  | INT of int
+  | PATTERN of int
+  | STRING of string
+  | KW of string  (** keywords, lowercased *)
+  | SYM of string  (** operators and punctuation *)
+  | EOF
+
+exception Lex_error of string * int  (** message, line *)
+
+val tokenize : string -> (token * int) list  (** token with its line *)
+
+val pp_token : Format.formatter -> token -> unit

@@ -1,0 +1,331 @@
+open Ast
+
+exception Parse_error of string * int
+
+type state = { mutable tokens : (Lexer.token * int) list }
+
+let peek st = match st.tokens with (t, _) :: _ -> t | [] -> Lexer.EOF
+
+let line st = match st.tokens with (_, l) :: _ -> l | [] -> 0
+
+let advance st = match st.tokens with _ :: rest -> st.tokens <- rest | [] -> ()
+
+let fail st message = raise (Parse_error (message, line st))
+
+let expect_sym st s =
+  match peek st with
+  | Lexer.SYM s' when s' = s -> advance st
+  | t -> fail st (Format.asprintf "expected '%s', found %a" s Lexer.pp_token t)
+
+let expect_kw st k =
+  match peek st with
+  | Lexer.KW k' when k' = k -> advance st
+  | t -> fail st (Format.asprintf "expected '%s', found %a" k Lexer.pp_token t)
+
+let accept_kw st k =
+  match peek st with
+  | Lexer.KW k' when k' = k ->
+    advance st;
+    true
+  | _ -> false
+
+let accept_sym st s =
+  match peek st with
+  | Lexer.SYM s' when s' = s ->
+    advance st;
+    true
+  | _ -> false
+
+let ident st =
+  match peek st with
+  | Lexer.IDENT name ->
+    advance st;
+    name
+  | t -> fail st (Format.asprintf "expected an identifier, found %a" Lexer.pp_token t)
+
+(* ---- expressions (precedence climbing) --------------------------------- *)
+
+let rec parse_expression st = parse_or st
+
+and parse_or st =
+  let left = parse_and st in
+  if accept_kw st "or" then Binop (Or, left, parse_or st) else left
+
+and parse_and st =
+  let left = parse_comparison st in
+  if accept_kw st "and" then Binop (And, left, parse_and st) else left
+
+and parse_comparison st =
+  let left = parse_additive st in
+  let op =
+    match peek st with
+    | Lexer.SYM "=" -> Some Eq
+    | Lexer.SYM "<>" -> Some Neq
+    | Lexer.SYM "<" -> Some Lt
+    | Lexer.SYM "<=" -> Some Le
+    | Lexer.SYM ">" -> Some Gt
+    | Lexer.SYM ">=" -> Some Ge
+    | _ -> None
+  in
+  match op with
+  | Some op ->
+    advance st;
+    Binop (op, left, parse_additive st)
+  | None -> left
+
+and parse_additive st =
+  let left = ref (parse_multiplicative st) in
+  let continue = ref true in
+  while !continue do
+    match peek st with
+    | Lexer.SYM "+" ->
+      advance st;
+      left := Binop (Add, !left, parse_multiplicative st)
+    | Lexer.SYM "-" ->
+      advance st;
+      left := Binop (Sub, !left, parse_multiplicative st)
+    | _ -> continue := false
+  done;
+  !left
+
+and parse_multiplicative st =
+  let left = ref (parse_unary st) in
+  let continue = ref true in
+  while !continue do
+    match peek st with
+    | Lexer.SYM "*" ->
+      advance st;
+      left := Binop (Mul, !left, parse_unary st)
+    | Lexer.SYM "/" ->
+      advance st;
+      left := Binop (Div, !left, parse_unary st)
+    | Lexer.KW "mod" ->
+      advance st;
+      left := Binop (Mod, !left, parse_unary st)
+    | _ -> continue := false
+  done;
+  !left
+
+and parse_unary st =
+  if accept_kw st "not" then Unop (Not, parse_unary st)
+  else if accept_sym st "-" then Unop (Neg, parse_unary st)
+  else parse_primary st
+
+and parse_primary st =
+  match peek st with
+  | Lexer.INT n ->
+    advance st;
+    Int n
+  | Lexer.PATTERN p ->
+    advance st;
+    Pattern_lit p
+  | Lexer.STRING s ->
+    advance st;
+    Str s
+  | Lexer.KW "true" ->
+    advance st;
+    Bool true
+  | Lexer.KW "false" ->
+    advance st;
+    Bool false
+  | Lexer.SYM "(" ->
+    advance st;
+    let e = parse_expression st in
+    expect_sym st ")";
+    e
+  | Lexer.IDENT name ->
+    advance st;
+    if accept_sym st "(" then begin
+      let args = ref [] in
+      if not (accept_sym st ")") then begin
+        args := [ parse_expression st ];
+        while accept_sym st "," do
+          args := parse_expression st :: !args
+        done;
+        expect_sym st ")"
+      end;
+      Call (String.uppercase_ascii name, List.rev !args)
+    end
+    else if accept_sym st "." then begin
+      let field = ident st in
+      Field (name, String.uppercase_ascii field)
+    end
+    else Var name
+  | t -> fail st (Format.asprintf "expected an expression, found %a" Lexer.pp_token t)
+
+(* ---- statements ---------------------------------------------------------- *)
+
+let rec parse_statements st ~stop =
+  let stmts = ref [] in
+  let rec finished () =
+    match peek st with
+    | Lexer.KW k -> List.mem k stop
+    | Lexer.EOF -> true
+    | _ -> false
+  and loop () =
+    if not (finished ()) then begin
+      stmts := parse_statement st :: !stmts;
+      loop ()
+    end
+  in
+  loop ();
+  List.rev !stmts
+
+and parse_statement st =
+  match peek st with
+  | Lexer.KW "skip" ->
+    advance st;
+    expect_sym st ";";
+    Skip
+  | Lexer.KW "return" ->
+    advance st;
+    expect_sym st ";";
+    Return
+  | Lexer.KW "if" ->
+    advance st;
+    let rec branches () =
+      let condition = parse_expression st in
+      expect_kw st "then";
+      let body = parse_statements st ~stop:[ "elsif"; "else"; "fi" ] in
+      if accept_kw st "elsif" then (condition, body) :: branches ()
+      else [ (condition, body) ]
+    in
+    let bs = branches () in
+    let else_body =
+      if accept_kw st "else" then parse_statements st ~stop:[ "fi" ] else []
+    in
+    expect_kw st "fi";
+    expect_sym st ";";
+    If (bs, else_body)
+  | Lexer.KW "while" ->
+    advance st;
+    let condition = parse_expression st in
+    expect_kw st "do";
+    let body = parse_statements st ~stop:[ "end" ] in
+    expect_kw st "end";
+    expect_sym st ";";
+    While (condition, body)
+  | Lexer.KW "loop" ->
+    advance st;
+    let body = parse_statements st ~stop:[ "forever" ] in
+    expect_kw st "forever";
+    expect_sym st ";";
+    Loop body
+  | Lexer.KW "case" ->
+    advance st;
+    let kind =
+      if accept_kw st "entry" then `Entry
+      else if accept_kw st "completion" then `Completion
+      else fail st "expected 'entry' or 'completion' after 'case'"
+    in
+    expect_kw st "of";
+    let arms = ref [] in
+    while not (accept_kw st "esac") do
+      let label =
+        if accept_kw st "otherwise" then None else Some (parse_expression st)
+      in
+      expect_sym st ":";
+      expect_kw st "begin";
+      let body = parse_statements st ~stop:[ "end" ] in
+      expect_kw st "end";
+      expect_sym st ";";
+      arms := (label, body) :: !arms
+    done;
+    expect_sym st ";";
+    let arms = List.rev !arms in
+    (match kind with `Entry -> Case_entry arms | `Completion -> Case_completion arms)
+  | Lexer.IDENT name -> begin
+      (* assignment or procedure call *)
+      match st.tokens with
+      | _ :: (Lexer.SYM ":=", _) :: _ ->
+        advance st;
+        advance st;
+        let value = parse_expression st in
+        expect_sym st ";";
+        Assign (name, value)
+      | _ ->
+        let e = parse_expression st in
+        expect_sym st ";";
+        Expr e
+    end
+  | t -> fail st (Format.asprintf "expected a statement, found %a" Lexer.pp_token t)
+
+(* ---- declarations and program --------------------------------------------- *)
+
+let parse_type st =
+  if accept_kw st "integer" then T_integer
+  else if accept_kw st "boolean" then T_boolean
+  else if accept_kw st "string" then T_string
+  else if accept_kw st "pattern" then T_pattern
+  else if accept_kw st "signature" then T_signature
+  else if accept_kw st "queue" then begin
+    expect_sym st "[";
+    let size =
+      match peek st with
+      | Lexer.INT n ->
+        advance st;
+        n
+      | t -> fail st (Format.asprintf "expected a queue size, found %a" Lexer.pp_token t)
+    in
+    expect_sym st "]";
+    T_queue size
+  end
+  else fail st "expected a type"
+
+let parse_decls st =
+  let decls = ref [] in
+  let continue = ref true in
+  while !continue do
+    if accept_kw st "const" then begin
+      let name = ident st in
+      expect_sym st "=";
+      let value = parse_expression st in
+      expect_sym st ";";
+      decls := Const (name, value) :: !decls
+    end
+    else if accept_kw st "var" then begin
+      let names = ref [ ident st ] in
+      while accept_sym st "," do
+        names := ident st :: !names
+      done;
+      expect_sym st ":";
+      let ty = parse_type st in
+      expect_sym st ";";
+      decls := Var_decl (List.rev !names, ty) :: !decls
+    end
+    else continue := false
+  done;
+  List.rev !decls
+
+let parse_section st keyword =
+  if accept_kw st keyword then begin
+    expect_kw st "begin";
+    let body = parse_statements st ~stop:[ "end" ] in
+    expect_kw st "end";
+    expect_sym st ";";
+    body
+  end
+  else []
+
+let parse source =
+  let st = { tokens = Lexer.tokenize source } in
+  expect_kw st "program";
+  let name = ident st in
+  expect_sym st ";";
+  let decls = parse_decls st in
+  let initialization = parse_section st "initialization" in
+  let handler = parse_section st "handler" in
+  let task = parse_section st "task" in
+  expect_sym st ".";
+  (match peek st with
+   | Lexer.EOF -> ()
+   | t -> fail st (Format.asprintf "trailing input: %a" Lexer.pp_token t));
+  { name; decls; initialization; handler; task }
+
+let parse_expr source =
+  let st = { tokens = Lexer.tokenize source } in
+  let e = parse_expression st in
+  (match peek st with
+   | Lexer.EOF -> ()
+   | t -> fail st (Format.asprintf "trailing input: %a" Lexer.pp_token t));
+  e

@@ -1,0 +1,27 @@
+(** Recursive-descent parser for SODAL (§4.1).
+
+    Grammar (the paper's skeleton, lightly regularised):
+    {v
+    program    ::= "program" IDENT ";" { decl } section* "."
+    decl       ::= "const" IDENT "=" expr ";"
+                 | "var" IDENT {"," IDENT} ":" type ";"
+    type       ::= "integer" | "boolean" | "string" | "pattern"
+                 | "signature" | "queue" "[" INT "]"
+    section    ::= ("initialization"|"handler"|"task") "begin" stmts "end" ";"
+    stmts      ::= { stmt }
+    stmt       ::= IDENT ":=" expr ";"
+                 | "if" expr "then" stmts {"elsif" expr "then" stmts}
+                   ["else" stmts] "fi" ";"
+                 | "while" expr "do" stmts "end" ";"
+                 | "loop" stmts "forever" ";"
+                 | "case" ("entry"|"completion") "of" case-arm* "esac" ";"
+                 | "skip" ";" | "return" ";"
+                 | expr ";"                       (procedure call)
+    case-arm   ::= (expr | "otherwise") ":" "begin" stmts "end" ";"
+    v} *)
+
+exception Parse_error of string * int
+
+val parse : string -> Ast.program
+
+val parse_expr : string -> Ast.expr  (** for tests *)

@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Bytes List Soda_base Soda_core Soda_runtime Soda_sim

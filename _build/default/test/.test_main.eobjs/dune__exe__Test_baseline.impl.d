@@ -1,0 +1,1 @@
+test/test_baseline.ml: Alcotest Bytes Char List Soda_baseline Soda_net Soda_sim String

@@ -1,0 +1,1 @@
+test/test_examples.ml: Alcotest Array List Printf Soda_examples

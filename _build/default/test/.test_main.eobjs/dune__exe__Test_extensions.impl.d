@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Array Bytes Helpers List Pattern Soda_examples Soda_facilities Sodal Types

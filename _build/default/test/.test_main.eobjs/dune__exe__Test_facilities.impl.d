@@ -1,0 +1,1 @@
+test/test_facilities.ml: Alcotest Array Bytes Helpers List Network Pattern Printf Soda_facilities Sodal

@@ -1,0 +1,1 @@
+test/test_kernel.ml: Alcotest Bytes Char Cost Helpers Kernel List Pattern Soda_sim Sodal Types

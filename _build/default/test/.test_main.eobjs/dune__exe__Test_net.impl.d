@@ -1,0 +1,1 @@
+test/test_net.ml: Alcotest Bytes Char Gen List QCheck QCheck_alcotest Soda_net Soda_sim

@@ -1,0 +1,1 @@
+test/test_properties.ml: Bytes Cost Fun Gen Hashtbl Helpers List Network Pattern QCheck QCheck_alcotest Soda_net Soda_sim Sodal Types

@@ -1,0 +1,1 @@
+test/test_semantics.ml: Alcotest Bytes Char Helpers List Network Option Pattern Soda_facilities Sodal

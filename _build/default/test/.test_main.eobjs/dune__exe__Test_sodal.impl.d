@@ -1,0 +1,1 @@
+test/test_sodal.ml: Alcotest Bytes Helpers List Network Pattern QCheck QCheck_alcotest Soda_runtime Sodal Types

@@ -1,0 +1,1 @@
+test/test_sodal_lang.ml: Alcotest Helpers List Network Pattern Soda_sodal_lang Sodal String

@@ -1,0 +1,1 @@
+test/test_stream.ml: Alcotest Bytes Char Helpers Kernel List Network Pattern Soda_facilities Soda_net Sodal String

@@ -1,0 +1,1 @@
+test/test_transport.ml: Alcotest Bytes Cost Helpers Kernel List Network Option Pattern Soda_net Soda_sim Sodal Types

@@ -1,0 +1,1 @@
+test/test_wire.ml: Alcotest Bytes Char Gen QCheck QCheck_alcotest Soda_base Soda_proto

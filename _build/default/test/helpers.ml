@@ -1,0 +1,40 @@
+(* Shared test utilities. *)
+
+module Engine = Soda_sim.Engine
+module Types = Soda_base.Types
+module Pattern = Soda_base.Pattern
+module Cost = Soda_base.Cost_model
+module Network = Soda_core.Network
+module Kernel = Soda_core.Kernel
+module Sodal = Soda_runtime.Sodal
+
+let bytes_of_string = Bytes.of_string
+let string_of_bytes b = Bytes.to_string b
+
+(* A network with [n] nodes, mids 0..n-1. *)
+let make_net ?(seed = 7) ?(cost = Cost.default) ?trace n =
+  let net = Network.create ~seed ~cost ?trace () in
+  let kernels = List.init n (fun mid -> Network.add_node net ~mid) in
+  (net, kernels)
+
+(* Run until quiescent or [horizon] simulated seconds. *)
+let run ?(horizon = 300.0) net =
+  ignore (Network.run ~until:(int_of_float (horizon *. 1e6)) net)
+
+let check_eventually net ~horizon flag msg =
+  run ~horizon net;
+  Alcotest.(check bool) msg true !flag
+
+(* A server that advertises [pattern] and accepts every arriving request in
+   its handler, echoing [reply] back on GET/EXCHANGE. *)
+let echo_server ?(reply = "") kernel pattern =
+  Sodal.attach kernel
+    {
+      Sodal.default_spec with
+      init = (fun env ~parent:_ -> Sodal.advertise env pattern);
+      on_request =
+        (fun env info ->
+          let into = Bytes.create info.Sodal.put_size in
+          let data = bytes_of_string reply in
+          ignore (Sodal.accept_current_exchange env ~arg:0 ~into ~data));
+    }

@@ -1,0 +1,71 @@
+(* The five programmed examples of §4.4 as end-to-end integration tests. *)
+
+module Bounded_buffer = Soda_examples.Bounded_buffer
+module Four_way_buffer = Soda_examples.Four_way_buffer
+module Dining_philosophers = Soda_examples.Dining_philosophers
+module Readers_writers = Soda_examples.Readers_writers
+module File_server = Soda_examples.File_server
+
+let test_bounded_buffer () =
+  let s = Bounded_buffer.run ~seed:11 () in
+  Alcotest.(check int) "nothing lost" s.Bounded_buffer.produced s.Bounded_buffer.consumed;
+  Alcotest.(check int) "everything produced" 80 s.Bounded_buffer.produced;
+  Alcotest.(check bool) "per-producer FIFO" true s.Bounded_buffer.in_order;
+  Alcotest.(check bool) "backpressure engaged" true (s.Bounded_buffer.backpressure_closes > 0)
+
+let test_bounded_buffer_seeds () =
+  List.iter
+    (fun seed ->
+      let s = Bounded_buffer.run ~seed ~producers:3 ~items_per_producer:10 () in
+      Alcotest.(check int) "nothing lost" s.Bounded_buffer.produced s.Bounded_buffer.consumed;
+      Alcotest.(check bool) "fifo" true s.Bounded_buffer.in_order)
+    [ 1; 2; 3 ]
+
+let test_four_way_buffer () =
+  let s = Four_way_buffer.run ~seed:23 () in
+  Alcotest.(check int) "A->B complete" 60 s.Four_way_buffer.transferred_a_to_b;
+  Alcotest.(check int) "B->A complete" 60 s.Four_way_buffer.transferred_b_to_a;
+  Alcotest.(check bool) "flow control engaged" true (s.Four_way_buffer.flow_stops > 0);
+  Alcotest.(check int) "no characters lost" 0 s.Four_way_buffer.lost
+
+let test_dining_philosophers () =
+  let s = Dining_philosophers.run ~seed:31 ~duration_s:90.0 () in
+  Array.iteri
+    (fun i meals ->
+      Alcotest.(check bool) (Printf.sprintf "philosopher %d ate" i) true (meals > 0))
+    s.Dining_philosophers.meals;
+  Alcotest.(check bool) "the forced deadlock was broken" true
+    (s.Dining_philosophers.deadlocks_broken >= 1);
+  Alcotest.(check int) "no adjacent philosophers ate together" 0
+    s.Dining_philosophers.safety_violations;
+  Alcotest.(check int) "no false deadlock declarations" 0
+    s.Dining_philosophers.false_deadlocks
+
+let test_readers_writers () =
+  let s = Readers_writers.run ~seed:41 () in
+  Alcotest.(check int) "all reads done" 48 s.Readers_writers.reads;
+  Alcotest.(check int) "all writes done" 24 s.Readers_writers.writes;
+  Alcotest.(check int) "exclusion held" 0 s.Readers_writers.exclusion_violations;
+  Alcotest.(check bool) "readers actually shared" true
+    (s.Readers_writers.max_concurrent_readers >= 2)
+
+let test_file_server () =
+  let s = File_server.run ~seed:51 () in
+  Alcotest.(check int) "all files" 3 s.File_server.files_written;
+  Alcotest.(check bool) "data integrity" true s.File_server.round_trips_ok;
+  Alcotest.(check int) "reads match writes" s.File_server.bytes_written
+    s.File_server.bytes_read_back;
+  Alcotest.(check bool) "closed fd rejected" true s.File_server.stale_fd_rejected
+
+let suites =
+  [
+    ( "examples",
+      [
+        Alcotest.test_case "two-way bounded buffer (§4.4.1)" `Quick test_bounded_buffer;
+        Alcotest.test_case "bounded buffer across seeds" `Slow test_bounded_buffer_seeds;
+        Alcotest.test_case "four-way bounded buffer (§4.4.2)" `Quick test_four_way_buffer;
+        Alcotest.test_case "dining philosophers (§4.4.3)" `Slow test_dining_philosophers;
+        Alcotest.test_case "readers and writers (§4.4.4)" `Quick test_readers_writers;
+        Alcotest.test_case "file service (§4.4.5)" `Quick test_file_server;
+      ] );
+  ]

@@ -1,0 +1,245 @@
+(* Tests for the §6.17 library extensions (multicast, bidding, name server)
+   and the §6.2 process-migration example. *)
+
+open Helpers
+module Multicast = Soda_facilities.Multicast
+module Bidding = Soda_facilities.Bidding
+module Nameserver = Soda_facilities.Nameserver
+module Migration = Soda_examples.Migration
+
+let patt = Pattern.well_known 0o555
+
+(* ---- multicast -------------------------------------------------------------- *)
+
+let test_multicast_all_members () =
+  let net, kernels = make_net 5 in
+  let received = Array.make 5 "" in
+  for mid = 0 to 3 do
+    ignore
+      (Sodal.attach (List.nth kernels mid)
+         {
+           Sodal.default_spec with
+           init = (fun env ~parent:_ -> Sodal.advertise env patt);
+           on_request =
+             (fun env info ->
+               let into = Bytes.create info.Sodal.put_size in
+               let _, got = Sodal.accept_current_put env ~arg:0 ~into in
+               received.(Sodal.my_mid env) <- Bytes.sub_string into 0 got);
+         })
+  done;
+  let outcomes = ref [] in
+  ignore
+    (Sodal.attach (List.nth kernels 4)
+       {
+         Sodal.default_spec with
+         task =
+           (fun env ->
+             outcomes :=
+               Multicast.put env ~group:[ 0; 1; 2; 3 ] ~pattern:patt
+                 (bytes_of_string "to everyone"));
+       });
+  run net;
+  Alcotest.(check int) "four outcomes" 4 (List.length !outcomes);
+  List.iter
+    (fun o -> Alcotest.(check bool) "delivered" true (o.Multicast.status = Sodal.Comp_ok))
+    !outcomes;
+  for mid = 0 to 3 do
+    Alcotest.(check string) "payload" "to everyone" received.(mid)
+  done
+
+let test_multicast_partial_failure () =
+  (* One member never advertises: its outcome is UNADVERTISED, the rest
+     still succeed — exactly the per-member semantics of §6.17.1. *)
+  let net, kernels = make_net 4 in
+  ignore (echo_server (List.nth kernels 0) patt);
+  ignore (echo_server (List.nth kernels 1) patt);
+  ignore (Sodal.attach (List.nth kernels 2) Sodal.default_spec);
+  let outcomes = ref [] in
+  ignore
+    (Sodal.attach (List.nth kernels 3)
+       {
+         Sodal.default_spec with
+         task =
+           (fun env ->
+             outcomes :=
+               Multicast.put env ~group:[ 0; 1; 2 ] ~pattern:patt (bytes_of_string "x"));
+       });
+  run net;
+  let status_of mid =
+    (List.find (fun o -> o.Multicast.mid = mid) !outcomes).Multicast.status
+  in
+  Alcotest.(check bool) "member 0 ok" true (status_of 0 = Sodal.Comp_ok);
+  Alcotest.(check bool) "member 1 ok" true (status_of 1 = Sodal.Comp_ok);
+  Alcotest.(check bool) "member 2 failed" true (status_of 2 = Sodal.Comp_unadvertised)
+
+let test_multicast_discovered () =
+  let net, kernels = make_net 4 in
+  ignore (echo_server (List.nth kernels 0) patt);
+  ignore (echo_server (List.nth kernels 2) patt);
+  let outcomes = ref [] in
+  ignore
+    (Sodal.attach (List.nth kernels 3)
+       {
+         Sodal.default_spec with
+         task =
+           (fun env ->
+             outcomes := Multicast.put_discovered env ~pattern:patt (bytes_of_string "hi"));
+       });
+  run net;
+  Alcotest.(check (list int)) "exactly the advertisers" [ 0; 2 ]
+    (List.map (fun o -> o.Multicast.mid) !outcomes)
+
+(* ---- bidding ------------------------------------------------------------------ *)
+
+let test_bidding_selects_least_loaded () =
+  let net, kernels = make_net 4 in
+  let bidding_server kernel load =
+    let hook = ref (fun _ _ -> false) in
+    ignore
+      (Sodal.attach kernel
+         {
+           Sodal.default_spec with
+           init =
+             (fun env ~parent:_ -> hook := Bidding.serve_bids env ~pattern:patt ~load);
+           on_request =
+             (fun env info ->
+               if not (!hook env info) then
+                 ignore (Sodal.accept_current_signal env ~arg:0));
+         })
+  in
+  bidding_server (List.nth kernels 0) (fun () -> 12);
+  bidding_server (List.nth kernels 1) (fun () -> 3);
+  bidding_server (List.nth kernels 2) (fun () -> 7);
+  let winner = ref None in
+  ignore
+    (Sodal.attach (List.nth kernels 3)
+       {
+         Sodal.default_spec with
+         task = (fun env -> winner := Bidding.select env ~pattern:patt ());
+       });
+  run net;
+  match !winner with
+  | Some ({ Types.sv_mid = Types.Mid 1; _ }, 3) -> ()
+  | Some ({ Types.sv_mid = Types.Mid m; _ }, load) ->
+    Alcotest.failf "picked mid %d (load %d), wanted mid 1 (load 3)" m load
+  | _ -> Alcotest.fail "no bidder selected"
+
+let test_bidding_no_bidders () =
+  let net, kernels = make_net 2 in
+  ignore (List.nth kernels 0);
+  let winner = ref (Some (Sodal.server ~mid:9 ~pattern:patt, 0)) in
+  ignore
+    (Sodal.attach (List.nth kernels 1)
+       {
+         Sodal.default_spec with
+         task = (fun env -> winner := Bidding.select env ~pattern:patt ());
+       });
+  run net;
+  Alcotest.(check bool) "none" true (!winner = None)
+
+(* ---- name server ----------------------------------------------------------------- *)
+
+let test_nameserver_roundtrip () =
+  let net, kernels = make_net 3 in
+  ignore (Sodal.attach (List.nth kernels 0) (Nameserver.spec ()));
+  ignore (echo_server (List.nth kernels 1) patt);
+  let looked_up = ref None in
+  let listing = ref [] in
+  let missing = ref false in
+  let dup_rejected = ref false in
+  ignore
+    (Sodal.attach (List.nth kernels 2)
+       {
+         Sodal.default_spec with
+         task =
+           (fun env ->
+             let sb = Sodal.discover env Nameserver.switchboard_pattern in
+             let echo_sig = Sodal.server ~mid:1 ~pattern:patt in
+             (match Nameserver.register env sb ~name:"/services/echo" echo_sig with
+              | Ok () -> ()
+              | Error _ -> Alcotest.fail "register failed");
+             (match Nameserver.register env sb ~name:"/services/time" echo_sig with
+              | Ok () -> ()
+              | Error _ -> Alcotest.fail "register 2 failed");
+             (* duplicate names are first-wins *)
+             (match
+                Nameserver.register env sb ~name:"/services/echo"
+                  (Sodal.server ~mid:9 ~pattern:patt)
+              with
+              | Error Nameserver.Already_registered -> dup_rejected := true
+              | Ok () | Error _ -> ());
+             (match Nameserver.lookup env sb ~name:"/services/echo" with
+              | Ok signature -> looked_up := Some signature
+              | Error _ -> ());
+             (match Nameserver.list env sb ~prefix:"/services" with
+              | Ok names -> listing := names
+              | Error _ -> ());
+             (match Nameserver.lookup env sb ~name:"/nothing" with
+              | Error Nameserver.Not_found -> missing := true
+              | Ok _ | Error _ -> ());
+             (* use the resolved signature for real *)
+             match !looked_up with
+             | Some sv -> ignore (Sodal.b_signal env sv ~arg:0)
+             | None -> ());
+       });
+  run net;
+  Alcotest.(check bool) "lookup resolves" true
+    (!looked_up = Some (Sodal.server ~mid:1 ~pattern:patt));
+  Alcotest.(check (list string)) "hierarchical listing"
+    [ "/services/echo"; "/services/time" ] !listing;
+  Alcotest.(check bool) "unknown name not found" true !missing;
+  Alcotest.(check bool) "duplicate registration rejected" true !dup_rejected
+
+let test_nameserver_unregister () =
+  let net, kernels = make_net 2 in
+  ignore (Sodal.attach (List.nth kernels 0) (Nameserver.spec ()));
+  let gone = ref false in
+  ignore
+    (Sodal.attach (List.nth kernels 1)
+       {
+         Sodal.default_spec with
+         task =
+           (fun env ->
+             let sb = Sodal.discover env Nameserver.switchboard_pattern in
+             let sv = Sodal.server ~mid:1 ~pattern:patt in
+             ignore (Nameserver.register env sb ~name:"temp" sv);
+             ignore (Nameserver.unregister env sb ~name:"temp");
+             match Nameserver.lookup env sb ~name:"temp" with
+             | Error Nameserver.Not_found -> gone := true
+             | Ok _ | Error _ -> ());
+       });
+  run net;
+  Alcotest.(check bool) "unregistered" true !gone
+
+(* ---- migration --------------------------------------------------------------------- *)
+
+let test_migration_pipeline () =
+  let s = Migration.run ~seed:61 () in
+  Alcotest.(check (list string)) "visited all three stages in order"
+    [ "compile"; "compute"; "print" ]
+    (List.map snd s.Migration.hops);
+  Alcotest.(check string) "final state carries the whole log"
+    "compile@3;compute@1;print@4" s.Migration.result;
+  Alcotest.(check bool) "intermediate machines freed" true s.Migration.machines_freed
+
+let suites =
+  [
+    ( "extensions.multicast",
+      [
+        Alcotest.test_case "all members" `Quick test_multicast_all_members;
+        Alcotest.test_case "partial failure" `Quick test_multicast_partial_failure;
+        Alcotest.test_case "discovered group" `Quick test_multicast_discovered;
+      ] );
+    ( "extensions.bidding",
+      [
+        Alcotest.test_case "least loaded wins" `Quick test_bidding_selects_least_loaded;
+        Alcotest.test_case "no bidders" `Quick test_bidding_no_bidders;
+      ] );
+    ( "extensions.nameserver",
+      [
+        Alcotest.test_case "register/lookup/list" `Quick test_nameserver_roundtrip;
+        Alcotest.test_case "unregister" `Quick test_nameserver_unregister;
+      ] );
+    ( "extensions.migration",
+      [ Alcotest.test_case "pipeline hops machines" `Quick test_migration_pipeline ] );
+  ]

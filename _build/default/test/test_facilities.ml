@@ -1,0 +1,612 @@
+(* Higher-level facilities of Chapter 4: ports, RPC, remote memory
+   reference, timeouts, links with moving, CSP rendezvous, connector. *)
+
+open Helpers
+module Port = Soda_facilities.Port
+module Rpc = Soda_facilities.Rpc
+module Rmr = Soda_facilities.Rmr
+module Timeserver = Soda_facilities.Timeserver
+module Link = Soda_facilities.Link
+module Csp = Soda_facilities.Csp
+module Connector = Soda_facilities.Connector
+
+let patt = Pattern.well_known 0o123
+
+(* ---- ports ------------------------------------------------------------- *)
+
+let test_port_fifo () =
+  let net, kernels = make_net 2 in
+  let got = ref [] in
+  let port_spec =
+    Port.spec ~pattern:patt
+      ~on_data:(fun _ ~arg:_ data -> got := Bytes.to_string data :: !got)
+      ()
+  in
+  ignore (Sodal.attach (List.nth kernels 0) port_spec);
+  ignore
+    (Sodal.attach (List.nth kernels 1)
+       {
+         Sodal.default_spec with
+         task =
+           (fun env ->
+             let sv = Sodal.server ~mid:0 ~pattern:patt in
+             List.iter
+               (fun m -> ignore (Port.write env sv (bytes_of_string m)))
+               [ "a"; "b"; "c"; "d" ]);
+       });
+  run net;
+  Alcotest.(check (list string)) "fifo order" [ "a"; "b"; "c"; "d" ] (List.rev !got)
+
+let test_port_priority () =
+  let net, kernels = make_net 3 in
+  let got = ref [] in
+  let port_spec =
+    Port.spec ~pattern:patt ~discipline:Port.Priority
+      ~on_data:(fun _ ~arg data -> got := (arg, Bytes.to_string data) :: !got)
+      ()
+  in
+  ignore (Sodal.attach (List.nth kernels 0) port_spec);
+  (* Writer 1 floods low-priority items, writer 2 sends one urgent item;
+     the urgent item must overtake queued low-priority ones. *)
+  ignore
+    (Sodal.attach (List.nth kernels 1)
+       {
+         Sodal.default_spec with
+         task =
+           (fun env ->
+             let sv = Sodal.server ~mid:0 ~pattern:patt in
+             for i = 1 to 5 do
+               ignore (Port.write env sv ~arg:1 (bytes_of_string (Printf.sprintf "low%d" i)))
+             done);
+       });
+  ignore
+    (Sodal.attach (List.nth kernels 2)
+       {
+         Sodal.default_spec with
+         task =
+           (fun env ->
+             Sodal.compute env 15_000;
+             let sv = Sodal.server ~mid:0 ~pattern:patt in
+             ignore (Port.write env sv ~arg:9 (bytes_of_string "URGENT")));
+       });
+  run net;
+  let order = List.rev !got in
+  Alcotest.(check int) "all delivered" 6 (List.length order);
+  let urgent_pos =
+    match List.find_index (fun (_, d) -> d = "URGENT") order with
+    | Some i -> i
+    | None -> Alcotest.fail "urgent item lost"
+  in
+  Alcotest.(check bool) "urgent overtook queued low-priority traffic" true (urgent_pos < 5)
+
+let test_port_flow_control () =
+  (* Many eager writers against a tiny queue and a slow consumer: the port
+     must close its handler for backpressure yet deliver everything. *)
+  let net, kernels = make_net 4 in
+  let got = ref 0 in
+  let port_spec =
+    Port.spec ~pattern:patt ~queue_len:2
+      ~on_data:(fun env ~arg:_ _ ->
+        Sodal.compute env 15_000;
+        incr got)
+      ()
+  in
+  ignore (Sodal.attach (List.nth kernels 0) port_spec);
+  for w = 1 to 3 do
+    ignore
+      (Sodal.attach (List.nth kernels w)
+         {
+           Sodal.default_spec with
+           task =
+             (fun env ->
+               let sv = Sodal.server ~mid:0 ~pattern:patt in
+               for i = 1 to 5 do
+                 let c = Port.write env sv (bytes_of_string (Printf.sprintf "w%d-%d" w i)) in
+                 Alcotest.(check bool) "write completed" true (c.Sodal.status = Sodal.Comp_ok)
+               done);
+         })
+  done;
+  run ~horizon:900.0 net;
+  Alcotest.(check int) "every write eventually served" 15 !got
+
+let test_connector_three_stage_chain () =
+  (* Four modules wired f -> a -> b -> c: a feeder and three relays; each
+     relay appends its tag. The final word proves the connector wired the
+     whole chain with fresh patterns. *)
+  let net, kernels = make_net 6 in
+  let registry = Connector.create_registry () in
+  let final = ref "" in
+  let relay ~module_name ~next =
+    Connector.define registry ~name:module_name (fun ~resolve ->
+        {
+          Sodal.default_spec with
+          on_request =
+            (fun env info ->
+              let into = Bytes.create info.Sodal.put_size in
+              let _, got = Sodal.accept_current_put env ~arg:0 ~into in
+              let word = Bytes.sub_string into 0 got ^ "+" ^ module_name in
+              match next with
+              | Some peer -> ignore (Sodal.put env (resolve peer) ~arg:0 (Bytes.of_string word))
+              | None -> final := word);
+        })
+  in
+  Connector.define registry ~name:"feeder" (fun ~resolve ->
+      {
+        Sodal.default_spec with
+        task =
+          (fun env ->
+            ignore (Sodal.b_put env (resolve "a") ~arg:0 (Bytes.of_string "seed"));
+            Sodal.serve env);
+      });
+  relay ~module_name:"r1" ~next:(Some "b");
+  relay ~module_name:"r2" ~next:(Some "c");
+  relay ~module_name:"r3" ~next:None;
+  List.iter (fun i -> Connector.make_bootable registry (List.nth kernels i)) [ 0; 1; 2; 3; 4 ];
+  ignore
+    (Sodal.attach (List.nth kernels 5)
+       {
+         Sodal.default_spec with
+         task =
+           (fun env ->
+             ignore
+               (Connector.deploy env
+                  [
+                    { Connector.instance = "f"; module_name = "feeder"; boot_kind = 0 };
+                    { Connector.instance = "a"; module_name = "r1"; boot_kind = 0 };
+                    { Connector.instance = "b"; module_name = "r2"; boot_kind = 0 };
+                    { Connector.instance = "c"; module_name = "r3"; boot_kind = 0 };
+                  ]
+                  ~wiring:[ ("f", "a"); ("a", "b"); ("b", "c") ]);
+             Sodal.serve env);
+       });
+  run ~horizon:900.0 net;
+  Alcotest.(check string) "word crossed the whole pipeline" "seed+r1+r2+r3" !final
+
+(* ---- rpc ------------------------------------------------------------------ *)
+
+let double_proc _env params =
+  let n = int_of_string (Bytes.to_string params) in
+  Bytes.of_string (string_of_int (2 * n))
+
+let test_rpc_basic () =
+  let net, kernels = make_net 2 in
+  ignore (Sodal.attach (List.nth kernels 0) (Rpc.spec [ (patt, double_proc) ]));
+  let result = ref "" in
+  ignore
+    (Sodal.attach (List.nth kernels 1)
+       {
+         Sodal.default_spec with
+         task =
+           (fun env ->
+             match
+               Rpc.call env (Sodal.server ~mid:0 ~pattern:patt) (bytes_of_string "21")
+                 ~result_size:16
+             with
+             | Ok r -> result := Bytes.to_string r
+             | Error _ -> Alcotest.fail "rpc failed");
+       });
+  run net;
+  Alcotest.(check string) "doubled" "42" !result
+
+let test_rpc_concurrent_callers () =
+  let net, kernels = make_net 3 in
+  ignore (Sodal.attach (List.nth kernels 0) (Rpc.spec [ (patt, double_proc) ]));
+  let results = ref [] in
+  let caller kernel n =
+    ignore
+      (Sodal.attach kernel
+         {
+           Sodal.default_spec with
+           task =
+             (fun env ->
+               match
+                 Rpc.call env (Sodal.server ~mid:0 ~pattern:patt)
+                   (bytes_of_string (string_of_int n))
+                   ~result_size:16
+               with
+               | Ok r -> results := int_of_string (Bytes.to_string r) :: !results
+               | Error _ -> Alcotest.fail "rpc failed");
+         })
+  in
+  caller (List.nth kernels 1) 10;
+  caller (List.nth kernels 2) 100;
+  run net;
+  Alcotest.(check (list int)) "both calls served" [ 20; 200 ] (List.sort compare !results)
+
+let test_rpc_dead_server () =
+  let net, kernels = make_net 2 in
+  ignore (List.nth kernels 0);
+  let got_error = ref false in
+  ignore
+    (Sodal.attach (List.nth kernels 1)
+       {
+         Sodal.default_spec with
+         task =
+           (fun env ->
+             match
+               Rpc.call env (Sodal.server ~mid:0 ~pattern:patt) (bytes_of_string "1")
+                 ~result_size:8
+             with
+             | Error Rpc.Server_crashed -> got_error := true
+             | Ok _ | Error _ -> ());
+       });
+  run net;
+  Alcotest.(check bool) "dead server reported" true !got_error
+
+(* ---- rmr ---------------------------------------------------------------------- *)
+
+let test_rmr_peek_poke () =
+  let net, kernels = make_net 2 in
+  let spec, memory = Rmr.spec ~pattern:patt ~words:64 in
+  ignore (Sodal.attach (List.nth kernels 0) spec);
+  let read_back = ref "" in
+  ignore
+    (Sodal.attach (List.nth kernels 1)
+       {
+         Sodal.default_spec with
+         task =
+           (fun env ->
+             let sv = Sodal.server ~mid:0 ~pattern:patt in
+             (match Rmr.poke env sv ~addr:4 (bytes_of_string "WXYZ") with
+              | Ok () -> ()
+              | Error _ -> Alcotest.fail "poke failed");
+             (match Rmr.peek env sv ~addr:4 ~words:2 with
+              | Ok data -> read_back := Bytes.to_string data
+              | Error _ -> Alcotest.fail "peek failed");
+             (* out-of-range access is rejected *)
+             match Rmr.peek env sv ~addr:63 ~words:4 with
+             | Error Rmr.Out_of_range -> ()
+             | Ok _ | Error _ -> Alcotest.fail "range check missing");
+       });
+  run net;
+  Alcotest.(check string) "poked then peeked" "WXYZ" !read_back;
+  Alcotest.(check string) "server memory updated" "WXYZ" (Bytes.sub_string memory 8 4)
+
+(* ---- timeserver ------------------------------------------------------------------ *)
+
+let test_timeserver_sleep () =
+  let net, kernels = make_net 2 in
+  ignore (Sodal.attach (List.nth kernels 0) (Timeserver.spec ()));
+  let woke_at = ref 0 in
+  ignore
+    (Sodal.attach (List.nth kernels 1)
+       {
+         Sodal.default_spec with
+         task =
+           (fun env ->
+             let ts = Sodal.server ~mid:0 ~pattern:Timeserver.alarm_pattern in
+             Timeserver.sleep env ts ~delay_us:500_000;
+             woke_at := Sodal.now env);
+       });
+  run net;
+  Alcotest.(check bool) "slept at least 500 ms" true (!woke_at >= 500_000);
+  Alcotest.(check bool) "but not much longer" true (!woke_at < 700_000)
+
+let test_with_timeout_fires () =
+  (* The guarded request goes to a server that never accepts: the alarm
+     must fire and the request must be cancelled (§4.3.2). *)
+  let net, kernels = make_net 3 in
+  ignore (Sodal.attach (List.nth kernels 0) (Timeserver.spec ()));
+  ignore
+    (Sodal.attach (List.nth kernels 1)
+       {
+         Sodal.default_spec with
+         init = (fun env ~parent:_ -> Sodal.advertise env patt);
+         on_request = (fun _ _ -> ());
+       });
+  let timed_out = ref false in
+  ignore
+    (Sodal.attach (List.nth kernels 2)
+       {
+         Sodal.default_spec with
+         task =
+           (fun env ->
+             let ts = Sodal.server ~mid:0 ~pattern:Timeserver.alarm_pattern in
+             match
+               Timeserver.with_timeout env ts ~delay_us:300_000 (fun () ->
+                   Sodal.signal env (Sodal.server ~mid:1 ~pattern:patt) ~arg:0)
+             with
+             | None -> timed_out := true
+             | Some _ -> ());
+       });
+  run net;
+  Alcotest.(check bool) "timed out" true !timed_out
+
+let test_with_timeout_completes () =
+  let net, kernels = make_net 3 in
+  ignore (Sodal.attach (List.nth kernels 0) (Timeserver.spec ()));
+  ignore (echo_server (List.nth kernels 1) patt);
+  let completed = ref false in
+  ignore
+    (Sodal.attach (List.nth kernels 2)
+       {
+         Sodal.default_spec with
+         task =
+           (fun env ->
+             let ts = Sodal.server ~mid:0 ~pattern:Timeserver.alarm_pattern in
+             match
+               Timeserver.with_timeout env ts ~delay_us:5_000_000 (fun () ->
+                   Sodal.signal env (Sodal.server ~mid:1 ~pattern:patt) ~arg:0)
+             with
+             | Some c -> completed := c.Sodal.status = Sodal.Comp_ok
+             | None -> ());
+       });
+  run net;
+  Alcotest.(check bool) "completed before the alarm" true !completed
+
+(* ---- links -------------------------------------------------------------------------- *)
+
+let test_link_introduce_and_send () =
+  let net, kernels = make_net 3 in
+  let received = ref [] in
+  let on_data _env _mgr _id ~arg:_ data =
+    received := Bytes.to_string data :: !received;
+    Bytes.empty
+  in
+  let mgr_a, spec_a =
+    Link.spec
+      ~task:(fun env mgr ->
+        Link.wait_for_links env mgr ~n:1;
+        let link = List.hd (Link.links mgr) in
+        (match Link.send env mgr link (bytes_of_string "over the link") with
+         | `Ok -> ()
+         | `Destroyed -> Alcotest.fail "link destroyed");
+        Sodal.serve env)
+      ()
+  in
+  let _mgr_b, spec_b = Link.spec ~on_data () in
+  ignore (Sodal.attach (List.nth kernels 0) spec_a);
+  ignore (Sodal.attach (List.nth kernels 1) spec_b);
+  ignore
+    (Sodal.attach (List.nth kernels 2)
+       {
+         Sodal.default_spec with
+         task = (fun env -> Link.introduce env ~a:0 ~b:1);
+       });
+  ignore mgr_a;
+  run net;
+  Alcotest.(check (list string)) "data arrived over the link" [ "over the link" ] !received
+
+let test_link_move_transparent () =
+  (* A <-> B, then B moves its end to C. A keeps sending over the same
+     link id and the messages land at C (§4.2.4). *)
+  let net, kernels = make_net 4 in
+  let at_b = ref [] and at_c = ref [] in
+  let collect cell _env _mgr _id ~arg:_ data =
+    cell := Bytes.to_string data :: !cell;
+    Bytes.empty
+  in
+  let _mgr_a, spec_a =
+    Link.spec
+      ~task:(fun env mgr ->
+        Link.wait_for_links env mgr ~n:1;
+        let link = List.hd (Link.links mgr) in
+        ignore (Link.send env mgr link (bytes_of_string "first"));
+        (* wait for the move to have happened, then send again over the
+           SAME link id *)
+        Sodal.compute env 2_000_000;
+        ignore (Link.send env mgr link (bytes_of_string "second"));
+        Sodal.serve env)
+      ()
+  in
+  let mgr_b_box = ref None in
+  let _mgr_b, spec_b =
+    Link.spec
+      ~on_data:(collect at_b)
+      ~task:(fun env mgr ->
+        mgr_b_box := Some mgr;
+        Link.wait_for_links env mgr ~n:1;
+        (* let the first message land, then move our end to machine 2 *)
+        Sodal.compute env 1_000_000;
+        let link = List.hd (Link.links mgr) in
+        Link.move env mgr link ~to_machine:2;
+        Sodal.serve env)
+      ()
+  in
+  let _mgr_c, spec_c = Link.spec ~on_data:(collect at_c) () in
+  ignore (Sodal.attach (List.nth kernels 0) spec_a);
+  ignore (Sodal.attach (List.nth kernels 1) spec_b);
+  ignore (Sodal.attach (List.nth kernels 2) spec_c);
+  ignore
+    (Sodal.attach (List.nth kernels 3)
+       { Sodal.default_spec with task = (fun env -> Link.introduce env ~a:0 ~b:1) });
+  run ~horizon:600.0 net;
+  Alcotest.(check (list string)) "first message at B" [ "first" ] !at_b;
+  Alcotest.(check (list string)) "second message transparently at C" [ "second" ] !at_c
+
+let test_link_destroy () =
+  let net, kernels = make_net 3 in
+  let outcome = ref `Ok in
+  let _mgr_a, spec_a =
+    Link.spec
+      ~task:(fun env mgr ->
+        Link.wait_for_links env mgr ~n:1;
+        let link = List.hd (Link.links mgr) in
+        (* partner destroys the link shortly; our next send must fail *)
+        Sodal.compute env 2_000_000;
+        outcome := (Link.send env mgr link (bytes_of_string "into the void") :> [ `Ok | `Destroyed ]);
+        Sodal.serve env)
+      ()
+  in
+  let _mgr_b, spec_b =
+    Link.spec
+      ~task:(fun env mgr ->
+        Link.wait_for_links env mgr ~n:1;
+        Sodal.compute env 1_000_000;
+        Link.destroy env mgr (List.hd (Link.links mgr));
+        Sodal.serve env)
+      ()
+  in
+  ignore (Sodal.attach (List.nth kernels 0) spec_a);
+  ignore (Sodal.attach (List.nth kernels 1) spec_b);
+  ignore
+    (Sodal.attach (List.nth kernels 2)
+       { Sodal.default_spec with task = (fun env -> Link.introduce env ~a:0 ~b:1) });
+  run ~horizon:600.0 net;
+  Alcotest.(check bool) "send on destroyed link fails" true (!outcome = `Destroyed)
+
+(* ---- CSP rendezvous -------------------------------------------------------------------- *)
+
+let test_csp_symmetric_rendezvous () =
+  (* The "Deadlock Danger" figure: A and B simultaneously run alternatives
+     with both an output to and an input from each other. Exactly one
+     direction must win at both ends, consistently. *)
+  let net, kernels = make_net 2 in
+  let outcome_a = ref None and outcome_b = ref None in
+  let proc peer_mid outcome_cell tag =
+    Csp.make ~task:(fun env p ->
+        let result =
+          Csp.select env p
+            [
+              Csp.Output { peer = peer_mid; chan = 1; data = bytes_of_string tag };
+              Csp.Input { peer = Some peer_mid; chan = 1 };
+            ]
+        in
+        outcome_cell := result;
+        Sodal.serve env)
+  in
+  let _pa, spec_a = proc 1 outcome_a "from-A" in
+  let _pb, spec_b = proc 0 outcome_b "from-B" in
+  ignore (Sodal.attach (List.nth kernels 0) spec_a);
+  ignore (Sodal.attach (List.nth kernels 1) spec_b);
+  ignore (Network.run ~until:120_000_000 net);
+  match !outcome_a, !outcome_b with
+  | Some a, Some b ->
+    (* index 0 = output fired, 1 = input fired; they must disagree. *)
+    Alcotest.(check bool) "exactly one direction" true (a.Csp.index <> b.Csp.index);
+    let data = if a.Csp.index = 1 then a.Csp.data else b.Csp.data in
+    let expect = if a.Csp.index = 1 then "from-B" else "from-A" in
+    Alcotest.(check string) "value crossed" expect (Bytes.to_string data)
+  | _ -> Alcotest.fail "rendezvous did not complete (deadlock/livelock)"
+
+let test_csp_three_cycle () =
+  (* The paper's example: P1 queries P2 queries P3 queries P1 — the
+     simultaneous-query cycle that Bernstein's mid-ordering must resolve
+     without deadlock or livelock. Each process keeps evaluating the
+     alternative until it has both sent to its successor and received from
+     its predecessor: six guard firings in total. *)
+  let net, kernels = make_net 3 in
+  let finished = Array.make 3 false in
+  let received = Array.make 3 "" in
+  let proc self =
+    let next = (self + 1) mod 3 in
+    let prev = (self + 2) mod 3 in
+    Csp.make ~task:(fun env p ->
+        let sent = ref false and got = ref false in
+        while not (!sent && !got) do
+          let guards =
+            (if !sent then []
+             else
+               [ Csp.Output { peer = next; chan = 7; data = bytes_of_string (string_of_int self) } ])
+            @ if !got then [] else [ Csp.Input { peer = Some prev; chan = 7 } ]
+          in
+          match Csp.select env p guards with
+          | Some outcome ->
+            (match List.nth guards outcome.Csp.index with
+             | Csp.Output _ -> sent := true
+             | Csp.Input _ ->
+               got := true;
+               received.(self) <- Bytes.to_string outcome.Csp.data)
+          | None -> Alcotest.failf "process %d: alternative failed" self
+        done;
+        finished.(self) <- true;
+        Sodal.serve env)
+  in
+  List.iteri
+    (fun i k ->
+      let _p, spec = proc i in
+      ignore (Sodal.attach k spec))
+    kernels;
+  ignore (Network.run ~until:600_000_000 net);
+  Array.iteri
+    (fun i done_ ->
+      if not done_ then Alcotest.failf "process %d never completed the cycle" i)
+    finished;
+  (* Everyone received exactly its predecessor's token. *)
+  Alcotest.(check (list string)) "tokens travelled the ring" [ "2"; "0"; "1" ]
+    (Array.to_list received)
+
+(* ---- connector ----------------------------------------------------------------------------- *)
+
+let test_connector_deploy () =
+  let net, kernels = make_net 4 in
+  let registry = Connector.create_registry () in
+  let pongs = ref [] in
+  Connector.define registry ~name:"ponger" (fun ~resolve:_ ->
+      {
+        Sodal.default_spec with
+        on_request =
+          (fun env info ->
+            let into = Bytes.create info.Sodal.put_size in
+            let _, got = Sodal.accept_current_put env ~arg:0 ~into in
+            pongs := Bytes.sub_string into 0 got :: !pongs);
+      });
+  Connector.define registry ~name:"pinger" (fun ~resolve ->
+      {
+        Sodal.default_spec with
+        task =
+          (fun env ->
+            let server = resolve "pong-instance" in
+            ignore (Sodal.b_put env server ~arg:0 (bytes_of_string "ping!"));
+            Sodal.serve env);
+      });
+  (* mids 0 and 1 are free machines running the loader; 3 is the connector. *)
+  Connector.make_bootable registry (List.nth kernels 0);
+  Connector.make_bootable registry (List.nth kernels 1);
+  let placement = ref [] in
+  ignore
+    (Sodal.attach (List.nth kernels 3)
+       {
+         Sodal.default_spec with
+         task =
+           (fun env ->
+             placement :=
+               Connector.deploy env
+                 [
+                   { Connector.instance = "pong-instance"; module_name = "ponger"; boot_kind = 0 };
+                   { Connector.instance = "ping-instance"; module_name = "pinger"; boot_kind = 0 };
+                 ]
+                 ~wiring:[ ("ping-instance", "pong-instance") ]);
+       });
+  run ~horizon:600.0 net;
+  Alcotest.(check int) "two instances placed" 2 (List.length !placement);
+  Alcotest.(check (list string)) "message crossed the wired path" [ "ping!" ] !pongs
+
+let suites =
+  [
+    ( "facilities.port",
+      [
+        Alcotest.test_case "fifo" `Quick test_port_fifo;
+        Alcotest.test_case "priority" `Quick test_port_priority;
+        Alcotest.test_case "flow control" `Quick test_port_flow_control;
+      ] );
+    ( "facilities.rpc",
+      [
+        Alcotest.test_case "basic call" `Quick test_rpc_basic;
+        Alcotest.test_case "concurrent callers" `Quick test_rpc_concurrent_callers;
+        Alcotest.test_case "dead server" `Quick test_rpc_dead_server;
+      ] );
+    ("facilities.rmr", [ Alcotest.test_case "peek/poke" `Quick test_rmr_peek_poke ]);
+    ( "facilities.timeserver",
+      [
+        Alcotest.test_case "sleep" `Quick test_timeserver_sleep;
+        Alcotest.test_case "timeout fires" `Quick test_with_timeout_fires;
+        Alcotest.test_case "timeout beaten" `Quick test_with_timeout_completes;
+      ] );
+    ( "facilities.link",
+      [
+        Alcotest.test_case "introduce + send" `Quick test_link_introduce_and_send;
+        Alcotest.test_case "transparent move" `Quick test_link_move_transparent;
+        Alcotest.test_case "destroy" `Quick test_link_destroy;
+      ] );
+    ( "facilities.csp",
+      [
+        Alcotest.test_case "symmetric rendezvous" `Quick test_csp_symmetric_rendezvous;
+        Alcotest.test_case "three-cycle" `Quick test_csp_three_cycle;
+      ] );
+    ( "facilities.connector",
+      [
+        Alcotest.test_case "deploy + wire" `Quick test_connector_deploy;
+        Alcotest.test_case "three-stage pipeline" `Quick test_connector_three_stage_chain;
+      ] );
+  ]

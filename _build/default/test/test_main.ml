@@ -1,0 +1,19 @@
+let () =
+  Alcotest.run "soda"
+    (List.concat
+       [
+         Test_sim.suites;
+         Test_net.suites;
+         Test_wire.suites;
+         Test_transport.suites;
+         Test_kernel.suites;
+         Test_sodal.suites;
+         Test_facilities.suites;
+         Test_examples.suites;
+         Test_extensions.suites;
+         Test_baseline.suites;
+         Test_properties.suites;
+         Test_semantics.suites;
+         Test_stream.suites;
+         Test_sodal_lang.suites;
+       ])

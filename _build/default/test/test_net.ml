@@ -1,0 +1,169 @@
+module Engine = Soda_sim.Engine
+module Crc16 = Soda_net.Crc16
+module Frame = Soda_net.Frame
+module Bus = Soda_net.Bus
+module Nic = Soda_net.Nic
+
+let b = Bytes.of_string
+
+(* ---- crc ------------------------------------------------------------------ *)
+
+let test_crc_known_vector () =
+  (* CRC-16/CCITT-FALSE("123456789") = 0x29B1 *)
+  let data = b "123456789" in
+  Alcotest.(check int) "check value" 0x29B1 (Crc16.compute data ~off:0 ~len:9)
+
+let test_crc_roundtrip () =
+  let payload = b "hello, megalink" in
+  match Crc16.check (Crc16.append payload) with
+  | Some p -> Alcotest.(check string) "payload preserved" "hello, megalink" (Bytes.to_string p)
+  | None -> Alcotest.fail "valid CRC rejected"
+
+let test_crc_detects_corruption () =
+  let wire = Crc16.append (b "data") in
+  Bytes.set wire 1 'X';
+  Alcotest.(check bool) "corruption detected" true (Crc16.check wire = None)
+
+let test_crc_short_frame () =
+  Alcotest.(check bool) "tiny frame rejected" true (Crc16.check (b "x") = None)
+
+let prop_crc_roundtrip =
+  QCheck.Test.make ~name:"crc roundtrips arbitrary payloads" ~count:300 QCheck.string
+    (fun s ->
+      match Crc16.check (Crc16.append (Bytes.of_string s)) with
+      | Some p -> Bytes.to_string p = s
+      | None -> false)
+
+let prop_crc_detects_single_flip =
+  QCheck.Test.make ~name:"crc detects any single-byte flip" ~count:300
+    QCheck.(pair (string_of_size Gen.(1 -- 64)) (pair small_int small_int))
+    (fun (s, (pos, flip)) ->
+      let wire = Crc16.append (Bytes.of_string s) in
+      let pos = pos mod Bytes.length wire in
+      let flip = 1 + (flip mod 255) in
+      Bytes.set wire pos (Char.chr (Char.code (Bytes.get wire pos) lxor flip));
+      Crc16.check wire = None)
+
+(* ---- bus / nic -------------------------------------------------------------- *)
+
+let setup ?(config = Bus.default_config) () =
+  let e = Engine.create ~seed:3 () in
+  let bus = Bus.create ~config e in
+  (e, bus)
+
+let test_unicast_delivery () =
+  let e, bus = setup () in
+  let got = ref None in
+  let n1 = Nic.attach bus ~mid:1 ~rx:(fun ~src ~broadcast:_ p -> got := Some (src, p)) in
+  let n2 = Nic.attach bus ~mid:2 ~rx:(fun ~src:_ ~broadcast:_ _ -> Alcotest.fail "mid 2 got frame") in
+  ignore n1;
+  Nic.send n2 ~dst:1 (b "ping");
+  ignore (Engine.run e);
+  match !got with
+  | Some (2, p) -> Alcotest.(check string) "payload" "ping" (Bytes.to_string p)
+  | _ -> Alcotest.fail "frame not delivered"
+
+let test_broadcast_excludes_sender () =
+  let e, bus = setup () in
+  let hits = ref [] in
+  let sender = Nic.attach bus ~mid:0 ~rx:(fun ~src:_ ~broadcast:_ _ -> hits := 0 :: !hits) in
+  for mid = 1 to 3 do
+    ignore (Nic.attach bus ~mid ~rx:(fun ~src:_ ~broadcast:_ _ -> hits := mid :: !hits))
+  done;
+  Nic.broadcast sender (b "hello");
+  ignore (Engine.run e);
+  Alcotest.(check (list int)) "all but sender, ascending" [ 1; 2; 3 ] (List.rev !hits)
+
+let test_transmission_time () =
+  let e, bus = setup () in
+  (* 100-byte payload + 8 overhead + 2 crc = 110 bytes = 880 bits at 1 Mbit
+     = 880 us, + 5 us propagation. *)
+  let arrival = ref 0 in
+  ignore (Nic.attach bus ~mid:1 ~rx:(fun ~src:_ ~broadcast:_ _ -> arrival := Engine.now e));
+  let n0 = Nic.attach bus ~mid:0 ~rx:(fun ~src:_ ~broadcast:_ _ -> ()) in
+  Nic.send n0 ~dst:1 (Bytes.create 100);
+  ignore (Engine.run e);
+  Alcotest.(check int) "bandwidth-accurate latency" 885 !arrival
+
+let test_medium_serialisation () =
+  let e, bus = setup () in
+  let arrivals = ref [] in
+  ignore
+    (Nic.attach bus ~mid:1 ~rx:(fun ~src:_ ~broadcast:_ _ ->
+         arrivals := Engine.now e :: !arrivals));
+  let n0 = Nic.attach bus ~mid:0 ~rx:(fun ~src:_ ~broadcast:_ _ -> ()) in
+  Nic.send n0 ~dst:1 (Bytes.create 100);
+  Nic.send n0 ~dst:1 (Bytes.create 100);
+  ignore (Engine.run e);
+  match List.rev !arrivals with
+  | [ t1; t2 ] ->
+    Alcotest.(check int) "first frame" 885 t1;
+    Alcotest.(check int) "second waits for the medium" 1765 t2
+  | _ -> Alcotest.fail "expected two frames"
+
+let test_loss_injection () =
+  let config = { Bus.default_config with loss_rate = 1.0 } in
+  let e, bus = setup ~config () in
+  let got = ref false in
+  ignore (Nic.attach bus ~mid:1 ~rx:(fun ~src:_ ~broadcast:_ _ -> got := true));
+  let n0 = Nic.attach bus ~mid:0 ~rx:(fun ~src:_ ~broadcast:_ _ -> ()) in
+  Nic.send n0 ~dst:1 (b "doomed");
+  ignore (Engine.run e);
+  Alcotest.(check bool) "frame lost" false !got;
+  Alcotest.(check int) "loss counted" 1 (Soda_sim.Stats.counter (Bus.stats bus) "bus.frames_lost")
+
+let test_corruption_dropped_by_crc () =
+  let config = { Bus.default_config with corruption_rate = 1.0 } in
+  let e, bus = setup ~config () in
+  let got = ref false in
+  let n1 = Nic.attach bus ~mid:1 ~rx:(fun ~src:_ ~broadcast:_ _ -> got := true) in
+  let n0 = Nic.attach bus ~mid:0 ~rx:(fun ~src:_ ~broadcast:_ _ -> ()) in
+  Nic.send n0 ~dst:1 (b "garbled");
+  ignore (Engine.run e);
+  Alcotest.(check bool) "corrupted frame never reaches the kernel" false !got;
+  Alcotest.(check int) "crc drop counted" 1 (Nic.crc_drops n1)
+
+let test_nic_disable () =
+  let e, bus = setup () in
+  let got = ref false in
+  let n1 = Nic.attach bus ~mid:1 ~rx:(fun ~src:_ ~broadcast:_ _ -> got := true) in
+  let n0 = Nic.attach bus ~mid:0 ~rx:(fun ~src:_ ~broadcast:_ _ -> ()) in
+  Nic.disable n1;
+  Nic.send n0 ~dst:1 (b "x");
+  ignore (Engine.run e);
+  Alcotest.(check bool) "disabled nic silent" false !got;
+  Nic.enable n1;
+  Nic.send n0 ~dst:1 (b "y");
+  ignore (Engine.run e);
+  Alcotest.(check bool) "re-enabled nic receives" true !got
+
+let test_duplicate_mid_rejected () =
+  let _, bus = setup () in
+  ignore (Nic.attach bus ~mid:1 ~rx:(fun ~src:_ ~broadcast:_ _ -> ()));
+  Alcotest.check_raises "duplicate station"
+    (Invalid_argument "Bus.attach: mid 1 already attached") (fun () ->
+      ignore (Nic.attach bus ~mid:1 ~rx:(fun ~src:_ ~broadcast:_ _ -> ())))
+
+let suites =
+  [
+    ( "net.crc16",
+      [
+        Alcotest.test_case "known vector" `Quick test_crc_known_vector;
+        Alcotest.test_case "roundtrip" `Quick test_crc_roundtrip;
+        Alcotest.test_case "detects corruption" `Quick test_crc_detects_corruption;
+        Alcotest.test_case "short frame" `Quick test_crc_short_frame;
+        QCheck_alcotest.to_alcotest prop_crc_roundtrip;
+        QCheck_alcotest.to_alcotest prop_crc_detects_single_flip;
+      ] );
+    ( "net.bus",
+      [
+        Alcotest.test_case "unicast delivery" `Quick test_unicast_delivery;
+        Alcotest.test_case "broadcast excludes sender" `Quick test_broadcast_excludes_sender;
+        Alcotest.test_case "transmission time" `Quick test_transmission_time;
+        Alcotest.test_case "medium serialisation" `Quick test_medium_serialisation;
+        Alcotest.test_case "loss injection" `Quick test_loss_injection;
+        Alcotest.test_case "corruption dropped by crc" `Quick test_corruption_dropped_by_crc;
+        Alcotest.test_case "nic disable/enable" `Quick test_nic_disable;
+        Alcotest.test_case "duplicate mid rejected" `Quick test_duplicate_mid_rejected;
+      ] );
+  ]

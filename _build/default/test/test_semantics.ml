@@ -1,0 +1,268 @@
+(* Edge cases of the kernel-client contract: handler state machine subtleties
+   (§3.3.4, §3.7.5), completion-before-request ordering, SYSTEM pattern
+   administration, CSP corner cases, asynchronous receipt (§6.6). *)
+
+open Helpers
+module Csp = Soda_facilities.Csp
+
+let patt = Pattern.well_known 0o666
+let patt2 = Pattern.well_known 0o667
+
+(* §3.7.5: "If client C1 issues an ACCEPT followed by a REQUEST to another
+   client C2, the ACCEPT will cause an invocation of C2's handler before
+   the REQUEST will." *)
+let test_accept_before_request_ordering () =
+  let net, kernels = make_net 2 in
+  let k1 = List.nth kernels 0 and k2 = List.nth kernels 1 in
+  let events = ref [] in
+  (* C2: issues a request to C1 (which C1 will accept late), then watches
+     the order of its own handler invocations. *)
+  ignore
+    (Sodal.attach k2
+       {
+         Sodal.init = (fun env ~parent:_ -> Sodal.advertise env patt2);
+         on_request =
+           (fun env _ ->
+             events := `Request :: !events;
+             ignore (Sodal.accept_current_signal env ~arg:0));
+         on_completion = (fun _ _ -> events := `Completion :: !events);
+         task =
+           (fun env ->
+             ignore (Sodal.signal env (Sodal.server ~mid:0 ~pattern:patt) ~arg:0);
+             Sodal.serve env);
+       });
+  (* C1: waits for C2's request, then does ACCEPT immediately followed by a
+     REQUEST back to C2. *)
+  let asker = ref None in
+  ignore
+    (Sodal.attach k1
+       {
+         Sodal.default_spec with
+         init = (fun env ~parent:_ -> Sodal.advertise env patt);
+         on_request = (fun _ info -> asker := Some info.Sodal.asker);
+         task =
+           (fun env ->
+             while !asker = None do
+               Sodal.idle env
+             done;
+             Sodal.compute env 50_000;
+             ignore (Sodal.accept_signal env (Option.get !asker) ~arg:0);
+             ignore (Sodal.signal env (Sodal.server ~mid:1 ~pattern:patt2) ~arg:0);
+             Sodal.serve env);
+       });
+  run net;
+  Alcotest.(check bool) "completion handler ran before request handler" true
+    (List.rev !events = [ `Completion; `Request ])
+
+(* Completion interrupts queue while the handler is BUSY and drain at
+   ENDHANDLER, oldest first. *)
+let test_queued_completions_drain_in_order () =
+  let net, kernels = make_net 2 in
+  let k0 = List.nth kernels 0 in
+  let askers = ref [] in
+  ignore
+    (Sodal.attach k0
+       {
+         Sodal.default_spec with
+         init = (fun env ~parent:_ -> Sodal.advertise env patt);
+         on_request = (fun _ info -> askers := info.Sodal.asker :: !askers);
+         task =
+           (fun env ->
+             while List.length !askers < 3 do
+               Sodal.idle env
+             done;
+             (* accept all three quickly: the client's completions will
+                race its busy handler *)
+             List.iter
+               (fun asker -> ignore (Sodal.accept_signal env asker ~arg:0))
+               (List.rev !askers);
+             Sodal.serve env);
+       });
+  let completions = ref [] in
+  ignore
+    (Sodal.attach (List.nth kernels 1)
+       {
+         Sodal.default_spec with
+         on_completion =
+           (fun env c ->
+             (* a slow completion handler forces the rest to queue *)
+             Sodal.compute env 20_000;
+             completions := c.Sodal.tid :: !completions);
+         task =
+           (fun env ->
+             let sv = Sodal.server ~mid:0 ~pattern:patt in
+             let t1 = Sodal.signal env sv ~arg:1 in
+             let t2 = Sodal.signal env sv ~arg:2 in
+             let t3 = Sodal.signal env sv ~arg:3 in
+             while List.length !completions < 3 do
+               Sodal.idle env
+             done;
+             Alcotest.(check (list int)) "oldest completion first" [ t1; t2; t3 ]
+               (List.rev !completions);
+             Sodal.serve env);
+       });
+  run net;
+  Alcotest.(check int) "three completions" 3 (List.length !completions)
+
+(* CLOSE issued from within the handler takes effect at ENDHANDLER: the
+   next arrival waits until the task re-OPENs. *)
+let test_close_from_handler () =
+  let net, kernels = make_net 2 in
+  let k0 = List.nth kernels 0 in
+  let deliveries = ref [] in
+  ignore
+    (Sodal.attach k0
+       {
+         Sodal.default_spec with
+         init = (fun env ~parent:_ -> Sodal.advertise env patt);
+         on_request =
+           (fun env info ->
+             deliveries := (info.Sodal.arg, Sodal.now env) :: !deliveries;
+             ignore (Sodal.accept_current_signal env ~arg:0);
+             (* close ourselves; the task reopens after one second *)
+             Sodal.close_handler env);
+         task =
+           (fun env ->
+             while true do
+               Sodal.compute env 1_000_000;
+               Sodal.open_handler env
+             done);
+       });
+  ignore
+    (Sodal.attach (List.nth kernels 1)
+       {
+         Sodal.default_spec with
+         task =
+           (fun env ->
+             let sv = Sodal.server ~mid:0 ~pattern:patt in
+             ignore (Sodal.b_signal env sv ~arg:1);
+             ignore (Sodal.b_signal env sv ~arg:2);
+             Sodal.serve env);
+       });
+  ignore (Network.run ~until:30_000_000 net);
+  match List.rev !deliveries with
+  | [ (1, t1); (2, t2) ] ->
+    Alcotest.(check bool) "second delivery held until reopen" true (t2 - t1 > 900_000)
+  | _ -> Alcotest.fail "expected exactly two deliveries"
+
+(* §6.6 asynchronous receipt: the handler updates a variable the task is
+   using, with no polling for messages in the task (the checkers-program
+   pattern). *)
+let test_async_update_without_polling () =
+  let net, kernels = make_net 2 in
+  let k0 = List.nth kernels 0 in
+  let best = ref 100 in
+  let observed = ref [] in
+  ignore
+    (Sodal.attach k0
+       {
+         Sodal.default_spec with
+         init = (fun env ~parent:_ -> Sodal.advertise env patt);
+         on_request =
+           (fun env info ->
+             (* update messages carry a better bound in the argument *)
+             if info.Sodal.arg < !best then best := info.Sodal.arg;
+             ignore (Sodal.accept_current_signal env ~arg:0));
+         task =
+           (fun env ->
+             (* a long computation that reads [best] as it goes; it never
+                polls for messages *)
+             for _ = 1 to 20 do
+               Sodal.compute env 10_000;
+               observed := !best :: !observed
+             done;
+             Sodal.serve env);
+       });
+  ignore
+    (Sodal.attach (List.nth kernels 1)
+       {
+         Sodal.default_spec with
+         task =
+           (fun env ->
+             let sv = Sodal.server ~mid:0 ~pattern:patt in
+             Sodal.compute env 40_000;
+             ignore (Sodal.b_signal env sv ~arg:42);
+             Sodal.compute env 40_000;
+             ignore (Sodal.b_signal env sv ~arg:7));
+       });
+  run net;
+  let obs = List.rev !observed in
+  Alcotest.(check bool) "bound improved asynchronously during computation" true
+    (List.hd obs = 100 && List.exists (fun v -> v = 42) obs
+     && List.nth obs (List.length obs - 1) = 7)
+
+(* SYSTEM pattern (§3.5.4): machine 0 adds a boot kind and replaces the
+   KILL pattern network-wide. *)
+let test_system_administration () =
+  let net, kernels = make_net 3 in
+  let k_target = List.nth kernels 2 in
+  ignore (echo_server k_target patt);
+  let encode_pattern p =
+    let v = Pattern.to_int p in
+    Bytes.init 6 (fun i -> Char.chr ((v lsr (8 * (5 - i))) land 0xFF))
+  in
+  let new_kill = Pattern.well_known 0o7777 in
+  (* well-known but will be installed as the kill action *)
+  let phase = ref [] in
+  ignore
+    (Sodal.attach (List.nth kernels 0)
+       {
+         Sodal.default_spec with
+         task =
+           (fun env ->
+             let system = Sodal.server ~mid:2 ~pattern:Pattern.system_pattern in
+             (* 3 = replace the KILL pattern *)
+             let c = Sodal.b_put env system ~arg:3 (encode_pattern new_kill) in
+             phase := `Replaced :: !phase;
+             Alcotest.(check bool) "system op accepted" true (c.Sodal.status = Sodal.Comp_ok);
+             Sodal.compute env 100_000;
+             (* the old KILL pattern no longer works... *)
+             let c_old =
+               Sodal.b_signal env (Sodal.server ~mid:2 ~pattern:Pattern.kill_pattern) ~arg:0
+             in
+             Alcotest.(check bool) "old kill dead" true
+               (c_old.Sodal.status = Sodal.Comp_unadvertised);
+             (* ...the new one kills the client *)
+             ignore (Sodal.b_signal env (Sodal.server ~mid:2 ~pattern:new_kill) ~arg:0);
+             Sodal.compute env 100_000;
+             let c2 = Sodal.b_signal env (Sodal.server ~mid:2 ~pattern:patt) ~arg:0 in
+             Alcotest.(check bool) "client killed via replaced pattern" true
+               (c2.Sodal.status = Sodal.Comp_unadvertised);
+             phase := `Killed :: !phase;
+             Sodal.serve env);
+       });
+  run ~horizon:600.0 net;
+  Alcotest.(check int) "both phases ran" 2 (List.length !phase)
+
+(* CSP: an alternative whose only peer has terminated fails (select
+   returns None), per the CSP guard-failure rule. *)
+let test_csp_dead_peer_fails_guard () =
+  let net, kernels = make_net 2 in
+  ignore (List.nth kernels 0);
+  (* no CSP process on mid 0 *)
+  let outcome = ref (Some { Csp.index = 0; peer = 0; data = Bytes.empty }) in
+  let _p, spec =
+    Csp.make ~task:(fun env p ->
+        outcome := Csp.select env p [ Csp.Output { peer = 0; chan = 1; data = Bytes.empty } ];
+        Sodal.serve env)
+  in
+  ignore (Sodal.attach (List.nth kernels 1) spec);
+  ignore (Network.run ~until:120_000_000 net);
+  Alcotest.(check bool) "alternative failed" true (!outcome = None)
+
+let suites =
+  [
+    ( "semantics",
+      [
+        Alcotest.test_case "ACCEPT handler before REQUEST handler" `Quick
+          test_accept_before_request_ordering;
+        Alcotest.test_case "queued completions drain in order" `Quick
+          test_queued_completions_drain_in_order;
+        Alcotest.test_case "CLOSE from handler" `Quick test_close_from_handler;
+        Alcotest.test_case "asynchronous receipt (§6.6)" `Quick
+          test_async_update_without_polling;
+        Alcotest.test_case "SYSTEM pattern administration" `Quick test_system_administration;
+        Alcotest.test_case "CSP dead peer fails the guard" `Quick
+          test_csp_dead_peer_fails_guard;
+      ] );
+  ]

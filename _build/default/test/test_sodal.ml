@@ -1,0 +1,581 @@
+(* Integration tests of the SODAL runtime over the full stack:
+   fibers -> kernel -> transport -> wire -> bus. *)
+
+open Helpers
+module Bqueue = Soda_runtime.Bqueue
+
+let patt = Pattern.well_known 0o346
+
+(* ---- basic data transfer -------------------------------------------------- *)
+
+let test_b_put () =
+  let net, kernels = make_net 2 in
+  let received = ref "" in
+  let k0, k1 = (List.nth kernels 0, List.nth kernels 1) in
+  let _server =
+    Sodal.attach k0
+      {
+        Sodal.default_spec with
+        init = (fun env ~parent:_ -> Sodal.advertise env patt);
+        on_request =
+          (fun env info ->
+            let into = Bytes.create info.Sodal.put_size in
+            let status, got = Sodal.accept_current_put env ~arg:7 ~into in
+            assert (status = Types.Accept_success);
+            received := Bytes.sub_string into 0 got);
+      }
+  in
+  let done_ = ref false in
+  let _client =
+    Sodal.attach k1
+      {
+        Sodal.default_spec with
+        task =
+          (fun env ->
+            let c = Sodal.b_put env (Sodal.server ~mid:0 ~pattern:patt) ~arg:1 (bytes_of_string "hello soda") in
+            Alcotest.(check bool) "completed ok" true (c.Sodal.status = Sodal.Comp_ok);
+            Alcotest.(check int) "reply arg" 7 c.Sodal.reply_arg;
+            Alcotest.(check int) "put transferred" 10 c.Sodal.put_transferred;
+            done_ := true);
+      }
+  in
+  run net;
+  Alcotest.(check bool) "client finished" true !done_;
+  Alcotest.(check string) "server received data" "hello soda" !received
+
+let test_b_get () =
+  let net, kernels = make_net 2 in
+  let k0, k1 = (List.nth kernels 0, List.nth kernels 1) in
+  let _server = echo_server ~reply:"file contents" k0 patt in
+  let done_ = ref false in
+  let _client =
+    Sodal.attach k1
+      {
+        Sodal.default_spec with
+        task =
+          (fun env ->
+            let into = Bytes.create 64 in
+            let c = Sodal.b_get env (Sodal.server ~mid:0 ~pattern:patt) ~arg:0 ~into in
+            Alcotest.(check bool) "ok" true (c.Sodal.status = Sodal.Comp_ok);
+            Alcotest.(check int) "get transferred" 13 c.Sodal.get_transferred;
+            Alcotest.(check string) "data" "file contents" (Bytes.sub_string into 0 13);
+            done_ := true);
+      }
+  in
+  check_eventually net ~horizon:300.0 done_ "b_get completed"
+
+let test_b_exchange () =
+  let net, kernels = make_net 2 in
+  let k0, k1 = (List.nth kernels 0, List.nth kernels 1) in
+  let server_got = ref "" in
+  let _server =
+    Sodal.attach k0
+      {
+        Sodal.default_spec with
+        init = (fun env ~parent:_ -> Sodal.advertise env patt);
+        on_request =
+          (fun env info ->
+            let into = Bytes.create info.Sodal.put_size in
+            let _, got = Sodal.accept_current_exchange env ~arg:0 ~into ~data:(bytes_of_string "pong") in
+            server_got := Bytes.sub_string into 0 got);
+      }
+  in
+  let done_ = ref false in
+  let _client =
+    Sodal.attach k1
+      {
+        Sodal.default_spec with
+        task =
+          (fun env ->
+            let into = Bytes.create 16 in
+            let c =
+              Sodal.b_exchange env (Sodal.server ~mid:0 ~pattern:patt) ~arg:0
+                (bytes_of_string "ping") ~into
+            in
+            Alcotest.(check int) "both directions" 4 c.Sodal.get_transferred;
+            Alcotest.(check string) "got pong" "pong" (Bytes.sub_string into 0 4);
+            done_ := true);
+      }
+  in
+  run net;
+  Alcotest.(check bool) "finished" true !done_;
+  Alcotest.(check string) "server got ping" "ping" !server_got
+
+let test_b_signal_and_reject () =
+  let net, kernels = make_net 2 in
+  let k0, k1 = (List.nth kernels 0, List.nth kernels 1) in
+  let count = ref 0 in
+  let _server =
+    Sodal.attach k0
+      {
+        Sodal.default_spec with
+        init = (fun env ~parent:_ -> Sodal.advertise env patt);
+        on_request =
+          (fun env _ ->
+            incr count;
+            if !count = 1 then ignore (Sodal.accept_current_signal env ~arg:0)
+            else Sodal.reject env);
+      }
+  in
+  let results = ref [] in
+  let _client =
+    Sodal.attach k1
+      {
+        Sodal.default_spec with
+        task =
+          (fun env ->
+            let sv = Sodal.server ~mid:0 ~pattern:patt in
+            let c1 = Sodal.b_signal env sv ~arg:0 in
+            let c2 = Sodal.b_signal env sv ~arg:0 in
+            results := [ c1.Sodal.status; c2.Sodal.status ]);
+      }
+  in
+  run net;
+  Alcotest.(check bool) "first ok, second rejected" true
+    (!results = [ Sodal.Comp_ok; Sodal.Comp_rejected ])
+
+let test_accept_smaller_buffer () =
+  (* §4.1.2: the server may ACCEPT with a smaller buffer than REQUESTed. *)
+  let net, kernels = make_net 2 in
+  let k0, k1 = (List.nth kernels 0, List.nth kernels 1) in
+  let _server =
+    Sodal.attach k0
+      {
+        Sodal.default_spec with
+        init = (fun env ~parent:_ -> Sodal.advertise env patt);
+        on_request =
+          (fun env _ ->
+            let into = Bytes.create 4 in
+            ignore (Sodal.accept_current_put env ~arg:0 ~into));
+      }
+  in
+  let transferred = ref (-1) in
+  let _client =
+    Sodal.attach k1
+      {
+        Sodal.default_spec with
+        task =
+          (fun env ->
+            let c =
+              Sodal.b_put env (Sodal.server ~mid:0 ~pattern:patt) ~arg:0
+                (bytes_of_string "0123456789")
+            in
+            transferred := c.Sodal.put_transferred);
+      }
+  in
+  run net;
+  Alcotest.(check int) "partial transfer reported" 4 !transferred
+
+let test_unadvertised () =
+  let net, kernels = make_net 2 in
+  let _k0 = List.nth kernels 0 in
+  let status = ref Sodal.Comp_ok in
+  let _client =
+    Sodal.attach (List.nth kernels 1)
+      {
+        Sodal.default_spec with
+        task =
+          (fun env ->
+            let c = Sodal.b_signal env (Sodal.server ~mid:0 ~pattern:patt) ~arg:0 in
+            status := c.Sodal.status);
+      }
+  in
+  run net;
+  Alcotest.(check bool) "unadvertised" true (!status = Sodal.Comp_unadvertised)
+
+let test_unadvertise_stops_matching () =
+  let net, kernels = make_net 2 in
+  let k0 = List.nth kernels 0 in
+  let served = ref 0 in
+  let _server =
+    Sodal.attach k0
+      {
+        Sodal.default_spec with
+        init = (fun env ~parent:_ -> Sodal.advertise env patt);
+        on_request =
+          (fun env _ ->
+            incr served;
+            ignore (Sodal.accept_current_signal env ~arg:0);
+            Sodal.unadvertise env patt);
+      }
+  in
+  let statuses = ref [] in
+  let _client =
+    Sodal.attach (List.nth kernels 1)
+      {
+        Sodal.default_spec with
+        task =
+          (fun env ->
+            let sv = Sodal.server ~mid:0 ~pattern:patt in
+            let c1 = Sodal.b_signal env sv ~arg:0 in
+            let c2 = Sodal.b_signal env sv ~arg:0 in
+            statuses := [ c1.Sodal.status; c2.Sodal.status ]);
+      }
+  in
+  run net;
+  Alcotest.(check bool) "second fails" true
+    (!statuses = [ Sodal.Comp_ok; Sodal.Comp_unadvertised ]);
+  Alcotest.(check int) "served once" 1 !served
+
+let test_accept_current_outside_handler () =
+  let net, kernels = make_net 1 in
+  let raised = ref false in
+  let _c =
+    Sodal.attach (List.nth kernels 0)
+      {
+        Sodal.default_spec with
+        task =
+          (fun env ->
+            (try ignore (Sodal.accept_current_signal env ~arg:0)
+             with Sodal.Sodal_error _ -> raised := true));
+      }
+  in
+  run net;
+  Alcotest.(check bool) "raises outside handler" true !raised
+
+let test_blocking_request_in_handler_raises () =
+  let net, kernels = make_net 2 in
+  let k0 = List.nth kernels 0 in
+  let raised = ref false in
+  let _server =
+    Sodal.attach k0
+      {
+        Sodal.default_spec with
+        init = (fun env ~parent:_ -> Sodal.advertise env patt);
+        on_request =
+          (fun env _ ->
+            (try ignore (Sodal.b_signal env (Sodal.server ~mid:1 ~pattern:patt) ~arg:0)
+             with Sodal.Sodal_error _ -> raised := true);
+            ignore (Sodal.accept_current_signal env ~arg:0));
+      }
+  in
+  let _client =
+    Sodal.attach (List.nth kernels 1)
+      {
+        Sodal.default_spec with
+        task =
+          (fun env -> ignore (Sodal.b_signal env (Sodal.server ~mid:0 ~pattern:patt) ~arg:0));
+      }
+  in
+  run net;
+  Alcotest.(check bool) "blocking request in handler rejected" true !raised
+
+(* ---- handler state machine -------------------------------------------------- *)
+
+let test_close_defers_arrivals () =
+  let net, kernels = make_net 2 in
+  let k0 = List.nth kernels 0 in
+  let delivered_at = ref 0 in
+  let _server =
+    Sodal.attach k0
+      {
+        Sodal.default_spec with
+        init =
+          (fun env ~parent:_ ->
+            Sodal.advertise env patt;
+            Sodal.close_handler env);
+        on_request =
+          (fun env _ ->
+            delivered_at := Sodal.now env;
+            ignore (Sodal.accept_current_signal env ~arg:0));
+        task =
+          (fun env ->
+            (* Keep the handler closed for 2 simulated seconds. *)
+            Sodal.compute env 2_000_000;
+            Sodal.open_handler env;
+            Sodal.serve env);
+      }
+  in
+  let completed = ref false in
+  let _client =
+    Sodal.attach (List.nth kernels 1)
+      {
+        Sodal.default_spec with
+        task =
+          (fun env ->
+            let c = Sodal.b_signal env (Sodal.server ~mid:0 ~pattern:patt) ~arg:0 in
+            completed := c.Sodal.status = Sodal.Comp_ok);
+      }
+  in
+  run net;
+  Alcotest.(check bool) "eventually completed" true !completed;
+  Alcotest.(check bool) "delivered only after OPEN" true (!delivered_at >= 2_000_000)
+
+let test_task_queue_accept () =
+  (* The port pattern of §4.2.1: handler enqueues, task accepts. *)
+  let net, kernels = make_net 2 in
+  let k0 = List.nth kernels 0 in
+  let processed = ref [] in
+  let q = Bqueue.create 8 in
+  let _server =
+    Sodal.attach k0
+      {
+        Sodal.default_spec with
+        init = (fun env ~parent:_ -> Sodal.advertise env patt);
+        on_request = (fun _ info -> Bqueue.enqueue q info.Sodal.asker);
+        task =
+          (fun env ->
+            let served = ref 0 in
+            while !served < 3 do
+              if not (Bqueue.is_empty q) then begin
+                let asker = Bqueue.dequeue q in
+                let into = Bytes.create 8 in
+                let _, got = Sodal.accept_put env asker ~arg:0 ~into in
+                processed := Bytes.sub_string into 0 got :: !processed;
+                incr served
+              end
+              else Sodal.idle env
+            done);
+      }
+  in
+  let _client =
+    Sodal.attach (List.nth kernels 1)
+      {
+        Sodal.default_spec with
+        task =
+          (fun env ->
+            let sv = Sodal.server ~mid:0 ~pattern:patt in
+            List.iter
+              (fun msg -> ignore (Sodal.b_put env sv ~arg:0 (bytes_of_string msg)))
+              [ "one"; "two"; "three" ]);
+      }
+  in
+  run net;
+  Alcotest.(check (list string)) "queued and served in order" [ "one"; "two"; "three" ]
+    (List.rev !processed)
+
+let test_maxrequests () =
+  let net, kernels = make_net 2 in
+  let k0 = List.nth kernels 0 in
+  (* A server that never accepts, so requests stay uncompleted. *)
+  let _server =
+    Sodal.attach k0
+      {
+        Sodal.default_spec with
+        init = (fun env ~parent:_ -> Sodal.advertise env patt);
+      }
+  in
+  let raised = ref false in
+  let _client =
+    Sodal.attach (List.nth kernels 1)
+      {
+        Sodal.default_spec with
+        task =
+          (fun env ->
+            let sv = Sodal.server ~mid:0 ~pattern:patt in
+            for _ = 1 to 3 do
+              ignore (Sodal.signal env sv ~arg:0)
+            done;
+            (try ignore (Sodal.signal env sv ~arg:0)
+             with Sodal.Too_many_requests -> raised := true);
+            Sodal.idle env);
+      }
+  in
+  ignore (Network.run ~until:10_000_000 net);
+  Alcotest.(check bool) "MAXREQUESTS enforced" true !raised
+
+let test_non_blocking_overlap () =
+  (* Double-buffering: two PUTs outstanding at once complete in order. *)
+  let net, kernels = make_net 2 in
+  let k0 = List.nth kernels 0 in
+  let _server = echo_server k0 patt in
+  let completions = ref [] in
+  let tids = ref [] in
+  let _client =
+    Sodal.attach (List.nth kernels 1)
+      {
+        Sodal.default_spec with
+        on_completion = (fun _ c -> completions := c.Sodal.tid :: !completions);
+        task =
+          (fun env ->
+            let sv = Sodal.server ~mid:0 ~pattern:patt in
+            let t1 = Sodal.put env sv ~arg:0 (bytes_of_string "a") in
+            let t2 = Sodal.put env sv ~arg:0 (bytes_of_string "b") in
+            tids := [ t1; t2 ];
+            while List.length !completions < 2 do
+              Sodal.idle env
+            done);
+      }
+  in
+  run net;
+  Alcotest.(check bool) "both completed in issue order" true (List.rev !completions = !tids)
+
+let test_ordering_same_server () =
+  (* §3.3.2 rule 3: requests to the same server are delivered in order. *)
+  let net, kernels = make_net 2 in
+  let k0 = List.nth kernels 0 in
+  let seen = ref [] in
+  let _server =
+    Sodal.attach k0
+      {
+        Sodal.default_spec with
+        init = (fun env ~parent:_ -> Sodal.advertise env patt);
+        on_request =
+          (fun env info ->
+            seen := info.Sodal.arg :: !seen;
+            ignore (Sodal.accept_current_signal env ~arg:0));
+      }
+  in
+  let done_ = ref false in
+  let _client =
+    Sodal.attach (List.nth kernels 1)
+      {
+        Sodal.default_spec with
+        task =
+          (fun env ->
+            let sv = Sodal.server ~mid:0 ~pattern:patt in
+            let t1 = Sodal.signal env sv ~arg:1 in
+            let t2 = Sodal.signal env sv ~arg:2 in
+            let t3 = Sodal.signal env sv ~arg:3 in
+            ignore (t1, t2, t3);
+            while List.length !seen < 3 do
+              Sodal.idle env
+            done;
+            done_ := true);
+      }
+  in
+  run net;
+  Alcotest.(check bool) "finished" true !done_;
+  Alcotest.(check (list int)) "in-order delivery" [ 1; 2; 3 ] (List.rev !seen)
+
+let test_die_then_unadvertised () =
+  let net, kernels = make_net 2 in
+  let k0 = List.nth kernels 0 in
+  let _server =
+    Sodal.attach k0
+      {
+        Sodal.default_spec with
+        init = (fun env ~parent:_ -> Sodal.advertise env patt);
+        task = (fun env -> Sodal.die env);
+      }
+  in
+  let status = ref Sodal.Comp_ok in
+  let _client =
+    Sodal.attach (List.nth kernels 1)
+      {
+        Sodal.default_spec with
+        task =
+          (fun env ->
+            Sodal.compute env 200_000;
+            let c = Sodal.b_signal env (Sodal.server ~mid:0 ~pattern:patt) ~arg:0 in
+            status := c.Sodal.status);
+      }
+  in
+  run net;
+  Alcotest.(check bool) "dead client's patterns cleared" true
+    (!status = Sodal.Comp_unadvertised)
+
+let test_getuniqueid_unique () =
+  let net, kernels = make_net 2 in
+  let ids = ref [] in
+  let collect kernel =
+    ignore
+      (Sodal.attach kernel
+         {
+           Sodal.default_spec with
+           task =
+             (fun env ->
+               for _ = 1 to 50 do
+                 (* Bind before consing: [::] evaluates right-to-left, and
+                    getuniqueid suspends the fiber, so [!ids] must be read
+                    after it returns. *)
+                 let id = Pattern.to_int (Sodal.getuniqueid env) in
+                 ids := id :: !ids
+               done);
+         })
+  in
+  List.iter collect kernels;
+  run net;
+  let sorted = List.sort_uniq compare !ids in
+  Alcotest.(check int) "100 distinct ids" 100 (List.length sorted)
+
+let test_negative_args_roundtrip () =
+  let net, kernels = make_net 2 in
+  let k0 = List.nth kernels 0 in
+  let got_arg = ref 0 in
+  let _server =
+    Sodal.attach k0
+      {
+        Sodal.default_spec with
+        init = (fun env ~parent:_ -> Sodal.advertise env patt);
+        on_request =
+          (fun env info ->
+            got_arg := info.Sodal.arg;
+            ignore (Sodal.accept_current_signal env ~arg:(-123456)));
+      }
+  in
+  let reply = ref 0 in
+  let _client =
+    Sodal.attach (List.nth kernels 1)
+      {
+        Sodal.default_spec with
+        task =
+          (fun env ->
+            let c = Sodal.b_signal env (Sodal.server ~mid:0 ~pattern:patt) ~arg:(-777) in
+            reply := c.Sodal.reply_arg);
+      }
+  in
+  run net;
+  Alcotest.(check int) "request arg" (-777) !got_arg;
+  Alcotest.(check int) "accept arg" (-123456) !reply
+
+(* ---- bounded queue ------------------------------------------------------------ *)
+
+let test_bqueue () =
+  let q = Bqueue.create 3 in
+  Alcotest.(check bool) "empty" true (Bqueue.is_empty q);
+  Bqueue.enqueue q 1;
+  Alcotest.(check bool) "almost empty" true (Bqueue.almost_empty q);
+  Bqueue.enqueue q 2;
+  Alcotest.(check bool) "almost full" true (Bqueue.almost_full q);
+  Bqueue.enqueue q 3;
+  Alcotest.(check bool) "full" true (Bqueue.is_full q);
+  Alcotest.check_raises "overflow" Bqueue.Full (fun () -> Bqueue.enqueue q 4);
+  Alcotest.(check int) "fifo" 1 (Bqueue.dequeue q);
+  Bqueue.filter_inplace q (fun x -> x <> 2);
+  Alcotest.(check (list int)) "filtered" [ 3 ] (Bqueue.to_list q);
+  Alcotest.(check int) "drain" 3 (Bqueue.dequeue q);
+  Alcotest.check_raises "underflow" Bqueue.Empty (fun () -> ignore (Bqueue.dequeue q))
+
+let prop_bqueue_fifo =
+  QCheck.Test.make ~name:"bounded queue is fifo within capacity" ~count:200
+    QCheck.(list small_int)
+    (fun xs ->
+      let q = Bqueue.create (max 1 (List.length xs)) in
+      List.iter (Bqueue.enqueue q) xs;
+      let out = List.map (fun _ -> Bqueue.dequeue q) xs in
+      out = xs)
+
+let suites =
+  [
+    ( "sodal.transfer",
+      [
+        Alcotest.test_case "b_put" `Quick test_b_put;
+        Alcotest.test_case "b_get" `Quick test_b_get;
+        Alcotest.test_case "b_exchange" `Quick test_b_exchange;
+        Alcotest.test_case "b_signal + reject" `Quick test_b_signal_and_reject;
+        Alcotest.test_case "accept with smaller buffer" `Quick test_accept_smaller_buffer;
+        Alcotest.test_case "unadvertised pattern" `Quick test_unadvertised;
+        Alcotest.test_case "unadvertise stops matching" `Quick test_unadvertise_stops_matching;
+        Alcotest.test_case "negative arguments" `Quick test_negative_args_roundtrip;
+      ] );
+    ( "sodal.handler",
+      [
+        Alcotest.test_case "accept_current outside handler" `Quick
+          test_accept_current_outside_handler;
+        Alcotest.test_case "blocking request in handler" `Quick
+          test_blocking_request_in_handler_raises;
+        Alcotest.test_case "CLOSE defers arrivals" `Quick test_close_defers_arrivals;
+        Alcotest.test_case "task-queue accept (ports)" `Quick test_task_queue_accept;
+        Alcotest.test_case "MAXREQUESTS" `Quick test_maxrequests;
+        Alcotest.test_case "non-blocking overlap" `Quick test_non_blocking_overlap;
+        Alcotest.test_case "in-order delivery" `Quick test_ordering_same_server;
+        Alcotest.test_case "DIE clears advertisements" `Quick test_die_then_unadvertised;
+        Alcotest.test_case "getuniqueid unique" `Quick test_getuniqueid_unique;
+      ] );
+    ( "sodal.bqueue",
+      [
+        Alcotest.test_case "operations" `Quick test_bqueue;
+        QCheck_alcotest.to_alcotest prop_bqueue_fifo;
+      ] );
+  ]

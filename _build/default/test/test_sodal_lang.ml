@@ -1,0 +1,246 @@
+(* The SODAL language (§4.1): lexer/parser units plus end-to-end programs
+   running as real SODA clients, including the paper's readers/writers
+   moderator written in SODAL and driven by OCaml clients. *)
+
+open Helpers
+module Lexer = Soda_sodal_lang.Lexer
+module Parser = Soda_sodal_lang.Parser
+module Ast = Soda_sodal_lang.Ast
+module Interp = Soda_sodal_lang.Interp
+
+(* ---- lexer -------------------------------------------------------------- *)
+
+let test_lexer_basics () =
+  let tokens = List.map fst (Lexer.tokenize "const P = %0346; -- comment\nx := 12_000;") in
+  Alcotest.(check int) "token count" 10 (List.length tokens);
+  (match tokens with
+   | Lexer.KW "const" :: Lexer.IDENT "P" :: Lexer.SYM "=" :: Lexer.PATTERN p :: _ ->
+     Alcotest.(check int) "octal pattern" 0o346 p
+   | _ -> Alcotest.fail "unexpected token stream");
+  match List.filteri (fun i _ -> i >= 5) tokens with
+  | [ Lexer.IDENT "x"; Lexer.SYM ":="; Lexer.INT 12000; Lexer.SYM ";"; Lexer.EOF ] -> ()
+  | _ -> Alcotest.fail "comment not skipped or underscore int broken"
+
+let test_lexer_errors () =
+  (try
+     ignore (Lexer.tokenize "a := \"unterminated");
+     Alcotest.fail "accepted unterminated string"
+   with Lexer.Lex_error _ -> ());
+  try
+    ignore (Lexer.tokenize "x # y");
+    Alcotest.fail "accepted bad character"
+  with Lexer.Lex_error _ -> ()
+
+(* ---- parser -------------------------------------------------------------- *)
+
+let test_parse_expressions () =
+  let e = Parser.parse_expr "1 + 2 * 3" in
+  Alcotest.(check bool) "precedence" true
+    (e = Ast.Binop (Ast.Add, Ast.Int 1, Ast.Binop (Ast.Mul, Ast.Int 2, Ast.Int 3)));
+  let e = Parser.parse_expr "not a and b" in
+  Alcotest.(check bool) "not binds tightest" true
+    (e = Ast.Binop (Ast.And, Ast.Unop (Ast.Not, Ast.Var "a"), Ast.Var "b"));
+  let e = Parser.parse_expr "ASKER.Mid" in
+  Alcotest.(check bool) "field access" true (e = Ast.Field ("ASKER", "MID"))
+
+let test_parse_program_skeleton () =
+  let source =
+    {|
+program skeleton;
+const SERVICE = %0346;
+var count : integer;
+var q : queue[3];
+initialization begin
+  ADVERTISE(SERVICE);
+end;
+handler begin
+  case entry of
+    SERVICE : begin count := count + 1; end;
+  esac;
+end;
+task begin
+  loop IDLE(); forever;
+end;
+.
+|}
+  in
+  let p = Parser.parse source in
+  Alcotest.(check string) "name" "skeleton" p.Ast.name;
+  Alcotest.(check int) "decls" 3 (List.length p.Ast.decls);
+  Alcotest.(check int) "init stmts" 1 (List.length p.Ast.initialization);
+  Alcotest.(check int) "handler stmts" 1 (List.length p.Ast.handler);
+  Alcotest.(check int) "task stmts" 1 (List.length p.Ast.task)
+
+let test_parse_errors () =
+  (try
+     ignore (Parser.parse "program x; task begin end");
+     Alcotest.fail "missing final dot accepted"
+   with Parser.Parse_error _ -> ());
+  try
+    ignore (Parser.parse "program x; task begin if true then fi; end; .");
+    ()
+  with Parser.Parse_error _ -> Alcotest.fail "well-formed if rejected"
+
+(* ---- end-to-end: SODAL echo server + SODAL client ------------------------- *)
+
+let echo_sodal_server = String.concat "\n"
+    [ "program echo;";
+      "const SERVICE = %0711;";
+      "var reply : string;";
+      "initialization begin ADVERTISE(SERVICE); end;";
+      "handler begin";
+      "  case entry of";
+      "    SERVICE : begin reply := ACCEPT_CURRENT_EXCHANGE(0, PUTSIZE, \"pong\"); end;";
+      "  esac;";
+      "end;";
+      "." ]
+
+let sodal_client =
+  String.concat "\n"
+    [ "program client;";
+      "const SERVICE = %0711;";
+      "var server : integer;  var answer : string;";
+      "task begin";
+      "  server := DISCOVER(SERVICE);";
+      "  answer := B_EXCHANGE(server, SERVICE, 0, \"ping\", 16);";
+      "  PRINT(\"got \", answer, \" status \", LAST_STATUS);";
+      "  loop IDLE(); forever;";
+      "end;";
+      "." ]
+
+let test_sodal_echo_end_to_end () =
+  let net, kernels = make_net 2 in
+  let printed = ref [] in
+  ignore (Interp.attach (List.nth kernels 0) echo_sodal_server);
+  ignore
+    (Interp.attach ~print:(fun s -> printed := s :: !printed) (List.nth kernels 1)
+       sodal_client);
+  ignore (Network.run ~until:120_000_000 net);
+  Alcotest.(check (list string)) "client saw the exchange"
+    [ "got pong status COMPLETED" ] !printed
+
+(* ---- the paper's readers/writers moderator, in SODAL ----------------------- *)
+
+let moderator_sodal =
+  String.concat "\n"
+    [ "program moderator;";
+      "const START_READ = %0401;  const START_WRITE = %0402;";
+      "const END_READ = %0403;   const END_WRITE = %0404;";
+      "var ReadQueue : queue[16];  var WriteQueue : queue[16];";
+      "var readcount : integer;   var writecount : integer;";
+      "var s : string;";
+      "initialization begin";
+      "  ADVERTISE(START_READ); ADVERTISE(START_WRITE);";
+      "  ADVERTISE(END_READ); ADVERTISE(END_WRITE);";
+      "end;";
+      "handler begin";
+      "  case entry of";
+      "    START_READ : begin";
+      "      if ISEMPTY(WriteQueue) and writecount = 0 then";
+      "        s := ACCEPT_CURRENT_SIGNAL(0);";
+      "        readcount := readcount + 1;";
+      "      else";
+      "        ENQUEUE(ReadQueue, ASKER);";
+      "      fi;";
+      "    end;";
+      "    START_WRITE : begin";
+      "      if readcount = 0 and writecount = 0 then";
+      "        s := ACCEPT_CURRENT_SIGNAL(0);";
+      "        writecount := writecount + 1;";
+      "      else";
+      "        ENQUEUE(WriteQueue, ASKER);";
+      "      fi;";
+      "    end;";
+      "    END_READ : begin";
+      "      s := ACCEPT_CURRENT_SIGNAL(0);";
+      "      readcount := readcount - 1;";
+      "      if readcount = 0 and not ISEMPTY(WriteQueue) then";
+      "        writecount := writecount + 1;";
+      "        s := ACCEPT_SIGNAL(DEQUEUE(WriteQueue), 0);";
+      "      fi;";
+      "    end;";
+      "    END_WRITE : begin";
+      "      s := ACCEPT_CURRENT_SIGNAL(0);";
+      "      writecount := writecount - 1;";
+      "      if not ISEMPTY(ReadQueue) then";
+      "        while not ISEMPTY(ReadQueue) do";
+      "          readcount := readcount + 1;";
+      "          s := ACCEPT_SIGNAL(DEQUEUE(ReadQueue), 0);";
+      "        end;";
+      "      elsif not ISEMPTY(WriteQueue) then";
+      "        writecount := writecount + 1;";
+      "        s := ACCEPT_SIGNAL(DEQUEUE(WriteQueue), 0);";
+      "      fi;";
+      "    end;";
+      "  esac;";
+      "end;";
+      "." ]
+
+let test_sodal_moderator_with_ocaml_clients () =
+  (* The moderator is interpreted SODAL; readers and writers are OCaml
+     clients, checking the same invariants as the native example. *)
+  let net, kernels = make_net 5 in
+  ignore (Interp.attach (List.nth kernels 0) moderator_sodal);
+  let start_read = Pattern.well_known 0o401 and start_write = Pattern.well_known 0o402 in
+  let end_read = Pattern.well_known 0o403 and end_write = Pattern.well_known 0o404 in
+  let active_readers = ref 0 and active_writers = ref 0 in
+  let violations = ref 0 and reads = ref 0 and writes = ref 0 in
+  let reader kernel =
+    ignore
+      (Sodal.attach kernel
+         {
+           Sodal.default_spec with
+           task =
+             (fun env ->
+               for _ = 1 to 5 do
+                 ignore (Sodal.b_signal env (Sodal.server ~mid:0 ~pattern:start_read) ~arg:0);
+                 incr active_readers;
+                 if !active_writers > 0 then incr violations;
+                 Sodal.compute env 15_000;
+                 incr reads;
+                 decr active_readers;
+                 ignore (Sodal.b_signal env (Sodal.server ~mid:0 ~pattern:end_read) ~arg:0)
+               done);
+         })
+  in
+  let writer kernel =
+    ignore
+      (Sodal.attach kernel
+         {
+           Sodal.default_spec with
+           task =
+             (fun env ->
+               for _ = 1 to 5 do
+                 ignore (Sodal.b_signal env (Sodal.server ~mid:0 ~pattern:start_write) ~arg:0);
+                 incr active_writers;
+                 if !active_readers > 0 || !active_writers > 1 then incr violations;
+                 Sodal.compute env 10_000;
+                 incr writes;
+                 decr active_writers;
+                 ignore (Sodal.b_signal env (Sodal.server ~mid:0 ~pattern:end_write) ~arg:0)
+               done);
+         })
+  in
+  reader (List.nth kernels 1);
+  reader (List.nth kernels 2);
+  writer (List.nth kernels 3);
+  writer (List.nth kernels 4);
+  ignore (Network.run ~until:600_000_000 net);
+  Alcotest.(check int) "all reads" 10 !reads;
+  Alcotest.(check int) "all writes" 10 !writes;
+  Alcotest.(check int) "exclusion held by interpreted moderator" 0 !violations
+
+let suites =
+  [
+    ( "sodal_lang",
+      [
+        Alcotest.test_case "lexer basics" `Quick test_lexer_basics;
+        Alcotest.test_case "lexer errors" `Quick test_lexer_errors;
+        Alcotest.test_case "expression parsing" `Quick test_parse_expressions;
+        Alcotest.test_case "program skeleton" `Quick test_parse_program_skeleton;
+        Alcotest.test_case "parse errors" `Quick test_parse_errors;
+        Alcotest.test_case "echo end-to-end" `Quick test_sodal_echo_end_to_end;
+        Alcotest.test_case "readers/writers moderator in SODAL" `Quick
+          test_sodal_moderator_with_ocaml_clients;
+      ] );
+  ]

@@ -1,0 +1,233 @@
+(* Multipacket streams (§6.17.4), RMR test-and-set locks, RPC failover. *)
+
+open Helpers
+module Stream = Soda_facilities.Stream
+module Rmr = Soda_facilities.Rmr
+module Rpc = Soda_facilities.Rpc
+module Bus = Soda_net.Bus
+
+let patt = Pattern.well_known 0o444
+
+let test_stream_large_block () =
+  let net, kernels = make_net 2 in
+  let blocks = ref [] in
+  ignore
+    (Sodal.attach (List.nth kernels 0)
+       (Stream.sink ~pattern:patt
+          ~on_block:(fun _ ~src block -> blocks := (src, Bytes.to_string block) :: !blocks)
+          ()));
+  (* 20 000 bytes: far beyond the 4096-byte kernel buffer. *)
+  let payload = String.init 20_000 (fun i -> Char.chr (i mod 251)) in
+  let sent = ref false in
+  ignore
+    (Sodal.attach (List.nth kernels 1)
+       {
+         Sodal.default_spec with
+         task =
+           (fun env ->
+             match
+               Stream.send env (Sodal.server ~mid:0 ~pattern:patt)
+                 (Bytes.of_string payload)
+             with
+             | Ok () -> sent := true
+             | Error _ -> ());
+       });
+  run net;
+  Alcotest.(check bool) "sender completed" true !sent;
+  match !blocks with
+  | [ (1, data) ] -> Alcotest.(check bool) "block intact" true (data = payload)
+  | _ -> Alcotest.fail "expected exactly one reassembled block"
+
+let test_stream_small_chunks_under_loss () =
+  let net, kernels = make_net ~seed:77 2 in
+  Bus.set_loss_rate (Network.bus net) 0.15;
+  let blocks = ref [] in
+  ignore
+    (Sodal.attach (List.nth kernels 0)
+       (Stream.sink ~pattern:patt
+          ~on_block:(fun _ ~src:_ block -> blocks := Bytes.to_string block :: !blocks)
+          ()));
+  let payload = String.init 3000 (fun i -> Char.chr (i mod 100 + 32)) in
+  ignore
+    (Sodal.attach (List.nth kernels 1)
+       {
+         Sodal.default_spec with
+         task =
+           (fun env ->
+             ignore
+               (Stream.send env (Sodal.server ~mid:0 ~pattern:patt) ~chunk_bytes:200
+                  (Bytes.of_string payload)));
+       });
+  run ~horizon:600.0 net;
+  Alcotest.(check (list string)) "reassembled despite loss" [ payload ] !blocks
+
+let test_stream_concurrent_senders () =
+  let net, kernels = make_net 3 in
+  let blocks = ref [] in
+  ignore
+    (Sodal.attach (List.nth kernels 0)
+       (Stream.sink ~pattern:patt
+          ~on_block:(fun _ ~src block -> blocks := (src, Bytes.length block) :: !blocks)
+          ()));
+  let sender kernel size =
+    ignore
+      (Sodal.attach kernel
+         {
+           Sodal.default_spec with
+           task =
+             (fun env ->
+               ignore
+                 (Stream.send env (Sodal.server ~mid:0 ~pattern:patt) ~chunk_bytes:500
+                    (Bytes.create size)));
+         })
+  in
+  sender (List.nth kernels 1) 4000;
+  sender (List.nth kernels 2) 6500;
+  run net;
+  Alcotest.(check (list (pair int int))) "per-sender reassembly independent"
+    [ (1, 4000); (2, 6500) ]
+    (List.sort compare !blocks)
+
+let test_stream_receiver_gone () =
+  let net, kernels = make_net 2 in
+  ignore (List.nth kernels 0);
+  let result = ref (Ok ()) in
+  ignore
+    (Sodal.attach (List.nth kernels 1)
+       {
+         Sodal.default_spec with
+         task =
+           (fun env ->
+             result := Stream.send env (Sodal.server ~mid:0 ~pattern:patt) (Bytes.create 5000));
+       });
+  run ~horizon:600.0 net;
+  Alcotest.(check bool) "receiver gone reported" true (!result = Error Stream.Receiver_gone)
+
+(* ---- rmr test-and-set --------------------------------------------------------- *)
+
+let test_rmr_test_and_set () =
+  let net, kernels = make_net 2 in
+  let spec, memory = Rmr.spec ~pattern:patt ~words:8 in
+  ignore (Sodal.attach (List.nth kernels 0) spec);
+  let olds = ref [] in
+  ignore
+    (Sodal.attach (List.nth kernels 1)
+       {
+         Sodal.default_spec with
+         task =
+           (fun env ->
+             let sv = Sodal.server ~mid:0 ~pattern:patt in
+             (match Rmr.test_and_set env sv ~addr:2 0xBEEF with
+              | Ok old -> olds := old :: !olds
+              | Error _ -> Alcotest.fail "tas 1 failed");
+             match Rmr.test_and_set env sv ~addr:2 0x1234 with
+             | Ok old -> olds := old :: !olds
+             | Error _ -> Alcotest.fail "tas 2 failed");
+       });
+  run net;
+  Alcotest.(check (list int)) "swap returns previous value" [ 0; 0xBEEF ] (List.rev !olds);
+  Alcotest.(check int) "memory holds the last value" 0x12
+    (Char.code (Bytes.get memory 4))
+
+let test_rmr_lock_mutual_exclusion () =
+  (* Two clients increment a remote counter under the TAS lock; without the
+     lock the read-modify-write races would lose updates. *)
+  let net, kernels = make_net 3 in
+  let spec, memory = Rmr.spec ~pattern:patt ~words:8 in
+  ignore (Sodal.attach (List.nth kernels 0) spec);
+  let increments = 6 in
+  let worker kernel =
+    ignore
+      (Sodal.attach kernel
+         {
+           Sodal.default_spec with
+           task =
+             (fun env ->
+               let sv = Sodal.server ~mid:0 ~pattern:patt in
+               for _ = 1 to increments do
+                 (match Rmr.lock env sv ~addr:0 with
+                  | Ok () -> ()
+                  | Error _ -> Alcotest.fail "lock failed");
+                 (match Rmr.peek env sv ~addr:1 ~words:1 with
+                  | Ok b ->
+                    let v = (Char.code (Bytes.get b 0) lsl 8) lor Char.code (Bytes.get b 1) in
+                    let nb = Bytes.create 2 in
+                    Bytes.set nb 0 (Char.chr (((v + 1) lsr 8) land 0xFF));
+                    Bytes.set nb 1 (Char.chr ((v + 1) land 0xFF));
+                    ignore (Rmr.poke env sv ~addr:1 nb)
+                  | Error _ -> Alcotest.fail "peek failed");
+                 ignore (Rmr.unlock env sv ~addr:0)
+               done;
+               Sodal.serve env);
+         })
+  in
+  worker (List.nth kernels 1);
+  worker (List.nth kernels 2);
+  ignore (Network.run ~until:600_000_000 net);
+  (* the served memory is directly observable by the test harness *)
+  let counter =
+    (Char.code (Bytes.get memory 2) lsl 8) lor Char.code (Bytes.get memory 3)
+  in
+  Alcotest.(check int) "no lost updates" (2 * increments) counter
+
+(* ---- rpc failover ----------------------------------------------------------------- *)
+
+let test_rpc_call_any_failover () =
+  let net, kernels = make_net 4 in
+  (* server 0 advertises the pattern but never answers its GET (its task
+     hangs); server 1 works. The caller must fail over. *)
+  ignore
+    (Sodal.attach (List.nth kernels 0)
+       {
+         Sodal.default_spec with
+         init = (fun env ~parent:_ -> Sodal.advertise env patt);
+         on_request =
+           (fun env info ->
+             (* accept the params so the caller proceeds to its GET, then
+                crash before answering *)
+             if info.Sodal.put_size > 0 then begin
+               let into = Bytes.create info.Sodal.put_size in
+               ignore (Sodal.accept_current_put env ~arg:0 ~into)
+             end);
+         task =
+           (fun env ->
+             Sodal.compute env 200_000;
+             Kernel.crash (Sodal.kernel env);
+             Sodal.serve env);
+       });
+  ignore
+    (Sodal.attach (List.nth kernels 1)
+       (Rpc.spec [ (patt, fun _ params -> Bytes.cat params (Bytes.of_string "!")) ]));
+  let result = ref None in
+  ignore
+    (Sodal.attach (List.nth kernels 3)
+       {
+         Sodal.default_spec with
+         task =
+           (fun env ->
+             result := Some (Rpc.call_any env ~pattern:patt (bytes_of_string "hi") ~result_size:8));
+       });
+  run ~horizon:900.0 net;
+  match !result with
+  | Some (Ok (data, mid)) ->
+    Alcotest.(check string) "answered" "hi!" (Bytes.to_string data);
+    Alcotest.(check int) "by the healthy server" 1 mid
+  | Some (Error _) -> Alcotest.fail "call_any failed"
+  | None -> Alcotest.fail "caller never finished"
+
+let suites =
+  [
+    ( "stream",
+      [
+        Alcotest.test_case "large block" `Quick test_stream_large_block;
+        Alcotest.test_case "small chunks under loss" `Quick test_stream_small_chunks_under_loss;
+        Alcotest.test_case "concurrent senders" `Quick test_stream_concurrent_senders;
+        Alcotest.test_case "receiver gone" `Quick test_stream_receiver_gone;
+      ] );
+    ( "rmr.sync",
+      [
+        Alcotest.test_case "test-and-set" `Quick test_rmr_test_and_set;
+        Alcotest.test_case "lock mutual exclusion" `Quick test_rmr_lock_mutual_exclusion;
+      ] );
+    ("rpc.failover", [ Alcotest.test_case "call_any" `Quick test_rpc_call_any_failover ]);
+  ]

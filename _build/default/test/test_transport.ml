@@ -1,0 +1,357 @@
+(* Protocol-level behaviour: reliability under loss, duplicate suppression,
+   busy NACKs vs the pipelined input buffer, CANCEL semantics, probes and
+   crash detection, Delta-t record lifecycle. *)
+
+open Helpers
+module Stats = Soda_sim.Stats
+module Bus = Soda_net.Bus
+module Trace = Soda_sim.Trace
+
+let patt = Pattern.well_known 0o711
+
+let attach_echo kernel = ignore (echo_server ~reply:"ok" kernel patt)
+
+let attach_sender kernel ~n ~record =
+  ignore
+    (Sodal.attach kernel
+       {
+         Sodal.default_spec with
+         task =
+           (fun env ->
+             let sv = Sodal.server ~mid:0 ~pattern:patt in
+             for i = 1 to n do
+               let into = Bytes.create 8 in
+               let c = Sodal.b_exchange env sv ~arg:i (bytes_of_string "msg") ~into in
+               record (i, c.Sodal.status, Bytes.sub_string into 0 c.Sodal.get_transferred)
+             done);
+       })
+
+let test_reliable_under_loss () =
+  let net, kernels = make_net ~seed:21 2 in
+  Bus.set_loss_rate (Network.bus net) 0.25;
+  attach_echo (List.nth kernels 0);
+  let results = ref [] in
+  attach_sender (List.nth kernels 1) ~n:10 ~record:(fun r -> results := r :: !results);
+  run ~horizon:600.0 net;
+  Alcotest.(check int) "all ten completed" 10 (List.length !results);
+  List.iter
+    (fun (_, status, data) ->
+      Alcotest.(check bool) "status ok" true (status = Sodal.Comp_ok);
+      Alcotest.(check string) "payload intact" "ok" data)
+    !results;
+  let stats = Kernel.stats (List.nth kernels 1) in
+  Alcotest.(check bool) "retransmissions happened" true
+    (Stats.counter stats "pkt.retransmissions" > 0)
+
+let test_exactly_once_under_loss () =
+  (* Despite loss-induced retransmissions, each request is delivered to the
+     server handler exactly once and in order. *)
+  let net, kernels = make_net ~seed:33 2 in
+  Bus.set_loss_rate (Network.bus net) 0.3;
+  let k0 = List.nth kernels 0 in
+  let seen = ref [] in
+  ignore
+    (Sodal.attach k0
+       {
+         Sodal.default_spec with
+         init = (fun env ~parent:_ -> Sodal.advertise env patt);
+         on_request =
+           (fun env info ->
+             seen := info.Sodal.arg :: !seen;
+             ignore (Sodal.accept_current_signal env ~arg:0));
+       });
+  let completed = ref 0 in
+  ignore
+    (Sodal.attach (List.nth kernels 1)
+       {
+         Sodal.default_spec with
+         task =
+           (fun env ->
+             let sv = Sodal.server ~mid:0 ~pattern:patt in
+             for i = 1 to 12 do
+               let c = Sodal.b_signal env sv ~arg:i in
+               if c.Sodal.status = Sodal.Comp_ok then incr completed
+             done);
+       });
+  run ~horizon:600.0 net;
+  Alcotest.(check int) "all completed" 12 !completed;
+  Alcotest.(check (list int)) "exactly once, in order"
+    (List.init 12 (fun i -> i + 1))
+    (List.rev !seen)
+
+let test_corruption_recovered () =
+  let net, kernels = make_net ~seed:5 2 in
+  Bus.set_corruption_rate (Network.bus net) 0.2;
+  attach_echo (List.nth kernels 0);
+  let results = ref [] in
+  attach_sender (List.nth kernels 1) ~n:5 ~record:(fun r -> results := r :: !results);
+  run ~horizon:600.0 net;
+  Alcotest.(check int) "all five completed despite CRC drops" 5 (List.length !results)
+
+(* ---- busy / pipelining ------------------------------------------------------- *)
+
+(* A server whose handler is busy for [service_us] per request, so that
+   back-to-back requests find it BUSY. *)
+let slow_handler_server kernel ~service_us =
+  ignore
+    (Sodal.attach kernel
+       {
+         Sodal.default_spec with
+         init = (fun env ~parent:_ -> Sodal.advertise env patt);
+         on_request =
+           (fun env _ ->
+             Sodal.compute env service_us;
+             ignore (Sodal.accept_current_signal env ~arg:0));
+       })
+
+let stream_signals kernel ~n ~on_all_done =
+  (* Keep up to MAXREQUESTS signals in flight so arrivals meet a busy
+     handler. *)
+  let completions = ref 0 in
+  ignore
+    (Sodal.attach kernel
+       {
+         Sodal.default_spec with
+         on_completion = (fun _ _ -> incr completions);
+         task =
+           (fun env ->
+             let sv = Sodal.server ~mid:0 ~pattern:patt in
+             let issued = ref 0 in
+             while !completions < n do
+               while !issued < n && !issued - !completions < 3 do
+                 ignore (Sodal.signal env sv ~arg:0);
+                 incr issued
+               done;
+               Sodal.idle env
+             done;
+             on_all_done ());
+       })
+
+let test_busy_nacks_non_pipelined () =
+  let cost = { Cost.non_pipelined with Cost.ack_grace_us = 500 } in
+  let net, kernels = make_net ~seed:9 ~cost 2 in
+  slow_handler_server (List.nth kernels 0) ~service_us:20_000;
+  let done_ = ref false in
+  stream_signals (List.nth kernels 1) ~n:6 ~on_all_done:(fun () -> done_ := true);
+  run ~horizon:600.0 net;
+  Alcotest.(check bool) "completed" true !done_;
+  let stats = Kernel.stats (List.nth kernels 0) in
+  Alcotest.(check bool) "busy nacks occurred" true (Stats.counter stats "req.busy_nacked" > 0);
+  Alcotest.(check int) "nothing buffered" 0 (Stats.counter stats "req.buffered")
+
+let test_pipelined_buffering () =
+  let net, kernels = make_net ~seed:9 2 in
+  (* default cost is pipelined *)
+  slow_handler_server (List.nth kernels 0) ~service_us:20_000;
+  let done_ = ref false in
+  stream_signals (List.nth kernels 1) ~n:6 ~on_all_done:(fun () -> done_ := true);
+  run ~horizon:600.0 net;
+  Alcotest.(check bool) "completed" true !done_;
+  let stats = Kernel.stats (List.nth kernels 0) in
+  Alcotest.(check bool) "input buffer used" true (Stats.counter stats "req.buffered" > 0)
+
+(* ---- cancel ---------------------------------------------------------------------- *)
+
+let test_cancel_before_accept () =
+  let net, kernels = make_net 2 in
+  let k0 = List.nth kernels 0 in
+  (* Server records the request but never accepts until told. *)
+  let asker = ref None in
+  ignore
+    (Sodal.attach k0
+       {
+         Sodal.default_spec with
+         init = (fun env ~parent:_ -> Sodal.advertise env patt);
+         on_request = (fun _ info -> asker := Some info.Sodal.asker);
+         task =
+           (fun env ->
+             while !asker = None do
+               Sodal.idle env
+             done;
+             (* Give the client time to cancel, then try to accept. *)
+             Sodal.compute env 300_000;
+             let status = Sodal.accept_signal env (Option.get !asker) ~arg:0 in
+             Alcotest.(check bool) "late accept sees CANCELLED" true
+               (status = Types.Accept_cancelled));
+       });
+  let cancel_ok = ref false in
+  let completion_seen = ref false in
+  ignore
+    (Sodal.attach (List.nth kernels 1)
+       {
+         Sodal.default_spec with
+         on_completion = (fun _ _ -> completion_seen := true);
+         task =
+           (fun env ->
+             let sv = Sodal.server ~mid:0 ~pattern:patt in
+             let tid = Sodal.signal env sv ~arg:0 in
+             Sodal.compute env 100_000;
+             cancel_ok := Sodal.cancel env tid;
+             Sodal.compute env 2_000_000);
+       });
+  run ~horizon:600.0 net;
+  Alcotest.(check bool) "cancel succeeded" true !cancel_ok;
+  Alcotest.(check bool) "no completion after successful cancel" false !completion_seen
+
+let test_cancel_after_completion_fails () =
+  let net, kernels = make_net 2 in
+  attach_echo (List.nth kernels 0);
+  let cancel_ok = ref true in
+  ignore
+    (Sodal.attach (List.nth kernels 1)
+       {
+         Sodal.default_spec with
+         task =
+           (fun env ->
+             let sv = Sodal.server ~mid:0 ~pattern:patt in
+             let c = Sodal.b_signal env sv ~arg:0 in
+             Alcotest.(check bool) "completed" true (c.Sodal.status = Sodal.Comp_ok);
+             cancel_ok := Sodal.cancel env c.Sodal.tid);
+       });
+  run net;
+  Alcotest.(check bool) "cancel after completion fails" false !cancel_ok
+
+(* ---- crash semantics --------------------------------------------------------------- *)
+
+let test_request_to_silent_node_crashes () =
+  (* Node 0 exists but its client never advertises; node 5 doesn't exist at
+     all: requests to it exhaust retransmissions and report CRASHED. *)
+  let net, kernels = make_net 2 in
+  let status = ref Sodal.Comp_ok in
+  ignore
+    (Sodal.attach (List.nth kernels 1)
+       {
+         Sodal.default_spec with
+         task =
+           (fun env ->
+             let sv = Sodal.server ~mid:5 ~pattern:patt in
+             let c = Sodal.b_signal env sv ~arg:0 in
+             status := c.Sodal.status);
+       });
+  ignore (List.nth kernels 0);
+  run ~horizon:600.0 net;
+  Alcotest.(check bool) "CRASHED" true (!status = Sodal.Comp_crashed)
+
+let test_probe_detects_server_crash () =
+  (* The request is delivered (acknowledged) but the server crashes before
+     accepting: the probe machinery must report CRASHED (§3.6.2). *)
+  let net, kernels = make_net 2 in
+  let k0 = List.nth kernels 0 in
+  ignore
+    (Sodal.attach k0
+       {
+         Sodal.default_spec with
+         init = (fun env ~parent:_ -> Sodal.advertise env patt);
+         on_request = (fun _ _ -> ());
+       });
+  ignore
+    (Network.engine net
+     |> fun e -> Soda_sim.Engine.schedule e ~delay:500_000 (fun () -> Kernel.crash k0));
+  let status = ref Sodal.Comp_ok in
+  ignore
+    (Sodal.attach (List.nth kernels 1)
+       {
+         Sodal.default_spec with
+         task =
+           (fun env ->
+             let c = Sodal.b_signal env (Sodal.server ~mid:0 ~pattern:patt) ~arg:0 in
+             status := c.Sodal.status);
+       });
+  run ~horizon:600.0 net;
+  Alcotest.(check bool) "probe reported CRASHED" true (!status = Sodal.Comp_crashed)
+
+let test_stale_accept_after_requester_death () =
+  (* Requester dies after its request is delivered; the server's eventual
+     ACCEPT must fail CRASHED (§3.6.1). *)
+  let net, kernels = make_net 2 in
+  let k0 = List.nth kernels 0 in
+  let k1 = List.nth kernels 1 in
+  let accept_status = ref Types.Accept_success in
+  let asker = ref None in
+  ignore
+    (Sodal.attach k0
+       {
+         Sodal.default_spec with
+         init = (fun env ~parent:_ -> Sodal.advertise env patt);
+         on_request = (fun _ info -> asker := Some info.Sodal.asker);
+         task =
+           (fun env ->
+             while !asker = None do
+               Sodal.idle env
+             done;
+             Sodal.compute env 2_000_000;
+             accept_status :=
+               Sodal.accept_get env (Option.get !asker) ~arg:0
+                 ~data:(bytes_of_string "too late");
+             Sodal.serve env);
+       });
+  ignore
+    (Sodal.attach k1
+       {
+         Sodal.default_spec with
+         task =
+           (fun env ->
+             (* A GET, so the server's accept carries data and must await
+                the (dead) requester's acknowledgement. *)
+             ignore
+               (Sodal.get env (Sodal.server ~mid:0 ~pattern:patt) ~arg:0
+                  ~into:(Bytes.create 16));
+             Sodal.compute env 500_000;
+             Sodal.die env);
+       });
+  run ~horizon:600.0 net;
+  Alcotest.(check bool) "stale accept crashed" true (!accept_status = Types.Accept_crashed)
+
+(* ---- delta-t record lifecycle ------------------------------------------------------- *)
+
+let test_deltat_record_expiry () =
+  let net, kernels = make_net ~trace:true 2 in
+  Trace.set_enabled (Network.trace net) true;
+  attach_echo (List.nth kernels 0);
+  ignore
+    (Sodal.attach (List.nth kernels 1)
+       {
+         Sodal.default_spec with
+         task =
+           (fun env ->
+             let sv = Sodal.server ~mid:0 ~pattern:patt in
+             let into = Bytes.create 8 in
+             ignore (Sodal.b_exchange env sv ~arg:0 (bytes_of_string "a") ~into);
+             (* Stay silent long past MPL + delta-t, then talk again. *)
+             Sodal.compute env (2 * Cost.record_expiry_us Cost.default);
+             let c = Sodal.b_exchange env sv ~arg:0 (bytes_of_string "b") ~into in
+             Alcotest.(check bool) "works after expiry" true (c.Sodal.status = Sodal.Comp_ok));
+       });
+  run ~horizon:600.0 net;
+  let expiries = Trace.find (Network.trace net) ~substring:"expired" in
+  Alcotest.(check bool) "records expired during silence" true (List.length expiries > 0);
+  let take_any = Trace.find (Network.trace net) ~substring:"taking any SN" in
+  Alcotest.(check bool) "take-any on recontact" true (List.length take_any > 0)
+
+let suites =
+  [
+    ( "transport.reliability",
+      [
+        Alcotest.test_case "reliable under loss" `Quick test_reliable_under_loss;
+        Alcotest.test_case "exactly once under loss" `Quick test_exactly_once_under_loss;
+        Alcotest.test_case "corruption recovered" `Quick test_corruption_recovered;
+      ] );
+    ( "transport.busy",
+      [
+        Alcotest.test_case "busy nacks (non-pipelined)" `Quick test_busy_nacks_non_pipelined;
+        Alcotest.test_case "input buffer (pipelined)" `Quick test_pipelined_buffering;
+      ] );
+    ( "transport.cancel",
+      [
+        Alcotest.test_case "cancel before accept" `Quick test_cancel_before_accept;
+        Alcotest.test_case "cancel after completion" `Quick test_cancel_after_completion_fails;
+      ] );
+    ( "transport.crash",
+      [
+        Alcotest.test_case "silent node" `Quick test_request_to_silent_node_crashes;
+        Alcotest.test_case "probe detects crash" `Quick test_probe_detects_server_crash;
+        Alcotest.test_case "stale accept" `Quick test_stale_accept_after_requester_death;
+      ] );
+    ( "transport.deltat",
+      [ Alcotest.test_case "record expiry + take-any" `Quick test_deltat_record_expiry ] );
+  ]

@@ -1,0 +1,207 @@
+module Wire = Soda_proto.Wire
+module Pattern = Soda_base.Pattern
+
+let b = Bytes.of_string
+
+let roundtrip pkt =
+  match Wire.decode (Wire.encode pkt) with
+  | Ok pkt' -> pkt'
+  | Error e -> Alcotest.failf "decode failed: %s" e
+
+let mk ?(src = 3) ?(reliable = false) ?(seq = false) ?ack body =
+  { Wire.src; reliable; seq; ack; body }
+
+let check_rt name pkt = Alcotest.(check bool) name true (roundtrip pkt = pkt)
+
+let test_roundtrip_request () =
+  check_rt "request with data"
+    (mk ~reliable:true ~seq:true ~ack:false
+       (Wire.Request
+          {
+            tid = 0xAB_0000_1234;
+            pattern = Pattern.well_known 0o346;
+            arg = -42;
+            put_size = 5;
+            get_size = 100;
+            data = b "hello";
+            retry = false;
+          }));
+  check_rt "dataless retry"
+    (mk ~reliable:true
+       (Wire.Request
+          {
+            tid = 1;
+            pattern = Pattern.kill_pattern;
+            arg = 0;
+            put_size = 5;
+            get_size = 0;
+            data = Bytes.empty;
+            retry = true;
+          }))
+
+let test_roundtrip_accept () =
+  check_rt "accept with data + piggy ack"
+    (mk ~reliable:true ~seq:false ~ack:true
+       (Wire.Accept
+          { tid = 77; arg = 3; put_transferred = 10; need_put_data = false; data = b "reply" }));
+  check_rt "accept needing data"
+    (mk ~reliable:true
+       (Wire.Accept
+          { tid = 78; arg = -1; put_transferred = 64; need_put_data = true; data = Bytes.empty }))
+
+let test_roundtrip_controls () =
+  check_rt "ack" (mk ~ack:true Wire.Ack);
+  check_rt "busy" (mk (Wire.Busy { tid = 9 }));
+  check_rt "error unadvertised" (mk (Wire.Error { tid = 9; code = Wire.Err_unadvertised }));
+  check_rt "error crashed" (mk (Wire.Error { tid = 9; code = Wire.Err_crashed }));
+  check_rt "error cancelled" (mk (Wire.Error { tid = 9; code = Wire.Err_cancelled }));
+  check_rt "cancel" (mk ~reliable:true ~seq:true (Wire.Cancel_request { tid = 5 }));
+  check_rt "cancel reply" (mk (Wire.Cancel_reply { tid = 5; ok = true }));
+  check_rt "probe" (mk (Wire.Probe { tid = 123456789 }));
+  check_rt "probe reply" (mk (Wire.Probe_reply { tid = 123456789; alive = false }));
+  check_rt "put data" (mk ~reliable:true (Wire.Put_data { tid = 4; data = b "payload" }));
+  check_rt "discover"
+    (mk (Wire.Discover { tid = 2; pattern = Pattern.well_known 0x1234 }));
+  check_rt "discover reply" (mk (Wire.Discover_reply { tid = 2 }))
+
+let test_decode_garbage () =
+  (match Wire.decode (b "") with
+   | Error _ -> ()
+   | Ok _ -> Alcotest.fail "empty decoded");
+  (match Wire.decode (b "\xFF\x00\x00\x00") with
+   | Error _ -> ()
+   | Ok _ -> Alcotest.fail "bad kind decoded");
+  let good = Wire.encode (mk (Wire.Busy { tid = 1 })) in
+  let truncated = Bytes.sub good 0 (Bytes.length good - 1) in
+  (match Wire.decode truncated with
+   | Error _ -> ()
+   | Ok _ -> Alcotest.fail "truncated decoded");
+  let padded = Bytes.cat good (b "!") in
+  match Wire.decode padded with
+  | Error e -> Alcotest.(check string) "trailing" "trailing bytes" e
+  | Ok _ -> Alcotest.fail "padded decoded"
+
+let test_data_bytes () =
+  let pkt =
+    mk (Wire.Put_data { tid = 1; data = Bytes.create 321 })
+  in
+  Alcotest.(check int) "data bytes" 321 (Wire.data_bytes pkt);
+  Alcotest.(check int) "control has none" 0 (Wire.data_bytes (mk Wire.Ack))
+
+(* qcheck: arbitrary packets roundtrip *)
+
+let gen_pattern =
+  QCheck.Gen.(
+    oneof
+      [
+        map (fun i -> Pattern.well_known (abs i land 0xFFFF)) int;
+        return Pattern.kill_pattern;
+        return (Pattern.boot_pattern 3);
+      ])
+
+let gen_body =
+  QCheck.Gen.(
+    let tid = map (fun i -> abs i land 0xFF_FFFF_FFFF) int in
+    let data = map Bytes.of_string (string_size (0 -- 200)) in
+    let arg = map (fun i -> (i land 0xFFFFFFFF) - 0x80000000) int in
+    let size = 0 -- 4096 in
+    oneof
+      [
+        (fun st ->
+          let retry = bool st in
+          Wire.Request
+            {
+              tid = tid st;
+              pattern = gen_pattern st;
+              arg = arg st;
+              put_size = size st;
+              get_size = size st;
+              data = (if retry then Bytes.empty else data st);
+              retry;
+            });
+        (fun st ->
+          Wire.Accept
+            {
+              tid = tid st;
+              arg = arg st;
+              put_transferred = size st;
+              need_put_data = bool st;
+              data = data st;
+            });
+        map2 (fun t d -> Wire.Put_data { tid = t; data = d }) tid data;
+        return Wire.Ack;
+        map (fun t -> Wire.Busy { tid = t }) tid;
+        map2
+          (fun t c ->
+            Wire.Error
+              {
+                tid = t;
+                code =
+                  (match c mod 3 with
+                   | 0 -> Wire.Err_unadvertised
+                   | 1 -> Wire.Err_crashed
+                   | _ -> Wire.Err_cancelled);
+              })
+          tid int;
+        map (fun t -> Wire.Cancel_request { tid = t }) tid;
+        map2 (fun t ok -> Wire.Cancel_reply { tid = t; ok }) tid bool;
+        map (fun t -> Wire.Probe { tid = t }) tid;
+        map2 (fun t alive -> Wire.Probe_reply { tid = t; alive }) tid bool;
+        (fun st -> Wire.Discover { tid = tid st; pattern = gen_pattern st });
+        map (fun t -> Wire.Discover_reply { tid = t }) tid;
+      ])
+
+let gen_packet =
+  QCheck.Gen.(
+    fun st ->
+      let body = gen_body st in
+      {
+        Wire.src = int_bound 0xFFFF st;
+        reliable = bool st;
+        seq = bool st;
+        ack = (if bool st then Some (bool st) else None);
+        body;
+      })
+
+let arb_packet = QCheck.make ~print:Wire.describe gen_packet
+
+let prop_wire_roundtrip =
+  QCheck.Test.make ~name:"wire codec roundtrips arbitrary packets" ~count:500 arb_packet
+    (fun pkt -> roundtrip pkt = pkt)
+
+(* Fuzz: decoding arbitrary bytes never raises; it returns Ok or Error. *)
+let prop_decode_never_crashes =
+  QCheck.Test.make ~name:"wire decode is total on arbitrary bytes" ~count:1000
+    QCheck.(string_of_size Gen.(0 -- 128))
+    (fun junk ->
+      match Wire.decode (Bytes.of_string junk) with Ok _ | Error _ -> true)
+
+(* Fuzz: single-byte mutations of valid packets either decode to some
+   packet or fail cleanly -- never an exception. *)
+let prop_mutation_never_crashes =
+  QCheck.Test.make ~name:"wire decode survives mutated packets" ~count:500
+    QCheck.(triple arb_packet small_int small_int)
+    (fun (pkt, pos, flip) ->
+      let wire = Wire.encode pkt in
+      if Bytes.length wire = 0 then true
+      else begin
+        let pos = pos mod Bytes.length wire in
+        Bytes.set wire pos
+          (Char.chr (Char.code (Bytes.get wire pos) lxor (1 + (flip mod 255))));
+        match Wire.decode wire with Ok _ | Error _ -> true
+      end)
+
+let suites =
+  [
+    ( "proto.wire",
+      [
+        Alcotest.test_case "request roundtrip" `Quick test_roundtrip_request;
+        Alcotest.test_case "accept roundtrip" `Quick test_roundtrip_accept;
+        Alcotest.test_case "control roundtrips" `Quick test_roundtrip_controls;
+        Alcotest.test_case "garbage rejected" `Quick test_decode_garbage;
+        Alcotest.test_case "data accounting" `Quick test_data_bytes;
+        QCheck_alcotest.to_alcotest prop_wire_roundtrip;
+        QCheck_alcotest.to_alcotest prop_decode_never_crashes;
+        QCheck_alcotest.to_alcotest prop_mutation_never_crashes;
+      ] );
+  ]

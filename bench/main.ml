@@ -62,6 +62,62 @@ let t2 () =
   Printf.printf "    %-22s %10.1f %10.2f\n" "total (accounted)" P.breakdown_total !total;
   Printf.printf "    %-22s %10s %10.2f\n" "elapsed per SIGNAL" "7.1" r.W.per_op_ms
 
+(* ---- T2S: span-derived lifecycle breakdown --------------------------------------- *)
+
+(* The same steady-state SIGNAL stream as T2, but the per-phase times come
+   from request-lifecycle spans derived from the typed event stream rather
+   than from accounting calls placed by hand in the protocol code. With
+   MAXREQUESTS outstanding the phases of concurrent requests overlap, so
+   the per-op phase total exceeds the wall-clock per-op elapsed time. *)
+let t2s () =
+  hr "T2S. Request-lifecycle span breakdown (steady-state SIGNAL stream)";
+  let module Span = Soda_obs.Span in
+  let module Recorder = Soda_obs.Recorder in
+  let r = W.stream ~op:W.Signal ~words:0 ~trace:true () in
+  let w0, w1 = r.W.warm_window in
+  let spans =
+    Span.of_events (Recorder.events r.W.recorder)
+    |> List.filter (fun s ->
+           s.Span.mid = 1 && s.Span.start_us >= w0
+           && match s.Span.end_us with Some e -> e <= w1 | None -> false)
+  in
+  let ops = List.length spans in
+  Printf.printf "  (%d spans inside the measured window, from %d typed events)\n\n" ops
+    (Recorder.length r.W.recorder);
+  Printf.printf "    %-18s %12s %9s\n" "phase" "ms per op" "share";
+  let breakdown = Span.breakdown spans in
+  let total_us = List.fold_left (fun acc (_, us) -> acc + us) 0 breakdown in
+  List.iter
+    (fun phase ->
+      let us = try List.assoc phase breakdown with Not_found -> 0 in
+      Printf.printf "    %-18s %12.2f %8.1f%%\n" (Span.phase_name phase)
+        (float_of_int us /. float_of_int (max ops 1) /. 1000.0)
+        (100.0 *. float_of_int us /. float_of_int (max total_us 1)))
+    Span.all_phases;
+  Printf.printf "    %-18s %12.2f\n" "span total"
+    (float_of_int total_us /. float_of_int (max ops 1) /. 1000.0);
+  Printf.printf
+    "\n    wall-clock per SIGNAL: %.2f ms ours vs %.1f ms paper (phases of\n\
+     \    concurrent requests overlap, so the span total exceeds it)\n"
+    r.W.per_op_ms P.breakdown_total
+
+(* ---- TRACE: Chrome trace_event exports of the T1 workloads ------------------------ *)
+
+let trace_section () =
+  hr "TRACE. Chrome trace_event exports (PUT / GET / EXCHANGE, 100 words)";
+  List.iter
+    (fun (slug, op) ->
+      let r = W.stream ~op ~words:100 ~n:12 ~warmup:3 ~trace:true () in
+      let file = Printf.sprintf "soda_trace_%s.json" slug in
+      let oc = open_out file in
+      Soda_obs.Export.output_chrome oc (Soda_obs.Recorder.events r.W.recorder);
+      close_out oc;
+      Printf.printf "    %-10s %6d events -> %s\n" (W.op_name op)
+        (Soda_obs.Recorder.length r.W.recorder)
+        file)
+    [ ("put", W.Put); ("get", W.Get); ("exchange", W.Exchange) ];
+  Printf.printf "    load the files in Perfetto or about://tracing; one lane per node\n"
+
 (* ---- T3: comparison with *MOD -------------------------------------------------- *)
 
 let measure_starmod () =
@@ -264,7 +320,8 @@ let bechamel () =
 
 let sections =
   [
-    ("T1", t1); ("T2", t2); ("T3", t3); ("F1", f1);
+    ("T1", t1); ("T2", t2); ("T2S", t2s); ("T3", t3); ("F1", f1);
+    ("TRACE", trace_section);
     ("A1", a1); ("A2", a2); ("A3", a3); ("A4", a4); ("A5", a5); ("A6", a6);
     ("BENCH", bechamel);
   ]

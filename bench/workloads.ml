@@ -26,6 +26,9 @@ type result = {
   ops_measured : int;
   breakdown_ms : (Cost.category * float) list;
       (** per-op time attributed to each §5.5 category *)
+  recorder : Soda_obs.Recorder.t;
+      (** the run's event recorder; holds typed events when [trace] was set *)
+  warm_window : int * int;  (** virtual-us interval of the measured steady state *)
 }
 
 let patt = Pattern.well_known 0o640
@@ -69,8 +72,8 @@ let server_spec ~mode ~words =
 (* Run [n] transactions of [op] with [outstanding] requests in flight;
    measure the steady state between the [warmup]-th and last completion. *)
 let stream ?(cost = Cost.default) ?(loss = 0.0) ?(seed = 271) ~op ~words
-    ?(mode = In_handler) ?(n = 40) ?(warmup = 8) ?(outstanding = 3) () =
-  let net = Network.create ~seed ~cost () in
+    ?(mode = In_handler) ?(n = 40) ?(warmup = 8) ?(outstanding = 3) ?(trace = false) () =
+  let net = Network.create ~seed ~cost ~trace () in
   if loss > 0.0 then Bus.set_loss_rate (Network.bus net) loss;
   let server_kernel = Network.add_node net ~mid:0 in
   let client_kernel = Network.add_node net ~mid:1 in
@@ -159,6 +162,8 @@ let stream ?(cost = Cost.default) ?(loss = 0.0) ?(seed = 271) ~op ~words
     busy_nacks = !busy_end - !busy_warm;
     ops_measured = measured;
     breakdown_ms;
+    recorder = Network.recorder net;
+    warm_window = (!t_warm, !t_end);
   }
 
 (* Blocking SIGNAL latency (B_SIGNAL of §4.1.1): strictly sequential. *)

@@ -19,10 +19,41 @@ let read_file path =
   close_in ic;
   s
 
-let run seed seconds trace files =
+(* Pick an export format from the --trace argument: "-" means the human
+   timeline on stdout; a .json path gets Chrome trace_event format (load it
+   in Perfetto or about://tracing); anything else gets JSONL. *)
+let export_trace net dest =
+  let events = Soda_obs.Recorder.events (Network.recorder net) in
+  match dest with
+  | "-" -> Format.printf "%a@." Soda_obs.Export.pp_timeline events
+  | file when Filename.check_suffix file ".json" ->
+    let oc = open_out file in
+    Soda_obs.Export.output_chrome oc events;
+    close_out oc;
+    Printf.printf "-- wrote Chrome trace (%d events) to %s\n" (List.length events) file
+  | file ->
+    let oc = open_out file in
+    Soda_obs.Export.output_jsonl oc events;
+    close_out oc;
+    Printf.printf "-- wrote JSONL trace (%d events) to %s\n" (List.length events) file
+
+let print_metrics net =
+  let engine_metrics = Soda_obs.Metrics.create () in
+  Soda_sim.Engine.export_metrics (Network.engine net) engine_metrics ~prefix:"engine";
+  Format.printf "@.== engine ==@.%a" Soda_obs.Metrics.pp engine_metrics;
+  Format.printf "@.== bus ==@.%a" Soda_sim.Stats.pp
+    (Soda_net.Bus.stats (Network.bus net));
+  List.iter
+    (fun (mid, kernel) ->
+      Format.printf "@.== node %d ==@.%a" mid Soda_sim.Stats.pp
+        (Soda_core.Kernel.stats kernel))
+    (Network.nodes net);
+  Format.printf "@."
+
+let run seed seconds trace metrics files =
   if files = [] then `Error (true, "at least one SODAL source file is required")
   else begin
-    let net = Network.create ~seed ~trace () in
+    let net = Network.create ~seed ~trace:(trace <> None) () in
     let ok = ref true in
     List.iteri
       (fun mid path ->
@@ -48,8 +79,8 @@ let run seed seconds trace files =
       let final = Network.run ~until:(int_of_float (seconds *. 1e6)) net in
       Printf.printf "-- network quiescent/stopped at %.1f ms of virtual time\n"
         (float_of_int final /. 1000.0);
-      if trace then
-        Format.printf "%a@." Soda_sim.Trace.pp (Network.trace net);
+      (match trace with Some dest -> export_trace net dest | None -> ());
+      if metrics then print_metrics net;
       `Ok ()
     end
   end
@@ -66,7 +97,21 @@ let seconds =
     & info [ "seconds" ] ~docv:"S" ~doc:"Virtual-time horizon in seconds.")
 
 let trace =
-  Arg.(value & flag & info [ "trace" ] ~doc:"Dump the protocol event trace at the end.")
+  Arg.(
+    value
+    & opt ~vopt:(Some "-") (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Record the protocol event trace. Without $(docv) (or with '-') the \
+           human-readable timeline is printed on stdout; a $(docv) ending in .json \
+           receives Chrome trace_event JSON (openable in Perfetto); any other \
+           $(docv) receives one JSON object per line (JSONL).")
+
+let metrics =
+  Arg.(
+    value & flag
+    & info [ "metrics" ]
+        ~doc:"Print the engine, bus and per-node metrics registries at the end.")
 
 let files =
   Arg.(value & pos_all file [] & info [] ~docv:"FILE.sodal" ~doc:"SODAL source files.")
@@ -75,6 +120,6 @@ let cmd =
   let doc = "run SODAL programs on a simulated SODA network" in
   Cmd.v
     (Cmd.info "sodal_run" ~doc)
-    Term.(ret (const run $ seed $ seconds $ trace $ files))
+    Term.(ret (const run $ seed $ seconds $ trace $ metrics $ files))
 
 let () = exit (Cmd.eval cmd)

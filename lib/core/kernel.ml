@@ -7,6 +7,8 @@ module Pattern = Soda_base.Pattern
 module Types = Soda_base.Types
 module Cost = Soda_base.Cost_model
 module Transport = Soda_proto.Transport
+module Recorder = Soda_obs.Recorder
+module Event = Soda_obs.Event
 
 type client = {
   invoke_handler : Types.handler_event -> unit;
@@ -24,6 +26,7 @@ type pending_request = { pr_get_buffer : bytes }
 type t = {
   engine : Engine.t;
   trace : Trace.t;
+  actor_name : string;
   cost : Cost.t;
   mid : int;
   transport : Transport.t;
@@ -53,9 +56,15 @@ let client_alive t = t.client <> None
 
 let outstanding t = Hashtbl.length t.pending
 
-let actor t = Printf.sprintf "kern-%d" t.mid
+let actor t = t.actor_name
 
 let trace t fmt = Trace.record t.trace ~now:(Engine.now t.engine) ~actor:(actor t) fmt
+
+(* Typed observability events: guarded so a disabled trace costs one branch. *)
+let tracing t = Recorder.tracing t.trace
+
+let emit_event t kind =
+  Recorder.emit t.trace ~time_us:(Engine.now t.engine) ~mid:t.mid ~actor:t.actor_name kind
 
 (* ---- advertisement table ------------------------------------------------- *)
 
@@ -114,6 +123,7 @@ let invoke_client_handler t event =
   | None -> ()
   | Some client ->
     t.hs_busy <- true;
+    if tracing t then emit_event t Event.Handler_invoke;
     Stats.add_time (stats t) (Cost.label Cost.Context_switch) t.cost.Cost.context_switch_us;
     let epoch_client = client in
     ignore
@@ -413,6 +423,7 @@ let create ~engine ~bus ~trace:tr ~cost ~mid ~boot_kinds =
     {
       engine;
       trace = tr;
+      actor_name = Printf.sprintf "kern-%d" mid;
       cost;
       mid;
       transport;
@@ -480,6 +491,11 @@ let request t ~server ~arg ~put ~get_buffer =
     | Types.Mid dst ->
       let tid = Pattern.Mint.fresh_tid t.mint in
       Hashtbl.replace t.pending tid { pr_get_buffer = get_buffer };
+      if tracing t then
+        emit_event t
+          (Event.Trap
+             { tid; dst; pattern = Pattern.to_int server.Types.sv_pattern;
+               put_size = Bytes.length put; get_size = Bytes.length get_buffer });
       (* Copy the put data at trap time; the client must not touch its
          buffer until completion anyway (§3.3.2 rule 1). *)
       let copy_us = Cost.data_copy_us t.cost ~bytes:(Bytes.length put) in
@@ -491,6 +507,12 @@ let request t ~server ~arg ~put ~get_buffer =
     | Types.Broadcast_mid ->
       let tid = Pattern.Mint.fresh_tid t.mint in
       Hashtbl.replace t.pending tid { pr_get_buffer = get_buffer };
+      if tracing t then
+        emit_event t
+          (Event.Trap
+             { tid; dst = Event.broadcast_peer;
+               pattern = Pattern.to_int server.Types.sv_pattern; put_size = 0;
+               get_size = Bytes.length get_buffer });
       Transport.submit_discover t.transport ~tid ~pattern:server.Types.sv_pattern
         ~max_mids:(Bytes.length get_buffer / 2);
       Ok tid
@@ -547,6 +569,7 @@ let close_handler t = t.hs_open <- false
 
 let endhandler t =
   t.hs_busy <- false;
+  if tracing t then emit_event t Event.Endhandler;
   dispatch_completions t
 
 let die t =

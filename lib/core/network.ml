@@ -13,12 +13,14 @@ type t = {
 
 let create ?(seed = 42) ?(cost = Cost.default) ?bus_config ?(trace = false) () =
   let engine = Engine.create ~seed () in
-  let bus = Bus.create ?config:bus_config engine in
-  { engine; bus; trace = Trace.create ~enabled:trace (); cost; nodes = Hashtbl.create 8 }
+  let tr = Trace.create ~enabled:trace () in
+  let bus = Bus.create ?config:bus_config ~obs:(Trace.recorder tr) engine in
+  { engine; bus; trace = tr; cost; nodes = Hashtbl.create 8 }
 
 let engine t = t.engine
 let bus t = t.bus
 let trace t = t.trace
+let recorder t = Trace.recorder t.trace
 let cost t = t.cost
 
 let add_node ?(boot_kinds = [ 0 ]) t ~mid =

@@ -1,6 +1,8 @@
 module Engine = Soda_sim.Engine
 module Rng = Soda_sim.Rng
 module Stats = Soda_sim.Stats
+module Recorder = Soda_obs.Recorder
+module Event = Soda_obs.Event
 
 type config = {
   bandwidth_bps : int;
@@ -26,9 +28,10 @@ type t = {
   mutable busy_until : int;
   fault_rng : Rng.t;
   stats : Stats.t;
+  mutable obs : Recorder.t option;
 }
 
-let create ?(config = default_config) engine =
+let create ?(config = default_config) ?obs engine =
   {
     engine;
     config;
@@ -36,10 +39,19 @@ let create ?(config = default_config) engine =
     busy_until = 0;
     fault_rng = Rng.split (Engine.rng engine);
     stats = Stats.create ();
+    obs;
   }
 
 let engine t = t.engine
 let stats t = t.stats
+
+let set_obs t obs = t.obs <- Some obs
+
+let emit_event t kind =
+  match t.obs with
+  | Some r when Recorder.tracing r ->
+    Recorder.emit r ~time_us:(Engine.now t.engine) ~mid:(-1) ~actor:"bus" kind
+  | Some _ | None -> ()
 
 let set_loss_rate t rate = t.config <- { t.config with loss_rate = rate }
 let set_corruption_rate t rate = t.config <- { t.config with corruption_rate = rate }
@@ -67,11 +79,16 @@ let corrupt t wire =
 let deliver t frame =
   let deliver_to mid rx =
     if mid <> frame.Frame.src && Frame.dst_matches frame.Frame.dst ~mid then begin
-      if Rng.chance t.fault_rng t.config.loss_rate then Stats.incr t.stats "bus.frames_lost"
+      if Rng.chance t.fault_rng t.config.loss_rate then begin
+        Stats.incr t.stats "bus.frames_lost";
+        emit_event t (Event.Bus_drop { src = frame.Frame.src; dst = mid; reason = "lost" })
+      end
       else begin
         let frame =
           if Rng.chance t.fault_rng t.config.corruption_rate then begin
             Stats.incr t.stats "bus.frames_corrupted";
+            emit_event t
+              (Event.Bus_drop { src = frame.Frame.src; dst = mid; reason = "corrupted" });
             { frame with Frame.wire = corrupt t frame.Frame.wire }
           end
           else frame
@@ -96,5 +113,16 @@ let send t ~src ~dst payload =
   Stats.incr t.stats "bus.frames_sent";
   Stats.add t.stats "bus.bytes_sent" (Bytes.length payload);
   Stats.add_time t.stats "bus.medium_busy" tx;
+  Stats.sample t.stats "bus.frame_bytes" (Bytes.length payload);
+  Stats.sample t.stats "bus.queueing_us" (start - now);
+  emit_event t
+    (Event.Bus_frame
+       {
+         src;
+         dst = (match dst with Frame.To d -> d | Frame.Broadcast -> Event.broadcast_peer);
+         bytes = Bytes.length payload;
+         start_us = start;
+         end_us = start + tx;
+       });
   let arrival = start + tx + t.config.propagation_us - now in
   ignore (Engine.schedule t.engine ~delay:arrival (fun () -> deliver t frame))

@@ -23,10 +23,15 @@ type config = {
 
 val default_config : config
 
-val create : ?config:config -> Soda_sim.Engine.t -> t
+val create : ?config:config -> ?obs:Soda_obs.Recorder.t -> Soda_sim.Engine.t -> t
 
 val engine : t -> Soda_sim.Engine.t
 val stats : t -> Soda_sim.Stats.t
+
+(** Attach a structured-event recorder; when its tracing is enabled the
+    bus emits {!Soda_obs.Event.Bus_frame} (medium occupancy) and
+    {!Soda_obs.Event.Bus_drop} events. *)
+val set_obs : t -> Soda_obs.Recorder.t -> unit
 
 val set_loss_rate : t -> float -> unit
 val set_corruption_rate : t -> float -> unit

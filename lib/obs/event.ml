@@ -1,0 +1,122 @@
+type pkt =
+  | P_request
+  | P_accept
+  | P_put_data
+  | P_ack
+  | P_busy
+  | P_error
+  | P_cancel
+  | P_cancel_reply
+  | P_probe
+  | P_probe_reply
+  | P_discover
+  | P_discover_reply
+
+let pkt_name = function
+  | P_request -> "REQ"
+  | P_accept -> "ACCEPT"
+  | P_put_data -> "DATA"
+  | P_ack -> "ACK"
+  | P_busy -> "BUSY"
+  | P_error -> "ERR"
+  | P_cancel -> "CANCEL"
+  | P_cancel_reply -> "CANCEL_R"
+  | P_probe -> "PROBE"
+  | P_probe_reply -> "PROBE_R"
+  | P_discover -> "DISCOVER"
+  | P_discover_reply -> "DISCOVER_R"
+
+(* [tid = no_tid] marks packets that carry no transaction id (bare ACKs);
+   [peer = broadcast_peer] marks broadcast destinations. *)
+let no_tid = -1
+let broadcast_peer = -1
+
+type kind =
+  | Trap of { tid : int; dst : int; pattern : int; put_size : int; get_size : int }
+      (** REQUEST trap on the requester: the span's birth. *)
+  | Enqueue of { tid : int; peer : int; pkt : pkt }
+      (** A reliable message joined the per-connection stop-and-wait queue. *)
+  | Tx of { tid : int; peer : int; pkt : pkt; bytes : int; seq : bool; retry : bool }
+  | Rx of { tid : int; peer : int; pkt : pkt; bytes : int; seq : bool }
+  | Acked of { tid : int; peer : int; pkt : pkt }
+      (** The peer acknowledged our in-flight reliable message. *)
+  | Busy_nack of { tid : int; peer : int }
+      (** Server side: handler busy, REQUEST nacked. *)
+  | Retransmit of { tid : int; peer : int; pkt : pkt; attempt : int }
+  | Probe of { tid : int; peer : int; misses : int }
+  | Deliver of { tid : int; src : int; pattern : int; put_size : int; get_size : int;
+                 from_buffer : bool }
+      (** Server side: REQUEST handed to the advertisement match. *)
+  | Handler_invoke
+  | Endhandler
+  | Complete of { tid : int; status : string }
+      (** Requester side: completion interrupt queued; the span's death. *)
+  | Bus_frame of { src : int; dst : int; bytes : int; start_us : int; end_us : int }
+      (** Medium occupancy of one frame ([dst = broadcast_peer] for broadcast). *)
+  | Bus_drop of { src : int; dst : int; reason : string }
+  | Note of string  (** Free-form text from the legacy [Trace.record] shim. *)
+
+type t = { time_us : int; mid : int; actor : string; kind : kind }
+
+let kind_label = function
+  | Trap _ -> "trap"
+  | Enqueue _ -> "enqueue"
+  | Tx _ -> "tx"
+  | Rx _ -> "rx"
+  | Acked _ -> "ack"
+  | Busy_nack _ -> "busy-nack"
+  | Retransmit _ -> "retransmit"
+  | Probe _ -> "probe"
+  | Deliver _ -> "deliver"
+  | Handler_invoke -> "handler-invoke"
+  | Endhandler -> "endhandler"
+  | Complete _ -> "complete"
+  | Bus_frame _ -> "bus-frame"
+  | Bus_drop _ -> "bus-drop"
+  | Note _ -> "note"
+
+let peer_name p = if p = broadcast_peer then "*" else string_of_int p
+
+(* Human rendering, used by the timeline exporter and the [Trace.entries]
+   compatibility view. *)
+let message = function
+  | Trap { tid; dst; pattern; put_size; get_size } ->
+    Printf.sprintf "trap REQUEST #%d to %s pattern=%06o put=%dB get=%dB" tid
+      (peer_name dst) pattern put_size get_size
+  | Enqueue { tid; peer; pkt } ->
+    Printf.sprintf "enqueue %s#%d for %d" (pkt_name pkt) tid peer
+  | Tx { tid; peer; pkt; bytes; seq; retry } ->
+    Printf.sprintf "send %s#%d+%dB sn=%d%s to %s" (pkt_name pkt) tid bytes
+      (if seq then 1 else 0)
+      (if retry then " retry" else "")
+      (peer_name peer)
+  | Rx { tid; peer; pkt; bytes; seq } ->
+    Printf.sprintf "recv %s#%d+%dB sn=%d from %d" (pkt_name pkt) tid bytes
+      (if seq then 1 else 0)
+      peer
+  | Acked { tid; peer; pkt } -> Printf.sprintf "%s#%d acked by %d" (pkt_name pkt) tid peer
+  | Busy_nack { tid; peer } -> Printf.sprintf "busy: nacking REQ#%d from %d" tid peer
+  | Retransmit { tid; peer; pkt; attempt } ->
+    Printf.sprintf "retransmit %s#%d to %d (attempt %d)" (pkt_name pkt) tid peer attempt
+  | Probe { tid; peer; misses } ->
+    Printf.sprintf "probe #%d at %d (misses %d)" tid peer misses
+  | Deliver { tid; src; pattern; put_size; get_size; from_buffer } ->
+    Printf.sprintf "deliver REQ#%d from %d pattern=%06o put=%dB get=%dB%s" tid src pattern
+      put_size get_size
+      (if from_buffer then " (from pipeline buffer)" else "")
+  | Handler_invoke -> "handler invoked"
+  | Endhandler -> "endhandler"
+  | Complete { tid; status } -> Printf.sprintf "complete #%d %s" tid status
+  | Bus_frame { src; dst; bytes; start_us; end_us } ->
+    Printf.sprintf "frame %d->%s %dB on wire %d..%d us" src (peer_name dst) bytes start_us
+      end_us
+  | Bus_drop { src; dst; reason } -> Printf.sprintf "frame %d->%d %s" src dst reason
+  | Note text -> text
+
+(* tid carried by an event, if any (for span grouping). *)
+let tid = function
+  | Trap { tid; _ } | Enqueue { tid; _ } | Tx { tid; _ } | Rx { tid; _ }
+  | Acked { tid; _ } | Busy_nack { tid; _ } | Retransmit { tid; _ } | Probe { tid; _ }
+  | Deliver { tid; _ } | Complete { tid; _ } ->
+    if tid = no_tid then None else Some tid
+  | Handler_invoke | Endhandler | Bus_frame _ | Bus_drop _ | Note _ -> None

@@ -1,0 +1,63 @@
+(** Typed observability events.
+
+    One constructor per protocol-visible moment of a request's life (trap,
+    enqueue, tx, rx, ack, busy-nack, retransmit, probe, deliver,
+    handler-invoke, endhandler, complete), plus bus-level frame events and
+    a [Note] carrying legacy free-form trace text. Every packet-shaped
+    event records the transaction id, peer, packet kind, byte count and
+    sequence bit, so phase breakdowns are derived from data instead of
+    grepped out of format strings. *)
+
+type pkt =
+  | P_request
+  | P_accept
+  | P_put_data
+  | P_ack
+  | P_busy
+  | P_error
+  | P_cancel
+  | P_cancel_reply
+  | P_probe
+  | P_probe_reply
+  | P_discover
+  | P_discover_reply
+
+val pkt_name : pkt -> string
+
+(** Sentinel for events that carry no transaction id. *)
+val no_tid : int
+
+(** Sentinel destination for broadcast. *)
+val broadcast_peer : int
+
+type kind =
+  | Trap of { tid : int; dst : int; pattern : int; put_size : int; get_size : int }
+  | Enqueue of { tid : int; peer : int; pkt : pkt }
+  | Tx of { tid : int; peer : int; pkt : pkt; bytes : int; seq : bool; retry : bool }
+  | Rx of { tid : int; peer : int; pkt : pkt; bytes : int; seq : bool }
+  | Acked of { tid : int; peer : int; pkt : pkt }
+  | Busy_nack of { tid : int; peer : int }
+  | Retransmit of { tid : int; peer : int; pkt : pkt; attempt : int }
+  | Probe of { tid : int; peer : int; misses : int }
+  | Deliver of { tid : int; src : int; pattern : int; put_size : int; get_size : int;
+                 from_buffer : bool }
+  | Handler_invoke
+  | Endhandler
+  | Complete of { tid : int; status : string }
+  | Bus_frame of { src : int; dst : int; bytes : int; start_us : int; end_us : int }
+  | Bus_drop of { src : int; dst : int; reason : string }
+  | Note of string
+
+type t = { time_us : int; mid : int; actor : string; kind : kind }
+
+(** Short machine-readable label ("tx", "busy-nack", ...). *)
+val kind_label : kind -> string
+
+val peer_name : int -> string
+
+(** Human one-line rendering, used by the timeline exporter and the legacy
+    [Trace.entries] view. *)
+val message : kind -> string
+
+(** Transaction id carried by the event, if any. *)
+val tid : kind -> int option

@@ -1,0 +1,214 @@
+(* Exporters for the recorded event stream.
+
+   - [pp_timeline]: the human-readable "%8d us  actor  message" rendering
+     the old string trace printed;
+   - JSONL: one JSON object per event, for machine diffing (golden tests)
+     and ad-hoc jq analysis;
+   - Chrome trace_event JSON: loads in about://tracing or Perfetto with
+     one process lane per node (requests track + packets track) and a
+     separate lane for bus medium occupancy. *)
+
+let pp_timeline ppf events =
+  List.iter
+    (fun e ->
+      Format.fprintf ppf "%8d us  %-12s %s@." e.Event.time_us e.Event.actor
+        (Event.message e.Event.kind))
+    events
+
+(* ---- JSON plumbing (hand-rolled: no json dependency in the image) ------- *)
+
+let escape_json s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\r' -> Buffer.add_string b "\\r"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+type json_field = string * [ `Int of int | `Str of string | `Bool of bool ]
+
+let add_object b (fields : json_field list) =
+  Buffer.add_char b '{';
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_char b '"';
+      Buffer.add_string b k;
+      Buffer.add_string b "\":";
+      match v with
+      | `Int n -> Buffer.add_string b (string_of_int n)
+      | `Str s ->
+        Buffer.add_char b '"';
+        Buffer.add_string b (escape_json s);
+        Buffer.add_char b '"'
+      | `Bool flag -> Buffer.add_string b (if flag then "true" else "false"))
+    fields;
+  Buffer.add_char b '}'
+
+(* ---- JSONL -------------------------------------------------------------- *)
+
+let event_fields (e : Event.t) : json_field list =
+  let open Event in
+  let base = [ ("t", `Int e.time_us); ("mid", `Int e.mid); ("ev", `Str (kind_label e.kind)) ] in
+  let extra =
+    match e.kind with
+    | Trap { tid; dst; pattern; put_size; get_size } ->
+      [ ("tid", `Int tid); ("dst", `Int dst); ("pattern", `Int pattern);
+        ("put", `Int put_size); ("get", `Int get_size) ]
+    | Enqueue { tid; peer; pkt } ->
+      [ ("tid", `Int tid); ("peer", `Int peer); ("pkt", `Str (pkt_name pkt)) ]
+    | Tx { tid; peer; pkt; bytes; seq; retry } ->
+      [ ("tid", `Int tid); ("peer", `Int peer); ("pkt", `Str (pkt_name pkt));
+        ("bytes", `Int bytes); ("seq", `Bool seq); ("retry", `Bool retry) ]
+    | Rx { tid; peer; pkt; bytes; seq } ->
+      [ ("tid", `Int tid); ("peer", `Int peer); ("pkt", `Str (pkt_name pkt));
+        ("bytes", `Int bytes); ("seq", `Bool seq) ]
+    | Acked { tid; peer; pkt } ->
+      [ ("tid", `Int tid); ("peer", `Int peer); ("pkt", `Str (pkt_name pkt)) ]
+    | Busy_nack { tid; peer } -> [ ("tid", `Int tid); ("peer", `Int peer) ]
+    | Retransmit { tid; peer; pkt; attempt } ->
+      [ ("tid", `Int tid); ("peer", `Int peer); ("pkt", `Str (pkt_name pkt));
+        ("attempt", `Int attempt) ]
+    | Probe { tid; peer; misses } ->
+      [ ("tid", `Int tid); ("peer", `Int peer); ("misses", `Int misses) ]
+    | Deliver { tid; src; pattern; put_size; get_size; from_buffer } ->
+      [ ("tid", `Int tid); ("src", `Int src); ("pattern", `Int pattern);
+        ("put", `Int put_size); ("get", `Int get_size); ("buffered", `Bool from_buffer) ]
+    | Handler_invoke | Endhandler -> []
+    | Complete { tid; status } -> [ ("tid", `Int tid); ("status", `Str status) ]
+    | Bus_frame { src; dst; bytes; start_us; end_us } ->
+      [ ("src", `Int src); ("dst", `Int dst); ("bytes", `Int bytes);
+        ("start", `Int start_us); ("end", `Int end_us) ]
+    | Bus_drop { src; dst; reason } ->
+      [ ("src", `Int src); ("dst", `Int dst); ("reason", `Str reason) ]
+    | Note text -> [ ("actor", `Str e.actor); ("text", `Str text) ]
+  in
+  base @ extra
+
+let jsonl_to_buffer b events =
+  List.iter
+    (fun e ->
+      add_object b (event_fields e);
+      Buffer.add_char b '\n')
+    events
+
+let jsonl events =
+  let b = Buffer.create 4096 in
+  jsonl_to_buffer b events;
+  Buffer.contents b
+
+let output_jsonl oc events =
+  let b = Buffer.create 4096 in
+  jsonl_to_buffer b events;
+  Buffer.output_buffer oc b
+
+(* ---- Chrome trace_event ------------------------------------------------- *)
+
+(* Track ids within each node's process lane. *)
+let track_requests = 0
+let track_packets = 1
+let track_client = 2
+
+(* The shared medium gets its own process lane. *)
+let bus_pid = 1_000
+
+let chrome_to_buffer b events =
+  let spans = Span.of_events events in
+  let first = ref true in
+  let emit fields =
+    if !first then first := false else Buffer.add_string b ",\n ";
+    add_object b fields
+  in
+  Buffer.add_string b "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n ";
+  (* Process / thread name metadata: one lane per node. [add_object] cannot
+     nest, so metadata args objects are written textually. *)
+  let emit_meta ~pid ~tid name =
+    if !first then first := false else Buffer.add_string b ",\n ";
+    Buffer.add_string b
+      (Printf.sprintf
+         "{\"name\":\"%s\",\"ph\":\"M\",\"pid\":%d,\"tid\":%d,\"args\":{\"name\":\"%s\"}}"
+         (if tid < 0 then "process_name" else "thread_name")
+         pid (max tid 0) (escape_json name))
+  in
+  let mids =
+    List.sort_uniq compare
+      (List.filter_map
+         (fun e -> if e.Event.mid >= 0 then Some e.Event.mid else None)
+         events)
+  in
+  List.iter
+    (fun mid ->
+      emit_meta ~pid:mid ~tid:(-1) (Printf.sprintf "node-%d" mid);
+      emit_meta ~pid:mid ~tid:track_requests "requests";
+      emit_meta ~pid:mid ~tid:track_packets "packets";
+      emit_meta ~pid:mid ~tid:track_client "client")
+    mids;
+  emit_meta ~pid:bus_pid ~tid:(-1) "bus";
+  emit_meta ~pid:bus_pid ~tid:0 "medium";
+  (* Spans and their phase segments: complete ("X") events on the
+     requester's requests track. Nested X events render as a flame. *)
+  List.iter
+    (fun span ->
+      (match Span.duration_us span with
+       | Some dur ->
+         emit
+           [ ("name", `Str (Printf.sprintf "REQ#%d" span.Span.tid));
+             ("cat", `Str "span"); ("ph", `Str "X"); ("pid", `Int span.Span.mid);
+             ("tid", `Int track_requests); ("ts", `Int span.Span.start_us);
+             ("dur", `Int dur) ]
+       | None -> ());
+      List.iter
+        (fun seg ->
+          emit
+            [ ("name", `Str (Span.phase_name seg.Span.phase)); ("cat", `Str "phase");
+              ("ph", `Str "X"); ("pid", `Int span.Span.mid);
+              ("tid", `Int track_requests); ("ts", `Int seg.Span.seg_start_us);
+              ("dur", `Int (seg.Span.seg_end_us - seg.Span.seg_start_us)) ])
+        span.Span.segments)
+    spans;
+  (* Point events on the packets / client tracks; bus frames as X events
+     on the medium lane. *)
+  List.iter
+    (fun e ->
+      let open Event in
+      match e.kind with
+      | Bus_frame { src; dst; bytes; start_us; end_us } ->
+        emit
+          [ ("name", `Str (Printf.sprintf "%d->%s %dB" src (peer_name dst) bytes));
+            ("cat", `Str "bus"); ("ph", `Str "X"); ("pid", `Int bus_pid);
+            ("tid", `Int 0); ("ts", `Int start_us); ("dur", `Int (end_us - start_us)) ]
+      | Trap _ | Handler_invoke | Endhandler | Complete _ ->
+        emit
+          [ ("name", `Str (message e.kind)); ("cat", `Str "client"); ("ph", `Str "i");
+            ("pid", `Int e.mid); ("tid", `Int track_client); ("ts", `Int e.time_us);
+            ("s", `Str "t") ]
+      | Tx _ | Rx _ | Acked _ | Busy_nack _ | Retransmit _ | Probe _ | Deliver _
+      | Enqueue _ | Bus_drop _ ->
+        emit
+          [ ("name", `Str (message e.kind)); ("cat", `Str (kind_label e.kind));
+            ("ph", `Str "i"); ("pid", `Int e.mid); ("tid", `Int track_packets);
+            ("ts", `Int e.time_us); ("s", `Str "t") ]
+      | Note _ ->
+        emit
+          [ ("name", `Str (message e.kind)); ("cat", `Str "note"); ("ph", `Str "i");
+            ("pid", `Int (max e.mid 0)); ("tid", `Int track_client);
+            ("ts", `Int e.time_us); ("s", `Str "t") ])
+    events;
+  Buffer.add_string b "\n]}\n"
+
+let chrome events =
+  let b = Buffer.create 8192 in
+  chrome_to_buffer b events;
+  Buffer.contents b
+
+let output_chrome oc events =
+  let b = Buffer.create 8192 in
+  chrome_to_buffer b events;
+  Buffer.output_buffer oc b

@@ -1,0 +1,14 @@
+(** Exporters for recorded event streams.
+
+    Three formats: the human-readable timeline (the old [Trace.pp]
+    rendering), JSONL (one object per event; used by the golden trace
+    test), and Chrome [trace_event] JSON that loads in about://tracing or
+    Perfetto with one process lane per node plus a bus-medium lane. *)
+
+val pp_timeline : Format.formatter -> Event.t list -> unit
+
+val jsonl : Event.t list -> string
+val output_jsonl : out_channel -> Event.t list -> unit
+
+val chrome : Event.t list -> string
+val output_chrome : out_channel -> Event.t list -> unit

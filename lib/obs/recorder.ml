@@ -1,0 +1,33 @@
+(* The per-network event sink. All layers share one recorder; when tracing
+   is off an [emit] is a single branch (call sites in hot paths test
+   [tracing] before building the event payload, so nothing allocates). *)
+
+type t = {
+  mutable tracing : bool;
+  mutable events : Event.t list;  (* newest first *)
+  mutable n_events : int;
+  metrics : Metrics.t;
+}
+
+let create ?(tracing = false) () =
+  { tracing; events = []; n_events = 0; metrics = Metrics.create () }
+
+let tracing t = t.tracing
+let set_tracing t flag = t.tracing <- flag
+
+let metrics t = t.metrics
+
+let emit t ~time_us ~mid ~actor kind =
+  if t.tracing then begin
+    t.events <- { Event.time_us; mid; actor; kind } :: t.events;
+    t.n_events <- t.n_events + 1
+  end
+
+(* Events in chronological order. Same-instant events keep emission order. *)
+let events t = List.rev t.events
+
+let length t = t.n_events
+
+let clear t =
+  t.events <- [];
+  t.n_events <- 0

@@ -1,0 +1,24 @@
+(** The per-network event sink shared by every layer.
+
+    When tracing is disabled, [emit] is one branch; hot call sites guard
+    with [tracing] before building the event payload so a disabled
+    recorder costs neither time nor allocation. The recorder also owns a
+    {!Metrics.t} registry for network-global measurements. *)
+
+type t
+
+val create : ?tracing:bool -> unit -> t
+
+val tracing : t -> bool
+val set_tracing : t -> bool -> unit
+
+val metrics : t -> Metrics.t
+
+val emit : t -> time_us:int -> mid:int -> actor:string -> Event.kind -> unit
+
+(** Events in chronological order (same-instant events keep emission
+    order). *)
+val events : t -> Event.t list
+
+val length : t -> int
+val clear : t -> unit

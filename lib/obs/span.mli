@@ -1,0 +1,36 @@
+(** Request-lifecycle spans derived from the typed event stream.
+
+    A span runs from the requester's REQUEST trap ({!Event.Trap}) to its
+    completion interrupt ({!Event.Complete}), divided into phase segments:
+    queued → on-wire ↔ busy-backoff → awaiting-accept → accept-transfer.
+    The paper's per-phase overhead breakdown (§5.5 T2) is computed from
+    these segments rather than hand-placed accounting calls. *)
+
+type phase = Queued | On_wire | Busy_backoff | Awaiting_accept | Accept_transfer
+
+val phase_name : phase -> string
+val all_phases : phase list
+
+type segment = { phase : phase; seg_start_us : int; seg_end_us : int }
+
+type t = {
+  tid : int;
+  mid : int;
+  dst : int;
+  pattern : int;
+  start_us : int;
+  end_us : int option;
+  status : string option;
+  segments : segment list;
+}
+
+(** Derive spans from a chronological event stream. Spans still open at
+    the end of the stream are returned with [end_us = None]. *)
+val of_events : Event.t list -> t list
+
+val duration_us : t -> int option
+
+(** Total microseconds attributed to each phase across [spans]. *)
+val breakdown : t list -> (phase * int) list
+
+val pp : Format.formatter -> t -> unit

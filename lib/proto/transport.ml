@@ -2,6 +2,8 @@ module Engine = Soda_sim.Engine
 module Rng = Soda_sim.Rng
 module Stats = Soda_sim.Stats
 module Trace = Soda_sim.Trace
+module Recorder = Soda_obs.Recorder
+module Event = Soda_obs.Event
 module Bus = Soda_net.Bus
 module Nic = Soda_net.Nic
 module Pattern = Soda_base.Pattern
@@ -87,6 +89,7 @@ type out_req = {
   or_dst : int;
   or_put : bytes;
   or_get_size : int;
+  or_submit_us : int;  (* trap time, for the completion-latency histogram *)
   mutable or_state : req_state;
   mutable or_probe_timer : Engine.event_id option;
   mutable or_probe_misses : int;
@@ -144,7 +147,8 @@ type t = {
   bus : Bus.t;
   mid : int;
   cost : Cost.t;
-  trace : Trace.t;
+  trace : Trace.t;  (* the network's shared structured-event recorder *)
+  actor_name : string;
   stats : Stats.t;
   rng : Rng.t;
   mutable nic : Nic.t option;
@@ -166,7 +170,14 @@ let callbacks t =
   | Some cb -> cb
   | None -> failwith "Transport: callbacks not set"
 
-let actor t = Printf.sprintf "soda-%d" t.mid
+let actor t = t.actor_name
+
+(* Structured-event emission: one branch when tracing is off; the payload
+   is only built under the guard, so a quiet run allocates nothing. *)
+let tracing t = Recorder.tracing t.trace
+
+let event t kind =
+  Recorder.emit t.trace ~time_us:(Engine.now t.engine) ~mid:t.mid ~actor:t.actor_name kind
 
 (* Schedule an engine event that is dropped if the node resets meanwhile. *)
 let defer t ~delay fn =
@@ -247,6 +258,36 @@ let kind_name body =
   | Wire.Discover _ -> "DISCOVER"
   | Wire.Discover_reply _ -> "DISCOVER_R"
 
+let pkt_of_body body =
+  match body with
+  | Wire.Request _ -> Event.P_request
+  | Wire.Accept _ -> Event.P_accept
+  | Wire.Put_data _ -> Event.P_put_data
+  | Wire.Ack -> Event.P_ack
+  | Wire.Busy _ -> Event.P_busy
+  | Wire.Error _ -> Event.P_error
+  | Wire.Cancel_request _ -> Event.P_cancel
+  | Wire.Cancel_reply _ -> Event.P_cancel_reply
+  | Wire.Probe _ -> Event.P_probe
+  | Wire.Probe_reply _ -> Event.P_probe_reply
+  | Wire.Discover _ -> Event.P_discover
+  | Wire.Discover_reply _ -> Event.P_discover_reply
+
+let tid_of_body body =
+  match body with
+  | Wire.Request { tid; _ }
+  | Wire.Accept { tid; _ }
+  | Wire.Put_data { tid; _ }
+  | Wire.Busy { tid }
+  | Wire.Error { tid; _ }
+  | Wire.Cancel_request { tid }
+  | Wire.Cancel_reply { tid; _ }
+  | Wire.Probe { tid }
+  | Wire.Probe_reply { tid; _ }
+  | Wire.Discover { tid; _ }
+  | Wire.Discover_reply { tid } -> tid
+  | Wire.Ack -> Event.no_tid
+
 (* Emit a packet to [dst], picking up any owed acknowledgement (piggyback,
    §5.2.3). The kernel CPU cost is charged before the NIC transmits. *)
 let emit t ~dst ?(reliable = false) ?(seq = false) ?force_ack body =
@@ -277,9 +318,17 @@ let emit t ~dst ?(reliable = false) ?(seq = false) ?force_ack body =
   Stats.add_time t.stats (Cost.label Cost.Transmission) tx;
   Stats.incr t.stats "pkt.sent.total";
   Stats.incr t.stats (Printf.sprintf "pkt.sent.%s" (kind_name body));
-  Trace.record t.trace ~now:(Engine.now t.engine) ~actor:(actor t) "send %s to %s"
-    (Wire.describe pkt)
-    (match dst with `Peer p -> string_of_int p | `Broadcast -> "*");
+  if tracing t then
+    event t
+      (Event.Tx
+         {
+           tid = tid_of_body body;
+           peer = (match dst with `Peer p -> p | `Broadcast -> Event.broadcast_peer);
+           pkt = pkt_of_body body;
+           bytes = Bytes.length bytes;
+           seq;
+           retry = (match body with Wire.Request { retry; _ } -> retry | _ -> false);
+         });
   ignore
     (defer t ~delay:cpu (fun () ->
          match dst with
@@ -385,8 +434,15 @@ let body_for_transmission inflight =
 
 let rec transmit_inflight t conn inflight =
   inflight.if_seq <- conn.send_bit;
-  if inflight.if_retries + inflight.if_busy_attempts > 0 then
+  let attempt = inflight.if_retries + inflight.if_busy_attempts in
+  if attempt > 0 then begin
     Stats.incr t.stats "pkt.retransmissions";
+    if tracing t then
+      event t
+        (Event.Retransmit
+           { tid = inflight.if_tid; peer = conn.peer; pkt = pkt_of_body inflight.if_body;
+             attempt })
+  end;
   let body = body_for_transmission inflight in
   (* The kernel copies the client buffer into the output buffer as part of
      sending (§5.2): data-bearing transmissions pay one copy here, in the
@@ -443,6 +499,12 @@ and arm_retrans t conn inflight =
 and finish_inflight t conn inflight outcome =
   if not inflight.if_finished then begin
     inflight.if_finished <- true;
+    (match outcome with
+     | Out_acked when tracing t ->
+       event t
+         (Event.Acked
+            { tid = inflight.if_tid; peer = conn.peer; pkt = pkt_of_body inflight.if_body })
+     | _ -> ());
     (match inflight.if_timer with
      | Some id ->
        Engine.cancel t.engine id;
@@ -517,6 +579,7 @@ let park_busy_inflight t conn inflight =
 let send_reliable t ~peer ~kind ~tid body ~on_done =
   let conn = conn_for t peer in
   touch t conn;
+  if tracing t then event t (Event.Enqueue { tid; peer; pkt = pkt_of_body body });
   let pending =
     { ps_kind = kind; ps_tid = tid; ps_body = body; ps_done = on_done; ps_retries = 0;
       ps_busy = 0 }
@@ -540,6 +603,7 @@ let create ~engine ~bus ~mid ~cost ~trace =
       mid;
       cost;
       trace;
+      actor_name = Printf.sprintf "soda-%d" mid;
       stats = Stats.create ();
       rng = Rng.split (Engine.rng engine);
       nic = None;
@@ -570,6 +634,17 @@ let complete_out_req t req completion =
     req.or_state <- Rq_done;
     stop_probing t req;
     Hashtbl.remove t.out_reqs req.or_tid;
+    Stats.sample t.stats "req.latency_us" (Engine.now t.engine - req.or_submit_us);
+    if tracing t then begin
+      let status =
+        match completion with
+        | Comp_accepted _ -> "accepted"
+        | Comp_unadvertised -> "unadvertised"
+        | Comp_crashed -> "crashed"
+        | Comp_discovered _ -> "discovered"
+      in
+      event t (Event.Complete { tid = req.or_tid; status })
+    end;
     (* A pending CANCEL loses the race against completion (§3.3.3). *)
     (match req.or_cancel_pending with
      | Some k ->
@@ -598,6 +673,10 @@ let rec arm_probe t req =
              else begin
                req.or_probe_outstanding <- true;
                Stats.incr t.stats "probe.sent";
+               if tracing t then
+                 event t
+                   (Event.Probe
+                      { tid = req.or_tid; peer = req.or_dst; misses = req.or_probe_misses });
                emit t ~dst:(`Peer req.or_dst) (Wire.Probe { tid = req.or_tid });
                arm_probe t req
              end
@@ -646,6 +725,7 @@ let submit_request t ~dst ~tid ~pattern ~arg ~put_data ~get_size =
       or_dst = dst;
       or_put = put_data;
       or_get_size = get_size;
+      or_submit_us = Engine.now t.engine;
       or_state = Rq_sent;
       or_probe_timer = None;
       or_probe_misses = 0;
@@ -922,7 +1002,12 @@ let handle_request t conn src (r : Wire.body) seq =
             }
           in
           Hashtbl.replace t.srv_txns (src, tid) txn;
-          Stats.incr t.stats "req.delivered"
+          Stats.incr t.stats "req.delivered";
+          if tracing t then
+            event t
+              (Event.Deliver
+                 { tid; src; pattern = Pattern.to_int pattern; put_size; get_size;
+                   from_buffer = false })
         | `Busy ->
           if t.cost.Cost.pipelined && t.buffered = None then begin
             ignore (consume_bit t conn ~key:(Some (1, tid)) seq);
@@ -953,6 +1038,7 @@ let handle_request t conn src (r : Wire.body) seq =
           end
           else begin
             Stats.incr t.stats "req.busy_nacked";
+            if tracing t then event t (Event.Busy_nack { tid; peer = conn.peer });
             emit t ~dst:(`Peer conn.peer) (Wire.Busy { tid })
           end))
   | _ -> assert false
@@ -972,7 +1058,12 @@ let flush_buffered t =
         | Some txn when txn.st_state = Srv_buffered -> txn.st_state <- Srv_delivered
         | Some _ | None -> ());
        Stats.incr t.stats "req.delivered";
-       Stats.incr t.stats "req.delivered_from_buffer"
+       Stats.incr t.stats "req.delivered_from_buffer";
+       if tracing t then
+         event t
+           (Event.Deliver
+              { tid = br.br_tid; src = br.br_src; pattern = Pattern.to_int br.br_pattern;
+                put_size = br.br_put_size; get_size = br.br_get_size; from_buffer = true })
      | `Busy -> ()
      | `Unadvertised ->
        t.buffered <- None;
@@ -1145,12 +1236,15 @@ let handle_discover_reply t src tid =
       dr.dr_mids <- src :: dr.dr_mids
   | None -> ()
 
-let process_packet t pkt =
+let process_packet t ~bytes pkt =
   let src = pkt.Wire.src in
   Stats.incr t.stats "pkt.recv.total";
   Stats.incr t.stats (Printf.sprintf "pkt.recv.%s" (kind_name pkt.Wire.body));
-  Trace.record t.trace ~now:(Engine.now t.engine) ~actor:(actor t) "recv %s from %d"
-    (Wire.describe pkt) src;
+  if tracing t then
+    event t
+      (Event.Rx
+         { tid = tid_of_body pkt.Wire.body; peer = src; pkt = pkt_of_body pkt.Wire.body;
+           bytes; seq = pkt.Wire.seq });
   let conn = conn_for t src in
   touch t conn;
   (* For reliable bodies, consume the sequence bit and register the owed
@@ -1208,7 +1302,8 @@ let attach_nic t =
         | Error _ -> Stats.incr t.stats "pkt.decode_errors"
         | Ok pkt ->
           let cpu = packet_cpu_us t in
-          ignore (defer t ~delay:cpu (fun () -> process_packet t pkt)))
+          let bytes = Bytes.length payload in
+          ignore (defer t ~delay:cpu (fun () -> process_packet t ~bytes pkt)))
   in
   t.nic <- Some nic;
   nic

@@ -2,10 +2,14 @@ type event = { id : int; fn : unit -> unit }
 
 type event_id = int
 
+type counters = { scheduled : int; fired : int; cancelled : int; pending : int }
+
 type t = {
   mutable clock : int;
   mutable next_seq : int;
   mutable live : int;
+  mutable n_fired : int;
+  mutable n_cancelled : int;
   queue : event Heap.t;
   cancelled : (int, unit) Hashtbl.t;
   root_rng : Rng.t;
@@ -18,6 +22,8 @@ let create ?(seed = 42) () =
     clock = 0;
     next_seq = 0;
     live = 0;
+    n_fired = 0;
+    n_cancelled = 0;
     queue = Heap.create ();
     cancelled = Hashtbl.create 64;
     root_rng = Rng.create ~seed;
@@ -38,10 +44,23 @@ let schedule t ~delay fn =
 let cancel t id =
   if not (Hashtbl.mem t.cancelled id) then begin
     Hashtbl.replace t.cancelled id ();
-    t.live <- t.live - 1
+    t.live <- t.live - 1;
+    t.n_cancelled <- t.n_cancelled + 1
   end
 
 let pending t = t.live
+
+let counters t =
+  { scheduled = t.next_seq; fired = t.n_fired; cancelled = t.n_cancelled;
+    pending = t.live }
+
+(* Publish the counters as gauges into a metrics registry. *)
+let export_metrics t m ~prefix =
+  Soda_obs.Metrics.set_gauge m (prefix ^ ".scheduled") t.next_seq;
+  Soda_obs.Metrics.set_gauge m (prefix ^ ".fired") t.n_fired;
+  Soda_obs.Metrics.set_gauge m (prefix ^ ".cancelled") t.n_cancelled;
+  Soda_obs.Metrics.set_gauge m (prefix ^ ".pending") t.live;
+  Soda_obs.Metrics.set_gauge m (prefix ^ ".clock_us") t.clock
 
 let stop _t = raise Stop
 
@@ -60,6 +79,7 @@ let step t ~until =
        else begin
          t.clock <- time;
          t.live <- t.live - 1;
+         t.n_fired <- t.n_fired + 1;
          event.fn ();
          true
        end)

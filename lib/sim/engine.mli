@@ -30,6 +30,15 @@ val cancel : t -> event_id -> unit
 (** [pending t] is the number of live (not cancelled, not fired) events. *)
 val pending : t -> int
 
+(** Lifetime scheduling counters (always on; plain integer increments). *)
+type counters = { scheduled : int; fired : int; cancelled : int; pending : int }
+
+val counters : t -> counters
+
+(** [export_metrics t m ~prefix] publishes the counters (and the current
+    clock) as gauges named [prefix ^ ".scheduled"] etc. into [m]. *)
+val export_metrics : t -> Soda_obs.Metrics.t -> prefix:string -> unit
+
 (** [run t] processes events until the queue is empty or [until] virtual
     microseconds is reached. Returns the final virtual time. *)
 val run : ?until:int -> t -> int

@@ -1,80 +1,63 @@
+(* Per-node measurement bag, backed by the [Soda_obs.Metrics] registry.
+
+   Counters and latency series live in the registry (series as log-scale
+   histograms — O(buckets) memory instead of the raw sample lists this
+   module used to keep). Microsecond accumulators keep their own table so
+   [counter_names] still lists only true counters, as callers expect. *)
+
+module Metrics = Soda_obs.Metrics
+
 type t = {
-  counters : (string, int ref) Hashtbl.t;
+  metrics : Metrics.t;
   times : (string, int ref) Hashtbl.t;
-  series : (string, int list ref) Hashtbl.t;
 }
 
-let create () =
-  {
-    counters = Hashtbl.create 32;
-    times = Hashtbl.create 32;
-    series = Hashtbl.create 32;
-  }
+let create () = { metrics = Metrics.create (); times = Hashtbl.create 32 }
 
-let cell table name =
-  match Hashtbl.find_opt table name with
+let registry t = t.metrics
+
+let incr t name = Metrics.incr t.metrics name
+let add t name n = Metrics.add t.metrics name n
+let counter t name = Metrics.counter t.metrics name
+
+let time_cell t name =
+  match Hashtbl.find_opt t.times name with
   | Some r -> r
   | None ->
     let r = ref 0 in
-    Hashtbl.replace table name r;
+    Hashtbl.replace t.times name r;
     r
 
-let incr t name = Stdlib.incr (cell t.counters name)
-let add t name n = cell t.counters name := !(cell t.counters name) + n
-let counter t name = match Hashtbl.find_opt t.counters name with Some r -> !r | None -> 0
+let add_time t name us =
+  let r = time_cell t name in
+  r := !r + us
 
-let add_time t name us = cell t.times name := !(cell t.times name) + us
 let time_us t name = match Hashtbl.find_opt t.times name with Some r -> !r | None -> 0
 let time_ms t name = float_of_int (time_us t name) /. 1000.0
 
-let series_cell t name =
-  match Hashtbl.find_opt t.series name with
-  | Some r -> r
-  | None ->
-    let r = ref [] in
-    Hashtbl.replace t.series name r;
-    r
+let sample t name v = Metrics.observe t.metrics name v
 
-let sample t name v =
-  let r = series_cell t name in
-  r := v :: !r
+let histogram t name = Metrics.histogram t.metrics name
 
-let samples t name =
-  match Hashtbl.find_opt t.series name with
-  | Some r -> List.rev !r
-  | None -> []
-
-let count t name = List.length (samples t name)
+let count t name =
+  match histogram t name with Some h -> Metrics.Histogram.count h | None -> 0
 
 let mean_us t name =
-  match samples t name with
-  | [] -> 0.0
-  | xs ->
-    let sum = List.fold_left ( + ) 0 xs in
-    float_of_int sum /. float_of_int (List.length xs)
+  match histogram t name with Some h -> Metrics.Histogram.mean h | None -> 0.0
 
 let mean_ms t name = mean_us t name /. 1000.0
 
-let max_us t name = List.fold_left max 0 (samples t name)
+let max_us t name =
+  match histogram t name with Some h -> Metrics.Histogram.max_value h | None -> 0
 
 let percentile_us t name p =
-  match samples t name with
-  | [] -> 0
-  | xs ->
-    let sorted = List.sort compare xs in
-    let arr = Array.of_list sorted in
-    let n = Array.length arr in
-    let idx = int_of_float (ceil (p /. 100.0 *. float_of_int n)) - 1 in
-    arr.(max 0 (min (n - 1) idx))
+  match histogram t name with Some h -> Metrics.Histogram.percentile h p | None -> 0
 
 let reset t =
-  Hashtbl.reset t.counters;
-  Hashtbl.reset t.times;
-  Hashtbl.reset t.series
+  Metrics.reset t.metrics;
+  Hashtbl.reset t.times
 
-let counter_names t =
-  Hashtbl.fold (fun name _ acc -> name :: acc) t.counters []
-  |> List.sort compare
+let counter_names t = Metrics.counter_names t.metrics
 
 let pp ppf t =
   let names = counter_names t in

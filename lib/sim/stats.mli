@@ -3,11 +3,17 @@
     A [Stats.t] is a bag of named integer counters (packet counts, retries)
     and named microsecond accumulators (time attributed to a protocol
     category, as in the paper's "Breakdown of Communications Overhead"
-    table), plus simple latency series with mean/percentile summaries. *)
+    table), plus latency series with mean/percentile summaries. Backed by
+    a {!Soda_obs.Metrics} registry; series are log-scale histograms, so
+    percentiles above 64 us carry ≤ ~3% relative bucketing error and
+    memory stays constant regardless of sample count. *)
 
 type t
 
 val create : unit -> t
+
+(** The backing metrics registry (counters and sample histograms). *)
+val registry : t -> Soda_obs.Metrics.t
 
 (** Counters. *)
 
@@ -24,11 +30,14 @@ val time_ms : t -> string -> float
 (** Latency samples (microseconds). *)
 
 val sample : t -> string -> int -> unit
-val samples : t -> string -> int list
+val histogram : t -> string -> Soda_obs.Metrics.histogram option
 val count : t -> string -> int
 val mean_us : t -> string -> float
 val mean_ms : t -> string -> float
 val max_us : t -> string -> int
+
+(** Nearest-rank percentile; [p] is clamped to [0, 100], [p <= 0] returns
+    the minimum sample, [p >= 100] the maximum, empty series 0. *)
 val percentile_us : t -> string -> float -> int
 
 (** [reset t] clears everything. *)

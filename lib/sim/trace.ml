@@ -1,21 +1,43 @@
+(* Compatibility shim over the structured recorder in [Soda_obs].
+
+   [Trace.t] *is* the network's event recorder: layers that still use the
+   free-form [record] API append [Note] events, while instrumented layers
+   emit typed events through the same handle. [entries] renders both back
+   into the old (time, actor, message) triples, so existing consumers
+   (timeline printing, substring assertions) keep working unchanged. *)
+
+module Recorder = Soda_obs.Recorder
+module Event = Soda_obs.Event
+
+type t = Recorder.t
+
 type entry = { time_us : int; actor : string; message : string }
 
-type t = { mutable enabled : bool; mutable entries : entry list }
+let create ?(enabled = false) () = Recorder.create ~tracing:enabled ()
 
-let create ?(enabled = false) () = { enabled; entries = [] }
-
-let set_enabled t flag = t.enabled <- flag
-let enabled t = t.enabled
+let set_enabled t flag = Recorder.set_tracing t flag
+let enabled t = Recorder.tracing t
+let recorder t = t
 
 let record t ~now ~actor fmt =
-  Format.kasprintf
-    (fun message ->
-      if t.enabled then t.entries <- { time_us = now; actor; message } :: t.entries)
-    fmt
+  if Recorder.tracing t then
+    Format.kasprintf
+      (fun message ->
+        Recorder.emit t ~time_us:now ~mid:(-1) ~actor (Event.Note message))
+      fmt
+  else
+    (* Consume the format arguments without building the string: a
+       disabled trace costs one branch and no allocation. *)
+    Format.ikfprintf (fun _ -> ()) Format.str_formatter fmt
 
-let entries t = List.rev t.entries
+let entries t =
+  List.map
+    (fun e ->
+      { time_us = e.Event.time_us; actor = e.Event.actor;
+        message = Event.message e.Event.kind })
+    (Recorder.events t)
 
-let clear t = t.entries <- []
+let clear t = Recorder.clear t
 
 let contains ~substring s =
   let n = String.length substring and m = String.length s in

@@ -1,11 +1,16 @@
-(** Timestamped event trace.
+(** Timestamped event trace (compatibility shim).
 
-    Used to reproduce the paper's "Typical Delta-t Situations" figure as an
-    annotated timeline, and for debugging protocol state machines. Each
-    entry is [(time_us, actor, message)]. Tracing is off by default and
-    costs one branch per call when disabled. *)
+    A [Trace.t] is an alias for {!Soda_obs.Recorder.t}: the structured
+    event sink shared by every layer of a simulated network. This module
+    keeps the historical free-form API — [record] appends a
+    {!Soda_obs.Event.Note}, [entries] renders all events (typed and
+    free-form) back into [(time_us, actor, message)] rows. New
+    instrumentation should emit typed events through {!recorder} instead.
 
-type t
+    Tracing is off by default; a disabled trace costs one branch per call
+    and performs no allocation or formatting. *)
+
+type t = Soda_obs.Recorder.t
 
 type entry = { time_us : int; actor : string; message : string }
 
@@ -14,13 +19,17 @@ val create : ?enabled:bool -> unit -> t
 val set_enabled : t -> bool -> unit
 val enabled : t -> bool
 
-(** [record t ~now ~actor fmt ...] appends an entry when enabled. *)
+(** The underlying structured recorder (identity). *)
+val recorder : t -> Soda_obs.Recorder.t
+
+(** [record t ~now ~actor fmt ...] appends a free-form entry when
+    enabled. *)
 val record : t -> now:int -> actor:string -> ('a, Format.formatter, unit, unit) format4 -> 'a
 
 val entries : t -> entry list
 val clear : t -> unit
 
-(** [find t ~substring] returns entries whose message contains
+(** [find t ~substring] returns entries whose rendered message contains
     [substring]. *)
 val find : t -> substring:string -> entry list
 

@@ -1,0 +1,43 @@
+(* Golden-trace generator: runs a fixed-seed pingpong scenario with tracing
+   on and prints the JSONL export on stdout. The dune rule diffs the output
+   against pingpong_trace.expected.jsonl, so any change to event emission,
+   protocol timing or the exporter shows up as a reviewable diff
+   (`dune promote` accepts it). *)
+
+module Network = Soda_core.Network
+module Sodal = Soda_runtime.Sodal
+module Pattern = Soda_base.Pattern
+module Trace = Soda_sim.Trace
+
+let () =
+  let patt = Pattern.well_known 0o321 in
+  let net = Network.create ~seed:2025 ~trace:true () in
+  let k0 = Network.add_node net ~mid:0 in
+  let k1 = Network.add_node net ~mid:1 in
+  ignore
+    (Sodal.attach k0
+       {
+         Sodal.default_spec with
+         init = (fun env ~parent:_ -> Sodal.advertise env patt);
+         on_request =
+           (fun env _ ->
+             ignore
+               (Sodal.accept_current_exchange env ~arg:0 ~into:(Bytes.create 4)
+                  ~data:(Bytes.of_string "pong")));
+       });
+  ignore
+    (Sodal.attach k1
+       {
+         Sodal.default_spec with
+         task =
+           (fun env ->
+             let sv = Sodal.server ~mid:0 ~pattern:patt in
+             for _ = 1 to 3 do
+               let into = Bytes.create 4 in
+               let c = Sodal.b_exchange env sv ~arg:0 (Bytes.of_string "ping") ~into in
+               if c.Sodal.status <> Sodal.Comp_ok then failwith "exchange failed"
+             done;
+             Sodal.serve env);
+       });
+  ignore (Network.run ~until:60_000_000 net);
+  print_string (Soda_obs.Export.jsonl (Soda_obs.Recorder.events (Network.recorder net)))

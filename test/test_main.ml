@@ -2,6 +2,7 @@ let () =
   Alcotest.run "soda"
     (List.concat
        [
+         Test_obs.suites;
          Test_sim.suites;
          Test_net.suites;
          Test_wire.suites;

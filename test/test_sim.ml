@@ -203,6 +203,40 @@ let test_stats_times_and_samples () =
   Stats.reset s;
   Alcotest.(check int) "reset clears" 0 (Stats.count s "lat")
 
+let test_stats_percentile_edges () =
+  let s = Stats.create () in
+  (* empty series *)
+  Alcotest.(check int) "empty p50" 0 (Stats.percentile_us s "none" 50.0);
+  Alcotest.(check int) "empty count" 0 (Stats.count s "none");
+  Alcotest.(check int) "empty max" 0 (Stats.max_us s "none");
+  (* single sample: every percentile is that sample *)
+  Stats.sample s "one" 37;
+  Alcotest.(check int) "single p0" 37 (Stats.percentile_us s "one" 0.0);
+  Alcotest.(check int) "single p50" 37 (Stats.percentile_us s "one" 50.0);
+  Alcotest.(check int) "single p100" 37 (Stats.percentile_us s "one" 100.0);
+  (* out-of-range and NaN percentiles clamp instead of raising *)
+  Stats.sample s "lat" 10;
+  Stats.sample s "lat" 20;
+  Stats.sample s "lat" 30;
+  Alcotest.(check int) "p<0 clamps to min" 10 (Stats.percentile_us s "lat" (-5.0));
+  Alcotest.(check int) "p>100 clamps to max" 30 (Stats.percentile_us s "lat" 200.0);
+  Alcotest.(check int) "NaN clamps to min" 10 (Stats.percentile_us s "lat" Float.nan);
+  (* negative samples clamp to zero rather than corrupting buckets *)
+  Stats.sample s "neg" (-50);
+  Alcotest.(check int) "negative sample clamps" 0 (Stats.max_us s "neg");
+  Alcotest.(check int) "negative sample counted" 1 (Stats.count s "neg")
+
+let test_stats_registry_backing () =
+  let s = Stats.create () in
+  Stats.incr s "pkt";
+  Stats.sample s "lat" 99;
+  let m = Stats.registry s in
+  Alcotest.(check int) "counter visible in registry" 1
+    (Soda_obs.Metrics.counter m "pkt");
+  match Stats.histogram s "lat" with
+  | Some h -> Alcotest.(check int) "histogram shared" 1 (Soda_obs.Metrics.Histogram.count h)
+  | None -> Alcotest.fail "expected histogram"
+
 (* ---- trace --------------------------------------------------------------------- *)
 
 let test_trace () =
@@ -216,6 +250,59 @@ let test_trace () =
   Alcotest.(check int) "disabled drops" 2 (List.length (Trace.entries tr));
   Trace.clear tr;
   Alcotest.(check int) "clear" 0 (List.length (Trace.entries tr))
+
+let test_trace_disabled_is_free () =
+  (* A disabled trace records nothing: format arguments are consumed
+     without rendering and the recorder stays empty. *)
+  let tr = Trace.create () in
+  Alcotest.(check bool) "disabled by default" false (Trace.enabled tr);
+  let side_effects = ref 0 in
+  let effectful () =
+    incr side_effects;
+    "text"
+  in
+  (* the format ARGUMENTS are still evaluated (OCaml is strict) but no
+     entry must be produced *)
+  Trace.record tr ~now:1 ~actor:"a" "value %s" (effectful ());
+  Alcotest.(check int) "no entries" 0 (List.length (Trace.entries tr));
+  Alcotest.(check int) "recorder empty" 0
+    (Soda_obs.Recorder.length (Trace.recorder tr));
+  Trace.set_enabled tr true;
+  Trace.record tr ~now:2 ~actor:"a" "kept %d" 5;
+  Alcotest.(check int) "re-enabled records" 1 (List.length (Trace.entries tr))
+
+let test_trace_typed_events_render () =
+  (* Typed events emitted through the recorder appear in the legacy
+     [entries] view with a human rendering. *)
+  let tr = Trace.create ~enabled:true () in
+  Soda_obs.Recorder.emit (Trace.recorder tr) ~time_us:4 ~mid:2 ~actor:"soda-2"
+    (Soda_obs.Event.Tx
+       { tid = 3; peer = 1; pkt = Soda_obs.Event.P_request; bytes = 24; seq = true;
+         retry = false });
+  match Trace.entries tr with
+  | [ e ] ->
+    Alcotest.(check int) "time" 4 e.Trace.time_us;
+    Alcotest.(check string) "actor" "soda-2" e.Trace.actor;
+    Alcotest.(check bool) "message mentions the packet kind" true
+      (List.length (Trace.find tr ~substring:"REQ") = 1)
+  | _ -> Alcotest.fail "expected one entry"
+
+let test_engine_counters () =
+  let e = Engine.create () in
+  let cancelled_id = Engine.schedule e ~delay:5 (fun () -> ()) in
+  ignore (Engine.schedule e ~delay:1 (fun () -> ()));
+  Engine.cancel e cancelled_id;
+  Engine.cancel e cancelled_id;  (* double-cancel is a no-op *)
+  ignore (Engine.run e);
+  let c = Engine.counters e in
+  Alcotest.(check int) "scheduled" 2 c.Engine.scheduled;
+  Alcotest.(check int) "fired" 1 c.Engine.fired;
+  Alcotest.(check int) "cancelled" 1 c.Engine.cancelled;
+  Alcotest.(check int) "pending" 0 c.Engine.pending;
+  let m = Soda_obs.Metrics.create () in
+  Engine.export_metrics e m ~prefix:"eng";
+  Alcotest.(check int) "gauge scheduled" 2 (Soda_obs.Metrics.gauge m "eng.scheduled");
+  Alcotest.(check int) "gauge clock" 1 (Soda_obs.Metrics.gauge m "eng.clock_us")
 
 let suites =
   [
@@ -244,11 +331,20 @@ let suites =
         Alcotest.test_case "run until" `Quick test_engine_until;
         Alcotest.test_case "stop" `Quick test_engine_stop;
         Alcotest.test_case "negative delay rejected" `Quick test_engine_negative_delay;
+        Alcotest.test_case "lifetime counters" `Quick test_engine_counters;
       ] );
     ( "sim.stats",
       [
         Alcotest.test_case "counters" `Quick test_stats_counters;
         Alcotest.test_case "times and samples" `Quick test_stats_times_and_samples;
+        Alcotest.test_case "percentile edge cases" `Quick test_stats_percentile_edges;
+        Alcotest.test_case "metrics registry backing" `Quick test_stats_registry_backing;
       ] );
-    ("sim.trace", [ Alcotest.test_case "record/find/clear" `Quick test_trace ]);
+    ( "sim.trace",
+      [
+        Alcotest.test_case "record/find/clear" `Quick test_trace;
+        Alcotest.test_case "disabled trace records nothing" `Quick
+          test_trace_disabled_is_free;
+        Alcotest.test_case "typed events render" `Quick test_trace_typed_events_render;
+      ] );
   ]

@@ -277,6 +277,24 @@ let a6 () =
       Printf.printf "    %-12d %10.1f %14.1f\n" chunk ms (20_480.0 /. 1024.0 /. (ms /. 1000.0)))
     [ 256; 512; 1024; 2048; 4096 ]
 
+(* ---- FAULT: a workload under a scripted fault plan ---------------------------------- *)
+
+(* Run the T1 PUT stream while a fault plan (--fault-plan FILE) executes
+   against the server node. Demonstrates the robustness scenarios outside
+   the test suite; the plan must let the workload finish (heal partitions,
+   reboot crashed nodes). *)
+let fault_section plan () =
+  hr "FAULT. PUT stream (100 words) under a scripted fault plan";
+  Printf.printf "%s"
+    (String.concat ""
+       (List.map
+          (fun step -> "    " ^ Soda_fault.Fault_plan.step_to_string step ^ "\n")
+          plan));
+  let r = W.stream ~op:W.Put ~words:100 ~fault_plan:plan () in
+  Printf.printf
+    "\n    %.2f ms/PUT, %.2f pkts/PUT, %d retransmissions, %d busy NACKs\n"
+    r.W.per_op_ms r.W.packets_per_op r.W.retransmissions r.W.busy_nacks
+
 (* ---- Bechamel wall-clock suite ----------------------------------------------------- *)
 
 let bechamel () =
@@ -327,10 +345,35 @@ let sections =
   ]
 
 let () =
-  let requested = List.tl (Array.to_list Sys.argv) in
+  let argv = List.tl (Array.to_list Sys.argv) in
+  (* "--fault-plan FILE" adds a FAULT section driven by the plan file; any
+     remaining arguments select sections by name as before. *)
+  let rec split_args requested plan = function
+    | "--fault-plan" :: file :: rest -> split_args requested (Some file) rest
+    | "--fault-plan" :: [] ->
+      prerr_endline "bench: --fault-plan needs a FILE argument";
+      exit 2
+    | arg :: rest -> split_args (arg :: requested) plan rest
+    | [] -> (List.rev requested, plan)
+  in
+  let requested, plan_file = split_args [] None argv in
+  let fault =
+    match plan_file with
+    | None -> None
+    | Some file ->
+      (match Soda_fault.Fault_plan.load file with
+       | Ok plan -> Some ("FAULT", fault_section plan)
+       | Error message ->
+         Printf.eprintf "bench: %s: %s\n" file message;
+         exit 2)
+  in
   let selected =
-    if requested = [] then sections
-    else List.filter (fun (name, _) -> List.mem name requested) sections
+    match fault, requested with
+    | Some section, [] -> [ section ]  (* just the fault run *)
+    | Some section, _ ->
+      List.filter (fun (name, _) -> List.mem name requested) sections @ [ section ]
+    | None, [] -> sections
+    | None, _ -> List.filter (fun (name, _) -> List.mem name requested) sections
   in
   Printf.printf "SODA reproduction benchmark harness (virtual-time measurements)\n";
   Printf.printf "paper: Kepecs & Solomon, SODA, 1984; see EXPERIMENTS.md\n";

@@ -72,12 +72,22 @@ let server_spec ~mode ~words =
 (* Run [n] transactions of [op] with [outstanding] requests in flight;
    measure the steady state between the [warmup]-th and last completion. *)
 let stream ?(cost = Cost.default) ?(loss = 0.0) ?(seed = 271) ~op ~words
-    ?(mode = In_handler) ?(n = 40) ?(warmup = 8) ?(outstanding = 3) ?(trace = false) () =
+    ?(mode = In_handler) ?(n = 40) ?(warmup = 8) ?(outstanding = 3) ?(trace = false)
+    ?fault_plan () =
   let net = Network.create ~seed ~cost ~trace () in
   if loss > 0.0 then Bus.set_loss_rate (Network.bus net) loss;
   let server_kernel = Network.add_node net ~mid:0 in
   let client_kernel = Network.add_node net ~mid:1 in
   ignore (Sodal.attach server_kernel (server_spec ~mode ~words));
+  (* Scripted faults run against the server node (mid 0); on reboot the
+     fresh incarnation gets the same server program re-attached. *)
+  (match fault_plan with
+   | None -> ()
+   | Some plan ->
+     let on_reboot ~mid kernel =
+       if mid = 0 then ignore (Sodal.attach kernel (server_spec ~mode ~words))
+     in
+     Soda_fault.Injector.install ~on_reboot net plan);
   let stats = Kernel.stats client_kernel in
   let server_stats = Kernel.stats server_kernel in
   let bus_stats = Bus.stats (Network.bus net) in

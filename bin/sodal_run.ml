@@ -50,11 +50,12 @@ let print_metrics net =
     (Network.nodes net);
   Format.printf "@."
 
-let run seed seconds trace metrics files =
+let run seed seconds trace metrics fault_plan files =
   if files = [] then `Error (true, "at least one SODAL source file is required")
   else begin
     let net = Network.create ~seed ~trace:(trace <> None) () in
     let ok = ref true in
+    let attachers = Hashtbl.create 8 in
     List.iteri
       (fun mid path ->
         let kernel = Network.add_node net ~mid in
@@ -66,7 +67,12 @@ let run seed seconds trace metrics files =
               (float_of_int (Network.now net) /. 1000.0)
               line
           in
-          ignore (Soda_runtime.Sodal.attach kernel (Interp.spec_of_program ~print program))
+          let attach kernel =
+            ignore
+              (Soda_runtime.Sodal.attach kernel (Interp.spec_of_program ~print program))
+          in
+          Hashtbl.replace attachers mid attach;
+          attach kernel
         | exception Parser.Parse_error (message, line) ->
           Printf.eprintf "%s:%d: parse error: %s\n" path line message;
           ok := false
@@ -74,8 +80,26 @@ let run seed seconds trace metrics files =
           Printf.eprintf "%s:%d: lexical error: %s\n" path line message;
           ok := false)
       files;
+    let plan_error = ref None in
+    (match fault_plan with
+     | None -> ()
+     | Some path ->
+       (match Soda_fault.Fault_plan.load path with
+        | Ok plan ->
+          (* A rebooted node gets its SODAL program re-attached: a fresh
+             interpreter on a fresh kernel incarnation. *)
+          let on_reboot ~mid kernel =
+            match Hashtbl.find_opt attachers mid with
+            | Some attach -> attach kernel
+            | None -> ()
+          in
+          Soda_fault.Injector.install ~on_reboot net plan
+        | Error message ->
+          plan_error := Some (Printf.sprintf "%s: %s" path message)));
     if not !ok then `Error (false, "aborted: source errors")
-    else begin
+    else match !plan_error with
+    | Some message -> `Error (false, message)
+    | None -> begin
       let final = Network.run ~until:(int_of_float (seconds *. 1e6)) net in
       Printf.printf "-- network quiescent/stopped at %.1f ms of virtual time\n"
         (float_of_int final /. 1000.0);
@@ -113,6 +137,16 @@ let metrics =
     & info [ "metrics" ]
         ~doc:"Print the engine, bus and per-node metrics registries at the end.")
 
+let fault_plan =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "fault-plan" ] ~docv:"FILE"
+        ~doc:
+          "Execute the fault plan in $(docv) during the run: scripted partitions, \
+           node crash/reboot, frame duplication, delivery jitter and loss bursts, \
+           all at fixed virtual times (see docs/TESTING.md for the format).")
+
 let files =
   Arg.(value & pos_all file [] & info [] ~docv:"FILE.sodal" ~doc:"SODAL source files.")
 
@@ -120,6 +154,6 @@ let cmd =
   let doc = "run SODAL programs on a simulated SODA network" in
   Cmd.v
     (Cmd.info "sodal_run" ~doc)
-    Term.(ret (const run $ seed $ seconds $ trace $ metrics $ files))
+    Term.(ret (const run $ seed $ seconds $ trace $ metrics $ fault_plan $ files))
 
 let () = exit (Cmd.eval cmd)

@@ -587,3 +587,26 @@ let crash t =
          t.crashed <- false;
          Nic.enable t.nic;
          trace t "quarantine over (2*MPL + delta-t); rejoining network"))
+
+(* Unlike [crash], [destroy] is permanent: the bus station is released so a
+   replacement incarnation (a fresh [create] under the same mid) can attach.
+   [Network.crash_node] / [reboot_node] drive this. *)
+let destroy t =
+  trace t "hardware crash: node torn down";
+  t.crashed <- true;
+  Nic.disable t.nic;
+  kill_client t ~readvertise_boot:true ~drain:false;
+  Transport.shutdown t.transport
+
+(* Post-reboot quarantine of §5.4: the fresh incarnation stays silent for
+   2*MPL + delta-t so every packet addressed to the previous incarnation
+   has either died of old age or been answered by the void. *)
+let quarantine t =
+  t.crashed <- true;
+  Nic.disable t.nic;
+  let quarantine_us = Cost.crash_quarantine_us t.cost in
+  ignore
+    (Engine.schedule t.engine ~delay:quarantine_us (fun () ->
+         t.crashed <- false;
+         Nic.enable t.nic;
+         trace t "reboot quarantine over (2*MPL + delta-t); rejoining network"))

@@ -109,5 +109,14 @@ val die : t -> unit
     (2 MPL + Delta-t) the node rejoins with boot patterns advertised. *)
 val crash : t -> unit
 
+(** [destroy t] — permanent teardown: like {!crash} but the node never
+    rejoins and its bus station is released, so [Network.reboot_node] can
+    attach a fresh incarnation under the same mid. *)
+val destroy : t -> unit
+
+(** [quarantine t] — hold a freshly created incarnation silent for the
+    §5.4 reboot quarantine (2 MPL + Delta-t), then rejoin. *)
+val quarantine : t -> unit
+
 (** Number of uncompleted requests issued by this client. *)
 val outstanding : t -> int

@@ -39,6 +39,24 @@ val add_node : ?boot_kinds:int list -> t -> mid:int -> Kernel.t
 val node : t -> mid:int -> Kernel.t
 val nodes : t -> (int * Kernel.t) list
 
+(** {2 Fault injection}
+
+    Whole-node crash/reboot, driven mid-workload by fault plans
+    ([Soda_fault]). [crash_node] permanently tears a node down — client
+    killed, kernel state lost, bus station released — and removes it from
+    {!nodes}. [reboot_node] then creates a *fresh* kernel incarnation under
+    the same mid with a fresh boot epoch, so §5.4 staleness classification
+    answers pre-crash TIDs with CRASHED. By default the new incarnation
+    observes the 2·MPL + Delta-t reboot quarantine before rejoining;
+    [~quarantine:false] skips it (useful in deterministic regressions).
+    Emits {!Soda_obs.Event.Fault_crash} / [Fault_reboot] when tracing. *)
+
+(** @raise Invalid_argument if [mid] does not exist. *)
+val crash_node : t -> mid:int -> unit
+
+(** @raise Invalid_argument if [mid] is still running. *)
+val reboot_node : ?quarantine:bool -> t -> mid:int -> Kernel.t
+
 (** [run t] processes events until quiescence (or [until], virtual us). *)
 val run : ?until:int -> t -> int
 

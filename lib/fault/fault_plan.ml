@@ -1,0 +1,121 @@
+type action =
+  | Partition of int list * int list
+  | Heal
+  | Crash of int
+  | Reboot of int
+  | Duplicate_next of int
+  | Delay_jitter of { min_us : int; max_us : int }
+  | Loss_burst of { rate : float; duration_us : int }
+
+type step = { at_us : int; action : action }
+type t = step list
+
+(* ---- rendering ------------------------------------------------------------ *)
+
+let mids_string = Soda_obs.Event.mids_string
+
+let action_to_string = function
+  | Partition (a, b) -> Printf.sprintf "partition %s | %s" (mids_string a) (mids_string b)
+  | Heal -> "heal"
+  | Crash mid -> Printf.sprintf "crash %d" mid
+  | Reboot mid -> Printf.sprintf "reboot %d" mid
+  | Duplicate_next n -> Printf.sprintf "duplicate %d" n
+  | Delay_jitter { min_us; max_us } -> Printf.sprintf "jitter %d %d" min_us max_us
+  | Loss_burst { rate; duration_us } ->
+    Printf.sprintf "loss-burst %g %d" rate duration_us
+
+let step_to_string { at_us; action } =
+  Printf.sprintf "at %d %s" at_us (action_to_string action)
+
+let to_string plan = String.concat "\n" (List.map step_to_string plan) ^ "\n"
+
+(* ---- parsing -------------------------------------------------------------- *)
+
+let parse_mids s =
+  String.split_on_char ',' s
+  |> List.filter (fun tok -> String.trim tok <> "")
+  |> List.map (fun tok ->
+         match int_of_string_opt (String.trim tok) with
+         | Some mid -> mid
+         | None -> failwith (Printf.sprintf "bad mid %S" tok))
+
+let parse_action tokens =
+  match tokens with
+  | "heal" :: [] -> Heal
+  | "crash" :: [ mid ] -> Crash (int_of_string mid)
+  | "reboot" :: [ mid ] -> Reboot (int_of_string mid)
+  | "duplicate" :: rest ->
+    (match rest with
+     | [] -> Duplicate_next 1
+     | [ n ] -> Duplicate_next (int_of_string n)
+     | _ -> failwith "duplicate takes at most one count")
+  | "jitter" :: [ min_us; max_us ] ->
+    Delay_jitter { min_us = int_of_string min_us; max_us = int_of_string max_us }
+  | "loss-burst" :: [ rate; duration ] ->
+    let rate = float_of_string rate in
+    if not (rate >= 0.0 && rate <= 1.0) then
+      failwith (Printf.sprintf "loss-burst rate %g outside [0, 1]" rate);
+    Loss_burst { rate; duration_us = int_of_string duration }
+  | "partition" :: rest ->
+    (* "partition 0,1 | 2,3" — group tokens may carry spaces around commas,
+       so rejoin and split on the bar. *)
+    let joined = String.concat " " rest in
+    (match String.index_opt joined '|' with
+     | None -> failwith "partition needs two groups separated by '|'"
+     | Some i ->
+       let a = parse_mids (String.sub joined 0 i) in
+       let b = parse_mids (String.sub joined (i + 1) (String.length joined - i - 1)) in
+       if a = [] || b = [] then failwith "partition groups must be non-empty";
+       List.iter
+         (fun m ->
+           if List.mem m b then failwith (Printf.sprintf "mid %d in both groups" m))
+         a;
+       Partition (a, b))
+  | verb :: _ -> failwith (Printf.sprintf "unknown action %S" verb)
+  | [] -> failwith "empty action"
+
+let parse_line line =
+  let line =
+    match String.index_opt line '#' with
+    | Some i -> String.sub line 0 i
+    | None -> line
+  in
+  let tokens =
+    String.split_on_char ' ' (String.trim line) |> List.filter (fun t -> t <> "")
+  in
+  match tokens with
+  | [] -> None
+  | "at" :: at :: rest ->
+    let at_us =
+      match int_of_string_opt at with
+      | Some v when v >= 0 -> v
+      | _ -> failwith (Printf.sprintf "bad virtual time %S" at)
+    in
+    Some { at_us; action = parse_action rest }
+  | _ -> failwith "line must start with 'at <virtual-us>'"
+
+let of_string text =
+  let lines = String.split_on_char '\n' text in
+  let steps = ref [] in
+  let error = ref None in
+  List.iteri
+    (fun i line ->
+      if !error = None then
+        match parse_line line with
+        | Some step -> steps := step :: !steps
+        | None -> ()
+        | exception Failure message ->
+          error := Some (Printf.sprintf "line %d: %s" (i + 1) message))
+    lines;
+  match !error with
+  | Some message -> Error message
+  | None ->
+    (* Stable sort preserves file order of same-time steps. *)
+    Ok (List.stable_sort (fun a b -> compare a.at_us b.at_us) (List.rev !steps))
+
+let load path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let text = really_input_string ic n in
+  close_in ic;
+  of_string text

@@ -1,0 +1,28 @@
+(** Executes a {!Fault_plan.t} against a running {!Soda_core.Network.t}.
+
+    Every action is scheduled on the sim engine at its virtual time, so a
+    run with a given (seed, plan) pair is fully deterministic. Actions are
+    forgiving of racy randomized plans: crashing an already-dead node or
+    rebooting a live one is a no-op. *)
+
+(** [install ?quarantine ?on_reboot net plan] schedules every step of
+    [plan]. Steps whose time is already past fire immediately.
+
+    [quarantine] (default [true]) is passed to
+    {!Soda_core.Network.reboot_node}. [on_reboot] is invoked after each
+    successful reboot with the fresh kernel — the hook test harnesses use
+    to re-attach a server client to the new incarnation. *)
+val install :
+  ?quarantine:bool ->
+  ?on_reboot:(mid:int -> Soda_core.Kernel.t -> unit) ->
+  Soda_core.Network.t ->
+  Fault_plan.t ->
+  unit
+
+(** [apply ?quarantine ?on_reboot net action] runs one action now. *)
+val apply :
+  ?quarantine:bool ->
+  ?on_reboot:(mid:int -> Soda_core.Kernel.t -> unit) ->
+  Soda_core.Network.t ->
+  Fault_plan.action ->
+  unit

@@ -29,6 +29,10 @@ type t = {
   fault_rng : Rng.t;
   stats : Stats.t;
   mutable obs : Recorder.t option;
+  (* fault-plan state *)
+  mutable partition : (int list * int list) option;
+  mutable duplicate_pending : int;
+  mutable jitter : (int * int) option;  (* (min_us, max_us) extra delivery delay *)
 }
 
 let create ?(config = default_config) ?obs engine =
@@ -40,10 +44,14 @@ let create ?(config = default_config) ?obs engine =
     fault_rng = Rng.split (Engine.rng engine);
     stats = Stats.create ();
     obs;
+    partition = None;
+    duplicate_pending = 0;
+    jitter = None;
   }
 
 let engine t = t.engine
 let stats t = t.stats
+let config t = t.config
 
 let set_obs t obs = t.obs <- Some obs
 
@@ -53,8 +61,59 @@ let emit_event t kind =
     Recorder.emit r ~time_us:(Engine.now t.engine) ~mid:(-1) ~actor:"bus" kind
   | Some _ | None -> ()
 
-let set_loss_rate t rate = t.config <- { t.config with loss_rate = rate }
-let set_corruption_rate t rate = t.config <- { t.config with corruption_rate = rate }
+let check_rate name rate =
+  (* Written so that NaN also fails the test. *)
+  if not (rate >= 0.0 && rate <= 1.0) then
+    invalid_arg (Printf.sprintf "Bus.%s: rate %g outside [0, 1]" name rate)
+
+let set_loss_rate t rate =
+  check_rate "set_loss_rate" rate;
+  t.config <- { t.config with loss_rate = rate }
+
+let set_corruption_rate t rate =
+  check_rate "set_corruption_rate" rate;
+  t.config <- { t.config with corruption_rate = rate }
+
+(* ---- fault-plan hooks --------------------------------------------------- *)
+
+let set_partition t (group_a, group_b) =
+  List.iter
+    (fun m ->
+      if List.mem m group_b then
+        invalid_arg (Printf.sprintf "Bus.set_partition: mid %d in both groups" m))
+    group_a;
+  t.partition <- Some (group_a, group_b);
+  emit_event t (Event.Fault_partition { group_a; group_b })
+
+let heal t =
+  if t.partition <> None then begin
+    t.partition <- None;
+    emit_event t Event.Fault_heal
+  end
+
+let partitioned t = t.partition <> None
+
+(* A frame crosses the cut iff its endpoints sit in opposite groups; mids
+   in neither group see no filtering (they talk to everyone). *)
+let separated t a b =
+  match t.partition with
+  | None -> false
+  | Some (ga, gb) ->
+    (List.mem a ga && List.mem b gb) || (List.mem a gb && List.mem b ga)
+
+let duplicate_next ?(count = 1) t =
+  if count < 0 then invalid_arg "Bus.duplicate_next: negative count";
+  t.duplicate_pending <- t.duplicate_pending + count;
+  emit_event t (Event.Fault_duplicate { count })
+
+let set_delay_jitter t ~min_us ~max_us =
+  if min_us < 0 || max_us < min_us then
+    invalid_arg
+      (Printf.sprintf "Bus.set_delay_jitter: invalid range %d..%d" min_us max_us);
+  t.jitter <- (if max_us = 0 then None else Some (min_us, max_us));
+  emit_event t (Event.Fault_jitter { min_us; max_us })
+
+let clear_delay_jitter t = t.jitter <- None
 
 let transmission_time_us t ~payload_bytes =
   let bytes = payload_bytes + t.config.frame_overhead_bytes + 2 (* CRC trailer *) in
@@ -79,7 +138,15 @@ let corrupt t wire =
 let deliver t frame =
   let deliver_to mid rx =
     if mid <> frame.Frame.src && Frame.dst_matches frame.Frame.dst ~mid then begin
-      if Rng.chance t.fault_rng t.config.loss_rate then begin
+      (* Partition mask is evaluated at delivery time, so a frame already on
+         the wire when the cut appears is eaten too — that is exactly the
+         "ack eaten by a partition" adversary the chaos suite scripts. *)
+      if separated t frame.Frame.src mid then begin
+        Stats.incr t.stats "bus.frames_partitioned";
+        emit_event t
+          (Event.Bus_drop { src = frame.Frame.src; dst = mid; reason = "partitioned" })
+      end
+      else if Rng.chance t.fault_rng t.config.loss_rate then begin
         Stats.incr t.stats "bus.frames_lost";
         emit_event t (Event.Bus_drop { src = frame.Frame.src; dst = mid; reason = "lost" })
       end
@@ -124,5 +191,22 @@ let send t ~src ~dst payload =
          start_us = start;
          end_us = start + tx;
        });
-  let arrival = start + tx + t.config.propagation_us - now in
-  ignore (Engine.schedule t.engine ~delay:arrival (fun () -> deliver t frame))
+  (* Per-frame jitter is drawn at send time from the fault RNG, so runs stay
+     a pure function of the seed. Jittered frames may arrive out of order,
+     which is what exercises the alternating-bit sequence logic. *)
+  let jitter_us =
+    match t.jitter with
+    | None -> 0
+    | Some (min_us, max_us) -> min_us + Rng.int t.fault_rng (max_us - min_us + 1)
+  in
+  let arrival = start + tx + t.config.propagation_us + jitter_us - now in
+  ignore (Engine.schedule t.engine ~delay:arrival (fun () -> deliver t frame));
+  if t.duplicate_pending > 0 then begin
+    t.duplicate_pending <- t.duplicate_pending - 1;
+    Stats.incr t.stats "bus.frames_duplicated";
+    (* The copy trails the original by one transmission time plus a small
+       random slack: late enough to look like a stale retransmission. *)
+    let slack = 1 + Rng.int t.fault_rng (max 1 t.config.propagation_us * 4) in
+    ignore
+      (Engine.schedule t.engine ~delay:(arrival + tx + slack) (fun () -> deliver t frame))
+  end

@@ -28,13 +28,53 @@ val create : ?config:config -> ?obs:Soda_obs.Recorder.t -> Soda_sim.Engine.t -> 
 val engine : t -> Soda_sim.Engine.t
 val stats : t -> Soda_sim.Stats.t
 
+(** Current configuration (fault-rate setters mutate it in place). *)
+val config : t -> config
+
 (** Attach a structured-event recorder; when its tracing is enabled the
     bus emits {!Soda_obs.Event.Bus_frame} (medium occupancy) and
     {!Soda_obs.Event.Bus_drop} events. *)
 val set_obs : t -> Soda_obs.Recorder.t -> unit
 
+(** Set the per-delivery frame-loss probability.
+    @raise Invalid_argument unless the rate is within [0, 1]. *)
 val set_loss_rate : t -> float -> unit
+
+(** Set the per-delivery corruption probability.
+    @raise Invalid_argument unless the rate is within [0, 1]. *)
 val set_corruption_rate : t -> float -> unit
+
+(** {2 Fault-plan hooks}
+
+    Scripted faults used by {!Soda_fault.Injector}. All of them are
+    deterministic: random draws come from the bus's split fault RNG, so a
+    run remains a pure function of the engine seed. *)
+
+(** [set_partition t (group_a, group_b)] installs a network cut: frames
+    whose source and destination sit in opposite groups are dropped at
+    delivery time (so frames already in flight are eaten too). Mids in
+    neither group are unaffected. Replaces any previous cut.
+    @raise Invalid_argument if a mid appears in both groups. *)
+val set_partition : t -> int list * int list -> unit
+
+(** Remove the current partition, if any. *)
+val heal : t -> unit
+
+val partitioned : t -> bool
+
+(** [duplicate_next ?count t] arranges for the next [count] (default 1)
+    frames entering the medium to be delivered twice; the copy trails the
+    original like a stale retransmission.
+    @raise Invalid_argument on negative [count]. *)
+val duplicate_next : ?count:int -> t -> unit
+
+(** [set_delay_jitter t ~min_us ~max_us] adds a per-frame random delivery
+    delay drawn from [min_us..max_us]; frames may reorder. [(0, 0)]
+    disables jitter.
+    @raise Invalid_argument unless [0 <= min_us <= max_us]. *)
+val set_delay_jitter : t -> min_us:int -> max_us:int -> unit
+
+val clear_delay_jitter : t -> unit
 
 (** [transmission_time_us t ~payload_bytes] is the time the medium is held
     for a frame of that size (including overhead and CRC trailer). *)

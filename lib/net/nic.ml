@@ -1,16 +1,23 @@
+module Stats = Soda_sim.Stats
+
 type t = {
   bus : Bus.t;
   mid : int;
+  stats : Stats.t option;
   mutable crc_drops : int;
   mutable enabled : bool;
 }
 
-let attach bus ~mid ~rx =
-  let t = { bus; mid; crc_drops = 0; enabled = true } in
+let attach ?stats bus ~mid ~rx =
+  let t = { bus; mid; stats; crc_drops = 0; enabled = true } in
   Bus.attach bus ~mid ~rx:(fun frame ->
       if t.enabled then begin
         match Crc16.check frame.Frame.wire with
-        | None -> t.crc_drops <- t.crc_drops + 1
+        | None ->
+          t.crc_drops <- t.crc_drops + 1;
+          (match t.stats with
+           | Some s -> Stats.incr s "nic.crc_drops"
+           | None -> ())
         | Some payload ->
           let broadcast = match frame.Frame.dst with Frame.Broadcast -> true | Frame.To _ -> false in
           rx ~src:frame.Frame.src ~broadcast payload

@@ -8,10 +8,17 @@
 
 type t
 
-(** [attach bus ~mid ~rx] creates the station; [rx] receives verified
-    payload bytes together with the sender's mid and whether the frame was
-    broadcast. *)
-val attach : Bus.t -> mid:int -> rx:(src:int -> broadcast:bool -> bytes -> unit) -> t
+(** [attach ?stats bus ~mid ~rx] creates the station; [rx] receives
+    verified payload bytes together with the sender's mid and whether the
+    frame was broadcast. When [stats] is given, CRC-failed frames also
+    increment its ["nic.crc_drops"] counter, so the drop count surfaces in
+    the node's metrics registry. *)
+val attach :
+  ?stats:Soda_sim.Stats.t ->
+  Bus.t ->
+  mid:int ->
+  rx:(src:int -> broadcast:bool -> bytes -> unit) ->
+  t
 
 val mid : t -> int
 

@@ -54,6 +54,17 @@ type kind =
   | Bus_frame of { src : int; dst : int; bytes : int; start_us : int; end_us : int }
       (** Medium occupancy of one frame ([dst = broadcast_peer] for broadcast). *)
   | Bus_drop of { src : int; dst : int; reason : string }
+  | Fault_partition of { group_a : int list; group_b : int list }
+      (** Injected network split: frames crossing the cut are dropped. *)
+  | Fault_heal
+  | Fault_crash of { mid : int }  (** Injected hardware crash of one node. *)
+  | Fault_reboot of { mid : int }
+      (** Node re-created with a fresh boot epoch (then quarantined, §5.4). *)
+  | Fault_duplicate of { count : int }  (** Next [count] frames delivered twice. *)
+  | Fault_jitter of { min_us : int; max_us : int }
+      (** Per-frame delivery jitter enabled (frames may reorder). *)
+  | Fault_loss_burst of { rate_pct : int; duration_us : int }
+      (** Temporary elevated loss rate. *)
   | Note of string  (** Free-form text from the legacy [Trace.record] shim. *)
 
 type t = { time_us : int; mid : int; actor : string; kind : kind }
@@ -73,9 +84,18 @@ let kind_label = function
   | Complete _ -> "complete"
   | Bus_frame _ -> "bus-frame"
   | Bus_drop _ -> "bus-drop"
+  | Fault_partition _ -> "fault-partition"
+  | Fault_heal -> "fault-heal"
+  | Fault_crash _ -> "fault-crash"
+  | Fault_reboot _ -> "fault-reboot"
+  | Fault_duplicate _ -> "fault-duplicate"
+  | Fault_jitter _ -> "fault-jitter"
+  | Fault_loss_burst _ -> "fault-loss-burst"
   | Note _ -> "note"
 
 let peer_name p = if p = broadcast_peer then "*" else string_of_int p
+
+let mids_string mids = String.concat "," (List.map string_of_int mids)
 
 (* Human rendering, used by the timeline exporter and the [Trace.entries]
    compatibility view. *)
@@ -111,6 +131,16 @@ let message = function
     Printf.sprintf "frame %d->%s %dB on wire %d..%d us" src (peer_name dst) bytes start_us
       end_us
   | Bus_drop { src; dst; reason } -> Printf.sprintf "frame %d->%d %s" src dst reason
+  | Fault_partition { group_a; group_b } ->
+    Printf.sprintf "fault: partition {%s} | {%s}" (mids_string group_a) (mids_string group_b)
+  | Fault_heal -> "fault: partition healed"
+  | Fault_crash { mid } -> Printf.sprintf "fault: crash node %d" mid
+  | Fault_reboot { mid } -> Printf.sprintf "fault: reboot node %d" mid
+  | Fault_duplicate { count } -> Printf.sprintf "fault: duplicate next %d frame(s)" count
+  | Fault_jitter { min_us; max_us } ->
+    Printf.sprintf "fault: delivery jitter %d..%d us" min_us max_us
+  | Fault_loss_burst { rate_pct; duration_us } ->
+    Printf.sprintf "fault: loss burst %d%% for %d us" rate_pct duration_us
   | Note text -> text
 
 (* tid carried by an event, if any (for span grouping). *)
@@ -119,4 +149,7 @@ let tid = function
   | Acked { tid; _ } | Busy_nack { tid; _ } | Retransmit { tid; _ } | Probe { tid; _ }
   | Deliver { tid; _ } | Complete { tid; _ } ->
     if tid = no_tid then None else Some tid
-  | Handler_invoke | Endhandler | Bus_frame _ | Bus_drop _ | Note _ -> None
+  | Handler_invoke | Endhandler | Bus_frame _ | Bus_drop _ | Note _ | Fault_partition _
+  | Fault_heal | Fault_crash _ | Fault_reboot _ | Fault_duplicate _ | Fault_jitter _
+  | Fault_loss_burst _ ->
+    None

@@ -46,6 +46,17 @@ type kind =
   | Complete of { tid : int; status : string }
   | Bus_frame of { src : int; dst : int; bytes : int; start_us : int; end_us : int }
   | Bus_drop of { src : int; dst : int; reason : string }
+  | Fault_partition of { group_a : int list; group_b : int list }
+      (** Injected network split: frames crossing the cut are dropped. *)
+  | Fault_heal
+  | Fault_crash of { mid : int }  (** Injected hardware crash of one node. *)
+  | Fault_reboot of { mid : int }
+      (** Node re-created with a fresh boot epoch (then quarantined, §5.4). *)
+  | Fault_duplicate of { count : int }  (** Next [count] frames delivered twice. *)
+  | Fault_jitter of { min_us : int; max_us : int }
+      (** Per-frame delivery jitter enabled (frames may reorder). *)
+  | Fault_loss_burst of { rate_pct : int; duration_us : int }
+      (** Temporary elevated loss rate. *)
   | Note of string
 
 type t = { time_us : int; mid : int; actor : string; kind : kind }
@@ -54,6 +65,9 @@ type t = { time_us : int; mid : int; actor : string; kind : kind }
 val kind_label : kind -> string
 
 val peer_name : int -> string
+
+(** Comma-joined mid list ("0,1,2"), used when rendering partition groups. *)
+val mids_string : int list -> string
 
 (** Human one-line rendering, used by the timeline exporter and the legacy
     [Trace.entries] view. *)

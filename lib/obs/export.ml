@@ -88,6 +88,15 @@ let event_fields (e : Event.t) : json_field list =
         ("start", `Int start_us); ("end", `Int end_us) ]
     | Bus_drop { src; dst; reason } ->
       [ ("src", `Int src); ("dst", `Int dst); ("reason", `Str reason) ]
+    | Fault_partition { group_a; group_b } ->
+      [ ("a", `Str (mids_string group_a)); ("b", `Str (mids_string group_b)) ]
+    | Fault_heal -> []
+    | Fault_crash { mid } -> [ ("node", `Int mid) ]
+    | Fault_reboot { mid } -> [ ("node", `Int mid) ]
+    | Fault_duplicate { count } -> [ ("count", `Int count) ]
+    | Fault_jitter { min_us; max_us } -> [ ("min", `Int min_us); ("max", `Int max_us) ]
+    | Fault_loss_burst { rate_pct; duration_us } ->
+      [ ("rate_pct", `Int rate_pct); ("duration", `Int duration_us) ]
     | Note text -> [ ("actor", `Str e.actor); ("text", `Str text) ]
   in
   base @ extra
@@ -195,6 +204,14 @@ let chrome_to_buffer b events =
           [ ("name", `Str (message e.kind)); ("cat", `Str (kind_label e.kind));
             ("ph", `Str "i"); ("pid", `Int e.mid); ("tid", `Int track_packets);
             ("ts", `Int e.time_us); ("s", `Str "t") ]
+      | Fault_partition _ | Fault_heal | Fault_crash _ | Fault_reboot _
+      | Fault_duplicate _ | Fault_jitter _ | Fault_loss_burst _ ->
+        (* Injected faults render on the bus lane: they shape what every
+           node experiences, so they belong next to the medium timeline. *)
+        emit
+          [ ("name", `Str (message e.kind)); ("cat", `Str "fault"); ("ph", `Str "i");
+            ("pid", `Int bus_pid); ("tid", `Int 0); ("ts", `Int e.time_us);
+            ("s", `Str "g") ]
       | Note _ ->
         emit
           [ ("name", `Str (message e.kind)); ("cat", `Str "note"); ("ph", `Str "i");

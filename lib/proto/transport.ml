@@ -1297,7 +1297,7 @@ let process_packet t ~bytes pkt =
 
 let attach_nic t =
   let nic =
-    Nic.attach t.bus ~mid:t.mid ~rx:(fun ~src:_ ~broadcast:_ payload ->
+    Nic.attach ~stats:t.stats t.bus ~mid:t.mid ~rx:(fun ~src:_ ~broadcast:_ payload ->
         match Wire.decode payload with
         | Error _ -> Stats.incr t.stats "pkt.decode_errors"
         | Ok pkt ->
@@ -1337,5 +1337,10 @@ let reset t =
   Hashtbl.reset t.srv_txns;
   t.buffered <- None;
   Trace.record t.trace ~now:(Engine.now t.engine) ~actor:(actor t) "kernel state reset"
+
+let shutdown t =
+  reset t;
+  Bus.detach t.bus ~mid:t.mid;
+  t.nic <- None
 
 let outstanding_requests t = Hashtbl.length t.out_reqs + Hashtbl.length t.discovers

@@ -119,5 +119,10 @@ val flush_buffered : t -> unit
     The caller is responsible for the reboot quarantine. *)
 val reset : t -> unit
 
+(** Hardware teardown: {!reset}, then detach the NIC's station from the
+    bus so a replacement node can re-attach under the same mid. Used by
+    [Network.crash_node]. *)
+val shutdown : t -> unit
+
 (** Number of uncompleted outbound requests (for MAXREQUESTS). *)
 val outstanding_requests : t -> int

@@ -316,6 +316,110 @@ let test_system_pattern_privilege () =
   Alcotest.(check bool) "non-privileged SYSTEM rejected" true
     (!from_nonzero = Sodal.Comp_rejected)
 
+(* ---- reboot quarantine (§5.4) ------------------------------------------------ *)
+
+module Fault_plan = Soda_fault.Fault_plan
+module Injector = Soda_fault.Injector
+
+(* The server node is torn down mid-transaction and rebooted with a fresh
+   boot epoch. The requester's probe machinery must classify the request
+   CRASHED (§3.6.2); the rebooted incarnation must then serve normally. *)
+let test_server_reboot_client_sees_crashed () =
+  let net, kernels = make_net 2 in
+  let server_spec =
+    {
+      Sodal.default_spec with
+      Sodal.init = (fun env ~parent:_ -> Sodal.advertise env patt);
+      on_request =
+        (fun env _info ->
+          (* a long handler turnaround: the crash lands mid-transaction *)
+          Sodal.compute env 800_000;
+          ignore (Sodal.accept_current_signal env ~arg:0));
+    }
+  in
+  ignore (Sodal.attach (List.nth kernels 0) server_spec);
+  let first = ref None and second = ref None in
+  ignore
+    (Sodal.attach (List.nth kernels 1)
+       {
+         Sodal.default_spec with
+         task =
+           (fun env ->
+             let sv = Sodal.server ~mid:0 ~pattern:patt in
+             let c1 = Sodal.b_signal env sv ~arg:0 in
+             first := Some c1.Sodal.status;
+             (* wait out the reboot (1 s) plus its ~256 ms quarantine so
+                the fresh incarnation is reachable before retrying *)
+             Sodal.compute env 2_000_000;
+             let c2 = Sodal.b_signal env sv ~arg:0 in
+             second := Some c2.Sodal.status);
+       });
+  let plan =
+    [
+      { Fault_plan.at_us = 100_000; action = Fault_plan.Crash 0 };
+      { Fault_plan.at_us = 1_000_000; action = Fault_plan.Reboot 0 };
+    ]
+  in
+  Injector.install net plan
+    ~on_reboot:(fun ~mid:_ kernel -> ignore (Sodal.attach kernel server_spec));
+  run ~horizon:600.0 net;
+  Alcotest.(check bool) "request crossing the crash completes CRASHED" true
+    (!first = Some Sodal.Comp_crashed);
+  Alcotest.(check bool) "rebooted incarnation serves OK" true
+    (!second = Some Sodal.Comp_ok)
+
+(* A TID minted before the *requester's* reboot: when the server finally
+   ACCEPTs it, the rebooted requester's mint classifies it stale and
+   answers Err_crashed, which the server observes as ACCEPT status
+   CRASHED (§5.4 / §3.6.1). The ACCEPT must carry get data: a dataless
+   (signal) ACCEPT completes without awaiting the requester's answer, so
+   only a data-bearing one can observe the Err_crashed. *)
+let test_stale_tid_answered_err_crashed () =
+  let net, kernels = make_net 2 in
+  let acc_status = ref None in
+  ignore
+    (Sodal.attach (List.nth kernels 0)
+       {
+         Sodal.default_spec with
+         Sodal.init = (fun env ~parent:_ -> Sodal.advertise env patt);
+         on_request =
+           (fun env info ->
+             (* hold the ACCEPT until well after the requester rebooted *)
+             Sodal.compute env 500_000;
+             let st, _ =
+               Sodal.accept_current_exchange env ~arg:0
+                 ~into:(Bytes.create info.Sodal.put_size)
+                 ~data:(Bytes.of_string "reply")
+             in
+             acc_status := Some st);
+       });
+  ignore
+    (Sodal.attach (List.nth kernels 1)
+       {
+         Sodal.default_spec with
+         task =
+           (fun env ->
+             (* minted pre-reboot; the node dies while it is outstanding *)
+             ignore
+               (Sodal.b_exchange env
+                  (Sodal.server ~mid:0 ~pattern:patt)
+                  ~arg:0 Bytes.empty ~into:(Bytes.create 16)));
+       });
+  let plan =
+    [
+      { Fault_plan.at_us = 100_000; action = Fault_plan.Crash 1 };
+      { Fault_plan.at_us = 200_000; action = Fault_plan.Reboot 1 };
+    ]
+  in
+  (* no quarantine: the fresh incarnation must be reachable when the
+     server's held-back ACCEPT finally goes out at ~500 ms *)
+  Injector.install net plan ~quarantine:false
+    ~on_reboot:(fun ~mid:_ kernel ->
+      ignore (Sodal.attach kernel Sodal.default_spec));
+  run ~horizon:600.0 net;
+  Alcotest.(check bool) "server sees ACCEPT status CRASHED" true
+    (!acc_status = Some Types.Accept_crashed)
+
 let suites =
   [
     ( "kernel.patterns",
@@ -345,5 +449,12 @@ let suites =
         Alcotest.test_case "boot patterns readvertised" `Quick
           test_boot_patterns_readvertised_after_kill;
         Alcotest.test_case "system pattern privilege" `Quick test_system_pattern_privilege;
+      ] );
+    ( "kernel.reboot",
+      [
+        Alcotest.test_case "server reboot -> Comp_crashed, then serves" `Quick
+          test_server_reboot_client_sees_crashed;
+        Alcotest.test_case "stale TID answered Err_crashed (§5.4)" `Quick
+          test_stale_tid_answered_err_crashed;
       ] );
   ]

@@ -17,4 +17,5 @@ let () =
          Test_semantics.suites;
          Test_stream.suites;
          Test_sodal_lang.suites;
+         Test_chaos.suites;
        ])

@@ -137,6 +137,109 @@ let test_nic_disable () =
   ignore (Engine.run e);
   Alcotest.(check bool) "re-enabled nic receives" true !got
 
+let test_rate_setter_validation () =
+  let _, bus = setup () in
+  Bus.set_loss_rate bus 0.0;
+  Bus.set_loss_rate bus 1.0;
+  Bus.set_corruption_rate bus 0.5;
+  Alcotest.(check bool)
+    "valid rates accepted" true ((Bus.config bus).Bus.corruption_rate = 0.5);
+  let rejects f = try f (); false with Invalid_argument _ -> true in
+  Alcotest.(check bool) "loss > 1 rejected" true
+    (rejects (fun () -> Bus.set_loss_rate bus 1.5));
+  Alcotest.(check bool) "negative loss rejected" true
+    (rejects (fun () -> Bus.set_loss_rate bus (-0.1)));
+  Alcotest.(check bool) "NaN loss rejected" true
+    (rejects (fun () -> Bus.set_loss_rate bus Float.nan));
+  Alcotest.(check bool) "corruption > 1 rejected" true
+    (rejects (fun () -> Bus.set_corruption_rate bus 2.0));
+  (* a rejected rate leaves the config untouched *)
+  Alcotest.(check bool)
+    "config unchanged after rejection" true
+    ((Bus.config bus).Bus.corruption_rate = 0.5)
+
+let test_crc_drops_in_metrics () =
+  let config = { Bus.default_config with corruption_rate = 1.0 } in
+  let e, bus = setup ~config () in
+  let stats = Soda_sim.Stats.create () in
+  let n1 = Nic.attach ~stats bus ~mid:1 ~rx:(fun ~src:_ ~broadcast:_ _ -> ()) in
+  let n0 = Nic.attach bus ~mid:0 ~rx:(fun ~src:_ ~broadcast:_ _ -> ()) in
+  Nic.send n0 ~dst:1 (b "garbled");
+  ignore (Engine.run e);
+  Alcotest.(check int) "private counter" 1 (Nic.crc_drops n1);
+  Alcotest.(check int) "surfaced in the metrics registry" 1
+    (Soda_sim.Stats.counter stats "nic.crc_drops")
+
+let test_partition_and_heal () =
+  let e, bus = setup () in
+  let got = ref 0 in
+  ignore (Nic.attach bus ~mid:1 ~rx:(fun ~src:_ ~broadcast:_ _ -> incr got));
+  let n0 = Nic.attach bus ~mid:0 ~rx:(fun ~src:_ ~broadcast:_ _ -> ()) in
+  Bus.set_partition bus ([ 0 ], [ 1 ]);
+  Nic.send n0 ~dst:1 (b "eaten");
+  ignore (Engine.run e);
+  Alcotest.(check int) "frame crossing the cut dropped" 0 !got;
+  Alcotest.(check int) "partition drop counted" 1
+    (Soda_sim.Stats.counter (Bus.stats bus) "bus.frames_partitioned");
+  Bus.heal bus;
+  Nic.send n0 ~dst:1 (b "through");
+  ignore (Engine.run e);
+  Alcotest.(check int) "after heal frames flow" 1 !got;
+  Alcotest.check_raises "mid in both groups rejected"
+    (Invalid_argument "Bus.set_partition: mid 1 in both groups") (fun () ->
+      Bus.set_partition bus ([ 1 ], [ 1; 2 ]))
+
+let test_partition_eats_inflight_frame () =
+  let e, bus = setup () in
+  let got = ref 0 in
+  ignore (Nic.attach bus ~mid:1 ~rx:(fun ~src:_ ~broadcast:_ _ -> incr got));
+  let n0 = Nic.attach bus ~mid:0 ~rx:(fun ~src:_ ~broadcast:_ _ -> ()) in
+  (* The frame enters the medium first; the cut appears while it is in
+     flight (delivery happens at ~117 us for a 6-byte payload). *)
+  Nic.send n0 ~dst:1 (b "launch");
+  ignore (Engine.schedule e ~delay:1 (fun () -> Bus.set_partition bus ([ 0 ], [ 1 ])));
+  ignore (Engine.run e);
+  Alcotest.(check int) "in-flight frame eaten by the cut" 0 !got
+
+let test_third_party_unaffected_by_partition () =
+  let e, bus = setup () in
+  let got = ref 0 in
+  ignore (Nic.attach bus ~mid:2 ~rx:(fun ~src:_ ~broadcast:_ _ -> incr got));
+  let n0 = Nic.attach bus ~mid:0 ~rx:(fun ~src:_ ~broadcast:_ _ -> ()) in
+  Bus.set_partition bus ([ 0 ], [ 1 ]);
+  Nic.send n0 ~dst:2 (b "bystander");
+  ignore (Engine.run e);
+  Alcotest.(check int) "mid outside both groups still reachable" 1 !got
+
+let test_duplicate_next () =
+  let e, bus = setup () in
+  let got = ref 0 in
+  ignore (Nic.attach bus ~mid:1 ~rx:(fun ~src:_ ~broadcast:_ _ -> incr got));
+  let n0 = Nic.attach bus ~mid:0 ~rx:(fun ~src:_ ~broadcast:_ _ -> ()) in
+  Bus.duplicate_next bus;
+  Nic.send n0 ~dst:1 (b "twice");
+  Nic.send n0 ~dst:1 (b "once");
+  ignore (Engine.run e);
+  Alcotest.(check int) "first frame delivered twice, second once" 3 !got;
+  Alcotest.(check int) "duplication counted" 1
+    (Soda_sim.Stats.counter (Bus.stats bus) "bus.frames_duplicated")
+
+let test_delay_jitter_validation_and_delivery () =
+  let e, bus = setup () in
+  let got = ref 0 in
+  ignore (Nic.attach bus ~mid:1 ~rx:(fun ~src:_ ~broadcast:_ _ -> incr got));
+  let n0 = Nic.attach bus ~mid:0 ~rx:(fun ~src:_ ~broadcast:_ _ -> ()) in
+  Alcotest.(check bool) "negative jitter rejected" true
+    (try Bus.set_delay_jitter bus ~min_us:(-1) ~max_us:5; false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "inverted range rejected" true
+    (try Bus.set_delay_jitter bus ~min_us:10 ~max_us:5; false
+     with Invalid_argument _ -> true);
+  Bus.set_delay_jitter bus ~min_us:100 ~max_us:5_000;
+  for _ = 1 to 5 do Nic.send n0 ~dst:1 (b "wobbly") done;
+  ignore (Engine.run e);
+  Alcotest.(check int) "jittered frames still all delivered" 5 !got
+
 let test_duplicate_mid_rejected () =
   let _, bus = setup () in
   ignore (Nic.attach bus ~mid:1 ~rx:(fun ~src:_ ~broadcast:_ _ -> ()));
@@ -165,5 +268,17 @@ let suites =
         Alcotest.test_case "corruption dropped by crc" `Quick test_corruption_dropped_by_crc;
         Alcotest.test_case "nic disable/enable" `Quick test_nic_disable;
         Alcotest.test_case "duplicate mid rejected" `Quick test_duplicate_mid_rejected;
+        Alcotest.test_case "rate setter validation" `Quick test_rate_setter_validation;
+        Alcotest.test_case "crc drops in metrics" `Quick test_crc_drops_in_metrics;
+      ] );
+    ( "net.faults",
+      [
+        Alcotest.test_case "partition and heal" `Quick test_partition_and_heal;
+        Alcotest.test_case "partition eats in-flight frame" `Quick
+          test_partition_eats_inflight_frame;
+        Alcotest.test_case "third party unaffected" `Quick
+          test_third_party_unaffected_by_partition;
+        Alcotest.test_case "duplicate next" `Quick test_duplicate_next;
+        Alcotest.test_case "delay jitter" `Quick test_delay_jitter_validation_and_delivery;
       ] );
   ]

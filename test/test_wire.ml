@@ -191,6 +191,35 @@ let prop_mutation_never_crashes =
         match Wire.decode wire with Ok _ | Error _ -> true
       end)
 
+(* Fuzz seeded from the bus's own [corrupt] mutation: the encoded packet
+   rides the simulated medium with corruption_rate = 1.0, so the damage is
+   exactly what a hostile wire produces. A NIC would CRC-screen every
+   single-byte flip, so the property taps the raw frame below the CRC
+   check and decodes the damaged payload directly: decode must be total
+   (Ok or Error, never an exception) even on bytes the screen would have
+   caught. *)
+let prop_bus_corruption_decode_total =
+  QCheck.Test.make ~name:"wire decode is total under bus corruption" ~count:300
+    QCheck.(pair arb_packet small_int)
+    (fun (pkt, seed) ->
+      let module Engine = Soda_sim.Engine in
+      let module Bus = Soda_net.Bus in
+      let module Frame = Soda_net.Frame in
+      let engine = Engine.create ~seed:(1 + abs seed) () in
+      let config = { Bus.default_config with corruption_rate = 1.0 } in
+      let bus = Bus.create ~config engine in
+      let decoded = ref false in
+      Bus.attach bus ~mid:1 ~rx:(fun frame ->
+          let wire = frame.Frame.wire in
+          (* strip the 2-byte CRC trailer without verifying it *)
+          let payload = Bytes.sub wire 0 (max 0 (Bytes.length wire - 2)) in
+          (match Wire.decode payload with Ok _ | Error _ -> ());
+          decoded := true);
+      Bus.send bus ~src:0 ~dst:(Frame.To 1) (Wire.encode pkt);
+      ignore (Engine.run engine);
+      !decoded
+      && Soda_sim.Stats.counter (Bus.stats bus) "bus.frames_corrupted" = 1)
+
 let suites =
   [
     ( "proto.wire",
@@ -203,5 +232,6 @@ let suites =
         QCheck_alcotest.to_alcotest prop_wire_roundtrip;
         QCheck_alcotest.to_alcotest prop_decode_never_crashes;
         QCheck_alcotest.to_alcotest prop_mutation_never_crashes;
+        QCheck_alcotest.to_alcotest prop_bus_corruption_decode_total;
       ] );
   ]

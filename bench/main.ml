@@ -277,6 +277,66 @@ let a6 () =
       Printf.printf "    %-12d %10.1f %14.1f\n" chunk ms (20_480.0 /. 1024.0 /. (ms /. 1000.0)))
     [ 256; 512; 1024; 2048; 4096 ]
 
+(* ---- STORE: quorum-replicated KV store --------------------------------------------- *)
+
+(* Read/write latency percentiles and quorum-round traffic of lib/store
+   under its deterministic workload harness, for n in {3, 5} replicas:
+   healthy medium, 2% frame loss, and one replica down for the whole
+   run. Packet counts isolate the workload by subtracting an ops=0
+   baseline run of the identical topology and schedule. *)
+let store_section () =
+  hr "STORE. Quorum-replicated KV store (lib/store): latency and quorum traffic";
+  let module Harness = Soda_store.Harness in
+  let module Metrics = Soda_obs.Metrics in
+  let module Recorder = Soda_obs.Recorder in
+  let module Network = Soda_core.Network in
+  let module Stats = Soda_sim.Stats in
+  let module FP = Soda_fault.Fault_plan in
+  let frames net = Stats.counter (Soda_net.Bus.stats (Network.bus net)) "bus.frames_sent" in
+  let clients = 2 and ops = 30 in
+  List.iter
+    (fun n ->
+      Printf.printf
+        "\n  n=%d replicas (quorum %d), %d clients x %d ops, think<=30 ms\n" n
+        ((n / 2) + 1) clients ops;
+      Printf.printf "    %-18s %6s  %-17s %-17s %8s %9s %8s\n" "configuration" "ok"
+        "read p50/p95/p99" "write p50/p95/p99" "pkts/op" "rounds/op" "retries";
+      List.iter
+        (fun (label, loss, plan) ->
+          let run ops =
+            Harness.run ~n ~clients ~ops ~keys:4 ~seed:77 ~loss ~think_us:30_000 ?plan ()
+          in
+          let base = run 0 in
+          let r = run ops in
+          let m = Recorder.metrics (Network.recorder r.Harness.net) in
+          let total = List.length r.Harness.history in
+          let ok =
+            List.length
+              (List.filter (fun (o : Harness.op) -> o.outcome <> `No_quorum)
+                 r.Harness.history)
+          in
+          let pct name =
+            match Metrics.histogram m name with
+            | Some h ->
+              Printf.sprintf "%.1f/%.1f/%.1f"
+                (float_of_int (Metrics.Histogram.percentile h 50.0) /. 1000.0)
+                (float_of_int (Metrics.Histogram.percentile h 95.0) /. 1000.0)
+                (float_of_int (Metrics.Histogram.percentile h 99.0) /. 1000.0)
+            | None -> "-"
+          in
+          let per_op c = float_of_int c /. float_of_int (max total 1) in
+          Printf.printf "    %-18s %3d/%2d  %-17s %-17s %8.1f %9.2f %8d\n" label ok total
+            (pct "store.read.us") (pct "store.write.us")
+            (per_op (frames r.Harness.net - frames base.Harness.net))
+            (per_op (Metrics.counter m "store.rounds"))
+            (Metrics.counter m "store.retries"))
+        [
+          ("healthy", 0.0, None);
+          ("2% loss", 0.02, None);
+          ("one replica down", 0.0, Some [ { FP.at_us = 0; action = FP.Crash (n - 1) } ]);
+        ])
+    [ 3; 5 ]
+
 (* ---- FAULT: a workload under a scripted fault plan ---------------------------------- *)
 
 (* Run the T1 PUT stream while a fault plan (--fault-plan FILE) executes
@@ -341,6 +401,7 @@ let sections =
     ("T1", t1); ("T2", t2); ("T2S", t2s); ("T3", t3); ("F1", f1);
     ("TRACE", trace_section);
     ("A1", a1); ("A2", a2); ("A3", a3); ("A4", a4); ("A5", a5); ("A6", a6);
+    ("STORE", store_section);
     ("BENCH", bechamel);
   ]
 

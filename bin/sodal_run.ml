@@ -50,8 +50,54 @@ let print_metrics net =
     (Network.nodes net);
   Format.printf "@."
 
-let run seed seconds trace metrics fault_plan files =
-  if files = [] then `Error (true, "at least one SODAL source file is required")
+(* --store N: run the deterministic store workload harness instead of
+   SODAL sources — the same harness the linearizability suite uses, so a
+   (seed, fault plan) pair printed by a failing qcheck case replays its
+   exact schedule here (see docs/STORE.md). *)
+let run_store ~seed ~seconds ~trace ~metrics ~fault_plan ~n ~clients ~ops ~keys
+    ~think_us ~nameserver =
+  let module Harness = Soda_store.Harness in
+  let plan =
+    match fault_plan with
+    | None -> Ok None
+    | Some path ->
+      (match Soda_fault.Fault_plan.load path with
+       | Ok plan -> Ok (Some plan)
+       | Error message -> Error (Printf.sprintf "%s: %s" path message))
+  in
+  match plan with
+  | Error message -> `Error (false, message)
+  | Ok plan ->
+    let r =
+      Harness.run ~n ~clients ~ops ~keys ~seed ~think_us ?plan
+        ~use_nameserver:nameserver
+        ~trace:(trace <> None)
+        ~horizon_us:(int_of_float (seconds *. 1e6))
+        ()
+    in
+    Format.printf "%a" Harness.pp_history r.Harness.history;
+    let ok, no_quorum =
+      List.fold_left
+        (fun (ok, nq) (op : Harness.op) ->
+          match op.outcome with `No_quorum -> (ok, nq + 1) | _ -> (ok + 1, nq))
+        (0, 0) r.Harness.history
+    in
+    Printf.printf
+      "-- store: n=%d, %d/%d clients finished, %d ops (%d ok, %d no-quorum)\n" n
+      r.Harness.clients_done r.Harness.clients_total
+      (List.length r.Harness.history)
+      ok no_quorum;
+    (match trace with Some dest -> export_trace r.Harness.net dest | None -> ());
+    if metrics then print_metrics r.Harness.net;
+    `Ok ()
+
+let run seed seconds trace metrics fault_plan store store_clients store_ops store_keys
+    store_think_us store_nameserver files =
+  if store > 0 then
+    run_store ~seed ~seconds ~trace ~metrics ~fault_plan ~n:store ~clients:store_clients
+      ~ops:store_ops ~keys:store_keys ~think_us:store_think_us
+      ~nameserver:store_nameserver
+  else if files = [] then `Error (true, "at least one SODAL source file is required")
   else begin
     let net = Network.create ~seed ~trace:(trace <> None) () in
     let ok = ref true in
@@ -147,6 +193,44 @@ let fault_plan =
            node crash/reboot, frame duplication, delivery jitter and loss bursts, \
            all at fixed virtual times (see docs/TESTING.md for the format).")
 
+let store =
+  Arg.(
+    value & opt int 0
+    & info [ "store" ] ~docv:"N"
+        ~doc:
+          "Run the quorum-replicated store workload harness with $(docv) replicas \
+           instead of SODAL sources (see docs/STORE.md). Combine with --seed and \
+           --fault-plan to replay a failing linearizability case bit-for-bit.")
+
+let store_clients =
+  Arg.(
+    value & opt int 2
+    & info [ "store-clients" ] ~docv:"N" ~doc:"Concurrent store clients (with --store).")
+
+let store_ops =
+  Arg.(
+    value & opt int 8
+    & info [ "store-ops" ] ~docv:"N" ~doc:"Operations per store client (with --store).")
+
+let store_keys =
+  Arg.(
+    value & opt int 2
+    & info [ "store-keys" ] ~docv:"N" ~doc:"Distinct keys in the workload (with --store).")
+
+let store_think_us =
+  Arg.(
+    value & opt int 250_000
+    & info [ "store-think-us" ] ~docv:"US"
+        ~doc:"Upper bound on per-op client think time in µs (with --store).")
+
+let store_nameserver =
+  Arg.(
+    value & flag
+    & info [ "store-nameserver" ]
+        ~doc:
+          "Resolve store replicas through the switchboard (register/rebind path) \
+           instead of their stable patterns (with --store).")
+
 let files =
   Arg.(value & pos_all file [] & info [] ~docv:"FILE.sodal" ~doc:"SODAL source files.")
 
@@ -154,6 +238,10 @@ let cmd =
   let doc = "run SODAL programs on a simulated SODA network" in
   Cmd.v
     (Cmd.info "sodal_run" ~doc)
-    Term.(ret (const run $ seed $ seconds $ trace $ metrics $ fault_plan $ files))
+    Term.(
+      ret
+        (const run $ seed $ seconds $ trace $ metrics $ fault_plan $ store
+        $ store_clients $ store_ops $ store_keys $ store_think_us
+        $ store_nameserver $ files))
 
 let () = exit (Cmd.eval cmd)

@@ -52,6 +52,7 @@ let mid t = t.mid
 let engine t = t.engine
 let cost t = t.cost
 let stats t = Transport.stats t.transport
+let recorder t = Trace.recorder t.trace
 let client_alive t = t.client <> None
 
 let outstanding t = Hashtbl.length t.pending

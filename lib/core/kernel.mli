@@ -37,6 +37,11 @@ val mid : t -> int
 val engine : t -> Soda_sim.Engine.t
 val cost : t -> Soda_base.Cost_model.t
 val stats : t -> Soda_sim.Stats.t
+
+(** The network-shared structured-event recorder, for client-level
+    facilities that emit typed events (e.g. the replicated store). *)
+val recorder : t -> Soda_obs.Recorder.t
+
 val client_alive : t -> bool
 
 (** [attach_client t ~parent client] installs a resident client (ROM boot,

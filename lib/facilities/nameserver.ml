@@ -14,6 +14,7 @@ let op_register = 1
 let op_unregister = 2
 let op_lookup = 3
 let op_list = 4
+let op_rebind = 5
 let op_fetch = 100  (* added to the query op for the follow-up GET *)
 
 (* request payload: name_len(1) name [mid(2) pattern(6)] *)
@@ -106,6 +107,12 @@ let spec () =
             Hashtbl.replace table name signature
           | Some _ | None -> ()
         end
+        else if op = op_rebind then begin
+          (* last-wins: a rebooted incarnation reclaims its name *)
+          match receive_request env info with
+          | Some (name, Some signature) -> Hashtbl.replace table name signature
+          | Some _ | None -> ()
+        end
         else if op = op_unregister then begin
           match receive_request env info with
           | Some (name, _) -> Hashtbl.remove table name
@@ -162,6 +169,17 @@ let rec register env sb ~name signature =
   | Error _ as e -> e
   | Ok () ->
     (* Registration is first-wins at the server; verify we got the slot. *)
+    (match lookup env sb ~name with
+     | Ok bound when bound = signature -> Ok ()
+     | Ok _ -> Error Already_registered
+     | Error e -> Error e)
+
+and rebind env sb ~name signature =
+  match one_way env sb ~op:op_rebind (encode_request ~name ~signature ()) with
+  | Error _ as e -> e
+  | Ok () ->
+    (* Rebind is last-wins; verify our binding landed (a concurrent
+       rebind may have raced us — surface that as Already_registered). *)
     (match lookup env sb ~name with
      | Ok bound when bound = signature -> Ok ()
      | Ok _ -> Error Already_registered

@@ -28,6 +28,14 @@ val register :
   Sodal.env -> Types.server_signature -> name:string -> Types.server_signature ->
   (unit, error) result
 
+(** [rebind env sb ~name signature] binds [name] unconditionally
+    (last-wins), replacing any existing binding: how a rebooted
+    incarnation reclaims a name its dead predecessor still holds.
+    [Already_registered] means a concurrent rebind won the race. *)
+val rebind :
+  Sodal.env -> Types.server_signature -> name:string -> Types.server_signature ->
+  (unit, error) result
+
 (** [unregister env sb ~name] — only removes existing bindings. *)
 val unregister : Sodal.env -> Types.server_signature -> name:string -> (unit, error) result
 

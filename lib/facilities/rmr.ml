@@ -1,5 +1,10 @@
 module Types = Soda_base.Types
+module Rng = Soda_sim.Rng
+module Engine = Soda_sim.Engine
+module Kernel = Soda_core.Kernel
 module Sodal = Soda_runtime.Sodal
+module Recorder = Soda_obs.Recorder
+module Metrics = Soda_obs.Metrics
 
 type error = Out_of_range | Unreachable
 
@@ -78,13 +83,28 @@ let test_and_set env server ~addr value =
   | Sodal.Comp_ok | Sodal.Comp_rejected -> Error Out_of_range
   | Sodal.Comp_crashed | Sodal.Comp_unadvertised -> Error Unreachable
 
-let rec lock env server ~addr =
-  match test_and_set env server ~addr 1 with
-  | Ok 0 -> Ok ()
-  | Ok _ ->
-    Sodal.compute env 2_000;
-    lock env server ~addr
-  | Error e -> Error e
+(* Contended TEST-AND-SET retries back off exponentially (capped, with
+   jitter from a split of the engine RNG so co-resident contenders
+   desynchronise) instead of hammering the memory server in lockstep.
+   With [?timeserver] the wait is a §6.16 alarm-backed sleep — the
+   client stays responsive to its handler — otherwise local compute. *)
+let lock ?timeserver ?(base_us = 1_000) ?(cap_us = 64_000) env server ~addr =
+  let rng = Rng.split (Engine.rng (Kernel.engine (Sodal.kernel env))) in
+  let metrics = Recorder.metrics (Kernel.recorder (Sodal.kernel env)) in
+  let rec go k =
+    Metrics.incr metrics "rmr.lock.attempts";
+    match test_and_set env server ~addr 1 with
+    | Ok 0 -> Ok ()
+    | Ok _ ->
+      let d = min cap_us (base_us lsl min k 20) in
+      let d = d + Rng.int rng (max d 1) in
+      (match timeserver with
+       | Some ts -> Timeserver.sleep env ts ~delay_us:d
+       | None -> Sodal.compute env d);
+      go (k + 1)
+    | Error e -> Error e
+  in
+  go 0
 
 let unlock env server ~addr =
   match test_and_set env server ~addr 0 with Ok _ -> Ok () | Error e -> Error e

@@ -32,8 +32,22 @@ val poke : Sodal.env -> Types.server_signature -> addr:int -> bytes -> (unit, er
 val test_and_set :
   Sodal.env -> Types.server_signature -> addr:int -> int -> (int, error) result
 
-(** [lock env server ~addr] spins with {!test_and_set} until the word at
-    [addr] was 0 and is now 1; [unlock] clears it. *)
-val lock : Sodal.env -> Types.server_signature -> addr:int -> (unit, error) result
+(** [lock env server ~addr] retries {!test_and_set} until the word at
+    [addr] was 0 and is now 1; [unlock] clears it. Retries back off
+    exponentially from [base_us] to [cap_us], each wait doubled by a
+    random jitter drawn from a split of the engine RNG, so contenders
+    desynchronise instead of colliding in lockstep. With [?timeserver]
+    (a §6.16 timeserver signature) the wait is an alarm-backed
+    {!Timeserver.sleep}; otherwise it is local compute. Every
+    TEST-AND-SET round increments the ["rmr.lock.attempts"] counter of
+    the kernel's metrics registry. *)
+val lock :
+  ?timeserver:Types.server_signature ->
+  ?base_us:int ->
+  ?cap_us:int ->
+  Sodal.env ->
+  Types.server_signature ->
+  addr:int ->
+  (unit, error) result
 
 val unlock : Sodal.env -> Types.server_signature -> addr:int -> (unit, error) result

@@ -65,6 +65,13 @@ type kind =
       (** Per-frame delivery jitter enabled (frames may reorder). *)
   | Fault_loss_burst of { rate_pct : int; duration_us : int }
       (** Temporary elevated loss rate. *)
+  | Store_phase of
+      { op : string; phase : string; key : int; acks : int; quorum : int; elapsed_us : int }
+      (** One quorum round of a replicated-store operation. *)
+  | Store_retry of { op : string; phase : string; key : int; attempt : int }
+      (** A quorum round failed to assemble a majority and is retried. *)
+  | Store_complete of { op : string; key : int; ok : bool; rounds : int; elapsed_us : int }
+      (** A store operation finished ([ok = false]: no quorum reachable). *)
   | Note of string  (** Free-form text from the legacy [Trace.record] shim. *)
 
 type t = { time_us : int; mid : int; actor : string; kind : kind }
@@ -91,6 +98,9 @@ let kind_label = function
   | Fault_duplicate _ -> "fault-duplicate"
   | Fault_jitter _ -> "fault-jitter"
   | Fault_loss_burst _ -> "fault-loss-burst"
+  | Store_phase _ -> "store-phase"
+  | Store_retry _ -> "store-retry"
+  | Store_complete _ -> "store-complete"
   | Note _ -> "note"
 
 let peer_name p = if p = broadcast_peer then "*" else string_of_int p
@@ -141,6 +151,15 @@ let message = function
     Printf.sprintf "fault: delivery jitter %d..%d us" min_us max_us
   | Fault_loss_burst { rate_pct; duration_us } ->
     Printf.sprintf "fault: loss burst %d%% for %d us" rate_pct duration_us
+  | Store_phase { op; phase; key; acks; quorum; elapsed_us } ->
+    Printf.sprintf "store %s key=%d %s %d/%d acks in %d us" op key phase acks quorum
+      elapsed_us
+  | Store_retry { op; phase; key; attempt } ->
+    Printf.sprintf "store %s key=%d %s retry (attempt %d)" op key phase attempt
+  | Store_complete { op; key; ok; rounds; elapsed_us } ->
+    Printf.sprintf "store %s key=%d %s after %d round(s) in %d us" op key
+      (if ok then "ok" else "NO QUORUM")
+      rounds elapsed_us
   | Note text -> text
 
 (* tid carried by an event, if any (for span grouping). *)
@@ -151,5 +170,5 @@ let tid = function
     if tid = no_tid then None else Some tid
   | Handler_invoke | Endhandler | Bus_frame _ | Bus_drop _ | Note _ | Fault_partition _
   | Fault_heal | Fault_crash _ | Fault_reboot _ | Fault_duplicate _ | Fault_jitter _
-  | Fault_loss_burst _ ->
+  | Fault_loss_burst _ | Store_phase _ | Store_retry _ | Store_complete _ ->
     None

@@ -57,6 +57,14 @@ type kind =
       (** Per-frame delivery jitter enabled (frames may reorder). *)
   | Fault_loss_burst of { rate_pct : int; duration_us : int }
       (** Temporary elevated loss rate. *)
+  | Store_phase of
+      { op : string; phase : string; key : int; acks : int; quorum : int; elapsed_us : int }
+      (** One quorum round of a replicated-store operation: [phase] is
+          ["query"] or ["propagate"], [acks] of [quorum] needed answered. *)
+  | Store_retry of { op : string; phase : string; key : int; attempt : int }
+      (** A quorum round failed to assemble a majority and is retried. *)
+  | Store_complete of { op : string; key : int; ok : bool; rounds : int; elapsed_us : int }
+      (** A store operation finished ([ok = false]: no quorum reachable). *)
   | Note of string
 
 type t = { time_us : int; mid : int; actor : string; kind : kind }

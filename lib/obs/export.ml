@@ -97,6 +97,15 @@ let event_fields (e : Event.t) : json_field list =
     | Fault_jitter { min_us; max_us } -> [ ("min", `Int min_us); ("max", `Int max_us) ]
     | Fault_loss_burst { rate_pct; duration_us } ->
       [ ("rate_pct", `Int rate_pct); ("duration", `Int duration_us) ]
+    | Store_phase { op; phase; key; acks; quorum; elapsed_us } ->
+      [ ("op", `Str op); ("phase", `Str phase); ("key", `Int key); ("acks", `Int acks);
+        ("quorum", `Int quorum); ("elapsed", `Int elapsed_us) ]
+    | Store_retry { op; phase; key; attempt } ->
+      [ ("op", `Str op); ("phase", `Str phase); ("key", `Int key);
+        ("attempt", `Int attempt) ]
+    | Store_complete { op; key; ok; rounds; elapsed_us } ->
+      [ ("op", `Str op); ("key", `Int key); ("ok", `Bool ok); ("rounds", `Int rounds);
+        ("elapsed", `Int elapsed_us) ]
     | Note text -> [ ("actor", `Str e.actor); ("text", `Str text) ]
   in
   base @ extra
@@ -193,7 +202,8 @@ let chrome_to_buffer b events =
           [ ("name", `Str (Printf.sprintf "%d->%s %dB" src (peer_name dst) bytes));
             ("cat", `Str "bus"); ("ph", `Str "X"); ("pid", `Int bus_pid);
             ("tid", `Int 0); ("ts", `Int start_us); ("dur", `Int (end_us - start_us)) ]
-      | Trap _ | Handler_invoke | Endhandler | Complete _ ->
+      | Trap _ | Handler_invoke | Endhandler | Complete _
+      | Store_phase _ | Store_retry _ | Store_complete _ ->
         emit
           [ ("name", `Str (message e.kind)); ("cat", `Str "client"); ("ph", `Str "i");
             ("pid", `Int e.mid); ("tid", `Int track_client); ("ts", `Int e.time_us);

@@ -113,6 +113,7 @@ type accept_ctx = {
   mutable ac_awaiting_ack : bool;
   mutable ac_received : bytes;
   mutable ac_done : bool;
+  mutable ac_data_timer : Engine.event_id option;
   ac_on_done : accept_outcome -> unit;
 }
 
@@ -815,10 +816,31 @@ let accept t ~requester_mid ~requester_tid ~arg ~get_capacity ~data_out ~on_done
         ac_awaiting_ack = Bytes.length data_out > 0;
         ac_received = received;
         ac_done = false;
+        ac_data_timer = None;
         ac_on_done = on_done;
       }
     in
     txn.st_state <- Srv_accepting ctx;
+    (* The put data was wasted on a busy transmission and must be fetched
+       from the requester. That wait is bounded by the Delta-t receive
+       lifetime: a requester that crashed (or was reset) after our ACCEPT
+       will never send it, and without this timer the handler — and with
+       it the whole server — would stay busy forever. *)
+    if need_data then
+      ctx.ac_data_timer <-
+        Some
+          (defer t ~delay:(Cost.record_expiry_us t.cost) (fun () ->
+               ctx.ac_data_timer <- None;
+               if (not ctx.ac_done) && ctx.ac_need_data then begin
+                 Stats.incr t.stats "accept.data_timeouts";
+                 Trace.record t.trace ~now:(Engine.now t.engine) ~actor:(actor t)
+                   "accept of tid %d: put data never arrived; declaring peer %d crashed"
+                   requester_tid requester_mid;
+                 ctx.ac_done <- true;
+                 txn.st_state <- Srv_completed;
+                 srv_gc t txn;
+                 ctx.ac_on_done Acc_crashed
+               end));
     let body =
       Wire.Accept
         { tid = requester_tid; arg; put_transferred; need_put_data = need_data; data = data_out }
@@ -1118,6 +1140,11 @@ let handle_put_data t conn (d : Wire.body) =
   | Wire.Put_data { tid; data } ->
     (match Hashtbl.find_opt t.srv_txns (conn.peer, tid) with
      | Some ({ st_state = Srv_accepting ctx; _ } as txn) when ctx.ac_need_data ->
+       (match ctx.ac_data_timer with
+        | Some id ->
+          Engine.cancel t.engine id;
+          ctx.ac_data_timer <- None
+        | None -> ());
        ctx.ac_received <- truncate_bytes data ctx.ac_put_transferred;
        ctx.ac_need_data <- false;
        let copy_us = Cost.data_copy_us t.cost ~bytes:(Bytes.length ctx.ac_received) in

@@ -1,0 +1,66 @@
+(** Deterministic store workload harness, shared by the qcheck
+    linearizability suite ([test/test_store.ml]), the CLI runner
+    ([sodal_run --store]) and the benchmark STORE section — the same
+    (seed, fault plan) pair replays bit-for-bit everywhere.
+
+    Topology: [n] replicas on mids [0 .. n-1], the switchboard (only with
+    [~use_nameserver:true]) on mid [n], and [clients] writer/reader
+    clients on the mids above. Client scripts (key choice, read/write
+    mix, op count) are derived from a split of the engine RNG, and every
+    write value is unique (["c<mid>#<index>"]), so a recorded history
+    can be checked for linearizability afterwards. Replica tables live
+    outside the kernel (stable storage): a scripted [reboot] re-attaches
+    the same replica value to the fresh incarnation. *)
+
+module Network = Soda_core.Network
+module Fault_plan = Soda_fault.Fault_plan
+
+(** One completed (or failed) client operation, as recorded. *)
+type op = {
+  client : int;  (** issuing client's mid *)
+  index : int;  (** op index within that client's script *)
+  key : int;
+  kind : [ `Read | `Write of string ];
+  start_us : int;
+  end_us : int;
+  outcome : [ `Ok of string option  (** read result; [Some v] / [None] *)
+            | `Written  (** write acked by a quorum *)
+            | `No_quorum ];
+}
+
+type result = {
+  net : Network.t;
+  history : op list;  (** every recorded op, in recording order *)
+  clients_total : int;
+  clients_done : int;  (** scripts that ran to completion (no hang) *)
+  replicas : Store.replica array;
+  elapsed_us : int;
+}
+
+(** [run ()] builds the network, attaches replicas and clients, installs
+    the fault [plan] (if any), runs to quiescence (bounded by
+    [horizon_us]) and returns the recorded history.
+
+    [loss] is the bus frame-loss probability. [think_us] is the maximum
+    per-op client think time (drawn from the script RNG; paces the
+    workload across the plan's schedule — [0] disables). [use_nameserver]
+    switches replicas to [~register:true] and clients from direct
+    {!Store.handle} to switchboard {!Store.connect}. [ops] is per
+    client. *)
+val run :
+  ?n:int ->
+  ?clients:int ->
+  ?ops:int ->
+  ?keys:int ->
+  ?seed:int ->
+  ?loss:float ->
+  ?think_us:int ->
+  ?plan:Fault_plan.t ->
+  ?use_nameserver:bool ->
+  ?trace:bool ->
+  ?horizon_us:int ->
+  unit ->
+  result
+
+(** Render a history, one op per line (diagnostics for failing cases). *)
+val pp_history : Format.formatter -> op list -> unit

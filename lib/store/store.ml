@@ -1,0 +1,395 @@
+module Types = Soda_base.Types
+module Pattern = Soda_base.Pattern
+module Rng = Soda_sim.Rng
+module Engine = Soda_sim.Engine
+module Kernel = Soda_core.Kernel
+module Sodal = Soda_runtime.Sodal
+module Nameserver = Soda_facilities.Nameserver
+module Recorder = Soda_obs.Recorder
+module Metrics = Soda_obs.Metrics
+module Event = Soda_obs.Event
+
+(* ---- replica ----------------------------------------------------------- *)
+
+type replica = {
+  cluster : string;
+  index : int;
+  table : (int, Tag.t * bytes) Hashtbl.t;  (* the replica's stable storage *)
+  mutable boots : int;
+}
+
+let replica ~cluster ~index = { cluster; index; table = Hashtbl.create 32; boots = 0 }
+
+let incarnations r = r.boots
+
+let peek_replica r ~key = Hashtbl.find_opt r.table key
+
+(* Stable per-(cluster, index) well-known pattern: a store tag in the top
+   bits, a cluster hash in the middle, the replica index in the low byte
+   (all inside the 40-bit well-known name space). *)
+let replica_pattern ~cluster ~index =
+  let h = Hashtbl.hash cluster land 0x3FFFFFF in
+  Pattern.well_known ((0o5 lsl 37) lor (h lsl 8) lor (index land 0xFF))
+
+let replica_name ~cluster ~index = Printf.sprintf "/store/%s/%d" cluster index
+
+(* Query reply: present(1) tag(8) len(2) value. *)
+let encode_query_reply entry =
+  match entry with
+  | None -> Bytes.make 1 '\000'
+  | Some (tag, value) ->
+    let len = Bytes.length value in
+    let b = Bytes.create (1 + Tag.encoded_size + 2 + len) in
+    Bytes.set b 0 '\001';
+    Bytes.blit (Tag.encode tag) 0 b 1 Tag.encoded_size;
+    Bytes.set b 9 (Char.chr ((len lsr 8) land 0xFF));
+    Bytes.set b 10 (Char.chr (len land 0xFF));
+    Bytes.blit value 0 b 11 len;
+    b
+
+let decode_query_reply b ~len =
+  if len < 1 then None
+  else if Bytes.get b 0 = '\000' then Some (Tag.zero, None)
+  else
+    match Tag.decode b ~at:1 with
+    | None -> None
+    | Some tag ->
+      if len < 11 then None
+      else begin
+        let vlen = (Char.code (Bytes.get b 9) lsl 8) lor Char.code (Bytes.get b 10) in
+        if 11 + vlen > len then None else Some (tag, Some (Bytes.sub b 11 vlen))
+      end
+
+(* Propagate payload: tag(8) len(2) value. *)
+let encode_propagate tag value =
+  let len = Bytes.length value in
+  let b = Bytes.create (Tag.encoded_size + 2 + len) in
+  Bytes.blit (Tag.encode tag) 0 b 0 Tag.encoded_size;
+  Bytes.set b 8 (Char.chr ((len lsr 8) land 0xFF));
+  Bytes.set b 9 (Char.chr (len land 0xFF));
+  Bytes.blit value 0 b 10 len;
+  b
+
+let decode_propagate b ~len =
+  match Tag.decode b ~at:0 with
+  | None -> None
+  | Some tag ->
+    if len < 10 then None
+    else begin
+      let vlen = (Char.code (Bytes.get b 8) lsl 8) lor Char.code (Bytes.get b 9) in
+      if 10 + vlen > len then None else Some (tag, Bytes.sub b 10 vlen)
+    end
+
+(* Keep the incoming pair iff its tag is strictly newer: retries across
+   incarnations and duplicated/reordered deliveries are idempotent. *)
+let merge r ~key tag value =
+  match Hashtbl.find_opt r.table key with
+  | Some (cur, _) when Tag.compare cur tag >= 0 -> ()
+  | _ -> Hashtbl.replace r.table key (tag, value)
+
+let poke_replica = merge
+
+(* The switchboard-registration task of the [~register:true] variant: a
+   fresh unique entry point per incarnation, bound under the stable name
+   — register on first boot, rebind to reclaim the name from a dead
+   incarnation's binding. *)
+let register_task r env =
+  let unique = Sodal.getuniqueid env in
+  Sodal.advertise env unique;
+  let sb = Sodal.discover env Nameserver.switchboard_pattern in
+  let me = Sodal.server ~mid:(Sodal.my_mid env) ~pattern:unique in
+  let name = replica_name ~cluster:r.cluster ~index:r.index in
+  let rec bind attempt =
+    let outcome =
+      match Nameserver.register env sb ~name me with
+      | Ok () -> Ok ()
+      | Error Nameserver.Already_registered -> Nameserver.rebind env sb ~name me
+      | Error _ as e -> e
+    in
+    match outcome with
+    | Ok () -> ()
+    | Error _ when attempt < 8 ->
+      Sodal.compute env 100_000;
+      bind (attempt + 1)
+    | Error _ -> ()
+  in
+  bind 1;
+  Sodal.serve env
+
+let replica_spec ?(register = false) r =
+  let pattern = replica_pattern ~cluster:r.cluster ~index:r.index in
+  {
+    Sodal.default_spec with
+    init =
+      (fun env ~parent:_ ->
+        r.boots <- r.boots + 1;
+        Sodal.advertise env pattern);
+    on_request =
+      (fun env info ->
+        let key = info.Sodal.arg in
+        if key < 0 then Sodal.reject env
+        else if info.Sodal.put_size > 0 && info.Sodal.get_size = 0 then begin
+          (* propagate: PUT of a tagged value *)
+          let into = Bytes.create info.Sodal.put_size in
+          let status, got = Sodal.accept_current_put env ~arg:0 ~into in
+          match status with
+          | Types.Accept_success ->
+            (match decode_propagate into ~len:got with
+             | Some (tag, value) -> merge r ~key tag value
+             | None -> ())
+          | Types.Accept_cancelled | Types.Accept_crashed -> ()
+        end
+        else if info.Sodal.get_size > 0 && info.Sodal.put_size = 0 then
+          (* query: GET of the current tag-value for the key *)
+          ignore
+            (Sodal.accept_current_get env ~arg:0
+               ~data:(encode_query_reply (Hashtbl.find_opt r.table key)))
+        else Sodal.reject env);
+    task = (if register then register_task r else Sodal.serve);
+  }
+
+(* ---- client ------------------------------------------------------------ *)
+
+type t = {
+  cluster : string;
+  n : int;
+  q : int;
+  replicas : Types.server_signature array;
+  (* [Some f]: switchboard-backed; re-resolve replica [i] after it
+     answers UNADVERTISED (its incarnation — and unique pattern — changed). *)
+  resolve : (int -> Types.server_signature option) option;
+  max_value : int;
+  attempts : int;
+  backoff_base_us : int;
+  backoff_cap_us : int;
+  rng : Rng.t;
+}
+
+type error = No_quorum
+
+let quorum t = t.q
+
+let recorder env = Kernel.recorder (Sodal.kernel env)
+
+let emit env kind =
+  let r = recorder env in
+  if Recorder.tracing r then
+    Recorder.emit r ~time_us:(Sodal.now env) ~mid:(Sodal.my_mid env) ~actor:"store" kind
+
+let metrics env = Recorder.metrics (recorder env)
+
+let make_handle env ~cluster ~replicas ~resolve ~max_value ~attempts ~backoff_base_us
+    ~backoff_cap_us =
+  let n = Array.length replicas in
+  if n = 0 then invalid_arg "Store.handle: no replicas";
+  {
+    cluster;
+    n;
+    q = (n / 2) + 1;
+    replicas;
+    resolve;
+    max_value;
+    attempts;
+    backoff_base_us;
+    backoff_cap_us;
+    rng = Rng.split (Engine.rng (Kernel.engine (Sodal.kernel env)));
+  }
+
+let handle ?(max_value = 512) ?(attempts = 10) ?(backoff_base_us = 20_000)
+    ?(backoff_cap_us = 500_000) env ~cluster ~mids =
+  let replicas =
+    Array.of_list
+      (List.mapi
+         (fun i mid -> Sodal.server ~mid ~pattern:(replica_pattern ~cluster ~index:i))
+         mids)
+  in
+  make_handle env ~cluster ~replicas ~resolve:None ~max_value ~attempts ~backoff_base_us
+    ~backoff_cap_us
+
+let connect ?(max_value = 512) ?(attempts = 10) ?(backoff_base_us = 20_000)
+    ?(backoff_cap_us = 500_000) ?(resolve_attempts = 20) env ~cluster ~n () =
+  let sb = Sodal.discover env Nameserver.switchboard_pattern in
+  let lookup i = Nameserver.lookup env sb ~name:(replica_name ~cluster ~index:i) in
+  let rec resolve_one i attempt =
+    match lookup i with
+    | Ok signature -> Ok signature
+    | Error _ as e ->
+      if attempt >= resolve_attempts then e
+      else begin
+        (* replicas register asynchronously after boot; give them time *)
+        Sodal.compute env 100_000;
+        resolve_one i (attempt + 1)
+      end
+  in
+  let rec resolve_all i acc =
+    if i = n then Ok (Array.of_list (List.rev acc))
+    else
+      match resolve_one i 1 with
+      | Ok signature -> resolve_all (i + 1) (signature :: acc)
+      | Error e -> Error e
+  in
+  match resolve_all 0 [] with
+  | Error e -> Error e
+  | Ok replicas ->
+    let re_resolve i = match lookup i with Ok s -> Some s | Error _ -> None in
+    Ok
+      (make_handle env ~cluster ~replicas ~resolve:(Some re_resolve) ~max_value ~attempts
+         ~backoff_base_us ~backoff_cap_us)
+
+(* Issue a non-blocking REQUEST, idling while the kernel is at its
+   MAXREQUESTS limit (a slot frees on any completion interrupt). *)
+let rec submit env f =
+  match f () with
+  | tid -> tid
+  | exception Sodal.Too_many_requests ->
+    Sodal.idle env;
+    submit env f
+
+(* One quorum round: launch [launch i] at every replica, collect decoded
+   acks as completions arrive, return as soon as a majority has answered
+   (or everyone has answered without reaching one). Laggards — typically
+   requests still retransmitting into a crashed or partitioned replica —
+   keep their callbacks and resolve harmlessly later: that is the RPC
+   facility's skip-after-verdict failover discipline, not a timeout. *)
+let round env h ~launch ~decode =
+  let acks = ref [] in
+  let failed = ref 0 in
+  let unadvertised = ref [] in
+  for i = 0 to h.n - 1 do
+    let tid = submit env (fun () -> launch i) in
+    Sodal.on_completion_of env tid (fun c ->
+        match decode i c with
+        | Some v -> acks := (i, v) :: !acks
+        | None ->
+          if c.Sodal.status = Sodal.Comp_unadvertised then
+            unadvertised := i :: !unadvertised;
+          incr failed)
+  done;
+  while List.length !acks < h.q && List.length !acks + !failed < h.n do
+    Sodal.idle env
+  done;
+  (List.rev !acks, !unadvertised)
+
+(* Retry wrapper: capped exponential backoff with jitter from the
+   handle's split RNG, re-resolving switchboard bindings for replicas
+   that answered UNADVERTISED (their incarnation changed). *)
+let phase env h ~op ~name ~key ~launch ~decode =
+  let m = metrics env in
+  let rec attempt k =
+    let t0 = Sodal.now env in
+    let acks, unadvertised = round env h ~launch ~decode in
+    Metrics.incr m "store.rounds";
+    Metrics.observe m "store.round.acks" (List.length acks);
+    emit env
+      (Event.Store_phase
+         { op; phase = name; key; acks = List.length acks; quorum = h.q;
+           elapsed_us = Sodal.now env - t0 });
+    if List.length acks >= h.q then Ok acks
+    else if k >= h.attempts then begin
+      Metrics.incr m "store.no_quorum";
+      Error No_quorum
+    end
+    else begin
+      Metrics.incr m "store.retries";
+      emit env (Event.Store_retry { op; phase = name; key; attempt = k });
+      (match h.resolve with
+       | Some resolve ->
+         List.iter
+           (fun i ->
+             match resolve i with
+             | Some signature -> h.replicas.(i) <- signature
+             | None -> ())
+           unadvertised
+       | None -> ());
+      let d = min h.backoff_cap_us (h.backoff_base_us lsl (k - 1)) in
+      Sodal.compute env (d + Rng.int h.rng (max d 1));
+      attempt (k + 1)
+    end
+  in
+  attempt 1
+
+(* Phase 1: GET the per-replica (tag, value) for [key] from a majority. *)
+let query_phase env h ~op ~key =
+  let buffers = Array.init h.n (fun _ -> Bytes.create (11 + h.max_value)) in
+  phase env h ~op ~name:"query" ~key
+    ~launch:(fun i -> Sodal.get env h.replicas.(i) ~arg:key ~into:buffers.(i))
+    ~decode:(fun i c ->
+      match c.Sodal.status with
+      | Sodal.Comp_ok -> decode_query_reply buffers.(i) ~len:c.Sodal.get_transferred
+      | Sodal.Comp_rejected | Sodal.Comp_crashed | Sodal.Comp_unadvertised -> None)
+
+(* Phase 2: PUT the tagged value to a majority. *)
+let propagate_phase env h ~op ~key tag value =
+  let payload = encode_propagate tag value in
+  phase env h ~op ~name:"propagate" ~key
+    ~launch:(fun i -> Sodal.put env h.replicas.(i) ~arg:key payload)
+    ~decode:(fun _ c ->
+      match c.Sodal.status with
+      | Sodal.Comp_ok -> Some ()
+      | Sodal.Comp_rejected | Sodal.Comp_crashed | Sodal.Comp_unadvertised -> None)
+
+let max_of_acks acks =
+  List.fold_left
+    (fun (best_tag, best_v) (_, (tag, v)) ->
+      if Tag.compare tag best_tag > 0 then (tag, v) else (best_tag, best_v))
+    (Tag.zero, None) acks
+
+let finish env ~op ~key ~t0 ~rounds result =
+  let elapsed = Sodal.now env - t0 in
+  Metrics.observe (metrics env) (Printf.sprintf "store.%s.us" op) elapsed;
+  emit env
+    (Event.Store_complete
+       { op; key; ok = Result.is_ok result; rounds; elapsed_us = elapsed });
+  result
+
+let read env h ~key =
+  let t0 = Sodal.now env in
+  match query_phase env h ~op:"read" ~key with
+  | Error No_quorum -> finish env ~op:"read" ~key ~t0 ~rounds:1 (Error No_quorum)
+  | Ok acks ->
+    let tag, value = max_of_acks acks in
+    if Tag.compare tag Tag.zero = 0 then
+      (* a majority never saw a write: no completed write exists *)
+      finish env ~op:"read" ~key ~t0 ~rounds:1 (Ok None)
+    else begin
+      let at_max =
+        List.length (List.filter (fun (_, (t, _)) -> Tag.compare t tag = 0) acks)
+      in
+      let v = match value with Some v -> v | None -> Bytes.empty in
+      if at_max >= h.q then
+        (* the query round itself proved the tag is on a majority *)
+        finish env ~op:"read" ~key ~t0 ~rounds:1 (Ok (Some v))
+      else
+        match propagate_phase env h ~op:"read" ~key tag v with
+        | Ok _ -> finish env ~op:"read" ~key ~t0 ~rounds:2 (Ok (Some v))
+        | Error No_quorum -> finish env ~op:"read" ~key ~t0 ~rounds:2 (Error No_quorum)
+    end
+
+let write env h ~key value =
+  let t0 = Sodal.now env in
+  match query_phase env h ~op:"write" ~key with
+  | Error No_quorum -> finish env ~op:"write" ~key ~t0 ~rounds:1 (Error No_quorum)
+  | Ok acks ->
+    let max_tag, _ = max_of_acks acks in
+    let tag = Tag.next max_tag ~wid:(Sodal.my_mid env) in
+    (match propagate_phase env h ~op:"write" ~key tag value with
+     | Ok _ -> finish env ~op:"write" ~key ~t0 ~rounds:2 (Ok ())
+     | Error No_quorum -> finish env ~op:"write" ~key ~t0 ~rounds:2 (Error No_quorum))
+
+let cas env h ~key ~expect value =
+  let t0 = Sodal.now env in
+  match query_phase env h ~op:"cas" ~key with
+  | Error No_quorum -> finish env ~op:"cas" ~key ~t0 ~rounds:1 (Error No_quorum)
+  | Ok acks ->
+    let max_tag, current = max_of_acks acks in
+    let current =
+      if Tag.compare max_tag Tag.zero = 0 then None
+      else Some (match current with Some v -> v | None -> Bytes.empty)
+    in
+    if current <> expect then finish env ~op:"cas" ~key ~t0 ~rounds:1 (Ok false)
+    else begin
+      let tag = Tag.next max_tag ~wid:(Sodal.my_mid env) in
+      match propagate_phase env h ~op:"cas" ~key tag value with
+      | Ok _ -> finish env ~op:"cas" ~key ~t0 ~rounds:2 (Ok true)
+      | Error No_quorum -> finish env ~op:"cas" ~key ~t0 ~rounds:2 (Error No_quorum)
+    end

@@ -1,0 +1,117 @@
+(** A crash-tolerant, linearizable key-value store replicated across [n]
+    SODA nodes with majority quorums (multi-writer multi-reader atomic
+    registers in the ABD style; see docs/STORE.md).
+
+    Each replica is a {!Sodal.spec} client serving a per-key
+    [(tag, value)] pair behind a cluster-derived advertised pattern; a
+    client operation is one or two quorum rounds over plain SODA
+    REQUESTs:
+
+    - {b query} — a GET whose argument is the key; the reply carries the
+      replica's current tag and value for that key;
+    - {b propagate} — a PUT whose argument is the key and whose data is a
+      tagged value; the replica keeps the pair iff the tag exceeds the
+      one it holds (so retries and reordered deliveries are idempotent).
+
+    [read] queries a majority for the maximum tag, then propagates that
+    tag-value back to a majority before returning (skipped when the
+    query round itself proved the tag is already on a majority).
+    [write] queries a majority for the maximum tag, then propagates
+    [(max.seq + 1, my mid)] with the new value to a majority. Crashed or
+    partitioned replicas are skipped on the Delta-t crash verdict
+    (bounded retransmissions), exactly like the RPC facility's failover:
+    a round completes as soon as any majority answers. Rounds that fail
+    to assemble a majority are retried with capped exponential backoff
+    and then surface {!No_quorum}.
+
+    Tolerates [f < n/2] replica crashes. Rebooted replicas must come
+    back with their table intact (stable storage) — re-attach the same
+    {!replica} value — or atomicity is lost; see docs/STORE.md. *)
+
+module Types = Soda_base.Types
+module Pattern = Soda_base.Pattern
+module Sodal = Soda_runtime.Sodal
+
+(** {1 Replica side} *)
+
+(** A replica's identity plus its durable table. The table survives the
+    kernel incarnation: re-attaching the same [replica] after a scripted
+    reboot models crash-recovery with stable storage. *)
+type replica
+
+val replica : cluster:string -> index:int -> replica
+
+(** The stable advertised entry point of replica [index] of [cluster]
+    (derived from the cluster name, same in every incarnation). *)
+val replica_pattern : cluster:string -> index:int -> Pattern.t
+
+(** The switchboard name ["/store/<cluster>/<index>"]. *)
+val replica_name : cluster:string -> index:int -> string
+
+(** [replica_spec ?register r] is the server program. With
+    [~register:true] the task additionally mints a fresh per-incarnation
+    unique entry point, advertises it alongside the stable pattern, and
+    binds it in the §6.14 switchboard under {!replica_name} —
+    [register]ing on first boot and [rebind]ing to reclaim the name when
+    a previous incarnation's binding is still there. *)
+val replica_spec : ?register:bool -> replica -> Sodal.spec
+
+(** Incarnation count (bumped by each boot), and direct table access for
+    tests. *)
+val incarnations : replica -> int
+
+val peek_replica : replica -> key:int -> (Tag.t * bytes) option
+
+(** Seed a replica's stable storage directly (test fixture: builds the
+    asymmetric states a partially-propagated write leaves behind). Obeys
+    the same keep-iff-newer rule as the wire path. *)
+val poke_replica : replica -> key:int -> Tag.t -> bytes -> unit
+
+(** {1 Client side} *)
+
+type t
+
+type error = No_quorum  (** no majority answered within the retry budget *)
+
+(** [handle env ~cluster ~mids] addresses the replicas directly through
+    their stable patterns (no switchboard involved). *)
+val handle :
+  ?max_value:int ->
+  ?attempts:int ->
+  ?backoff_base_us:int ->
+  ?backoff_cap_us:int ->
+  Sodal.env ->
+  cluster:string ->
+  mids:int list ->
+  t
+
+(** [connect env ~cluster ~n ()] resolves all [n] replicas through the
+    switchboard ({!replica_name} bindings). The handle re-resolves a
+    replica's binding between rounds when it answers UNADVERTISED — the
+    signature a reboot with [~register:true] replaces. *)
+val connect :
+  ?max_value:int ->
+  ?attempts:int ->
+  ?backoff_base_us:int ->
+  ?backoff_cap_us:int ->
+  ?resolve_attempts:int ->
+  Sodal.env ->
+  cluster:string ->
+  n:int ->
+  unit ->
+  (t, Soda_facilities.Nameserver.error) result
+
+val quorum : t -> int
+
+(** [read env t ~key] — linearizable read; [None] if never written. *)
+val read : Sodal.env -> t -> key:int -> (bytes option, error) result
+
+(** [write env t ~key value] — linearizable write. *)
+val write : Sodal.env -> t -> key:int -> bytes -> (unit, error) result
+
+(** [cas env t ~key ~expect value] — read-modify-write round: writes
+    [value] and returns [true] iff the read phase observed [expect].
+    Atomic only in the absence of concurrent writers to [key] (a quorum
+    round is not consensus); see docs/STORE.md. *)
+val cas :
+  Sodal.env -> t -> key:int -> expect:bytes option -> bytes -> (bool, error) result

@@ -1,0 +1,32 @@
+type t = { seq : int; wid : int }
+
+let zero = { seq = 0; wid = 0 }
+
+let compare a b =
+  match Int.compare a.seq b.seq with 0 -> Int.compare a.wid b.wid | c -> c
+
+let next t ~wid = { seq = t.seq + 1; wid }
+
+let to_string t = Printf.sprintf "(%d,%d)" t.seq t.wid
+
+let encoded_size = 8
+
+let encode t =
+  let b = Bytes.create encoded_size in
+  for i = 0 to 5 do
+    Bytes.set b i (Char.chr ((t.seq lsr (8 * (5 - i))) land 0xFF))
+  done;
+  Bytes.set b 6 (Char.chr ((t.wid lsr 8) land 0xFF));
+  Bytes.set b 7 (Char.chr (t.wid land 0xFF));
+  b
+
+let decode b ~at =
+  if at < 0 || at + encoded_size > Bytes.length b then None
+  else begin
+    let seq = ref 0 in
+    for i = 0 to 5 do
+      seq := (!seq lsl 8) lor Char.code (Bytes.get b (at + i))
+    done;
+    let wid = (Char.code (Bytes.get b (at + 6)) lsl 8) lor Char.code (Bytes.get b (at + 7)) in
+    Some { seq = !seq; wid }
+  end

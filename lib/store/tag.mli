@@ -1,0 +1,29 @@
+(** Write tags for the quorum-replicated store.
+
+    A tag is the [(seq, writer_mid)] pair of the ABD/quorum family
+    (Konwar et al.; Aspnes, shared memory from message passing): totally
+    ordered lexicographically, so concurrent writers that pick the same
+    sequence number are still deterministically ordered by their machine
+    id. [zero] is the tag of the never-written register. *)
+
+type t = { seq : int; wid : int }
+
+val zero : t
+
+(** Lexicographic: by [seq], ties broken by [wid]. *)
+val compare : t -> t -> int
+
+(** [next t ~wid] is the tag a writer at [wid] picks after observing a
+    maximum of [t] in its query phase. *)
+val next : t -> wid:int -> t
+
+val to_string : t -> string
+
+(** {1 Wire format}: 8 bytes, big-endian [seq] (48 bits) then [wid]
+    (16 bits). *)
+
+val encoded_size : int
+val encode : t -> bytes
+
+(** [decode b ~at] reads a tag at offset [at]; [None] if out of range. *)
+val decode : bytes -> at:int -> t option

@@ -1,0 +1,111 @@
+(* Wing-Gong linearizability checker for register histories.
+
+   A history is a set of timed read/write operations on one register;
+   [check] searches for a linearization: a total order that respects
+   real time (op A precedes op B whenever A ended before B started) in
+   which every read returns the value of the latest preceding write
+   (or None before any write). Complexity is tamed the standard way
+   (Wing & Gong 1993; Lowe 2017): only "minimal" operations -- those no
+   other remaining op strictly precedes -- are candidates at each step,
+   and visited configurations are memoized. Because the store harness
+   writes unique values, a configuration is just (remaining-ops bitmask,
+   index of the last linearized write), so the memo table is exact.
+
+   Failed operations: a write that reported NO QUORUM may still have
+   reached some replicas, so it is kept with an infinite end time (it
+   can linearize anywhere after its start, or never -- it is optional);
+   a failed read observed nothing and is dropped by the caller. *)
+
+type op = {
+  kind : [ `Read of string option | `Write of string ];
+  start_us : int;
+  end_us : int;  (* max_int for ops that never completed *)
+  required : bool;  (* must appear in the linearization *)
+}
+
+let check (ops : op list) : bool =
+  let ops = Array.of_list ops in
+  let n = Array.length ops in
+  if n > 62 then invalid_arg "Lin.check: more than 62 ops on one key";
+  let all = (1 lsl n) - 1 in
+  let required_mask = ref 0 in
+  Array.iteri (fun i o -> if o.required then required_mask := !required_mask lor (1 lsl i)) ops;
+  let memo : (int * int, unit) Hashtbl.t = Hashtbl.create 256 in
+  (* [go remaining last_write]: can the remaining ops be linearized,
+     given the register currently holds the value of [last_write]
+     (-1 = never written)? *)
+  let rec go remaining last_write =
+    if remaining land !required_mask = 0 then true
+    else if Hashtbl.mem memo (remaining, last_write) then false
+    else begin
+      let value =
+        if last_write < 0 then None
+        else match ops.(last_write).kind with `Write v -> Some v | `Read _ -> None
+      in
+      let ok = ref false in
+      let i = ref 0 in
+      while (not !ok) && !i < n do
+        let bit = 1 lsl !i in
+        if remaining land bit <> 0 then begin
+          let o = ops.(!i) in
+          (* minimal: no other remaining op ended before [o] started *)
+          let minimal = ref true in
+          for j = 0 to n - 1 do
+            if
+              j <> !i
+              && remaining land (1 lsl j) <> 0
+              && ops.(j).required
+              && ops.(j).end_us < o.start_us
+            then minimal := false
+          done;
+          if !minimal then
+            match o.kind with
+            | `Read v ->
+              if v = value && go (remaining lxor bit) last_write then ok := true
+            | `Write _ -> if go (remaining lxor bit) !i then ok := true
+        end;
+        incr i
+      done;
+      if not !ok then Hashtbl.replace memo (remaining, last_write) ();
+      !ok
+    end
+  in
+  go all (-1)
+
+(* ---- harness histories ------------------------------------------------- *)
+
+module Harness = Soda_store.Harness
+
+(* Convert one key's recorded ops. Failed reads are dropped (they
+   observed nothing); failed writes become optional with end = infinity. *)
+let ops_of_records records =
+  List.filter_map
+    (fun (r : Harness.op) ->
+      match (r.kind, r.outcome) with
+      | `Read, `Ok v ->
+        Some { kind = `Read v; start_us = r.start_us; end_us = r.end_us; required = true }
+      | `Read, `No_quorum -> None
+      | `Write v, `Written ->
+        Some { kind = `Write v; start_us = r.start_us; end_us = r.end_us; required = true }
+      | `Write v, `No_quorum ->
+        Some { kind = `Write v; start_us = r.start_us; end_us = max_int; required = false }
+      | `Read, `Written | `Write _, `Ok _ -> assert false)
+    records
+
+(* Check a full harness history: registers are independent, so the
+   history is linearizable iff each per-key subhistory is (atomicity is
+   a local/compositional property). *)
+let check_history (history : Harness.op list) : (unit, string) result =
+  let by_key : (int, Harness.op list) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun (r : Harness.op) ->
+      Hashtbl.replace by_key r.key (r :: (Option.value ~default:[] (Hashtbl.find_opt by_key r.key))))
+    history;
+  Hashtbl.fold
+    (fun key records acc ->
+      match acc with
+      | Error _ -> acc
+      | Ok () ->
+        if check (ops_of_records (List.rev records)) then Ok ()
+        else Error (Printf.sprintf "history of key %d is not linearizable" key))
+    by_key (Ok ())

@@ -22,6 +22,8 @@ module Injector = Soda_fault.Injector
 module Rpc = Soda_facilities.Rpc
 module Nameserver = Soda_facilities.Nameserver
 module Stream = Soda_facilities.Stream
+module Multicast = Soda_facilities.Multicast
+module Bidding = Soda_facilities.Bidding
 
 let patt = Pattern.well_known 0o555
 
@@ -454,6 +456,132 @@ let test_stream_under_partition_and_burst () =
   Alcotest.(check bool) "sender completed" true (!sent = Some (Ok ()));
   Alcotest.(check (list string)) "block reassembled exactly once" [ payload ] !blocks
 
+(* A reliable multicast to a 4-member group with one member crashed in
+   the middle of the round (40 ms member handlers hold the transfers
+   open across the crash). Delivery-to-survivors: every surviving member
+   must deliver exactly once with Comp_ok, the dead member gets an
+   honest verdict (Comp_ok iff it delivered before dying), and the
+   sender must not hang. *)
+let test_multicast_delivery_to_survivors () =
+  let group = [ 0; 1; 2; 3 ] and victim = 2 in
+  let net, kernels = make_net ~seed:41 5 in
+  let delivered = Hashtbl.create 8 in
+  List.iter
+    (fun mid ->
+      ignore
+        (Sodal.attach (List.nth kernels mid)
+           {
+             Sodal.default_spec with
+             init = (fun env ~parent:_ -> Sodal.advertise env patt);
+             on_request =
+               (fun env _info ->
+                 Sodal.compute env 40_000;
+                 Hashtbl.replace delivered mid
+                   (1 + Option.value ~default:0 (Hashtbl.find_opt delivered mid));
+                 ignore (Sodal.accept_current_signal env ~arg:0));
+           }))
+    group;
+  let outcomes = ref None in
+  ignore
+    (Sodal.attach (List.nth kernels 4)
+       {
+         Sodal.default_spec with
+         task =
+           (fun env ->
+             Sodal.compute env 20_000;
+             outcomes := Some (Multicast.signal env ~group ~pattern:patt ()));
+       });
+  Injector.install net
+    [ { Fault_plan.at_us = 50_000; action = Fault_plan.Crash victim } ];
+  run net;
+  match !outcomes with
+  | None -> Alcotest.fail "multicast never returned"
+  | Some outcomes ->
+    Alcotest.(check (list int)) "an outcome per member" group
+      (List.sort compare (List.map (fun (o : Multicast.outcome) -> o.mid) outcomes));
+    List.iter
+      (fun (o : Multicast.outcome) ->
+        let count = Option.value ~default:0 (Hashtbl.find_opt delivered o.mid) in
+        if o.mid <> victim then begin
+          Alcotest.(check bool) (Printf.sprintf "survivor %d ok" o.mid) true
+            (o.status = Sodal.Comp_ok);
+          Alcotest.(check int) (Printf.sprintf "survivor %d delivered once" o.mid) 1 count
+        end
+        else begin
+          (* the victim's verdict must be honest: OK iff it delivered *)
+          (match o.status with
+           | Sodal.Comp_ok -> Alcotest.(check int) "victim delivered before dying" 1 count
+           | Sodal.Comp_crashed -> Alcotest.(check bool) "victim at most once" true (count <= 1)
+           | Sodal.Comp_rejected | Sodal.Comp_unadvertised ->
+             Alcotest.fail "victim got a non-crash failure")
+        end)
+      outcomes
+
+(* Bidding with the least-loaded bidder crashed mid-run: a client
+   re-selects every 25 ms while the cheapest bidder (mid 1, load 1) is
+   torn down. Every round must complete; rounds before the crash pick
+   mid 1, rounds after its crash verdict pick the least-loaded survivor
+   (mid 2, load 5), and no round may ever pick dead-and-known-dead
+   bidders or hang. *)
+let test_bidding_least_loaded_survivor () =
+  let loads = [ (0, 10); (1, 1); (2, 5) ] in
+  let net, kernels = make_net ~seed:42 4 in
+  List.iter
+    (fun (mid, load) ->
+      let hook = ref (fun _ _ -> false) in
+      ignore
+        (Sodal.attach (List.nth kernels mid)
+           {
+             Sodal.default_spec with
+             init =
+               (fun env ~parent:_ ->
+                 hook := Bidding.serve_bids env ~pattern:patt ~load:(fun () -> load));
+             on_request =
+               (fun env info ->
+                 if not (!hook env info) then ignore (Sodal.accept_current_signal env ~arg:0));
+           }))
+    loads;
+  let picks = ref [] in
+  ignore
+    (Sodal.attach (List.nth kernels 3)
+       {
+         Sodal.default_spec with
+         task =
+           (fun env ->
+             Sodal.compute env 30_000;
+             for _ = 1 to 24 do
+               let pick =
+                 match Bidding.select env ~pattern:patt () with
+                 | Some ({ Types.sv_mid = Types.Mid m; _ }, load) -> Some (m, load)
+                 | Some ({ Types.sv_mid = Types.Broadcast_mid; _ }, _) | None -> None
+               in
+               picks := (Sodal.now env, pick) :: !picks;
+               Sodal.compute env 25_000
+             done);
+       });
+  Injector.install net
+    [ { Fault_plan.at_us = 300_000; action = Fault_plan.Crash 1 } ];
+  run net;
+  let picks = List.rev !picks in
+  Alcotest.(check int) "every round completed" 24 (List.length picks);
+  (match picks with
+   | (_, first) :: _ ->
+     Alcotest.(check bool) "healthy round picks the cheapest bid" true
+       (first = Some (1, 1))
+   | [] -> ());
+  (match List.rev picks with
+   | (_, last) :: _ ->
+     Alcotest.(check bool) "after the crash the cheapest survivor wins" true
+       (last = Some (2, 5))
+   | [] -> ());
+  List.iter
+    (fun (at, pick) ->
+      match pick with
+      | Some ((0 | 1 | 2), _) -> ()
+      | Some (m, _) -> Alcotest.failf "picked unknown bidder %d at %d" m at
+      | None -> Alcotest.failf "select returned nobody at %d" at)
+    picks
+
 let suites =
   [
     ( "chaos",
@@ -476,5 +604,9 @@ let suites =
           test_nameserver_under_chaos;
         Alcotest.test_case "stream under cut + loss burst" `Quick
           test_stream_under_partition_and_burst;
+        Alcotest.test_case "multicast delivers to survivors" `Quick
+          test_multicast_delivery_to_survivors;
+        Alcotest.test_case "bidding picks least-loaded survivor" `Quick
+          test_bidding_least_loaded_survivor;
       ] );
   ]

@@ -262,6 +262,65 @@ let test_rmr_peek_poke () =
   Alcotest.(check string) "poked then peeked" "WXYZ" !read_back;
   Alcotest.(check string) "server memory updated" "WXYZ" (Bytes.sub_string memory 8 4)
 
+(* Three contenders increment a shared counter word under the RMR lock.
+   Mutual exclusion must hold (no lost increments) and the capped
+   exponential backoff must keep the TEST-AND-SET round count close to
+   the ideal one-round-per-acquisition -- the old fixed 2 ms spin burnt
+   an order of magnitude more rounds on the same schedule. *)
+let test_rmr_lock_backoff () =
+  let contenders = 3 and iters = 4 in
+  let net, kernels = make_net ~seed:44 (1 + 1 + contenders) in
+  let spec, _memory = Rmr.spec ~pattern:patt ~words:4 in
+  ignore (Sodal.attach (List.nth kernels 0) spec);
+  ignore (Sodal.attach (List.nth kernels 1) (Timeserver.spec ()));
+  let finished = ref 0 in
+  for c = 0 to contenders - 1 do
+    ignore
+      (Sodal.attach (List.nth kernels (2 + c))
+         {
+           Sodal.default_spec with
+           task =
+             (fun env ->
+               let sv = Sodal.server ~mid:0 ~pattern:patt in
+               let ts = Sodal.server ~mid:1 ~pattern:Timeserver.alarm_pattern in
+               for _ = 1 to iters do
+                 (match Rmr.lock ~timeserver:ts env sv ~addr:0 with
+                  | Ok () -> ()
+                  | Error _ -> Alcotest.fail "lock failed");
+                 (* critical section: read-modify-write of word 1 *)
+                 (match Rmr.peek env sv ~addr:1 ~words:1 with
+                  | Ok w ->
+                    let v = (Char.code (Bytes.get w 0) lsl 8) lor Char.code (Bytes.get w 1) in
+                    Sodal.compute env 3_000;
+                    let w' = Bytes.create 2 in
+                    Bytes.set w' 0 (Char.chr (((v + 1) lsr 8) land 0xFF));
+                    Bytes.set w' 1 (Char.chr ((v + 1) land 0xFF));
+                    (match Rmr.poke env sv ~addr:1 w' with
+                     | Ok () -> ()
+                     | Error _ -> Alcotest.fail "poke failed")
+                  | Error _ -> Alcotest.fail "peek failed");
+                 match Rmr.unlock env sv ~addr:0 with
+                 | Ok () -> incr finished
+                 | Error _ -> Alcotest.fail "unlock failed"
+               done);
+         })
+  done;
+  run net;
+  Alcotest.(check int) "every critical section ran" (contenders * iters) !finished;
+  let counter =
+    (Char.code (Bytes.get _memory 2) lsl 8) lor Char.code (Bytes.get _memory 3)
+  in
+  Alcotest.(check int) "no lost increments" (contenders * iters) counter;
+  let attempts =
+    Soda_obs.Metrics.counter
+      (Soda_obs.Recorder.metrics (Network.recorder net))
+      "rmr.lock.attempts"
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "backoff bounds contention (%d rounds)" attempts)
+    true
+    (attempts >= contenders * iters && attempts <= contenders * iters * 4)
+
 (* ---- timeserver ------------------------------------------------------------------ *)
 
 let test_timeserver_sleep () =
@@ -586,7 +645,11 @@ let suites =
         Alcotest.test_case "concurrent callers" `Quick test_rpc_concurrent_callers;
         Alcotest.test_case "dead server" `Quick test_rpc_dead_server;
       ] );
-    ("facilities.rmr", [ Alcotest.test_case "peek/poke" `Quick test_rmr_peek_poke ]);
+    ( "facilities.rmr",
+      [
+        Alcotest.test_case "peek/poke" `Quick test_rmr_peek_poke;
+        Alcotest.test_case "contended lock backs off" `Quick test_rmr_lock_backoff;
+      ] );
     ( "facilities.timeserver",
       [
         Alcotest.test_case "sleep" `Quick test_timeserver_sleep;

@@ -18,4 +18,5 @@ let () =
          Test_stream.suites;
          Test_sodal_lang.suites;
          Test_chaos.suites;
+         Test_store.suites;
        ])

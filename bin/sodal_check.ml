@@ -1,0 +1,86 @@
+(* sodal_check: the sodalint static protocol analyzer for SODAL programs.
+
+   Checks every source on the command line, then the set as a whole
+   (advertise/request matching, buffer shapes, wait cycles — pass all of
+   a system's programs together to enable those rules). Rule ids and
+   their paper citations are catalogued in docs/ANALYSIS.md.
+
+     dune exec bin/sodal_check.exe -- examples/sodal/*.sodal
+     dune exec bin/sodal_check.exe -- --format json server.sodal
+
+   Exit status: 0 clean (or warnings only), 1 if any error — or any
+   diagnostic at all under --strict. *)
+
+module Sodalint = Soda_analysis.Sodalint
+module Diagnostic = Soda_analysis.Diagnostic
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let run format strict no_cross files =
+  if files = [] then `Error (true, "at least one SODAL source file is required")
+  else begin
+    let sources =
+      List.map (fun path -> { Sodalint.path; text = read_file path }) files
+    in
+    let diags = Sodalint.analyze ~cross:(not no_cross) sources in
+    (match format with
+     | `Human ->
+       List.iter (fun d -> Format.printf "%a@." Diagnostic.pp d) diags;
+       let errors, warnings =
+         List.fold_left
+           (fun (e, w) (d : Diagnostic.t) ->
+             match d.Diagnostic.severity with
+             | Diagnostic.Error -> (e + 1, w)
+             | Diagnostic.Warning -> (e, w + 1))
+           (0, 0) diags
+       in
+       if errors + warnings > 0 then
+         Format.printf "%d error%s, %d warning%s@." errors
+           (if errors = 1 then "" else "s")
+           warnings
+           (if warnings = 1 then "" else "s")
+       else
+         Format.printf "%d file%s checked, no diagnostics@." (List.length files)
+           (if List.length files = 1 then "" else "s")
+     | `Json -> List.iter (fun d -> print_endline (Diagnostic.to_json d)) diags);
+    `Ok (Sodalint.exit_status ~strict diags)
+  end
+
+open Cmdliner
+
+let format =
+  Arg.(
+    value
+    & opt (enum [ ("human", `Human); ("json", `Json) ]) `Human
+    & info [ "format" ] ~docv:"FMT"
+        ~doc:
+          "Output format: $(b,human) prints file:line:col: severity: [rule] \
+           message; $(b,json) prints one JSON object per diagnostic.")
+
+let strict =
+  Arg.(
+    value & flag
+    & info [ "strict" ] ~doc:"Exit non-zero on warnings too, not just errors.")
+
+let no_cross =
+  Arg.(
+    value & flag
+    & info [ "no-cross" ]
+        ~doc:
+          "Skip the cross-program rules (SL05x); check each file in isolation.")
+
+let files =
+  Arg.(value & pos_all file [] & info [] ~docv:"FILE.sodal" ~doc:"SODAL source files.")
+
+let cmd =
+  let doc = "statically check SODAL programs for protocol errors" in
+  Cmd.v
+    (Cmd.info "sodal_check" ~doc)
+    Term.(ret (const run $ format $ strict $ no_cross $ files))
+
+let () = exit (Cmd.eval' cmd)

@@ -91,13 +91,29 @@ let run_store ~seed ~seconds ~trace ~metrics ~fault_plan ~n ~clients ~ops ~keys
     if metrics then print_metrics r.Harness.net;
     `Ok ()
 
+(* --check: run the sodalint static analyzer (same rules as
+   bin/sodal_check.exe) and stop instead of executing. *)
+let run_check files =
+  let sources =
+    List.map (fun path -> { Soda_analysis.Sodalint.path; text = read_file path }) files
+  in
+  let diags = Soda_analysis.Sodalint.analyze sources in
+  List.iter (fun d -> Format.printf "%a@." Soda_analysis.Diagnostic.pp d) diags;
+  if Soda_analysis.Diagnostic.has_errors diags then
+    `Error (false, "static analysis found errors; not running")
+  else begin
+    Printf.printf "-- %d file(s) pass sodalint\n" (List.length files);
+    `Ok ()
+  end
+
 let run seed seconds trace metrics fault_plan store store_clients store_ops store_keys
-    store_think_us store_nameserver files =
+    store_think_us store_nameserver check files =
   if store > 0 then
     run_store ~seed ~seconds ~trace ~metrics ~fault_plan ~n:store ~clients:store_clients
       ~ops:store_ops ~keys:store_keys ~think_us:store_think_us
       ~nameserver:store_nameserver
   else if files = [] then `Error (true, "at least one SODAL source file is required")
+  else if check then run_check files
   else begin
     let net = Network.create ~seed ~trace:(trace <> None) () in
     let ok = ref true in
@@ -119,11 +135,13 @@ let run seed seconds trace metrics fault_plan store store_clients store_ops stor
           in
           Hashtbl.replace attachers mid attach;
           attach kernel
-        | exception Parser.Parse_error (message, line) ->
-          Printf.eprintf "%s:%d: parse error: %s\n" path line message;
+        | exception Parser.Parse_error (message, p) ->
+          Printf.eprintf "%s:%d:%d: parse error: %s\n" path p.Soda_sodal_lang.Ast.line
+            p.Soda_sodal_lang.Ast.col message;
           ok := false
-        | exception Lexer.Lex_error (message, line) ->
-          Printf.eprintf "%s:%d: lexical error: %s\n" path line message;
+        | exception Lexer.Lex_error (message, p) ->
+          Printf.eprintf "%s:%d:%d: lexical error: %s\n" path p.Soda_sodal_lang.Ast.line
+            p.Soda_sodal_lang.Ast.col message;
           ok := false)
       files;
     let plan_error = ref None in
@@ -231,6 +249,14 @@ let store_nameserver =
           "Resolve store replicas through the switchboard (register/rebind path) \
            instead of their stable patterns (with --store).")
 
+let check =
+  Arg.(
+    value & flag
+    & info [ "check" ]
+        ~doc:
+          "Statically check the programs (sodalint, see docs/ANALYSIS.md) instead \
+           of running them; non-zero exit if any rule reports an error.")
+
 let files =
   Arg.(value & pos_all file [] & info [] ~docv:"FILE.sodal" ~doc:"SODAL source files.")
 
@@ -242,6 +268,6 @@ let cmd =
       ret
         (const run $ seed $ seconds $ trace $ metrics $ fault_plan $ store
         $ store_clients $ store_ops $ store_keys $ store_think_us
-        $ store_nameserver $ files))
+        $ store_nameserver $ check $ files))
 
 let () = exit (Cmd.eval cmd)

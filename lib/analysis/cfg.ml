@@ -1,0 +1,126 @@
+(* Control-flow graphs over one SODAL section (initialization, handler
+   or task). The language is block-structured, so the graph is built
+   directly from the AST: one node per atomic action (assignment,
+   expression statement, condition, case label probe), with branch nodes
+   keeping their true/false successors apart so dataflow clients can
+   refine facts per edge (e.g. ISFULL(q) on the true edge pins q's
+   length interval to its capacity). [loop ... forever] has no normal
+   exit: only RETURN reaches the section exit from inside it. *)
+
+module Ast = Soda_sodal_lang.Ast
+
+type instr =
+  | Nop of string  (* entry / exit / join points; the string is a debug label *)
+  | Assign of string * Ast.expr
+  | Eval of Ast.expr  (* expression statement or case-arm label probe *)
+  | Branch of Ast.expr  (* successors split into true/false edges *)
+  | Ret
+
+type node = {
+  id : int;
+  instr : instr;
+  loc : Ast.pos;
+  mutable succ : int list;  (* unconditional successors *)
+  mutable succ_true : int list;  (* Branch only *)
+  mutable succ_false : int list;  (* Branch only *)
+}
+
+type t = { nodes : node array; entry : int; exit_ : int }
+
+(* Dangling out-edges of a partially built region, waiting for their
+   target: the region's fall-through plus any open branch edges. *)
+type edge = Fall | On_true | On_false
+
+let build (stmts : Ast.stmt list) : t =
+  let nodes = ref [] in
+  let count = ref 0 in
+  let add instr loc =
+    let n = { id = !count; instr; loc; succ = []; succ_true = []; succ_false = [] } in
+    incr count;
+    nodes := n :: !nodes;
+    n
+  in
+  let connect frontier (target : node) =
+    List.iter
+      (fun ((n : node), e) ->
+        match e with
+        | Fall -> n.succ <- target.id :: n.succ
+        | On_true -> n.succ_true <- target.id :: n.succ_true
+        | On_false -> n.succ_false <- target.id :: n.succ_false)
+      frontier
+  in
+  let entry = add (Nop "entry") Ast.no_pos in
+  let exit_ = add (Nop "exit") Ast.no_pos in
+  let returns = ref [] in
+  let rec seq frontier l = List.fold_left one frontier l
+  and one frontier (s : Ast.stmt) =
+    match s.Ast.stmt with
+    | Ast.Skip ->
+      let n = add (Nop "skip") s.Ast.sloc in
+      connect frontier n;
+      [ (n, Fall) ]
+    | Ast.Return ->
+      let n = add Ret s.Ast.sloc in
+      connect frontier n;
+      returns := n :: !returns;
+      []
+    | Ast.Assign (x, e) ->
+      let n = add (Assign (x, e)) s.Ast.sloc in
+      connect frontier n;
+      [ (n, Fall) ]
+    | Ast.Expr e ->
+      let n = add (Eval e) s.Ast.sloc in
+      connect frontier n;
+      [ (n, Fall) ]
+    | Ast.If (branches, els) ->
+      let incoming = ref frontier in
+      let out = ref [] in
+      List.iter
+        (fun (cond, body) ->
+          let c = add (Branch cond) cond.Ast.eloc in
+          connect !incoming c;
+          out := seq [ (c, On_true) ] body @ !out;
+          incoming := [ (c, On_false) ])
+        branches;
+      (match els with [] -> !incoming @ !out | _ -> seq !incoming els @ !out)
+    | Ast.While (cond, body) ->
+      let c = add (Branch cond) cond.Ast.eloc in
+      connect frontier c;
+      let back = seq [ (c, On_true) ] body in
+      connect back c;
+      [ (c, On_false) ]
+    | Ast.Loop body ->
+      let head = add (Nop "loop") s.Ast.sloc in
+      connect frontier head;
+      let back = seq [ (head, Fall) ] body in
+      connect back head;
+      []
+    | Ast.Case_entry arms | Ast.Case_completion arms ->
+      let head = add (Nop "case") s.Ast.sloc in
+      connect frontier head;
+      (* labels are probed in order; a labelled arm's probe node flows
+         both into its body (match) and on to the next arm (no match) *)
+      let incoming = ref [ (head, Fall) ] in
+      let out = ref [] in
+      let falls_through = ref true in
+      List.iter
+        (fun (label, body) ->
+          match label with
+          | Some le ->
+            let l = add (Eval le) le.Ast.eloc in
+            connect !incoming l;
+            out := seq [ (l, Fall) ] body @ !out;
+            incoming := [ (l, Fall) ]
+          | None ->
+            out := seq !incoming body @ !out;
+            incoming := [];
+            falls_through := false)
+        arms;
+      (if !falls_through then !incoming else []) @ !out
+  in
+  let final = seq [ (entry, Fall) ] stmts in
+  connect final exit_;
+  List.iter (fun (r : node) -> r.succ <- exit_.id :: r.succ) !returns;
+  let arr = Array.make !count entry in
+  List.iter (fun n -> arr.(n.id) <- n) !nodes;
+  { nodes = arr; entry = entry.id; exit_ = exit_.id }

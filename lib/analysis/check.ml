@@ -1,0 +1,547 @@
+(* Per-program sodalint rules (see docs/ANALYSIS.md for the catalogue):
+
+   SL001  blocking built-in in handler context          (error)
+   SL002  handler-only built-in outside the handler     (error)
+   SL003  unknown built-in                              (error)
+   SL004  built-in arity mismatch                       (error)
+   SL010  undeclared variable                           (error)
+   SL011  duplicate declaration                         (warning)
+   SL012  unused declaration                            (warning)
+   SL020  use before definite assignment                (error)
+   SL030  CLOSE never balanced by any OPEN              (error)
+   SL031  CLOSE when provably already closed            (warning)
+   SL040  ENQUEUE on a provably full queue              (error)
+   SL041  DEQUEUE on a provably empty queue             (error)
+   SL052  UNADVERTISE of a never-advertised pattern     (error)
+
+   The handler is analyzed as of its first invocation: values assigned by
+   earlier invocations or by the task are not "definitely assigned" — by
+   design, since nothing orders those writes before the first arrival. *)
+
+module Ast = Soda_sodal_lang.Ast
+module Builtins = Soda_sodal_lang.Builtins
+module SS = Set.Make (String)
+module SM = Map.Make (String)
+
+let uc = String.uppercase_ascii
+
+type section = Init | Handler | Task
+
+let section_name = function
+  | Init -> "initialization"
+  | Handler -> "handler"
+  | Task -> "task"
+
+let sections (p : Ast.program) =
+  [ (Init, p.Ast.initialization); (Handler, p.Ast.handler); (Task, p.Ast.task) ]
+
+(* ---- AST walking ---------------------------------------------------------- *)
+
+let rec iter_expr f (e : Ast.expr) =
+  f e;
+  match e.Ast.expr with
+  | Ast.Binop (_, a, b) ->
+    iter_expr f a;
+    iter_expr f b
+  | Ast.Unop (_, a) -> iter_expr f a
+  | Ast.Call (_, args) -> List.iter (iter_expr f) args
+  | Ast.Int _ | Ast.Bool _ | Ast.Str _ | Ast.Pattern_lit _ | Ast.Var _ | Ast.Field _ ->
+    ()
+
+let rec iter_stmt ~expr ~stmt (s : Ast.stmt) =
+  stmt s;
+  match s.Ast.stmt with
+  | Ast.Assign (_, e) | Ast.Expr e -> expr e
+  | Ast.If (branches, els) ->
+    List.iter
+      (fun (c, body) ->
+        expr c;
+        List.iter (iter_stmt ~expr ~stmt) body)
+      branches;
+    List.iter (iter_stmt ~expr ~stmt) els
+  | Ast.While (c, body) ->
+    expr c;
+    List.iter (iter_stmt ~expr ~stmt) body
+  | Ast.Loop body -> List.iter (iter_stmt ~expr ~stmt) body
+  | Ast.Case_entry arms | Ast.Case_completion arms ->
+    List.iter
+      (fun (l, body) ->
+        Option.iter expr l;
+        List.iter (iter_stmt ~expr ~stmt) body)
+      arms
+  | Ast.Skip | Ast.Return -> ()
+
+let iter_section ~expr ~stmt stmts = List.iter (iter_stmt ~expr ~stmt) stmts
+
+(* every expression in the section, including nested sub-expressions *)
+let iter_section_exprs f stmts =
+  iter_section ~expr:(iter_expr f) ~stmt:(fun _ -> ()) stmts
+
+(* ---- constant folding ------------------------------------------------------ *)
+
+type const_value = Cint of int | Cstr of string
+
+let rec fold_const env (e : Ast.expr) =
+  match e.Ast.expr with
+  | Ast.Int n -> Some (Cint n)
+  | Ast.Pattern_lit p -> Some (Cint p)
+  | Ast.Str s -> Some (Cstr s)
+  | Ast.Var x -> SM.find_opt (uc x) env
+  | Ast.Unop (Ast.Neg, a) ->
+    (match fold_const env a with Some (Cint n) -> Some (Cint (-n)) | _ -> None)
+  | Ast.Binop (op, a, b) -> (
+    match (fold_const env a, fold_const env b) with
+    | Some (Cint x), Some (Cint y) -> (
+      match op with
+      | Ast.Add -> Some (Cint (x + y))
+      | Ast.Sub -> Some (Cint (x - y))
+      | Ast.Mul -> Some (Cint (x * y))
+      | _ -> None)
+    | Some (Cstr x), Some (Cstr y) when op = Ast.Add -> Some (Cstr (x ^ y))
+    | _ -> None)
+  | _ -> None
+
+let const_env (p : Ast.program) =
+  List.fold_left
+    (fun env (d : Ast.decl) ->
+      match d.Ast.decl with
+      | Ast.Const (name, e) -> (
+        match fold_const env e with Some v -> SM.add (uc name) v env | None -> env)
+      | Ast.Var_decl _ -> env)
+    SM.empty p.Ast.decls
+
+let as_pattern_const env e =
+  match fold_const env e with Some (Cint n) -> Some n | _ -> None
+
+(* ---- declarations ---------------------------------------------------------- *)
+
+type var_kind = Kconst | Kvar of Ast.type_name
+
+type decl_info = { kind : var_kind; dpos : Ast.pos; mutable used : bool }
+
+let context_vars = SS.of_list Builtins.context_vars
+
+let collect_decls emit (p : Ast.program) =
+  let table = ref SM.empty in
+  let declare name kind pos =
+    let key = uc name in
+    (match SM.find_opt key !table with
+     | Some _ ->
+       emit pos Diagnostic.Warning "SL011"
+         (Printf.sprintf "duplicate declaration of %s" name)
+     | None -> ());
+    table := SM.add key { kind; dpos = pos; used = false } !table
+  in
+  List.iter
+    (fun (d : Ast.decl) ->
+      match d.Ast.decl with
+      | Ast.Const (name, _) -> declare name Kconst d.Ast.dloc
+      | Ast.Var_decl (names, ty) ->
+        List.iter (fun name -> declare name (Kvar ty) d.Ast.dloc) names)
+    p.Ast.decls;
+  !table
+
+(* ---- SL001..SL004: built-in usage ------------------------------------------ *)
+
+let check_builtins emit (p : Ast.program) =
+  List.iter
+    (fun (section, stmts) ->
+      iter_section_exprs
+        (fun (e : Ast.expr) ->
+          match e.Ast.expr with
+          | Ast.Call (name, args) -> (
+            match Builtins.find name with
+            | None ->
+              emit e.Ast.eloc Diagnostic.Error "SL003"
+                (Printf.sprintf "unknown built-in %s" name)
+            | Some signature ->
+              (match signature.Builtins.arity with
+               | Some n when n <> List.length args ->
+                 emit e.Ast.eloc Diagnostic.Error "SL004"
+                   (Printf.sprintf "%s expects %d argument%s, got %d" name n
+                      (if n = 1 then "" else "s")
+                      (List.length args))
+               | _ -> ());
+              (match (signature.Builtins.context, section) with
+               | Builtins.Task_only, Handler ->
+                 emit e.Ast.eloc Diagnostic.Error "SL001"
+                   (if signature.Builtins.blocking then
+                      Printf.sprintf
+                        "%s blocks for unbounded time and may not be called from \
+                         the handler: the handler must run to completion (§4.1.1)"
+                        name
+                    else
+                      Printf.sprintf "%s may not be called from the handler" name)
+               | Builtins.Handler_only, (Init | Task) ->
+                 emit e.Ast.eloc Diagnostic.Error "SL002"
+                   (Printf.sprintf
+                      "%s addresses the current request, which only exists inside \
+                       the handler (§4.1.2); in the %s section there is none"
+                      name (section_name section))
+               | _ -> ()))
+          | _ -> ())
+        stmts)
+    (sections p)
+
+(* ---- SL010/SL012: declared/used bookkeeping -------------------------------- *)
+
+let check_vars emit decls (p : Ast.program) =
+  let reference ?(write = false) name pos =
+    let key = uc name in
+    match SM.find_opt key decls with
+    | Some info -> info.used <- true
+    | None ->
+      if not (SS.mem key context_vars) then
+        emit pos Diagnostic.Error "SL010"
+          (Printf.sprintf "undeclared variable %s%s" name
+             (if write then " (assignment target)" else ""))
+  in
+  let on_expr (e : Ast.expr) =
+    match e.Ast.expr with
+    | Ast.Var x -> reference x e.Ast.eloc
+    | Ast.Field (x, _) -> reference x e.Ast.eloc
+    | _ -> ()
+  in
+  (* const initialisers may reference earlier declarations *)
+  List.iter
+    (fun (d : Ast.decl) ->
+      match d.Ast.decl with
+      | Ast.Const (_, e) -> iter_expr on_expr e
+      | Ast.Var_decl _ -> ())
+    p.Ast.decls;
+  List.iter
+    (fun (_, stmts) ->
+      iter_section
+        ~expr:(iter_expr on_expr)
+        ~stmt:(fun (s : Ast.stmt) ->
+          match s.Ast.stmt with
+          | Ast.Assign (x, _) -> reference ~write:true x s.Ast.sloc
+          | _ -> ())
+        stmts)
+    (sections p);
+  SM.iter
+    (fun _ info ->
+      if not info.used then
+        emit info.dpos Diagnostic.Warning "SL012" "declaration is never used")
+    decls
+
+(* ---- SL020: definite assignment -------------------------------------------- *)
+
+module Assign_df = Dataflow.Make (struct
+  type t = SS.t
+
+  let join = SS.inter
+  let equal = SS.equal
+end)
+
+let node_exprs (node : Cfg.node) =
+  match node.Cfg.instr with
+  | Cfg.Assign (_, e) | Cfg.Eval e | Cfg.Branch e -> [ e ]
+  | Cfg.Nop _ | Cfg.Ret -> []
+
+let check_definite_assignment emit decls (p : Ast.program) =
+  (* base facts: consts and queues are initialised by their declaration,
+     context variables always exist *)
+  let base =
+    SM.fold
+      (fun key info acc ->
+        match info.kind with
+        | Kconst | Kvar (Ast.T_queue _) -> SS.add key acc
+        | Kvar _ -> acc)
+      decls context_vars
+  in
+  let is_plain_var name =
+    match SM.find_opt (uc name) decls with
+    | Some { kind = Kvar (Ast.T_queue _); _ } -> false
+    | Some { kind = Kvar _; _ } -> true
+    | Some { kind = Kconst; _ } | None -> false
+  in
+  let transfer (node : Cfg.node) s =
+    match node.Cfg.instr with
+    | Cfg.Assign (x, _) -> SS.add (uc x) s
+    | _ -> s
+  in
+  let run stmts entry =
+    let cfg = Cfg.build stmts in
+    let in_states = Assign_df.run cfg ~init:entry ~transfer () in
+    (* report reads of not-definitely-assigned plain variables *)
+    Array.iteri
+      (fun id state ->
+        match state with
+        | None -> ()
+        | Some s ->
+          List.iter
+            (iter_expr (fun (e : Ast.expr) ->
+                 match e.Ast.expr with
+                 | Ast.Var x | Ast.Field (x, _) ->
+                   if is_plain_var x && not (SS.mem (uc x) s) then
+                     emit e.Ast.eloc Diagnostic.Error "SL020"
+                       (Printf.sprintf
+                          "%s is read before any assignment on some path \
+                           (initialise it in the initialization section)"
+                          x)
+                 | _ -> ()))
+            (node_exprs cfg.Cfg.nodes.(id)))
+      in_states;
+    (* the state the next section starts from: what init definitely
+       assigned by its exit *)
+    match in_states.(cfg.Cfg.exit_) with Some s -> s | None -> entry
+  in
+  (* const initialisers: a const may only read consts declared before it *)
+  ignore
+    (List.fold_left
+       (fun known (d : Ast.decl) ->
+         match d.Ast.decl with
+         | Ast.Const (name, e) ->
+           iter_expr
+             (fun (sub : Ast.expr) ->
+               match sub.Ast.expr with
+               | Ast.Var x when is_plain_var x || not (SS.mem (uc x) known) ->
+                 if SM.mem (uc x) decls || SS.mem (uc x) context_vars then
+                   emit sub.Ast.eloc Diagnostic.Error "SL020"
+                     (Printf.sprintf "const %s reads %s before it is initialised" name x)
+               | _ -> ())
+             e;
+           SS.add (uc name) known
+         | Ast.Var_decl _ -> known)
+       context_vars p.Ast.decls);
+  let after_init = run p.Ast.initialization base in
+  ignore (run p.Ast.handler after_init);
+  ignore (run p.Ast.task after_init)
+
+(* ---- SL030/SL031: OPEN/CLOSE balance ---------------------------------------- *)
+
+type hstate = Opened | Closed | Either
+
+module Handler_df = Dataflow.Make (struct
+  type t = hstate
+
+  let join a b = if a = b then a else Either
+  let equal = ( = )
+end)
+
+let check_open_close emit (p : Ast.program) =
+  let opens = ref [] and closes = ref [] in
+  List.iter
+    (fun (_, stmts) ->
+      iter_section_exprs
+        (fun (e : Ast.expr) ->
+          match e.Ast.expr with
+          | Ast.Call ("OPEN", []) -> opens := e.Ast.eloc :: !opens
+          | Ast.Call ("CLOSE", []) -> closes := e.Ast.eloc :: !closes
+          | _ -> ())
+        stmts)
+    (sections p);
+  (* SL030: a CLOSE with no OPEN anywhere can never be undone *)
+  if !opens = [] then
+    List.iter
+      (fun pos ->
+        emit pos Diagnostic.Error "SL030"
+          "CLOSE is never balanced by an OPEN anywhere in the program: once \
+           closed, the machine refuses new requests forever")
+      (List.rev !closes);
+  (* SL031: path-sensitive double-CLOSE within one section activation *)
+  let handler_toggles = ref false in
+  iter_section_exprs
+    (fun (e : Ast.expr) ->
+      match e.Ast.expr with
+      | Ast.Call (("OPEN" | "CLOSE"), []) -> handler_toggles := true
+      | _ -> ())
+    p.Ast.handler;
+  let rec hfold ?emit_close section state (e : Ast.expr) =
+    match e.Ast.expr with
+    | Ast.Binop (_, a, b) -> hfold ?emit_close section (hfold ?emit_close section state a) b
+    | Ast.Unop (_, a) -> hfold ?emit_close section state a
+    | Ast.Call (name, args) -> (
+      let state = List.fold_left (hfold ?emit_close section) state args in
+      match name with
+      | "OPEN" -> Opened
+      | "CLOSE" ->
+        (match emit_close with
+         | Some f when state = Closed -> f e.Ast.eloc
+         | _ -> ());
+        Closed
+      | _ -> (
+        match Builtins.find name with
+        (* while a task-side call blocks, the handler may run and flip
+           the state under us *)
+        | Some { Builtins.blocking = true; _ } when section <> Handler && !handler_toggles
+          ->
+          Either
+        | _ -> state))
+    | _ -> state
+  in
+  let run section stmts entry =
+    let cfg = Cfg.build stmts in
+    let transfer (node : Cfg.node) s =
+      List.fold_left (hfold section) s (node_exprs node)
+    in
+    let in_states = Handler_df.run cfg ~init:entry ~transfer () in
+    Array.iteri
+      (fun id state ->
+        match state with
+        | None -> ()
+        | Some s ->
+          let emit_close pos =
+            emit pos Diagnostic.Warning "SL031"
+              "CLOSE, but the machine is already closed on every path to this \
+               point"
+          in
+          ignore
+            (List.fold_left (hfold ~emit_close section) s
+               (node_exprs cfg.Cfg.nodes.(id))))
+      in_states;
+    match in_states.(cfg.Cfg.exit_) with Some s -> s | None -> entry
+  in
+  (* a machine boots open (§3.4); the handler can be entered in either
+     state (arrivals need it open, completions arrive regardless) *)
+  let after_init = run Init p.Ast.initialization Opened in
+  ignore (run Handler p.Ast.handler Either);
+  ignore (run Task p.Ast.task after_init)
+
+(* ---- SL040/SL041: queue bounds ---------------------------------------------- *)
+
+module Queue_df = Dataflow.Make (struct
+  type t = (int * int) SM.t
+
+  let join = SM.union (fun _ (a, b) (c, d) -> Some (min a c, max b d))
+  let equal = SM.equal (fun (a, b) (c, d) -> a = c && b = d)
+end)
+
+let check_queue_bounds emit decls (p : Ast.program) =
+  let caps =
+    SM.fold
+      (fun key info acc ->
+        match info.kind with
+        | Kvar (Ast.T_queue n) -> SM.add key n acc
+        | _ -> acc)
+      decls SM.empty
+  in
+  if not (SM.is_empty caps) then begin
+    let feasible (lo, hi) = lo <= hi in
+    let rec qfold ?emit_op state (e : Ast.expr) =
+      match e.Ast.expr with
+      | Ast.Binop (_, a, b) -> qfold ?emit_op (qfold ?emit_op state a) b
+      | Ast.Unop (_, a) -> qfold ?emit_op state a
+      | Ast.Call (name, args) -> (
+        let state = List.fold_left (qfold ?emit_op) state args in
+        match (name, args) with
+        | "ENQUEUE", { Ast.expr = Ast.Var q; _ } :: _ when SM.mem (uc q) caps ->
+          let key = uc q in
+          let cap = SM.find key caps in
+          let ((lo, hi) as iv) = SM.find key state in
+          (match emit_op with
+           | Some f when feasible iv && lo >= cap ->
+             f e.Ast.eloc Diagnostic.Error "SL040"
+               (Printf.sprintf
+                  "ENQUEUE on %s, which is provably full here (capacity %d): \
+                   Bqueue.enqueue raises at run time"
+                  q cap)
+           | _ -> ());
+          SM.add key (min (lo + 1) cap, min (hi + 1) cap) state
+        | "DEQUEUE", [ { Ast.expr = Ast.Var q; _ } ] when SM.mem (uc q) caps ->
+          let key = uc q in
+          let ((lo, hi) as iv) = SM.find key state in
+          (match emit_op with
+           | Some f when feasible iv && hi <= 0 ->
+             f e.Ast.eloc Diagnostic.Error "SL041"
+               (Printf.sprintf "DEQUEUE on %s, which is provably empty here" q)
+           | _ -> ());
+          SM.add key (max (lo - 1) 0, max (hi - 1) 0) state
+        | _ -> state)
+      | _ -> state
+    in
+    (* branch refinement: ISFULL/ISEMPTY probes pin the interval on each edge *)
+    let rec refine_cond polarity state (cond : Ast.expr) =
+      match cond.Ast.expr with
+      | Ast.Unop (Ast.Not, inner) -> refine_cond (not polarity) state inner
+      | Ast.Call ("ISFULL", [ { Ast.expr = Ast.Var q; _ } ]) when SM.mem (uc q) caps ->
+        let key = uc q in
+        let cap = SM.find key caps in
+        let lo, hi = SM.find key state in
+        if polarity then SM.add key (max lo cap, hi) state
+        else SM.add key (lo, min hi (cap - 1)) state
+      | Ast.Call ("ISEMPTY", [ { Ast.expr = Ast.Var q; _ } ]) when SM.mem (uc q) caps ->
+        let key = uc q in
+        let lo, hi = SM.find key state in
+        if polarity then SM.add key (lo, min hi 0) state
+        else SM.add key (max lo 1, hi) state
+      | _ -> state
+    in
+    let run stmts entry =
+      let cfg = Cfg.build stmts in
+      let transfer (node : Cfg.node) s = List.fold_left qfold s (node_exprs node) in
+      let refine (node : Cfg.node) out polarity =
+        match node.Cfg.instr with
+        | Cfg.Branch cond -> refine_cond polarity out cond
+        | _ -> out
+      in
+      let in_states = Queue_df.run cfg ~init:entry ~transfer ~refine () in
+      Array.iteri
+        (fun id state ->
+          match state with
+          | None -> ()
+          | Some s ->
+            ignore
+              (List.fold_left (qfold ~emit_op:emit) s (node_exprs cfg.Cfg.nodes.(id))))
+        in_states
+    in
+    let empty = SM.map (fun _ -> (0, 0)) caps in
+    let top = SM.map (fun cap -> (0, cap)) caps in
+    (* initialization starts with every queue empty; the handler and task
+       interleave, so each starts from the full interval *)
+    run p.Ast.initialization empty;
+    run p.Ast.handler top;
+    run p.Ast.task top
+  end
+
+(* ---- SL052: UNADVERTISE without ADVERTISE ----------------------------------- *)
+
+let check_unadvertise emit (p : Ast.program) =
+  let env = const_env p in
+  let advertised = ref [] in
+  List.iter
+    (fun (_, stmts) ->
+      iter_section_exprs
+        (fun (e : Ast.expr) ->
+          match e.Ast.expr with
+          | Ast.Call ("ADVERTISE", [ arg ]) -> (
+            match as_pattern_const env arg with
+            | Some pat -> advertised := pat :: !advertised
+            | None -> ())
+          | _ -> ())
+        stmts)
+    (sections p);
+  List.iter
+    (fun (_, stmts) ->
+      iter_section_exprs
+        (fun (e : Ast.expr) ->
+          match e.Ast.expr with
+          | Ast.Call ("UNADVERTISE", [ arg ]) -> (
+            match as_pattern_const env arg with
+            | Some pat when not (List.mem pat !advertised) ->
+              emit e.Ast.eloc Diagnostic.Error "SL052"
+                (Printf.sprintf
+                   "UNADVERTISE %%0%o, but this program never advertises that \
+                    pattern"
+                   pat)
+            | _ -> ())
+          | _ -> ())
+        stmts)
+    (sections p)
+
+(* ---- entry point ------------------------------------------------------------- *)
+
+let check ~file (p : Ast.program) : Diagnostic.t list =
+  let diags = ref [] in
+  let emit pos severity rule message =
+    diags := Diagnostic.make ~file ~pos ~severity ~rule ~message :: !diags
+  in
+  let decls = collect_decls emit p in
+  check_builtins emit p;
+  check_vars emit decls p;
+  check_definite_assignment emit decls p;
+  check_open_close emit p;
+  check_queue_bounds emit decls p;
+  check_unadvertise emit p;
+  List.rev !diags

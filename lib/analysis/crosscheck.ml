@@ -1,0 +1,333 @@
+(* Cross-program sodalint rules, run over the whole set of files given
+   on the command line (the "system"):
+
+   SL050  request/discover for a pattern no program advertises  (warning)
+   SL051  the same pattern advertised twice by one program      (warning)
+   SL053  request shape incompatible with the serving handler   (error)
+   SL054  transfer provably truncated by a buffer size          (warning)
+   SL055  cyclic synchronous wait between programs              (warning)
+
+   SL050 and SL055 only make sense when the checker can see the whole
+   system, so they are gated on at least two programs being checked
+   together. SL053/SL054 fire as soon as a matching handler arm is in
+   the set — including a program requesting from itself. *)
+
+module Ast = Soda_sodal_lang.Ast
+module Builtins = Soda_sodal_lang.Builtins
+
+type request_site = {
+  r_shape : Builtins.shape;
+  r_blocking : bool;
+  r_pattern : int option;
+  r_put_len : int option;  (* bytes the requester sends *)
+  r_get_len : int option;  (* requester's receive-buffer size *)
+  r_loc : Ast.pos;
+}
+
+type accept_site = {
+  a_shape : Builtins.shape;
+  a_into_len : int option;  (* server's receive capacity *)
+  a_data_len : int option;  (* bytes the server sends back *)
+  a_loc : Ast.pos;
+}
+
+type arm = {
+  arm_pattern : int;
+  accepts : accept_site list;  (* ACCEPT_CURRENT_* sites in the arm *)
+  defers : bool;  (* arm rejects or hands the request to the task *)
+}
+
+type summary = {
+  file : string;
+  prog : string;
+  advertised : (int * Ast.pos) list;
+  requests : request_site list;
+  discovers : (int * Ast.pos) list;
+  arms : arm list;
+}
+
+let as_int_const env e =
+  match Check.fold_const env e with Some (Check.Cint n) -> Some n | _ -> None
+
+(* the length of a data operand, when the string is a compile-time
+   constant *)
+let as_len_const env e =
+  match Check.fold_const env e with
+  | Some (Check.Cstr s) -> Some (String.length s)
+  | _ -> None
+
+let nth_opt = List.nth_opt
+
+let summarize ~file (p : Ast.program) : summary =
+  let env = Check.const_env p in
+  let advertised = ref [] in
+  let requests = ref [] in
+  let discovers = ref [] in
+  let on_expr (e : Ast.expr) =
+    match e.Ast.expr with
+    | Ast.Call (name, args) -> (
+      match Builtins.find name with
+      | Some { Builtins.role = Builtins.Advertise; _ } -> (
+        match nth_opt args 0 with
+        | Some a -> (
+          match Check.as_pattern_const env a with
+          | Some pat -> advertised := (pat, e.Ast.eloc) :: !advertised
+          | None -> ())
+        | None -> ())
+      | Some { Builtins.role = Builtins.Discover; _ } -> (
+        match nth_opt args 0 with
+        | Some a -> (
+          match Check.as_pattern_const env a with
+          | Some pat -> discovers := (pat, e.Ast.eloc) :: !discovers
+          | None -> ())
+        | None -> ())
+      | Some { Builtins.role = Builtins.Request { shape; blocking }; _ } ->
+        let pattern = Option.bind (nth_opt args 1) (Check.as_pattern_const env) in
+        let put_len =
+          match shape with
+          | Builtins.Put | Builtins.Exchange ->
+            Option.bind (nth_opt args 3) (as_len_const env)
+          | Builtins.Sig | Builtins.Get -> None
+        in
+        let get_len =
+          match shape with
+          | Builtins.Get -> Option.bind (nth_opt args 3) (as_int_const env)
+          | Builtins.Exchange -> Option.bind (nth_opt args 4) (as_int_const env)
+          | Builtins.Sig | Builtins.Put -> None
+        in
+        requests :=
+          { r_shape = shape; r_blocking = blocking; r_pattern = pattern; r_put_len = put_len; r_get_len = get_len; r_loc = e.Ast.eloc }
+          :: !requests
+      | _ -> ())
+    | _ -> ()
+  in
+  List.iter
+    (fun (_, stmts) -> Check.iter_section_exprs on_expr stmts)
+    (Check.sections p);
+  (* handler arms: [case entry of PATTERN : ...] dispatches arrivals *)
+  let arms = ref [] in
+  let collect_arm pat body =
+    let accepts = ref [] in
+    let defers = ref false in
+    let on_arm_expr (e : Ast.expr) =
+      match e.Ast.expr with
+      | Ast.Call (name, args) -> (
+        match Builtins.find name with
+        | Some { Builtins.role = Builtins.Accept { shape; current = true }; _ } ->
+          let into_len, data_len =
+            match shape with
+            | Builtins.Sig -> (None, None)
+            | Builtins.Put -> (Option.bind (nth_opt args 1) (as_int_const env), None)
+            | Builtins.Get -> (None, Option.bind (nth_opt args 1) (as_len_const env))
+            | Builtins.Exchange ->
+              ( Option.bind (nth_opt args 1) (as_int_const env),
+                Option.bind (nth_opt args 2) (as_len_const env) )
+          in
+          accepts :=
+            { a_shape = shape; a_into_len = into_len; a_data_len = data_len; a_loc = e.Ast.eloc }
+            :: !accepts
+        | Some { Builtins.role = Builtins.Accept { current = false; _ }; _ }
+        | Some { Builtins.role = Builtins.Queue_op `Enqueue; _ } ->
+          (* the arm queues work (or accepts by signature later): data
+             movement happens elsewhere, so shapes can't be judged here *)
+          defers := true
+        | Some { Builtins.name = "REJECT"; _ } -> defers := true
+        | _ -> ())
+      | _ -> ()
+    in
+    List.iter
+      (Check.iter_stmt ~expr:(Check.iter_expr on_arm_expr) ~stmt:(fun _ -> ()))
+      body;
+    arms := { arm_pattern = pat; accepts = List.rev !accepts; defers = !defers } :: !arms
+  in
+  List.iter
+    (Check.iter_stmt
+       ~expr:(fun _ -> ())
+       ~stmt:(fun (s : Ast.stmt) ->
+         match s.Ast.stmt with
+         | Ast.Case_entry case_arms ->
+           List.iter
+             (fun (label, body) ->
+               match Option.bind label (Check.as_pattern_const env) with
+               | Some pat -> collect_arm pat body
+               | None -> ())
+             case_arms
+         | _ -> ()))
+    p.Ast.handler;
+  {
+    file;
+    prog = p.Ast.name;
+    advertised = List.rev !advertised;
+    requests = List.rev !requests;
+    discovers = List.rev !discovers;
+    arms = List.rev !arms;
+  }
+
+(* request shape R is served by accept shape A: an EXCHANGE accept also
+   covers plain PUT (no reply wanted) and plain GET (nothing sent) *)
+let serves ~request ~accept =
+  match (request, accept) with
+  | Builtins.Sig, Builtins.Sig
+  | Builtins.Put, (Builtins.Put | Builtins.Exchange)
+  | Builtins.Get, (Builtins.Get | Builtins.Exchange)
+  | Builtins.Exchange, Builtins.Exchange ->
+    true
+  | _ -> false
+
+let check (programs : (string * Ast.program) list) : Diagnostic.t list =
+  let diags = ref [] in
+  let emit file pos severity rule message =
+    diags := Diagnostic.make ~file ~pos ~severity ~rule ~message :: !diags
+  in
+  let summaries = List.map (fun (file, p) -> summarize ~file p) programs in
+  let whole_system = List.length summaries >= 2 in
+  let advertised_anywhere pat =
+    List.exists (fun s -> List.exists (fun (p, _) -> p = pat) s.advertised) summaries
+  in
+  (* SL051: re-advertising a pattern the same program already advertises *)
+  List.iter
+    (fun s ->
+      ignore
+        (List.fold_left
+           (fun seen (pat, pos) ->
+             if List.mem pat seen then
+               emit s.file pos Diagnostic.Warning "SL051"
+                 (Printf.sprintf "pattern %%0%o is already advertised by this program"
+                    pat);
+             pat :: seen)
+           [] s.advertised))
+    summaries;
+  (* SL050: nobody in the system advertises the requested pattern *)
+  if whole_system then
+    List.iter
+      (fun s ->
+        List.iter
+          (fun (pat, pos) ->
+            if not (advertised_anywhere pat) then
+              emit s.file pos Diagnostic.Warning "SL050"
+                (Printf.sprintf
+                   "no program in this set advertises %%0%o: DISCOVER will block \
+                    until one does"
+                   pat))
+          s.discovers;
+        List.iter
+          (fun r ->
+            match r.r_pattern with
+            | Some pat when not (advertised_anywhere pat) ->
+              emit s.file r.r_loc Diagnostic.Warning "SL050"
+                (Printf.sprintf "no program in this set advertises %%0%o" pat)
+            | _ -> ())
+          s.requests)
+      summaries;
+  (* SL053/SL054: judge each request against every handler arm that
+     serves its pattern and handles the request inline *)
+  List.iter
+    (fun requester ->
+      List.iter
+        (fun r ->
+          match r.r_pattern with
+          | None -> ()
+          | Some pat ->
+            List.iter
+              (fun server ->
+                List.iter
+                  (fun arm ->
+                    if arm.arm_pattern = pat && (not arm.defers) && arm.accepts <> []
+                    then begin
+                      let compatible =
+                        List.filter
+                          (fun a -> serves ~request:r.r_shape ~accept:a.a_shape)
+                          arm.accepts
+                      in
+                      if compatible = [] then
+                        emit requester.file r.r_loc Diagnostic.Error "SL053"
+                          (Printf.sprintf
+                             "this is a %s request, but program %s's handler \
+                              serves %%0%o with %s accepts only (§3.3.1 buffer \
+                              shapes do not match)"
+                             (Builtins.shape_name r.r_shape) server.prog pat
+                             (String.concat "/"
+                                (List.sort_uniq String.compare
+                                   (List.map
+                                      (fun a -> Builtins.shape_name a.a_shape)
+                                      arm.accepts))))
+                      else
+                        List.iter
+                          (fun a ->
+                            (match (r.r_put_len, a.a_into_len) with
+                             | Some sent, Some cap when sent > cap ->
+                               emit requester.file r.r_loc Diagnostic.Warning
+                                 "SL054"
+                                 (Printf.sprintf
+                                    "sends %d bytes but program %s accepts at \
+                                     most %d: the transfer is truncated"
+                                    sent server.prog cap)
+                             | _ -> ());
+                            match (r.r_get_len, a.a_data_len) with
+                            | Some cap, Some sent when sent > cap ->
+                              emit requester.file r.r_loc Diagnostic.Warning
+                                "SL054"
+                                (Printf.sprintf
+                                   "receive buffer holds %d bytes but program \
+                                    %s sends %d back: the reply is truncated"
+                                   cap server.prog sent)
+                            | _ -> ())
+                          compatible
+                    end)
+                  server.arms)
+              summaries)
+        requester.requests)
+    summaries;
+  (* SL055: wait-for graph. Program A waits on B when A issues a
+     blocking request for a pattern B advertises. An edge that lies on a
+     cycle means every program involved can end up blocked at once if
+     the accepts happen task-side. *)
+  if whole_system then begin
+    let n = List.length summaries in
+    let arr = Array.of_list summaries in
+    let index_advertising pat =
+      let hits = ref [] in
+      Array.iteri
+        (fun i s -> if List.exists (fun (p, _) -> p = pat) s.advertised then hits := i :: !hits)
+        arr;
+      !hits
+    in
+    let edges = Array.make n [] in
+    Array.iteri
+      (fun i s ->
+        List.iter
+          (fun r ->
+            if r.r_blocking then
+              match r.r_pattern with
+              | Some pat ->
+                List.iter
+                  (fun j -> if j <> i then edges.(i) <- (j, pat, r.r_loc) :: edges.(i))
+                  (index_advertising pat)
+              | None -> ())
+          s.requests)
+      arr;
+    let reaches src dst =
+      let seen = Array.make n false in
+      let rec go i =
+        if seen.(i) then false
+        else begin
+          seen.(i) <- true;
+          List.exists (fun (j, _, _) -> j = dst || go j) edges.(i)
+        end
+      in
+      go src
+    in
+    Array.iteri
+      (fun i s ->
+        List.iter
+          (fun (j, pat, loc) ->
+            if reaches j i then
+              emit s.file loc Diagnostic.Warning "SL055"
+                (Printf.sprintf
+                   "blocking request to %%0%o (served by program %s) lies on a \
+                    synchronous wait cycle: %s can block waiting on %s in turn"
+                   pat arr.(j).prog arr.(j).prog s.prog))
+          (List.rev edges.(i)))
+      arr
+  end;
+  List.rev !diags

@@ -1,0 +1,58 @@
+(* A small forward dataflow engine over {!Cfg}: monotone worklist
+   iteration to a fixpoint. Domains must have finite height (all of
+   sodalint's do: intersection of a finite variable set, a four-point
+   handler-state lattice, per-queue intervals bounded by capacity).
+
+   [run] returns the in-state of every node — [None] for nodes the
+   analysis never reached (dead code) — so rule passes can re-walk the
+   graph and report against the solved states. *)
+
+module type DOMAIN = sig
+  type t
+
+  val join : t -> t -> t
+  val equal : t -> t -> bool
+end
+
+module Make (D : DOMAIN) = struct
+  (* [transfer node s] maps a node's in-state to its out-state.
+     [refine node out polarity] specialises a Branch node's out-state for
+     its true ([polarity = true]) or false edge; the default is no
+     refinement. *)
+  let run (cfg : Cfg.t) ~(init : D.t) ~(transfer : Cfg.node -> D.t -> D.t)
+      ?(refine = fun _ out _ -> out) () : D.t option array =
+    let n = Array.length cfg.Cfg.nodes in
+    let in_states : D.t option array = Array.make n None in
+    let work = Queue.create () in
+    in_states.(cfg.Cfg.entry) <- Some init;
+    Queue.add cfg.Cfg.entry work;
+    while not (Queue.is_empty work) do
+      let id = Queue.pop work in
+      let node = cfg.Cfg.nodes.(id) in
+      match in_states.(id) with
+      | None -> ()
+      | Some s ->
+        let out = transfer node s in
+        let push target value =
+          let next =
+            match in_states.(target) with
+            | None -> Some value
+            | Some prev -> Some (D.join prev value)
+          in
+          let changed =
+            match in_states.(target), next with
+            | None, Some _ -> true
+            | Some a, Some b -> not (D.equal a b)
+            | _, None -> false
+          in
+          if changed then begin
+            in_states.(target) <- next;
+            Queue.add target work
+          end
+        in
+        List.iter (fun t -> push t out) node.Cfg.succ;
+        List.iter (fun t -> push t (refine node out true)) node.Cfg.succ_true;
+        List.iter (fun t -> push t (refine node out false)) node.Cfg.succ_false
+    done;
+    in_states
+end

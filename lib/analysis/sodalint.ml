@@ -1,0 +1,47 @@
+(* The sodalint entry point: parse each source, run the per-program
+   rules ({!Check}) and — unless disabled — the cross-program rules
+   ({!Crosscheck}) over everything that parsed, and return one sorted,
+   de-duplicated diagnostic list. Parse and lex failures become SL000
+   diagnostics rather than exceptions, so one broken file never hides
+   findings in its neighbours. *)
+
+module Parser = Soda_sodal_lang.Parser
+module Lexer = Soda_sodal_lang.Lexer
+
+type source = { path : string; text : string }
+
+let parse_source (src : source) =
+  match Parser.parse src.text with
+  | program -> Ok (src.path, program)
+  | exception Parser.Parse_error (message, pos) ->
+    Error
+      (Diagnostic.make ~file:src.path ~pos ~severity:Diagnostic.Error ~rule:"SL000"
+         ~message:("syntax error: " ^ message))
+  | exception Lexer.Lex_error (message, pos) ->
+    Error
+      (Diagnostic.make ~file:src.path ~pos ~severity:Diagnostic.Error ~rule:"SL000"
+         ~message:("lexical error: " ^ message))
+
+let analyze ?(cross = true) (sources : source list) : Diagnostic.t list =
+  let parsed, parse_diags =
+    List.fold_left
+      (fun (ok, bad) src ->
+        match parse_source src with
+        | Ok p -> (p :: ok, bad)
+        | Error d -> (ok, d :: bad))
+      ([], []) sources
+  in
+  let parsed = List.rev parsed in
+  let per_program =
+    List.concat_map (fun (file, program) -> Check.check ~file program) parsed
+  in
+  let cross_program = if cross then Crosscheck.check parsed else [] in
+  List.sort_uniq Diagnostic.compare
+    (List.rev_append parse_diags (per_program @ cross_program))
+
+(* Severity-respecting exit status: errors always fail; warnings only
+   fail under [strict]. *)
+let exit_status ?(strict = false) diags =
+  if Diagnostic.has_errors diags then 1
+  else if strict && diags <> [] then 1
+  else 0

@@ -2,7 +2,17 @@
    language whose programs are divided into Initialization, Handler and
    Task sections, with `case ENTRY of` / `case COMPLETION of` dispatch in
    the handler and the blocking/non-blocking REQUEST variants as built-in
-   procedures. *)
+   procedures.
+
+   Every expression, statement and declaration carries the source
+   position of its first token so that the interpreter and the static
+   analyzer (lib/analysis) can report `file:line:col` diagnostics. *)
+
+type pos = { line : int; col : int }
+
+let no_pos = { line = 0; col = 0 }
+
+let pp_pos ppf p = Format.fprintf ppf "%d:%d" p.line p.col
 
 type binop =
   | Add | Sub | Mul | Div | Mod
@@ -11,7 +21,9 @@ type binop =
 
 type unop = Not | Neg
 
-type expr =
+type expr = { expr : expr_node; eloc : pos }
+
+and expr_node =
   | Int of int
   | Bool of bool
   | Str of string
@@ -22,7 +34,9 @@ type expr =
   | Unop of unop * expr
   | Call of string * expr list  (* built-in functions *)
 
-type stmt =
+type stmt = { stmt : stmt_node; sloc : pos }
+
+and stmt_node =
   | Assign of string * expr
   | If of (expr * stmt list) list * stmt list  (* branches, else *)
   | While of expr * stmt list
@@ -33,7 +47,9 @@ type stmt =
   | Skip
   | Return
 
-type decl =
+type decl = { decl : decl_node; dloc : pos }
+
+and decl_node =
   | Const of string * expr
   | Var_decl of string list * type_name
 
@@ -52,3 +68,26 @@ type program = {
   handler : stmt list;
   task : stmt list;
 }
+
+(* Location-free constructors and equality, mostly for tests and for
+   building synthetic fragments. *)
+
+let e node = { expr = node; eloc = no_pos }
+let s node = { stmt = node; sloc = no_pos }
+
+let rec equal_expr a b =
+  match a.expr, b.expr with
+  | Int x, Int y -> x = y
+  | Bool x, Bool y -> x = y
+  | Str x, Str y -> x = y
+  | Pattern_lit x, Pattern_lit y -> x = y
+  | Var x, Var y -> x = y
+  | Field (x, fx), Field (y, fy) -> x = y && fx = fy
+  | Binop (op, l, r), Binop (op', l', r') ->
+    op = op' && equal_expr l l' && equal_expr r r'
+  | Unop (op, x), Unop (op', y) -> op = op' && equal_expr x y
+  | Call (f, args), Call (f', args') ->
+    f = f'
+    && List.length args = List.length args'
+    && List.for_all2 equal_expr args args'
+  | _ -> false

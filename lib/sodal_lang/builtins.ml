@@ -1,0 +1,129 @@
+(* The SODAL built-in procedures (§4.1): one shared signature table used
+   by both the interpreter (arity and existence checks) and the static
+   analyzer in lib/analysis (blocking/context classification, REQUEST
+   buffer shapes). Keeping the table here — next to the AST — means a new
+   built-in cannot be added to the interpreter without the analyzer
+   learning about it in the same commit. *)
+
+(* The four REQUEST buffer shapes of §3.3.1: a REQUEST is implicitly a
+   SIGNAL/PUT/GET/EXCHANGE depending on which of its two buffers are
+   non-empty; ACCEPTs have the mirror-image shapes. *)
+type shape = Sig | Put | Get | Exchange
+
+type role =
+  | Request of { shape : shape; blocking : bool }
+      (** a REQUEST site; argument indices for the analyzer are fixed by
+          convention: mid, pattern, arg, then data/size operands *)
+  | Accept of { shape : shape; current : bool }
+  | Discover  (** blocking broadcast lookup *)
+  | Advertise
+  | Unadvertise
+  | Queue_op of [ `Enqueue | `Dequeue | `Probe ]
+  | Handler_ctl of [ `Open | `Close ]
+  | Plain  (** pure / local helpers *)
+
+(* Where a built-in may legally be called from.  [Task_only] built-ins
+   suspend the calling fiber for unbounded time: issuing one from the
+   handler deadlocks the machine, because the completion or arrival that
+   would resume it can only be delivered by that same handler (§4.1.1).
+   [Handler_only] built-ins address "the current request", which only
+   exists in handler context (§4.1.2). *)
+type context = Anywhere | Task_only | Handler_only
+
+type t = {
+  name : string;
+  arity : int option;  (** [None] = variadic (PRINT) *)
+  role : role;
+  context : context;
+  blocking : bool;  (** suspends the calling fiber over simulated time *)
+}
+
+let b ?arity ?(role = Plain) ?(context = Anywhere) ?(blocking = false) name =
+  { name; arity; role; context; blocking }
+
+let all =
+  [
+    b "ADVERTISE" ~arity:1 ~role:Advertise;
+    b "UNADVERTISE" ~arity:1 ~role:Unadvertise;
+    b "GETUNIQUEID" ~arity:0;
+    b "DISCOVER" ~arity:1 ~role:Discover ~context:Task_only ~blocking:true;
+    b "MYMID" ~arity:0;
+    b "OPEN" ~arity:0 ~role:(Handler_ctl `Open);
+    b "CLOSE" ~arity:0 ~role:(Handler_ctl `Close);
+    b "DIE" ~arity:0 ~context:Task_only;
+    b "IDLE" ~arity:0 ~context:Task_only ~blocking:true;
+    b "COMPUTE" ~arity:1 ~blocking:true;
+    (* non-blocking REQUEST variants (§4.1.1): legal in the handler *)
+    b "SIGNAL" ~arity:3 ~role:(Request { shape = Sig; blocking = false });
+    b "PUT" ~arity:4 ~role:(Request { shape = Put; blocking = false });
+    (* blocking REQUEST variants: task-only (§4.1.1) *)
+    b "B_SIGNAL" ~arity:3
+      ~role:(Request { shape = Sig; blocking = true })
+      ~context:Task_only ~blocking:true;
+    b "B_PUT" ~arity:4
+      ~role:(Request { shape = Put; blocking = true })
+      ~context:Task_only ~blocking:true;
+    b "B_GET" ~arity:4
+      ~role:(Request { shape = Get; blocking = true })
+      ~context:Task_only ~blocking:true;
+    b "B_EXCHANGE" ~arity:5
+      ~role:(Request { shape = Exchange; blocking = true })
+      ~context:Task_only ~blocking:true;
+    (* ACCEPT by signature: blocking but bounded; legal in the handler
+       (§4.1.2 — "accept_* may, and usually are") *)
+    b "ACCEPT_SIGNAL" ~arity:2 ~role:(Accept { shape = Sig; current = false })
+      ~blocking:true;
+    b "ACCEPT_PUT" ~arity:3 ~role:(Accept { shape = Put; current = false })
+      ~blocking:true;
+    b "ACCEPT_GET" ~arity:3 ~role:(Accept { shape = Get; current = false })
+      ~blocking:true;
+    b "ACCEPT_EXCHANGE" ~arity:4
+      ~role:(Accept { shape = Exchange; current = false })
+      ~blocking:true;
+    (* ACCEPT_CURRENT_*: only the handler has a current request (§4.1.2) *)
+    b "ACCEPT_CURRENT_SIGNAL" ~arity:1
+      ~role:(Accept { shape = Sig; current = true })
+      ~context:Handler_only ~blocking:true;
+    b "ACCEPT_CURRENT_PUT" ~arity:2
+      ~role:(Accept { shape = Put; current = true })
+      ~context:Handler_only ~blocking:true;
+    b "ACCEPT_CURRENT_GET" ~arity:2
+      ~role:(Accept { shape = Get; current = true })
+      ~context:Handler_only ~blocking:true;
+    b "ACCEPT_CURRENT_EXCHANGE" ~arity:3
+      ~role:(Accept { shape = Exchange; current = true })
+      ~context:Handler_only ~blocking:true;
+    b "REJECT" ~arity:0 ~context:Handler_only;
+    b "CANCEL" ~arity:1 ~blocking:true;
+    b "ENQUEUE" ~arity:2 ~role:(Queue_op `Enqueue);
+    b "DEQUEUE" ~arity:1 ~role:(Queue_op `Dequeue);
+    b "ISEMPTY" ~arity:1 ~role:(Queue_op `Probe);
+    b "ISFULL" ~arity:1 ~role:(Queue_op `Probe);
+    b "ALMOSTFULL" ~arity:1 ~role:(Queue_op `Probe);
+    b "ALMOSTEMPTY" ~arity:1 ~role:(Queue_op `Probe);
+    b "SIG" ~arity:2;
+    b "CONCAT" ~arity:2;
+    b "ITOA" ~arity:1;
+    b "LENGTH" ~arity:1;
+    b "PRINT";
+  ]
+
+let table =
+  let t = Hashtbl.create 64 in
+  List.iter (fun s -> Hashtbl.replace t s.name s) all;
+  t
+
+let find name = Hashtbl.find_opt table name
+
+(* Handler-context variables that always exist in a SODAL program's
+   global scope (§4.1.2), shared between the interpreter (which binds
+   them) and the analyzer (which must not flag them as undeclared). *)
+let context_vars =
+  [ "ASKER"; "ARG"; "STATUS"; "PATTERN"; "PUTSIZE"; "GETSIZE"; "TID"; "PARENT";
+    "LAST_STATUS"; "LAST_ARG" ]
+
+let shape_name = function
+  | Sig -> "SIGNAL"
+  | Put -> "PUT"
+  | Get -> "GET"
+  | Exchange -> "EXCHANGE"

@@ -91,66 +91,58 @@ let completion_result state c =
   set_builtin_var state "LAST_ARG" (VInt c.Sodal.reply_arg)
 
 let call_builtin state env name args =
-  let arity n = if List.length args <> n then error "%s expects %d arguments" name n in
+  (* arity and existence come from the shared signature table, the same
+     one the static analyzer (lib/analysis) checks against *)
+  (match Builtins.find name with
+   | None -> error "unknown built-in %s" name
+   | Some { Builtins.arity = Some n; _ } when List.length args <> n ->
+     error "%s expects %d arguments" name n
+   | Some _ -> ());
   let arg i = List.nth args i in
   match name with
   | "ADVERTISE" ->
-    arity 1;
     Sodal.advertise env (as_pattern (arg 0));
     VUnit
   | "UNADVERTISE" ->
-    arity 1;
     Sodal.unadvertise env (as_pattern (arg 0));
     VUnit
   | "GETUNIQUEID" ->
-    arity 0;
     VPattern (Sodal.getuniqueid env)
   | "DISCOVER" ->
-    arity 1;
     (match (Sodal.discover env (as_pattern (arg 0))).Types.sv_mid with
      | Types.Mid m -> VInt m
      | Types.Broadcast_mid -> error "DISCOVER returned broadcast")
   | "MYMID" ->
-    arity 0;
     VInt (Sodal.my_mid env)
   | "OPEN" ->
-    arity 0;
     Sodal.open_handler env;
     VUnit
   | "CLOSE" ->
-    arity 0;
     Sodal.close_handler env;
     VUnit
   | "DIE" ->
-    arity 0;
     Sodal.die env
   | "IDLE" ->
-    arity 0;
     Sodal.idle env;
     VUnit
   | "COMPUTE" ->
-    arity 1;
     Sodal.compute env (as_int (arg 0));
     VUnit
   | "SIGNAL" ->
-    arity 3;
     VInt (Sodal.signal env (server_of (as_int (arg 0)) (as_pattern (arg 1))) ~arg:(as_int (arg 2)))
   | "PUT" ->
-    arity 4;
     VInt
       (Sodal.put env
          (server_of (as_int (arg 0)) (as_pattern (arg 1)))
          ~arg:(as_int (arg 2))
          (Bytes.of_string (as_str (arg 3))))
   | "B_SIGNAL" ->
-    arity 3;
     let c =
       Sodal.b_signal env (server_of (as_int (arg 0)) (as_pattern (arg 1))) ~arg:(as_int (arg 2))
     in
     completion_result state c;
     VStr (status_string c.Sodal.status)
   | "B_PUT" ->
-    arity 4;
     let c =
       Sodal.b_put env
         (server_of (as_int (arg 0)) (as_pattern (arg 1)))
@@ -160,7 +152,6 @@ let call_builtin state env name args =
     completion_result state c;
     VStr (status_string c.Sodal.status)
   | "B_GET" ->
-    arity 4;
     let into = Bytes.create (as_int (arg 3)) in
     let c =
       Sodal.b_get env (server_of (as_int (arg 0)) (as_pattern (arg 1))) ~arg:(as_int (arg 2))
@@ -169,7 +160,6 @@ let call_builtin state env name args =
     completion_result state c;
     VStr (Bytes.sub_string into 0 c.Sodal.get_transferred)
   | "B_EXCHANGE" ->
-    arity 5;
     let into = Bytes.create (as_int (arg 4)) in
     let c =
       Sodal.b_exchange env
@@ -181,22 +171,18 @@ let call_builtin state env name args =
     completion_result state c;
     VStr (Bytes.sub_string into 0 c.Sodal.get_transferred)
   | "ACCEPT_SIGNAL" ->
-    arity 2;
     VStr (accept_status_string (Sodal.accept_signal env (as_sig (arg 0)) ~arg:(as_int (arg 1))))
   | "ACCEPT_PUT" ->
-    arity 3;
     let into = Bytes.create (as_int (arg 2)) in
     let status, got = Sodal.accept_put env (as_sig (arg 0)) ~arg:(as_int (arg 1)) ~into in
     set_builtin_var state "LAST_STATUS" (VStr (accept_status_string status));
     VStr (Bytes.sub_string into 0 got)
   | "ACCEPT_GET" ->
-    arity 3;
     VStr
       (accept_status_string
          (Sodal.accept_get env (as_sig (arg 0)) ~arg:(as_int (arg 1))
             ~data:(Bytes.of_string (as_str (arg 2)))))
   | "ACCEPT_EXCHANGE" ->
-    arity 4;
     let into = Bytes.create (as_int (arg 2)) in
     let status, got =
       Sodal.accept_exchange env (as_sig (arg 0)) ~arg:(as_int (arg 1)) ~into
@@ -205,22 +191,18 @@ let call_builtin state env name args =
     set_builtin_var state "LAST_STATUS" (VStr (accept_status_string status));
     VStr (Bytes.sub_string into 0 got)
   | "ACCEPT_CURRENT_SIGNAL" ->
-    arity 1;
     VStr (accept_status_string (Sodal.accept_current_signal env ~arg:(as_int (arg 0))))
   | "ACCEPT_CURRENT_PUT" ->
-    arity 2;
     let into = Bytes.create (as_int (arg 1)) in
     let status, got = Sodal.accept_current_put env ~arg:(as_int (arg 0)) ~into in
     set_builtin_var state "LAST_STATUS" (VStr (accept_status_string status));
     VStr (Bytes.sub_string into 0 got)
   | "ACCEPT_CURRENT_GET" ->
-    arity 2;
     VStr
       (accept_status_string
          (Sodal.accept_current_get env ~arg:(as_int (arg 0))
             ~data:(Bytes.of_string (as_str (arg 1)))))
   | "ACCEPT_CURRENT_EXCHANGE" ->
-    arity 3;
     let into = Bytes.create (as_int (arg 1)) in
     let status, got =
       Sodal.accept_current_exchange env ~arg:(as_int (arg 0)) ~into
@@ -229,42 +211,30 @@ let call_builtin state env name args =
     set_builtin_var state "LAST_STATUS" (VStr (accept_status_string status));
     VStr (Bytes.sub_string into 0 got)
   | "REJECT" ->
-    arity 0;
     Sodal.reject env;
     VUnit
   | "CANCEL" ->
-    arity 1;
     VBool (Sodal.cancel env (as_int (arg 0)))
   | "ENQUEUE" ->
-    arity 2;
     Bqueue.enqueue (as_queue (arg 0)) (arg 1);
     VUnit
   | "DEQUEUE" ->
-    arity 1;
     Bqueue.dequeue (as_queue (arg 0))
   | "ISEMPTY" ->
-    arity 1;
     VBool (Bqueue.is_empty (as_queue (arg 0)))
   | "ISFULL" ->
-    arity 1;
     VBool (Bqueue.is_full (as_queue (arg 0)))
   | "ALMOSTFULL" ->
-    arity 1;
     VBool (Bqueue.almost_full (as_queue (arg 0)))
   | "ALMOSTEMPTY" ->
-    arity 1;
     VBool (Bqueue.almost_empty (as_queue (arg 0)))
   | "SIG" ->
-    arity 2;
     VSig { Types.rq_mid = as_int (arg 0); rq_tid = as_int (arg 1) }
   | "CONCAT" ->
-    arity 2;
     VStr (as_str (arg 0) ^ as_str (arg 1))
   | "ITOA" ->
-    arity 1;
     VStr (string_of_int (as_int (arg 0)))
   | "LENGTH" ->
-    arity 1;
     VInt (String.length (as_str (arg 0)))
   | "PRINT" ->
     state.print (String.concat "" (List.map value_to_string args));
@@ -274,7 +244,7 @@ let call_builtin state env name args =
 (* ---- evaluation --------------------------------------------------------------- *)
 
 let rec eval state env expr =
-  match expr with
+  match expr.expr with
   | Int n -> VInt n
   | Bool b -> VBool b
   | Str s -> VStr s
@@ -322,7 +292,7 @@ and eval_binop state env op l r =
      | And | Or -> assert false)
 
 and exec state env stmt =
-  match stmt with
+  match stmt.stmt with
   | Skip -> ()
   | Return -> raise Return_signal
   | Assign (name, e) -> var_cell state name := eval state env e
@@ -375,29 +345,26 @@ let default_value = function
   | T_signature -> VSig { Types.rq_mid = 0; rq_tid = 0 }
   | T_queue n -> VQueue (Bqueue.create n)
 
+(* Default value for each handler-context variable; the list of names
+   itself lives in {!Builtins.context_vars}, shared with the analyzer. *)
+let context_var_default = function
+  | "ASKER" -> VSig { Types.rq_mid = 0; rq_tid = 0 }
+  | "STATUS" | "LAST_STATUS" -> VStr ""
+  | "PATTERN" -> VPattern (Pattern.well_known 0)
+  | _ -> VInt 0
+
 let make_state ?(print = print_endline) program =
   let state = { globals = Hashtbl.create 32; print; program } in
   (* handler context variables always exist *)
   List.iter
-    (fun (name, v) -> set_builtin_var state name v)
-    [
-      ("ASKER", VSig { Types.rq_mid = 0; rq_tid = 0 });
-      ("ARG", VInt 0);
-      ("STATUS", VStr "");
-      ("PATTERN", VPattern (Pattern.well_known 0));
-      ("PUTSIZE", VInt 0);
-      ("GETSIZE", VInt 0);
-      ("TID", VInt 0);
-      ("PARENT", VInt 0);
-      ("LAST_STATUS", VStr "");
-      ("LAST_ARG", VInt 0);
-    ];
+    (fun name -> set_builtin_var state name (context_var_default name))
+    Builtins.context_vars;
   state
 
 let install_decls state env =
   List.iter
     (fun decl ->
-      match decl with
+      match decl.decl with
       | Const (name, e) -> set_builtin_var state name (eval state env e)
       | Var_decl (names, ty) ->
         List.iter (fun name -> set_builtin_var state name (default_value ty)) names)

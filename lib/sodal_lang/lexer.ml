@@ -7,7 +7,7 @@ type token =
   | SYM of string
   | EOF
 
-exception Lex_error of string * int
+exception Lex_error of string * Ast.pos
 
 let keywords =
   [ "program"; "const"; "var"; "of"; "initialization"; "handler"; "task"; "begin"; "end";
@@ -24,14 +24,21 @@ let tokenize source =
   let n = String.length source in
   let tokens = ref [] in
   let line = ref 1 in
-  let emit t = tokens := (t, !line) :: !tokens in
+  (* offset of the first character of the current line: columns are
+     1-based, so [col] of offset [i] is [i - line_start + 1]. *)
+  let line_start = ref 0 in
   let i = ref 0 in
+  let pos_at off = { Ast.line = !line; col = off - !line_start + 1 } in
+  let emit_at start t = tokens := (t, pos_at start) :: !tokens in
+  let error_at off message = raise (Lex_error (message, pos_at off)) in
   let peek off = if !i + off < n then Some source.[!i + off] else None in
   while !i < n do
     let c = source.[!i] in
+    let start = !i in
     if c = '\n' then begin
       incr line;
-      incr i
+      incr i;
+      line_start := !i
     end
     else if c = ' ' || c = '\t' || c = '\r' then incr i
     else if c = '-' && peek 1 = Some '-' then begin
@@ -41,31 +48,29 @@ let tokenize source =
       done
     end
     else if is_ident_start c then begin
-      let start = !i in
       while !i < n && is_ident_char source.[!i] do
         incr i
       done;
       let word = String.sub source start (!i - start) in
       let lower = String.lowercase_ascii word in
-      if List.mem lower keywords then emit (KW lower) else emit (IDENT word)
+      if List.mem lower keywords then emit_at start (KW lower) else emit_at start (IDENT word)
     end
     else if is_digit c then begin
-      let start = !i in
       while !i < n && (is_digit source.[!i] || source.[!i] = '_') do
         incr i
       done;
       let text = String.sub source start (!i - start) in
       let text = String.concat "" (String.split_on_char '_' text) in
-      emit (INT (int_of_string text))
+      emit_at start (INT (int_of_string text))
     end
     else if c = '%' then begin
       incr i;
-      let start = !i in
+      let digits = !i in
       while !i < n && is_octal source.[!i] do
         incr i
       done;
-      if !i = start then raise (Lex_error ("empty pattern literal", !line));
-      emit (PATTERN (int_of_string ("0o" ^ String.sub source start (!i - start))))
+      if !i = digits then error_at start "empty pattern literal";
+      emit_at start (PATTERN (int_of_string ("0o" ^ String.sub source digits (!i - digits))))
     end
     else if c = '"' then begin
       incr i;
@@ -74,29 +79,29 @@ let tokenize source =
       while (not !closed) && !i < n do
         let d = source.[!i] in
         if d = '"' then closed := true
-        else if d = '\n' then raise (Lex_error ("unterminated string", !line))
+        else if d = '\n' then error_at start "unterminated string"
         else Buffer.add_char buf d;
         incr i
       done;
-      if not !closed then raise (Lex_error ("unterminated string", !line));
-      emit (STRING (Buffer.contents buf))
+      if not !closed then error_at start "unterminated string";
+      emit_at start (STRING (Buffer.contents buf))
     end
     else begin
       let two = if !i + 1 < n then String.sub source !i 2 else "" in
       match two with
       | ":=" | "<>" | "<=" | ">=" ->
-        emit (SYM two);
+        emit_at start (SYM two);
         i := !i + 2
       | _ ->
         (match c with
          | '+' | '-' | '*' | '/' | '=' | '<' | '>' | '(' | ')' | ';' | ':' | ',' | '.'
          | '[' | ']' ->
-           emit (SYM (String.make 1 c));
+           emit_at start (SYM (String.make 1 c));
            incr i
-         | _ -> raise (Lex_error (Printf.sprintf "unexpected character %C" c, !line)))
+         | _ -> error_at start (Printf.sprintf "unexpected character %C" c))
     end
   done;
-  emit EOF;
+  emit_at !i EOF;
   List.rev !tokens
 
 let pp_token ppf = function

@@ -10,8 +10,9 @@ type token =
   | SYM of string  (** operators and punctuation *)
   | EOF
 
-exception Lex_error of string * int  (** message, line *)
+exception Lex_error of string * Ast.pos  (** message, position *)
 
-val tokenize : string -> (token * int) list  (** token with its line *)
+val tokenize : string -> (token * Ast.pos) list
+(** Tokens, each with the 1-based line/column of its first character. *)
 
 val pp_token : Format.formatter -> token -> unit

@@ -1,16 +1,27 @@
 open Ast
 
-exception Parse_error of string * int
+exception Parse_error of string * Ast.pos
 
-type state = { mutable tokens : (Lexer.token * int) list }
+type state = { mutable tokens : (Lexer.token * Ast.pos) list }
 
 let peek st = match st.tokens with (t, _) :: _ -> t | [] -> Lexer.EOF
 
-let line st = match st.tokens with (_, l) :: _ -> l | [] -> 0
+let pos st = match st.tokens with (_, p) :: _ -> p | [] -> Ast.no_pos
 
 let advance st = match st.tokens with _ :: rest -> st.tokens <- rest | [] -> ()
 
-let fail st message = raise (Parse_error (message, line st))
+let fail st message = raise (Parse_error (message, pos st))
+
+(* [fail_expecting st what] names every token the parser would have
+   accepted at this point, e.g.
+   "expected one of 'skip', 'return', ...; found keyword esac". *)
+let fail_expecting st expected =
+  let expected =
+    match expected with
+    | [ one ] -> one
+    | _ -> "one of " ^ String.concat ", " expected
+  in
+  fail st (Format.asprintf "expected %s; found %a" expected Lexer.pp_token (peek st))
 
 let expect_sym st s =
   match peek st with
@@ -48,14 +59,18 @@ let ident st =
 let rec parse_expression st = parse_or st
 
 and parse_or st =
+  let at = pos st in
   let left = parse_and st in
-  if accept_kw st "or" then Binop (Or, left, parse_or st) else left
+  if accept_kw st "or" then { expr = Binop (Or, left, parse_or st); eloc = at } else left
 
 and parse_and st =
+  let at = pos st in
   let left = parse_comparison st in
-  if accept_kw st "and" then Binop (And, left, parse_and st) else left
+  if accept_kw st "and" then { expr = Binop (And, left, parse_and st); eloc = at }
+  else left
 
 and parse_comparison st =
+  let at = pos st in
   let left = parse_additive st in
   let op =
     match peek st with
@@ -70,64 +85,69 @@ and parse_comparison st =
   match op with
   | Some op ->
     advance st;
-    Binop (op, left, parse_additive st)
+    { expr = Binop (op, left, parse_additive st); eloc = at }
   | None -> left
 
 and parse_additive st =
+  let at = pos st in
   let left = ref (parse_multiplicative st) in
   let continue = ref true in
   while !continue do
     match peek st with
     | Lexer.SYM "+" ->
       advance st;
-      left := Binop (Add, !left, parse_multiplicative st)
+      left := { expr = Binop (Add, !left, parse_multiplicative st); eloc = at }
     | Lexer.SYM "-" ->
       advance st;
-      left := Binop (Sub, !left, parse_multiplicative st)
+      left := { expr = Binop (Sub, !left, parse_multiplicative st); eloc = at }
     | _ -> continue := false
   done;
   !left
 
 and parse_multiplicative st =
+  let at = pos st in
   let left = ref (parse_unary st) in
   let continue = ref true in
   while !continue do
     match peek st with
     | Lexer.SYM "*" ->
       advance st;
-      left := Binop (Mul, !left, parse_unary st)
+      left := { expr = Binop (Mul, !left, parse_unary st); eloc = at }
     | Lexer.SYM "/" ->
       advance st;
-      left := Binop (Div, !left, parse_unary st)
+      left := { expr = Binop (Div, !left, parse_unary st); eloc = at }
     | Lexer.KW "mod" ->
       advance st;
-      left := Binop (Mod, !left, parse_unary st)
+      left := { expr = Binop (Mod, !left, parse_unary st); eloc = at }
     | _ -> continue := false
   done;
   !left
 
 and parse_unary st =
-  if accept_kw st "not" then Unop (Not, parse_unary st)
-  else if accept_sym st "-" then Unop (Neg, parse_unary st)
+  let at = pos st in
+  if accept_kw st "not" then { expr = Unop (Not, parse_unary st); eloc = at }
+  else if accept_sym st "-" then { expr = Unop (Neg, parse_unary st); eloc = at }
   else parse_primary st
 
 and parse_primary st =
+  let at = pos st in
+  let mk node = { expr = node; eloc = at } in
   match peek st with
   | Lexer.INT n ->
     advance st;
-    Int n
+    mk (Int n)
   | Lexer.PATTERN p ->
     advance st;
-    Pattern_lit p
+    mk (Pattern_lit p)
   | Lexer.STRING s ->
     advance st;
-    Str s
+    mk (Str s)
   | Lexer.KW "true" ->
     advance st;
-    Bool true
+    mk (Bool true)
   | Lexer.KW "false" ->
     advance st;
-    Bool false
+    mk (Bool false)
   | Lexer.SYM "(" ->
     advance st;
     let e = parse_expression st in
@@ -144,14 +164,17 @@ and parse_primary st =
         done;
         expect_sym st ")"
       end;
-      Call (String.uppercase_ascii name, List.rev !args)
+      mk (Call (String.uppercase_ascii name, List.rev !args))
     end
     else if accept_sym st "." then begin
       let field = ident st in
-      Field (name, String.uppercase_ascii field)
+      mk (Field (name, String.uppercase_ascii field))
     end
-    else Var name
-  | t -> fail st (Format.asprintf "expected an expression, found %a" Lexer.pp_token t)
+    else mk (Var name)
+  | _ ->
+    fail_expecting st
+      [ "an integer"; "a pattern literal"; "a string"; "'true'"; "'false'"; "'('";
+        "an identifier" ]
 
 (* ---- statements ---------------------------------------------------------- *)
 
@@ -172,15 +195,17 @@ let rec parse_statements st ~stop =
   List.rev !stmts
 
 and parse_statement st =
+  let at = pos st in
+  let mk node = { stmt = node; sloc = at } in
   match peek st with
   | Lexer.KW "skip" ->
     advance st;
     expect_sym st ";";
-    Skip
+    mk Skip
   | Lexer.KW "return" ->
     advance st;
     expect_sym st ";";
-    Return
+    mk Return
   | Lexer.KW "if" ->
     advance st;
     let rec branches () =
@@ -196,7 +221,7 @@ and parse_statement st =
     in
     expect_kw st "fi";
     expect_sym st ";";
-    If (bs, else_body)
+    mk (If (bs, else_body))
   | Lexer.KW "while" ->
     advance st;
     let condition = parse_expression st in
@@ -204,19 +229,19 @@ and parse_statement st =
     let body = parse_statements st ~stop:[ "end" ] in
     expect_kw st "end";
     expect_sym st ";";
-    While (condition, body)
+    mk (While (condition, body))
   | Lexer.KW "loop" ->
     advance st;
     let body = parse_statements st ~stop:[ "forever" ] in
     expect_kw st "forever";
     expect_sym st ";";
-    Loop body
+    mk (Loop body)
   | Lexer.KW "case" ->
     advance st;
     let kind =
       if accept_kw st "entry" then `Entry
       else if accept_kw st "completion" then `Completion
-      else fail st "expected 'entry' or 'completion' after 'case'"
+      else fail_expecting st [ "'entry'"; "'completion'" ]
     in
     expect_kw st "of";
     let arms = ref [] in
@@ -233,7 +258,7 @@ and parse_statement st =
     done;
     expect_sym st ";";
     let arms = List.rev !arms in
-    (match kind with `Entry -> Case_entry arms | `Completion -> Case_completion arms)
+    mk (match kind with `Entry -> Case_entry arms | `Completion -> Case_completion arms)
   | Lexer.IDENT name -> begin
       (* assignment or procedure call *)
       match st.tokens with
@@ -242,13 +267,15 @@ and parse_statement st =
         advance st;
         let value = parse_expression st in
         expect_sym st ";";
-        Assign (name, value)
+        mk (Assign (name, value))
       | _ ->
         let e = parse_expression st in
         expect_sym st ";";
-        Expr e
+        mk (Expr e)
     end
-  | t -> fail st (Format.asprintf "expected a statement, found %a" Lexer.pp_token t)
+  | _ ->
+    fail_expecting st
+      [ "'skip'"; "'return'"; "'if'"; "'while'"; "'loop'"; "'case'"; "an identifier" ]
 
 (* ---- declarations and program --------------------------------------------- *)
 
@@ -270,18 +297,21 @@ let parse_type st =
     expect_sym st "]";
     T_queue size
   end
-  else fail st "expected a type"
+  else
+    fail_expecting st
+      [ "'integer'"; "'boolean'"; "'string'"; "'pattern'"; "'signature'"; "'queue'" ]
 
 let parse_decls st =
   let decls = ref [] in
   let continue = ref true in
   while !continue do
+    let at = pos st in
     if accept_kw st "const" then begin
       let name = ident st in
       expect_sym st "=";
       let value = parse_expression st in
       expect_sym st ";";
-      decls := Const (name, value) :: !decls
+      decls := { decl = Const (name, value); dloc = at } :: !decls
     end
     else if accept_kw st "var" then begin
       let names = ref [ ident st ] in
@@ -291,7 +321,7 @@ let parse_decls st =
       expect_sym st ":";
       let ty = parse_type st in
       expect_sym st ";";
-      decls := Var_decl (List.rev !names, ty) :: !decls
+      decls := { decl = Var_decl (List.rev !names, ty); dloc = at } :: !decls
     end
     else continue := false
   done;

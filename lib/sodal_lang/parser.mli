@@ -20,7 +20,9 @@
     case-arm   ::= (expr | "otherwise") ":" "begin" stmts "end" ";"
     v} *)
 
-exception Parse_error of string * int
+exception Parse_error of string * Ast.pos
+(** Message (naming the expected-token set where useful) and the 1-based
+    line/column of the offending token. *)
 
 val parse : string -> Ast.program
 

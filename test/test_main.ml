@@ -17,6 +17,7 @@ let () =
          Test_semantics.suites;
          Test_stream.suites;
          Test_sodal_lang.suites;
+         Test_analysis.suites;
          Test_chaos.suites;
          Test_store.suites;
        ])

@@ -34,14 +34,15 @@ let test_lexer_errors () =
 (* ---- parser -------------------------------------------------------------- *)
 
 let test_parse_expressions () =
-  let e = Parser.parse_expr "1 + 2 * 3" in
+  let open Ast in
+  let got = Parser.parse_expr "1 + 2 * 3" in
   Alcotest.(check bool) "precedence" true
-    (e = Ast.Binop (Ast.Add, Ast.Int 1, Ast.Binop (Ast.Mul, Ast.Int 2, Ast.Int 3)));
-  let e = Parser.parse_expr "not a and b" in
+    (equal_expr got (e (Binop (Add, e (Int 1), e (Binop (Mul, e (Int 2), e (Int 3)))))));
+  let got = Parser.parse_expr "not a and b" in
   Alcotest.(check bool) "not binds tightest" true
-    (e = Ast.Binop (Ast.And, Ast.Unop (Ast.Not, Ast.Var "a"), Ast.Var "b"));
-  let e = Parser.parse_expr "ASKER.Mid" in
-  Alcotest.(check bool) "field access" true (e = Ast.Field ("ASKER", "MID"))
+    (equal_expr got (e (Binop (And, e (Unop (Not, e (Var "a"))), e (Var "b")))));
+  let got = Parser.parse_expr "ASKER.Mid" in
+  Alcotest.(check bool) "field access" true (equal_expr got (e (Field ("ASKER", "MID"))))
 
 let test_parse_program_skeleton () =
   let source =
@@ -80,6 +81,42 @@ let test_parse_errors () =
     ignore (Parser.parse "program x; task begin if true then fi; end; .");
     ()
   with Parser.Parse_error _ -> Alcotest.fail "well-formed if rejected"
+
+let contains haystack needle =
+  let n = String.length needle in
+  let rec go i =
+    i + n <= String.length haystack && (String.sub haystack i n = needle || go (i + 1))
+  in
+  go 0
+
+(* Malformed programs must be reported with line *and* column, plus the
+   expected-token set at that point. *)
+let test_error_positions () =
+  (match Parser.parse "program x;\ntask begin\n  if true fi;\nend;\n." with
+   | _ -> Alcotest.fail "accepted if without then"
+   | exception Parser.Parse_error (msg, p) ->
+     Alcotest.(check int) "parse error line" 3 p.Ast.line;
+     Alcotest.(check int) "parse error col" 11 p.Ast.col;
+     Alcotest.(check bool) "names the expected token" true (contains msg "expected 'then'"));
+  (match Parser.parse "program x;\ntask begin\n  esac;\nend;\n." with
+   | _ -> Alcotest.fail "accepted esac as a statement"
+   | exception Parser.Parse_error (msg, p) ->
+     Alcotest.(check int) "statement error line" 3 p.Ast.line;
+     Alcotest.(check int) "statement error col" 3 p.Ast.col;
+     Alcotest.(check bool) "lists the statement keywords" true
+       (contains msg "one of" && contains msg "'skip'" && contains msg "'case'"));
+  (match Parser.parse "program x;\nvar v : float;\ntask begin skip; end;\n." with
+   | _ -> Alcotest.fail "accepted unknown type"
+   | exception Parser.Parse_error (msg, p) ->
+     Alcotest.(check int) "type error line" 2 p.Ast.line;
+     Alcotest.(check int) "type error col" 9 p.Ast.col;
+     Alcotest.(check bool) "lists the type keywords" true
+       (contains msg "one of" && contains msg "'queue'"));
+  match Lexer.tokenize "program x;\n  @" with
+  | _ -> Alcotest.fail "accepted bad character"
+  | exception Lexer.Lex_error (_, p) ->
+    Alcotest.(check int) "lex error line" 2 p.Ast.line;
+    Alcotest.(check int) "lex error col" 3 p.Ast.col
 
 (* ---- end-to-end: SODAL echo server + SODAL client ------------------------- *)
 
@@ -239,6 +276,7 @@ let suites =
         Alcotest.test_case "expression parsing" `Quick test_parse_expressions;
         Alcotest.test_case "program skeleton" `Quick test_parse_program_skeleton;
         Alcotest.test_case "parse errors" `Quick test_parse_errors;
+        Alcotest.test_case "error line/column reporting" `Quick test_error_positions;
         Alcotest.test_case "echo end-to-end" `Quick test_sodal_echo_end_to_end;
         Alcotest.test_case "readers/writers moderator in SODAL" `Quick
           test_sodal_moderator_with_ocaml_clients;

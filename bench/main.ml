@@ -277,6 +277,113 @@ let a6 () =
       Printf.printf "    %-12d %10.1f %14.1f\n" chunk ms (20_480.0 /. 1024.0 /. (ms /. 1000.0)))
     [ 256; 512; 1024; 2048; 4096 ]
 
+(* ---- WINDOW: sliding-window sweep + regression gate --------------------------------- *)
+
+(* Sweep the transport window W over the chunked STREAM workload and the
+   steady-state SIGNAL stream, write the machine-readable BENCH_pr5.json,
+   and enforce the two PR-5 regression gates:
+     - the W=1 SIGNAL figure must not regress the seed's T2S wall-clock
+       per SIGNAL (the window machinery must leave stop-and-wait alone);
+     - W=8 stream goodput at zero loss must be >= 2x the W=1 figure
+       (the window must actually pipeline the wire).
+   CI runs this section on every push (see .github/workflows/ci.yml); a
+   violated gate exits nonzero. *)
+
+(* Seed figure: T2S "wall-clock per SIGNAL" of the stop-and-wait repo,
+   measured in deterministic virtual time, so any drift is a real
+   protocol change, not noise. The 5% headroom forgives accounting-level
+   reshuffles (an extra stat sample shifting a context switch) without
+   letting a serialisation bug through. *)
+let seed_t2s_ms = 5.80
+let t2s_tolerance = 1.05
+
+let window_cost w =
+  if w = 1 then Cost.default (* the exact seed configuration *)
+  else { Cost.default with Cost.window = w; maxrequests = w + 1 }
+
+(* 8 KB over Stream.send in 100-byte chunks: each chunk is a full
+   REQUEST/ACCEPT transaction, so per-transaction latency dominates the
+   line rate and the window has room to pipeline. *)
+let window_stream_goodput ~window =
+  let module Pattern = Soda_base.Pattern in
+  let module Network = Soda_core.Network in
+  let module Sodal = Soda_runtime.Sodal in
+  let module Stream = Soda_facilities.Stream in
+  let patt = Pattern.well_known 0o644 in
+  let block = 8_192 and chunk = 100 in
+  let net = Network.create ~seed:37 ~cost:(window_cost window) () in
+  let k0 = Network.add_node net ~mid:0 in
+  let k1 = Network.add_node net ~mid:1 in
+  ignore
+    (Sodal.attach k0 (Stream.sink ~pattern:patt ~on_block:(fun _ ~src:_ _ -> ()) ()));
+  let elapsed = ref 0 in
+  ignore
+    (Sodal.attach k1
+       {
+         Sodal.default_spec with
+         task =
+           (fun env ->
+             let t0 = Sodal.now env in
+             (match
+                Stream.send env (Sodal.server ~mid:0 ~pattern:patt) ~chunk_bytes:chunk
+                  (Bytes.create block)
+              with
+              | Ok () -> elapsed := Sodal.now env - t0
+              | Error _ -> failwith "window stream failed");
+             Sodal.serve env);
+       });
+  ignore (Network.run ~until:600_000_000 net);
+  let ms = float_of_int !elapsed /. 1000.0 in
+  (ms, float_of_int block /. 1024.0 /. (ms /. 1000.0))
+
+let window_section () =
+  hr "WINDOW. Sliding-window sweep (W in {1,2,4,8}): STREAM goodput + SIGNAL stream";
+  Printf.printf "    %-8s %12s %14s %14s %12s\n" "window" "stream ms" "goodput KB/s"
+    "ms/SIGNAL" "pkts/SIGNAL";
+  let rows =
+    List.map
+      (fun w ->
+        let stream_ms, goodput = window_stream_goodput ~window:w in
+        let r =
+          W.stream ~cost:(window_cost w) ~op:W.Signal ~words:0
+            ~outstanding:(max 3 (w + 1)) ()
+        in
+        Printf.printf "    %-8d %12.1f %14.1f %14.2f %12.2f\n" w stream_ms goodput
+          r.W.per_op_ms r.W.packets_per_op;
+        (w, stream_ms, goodput, r.W.per_op_ms, r.W.packets_per_op))
+      [ 1; 2; 4; 8 ]
+  in
+  let find w = List.find (fun (w', _, _, _, _) -> w' = w) rows in
+  let _, _, goodput1, signal1, _ = find 1 in
+  let _, _, goodput8, _, _ = find 8 in
+  (* machine-readable record of the sweep + the gate verdicts *)
+  let w1_ok = signal1 <= seed_t2s_ms *. t2s_tolerance in
+  let w8_ok = goodput8 >= 2.0 *. goodput1 in
+  let oc = open_out "BENCH_pr5.json" in
+  Printf.fprintf oc "{\n  \"seed_t2s_ms\": %.2f,\n  \"window_sweep\": [\n" seed_t2s_ms;
+  List.iteri
+    (fun i (w, stream_ms, goodput, signal_ms, pkts) ->
+      Printf.fprintf oc
+        "    { \"window\": %d, \"stream_ms\": %.1f, \"stream_goodput_kbs\": %.1f, \
+         \"signal_ms_per_op\": %.2f, \"packets_per_signal\": %.2f }%s\n"
+        w stream_ms goodput signal_ms pkts
+        (if i < List.length rows - 1 then "," else ""))
+    rows;
+  Printf.fprintf oc
+    "  ],\n  \"gates\": { \"w1_t2s_no_regression\": %b, \"w8_stream_2x\": %b }\n}\n"
+    w1_ok w8_ok;
+  close_out oc;
+  Printf.printf "\n    wrote BENCH_pr5.json\n";
+  if not w1_ok then
+    Printf.printf
+      "    GATE FAILED: W=1 SIGNAL %.2f ms/op exceeds seed T2S %.2f ms (+%.0f%% cap)\n"
+      signal1 seed_t2s_ms ((t2s_tolerance -. 1.0) *. 100.0);
+  if not w8_ok then
+    Printf.printf "    GATE FAILED: W=8 goodput %.1f KB/s < 2x W=1 goodput %.1f KB/s\n"
+      goodput8 goodput1;
+  if not (w1_ok && w8_ok) then exit 1;
+  Printf.printf "    gates OK: W=1 matches the stop-and-wait seed; W=8 >= 2x stream goodput\n"
+
 (* ---- STORE: quorum-replicated KV store --------------------------------------------- *)
 
 (* Read/write latency percentiles and quorum-round traffic of lib/store
@@ -401,6 +508,7 @@ let sections =
     ("T1", t1); ("T2", t2); ("T2S", t2s); ("T3", t3); ("F1", f1);
     ("TRACE", trace_section);
     ("A1", a1); ("A2", a2); ("A3", a3); ("A4", a4); ("A5", a5); ("A6", a6);
+    ("WINDOW", window_section);
     ("STORE", store_section);
     ("BENCH", bechamel);
   ]

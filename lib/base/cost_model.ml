@@ -45,6 +45,7 @@ type t = {
   maxrequests : int;
   pipelined : bool;
   associative_patterns : bool;
+  window : int;
 }
 
 let default =
@@ -76,9 +77,27 @@ let default =
     maxrequests = 3;
     pipelined = true;
     associative_patterns = true;
+    window = 1;
   }
 
 let non_pipelined = { default with pipelined = false }
+
+let max_window = 8
+
+(* Transport windows: W sequence numbers may be unacknowledged per
+   peer-direction. W=1 is the paper's alternating bit and must stay the
+   degenerate case, byte-for-byte. *)
+let transport_window t = max 1 (min t.window max_window)
+
+(* The sequence-number space. W=1 keeps the 1-bit space (and hence the
+   seed's exact wire encoding); wider windows use the 4-bit extension
+   field, whose 16-value space satisfies space >= 2W for W <= 8. *)
+let seq_space t = if transport_window t = 1 then 2 else 16
+
+(* Client-side pipelining depth for the block-transfer facilities
+   (stream/multicast double buffering, §4.4.1): keep one request slot in
+   reserve so control traffic is never locked out by MAXREQUESTS. *)
+let client_window t = max 1 (t.maxrequests - 1)
 
 let r_us t =
   let rec sum i interval acc =

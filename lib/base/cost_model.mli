@@ -64,12 +64,31 @@ type t = {
   pipelined : bool;  (** hold-in-input-buffer variant (§5.2.3) *)
   associative_patterns : bool;
       (** true: ideal §3.4 table; false: 256-slot overwrite table of §5.4 *)
+  window : int;
+      (** transport send/receive window W per peer-direction; 1 = the
+          paper's alternating bit (the default, wire-compatible with the
+          seed), up to [max_window] *)
 }
 
 val default : t
 
 (** The non-pipelined kernel of the first performance table. *)
 val non_pipelined : t
+
+(** Largest supported transport window (bounded by the 4-bit wire field:
+    the sequence space must be at least 2W). *)
+val max_window : int
+
+(** [window] clamped to [1, max_window]. *)
+val transport_window : t -> int
+
+(** Modular sequence-number space: 2 when the window is 1 (the seed's
+    1-bit encoding), 16 otherwise. *)
+val seq_space : t -> int
+
+(** Pipelining depth the block-transfer facilities use per destination:
+    MAXREQUESTS - 1, leaving one slot for control traffic (§4.4.1). *)
+val client_window : t -> int
 
 (** Total span of retransmissions, R (for Delta-t intervals). *)
 val r_us : t -> int

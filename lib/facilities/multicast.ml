@@ -8,8 +8,7 @@ type outcome = { mid : int; status : Sodal.comp_status; reply_arg : int }
 let transfer env ~group ~pattern ~arg payload =
   let members = List.sort_uniq compare group in
   let total = List.length members in
-  let maxrequests = (Kernel.cost (Sodal.kernel env)).Cost.maxrequests in
-  let window = max 1 (maxrequests - 1) in
+  let window = Cost.client_window (Kernel.cost (Sodal.kernel env)) in
   let in_flight = ref 0 in
   let outcomes = ref [] in
   let launch mid =

@@ -85,7 +85,7 @@ let send env dst ?chunk_bytes data =
   let completed = ref 0 in
   let in_flight = ref 0 in
   (* double buffering (§4.4.1): keep the pipe full up to MAXREQUESTS-1 *)
-  let window = max 1 (cost.Cost.maxrequests - 1) in
+  let window = Cost.client_window cost in
   let launch index =
     let offset = index * chunk_bytes in
     let len = min chunk_bytes (total - offset) in

@@ -36,13 +36,19 @@ type kind =
       (** REQUEST trap on the requester: the span's birth. *)
   | Enqueue of { tid : int; peer : int; pkt : pkt }
       (** A reliable message joined the per-connection stop-and-wait queue. *)
-  | Tx of { tid : int; peer : int; pkt : pkt; bytes : int; seq : bool; retry : bool }
-  | Rx of { tid : int; peer : int; pkt : pkt; bytes : int; seq : bool }
+  | Tx of { tid : int; peer : int; pkt : pkt; bytes : int; seq : int; retry : bool }
+  | Rx of { tid : int; peer : int; pkt : pkt; bytes : int; seq : int }
   | Acked of { tid : int; peer : int; pkt : pkt }
       (** The peer acknowledged our in-flight reliable message. *)
   | Busy_nack of { tid : int; peer : int }
       (** Server side: handler busy, REQUEST nacked. *)
   | Retransmit of { tid : int; peer : int; pkt : pkt; attempt : int }
+  | Window_advance of { peer : int; base : int; in_flight : int }
+      (** Sender side: a cumulative ack moved the send window base
+          (emitted only when the configured window exceeds 1). *)
+  | Window_buffer of { tid : int; peer : int; seq : int; expected : int }
+      (** Receiver side: an out-of-order packet parked in the receive
+          window until the gap at [expected] fills. *)
   | Probe of { tid : int; peer : int; misses : int }
   | Deliver of { tid : int; src : int; pattern : int; put_size : int; get_size : int;
                  from_buffer : bool }
@@ -84,6 +90,8 @@ let kind_label = function
   | Acked _ -> "ack"
   | Busy_nack _ -> "busy-nack"
   | Retransmit _ -> "retransmit"
+  | Window_advance _ -> "window-advance"
+  | Window_buffer _ -> "window-buffer"
   | Probe _ -> "probe"
   | Deliver _ -> "deliver"
   | Handler_invoke -> "handler-invoke"
@@ -116,18 +124,21 @@ let message = function
   | Enqueue { tid; peer; pkt } ->
     Printf.sprintf "enqueue %s#%d for %d" (pkt_name pkt) tid peer
   | Tx { tid; peer; pkt; bytes; seq; retry } ->
-    Printf.sprintf "send %s#%d+%dB sn=%d%s to %s" (pkt_name pkt) tid bytes
-      (if seq then 1 else 0)
+    Printf.sprintf "send %s#%d+%dB sn=%d%s to %s" (pkt_name pkt) tid bytes seq
       (if retry then " retry" else "")
       (peer_name peer)
   | Rx { tid; peer; pkt; bytes; seq } ->
-    Printf.sprintf "recv %s#%d+%dB sn=%d from %d" (pkt_name pkt) tid bytes
-      (if seq then 1 else 0)
-      peer
+    Printf.sprintf "recv %s#%d+%dB sn=%d from %d" (pkt_name pkt) tid bytes seq peer
   | Acked { tid; peer; pkt } -> Printf.sprintf "%s#%d acked by %d" (pkt_name pkt) tid peer
   | Busy_nack { tid; peer } -> Printf.sprintf "busy: nacking REQ#%d from %d" tid peer
   | Retransmit { tid; peer; pkt; attempt } ->
     Printf.sprintf "retransmit %s#%d to %d (attempt %d)" (pkt_name pkt) tid peer attempt
+  | Window_advance { peer; base; in_flight } ->
+    Printf.sprintf "send window to %d advanced to base sn=%d (%d in flight)" peer base
+      in_flight
+  | Window_buffer { tid; peer; seq; expected } ->
+    Printf.sprintf "hold #%d sn=%d from %d in receive window (expecting sn=%d)" tid seq
+      peer expected
   | Probe { tid; peer; misses } ->
     Printf.sprintf "probe #%d at %d (misses %d)" tid peer misses
   | Deliver { tid; src; pattern; put_size; get_size; from_buffer } ->
@@ -166,8 +177,9 @@ let message = function
 let tid = function
   | Trap { tid; _ } | Enqueue { tid; _ } | Tx { tid; _ } | Rx { tid; _ }
   | Acked { tid; _ } | Busy_nack { tid; _ } | Retransmit { tid; _ } | Probe { tid; _ }
-  | Deliver { tid; _ } | Complete { tid; _ } ->
+  | Deliver { tid; _ } | Complete { tid; _ } | Window_buffer { tid; _ } ->
     if tid = no_tid then None else Some tid
+  | Window_advance _ -> None
   | Handler_invoke | Endhandler | Bus_frame _ | Bus_drop _ | Note _ | Fault_partition _
   | Fault_heal | Fault_crash _ | Fault_reboot _ | Fault_duplicate _ | Fault_jitter _
   | Fault_loss_burst _ | Store_phase _ | Store_retry _ | Store_complete _ ->

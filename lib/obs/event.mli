@@ -33,11 +33,18 @@ val broadcast_peer : int
 type kind =
   | Trap of { tid : int; dst : int; pattern : int; put_size : int; get_size : int }
   | Enqueue of { tid : int; peer : int; pkt : pkt }
-  | Tx of { tid : int; peer : int; pkt : pkt; bytes : int; seq : bool; retry : bool }
-  | Rx of { tid : int; peer : int; pkt : pkt; bytes : int; seq : bool }
+  | Tx of { tid : int; peer : int; pkt : pkt; bytes : int; seq : int; retry : bool }
+  | Rx of { tid : int; peer : int; pkt : pkt; bytes : int; seq : int }
   | Acked of { tid : int; peer : int; pkt : pkt }
   | Busy_nack of { tid : int; peer : int }
   | Retransmit of { tid : int; peer : int; pkt : pkt; attempt : int }
+  | Window_advance of { peer : int; base : int; in_flight : int }
+      (** Sender side: a cumulative ack moved the send window base
+          (emitted only when the configured window exceeds 1, so the
+          window-1 event stream stays identical to the seed's). *)
+  | Window_buffer of { tid : int; peer : int; seq : int; expected : int }
+      (** Receiver side: an out-of-order packet parked in the receive
+          window until the gap at [expected] fills. *)
   | Probe of { tid : int; peer : int; misses : int }
   | Deliver of { tid : int; src : int; pattern : int; put_size : int; get_size : int;
                  from_buffer : bool }

@@ -57,6 +57,12 @@ let add_object b (fields : json_field list) =
 let event_fields (e : Event.t) : json_field list =
   let open Event in
   let base = [ ("t", `Int e.time_us); ("mid", `Int e.mid); ("ev", `Str (kind_label e.kind)) ] in
+  (* Window-1 traffic only uses sequence numbers 0/1, which are rendered as
+     the booleans the alternating-bit seed emitted so the golden JSONL
+     trace stays byte-identical; wider windows render the number. *)
+  let seq_field seq : [ `Int of int | `Str of string | `Bool of bool ] =
+    if seq < 2 then `Bool (seq = 1) else `Int seq
+  in
   let extra =
     match e.kind with
     | Trap { tid; dst; pattern; put_size; get_size } ->
@@ -66,16 +72,21 @@ let event_fields (e : Event.t) : json_field list =
       [ ("tid", `Int tid); ("peer", `Int peer); ("pkt", `Str (pkt_name pkt)) ]
     | Tx { tid; peer; pkt; bytes; seq; retry } ->
       [ ("tid", `Int tid); ("peer", `Int peer); ("pkt", `Str (pkt_name pkt));
-        ("bytes", `Int bytes); ("seq", `Bool seq); ("retry", `Bool retry) ]
+        ("bytes", `Int bytes); ("seq", seq_field seq); ("retry", `Bool retry) ]
     | Rx { tid; peer; pkt; bytes; seq } ->
       [ ("tid", `Int tid); ("peer", `Int peer); ("pkt", `Str (pkt_name pkt));
-        ("bytes", `Int bytes); ("seq", `Bool seq) ]
+        ("bytes", `Int bytes); ("seq", seq_field seq) ]
     | Acked { tid; peer; pkt } ->
       [ ("tid", `Int tid); ("peer", `Int peer); ("pkt", `Str (pkt_name pkt)) ]
     | Busy_nack { tid; peer } -> [ ("tid", `Int tid); ("peer", `Int peer) ]
     | Retransmit { tid; peer; pkt; attempt } ->
       [ ("tid", `Int tid); ("peer", `Int peer); ("pkt", `Str (pkt_name pkt));
         ("attempt", `Int attempt) ]
+    | Window_advance { peer; base; in_flight } ->
+      [ ("peer", `Int peer); ("base", `Int base); ("in_flight", `Int in_flight) ]
+    | Window_buffer { tid; peer; seq; expected } ->
+      [ ("tid", `Int tid); ("peer", `Int peer); ("seq", `Int seq);
+        ("expected", `Int expected) ]
     | Probe { tid; peer; misses } ->
       [ ("tid", `Int tid); ("peer", `Int peer); ("misses", `Int misses) ]
     | Deliver { tid; src; pattern; put_size; get_size; from_buffer } ->
@@ -209,7 +220,7 @@ let chrome_to_buffer b events =
             ("pid", `Int e.mid); ("tid", `Int track_client); ("ts", `Int e.time_us);
             ("s", `Str "t") ]
       | Tx _ | Rx _ | Acked _ | Busy_nack _ | Retransmit _ | Probe _ | Deliver _
-      | Enqueue _ | Bus_drop _ ->
+      | Enqueue _ | Bus_drop _ | Window_advance _ | Window_buffer _ ->
         emit
           [ ("name", `Str (message e.kind)); ("cat", `Str (kind_label e.kind));
             ("ph", `Str "i"); ("pid", `Int e.mid); ("tid", `Int track_packets);

@@ -44,17 +44,23 @@ type send_outcome =
 
 type send_kind = K_request | K_accept | K_put_data | K_cancel
 
-type inflight = {
-  if_kind : send_kind;
-  if_tid : int;
-  if_body : Wire.body;
-  mutable if_seq : bool;
-  mutable if_retries : int;
-  mutable if_busy_attempts : int;
-  mutable if_waiting_busy : bool;  (* parked between BUSY retries *)
-  mutable if_timer : Engine.event_id option;
-  mutable if_finished : bool;
-  if_done : send_outcome -> unit;
+(* One launched reliable message occupying a send-window slot. The slot
+   ([sp_seq]) is fixed at launch; a retransmission reuses it. *)
+type sent_pkt = {
+  sp_kind : send_kind;
+  sp_tid : int;
+  sp_body : Wire.body;
+  sp_seq : int;
+  sp_run : bool;
+      (* launched with nothing outstanding: this slot is the window base and
+         every earlier slot is acked, so the packet is flagged as a run start
+         for no-record receivers (window > 1 only) *)
+  mutable sp_retries : int;
+  mutable sp_busy_attempts : int;
+  mutable sp_waiting_busy : bool;  (* window 1 only: parked between BUSY retries *)
+  mutable sp_timer : Engine.event_id option;
+  mutable sp_finished : bool;
+  sp_done : send_outcome -> unit;
 }
 
 type pending_send = {
@@ -62,20 +68,40 @@ type pending_send = {
   ps_tid : int;
   ps_body : Wire.body;
   ps_done : send_outcome -> unit;
-  ps_retries : int;  (* preserved when a parked in-flight send is requeued *)
+  ps_retries : int;  (* preserved when a parked send is requeued *)
   ps_busy : int;
+  ps_ready_at : int;  (* earliest launch time (BUSY backoff); 0 = immediately *)
+}
+
+(* Replay record for one consumed incoming sequence number: the message's
+   identity (for duplicate disambiguation after the sender reuses a slot)
+   and the response to replay when its duplicate arrives. At window 1
+   exactly one record is kept, reproducing the seed's single
+   last-consumed/last-response pair. *)
+type consumed_rec = {
+  cr_key : (int * int) option;  (* (kind code, tid) of the consumed message *)
+  mutable cr_response : Wire.body option;
 }
 
 type conn = {
   peer : int;
-  mutable send_bit : bool;
-  mutable inflight : inflight option;
+  (* sender half: [send_base] is the oldest unacknowledged slot, [send_next]
+     the next slot to assign; at most [Cost.transport_window] apart. *)
+  mutable send_base : int;
+  mutable send_next : int;
+  mutable outstanding : sent_pkt list;  (* oldest first *)
   sendq : pending_send Queue.t;
-  mutable recv_bit : bool option;  (* expected next incoming bit; None = take any *)
-  mutable last_acked_bit : bool option;  (* last consumed incoming bit *)
-  mutable last_consumed : (int * int) option;  (* (kind code, tid) of last consumed *)
-  mutable last_response : Wire.body option;  (* replayed on duplicates *)
-  mutable ack_owed : bool option;
+  mutable wake_timer : Engine.event_id option;  (* queued-send backoff wake-up *)
+  mutable deferred_ack : int option;
+      (* a cumulative ack held back by an unresolved CANCEL slot *)
+  (* receiver half *)
+  mutable recv_base : int option;  (* expected next incoming seq; None = take any *)
+  mutable consumed : (int * consumed_rec) list;  (* newest first *)
+  mutable recv_buf : Wire.t list;
+      (* held packets, nearest first: out-of-order arrivals waiting for the
+         gap at [recv_base], plus (pipelined kernels) an in-order REQUEST
+         deferred while the input buffer is full *)
+  mutable ack_owed : int option;  (* cumulative ack to send, piggybacked or timed *)
   mutable ack_timer : Engine.event_id option;
   mutable expiry_timer : Engine.event_id option;
 }
@@ -192,10 +218,28 @@ let packet_cpu_us t =
   Stats.add_time t.stats (Cost.label Cost.Retrans_timer) t.cost.Cost.retrans_timer_us;
   t.cost.Cost.packet_protocol_us + t.cost.Cost.conn_timer_us + t.cost.Cost.retrans_timer_us
 
+(* ---- window geometry ---------------------------------------------------- *)
+
+(* At window 1 the sequence space collapses to {0,1} and every computation
+   below reduces to the seed's alternating-bit flip, bit for bit. *)
+let win t = Cost.transport_window t.cost
+let sspace t = Cost.seq_space t.cost
+let dist t base x = (x - base + sspace t) mod sspace t
+let seq_next t s = (s + 1) mod sspace t
+let seq_prev t s = (s - 1 + sspace t) mod sspace t
+
+(* How many replay records to keep: cover the whole "behind the window"
+   region (everything but the window itself), so a merely-delayed duplicate
+   always finds its record and is never mistaken for slot reuse. At window 1
+   this is exactly one record -- the seed's single last-consumed pair. *)
+let max_consumed t = max 1 (sspace t - 1)
+
 (* ---- connection records ------------------------------------------------ *)
 
 let conn_active conn =
-  conn.inflight <> None || not (Queue.is_empty conn.sendq) || conn.ack_owed <> None
+  conn.outstanding <> []
+  || (not (Queue.is_empty conn.sendq))
+  || conn.ack_owed <> None || conn.recv_buf <> []
 
 let rec arm_expiry t conn =
   (match conn.expiry_timer with
@@ -221,13 +265,15 @@ let conn_for t peer =
     let c =
       {
         peer;
-        send_bit = false;
-        inflight = None;
+        send_base = 0;
+        send_next = 0;
+        outstanding = [];
         sendq = Queue.create ();
-        recv_bit = None;
-        last_acked_bit = None;
-        last_consumed = None;
-        last_response = None;
+        wake_timer = None;
+        deferred_ack = None;
+        recv_base = None;
+        consumed = [];
+        recv_buf = [];
         ack_owed = None;
         ack_timer = None;
         expiry_timer = None;
@@ -291,7 +337,7 @@ let tid_of_body body =
 
 (* Emit a packet to [dst], picking up any owed acknowledgement (piggyback,
    §5.2.3). The kernel CPU cost is charged before the NIC transmits. *)
-let emit t ~dst ?(reliable = false) ?(seq = false) ?force_ack body =
+let emit t ~dst ?(reliable = false) ?(seq = 0) ?(run = false) ?force_ack body =
   let nic = match t.nic with Some n -> n | None -> failwith "Transport: no NIC" in
   let ack =
     match force_ack with
@@ -312,7 +358,7 @@ let emit t ~dst ?(reliable = false) ?(seq = false) ?force_ack body =
          owed
        | `Broadcast -> None)
   in
-  let pkt = { Wire.src = t.mid; reliable; seq; ack; body } in
+  let pkt = { Wire.src = t.mid; reliable; seq; ack; run; body } in
   let bytes = Wire.encode pkt in
   let cpu = packet_cpu_us t in
   let tx = Bus.transmission_time_us t.bus ~payload_bytes:(Bytes.length bytes) in
@@ -336,16 +382,21 @@ let emit t ~dst ?(reliable = false) ?(seq = false) ?force_ack body =
          | `Peer peer -> Nic.send nic ~dst:peer bytes
          | `Broadcast -> Nic.broadcast nic bytes))
 
-(* A response to a consumed reliable message: remember it for duplicate
-   replay, and let it carry the owed ack. *)
-let respond_consumed t conn body =
-  conn.last_response <- Some body;
+(* The cumulative acknowledgement we can assert right now: the last
+   in-order consumed sequence number. *)
+let cum_ack t conn =
+  match conn.recv_base with Some b -> Some (seq_prev t b) | None -> None
+
+(* A response to a consumed reliable message: remember it on the consumed
+   slot for duplicate replay, and let it carry the owed ack. *)
+let respond_consumed t conn cr body =
+  cr.cr_response <- Some body;
   emit t ~dst:(`Peer conn.peer) body
 
 (* ---- owed acknowledgements --------------------------------------------- *)
 
-let owe_ack ?(extra_grace = 0) t conn bit =
-  conn.ack_owed <- Some bit;
+let owe_ack ?(extra_grace = 0) t conn seq =
+  conn.ack_owed <- Some seq;
   if conn.ack_timer = None then
     conn.ack_timer <-
       Some
@@ -356,7 +407,7 @@ let owe_ack ?(extra_grace = 0) t conn bit =
                emit t ~dst:(`Peer conn.peer) Wire.Ack
              end))
 
-let replay_response t conn =
+let replay_response t conn cr =
   Stats.incr t.stats "pkt.duplicates";
   Trace.record t.trace ~now:(Engine.now t.engine) ~actor:(actor t)
     "duplicate from peer %d; replaying response" conn.peer;
@@ -366,18 +417,18 @@ let replay_response t conn =
     emit t ~dst:(`Peer conn.peer) Wire.Ack
   end
   else begin
-    match conn.last_response, conn.last_acked_bit with
+    match cr.cr_response, cum_ack t conn with
     | Some body, ack -> emit t ~dst:(`Peer conn.peer) ?force_ack:ack body
-    | None, Some bit -> emit t ~dst:(`Peer conn.peer) ~force_ack:bit Wire.Ack
+    | None, Some a -> emit t ~dst:(`Peer conn.peer) ~force_ack:a Wire.Ack
     | None, None -> ()
   end
 
-(* ---- stop-and-wait sending --------------------------------------------- *)
+(* ---- sliding-window sending --------------------------------------------- *)
 
-let retrans_delay t inflight =
+let retrans_delay t sp =
   let base =
     float_of_int t.cost.Cost.retrans_interval_us
-    *. (t.cost.Cost.retrans_backoff ** float_of_int inflight.if_retries)
+    *. (t.cost.Cost.retrans_backoff ** float_of_int sp.sp_retries)
   in
   (* A 2000-byte frame holds the 1 Mbit medium for ~16 ms, and the expected
      acknowledgement path includes the peer's data copies and (for a
@@ -390,7 +441,7 @@ let retrans_delay t inflight =
     + (4 * t.cost.Cost.packet_protocol_us)
   in
   let extra =
-    match inflight.if_body with
+    match sp.sp_body with
     | Wire.Request { data; get_size; _ } ->
       let d = Bytes.length data in
       (2 * tx d) + (2 * copy d) + tx get_size + copy get_size + turnaround
@@ -408,18 +459,18 @@ let retrans_delay t inflight =
   let jitter = Rng.float t.rng (base *. 0.25) in
   int_of_float (base +. jitter) + extra
 
-let busy_delay t inflight =
+let busy_delay t sp =
   let base =
     float_of_int t.cost.Cost.busy_retry_us
-    *. (t.cost.Cost.busy_retry_backoff ** float_of_int (inflight.if_busy_attempts - 1))
+    *. (t.cost.Cost.busy_retry_backoff ** float_of_int (sp.sp_busy_attempts - 1))
   in
   let capped = min base (float_of_int t.cost.Cost.busy_retry_max_us) in
   let jitter = Rng.float t.rng (capped *. 0.1) in
   int_of_float (capped +. jitter)
 
-let body_for_transmission inflight =
-  match inflight.if_body with
-  | Wire.Request r when inflight.if_retries + inflight.if_busy_attempts > 0 ->
+let body_for_transmission sp =
+  match sp.sp_body with
+  | Wire.Request r when sp.sp_retries + sp.sp_busy_attempts > 0 ->
     (* Data rides only on the first transmission (§5.2.3). *)
     Wire.Request
       {
@@ -433,21 +484,50 @@ let body_for_transmission inflight =
       }
   | body -> body
 
-let rec transmit_inflight t conn inflight =
-  inflight.if_seq <- conn.send_bit;
-  let attempt = inflight.if_retries + inflight.if_busy_attempts in
+let queue_push_front queue x =
+  let tmp = Queue.create () in
+  Queue.push x tmp;
+  Queue.transfer queue tmp;
+  Queue.transfer tmp queue
+
+(* First pending send whose BUSY backoff has matured, preserving queue
+   order otherwise (a ready DATA may overtake a backing-off REQUEST). *)
+let pop_ready q now =
+  let skipped = Queue.create () in
+  let found = ref None in
+  while !found = None && not (Queue.is_empty q) do
+    let p = Queue.pop q in
+    if p.ps_ready_at <= now then found := Some p else Queue.push p skipped
+  done;
+  Queue.transfer q skipped;
+  Queue.transfer skipped q;
+  !found
+
+let next_ready_at q = Queue.fold (fun acc p -> min acc p.ps_ready_at) max_int q
+
+let remove_outstanding conn sp =
+  conn.outstanding <- List.filter (fun p -> p != sp) conn.outstanding
+
+let cancel_sp_timer t sp =
+  match sp.sp_timer with
+  | Some id ->
+    Engine.cancel t.engine id;
+    sp.sp_timer <- None
+  | None -> ()
+
+let rec transmit_sent t conn sp =
+  let attempt = sp.sp_retries + sp.sp_busy_attempts in
   if attempt > 0 then begin
     Stats.incr t.stats "pkt.retransmissions";
     if tracing t then
       event t
         (Event.Retransmit
-           { tid = inflight.if_tid; peer = conn.peer; pkt = pkt_of_body inflight.if_body;
-             attempt })
+           { tid = sp.sp_tid; peer = conn.peer; pkt = pkt_of_body sp.sp_body; attempt })
   end;
-  let body = body_for_transmission inflight in
+  let body = body_for_transmission sp in
   (* The kernel copies the client buffer into the output buffer as part of
      sending (§5.2): data-bearing transmissions pay one copy here, in the
-     stop-and-wait critical path. *)
+     transmit critical path. *)
   let data_bytes =
     match body with
     | Wire.Request { data; _ } | Wire.Accept { data; _ } | Wire.Put_data { data; _ } ->
@@ -457,8 +537,8 @@ let rec transmit_inflight t conn inflight =
   let copy_us = if data_bytes > 0 then Cost.data_copy_us t.cost ~bytes:data_bytes else 0 in
   if copy_us > 0 then Stats.add_time t.stats (Cost.label Cost.Protocol) copy_us;
   if copy_us = 0 then begin
-    emit t ~dst:(`Peer conn.peer) ~reliable:true ~seq:inflight.if_seq body;
-    arm_retrans t conn inflight
+    emit t ~dst:(`Peer conn.peer) ~reliable:true ~seq:sp.sp_seq ~run:sp.sp_run body;
+    arm_retrans t conn sp
   end
   else begin
     (* The imminent emission will carry any owed ack; hold the standalone
@@ -470,109 +550,194 @@ let rec transmit_inflight t conn inflight =
      | Some _ | None -> ());
     ignore
       (defer t ~delay:copy_us (fun () ->
-           if not inflight.if_finished then begin
-             emit t ~dst:(`Peer conn.peer) ~reliable:true ~seq:inflight.if_seq body;
-             arm_retrans t conn inflight
+           if not sp.sp_finished then begin
+             emit t ~dst:(`Peer conn.peer) ~reliable:true ~seq:sp.sp_seq ~run:sp.sp_run
+               body;
+             arm_retrans t conn sp
            end
            else if conn.ack_owed <> None then
              (* the emission was cancelled; release the held ack *)
              owe_ack t conn (Option.get conn.ack_owed)))
   end
 
-and arm_retrans t conn inflight =
-  (match inflight.if_timer with
-   | Some id -> Engine.cancel t.engine id
-   | None -> ());
-  let delay = retrans_delay t inflight in
-  inflight.if_timer <-
+and arm_retrans t conn sp =
+  cancel_sp_timer t sp;
+  let delay = retrans_delay t sp in
+  sp.sp_timer <-
     Some
       (defer t ~delay (fun () ->
-           inflight.if_timer <- None;
-           if not inflight.if_finished then begin
-             if inflight.if_retries >= t.cost.Cost.max_retrans then
-               finish_inflight t conn inflight Out_timeout
+           sp.sp_timer <- None;
+           if not sp.sp_finished then begin
+             if sp.sp_retries >= t.cost.Cost.max_retrans then
+               finish_sent t conn sp Out_timeout
              else begin
-               inflight.if_retries <- inflight.if_retries + 1;
-               transmit_inflight t conn inflight
+               sp.sp_retries <- sp.sp_retries + 1;
+               transmit_sent t conn sp
              end
            end))
 
-and finish_inflight t conn inflight outcome =
-  if not inflight.if_finished then begin
-    inflight.if_finished <- true;
-    (match outcome with
-     | Out_acked when tracing t ->
-       event t
-         (Event.Acked
-            { tid = inflight.if_tid; peer = conn.peer; pkt = pkt_of_body inflight.if_body })
-     | _ -> ());
-    (match inflight.if_timer with
-     | Some id ->
-       Engine.cancel t.engine id;
-       inflight.if_timer <- None
+(* Remove a slot WITHOUT advancing the window base: timeouts and
+   unadvertised rejections mean the peer never consumed the sequence
+   number, so it is reused for the next message once the window empties
+   (the seed's unflipped bit, generalised). *)
+and finish_sent t conn sp outcome =
+  if not sp.sp_finished then begin
+    sp.sp_finished <- true;
+    cancel_sp_timer t sp;
+    remove_outstanding conn sp;
+    if conn.outstanding = [] then conn.send_next <- conn.send_base;
+    sp.sp_done outcome;
+    start_next t conn
+  end
+
+(* A cumulative acknowledgement: the peer consumed every slot up to and
+   including [a]. A slot held by an unresolved CANCEL stops the walk — a
+   CANCEL is resolved by its Cancel_reply body, not the bare ack — and the
+   remainder is parked in [deferred_ack]. *)
+and apply_cum_ack t conn a =
+  let extent = dist t conn.send_base conn.send_next in
+  let d = dist t conn.send_base a in
+  if extent > 0 && d < extent then begin
+    let acked = ref [] in
+    let covered = ref 0 in
+    (try
+       for off = 0 to d do
+         let sq = (conn.send_base + off) mod sspace t in
+         match
+           List.find_opt
+             (fun p -> p.sp_seq = sq && not p.sp_finished)
+             conn.outstanding
+         with
+         | Some sp when sp.sp_kind = K_cancel ->
+           if off < d then conn.deferred_ack <- Some a;
+           raise Exit
+         | Some sp -> acked := sp :: !acked; incr covered
+         | None -> incr covered (* slot vacated by a timed-out message *)
+       done
+     with Exit -> ());
+    if !covered > 0 then begin
+      List.iter
+        (fun sp ->
+          sp.sp_finished <- true;
+          cancel_sp_timer t sp)
+        !acked;
+      conn.outstanding <- List.filter (fun p -> not p.sp_finished) conn.outstanding;
+      conn.send_base <- (conn.send_base + !covered) mod sspace t;
+      if conn.outstanding = [] then conn.send_next <- conn.send_base;
+      if win t > 1 && tracing t then
+        event t
+          (Event.Window_advance
+             { peer = conn.peer; base = conn.send_base;
+               in_flight = List.length conn.outstanding });
+      List.iter
+        (fun sp ->
+          if tracing t then
+            event t
+              (Event.Acked { tid = sp.sp_tid; peer = conn.peer; pkt = pkt_of_body sp.sp_body });
+          sp.sp_done Out_acked)
+        (List.rev !acked);
+      start_next t conn
+    end
+  end
+
+(* The peer consumed [sp]'s slot (and, implicitly, everything before it)
+   but answered with a semantic response — ERROR, a windowed BUSY, or a
+   CANCEL reply — rather than a plain ack. Advance the window past it and
+   hand the outcome to [k]. *)
+and resolve_consumed t conn sp k =
+  if not sp.sp_finished then begin
+    apply_cum_ack t conn (seq_prev t sp.sp_seq);
+    sp.sp_finished <- true;
+    cancel_sp_timer t sp;
+    remove_outstanding conn sp;
+    if conn.send_base = sp.sp_seq then begin
+      conn.send_base <- seq_next t sp.sp_seq;
+      if conn.outstanding = [] then conn.send_next <- conn.send_base
+    end
+    else begin
+      (* an unresolved CANCEL ahead of us holds the base; fold our slot
+         into the deferred ack so the base clears us when it resolves *)
+      match conn.deferred_ack with
+      | Some a when dist t conn.send_base a >= dist t conn.send_base sp.sp_seq -> ()
+      | Some _ | None -> conn.deferred_ack <- Some sp.sp_seq
+    end;
+    k ();
+    (match conn.deferred_ack with
+     | Some a ->
+       conn.deferred_ack <- None;
+       apply_cum_ack t conn a
      | None -> ());
-    (match outcome with
-     | Out_acked | Out_cancel_reply _ -> conn.send_bit <- not conn.send_bit
-     | Out_error code when code <> Wire.Err_unadvertised ->
-       (* The peer consumed the message before rejecting it. *)
-       conn.send_bit <- not conn.send_bit
-     | Out_error _ | Out_timeout -> ());
-    conn.inflight <- None;
-    inflight.if_done outcome;
     start_next t conn
   end
 
 and start_next t conn =
-  if conn.inflight = None && not (Queue.is_empty conn.sendq) then begin
-    let pending = Queue.pop conn.sendq in
-    let inflight =
-      {
-        if_kind = pending.ps_kind;
-        if_tid = pending.ps_tid;
-        if_body = pending.ps_body;
-        if_seq = conn.send_bit;
-        if_retries = pending.ps_retries;
-        if_busy_attempts = pending.ps_busy;
-        if_waiting_busy = false;
-        if_timer = None;
-        if_finished = false;
-        if_done = pending.ps_done;
-      }
-    in
-    conn.inflight <- Some inflight;
-    transmit_inflight t conn inflight
-  end
+  let continue = ref true in
+  while !continue do
+    let extent = dist t conn.send_base conn.send_next in
+    if extent >= win t || Queue.is_empty conn.sendq then continue := false
+    else begin
+      let now = Engine.now t.engine in
+      match pop_ready conn.sendq now with
+      | None ->
+        (* every queued send is backing off after a BUSY; wake when the
+           nearest matures *)
+        if conn.wake_timer = None then begin
+          let at = next_ready_at conn.sendq in
+          conn.wake_timer <-
+            Some
+              (defer t ~delay:(max 1 (at - now)) (fun () ->
+                   conn.wake_timer <- None;
+                   start_next t conn))
+        end;
+        continue := false
+      | Some pending ->
+        let sp =
+          {
+            sp_kind = pending.ps_kind;
+            sp_tid = pending.ps_tid;
+            sp_body = pending.ps_body;
+            sp_seq = conn.send_next;
+            sp_run = win t > 1 && conn.outstanding = [];
+            sp_retries = pending.ps_retries;
+            sp_busy_attempts = pending.ps_busy;
+            sp_waiting_busy = false;
+            sp_timer = None;
+            sp_finished = false;
+            sp_done = pending.ps_done;
+          }
+        in
+        conn.send_next <- seq_next t conn.send_next;
+        conn.outstanding <- conn.outstanding @ [ sp ];
+        Stats.sample t.stats "net.window_occupancy" (List.length conn.outstanding);
+        transmit_sent t conn sp
+    end
+  done
 
-let queue_push_front queue x =
-  let tmp = Queue.create () in
-  Queue.push x tmp;
-  Queue.transfer queue tmp;
-  Queue.transfer tmp queue
-
-(* The DATA of an in-progress exchange must not starve behind a new
-   REQUEST that is bouncing off the very handler the exchange is blocking:
-   park the busy-waiting request back at the head of the queue so the
-   pending Put_data goes first. *)
-let park_busy_inflight t conn inflight =
-  (match inflight.if_timer with
-   | Some id ->
-     Engine.cancel t.engine id;
-     inflight.if_timer <- None
-   | None -> ());
-  inflight.if_finished <- true;
-  conn.inflight <- None;
+(* Window 1 only. The DATA of an in-progress exchange must not starve
+   behind a REQUEST that is bouncing off the very handler the exchange is
+   blocking: park the busy-waiting request back at the head of the queue
+   (BUSY did not consume its slot, so the slot is reused) and let the
+   pending Put_data go first. *)
+and park_busy_sent t conn sp =
+  cancel_sp_timer t sp;
+  sp.sp_finished <- true;
+  remove_outstanding conn sp;
+  if conn.outstanding = [] then conn.send_next <- conn.send_base;
   queue_push_front conn.sendq
     {
-      ps_kind = inflight.if_kind;
-      ps_tid = inflight.if_tid;
-      ps_body = inflight.if_body;
-      ps_done = inflight.if_done;
-      ps_retries = inflight.if_retries;
-      ps_busy = inflight.if_busy_attempts;
+      ps_kind = sp.sp_kind;
+      ps_tid = sp.sp_tid;
+      ps_body = sp.sp_body;
+      ps_done = sp.sp_done;
+      ps_retries = sp.sp_retries;
+      ps_busy = sp.sp_busy_attempts;
+      ps_ready_at = 0;
     };
   (* keep any pending DATA ahead of requeued requests *)
   let puts = Queue.create () and rest = Queue.create () in
-  Queue.iter (fun p -> Queue.push p (if p.ps_kind = K_put_data then puts else rest)) conn.sendq;
+  Queue.iter
+    (fun p -> Queue.push p (if p.ps_kind = K_put_data then puts else rest))
+    conn.sendq;
   Queue.clear conn.sendq;
   Queue.transfer puts conn.sendq;
   Queue.transfer rest conn.sendq
@@ -583,14 +748,19 @@ let send_reliable t ~peer ~kind ~tid body ~on_done =
   if tracing t then event t (Event.Enqueue { tid; peer; pkt = pkt_of_body body });
   let pending =
     { ps_kind = kind; ps_tid = tid; ps_body = body; ps_done = on_done; ps_retries = 0;
-      ps_busy = 0 }
+      ps_busy = 0; ps_ready_at = 0 }
   in
-  (match kind, conn.inflight with
-   | K_put_data, Some inflight
-     when inflight.if_waiting_busy && inflight.if_kind = K_request
-          && not inflight.if_finished ->
-     park_busy_inflight t conn inflight;
-     queue_push_front conn.sendq pending
+  (match kind with
+   | K_put_data ->
+     (match
+        List.find_opt
+          (fun sp -> sp.sp_waiting_busy && sp.sp_kind = K_request && not sp.sp_finished)
+          conn.outstanding
+      with
+      | Some sp ->
+        park_busy_sent t conn sp;
+        queue_push_front conn.sendq pending
+      | None -> Queue.push pending conn.sendq)
    | _ -> Queue.push pending conn.sendq);
   start_next t conn
 
@@ -898,8 +1068,9 @@ let cancel t ~tid ~on_done =
      | Rq_delivered -> send_remote_cancel t req on_done
      | Rq_sent ->
        let conn = conn_for t req.or_dst in
-       (* Still queued behind other traffic? Then the server has never seen
-          it: kill it locally. *)
+       (* Still queued behind other traffic (or backing off after a
+          windowed BUSY)? Then the server will never see it again: kill it
+          locally. *)
        let in_queue =
          Queue.fold
            (fun found p -> found || (p.ps_tid = tid && p.ps_kind = K_request))
@@ -917,49 +1088,36 @@ let cancel t ~tid ~on_done =
          on_done true
        end
        else begin
-         match conn.inflight with
-         | Some inflight
-           when inflight.if_tid = tid && inflight.if_kind = K_request
-                && inflight.if_waiting_busy ->
-           (* Bouncing off a busy handler: the server never took delivery
-              (BUSY does not consume the sequence bit), so a local abort is
-              safe and the sequence bit stays unflipped. *)
-           inflight.if_finished <- true;
-           (match inflight.if_timer with
-            | Some id ->
-              Engine.cancel t.engine id;
-              inflight.if_timer <- None
-            | None -> ());
-           conn.inflight <- None;
+         match
+           List.find_opt
+             (fun sp ->
+               sp.sp_tid = tid && sp.sp_kind = K_request && sp.sp_waiting_busy
+               && not sp.sp_finished)
+             conn.outstanding
+         with
+         | Some sp ->
+           (* Bouncing off a busy handler (window 1): the server never took
+              delivery — BUSY does not consume the slot — so a local abort
+              is safe and the slot stays unconsumed. *)
+           sp.sp_finished <- true;
+           cancel_sp_timer t sp;
+           remove_outstanding conn sp;
+           if conn.outstanding = [] then conn.send_next <- conn.send_base;
            req.or_state <- Rq_done;
            Hashtbl.remove t.out_reqs tid;
            start_next t conn;
            on_done true
-         | _ ->
+         | None ->
            (* Await the acknowledgement; the outcome callback resolves us. *)
            req.or_cancel_pending <- Some on_done
        end)
 
 (* ---- incoming packet processing ------------------------------------------ *)
 
-let handle_ack t conn bit =
-  match conn.inflight with
-  | Some inflight when inflight.if_seq = bit && inflight.if_kind = K_cancel ->
-    (* A CANCEL is resolved by its Cancel_reply body (usually in the same
-       packet as this ack), not by the bare acknowledgement. *)
-    ()
-  | Some inflight when inflight.if_seq = bit && not inflight.if_waiting_busy ->
-    finish_inflight t conn inflight Out_acked
-  | Some inflight when inflight.if_seq = bit && inflight.if_waiting_busy ->
-    (* The BUSY was stale; an ack arrived after all (e.g. pipelined hold). *)
-    inflight.if_waiting_busy <- false;
-    finish_inflight t conn inflight Out_acked
-  | _ -> ()
-
 (* Identify a reliable message for duplicate disambiguation: after the
-   sender exhausts retransmissions it reuses the sequence bit for its NEXT
-   message, so a stale-looking bit with a different transaction id is a
-   fresh message, not a duplicate. *)
+   sender exhausts retransmissions it reuses the slot for its NEXT
+   message, so a stale-looking sequence number with a different
+   transaction id is a fresh message, not a duplicate. *)
 let message_key body =
   match body with
   | Wire.Request { tid; _ } -> Some (1, tid)
@@ -968,141 +1126,156 @@ let message_key body =
   | Wire.Cancel_request { tid } -> Some (4, tid)
   | _ -> None
 
-(* Consume a reliable message's sequence bit if it is fresh. Returns
-   [`Fresh] if the body should be processed, [`Dup] otherwise. *)
-let consume_bit t conn ~key seq =
-  let is_dup =
-    match conn.recv_bit with
-    | Some expected when seq <> expected -> conn.last_consumed = key || key = None
-    | Some _ | None -> false
-  in
-  if is_dup then `Dup
-  else begin
-    if conn.recv_bit = None then
-      Trace.record t.trace ~now:(Engine.now t.engine) ~actor:(actor t)
-        "taking any SN from peer %d (no record)" conn.peer;
-    conn.recv_bit <- Some (not seq);
-    conn.last_acked_bit <- Some seq;
-    conn.last_consumed <- key;
-    conn.last_response <- None;
-    `Fresh
+type recv_class =
+  | In_order  (* at the window base (or no record): consume now *)
+  | Out_of_order  (* inside the receive window but ahead of a gap *)
+  | Dup of consumed_rec  (* behind the window and already consumed *)
+  | Resync  (* behind the window but a different message: slot reuse *)
+  | No_sync
+      (* no record and not a run start: at window > 1 the packet may sit
+         anywhere inside a reordered burst, so synchronising the window base
+         on it would strand its predecessors (they would look "behind").
+         Drop it; the sender's retransmission of the flagged run start
+         establishes the base. *)
+
+let classify t conn ~key ~run seq =
+  match conn.recv_base with
+  | None -> if win t = 1 || run then In_order else No_sync
+  | Some base ->
+    let d = dist t base seq in
+    if d = 0 then In_order
+    else if d < win t then Out_of_order
+    else begin
+      match List.assoc_opt seq conn.consumed with
+      | Some cr when cr.cr_key = key || key = None -> Dup cr
+      | Some _ | None -> Resync
+    end
+
+let rec take n = function [] -> [] | x :: rest -> if n <= 0 then [] else x :: take (n - 1) rest
+
+(* Consume one in-order sequence number: advance the expected base and
+   open a replay record for it. [resync] means the sender rolled back and
+   reused old slots — everything remembered about the previous numbering
+   is void. *)
+let consume t conn ~key ~resync seq =
+  if conn.recv_base = None then
+    Trace.record t.trace ~now:(Engine.now t.engine) ~actor:(actor t)
+      "taking any SN from peer %d (no record)" conn.peer;
+  if resync then begin
+    conn.recv_buf <- [];
+    conn.consumed <- []
+  end;
+  conn.recv_base <- Some (seq_next t seq);
+  let cr = { cr_key = key; cr_response = None } in
+  conn.consumed <-
+    (seq, cr) :: take (max_consumed t - 1) (List.remove_assoc seq conn.consumed);
+  cr
+
+(* Park a packet in the receive window. Retries are dataless, so a slot
+   already held keeps its original (data-bearing) copy. *)
+let stash t conn pkt =
+  if not (List.exists (fun p -> p.Wire.seq = pkt.Wire.seq) conn.recv_buf) then begin
+    let base = match conn.recv_base with Some b -> b | None -> pkt.Wire.seq in
+    let d p = dist t base p.Wire.seq in
+    let rec insert = function
+      | [] -> [ pkt ]
+      | p :: rest -> if d pkt < d p then pkt :: p :: rest else p :: insert rest
+    in
+    conn.recv_buf <- insert conn.recv_buf;
+    Stats.incr t.stats "pkt.window_buffered";
+    if tracing t then
+      event t
+        (Event.Window_buffer
+           { tid = tid_of_body pkt.Wire.body; peer = conn.peer; seq = pkt.Wire.seq;
+             expected = base })
   end
 
-let handle_request t conn src (r : Wire.body) seq =
-  match r with
-  | Wire.Request { tid; pattern; arg; put_size; get_size; data; retry } ->
-    (match conn.recv_bit with
-     | Some expected when seq <> expected && conn.last_consumed = Some (1, tid) ->
-       replay_response t conn
-     | _ ->
-       let cb = callbacks t in
-       (match cb.deliver_request ~src ~tid ~pattern ~arg ~put_size ~get_size with
-        | `Unadvertised ->
-          Stats.incr t.stats "req.unadvertised";
-          emit t ~dst:(`Peer conn.peer) (Wire.Error { tid; code = Wire.Err_unadvertised })
-        | `Deliver ->
-          ignore (consume_bit t conn ~key:(Some (1, tid)) seq);
-          (* Hold the ack long enough for a promptly-issued ACCEPT --
-             including both its input and output data copies -- to
-             piggyback it (§5.2.3). *)
-          let extra_grace =
-            Cost.data_copy_us t.cost ~bytes:put_size
-            + Cost.data_copy_us t.cost ~bytes:get_size
-            + t.cost.Cost.accept_trap_us + t.cost.Cost.context_switch_us
-            + t.cost.Cost.handler_client_us
-          in
-          owe_ack ~extra_grace t conn seq;
-          let txn =
-            {
-              st_src = src;
-              st_tid = tid;
-              st_put_size = put_size;
-              st_get_size = get_size;
-              st_put_data = (if (not retry) && put_size > 0 then Some data else None);
-              st_state = Srv_delivered;
-              st_gc = None;
-            }
-          in
-          Hashtbl.replace t.srv_txns (src, tid) txn;
-          Stats.incr t.stats "req.delivered";
-          if tracing t then
-            event t
-              (Event.Deliver
-                 { tid; src; pattern = Pattern.to_int pattern; put_size; get_size;
-                   from_buffer = false })
-        | `Busy ->
-          if t.cost.Cost.pipelined && t.buffered = None then begin
-            ignore (consume_bit t conn ~key:(Some (1, tid)) seq);
-            let extra_grace =
-              Cost.data_copy_us t.cost ~bytes:put_size
-              + Cost.data_copy_us t.cost ~bytes:get_size
-              + t.cost.Cost.accept_trap_us + t.cost.Cost.context_switch_us
-              + t.cost.Cost.handler_client_us
-            in
-            owe_ack ~extra_grace t conn seq;
-            let txn =
-              {
-                st_src = src;
-                st_tid = tid;
-                st_put_size = put_size;
-                st_get_size = get_size;
-                st_put_data = (if (not retry) && put_size > 0 then Some data else None);
-                st_state = Srv_buffered;
-                st_gc = None;
-              }
-            in
-            Hashtbl.replace t.srv_txns (src, tid) txn;
-            t.buffered <-
-              Some
-                { br_src = src; br_tid = tid; br_pattern = pattern; br_arg = arg;
-                  br_put_size = put_size; br_get_size = get_size };
-            Stats.incr t.stats "req.buffered"
-          end
-          else begin
-            Stats.incr t.stats "req.busy_nacked";
-            if tracing t then event t (Event.Busy_nack { tid; peer = conn.peer });
-            emit t ~dst:(`Peer conn.peer) (Wire.Busy { tid })
-          end))
-  | _ -> assert false
+(* ---- responses to our own reliable sends --------------------------------- *)
 
-let flush_buffered t =
-  match t.buffered with
+let handle_busy t conn tid =
+  match
+    List.find_opt
+      (fun sp -> sp.sp_tid = tid && sp.sp_kind = K_request && not sp.sp_finished)
+      conn.outstanding
+  with
   | None -> ()
-  | Some br ->
-    let cb = callbacks t in
-    (match
-       cb.deliver_request ~src:br.br_src ~tid:br.br_tid ~pattern:br.br_pattern
-         ~arg:br.br_arg ~put_size:br.br_put_size ~get_size:br.br_get_size
-     with
-     | `Deliver ->
-       t.buffered <- None;
-       (match Hashtbl.find_opt t.srv_txns (br.br_src, br.br_tid) with
-        | Some txn when txn.st_state = Srv_buffered -> txn.st_state <- Srv_delivered
-        | Some _ | None -> ());
-       Stats.incr t.stats "req.delivered";
-       Stats.incr t.stats "req.delivered_from_buffer";
-       if tracing t then
-         event t
-           (Event.Deliver
-              { tid = br.br_tid; src = br.br_src; pattern = Pattern.to_int br.br_pattern;
-                put_size = br.br_put_size; get_size = br.br_get_size; from_buffer = true })
-     | `Busy -> ()
-     | `Unadvertised ->
-       t.buffered <- None;
-       (match Hashtbl.find_opt t.srv_txns (br.br_src, br.br_tid) with
-        | Some txn when txn.st_state = Srv_buffered ->
-          Hashtbl.remove t.srv_txns (br.br_src, br.br_tid)
-        | Some _ | None -> ());
-       emit t ~dst:(`Peer br.br_src) (Wire.Error { tid = br.br_tid; code = Wire.Err_unadvertised }))
+  | Some sp ->
+    sp.sp_busy_attempts <- sp.sp_busy_attempts + 1;
+    Stats.incr t.stats "req.busy_received";
+    if win t = 1 then begin
+      (* Legacy alternating-bit semantics: BUSY did not consume the slot;
+         retry the same sequence number after the adaptive delay. *)
+      cancel_sp_timer t sp;
+      sp.sp_waiting_busy <- true;
+      let queued_put_data =
+        Queue.fold (fun found p -> found || p.ps_kind = K_put_data) false conn.sendq
+      in
+      if queued_put_data then begin
+        (* A pending DATA transfer is what will free the busy handler; let
+           it overtake the parked request. *)
+        park_busy_sent t conn sp;
+        start_next t conn
+      end
+      else begin
+        let delay = busy_delay t sp in
+        sp.sp_timer <-
+          Some
+            (defer t ~delay (fun () ->
+                 sp.sp_timer <- None;
+                 if not sp.sp_finished then begin
+                   sp.sp_waiting_busy <- false;
+                   transmit_sent t conn sp
+                 end))
+      end
+    end
+    else begin
+      (* Windowed: the server consumed the slot to keep its receive window
+         coherent. Free the slot and requeue the request (head of queue,
+         backoff preserved) for a fresh one. *)
+      let delay = busy_delay t sp in
+      resolve_consumed t conn sp (fun () ->
+          queue_push_front conn.sendq
+            {
+              ps_kind = sp.sp_kind;
+              ps_tid = sp.sp_tid;
+              ps_body = sp.sp_body;
+              ps_done = sp.sp_done;
+              ps_retries = sp.sp_retries;
+              ps_busy = sp.sp_busy_attempts;
+              ps_ready_at = Engine.now t.engine + delay;
+            })
+    end
 
-let handle_accept_body t conn src (a : Wire.body) =
+let handle_error t conn tid code =
+  match
+    List.find_opt (fun sp -> sp.sp_tid = tid && not sp.sp_finished) conn.outstanding
+  with
+  | None -> ()
+  | Some sp ->
+    if win t = 1 && code = Wire.Err_unadvertised then
+      (* the peer rejected without consuming the slot *)
+      finish_sent t conn sp (Out_error code)
+    else resolve_consumed t conn sp (fun () -> sp.sp_done (Out_error code))
+
+let handle_cancel_reply t conn tid ok =
+  match
+    List.find_opt
+      (fun sp -> sp.sp_tid = tid && sp.sp_kind = K_cancel && not sp.sp_finished)
+      conn.outstanding
+  with
+  | None -> ()
+  | Some sp -> resolve_consumed t conn sp (fun () -> sp.sp_done (Out_cancel_reply ok))
+
+(* ---- consumed-body handlers ---------------------------------------------- *)
+
+let handle_accept_body t conn cr src (a : Wire.body) =
   match a with
   | Wire.Accept { tid; arg; put_transferred; need_put_data; data } ->
     (match Hashtbl.find_opt t.out_reqs tid with
      | Some req when req.or_state <> Rq_done ->
        if src <> req.or_dst then
          (* Rule 6 of §3.3.2: only the addressed server may accept. *)
-         respond_consumed t conn (Wire.Error { tid; code = Wire.Err_cancelled })
+         respond_consumed t conn cr (Wire.Error { tid; code = Wire.Err_cancelled })
        else begin
          let get_data = truncate_bytes data req.or_get_size in
          let copy_us = Cost.data_copy_us t.cost ~bytes:(Bytes.length get_data) in
@@ -1131,8 +1304,9 @@ let handle_accept_body t conn src (a : Wire.body) =
        end
      | Some _ | None ->
        (match (callbacks t).classify_unknown_tid tid with
-        | `Completed -> respond_consumed t conn (Wire.Error { tid; code = Wire.Err_cancelled })
-        | `Stale -> respond_consumed t conn (Wire.Error { tid; code = Wire.Err_crashed })))
+        | `Completed ->
+          respond_consumed t conn cr (Wire.Error { tid; code = Wire.Err_cancelled })
+        | `Stale -> respond_consumed t conn cr (Wire.Error { tid; code = Wire.Err_crashed })))
   | _ -> assert false
 
 let handle_put_data t conn (d : Wire.body) =
@@ -1153,7 +1327,7 @@ let handle_put_data t conn (d : Wire.body) =
      | Some _ | None -> ())
   | _ -> assert false
 
-let handle_cancel_request t conn (c : Wire.body) =
+let handle_cancel_request t conn cr (c : Wire.body) =
   match c with
   | Wire.Cancel_request { tid } ->
     let key = (conn.peer, tid) in
@@ -1175,56 +1349,8 @@ let handle_cancel_request t conn (c : Wire.body) =
       | None -> true
     in
     if ok then Stats.incr t.stats "cancel.granted" else Stats.incr t.stats "cancel.refused";
-    respond_consumed t conn (Wire.Cancel_reply { tid; ok })
+    respond_consumed t conn cr (Wire.Cancel_reply { tid; ok })
   | _ -> assert false
-
-let handle_busy t conn tid =
-  match conn.inflight with
-  | Some inflight
-    when inflight.if_tid = tid && inflight.if_kind = K_request
-         && not inflight.if_finished ->
-    (match inflight.if_timer with
-     | Some id ->
-       Engine.cancel t.engine id;
-       inflight.if_timer <- None
-     | None -> ());
-    inflight.if_busy_attempts <- inflight.if_busy_attempts + 1;
-    inflight.if_waiting_busy <- true;
-    Stats.incr t.stats "req.busy_received";
-    let queued_put_data =
-      Queue.fold (fun found p -> found || p.ps_kind = K_put_data) false conn.sendq
-    in
-    if queued_put_data then begin
-      (* A pending DATA transfer is what will free the busy handler; let it
-         overtake the parked request. *)
-      park_busy_inflight t conn inflight;
-      start_next t conn
-    end
-    else begin
-      let delay = busy_delay t inflight in
-      inflight.if_timer <-
-        Some
-          (defer t ~delay (fun () ->
-               inflight.if_timer <- None;
-               if not inflight.if_finished then begin
-                 inflight.if_waiting_busy <- false;
-                 transmit_inflight t conn inflight
-               end))
-    end
-  | _ -> ()
-
-let handle_error t conn tid code =
-  match conn.inflight with
-  | Some inflight when inflight.if_tid = tid && not inflight.if_finished ->
-    finish_inflight t conn inflight (Out_error code)
-  | _ -> ()
-
-let handle_cancel_reply t conn tid ok =
-  match conn.inflight with
-  | Some inflight
-    when inflight.if_tid = tid && inflight.if_kind = K_cancel && not inflight.if_finished ->
-    finish_inflight t conn inflight (Out_cancel_reply ok)
-  | _ -> ignore t
 
 let handle_probe t conn tid =
   let alive =
@@ -1263,6 +1389,169 @@ let handle_discover_reply t src tid =
       dr.dr_mids <- src :: dr.dr_mids
   | None -> ()
 
+(* Offer an in-order REQUEST to the kernel. [`Held] (windowed pipelined
+   kernels only) leaves the slot unconsumed: the packet stays parked at the
+   head of the receive window, data intact, until the input buffer frees. *)
+let offer_request t conn src (r : Wire.body) seq ~resync =
+  match r with
+  | Wire.Request { tid; pattern; arg; put_size; get_size; data; retry } ->
+    let cb = callbacks t in
+    let register st_state =
+      let txn =
+        {
+          st_src = src;
+          st_tid = tid;
+          st_put_size = put_size;
+          st_get_size = get_size;
+          st_put_data = (if (not retry) && put_size > 0 then Some data else None);
+          st_state;
+          st_gc = None;
+        }
+      in
+      Hashtbl.replace t.srv_txns (src, tid) txn
+    in
+    (* Hold the ack long enough for a promptly-issued ACCEPT -- including
+       both its input and output data copies -- to piggyback it (§5.2.3). *)
+    let accept_grace =
+      Cost.data_copy_us t.cost ~bytes:put_size
+      + Cost.data_copy_us t.cost ~bytes:get_size
+      + t.cost.Cost.accept_trap_us + t.cost.Cost.context_switch_us
+      + t.cost.Cost.handler_client_us
+    in
+    (match cb.deliver_request ~src ~tid ~pattern ~arg ~put_size ~get_size with
+     | `Unadvertised ->
+       Stats.incr t.stats "req.unadvertised";
+       if win t > 1 then begin
+         (* consume the slot so the window stays gap-free; the stored ERROR
+            is replayed on duplicates *)
+         let cr = consume t conn ~key:(Some (1, tid)) ~resync seq in
+         respond_consumed t conn cr (Wire.Error { tid; code = Wire.Err_unadvertised })
+       end
+       else emit t ~dst:(`Peer conn.peer) (Wire.Error { tid; code = Wire.Err_unadvertised });
+       `Done
+     | `Deliver ->
+       ignore (consume t conn ~key:(Some (1, tid)) ~resync seq);
+       owe_ack ~extra_grace:accept_grace t conn seq;
+       register Srv_delivered;
+       Stats.incr t.stats "req.delivered";
+       if tracing t then
+         event t
+           (Event.Deliver
+              { tid; src; pattern = Pattern.to_int pattern; put_size; get_size;
+                from_buffer = false });
+       `Done
+     | `Busy ->
+       if t.cost.Cost.pipelined && t.buffered = None then begin
+         ignore (consume t conn ~key:(Some (1, tid)) ~resync seq);
+         owe_ack ~extra_grace:accept_grace t conn seq;
+         register Srv_buffered;
+         t.buffered <-
+           Some
+             { br_src = src; br_tid = tid; br_pattern = pattern; br_arg = arg;
+               br_put_size = put_size; br_get_size = get_size };
+         Stats.incr t.stats "req.buffered";
+         `Done
+       end
+       else if win t > 1 && t.cost.Cost.pipelined then begin
+         (* input buffer full: defer rather than nack, keeping the put data
+            for delivery once the handler drains *)
+         Stats.incr t.stats "req.busy_deferred";
+         `Held
+       end
+       else if win t > 1 then begin
+         Stats.incr t.stats "req.busy_nacked";
+         if tracing t then event t (Event.Busy_nack { tid; peer = conn.peer });
+         (* windowed BUSY consumes the slot; the requester retries under a
+            fresh sequence number *)
+         let cr = consume t conn ~key:(Some (1, tid)) ~resync seq in
+         respond_consumed t conn cr (Wire.Busy { tid });
+         `Done
+       end
+       else begin
+         Stats.incr t.stats "req.busy_nacked";
+         if tracing t then event t (Event.Busy_nack { tid; peer = conn.peer });
+         emit t ~dst:(`Peer conn.peer) (Wire.Busy { tid });
+         `Done
+       end)
+  | _ -> assert false
+
+(* Process parked packets that have become in-order (the gap filled, or a
+   deferred REQUEST's handler freed). Stops at the first hold. *)
+let rec drain_recv t conn =
+  match conn.recv_base, conn.recv_buf with
+  (* [None]: a deferred in-order REQUEST was parked before the connection
+     record existed (first contact with the input buffer full); it is the
+     synchronisation point, so offer it as soon as the buffer drains. *)
+  | base, pkt :: rest when base = None || base = Some pkt.Wire.seq ->
+    let key = message_key pkt.Wire.body in
+    (match pkt.Wire.body with
+     | Wire.Request _ ->
+       (match offer_request t conn pkt.Wire.src pkt.Wire.body pkt.Wire.seq ~resync:false with
+        | `Done ->
+          conn.recv_buf <- rest;
+          drain_recv t conn
+        | `Held -> ())
+     | Wire.Accept { data; _ } ->
+       conn.recv_buf <- rest;
+       let cr = consume t conn ~key ~resync:false pkt.Wire.seq in
+       let extra_grace =
+         Cost.data_copy_us t.cost ~bytes:(Bytes.length data)
+         + t.cost.Cost.request_trap_us + t.cost.Cost.context_switch_us
+       in
+       owe_ack ~extra_grace t conn pkt.Wire.seq;
+       handle_accept_body t conn cr pkt.Wire.src pkt.Wire.body;
+       drain_recv t conn
+     | Wire.Put_data _ ->
+       conn.recv_buf <- rest;
+       ignore (consume t conn ~key ~resync:false pkt.Wire.seq);
+       owe_ack t conn pkt.Wire.seq;
+       handle_put_data t conn pkt.Wire.body;
+       drain_recv t conn
+     | Wire.Cancel_request _ ->
+       conn.recv_buf <- rest;
+       let cr = consume t conn ~key ~resync:false pkt.Wire.seq in
+       owe_ack t conn pkt.Wire.seq;
+       handle_cancel_request t conn cr pkt.Wire.body;
+       drain_recv t conn
+     | _ ->
+       conn.recv_buf <- rest;
+       drain_recv t conn)
+  | _ -> ()
+
+let flush_buffered t =
+  (match t.buffered with
+   | None -> ()
+   | Some br ->
+     let cb = callbacks t in
+     (match
+        cb.deliver_request ~src:br.br_src ~tid:br.br_tid ~pattern:br.br_pattern
+          ~arg:br.br_arg ~put_size:br.br_put_size ~get_size:br.br_get_size
+      with
+      | `Deliver ->
+        t.buffered <- None;
+        (match Hashtbl.find_opt t.srv_txns (br.br_src, br.br_tid) with
+         | Some txn when txn.st_state = Srv_buffered -> txn.st_state <- Srv_delivered
+         | Some _ | None -> ());
+        Stats.incr t.stats "req.delivered";
+        Stats.incr t.stats "req.delivered_from_buffer";
+        if tracing t then
+          event t
+            (Event.Deliver
+               { tid = br.br_tid; src = br.br_src; pattern = Pattern.to_int br.br_pattern;
+                 put_size = br.br_put_size; get_size = br.br_get_size; from_buffer = true })
+      | `Busy -> ()
+      | `Unadvertised ->
+        t.buffered <- None;
+        (match Hashtbl.find_opt t.srv_txns (br.br_src, br.br_tid) with
+         | Some txn when txn.st_state = Srv_buffered ->
+           Hashtbl.remove t.srv_txns (br.br_src, br.br_tid)
+         | Some _ | None -> ());
+        emit t ~dst:(`Peer br.br_src)
+          (Wire.Error { tid = br.br_tid; code = Wire.Err_unadvertised })));
+  (* The freed handler (and possibly the freed input buffer) may unblock a
+     REQUEST deferred at the head of a receive window. *)
+  if win t > 1 then Hashtbl.iter (fun _ conn -> drain_recv t conn) t.conns
+
 let process_packet t ~bytes pkt =
   let src = pkt.Wire.src in
   Stats.incr t.stats "pkt.recv.total";
@@ -1274,53 +1563,92 @@ let process_packet t ~bytes pkt =
            bytes; seq = pkt.Wire.seq });
   let conn = conn_for t src in
   touch t conn;
-  (* For reliable bodies, consume the sequence bit and register the owed
-     acknowledgement BEFORE processing the piggybacked ack: acking our
-     in-flight message may immediately transmit the next queued one, which
-     should carry the ack we now owe (§5.2.3 piggybacking). *)
-  let freshness =
+  let key = message_key pkt.Wire.body in
+  let cls =
     match pkt.Wire.body with
-    | Wire.Accept { data; _ } ->
-      (match consume_bit t conn ~key:(message_key pkt.Wire.body) pkt.Wire.seq with
-       | `Dup -> `Dup
-       | `Fresh ->
-         (* Hold the ack long enough for the kernel->client copy and the
-            client's next request to piggyback it. *)
-         let extra_grace =
-           Cost.data_copy_us t.cost ~bytes:(Bytes.length data)
-           + t.cost.Cost.request_trap_us + t.cost.Cost.context_switch_us
-         in
-         owe_ack ~extra_grace t conn pkt.Wire.seq;
-         `Fresh)
-    | Wire.Put_data _ | Wire.Cancel_request _ ->
-      (match consume_bit t conn ~key:(message_key pkt.Wire.body) pkt.Wire.seq with
-       | `Dup -> `Dup
-       | `Fresh ->
-         owe_ack t conn pkt.Wire.seq;
-         `Fresh)
-    | _ -> `Fresh
+    | Wire.Request _ | Wire.Accept _ | Wire.Put_data _ | Wire.Cancel_request _ ->
+      Some (classify t conn ~key ~run:pkt.Wire.run pkt.Wire.seq)
+    | _ -> None
   in
+  let resync = cls = Some Resync in
+  (* For non-REQUEST reliable bodies, consume the sequence number and
+     register the owed acknowledgement BEFORE processing the piggybacked
+     ack: acking our in-flight message may immediately transmit the next
+     queued one, which should carry the ack we now owe (§5.2.3). *)
+  let consumed_cr = ref None in
+  (match pkt.Wire.body, cls with
+   | Wire.Accept { data; _ }, Some (In_order | Resync) ->
+     consumed_cr := Some (consume t conn ~key ~resync pkt.Wire.seq);
+     (* Hold the ack long enough for the kernel->client copy and the
+        client's next request to piggyback it. *)
+     let extra_grace =
+       Cost.data_copy_us t.cost ~bytes:(Bytes.length data)
+       + t.cost.Cost.request_trap_us + t.cost.Cost.context_switch_us
+     in
+     owe_ack ~extra_grace t conn pkt.Wire.seq
+   | (Wire.Put_data _ | Wire.Cancel_request _), Some (In_order | Resync) ->
+     consumed_cr := Some (consume t conn ~key ~resync pkt.Wire.seq);
+     owe_ack t conn pkt.Wire.seq
+   | _ -> ());
+  (* A BUSY must be interpreted before the cumulative ack riding the same
+     packet: at window >1 the busy'd slot was consumed by the peer, and the
+     plain ack walk must not mistake it for a success. *)
+  (match pkt.Wire.body with Wire.Busy { tid } -> handle_busy t conn tid | _ -> ());
   (* An Error response both acknowledges (transport level) and rejects
      (semantic level) the in-flight message; its body must win, so the
-     piggybacked ack is suppressed and handle_error flips the bit. *)
+     piggybacked ack is suppressed and handle_error advances the window. *)
   (match pkt.Wire.ack, pkt.Wire.body with
    | Some _, Wire.Error _ -> ()
-   | Some bit, _ -> handle_ack t conn bit
+   | Some a, _ -> apply_cum_ack t conn a
    | None, _ -> ());
-  match pkt.Wire.body, freshness with
-  | _, `Dup -> replay_response t conn
-  | Wire.Request _, _ -> handle_request t conn src pkt.Wire.body pkt.Wire.seq
-  | Wire.Accept _, _ -> handle_accept_body t conn src pkt.Wire.body
-  | Wire.Put_data _, _ -> handle_put_data t conn pkt.Wire.body
-  | Wire.Cancel_request _, _ -> handle_cancel_request t conn pkt.Wire.body
+  match pkt.Wire.body, cls with
+  | _, Some (Dup cr) -> replay_response t conn cr
+  | _, Some No_sync ->
+    (* No record and not a run start: the piggybacked ack above was still
+       honoured, but the body waits for the flagged retransmission. *)
+    Stats.incr t.stats "pkt.no_sync_dropped";
+    Trace.record t.trace ~now:(Engine.now t.engine) ~actor:(actor t)
+      "no record for peer %d; awaiting run start" conn.peer
+  | Wire.Request _, Some Out_of_order -> stash t conn pkt
+  | Wire.Request _, Some (In_order | Resync) ->
+    (match conn.recv_buf with
+     | held :: _ when held.Wire.seq = pkt.Wire.seq ->
+       (* retransmission of a REQUEST already deferred at the window head;
+          re-offer the held original (it still carries the put data) *)
+       drain_recv t conn
+     | _ ->
+       (match offer_request t conn src pkt.Wire.body pkt.Wire.seq ~resync with
+        | `Done -> drain_recv t conn
+        | `Held -> stash t conn pkt))
+  | Wire.Put_data _, Some Out_of_order ->
+    (* The slot must fill in order, but the BODY is transaction-addressed
+       and idempotent -- and the accepting handler may be blocked waiting
+       for exactly this data while earlier slots wait for that handler
+       (requests pipelined ahead of the DATA). Processing the body eagerly
+       breaks the circular wait; the stashed copy still fills the gap for
+       window bookkeeping and is replayed harmlessly. *)
+    stash t conn pkt;
+    handle_put_data t conn pkt.Wire.body
+  | (Wire.Accept _ | Wire.Cancel_request _), Some Out_of_order ->
+    stash t conn pkt
+  | Wire.Accept _, Some (In_order | Resync) ->
+    handle_accept_body t conn (Option.get !consumed_cr) src pkt.Wire.body;
+    drain_recv t conn
+  | Wire.Put_data _, Some (In_order | Resync) ->
+    handle_put_data t conn pkt.Wire.body;
+    drain_recv t conn
+  | Wire.Cancel_request _, Some (In_order | Resync) ->
+    handle_cancel_request t conn (Option.get !consumed_cr) pkt.Wire.body;
+    drain_recv t conn
   | Wire.Ack, _ -> ()
-  | Wire.Busy { tid }, _ -> handle_busy t conn tid
+  | Wire.Busy _, _ -> () (* handled above, before the cumulative ack *)
   | Wire.Error { tid; code }, _ -> handle_error t conn tid code
   | Wire.Cancel_reply { tid; ok }, _ -> handle_cancel_reply t conn tid ok
   | Wire.Probe { tid }, _ -> handle_probe t conn tid
   | Wire.Probe_reply { tid; alive }, _ -> handle_probe_reply t tid alive
   | Wire.Discover { tid; pattern }, _ -> handle_discover t src tid pattern
   | Wire.Discover_reply { tid }, _ -> handle_discover_reply t src tid
+  | (Wire.Request _ | Wire.Accept _ | Wire.Put_data _ | Wire.Cancel_request _), None -> ()
 
 let attach_nic t =
   let nic =
@@ -1341,10 +1669,8 @@ let reset t =
   t.epoch <- t.epoch + 1;
   Hashtbl.iter
     (fun _ conn ->
-      (match conn.inflight with
-       | Some inflight ->
-         (match inflight.if_timer with Some id -> Engine.cancel t.engine id | None -> ())
-       | None -> ());
+      List.iter (fun sp -> cancel_sp_timer t sp) conn.outstanding;
+      (match conn.wake_timer with Some id -> Engine.cancel t.engine id | None -> ());
       (match conn.ack_timer with Some id -> Engine.cancel t.engine id | None -> ());
       (match conn.expiry_timer with Some id -> Engine.cancel t.engine id | None -> ()))
     t.conns;

@@ -2,13 +2,18 @@
 
     One [Transport.t] per node implements:
 
-    - the {b alternating-bit stop-and-wait} protocol: at most one
-      unacknowledged reliable message per peer per direction, duplicates
-      detected by a single sequence bit, lost packets recovered by
-      retransmission with randomised exponential backoff;
+    - a {b sliding-window} reliable protocol over 4-bit modular sequence
+      numbers: up to [cost.window] (clamped 1..[max_window]) unacknowledged
+      reliable messages per peer per direction, cumulative piggybacked
+      acks, per-packet retransmission timers with randomised exponential
+      backoff, bounded out-of-order buffering at the receiver, and strict
+      in-order delivery. Window 1 degenerates to the paper's
+      alternating-bit stop-and-wait (§5.2.3) exactly — same wire bytes,
+      same golden trace;
     - {b Delta-t} connection management: no explicit connection setup; a
-      peer's record is created on first contact, expires after
-      MPL + Delta-t of silence, after which any sequence bit is accepted;
+      peer's record is created on first contact (window 1: any sequence
+      bit is accepted; wider windows: only a run-start-flagged packet may
+      establish the window base), expires after MPL + Delta-t of silence;
     - {b BUSY NACKs}: a REQUEST meeting a busy/closed handler is refused
       without consuming the sequence bit and retried by the requester at an
       adaptively slowed rate; retries never carry data;

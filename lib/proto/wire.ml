@@ -33,10 +33,21 @@ type body =
 type t = {
   src : int;
   reliable : bool;
-  seq : bool;
-  ack : bool option;
+  seq : int;
+  ack : int option;
+  run : bool;
+      (* first packet of a send run: every earlier slot is acknowledged, so a
+         receiver with no connection record may safely synchronise its window
+         base here (Delta-t's run flag). Never set at window 1. *)
   body : body;
 }
+
+(* Sequence numbers are 4-bit (space 16, window <= 8). The low bit lives in
+   the seed's original flag positions; the high bits travel in an extension
+   byte that is only present (flag 0x40) when some high bit is set, so a
+   window-1 node's packets remain byte-identical to the alternating-bit
+   encoding. *)
+let seq_mask = 0x0F
 
 (* --- encoding helpers ------------------------------------------------- *)
 
@@ -121,13 +132,20 @@ let err_of_int = function
 
 (* --- encode ----------------------------------------------------------- *)
 
+let seq_ext t =
+  let seq_hi = (t.seq land seq_mask) lsr 1 in
+  let ack_hi = match t.ack with None -> 0 | Some a -> (a land seq_mask) lsr 1 in
+  seq_hi lor (ack_hi lsl 3)
+
 let flags t ~retry ~need_put_data =
   (if t.reliable then 0x01 else 0)
-  lor (if t.seq then 0x02 else 0)
+  lor (if t.seq land 1 <> 0 then 0x02 else 0)
   lor (match t.ack with None -> 0 | Some _ -> 0x04)
-  lor (match t.ack with Some true -> 0x08 | _ -> 0)
+  lor (match t.ack with Some a when a land 1 <> 0 -> 0x08 | _ -> 0)
   lor (if retry then 0x10 else 0)
-  lor if need_put_data then 0x20 else 0
+  lor (if need_put_data then 0x20 else 0)
+  lor (if seq_ext t <> 0 then 0x40 else 0)
+  lor if t.run then 0x80 else 0
 
 let encode t =
   let buf = Buffer.create 64 in
@@ -138,6 +156,7 @@ let encode t =
   put_u8 buf (kind_of_body t.body);
   put_u8 buf (flags t ~retry ~need_put_data);
   put_u16 buf t.src;
+  if seq_ext t <> 0 then put_u8 buf (seq_ext t);
   (match t.body with
    | Request { tid; pattern; arg; put_size; get_size; data; retry = _ } ->
      put_u48 buf tid;
@@ -182,10 +201,16 @@ let decode bytes =
     let flags = get_u8 r in
     let src = get_u16 r in
     let reliable = flags land 0x01 <> 0 in
-    let seq = flags land 0x02 <> 0 in
-    let ack = if flags land 0x04 <> 0 then Some (flags land 0x08 <> 0) else None in
+    let ext = if flags land 0x40 <> 0 then get_u8 r else 0 in
+    let seq = (if flags land 0x02 <> 0 then 1 else 0) lor ((ext land 0x07) lsl 1) in
+    let ack =
+      if flags land 0x04 <> 0 then
+        Some ((if flags land 0x08 <> 0 then 1 else 0) lor (((ext lsr 3) land 0x07) lsl 1))
+      else None
+    in
     let retry = flags land 0x10 <> 0 in
     let need_put_data = flags land 0x20 <> 0 in
+    let run = flags land 0x80 <> 0 in
     let body_result =
       match kind with
       | 1 ->
@@ -232,7 +257,7 @@ let decode bytes =
     | Error _ as e -> e
     | Ok body ->
       if r.pos <> Bytes.length bytes then Error "trailing bytes"
-      else Ok { src; reliable; seq; ack; body }
+      else Ok { src; reliable; seq; ack; run; body }
   with
   | Truncated -> Error "truncated packet"
   | Invalid_argument msg -> Error msg
@@ -270,7 +295,7 @@ let describe t =
     | Discover { tid; _ } -> Printf.sprintf "DISCOVER#%d" (tid land 0xFFFF)
     | Discover_reply { tid } -> Printf.sprintf "DISCOVER-R#%d" (tid land 0xFFFF)
   in
-  let ack = match t.ack with None -> "" | Some b -> Printf.sprintf "+ack(%b)" b in
+  let ack = match t.ack with None -> "" | Some a -> Printf.sprintf "+ack(%d)" a in
   Printf.sprintf "%s%s" body ack
 
 let pp ppf t = Format.pp_print_string ppf (describe t)

@@ -53,10 +53,24 @@ type body =
 type t = {
   src : int;  (** sender machine id *)
   reliable : bool;  (** sender retransmits until acknowledged *)
-  seq : bool;  (** alternating bit (meaningful when [reliable]) *)
-  ack : bool option;  (** piggybacked acknowledgement of the peer's bit *)
+  seq : int;
+      (** modular sequence number, 0..[seq_mask] (meaningful when
+          [reliable]); the window-1 degenerate case only ever uses 0/1 and
+          encodes exactly as the original alternating bit *)
+  ack : int option;  (** piggybacked cumulative acknowledgement *)
+  run : bool;
+      (** first packet of a send run (nothing else outstanding when it was
+          launched): a receiver holding no connection record may synchronise
+          its window base on it. Windowed (> 1) transports only; the
+          window-1 encoding never sets the flag. *)
   body : body;
 }
+
+(** Sequence numbers are 4 bits on the wire: the low bit rides the
+    original flag positions, the high bits an extension byte present only
+    when non-zero (flag 0x40), keeping window-1 packets byte-identical to
+    the seed encoding. *)
+val seq_mask : int
 
 val encode : t -> bytes
 

@@ -11,7 +11,10 @@ module Trace = Soda_sim.Trace
 
 let () =
   let patt = Pattern.well_known 0o321 in
-  let net = Network.create ~seed:2025 ~trace:true () in
+  (* Pin the transport window to 1: the degenerate sliding window must
+     reproduce the seed's alternating-bit trace byte for byte. *)
+  let cost = { Soda_base.Cost_model.default with Soda_base.Cost_model.window = 1 } in
+  let net = Network.create ~seed:2025 ~cost ~trace:true () in
   let k0 = Network.add_node net ~mid:0 in
   let k1 = Network.add_node net ~mid:1 in
   ignore

@@ -337,6 +337,156 @@ let test_requester_reboot_stale_reply () =
     (!fresh = Some Sodal.Comp_ok);
   Alcotest.(check (list int)) "each op delivered once" [ 1; 2 ] (List.rev !delivered)
 
+(* ---- windowed-transport adversaries ------------------------------------------ *)
+
+(* The pipelined variant of the exactly-once harness: a client with a
+   sliding window of [window] keeps up to [window] signals in flight at
+   once (cost-model window raised to match), so the fault lands while
+   several sequence numbers are unacknowledged. Issue order no longer
+   pins delivery order -- a BUSY retry legitimately re-sequences a
+   request behind its successors -- so the invariants here are the
+   order-free core: every op gets a verdict, nothing is delivered twice
+   (within OR across incarnations: a rebooted server must never replay a
+   pre-crash op), nothing is invented, and COMPLETED means delivered. *)
+let run_windowed_harness ~seed ~window ~loss ~handler_us ~ops ?(tail_ops = 0) plan =
+  let cost =
+    { Cost.default with Cost.window; maxrequests = window + 1 }
+  in
+  let net, kernels = make_net ~seed ~cost 2 in
+  if loss > 0.0 then Bus.set_loss_rate (Network.bus net) loss;
+  let current = ref [] and closed = ref [] in
+  let server_spec =
+    {
+      Sodal.default_spec with
+      Sodal.init = (fun env ~parent:_ -> Sodal.advertise env patt);
+      on_request =
+        (fun env info ->
+          current := info.Sodal.arg :: !current;
+          if handler_us > 0 then Sodal.compute env handler_us;
+          ignore (Sodal.accept_current_signal env ~arg:0));
+    }
+  in
+  ignore (Sodal.attach (List.nth kernels 0) server_spec);
+  let statuses = Hashtbl.create 16 in
+  ignore
+    (Sodal.attach (List.nth kernels 1)
+       {
+         Sodal.default_spec with
+         task =
+           (fun env ->
+             let sv = Sodal.server ~mid:0 ~pattern:patt in
+             let in_flight = ref 0 in
+             for i = 1 to ops do
+               while !in_flight >= window do
+                 Sodal.idle env
+               done;
+               let tid = Sodal.signal env sv ~arg:i in
+               incr in_flight;
+               Sodal.on_completion_of env tid (fun c ->
+                   decr in_flight;
+                   Hashtbl.replace statuses i c.Sodal.status)
+             done;
+             while !in_flight > 0 do
+               Sodal.idle env
+             done;
+             (* optional sequential tail: outlive reboot + quarantine, then
+                prove the fresh incarnation serves the reborn window *)
+             for i = ops + 1 to ops + tail_ops do
+               if
+                 Hashtbl.fold
+                   (fun _ st any -> any || st = Sodal.Comp_crashed)
+                   statuses false
+               then Sodal.compute env 2_000_000;
+               let c = Sodal.b_signal env sv ~arg:i in
+               Hashtbl.replace statuses i c.Sodal.status
+             done);
+       });
+  Injector.install net plan ~on_reboot:(fun ~mid kernel ->
+      if mid = 0 then begin
+        closed := List.rev !current :: !closed;
+        current := [];
+        ignore (Sodal.attach kernel server_spec)
+      end);
+  ignore (Network.run ~until:600_000_000 net);
+  { statuses; incarnations = List.rev (List.rev !current :: !closed) }
+
+let exactly_once_unordered ~ops outcome =
+  let all_completed = Hashtbl.length outcome.statuses = ops in
+  let deliveries = List.concat outcome.incarnations in
+  let no_duplicates =
+    List.length deliveries = List.length (List.sort_uniq compare deliveries)
+  in
+  let no_inventions = List.for_all (fun d -> d >= 1 && d <= ops) deliveries in
+  let consistent =
+    List.for_all
+      (fun i ->
+        match Hashtbl.find_opt outcome.statuses i with
+        | Some Sodal.Comp_ok -> List.mem i deliveries
+        | Some Sodal.Comp_crashed -> true
+        | Some (Sodal.Comp_rejected | Sodal.Comp_unadvertised) | None -> false)
+      (List.init ops (fun i -> i + 1))
+  in
+  all_completed && no_duplicates && no_inventions && consistent
+
+(* A 40% loss burst landing while the window is full of unacked signals:
+   retransmission under cumulative acks must recover every one of them,
+   exactly once, with no crash verdicts (the burst is shorter than the
+   retransmission budget). *)
+let test_window_loss_burst_mid_flight () =
+  let plan =
+    [
+      { Fault_plan.at_us = 5_000;
+        action = Fault_plan.Loss_burst { rate = 0.4; duration_us = 60_000 } };
+    ]
+  in
+  let outcome =
+    run_windowed_harness ~seed:61 ~window:4 ~loss:0.0 ~handler_us:5_000 ~ops:8 plan
+  in
+  Alcotest.(check bool) "exactly once" true (exactly_once_unordered ~ops:8 outcome);
+  Alcotest.(check bool) "no crash verdicts under a recoverable burst" true
+    (Hashtbl.fold (fun _ st ok -> ok && st = Sodal.Comp_ok) outcome.statuses true)
+
+(* The server crashes with W-1 signals unacknowledged in the window and
+   reboots later: every in-flight op gets an honest verdict (OK iff it
+   was delivered), the fresh incarnation never sees a pre-crash op again
+   (stale-TID classification, §5.4), and a follow-up op issued after the
+   quarantine is served normally. *)
+let test_window_crash_with_unacked () =
+  let plan =
+    [
+      { Fault_plan.at_us = 60_000; action = Fault_plan.Crash 0 };
+      { Fault_plan.at_us = 800_000; action = Fault_plan.Reboot 0 };
+    ]
+  in
+  let outcome =
+    run_windowed_harness ~seed:62 ~window:4 ~loss:0.0 ~handler_us:100_000 ~ops:3
+      ~tail_ops:1 plan
+  in
+  Alcotest.(check bool) "exactly once across incarnations" true
+    (exactly_once_unordered ~ops:4 outcome);
+  Alcotest.(check bool) "some in-flight op got a crash verdict" true
+    (Hashtbl.fold (fun _ st any -> any || st = Sodal.Comp_crashed) outcome.statuses false);
+  Alcotest.(check bool) "follow-up op served after reboot" true
+    (Hashtbl.find_opt outcome.statuses 4 = Some Sodal.Comp_ok)
+
+(* A duplicate storm: every early frame delivered twice while the window
+   is full. Replay records must answer every duplicate; nothing is
+   applied twice. *)
+let test_window_duplicate_storm () =
+  let plan =
+    [
+      { Fault_plan.at_us = 0; action = Fault_plan.Duplicate_next 12 };
+      { Fault_plan.at_us = 40_000; action = Fault_plan.Duplicate_next 12 };
+    ]
+  in
+  let outcome =
+    run_windowed_harness ~seed:63 ~window:4 ~loss:0.0 ~handler_us:5_000 ~ops:8 plan
+  in
+  Alcotest.(check bool) "exactly once under duplication" true
+    (exactly_once_unordered ~ops:8 outcome);
+  Alcotest.(check bool) "all ops completed OK" true
+    (Hashtbl.fold (fun _ st ok -> ok && st = Sodal.Comp_ok) outcome.statuses true)
+
 (* ---- facilities under fault plans -------------------------------------------- *)
 
 (* An RPC call across a partition cut + heal, with duplicated frames and
@@ -595,6 +745,12 @@ let suites =
           test_reboot_between_deliver_and_accept;
         Alcotest.test_case "adversary: requester reboot, stale reply" `Quick
           test_requester_reboot_stale_reply;
+        Alcotest.test_case "windowed: loss burst mid-window" `Quick
+          test_window_loss_burst_mid_flight;
+        Alcotest.test_case "windowed: crash with W-1 unacked" `Quick
+          test_window_crash_with_unacked;
+        Alcotest.test_case "windowed: duplicate storm" `Quick
+          test_window_duplicate_storm;
       ] );
     ( "chaos.facilities",
       [

@@ -7,6 +7,7 @@ let () =
          Test_net.suites;
          Test_wire.suites;
          Test_transport.suites;
+         Test_window.suites;
          Test_kernel.suites;
          Test_sodal.suites;
          Test_facilities.suites;

@@ -92,14 +92,14 @@ let test_span_derivation () =
       ev 0 1 (Event.Trap { tid = 7; dst = 0; pattern = 42; put_size = 0; get_size = 0 });
       ev 100 1
         (Event.Tx
-           { tid = 7; peer = 0; pkt = Event.P_request; bytes = 20; seq = false;
+           { tid = 7; peer = 0; pkt = Event.P_request; bytes = 20; seq = 0;
              retry = false });
-      ev 200 1 (Event.Rx { tid = 7; peer = 0; pkt = Event.P_busy; bytes = 8; seq = false });
+      ev 200 1 (Event.Rx { tid = 7; peer = 0; pkt = Event.P_busy; bytes = 8; seq = 0 });
       ev 300 1
         (Event.Tx
-           { tid = 7; peer = 0; pkt = Event.P_request; bytes = 20; seq = false; retry = true });
+           { tid = 7; peer = 0; pkt = Event.P_request; bytes = 20; seq = 0; retry = true });
       ev 400 1 (Event.Acked { tid = 7; peer = 0; pkt = Event.P_request });
-      ev 500 1 (Event.Rx { tid = 7; peer = 0; pkt = Event.P_accept; bytes = 16; seq = true });
+      ev 500 1 (Event.Rx { tid = 7; peer = 0; pkt = Event.P_accept; bytes = 16; seq = 1 });
       ev 600 1 (Event.Complete { tid = 7; status = "accepted" });
     ]
   in
@@ -136,7 +136,7 @@ let test_span_open_at_capture () =
       ev 0 1 (Event.Trap { tid = 9; dst = 0; pattern = 1; put_size = 0; get_size = 0 });
       ev 50 1
         (Event.Tx
-           { tid = 9; peer = 0; pkt = Event.P_request; bytes = 20; seq = false;
+           { tid = 9; peer = 0; pkt = Event.P_request; bytes = 20; seq = 0;
              retry = false });
     ]
   in

@@ -277,7 +277,7 @@ let test_trace_typed_events_render () =
   let tr = Trace.create ~enabled:true () in
   Soda_obs.Recorder.emit (Trace.recorder tr) ~time_us:4 ~mid:2 ~actor:"soda-2"
     (Soda_obs.Event.Tx
-       { tid = 3; peer = 1; pkt = Soda_obs.Event.P_request; bytes = 24; seq = true;
+       { tid = 3; peer = 1; pkt = Soda_obs.Event.P_request; bytes = 24; seq = 1;
          retry = false });
   match Trace.entries tr with
   | [ e ] ->

@@ -1,0 +1,261 @@
+(* Sliding-window transport conformance: modular sequence arithmetic,
+   the cost-model clamps, and the window invariants that must hold under
+   random loss / duplication / reordering.
+
+   The wire-level encoding properties live in test_wire.ml; here the
+   subject is the transport's *behaviour*: no acknowledgement of a packet
+   that was never sent, at most W packets in flight, out-of-order
+   arrivals parked only inside the receive window, and strict in-order
+   delivery to the application regardless of what the wire did. *)
+
+open Helpers
+module Cost = Soda_base.Cost_model
+module Event = Soda_obs.Event
+module Recorder = Soda_obs.Recorder
+module Stats = Soda_sim.Stats
+module Fault_plan = Soda_fault.Fault_plan
+module Injector = Soda_fault.Injector
+module Stream = Soda_facilities.Stream
+
+let patt = Pattern.well_known 0o555
+
+(* ---- cost-model clamps and modular arithmetic -------------------------------- *)
+
+let test_window_clamps () =
+  let w n = Cost.transport_window { Cost.default with Cost.window = n } in
+  Alcotest.(check int) "0 clamps to 1" 1 (w 0);
+  Alcotest.(check int) "negative clamps to 1" 1 (w (-3));
+  Alcotest.(check int) "in range untouched" 5 (w 5);
+  Alcotest.(check int) "above max clamps to max" Cost.max_window (w 100);
+  Alcotest.(check int) "default is the seed's stop-and-wait" 1
+    (Cost.transport_window Cost.default)
+
+let test_seq_space () =
+  let s n = Cost.seq_space { Cost.default with Cost.window = n } in
+  Alcotest.(check int) "window 1 keeps the alternating bit" 2 (s 1);
+  Alcotest.(check int) "window 2 widens to 4 bits" 16 (s 2);
+  Alcotest.(check int) "window 8 widens to 4 bits" 16 (s 8);
+  (* W <= S/2 must hold for every admissible window, or duplicate
+     detection is ambiguous (a retransmit of base is indistinguishable
+     from new data at base + W). *)
+  for n = 1 to Cost.max_window do
+    let c = { Cost.default with Cost.window = n } in
+    Alcotest.(check bool)
+      (Printf.sprintf "W=%d fits the sequence space" n)
+      true
+      (2 * Cost.transport_window c <= Cost.seq_space c)
+  done
+
+let test_client_window () =
+  let cw n = Cost.client_window { Cost.default with Cost.maxrequests = n } in
+  (* One slot is reserved for the reply of the oldest request (§4.4.1),
+     and the floor is 1 so a degenerate MAXREQUESTS cannot deadlock the
+     pipelined facilities. *)
+  Alcotest.(check int) "maxrequests 3 -> 2 in flight" 2 (cw 3);
+  Alcotest.(check int) "maxrequests 1 -> floor of 1" 1 (cw 1);
+  Alcotest.(check int) "maxrequests 0 -> floor of 1" 1 (cw 0);
+  Alcotest.(check int) "maxrequests 9 -> 8 in flight" 8 (cw 9)
+
+(* The distance function the window logic is built on: dist base x is the
+   number of forward steps from base to x in the modular space. *)
+let dist s base x = ((x - base) + s) mod s
+
+let prop_modular_roundtrip =
+  QCheck.Test.make ~name:"modular seq distance inverts modular advance" ~count:500
+    QCheck.(triple (int_bound 1) (int_bound 15) (int_bound 15))
+    (fun (narrow, base, d) ->
+      let s = if narrow = 1 then 2 else 16 in
+      let base = base mod s and d = d mod s in
+      let x = (base + d) mod s in
+      dist s base x = d && dist s x ((x + ((s - d) mod s)) mod s) = (s - d) mod s)
+
+(* ---- trace-level invariants -------------------------------------------------- *)
+
+(* Every Acked event must correspond to an earlier Tx of the same (mid,
+   tid, pkt): the transport may never mark a packet acknowledged that it
+   never put on the wire. *)
+let no_ack_of_unsent events =
+  let sent = Hashtbl.create 64 in
+  List.for_all
+    (fun (e : Event.t) ->
+      match e.Event.kind with
+      | Event.Tx { tid; pkt; _ } ->
+        Hashtbl.replace sent (e.Event.mid, tid, pkt) ();
+        true
+      | Event.Acked { tid; pkt; _ } -> Hashtbl.mem sent (e.Event.mid, tid, pkt)
+      | _ -> true)
+    events
+
+(* Window_advance never reports more than W in flight; Window_buffer only
+   parks packets strictly inside the receive window (0 < dist < W). *)
+let window_events_bounded ~window events =
+  List.for_all
+    (fun (e : Event.t) ->
+      match e.Event.kind with
+      | Event.Window_advance { in_flight; _ } -> in_flight >= 0 && in_flight < window
+      | Event.Window_buffer { seq; expected; _ } ->
+        (* d = 0 is an in-order REQUEST held while the input buffer drains *)
+        dist 16 expected seq < window
+      | _ -> true)
+    events
+
+let max_occupancy kernel = Stats.max_us (Kernel.stats kernel) "net.window_occupancy"
+
+(* One streamed block, client mid 1 -> sink mid 0, under a fault plan.
+   Returns (send result, reassembled blocks, events, client kernel,
+   finish time). The sink rejects any out-of-order chunk, so a transport
+   that delivers out of order fails the send. *)
+let run_stream ~seed ~window ~loss ?plan payload =
+  let cost = { Cost.default with Cost.window; Cost.maxrequests = window + 1 } in
+  let net, kernels = make_net ~seed ~cost ~trace:true 2 in
+  if loss > 0.0 then Soda_net.Bus.set_loss_rate (Network.bus net) loss;
+  let blocks = ref [] in
+  ignore
+    (Sodal.attach (List.nth kernels 0)
+       (Stream.sink ~pattern:patt
+          ~on_block:(fun _ ~src:_ block -> blocks := Bytes.to_string block :: !blocks)
+          ()));
+  let sent = ref None and done_at = ref max_int in
+  ignore
+    (Sodal.attach (List.nth kernels 1)
+       {
+         Sodal.default_spec with
+         task =
+           (fun env ->
+             sent :=
+               Some
+                 (Stream.send env (Sodal.server ~mid:0 ~pattern:patt) ~chunk_bytes:100
+                    (Bytes.of_string payload));
+             done_at := Sodal.now env);
+       });
+  (match plan with Some p -> Injector.install net p | None -> ());
+  ignore (Network.run ~until:300_000_000 net);
+  let events = Recorder.events (Network.recorder net) in
+  (!sent, List.rev !blocks, events, List.nth kernels 1, !done_at)
+
+let payload = String.init 1_200 (fun i -> Char.chr ((i * 7 mod 94) + 33))
+
+(* A clean wide-window run must actually pipeline: several packets in
+   flight at once, the window base advancing as cumulative acks land, and
+   a shorter wall-clock than the degenerate stop-and-wait run of the same
+   workload. *)
+let test_window_pipelines () =
+  let _, _, _, _, t1 = run_stream ~seed:51 ~window:1 ~loss:0.0 payload in
+  let sent, blocks, events, client, t4 = run_stream ~seed:51 ~window:4 ~loss:0.0 payload in
+  Alcotest.(check bool) "send ok" true (sent = Some (Ok ()));
+  Alcotest.(check (list string)) "block reassembled once" [ payload ] blocks;
+  Alcotest.(check bool) "window actually opened (occupancy > 1)" true
+    (max_occupancy client >= 2);
+  Alcotest.(check bool) "occupancy never exceeds W" true (max_occupancy client <= 4);
+  Alcotest.(check bool) "cumulative acks advanced the base" true
+    (List.exists
+       (fun (e : Event.t) ->
+         match e.Event.kind with Event.Window_advance _ -> true | _ -> false)
+       events);
+  Alcotest.(check bool)
+    (Printf.sprintf "W=4 beats stop-and-wait (%d us < %d us)" t4 t1)
+    true (t4 < t1)
+
+(* Forced reordering: heavy per-frame jitter with a wide window makes
+   later chunks overtake earlier ones on the wire; the receive window
+   must park them (Window_buffer) and release them in order. *)
+let test_window_reorders_parked () =
+  let plan =
+    [ { Fault_plan.at_us = 0;
+        action = Fault_plan.Delay_jitter { min_us = 0; max_us = 3_000 } } ]
+  in
+  let sent, blocks, events, client, _ = run_stream ~seed:53 ~window:8 ~loss:0.0 ~plan payload in
+  (match sent with
+   | Some (Ok ()) -> ()
+   | Some (Error e) ->
+     Alcotest.failf "send failed: %s"
+       (match e with Stream.Rejected -> "rejected" | Stream.Receiver_gone -> "receiver gone")
+   | None -> Alcotest.fail "send never returned");
+  Alcotest.(check (list string)) "in-order reassembly despite reordering" [ payload ]
+    blocks;
+  Alcotest.(check bool) "receiver parked out-of-order arrivals" true
+    (List.exists
+       (fun (e : Event.t) ->
+         match e.Event.kind with Event.Window_buffer _ -> true | _ -> false)
+       events);
+  Alcotest.(check bool) "parked only inside the window" true
+    (window_events_bounded ~window:8 events);
+  Alcotest.(check bool) "no ack of an unsent packet" true (no_ack_of_unsent events);
+  Alcotest.(check bool) "occupancy never exceeds W" true (max_occupancy client <= 8)
+
+(* ---- the qcheck property ----------------------------------------------------- *)
+
+type scenario = {
+  seed : int;
+  window : int;
+  loss_pct : int;
+  dup : (int * int) option; (* duplicate the next [n] frames at t *)
+  jitter : int option; (* 0..max_us per-frame delay, from t=0 *)
+}
+
+let gen_scenario st =
+  let open QCheck.Gen in
+  let opt g st = if bool st then Some (g st) else None in
+  {
+    seed = int_bound 9999 st;
+    window = oneofl [ 2; 4; 8 ] st;
+    loss_pct = int_bound 10 st;
+    dup = opt (pair (int_range 0 100_000) (int_range 1 4)) st;
+    jitter = opt (int_range 500 2_500) st;
+  }
+
+let scenario_print s =
+  Printf.sprintf "seed=%d window=%d loss=%d%% dup=%s jitter=%s" s.seed s.window
+    s.loss_pct
+    (match s.dup with Some (at, n) -> Printf.sprintf "%d@%dus" n at | None -> "-")
+    (match s.jitter with Some j -> Printf.sprintf "0..%dus" j | None -> "-")
+
+let plan_of_scenario s =
+  let steps = ref [] in
+  (match s.jitter with
+   | Some max_us ->
+     steps :=
+       { Fault_plan.at_us = 0; action = Fault_plan.Delay_jitter { min_us = 0; max_us } }
+       :: !steps
+   | None -> ());
+  (match s.dup with
+   | Some (at_us, n) ->
+     steps := { Fault_plan.at_us; action = Fault_plan.Duplicate_next n } :: !steps
+   | None -> ());
+  List.sort (fun a b -> compare a.Fault_plan.at_us b.Fault_plan.at_us) !steps
+
+let prop_window_invariants =
+  QCheck.Test.make ~name:"window invariants under loss / dup / reorder" ~count:12
+    (QCheck.make ~print:scenario_print gen_scenario)
+    (fun s ->
+      let sent, blocks, events, client, _ =
+        run_stream ~seed:(s.seed + 1) ~window:s.window
+          ~loss:(float_of_int s.loss_pct /. 100.0)
+          ~plan:(plan_of_scenario s) payload
+      in
+      let ok_sent = sent = Some (Ok ()) in
+      let ok_blocks = blocks = [ payload ] in
+      let ok_occ = max_occupancy client <= s.window in
+      let ok_ack = no_ack_of_unsent events in
+      let ok_win = window_events_bounded ~window:s.window events in
+      if not (ok_sent && ok_blocks && ok_occ && ok_ack && ok_win) then
+        (* name the violated invariant next to qcheck's counterexample *)
+        Printf.eprintf "window invariants: sent=%b blocks=%b occupancy<=W=%b(%d) \
+                        acked-subset-of-sent=%b window-events-bounded=%b\n%!"
+          ok_sent ok_blocks ok_occ (max_occupancy client) ok_ack ok_win;
+      ok_sent && ok_blocks && ok_occ && ok_ack && ok_win)
+
+let suites =
+  [
+    ( "proto.window",
+      [
+        Alcotest.test_case "cost-model window clamps" `Quick test_window_clamps;
+        Alcotest.test_case "sequence space sizing" `Quick test_seq_space;
+        Alcotest.test_case "client window helper" `Quick test_client_window;
+        QCheck_alcotest.to_alcotest prop_modular_roundtrip;
+        Alcotest.test_case "wide window pipelines" `Quick test_window_pipelines;
+        Alcotest.test_case "reordered arrivals parked and released" `Quick
+          test_window_reorders_parked;
+        QCheck_alcotest.to_alcotest prop_window_invariants;
+      ] );
+  ]

@@ -8,14 +8,14 @@ let roundtrip pkt =
   | Ok pkt' -> pkt'
   | Error e -> Alcotest.failf "decode failed: %s" e
 
-let mk ?(src = 3) ?(reliable = false) ?(seq = false) ?ack body =
-  { Wire.src; reliable; seq; ack; body }
+let mk ?(src = 3) ?(reliable = false) ?(seq = 0) ?ack ?(run = false) body =
+  { Wire.src; reliable; seq; ack; run; body }
 
 let check_rt name pkt = Alcotest.(check bool) name true (roundtrip pkt = pkt)
 
 let test_roundtrip_request () =
   check_rt "request with data"
-    (mk ~reliable:true ~seq:true ~ack:false
+    (mk ~reliable:true ~seq:1 ~ack:0
        (Wire.Request
           {
             tid = 0xAB_0000_1234;
@@ -41,7 +41,7 @@ let test_roundtrip_request () =
 
 let test_roundtrip_accept () =
   check_rt "accept with data + piggy ack"
-    (mk ~reliable:true ~seq:false ~ack:true
+    (mk ~reliable:true ~seq:0 ~ack:1
        (Wire.Accept
           { tid = 77; arg = 3; put_transferred = 10; need_put_data = false; data = b "reply" }));
   check_rt "accept needing data"
@@ -50,12 +50,12 @@ let test_roundtrip_accept () =
           { tid = 78; arg = -1; put_transferred = 64; need_put_data = true; data = Bytes.empty }))
 
 let test_roundtrip_controls () =
-  check_rt "ack" (mk ~ack:true Wire.Ack);
+  check_rt "ack" (mk ~ack:1 Wire.Ack);
   check_rt "busy" (mk (Wire.Busy { tid = 9 }));
   check_rt "error unadvertised" (mk (Wire.Error { tid = 9; code = Wire.Err_unadvertised }));
   check_rt "error crashed" (mk (Wire.Error { tid = 9; code = Wire.Err_crashed }));
   check_rt "error cancelled" (mk (Wire.Error { tid = 9; code = Wire.Err_cancelled }));
-  check_rt "cancel" (mk ~reliable:true ~seq:true (Wire.Cancel_request { tid = 5 }));
+  check_rt "cancel" (mk ~reliable:true ~seq:5 (Wire.Cancel_request { tid = 5 }));
   check_rt "cancel reply" (mk (Wire.Cancel_reply { tid = 5; ok = true }));
   check_rt "probe" (mk (Wire.Probe { tid = 123456789 }));
   check_rt "probe reply" (mk (Wire.Probe_reply { tid = 123456789; alive = false }));
@@ -80,6 +80,33 @@ let test_decode_garbage () =
   match Wire.decode padded with
   | Error e -> Alcotest.(check string) "trailing" "trailing bytes" e
   | Ok _ -> Alcotest.fail "padded decoded"
+
+let test_wide_seq_roundtrip () =
+  (* Every 4-bit seq/ack combination survives the codec; values 0/1 with a
+     0/1 ack must not grow the packet (the window-1 encoding is the seed's
+     alternating-bit layout, extension byte absent). *)
+  let baseline = Bytes.length (Wire.encode (mk ~reliable:true (Wire.Busy { tid = 9 }))) in
+  for seq = 0 to 15 do
+    for ack = -1 to 15 do
+      let pkt =
+        mk ~reliable:true ~seq
+          ?ack:(if ack < 0 then None else Some ack)
+          (Wire.Busy { tid = 9 })
+      in
+      check_rt (Printf.sprintf "seq=%d ack=%d" seq ack) pkt;
+      let len = Bytes.length (Wire.encode pkt) in
+      if seq < 2 && ack < 2 then
+        Alcotest.(check int)
+          (Printf.sprintf "window-1 layout unchanged (seq=%d ack=%d)" seq ack)
+          baseline len
+      else Alcotest.(check int) "one extension byte" (baseline + 1) len
+    done
+  done;
+  (* the run flag is a flag bit: it survives the codec and costs no bytes *)
+  let run_pkt = mk ~reliable:true ~run:true (Wire.Busy { tid = 9 }) in
+  check_rt "run flag" run_pkt;
+  Alcotest.(check int) "run flag adds no bytes" baseline
+    (Bytes.length (Wire.encode run_pkt))
 
 let test_data_bytes () =
   let pkt =
@@ -158,8 +185,9 @@ let gen_packet =
       {
         Wire.src = int_bound 0xFFFF st;
         reliable = bool st;
-        seq = bool st;
-        ack = (if bool st then Some (bool st) else None);
+        seq = int_bound 15 st;
+        ack = (if bool st then Some (int_bound 15 st) else None);
+        run = bool st;
         body;
       })
 
@@ -227,6 +255,7 @@ let suites =
         Alcotest.test_case "request roundtrip" `Quick test_roundtrip_request;
         Alcotest.test_case "accept roundtrip" `Quick test_roundtrip_accept;
         Alcotest.test_case "control roundtrips" `Quick test_roundtrip_controls;
+        Alcotest.test_case "wide sequence numbers" `Quick test_wide_seq_roundtrip;
         Alcotest.test_case "garbage rejected" `Quick test_decode_garbage;
         Alcotest.test_case "data accounting" `Quick test_data_bytes;
         QCheck_alcotest.to_alcotest prop_wire_roundtrip;

@@ -33,6 +33,7 @@ type t = {
   mutable partition : (int list * int list) option;
   mutable duplicate_pending : int;
   mutable jitter : (int * int) option;  (* (min_us, max_us) extra delivery delay *)
+  mutable seq_window : int option;  (* transport window claimed by the stations *)
 }
 
 let create ?(config = default_config) ?obs engine =
@@ -47,6 +48,7 @@ let create ?(config = default_config) ?obs engine =
     partition = None;
     duplicate_pending = 0;
     jitter = None;
+    seq_window = None;
   }
 
 let engine t = t.engine
@@ -54,6 +56,18 @@ let stats t = t.stats
 let config t = t.config
 
 let set_obs t obs = t.obs <- Some obs
+
+let claim_seq_window t ~window =
+  match t.seq_window with
+  | None -> t.seq_window <- Some window
+  | Some w when w = window -> ()
+  | Some w ->
+    invalid_arg
+      (Printf.sprintf
+         "Bus.claim_seq_window: stations disagree on the transport window (%d vs %d); \
+          a window-1 station's sequence space (2) cannot interoperate with a wider \
+          peer's (16)"
+         w window)
 
 let emit_event t kind =
   match t.obs with

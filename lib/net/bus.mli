@@ -36,6 +36,13 @@ val config : t -> config
     {!Soda_obs.Event.Bus_drop} events. *)
 val set_obs : t -> Soda_obs.Recorder.t -> unit
 
+(** Every station on one medium must use the same reliable-protocol send
+    window: the receive-side sequence arithmetic is derived from the local
+    window, so a window-1 station (sequence space 2) cannot interoperate
+    with a wider peer (space 16). The first claim pins the medium's window.
+    @raise Invalid_argument when a later claim disagrees. *)
+val claim_seq_window : t -> window:int -> unit
+
 (** Set the per-delivery frame-loss probability.
     @raise Invalid_argument unless the rate is within [0, 1]. *)
 val set_loss_rate : t -> float -> unit

@@ -104,6 +104,11 @@ type conn = {
   mutable ack_owed : int option;  (* cumulative ack to send, piggybacked or timed *)
   mutable ack_timer : Engine.event_id option;
   mutable expiry_timer : Engine.event_id option;
+  (* bounding the pipelined hold: the head-of-window REQUEST currently
+     deferred on a full input buffer, and how many of its retransmissions
+     we have swallowed while holding it *)
+  mutable held_pkt : Wire.t option;
+  mutable held_retries : int;
 }
 
 (* ---- requester-side transaction records -------------------------------- *)
@@ -277,6 +282,8 @@ let conn_for t peer =
         ack_owed = None;
         ack_timer = None;
         expiry_timer = None;
+        held_pkt = None;
+        held_retries = 0;
       }
     in
     Hashtbl.replace t.conns peer c;
@@ -767,6 +774,10 @@ let send_reliable t ~peer ~kind ~tid body ~on_done =
 (* ---- creation ----------------------------------------------------------- *)
 
 let create ~engine ~bus ~mid ~cost ~trace =
+  (* One medium, one window: receive-side classification derives its
+     sequence arithmetic from the LOCAL window, which is only sound if
+     every station agrees. *)
+  Bus.claim_seq_window bus ~window:(Cost.transport_window cost);
   let t =
     {
       engine;
@@ -1171,23 +1182,64 @@ let consume t conn ~key ~resync seq =
     (seq, cr) :: take (max_consumed t - 1) (List.remove_assoc seq conn.consumed);
   cr
 
-(* Park a packet in the receive window. Retries are dataless, so a slot
-   already held keeps its original (data-bearing) copy. *)
+(* Park a packet in the receive window. A slot already held by the SAME
+   message keeps its original copy (retries are dataless); a different
+   message at the same slot means the sender vacated it by exhausting
+   retransmissions and reused it — the stale hold is replaced, or it
+   would shadow the live message (silently dropped as a "duplicate") and
+   later be delivered in its place. *)
 let stash t conn pkt =
-  if not (List.exists (fun p -> p.Wire.seq = pkt.Wire.seq) conn.recv_buf) then begin
+  let key = message_key pkt.Wire.body in
+  if
+    not
+      (List.exists
+         (fun p -> p.Wire.seq = pkt.Wire.seq && message_key p.Wire.body = key)
+         conn.recv_buf)
+  then begin
+    let stale, live = List.partition (fun p -> p.Wire.seq = pkt.Wire.seq) conn.recv_buf in
+    if stale <> [] then begin
+      Stats.incr t.stats "pkt.window_stale_replaced";
+      Trace.record t.trace ~now:(Engine.now t.engine) ~actor:(actor t)
+        "slot %d from peer %d reused by a new message; stale hold replaced" pkt.Wire.seq
+        conn.peer
+    end;
     let base = match conn.recv_base with Some b -> b | None -> pkt.Wire.seq in
     let d p = dist t base p.Wire.seq in
     let rec insert = function
       | [] -> [ pkt ]
       | p :: rest -> if d pkt < d p then pkt :: p :: rest else p :: insert rest
     in
-    conn.recv_buf <- insert conn.recv_buf;
+    conn.recv_buf <- insert live;
     Stats.incr t.stats "pkt.window_buffered";
     if tracing t then
       event t
         (Event.Window_buffer
            { tid = tid_of_body pkt.Wire.body; peer = conn.peer; seq = pkt.Wire.seq;
              expected = base })
+  end
+
+(* A run-flagged packet was launched with nothing else outstanding: when
+   we consume one, every other packet still held for this peer predates
+   the run — its sender-side slot was vacated by exhausted
+   retransmissions — and must not be delivered when the base advances
+   past it. Only a held copy of this very message survives. (A packet the
+   sender launched *after* the run start and that overtook it on the wire
+   is flushed too; it is still unacknowledged at the sender, so its
+   retransmission recovers it.) *)
+let flush_run_stale t conn ~key pkt =
+  if conn.recv_buf <> [] then begin
+    let keep, stale =
+      List.partition
+        (fun p -> p.Wire.seq = pkt.Wire.seq && message_key p.Wire.body = key)
+        conn.recv_buf
+    in
+    if stale <> [] then begin
+      conn.recv_buf <- keep;
+      Stats.incr t.stats "pkt.window_stale_flushed";
+      Trace.record t.trace ~now:(Engine.now t.engine) ~actor:(actor t)
+        "run start from peer %d: flushed %d stale held packet(s)" conn.peer
+        (List.length stale)
+    end
   end
 
 (* ---- responses to our own reliable sends --------------------------------- *)
@@ -1240,7 +1292,10 @@ let handle_busy t conn tid =
               ps_tid = sp.sp_tid;
               ps_body = sp.sp_body;
               ps_done = sp.sp_done;
-              ps_retries = sp.sp_retries;
+              (* BUSY is proof of liveness: retransmissions swallowed by a
+                 pipelined hold before this nack must not keep eating the
+                 crash-detection budget across retry cycles *)
+              ps_retries = 0;
               ps_busy = sp.sp_busy_attempts;
               ps_ready_at = Engine.now t.engine + delay;
             })
@@ -1518,6 +1573,45 @@ let rec drain_recv t conn =
        drain_recv t conn)
   | _ -> ()
 
+(* Nack a deferred REQUEST before the hold kills its sender. A pipelined
+   kernel holds an in-order REQUEST (`Held`) while the input buffer is
+   full, swallowing its retransmissions — but each swallowed
+   retransmission burns the sender's [max_retrans] crash-detection
+   budget. Past a threshold (with margin left for a lost nack, answered
+   by duplicate replay), consume the slot and BUSY-nack so the requester
+   falls back to the indefinite adaptive busy-retry path instead of
+   failing [Out_timeout] against a merely long-busy handler. *)
+let held_retry_limit t = max 1 (t.cost.Cost.max_retrans - 2)
+
+let count_held_retry t conn held =
+  match conn.recv_buf with
+  | still :: rest when still == held ->
+    (match conn.held_pkt with
+     | Some p when p == held -> conn.held_retries <- conn.held_retries + 1
+     | Some _ | None ->
+       conn.held_pkt <- Some held;
+       conn.held_retries <- 1);
+    if conn.held_retries >= held_retry_limit t then begin
+      conn.held_pkt <- None;
+      conn.held_retries <- 0;
+      match held.Wire.body with
+      | Wire.Request { tid; _ } ->
+        conn.recv_buf <- rest;
+        Stats.incr t.stats "req.busy_nacked";
+        Stats.incr t.stats "req.held_nacked";
+        if tracing t then event t (Event.Busy_nack { tid; peer = conn.peer });
+        let cr =
+          consume t conn ~key:(message_key held.Wire.body) ~resync:false held.Wire.seq
+        in
+        respond_consumed t conn cr (Wire.Busy { tid });
+        drain_recv t conn
+      | _ -> ()
+    end
+  | _ ->
+    (* the hold cleared: the deferred packet was delivered *)
+    conn.held_pkt <- None;
+    conn.held_retries <- 0
+
 let flush_buffered t =
   (match t.buffered with
    | None -> ()
@@ -1571,6 +1665,12 @@ let process_packet t ~bytes pkt =
     | _ -> None
   in
   let resync = cls = Some Resync in
+  (* Consuming a run-flagged packet voids everything still held for this
+     peer: nothing else was outstanding when it launched, so held packets
+     are stale remnants of a send era the peer abandoned. *)
+  (match cls with
+   | Some (In_order | Resync) when pkt.Wire.run -> flush_run_stale t conn ~key pkt
+   | _ -> ());
   (* For non-REQUEST reliable bodies, consume the sequence number and
      register the owed acknowledgement BEFORE processing the piggybacked
      ack: acking our in-flight message may immediately transmit the next
@@ -1612,10 +1712,12 @@ let process_packet t ~bytes pkt =
   | Wire.Request _, Some Out_of_order -> stash t conn pkt
   | Wire.Request _, Some (In_order | Resync) ->
     (match conn.recv_buf with
-     | held :: _ when held.Wire.seq = pkt.Wire.seq ->
+     | held :: _ when held.Wire.seq = pkt.Wire.seq && message_key held.Wire.body = key ->
        (* retransmission of a REQUEST already deferred at the window head;
-          re-offer the held original (it still carries the put data) *)
-       drain_recv t conn
+          re-offer the held original (it still carries the put data), and
+          count the swallowed retransmission against the hold bound *)
+       drain_recv t conn;
+       count_held_retry t conn held
      | _ ->
        (match offer_request t conn src pkt.Wire.body pkt.Wire.seq ~resync with
         | `Done -> drain_recv t conn

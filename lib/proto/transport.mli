@@ -19,7 +19,11 @@
       adaptively slowed rate; retries never carry data;
     - the {b pipelined input buffer} (when [cost.pipelined]): instead of a
       BUSY NACK, one arriving REQUEST is held and re-offered to the kernel
-      when the handler frees up;
+      when the handler frees up. At windows > 1 a further in-order REQUEST
+      meeting a full input buffer is deferred at the receive-window head,
+      for a bounded number of swallowed retransmissions — then BUSY-nacked
+      so a long-busy handler reads as BUSY (retried indefinitely), never
+      as a crashed peer;
     - {b acknowledgement piggybacking}: an owed ACK waits [ack_grace_us]
       for an outgoing packet (typically the ACCEPT) to carry it;
     - {b probes} (§3.6.2): every delivered-but-unaccepted outbound request

@@ -245,6 +245,136 @@ let prop_window_invariants =
           ok_sent ok_blocks ok_occ (max_occupancy client) ok_ack ok_win;
       ok_sent && ok_blocks && ok_occ && ok_ack && ok_win)
 
+(* ---- sequence-slot reuse across send eras (regression) ----------------------- *)
+
+module Transport = Soda_proto.Transport
+module Wire = Soda_proto.Wire
+module Bus = Soda_net.Bus
+module Nic = Soda_net.Nic
+module Trace = Soda_sim.Trace
+module Engine = Soda_sim.Engine
+
+(* A scripted fake peer replays the receive-side scenario the full stack
+   cannot schedule deterministically: era A dies mid-window (its sender
+   exhausted max_retrans on slot 1 while slots 2-3 were already stashed
+   by the receiver), then era B reuses the same slots. The receiver must
+   deliver exactly the era-B messages: a stale hold must neither shadow a
+   new message reusing its slot (silently dropped as a "duplicate", then
+   falsely acked) nor be delivered in its place when the base advances. *)
+let test_slot_reuse_stale_stash () =
+  let engine = Engine.create ~seed:11 () in
+  let trace = Trace.create ~enabled:false () in
+  let bus = Bus.create engine in
+  let cost = { Cost.default with Cost.window = 4 } in
+  let recv = Transport.create ~engine ~bus ~mid:0 ~cost ~trace in
+  let delivered = ref [] in
+  Transport.set_callbacks recv
+    {
+      Transport.deliver_request =
+        (fun ~src:_ ~tid ~pattern:_ ~arg:_ ~put_size:_ ~get_size:_ ->
+          delivered := tid :: !delivered;
+          `Deliver);
+      complete_request = (fun ~tid:_ _ -> ());
+      advertised = (fun _ -> true);
+      classify_unknown_tid = (fun _ -> `Stale);
+    };
+  ignore (Transport.attach_nic recv);
+  let peer = Nic.attach bus ~mid:1 ~rx:(fun ~src:_ ~broadcast:_ _ -> ()) in
+  let req ~tid ~seq ~run =
+    Wire.encode
+      {
+        Wire.src = 1;
+        reliable = true;
+        seq;
+        ack = None;
+        run;
+        body =
+          Wire.Request
+            { tid; pattern = patt; arg = 0; put_size = 0; get_size = 0;
+              data = Bytes.empty; retry = false };
+      }
+  in
+  let at us frame =
+    ignore (Engine.schedule engine ~delay:us (fun () -> Nic.send peer ~dst:0 frame))
+  in
+  (* era A: slot 0 delivered; slots 2-3 arrive out of order and are
+     stashed; slot 1 is "lost" and era A's sender gives up on all three *)
+  at 0 (req ~tid:101 ~seq:0 ~run:true);
+  at 5_000 (req ~tid:102 ~seq:2 ~run:false);
+  at 10_000 (req ~tid:103 ~seq:3 ~run:false);
+  (* era B reuses slots 1-3; its slot-2 message overtakes the run start *)
+  at 15_000 (req ~tid:202 ~seq:2 ~run:false);
+  at 20_000 (req ~tid:201 ~seq:1 ~run:true);
+  (* era-B packets that overtook the run start may have been flushed with
+     the stale holds; their sender still holds them unacked, so they are
+     retransmitted *)
+  at 25_000 (req ~tid:202 ~seq:2 ~run:false);
+  at 30_000 (req ~tid:203 ~seq:3 ~run:false);
+  ignore (Engine.run ~until:100_000 engine);
+  Alcotest.(check (list int)) "exactly the live-era messages, in order"
+    [ 101; 201; 202; 203 ] (List.rev !delivered)
+
+(* Receive-side classification derives its sequence arithmetic from the
+   LOCAL window; the bus refuses stations that disagree. *)
+let test_window_mismatch_guard () =
+  let engine = Engine.create ~seed:12 () in
+  let trace = Trace.create ~enabled:false () in
+  let bus = Bus.create engine in
+  let mk mid window =
+    ignore
+      (Transport.create ~engine ~bus ~mid ~cost:{ Cost.default with Cost.window } ~trace)
+  in
+  mk 0 4;
+  mk 1 4;
+  Alcotest.(check bool) "mismatched station refused" true
+    (try
+       mk 2 1;
+       false
+     with Invalid_argument _ -> true)
+
+(* A pipelined W>1 kernel defers an in-order REQUEST while its input
+   buffer is full. The hold must be bounded: a handler that stays busy
+   past the sender's whole retransmission budget must surface as BUSY
+   (indefinite adaptive retry, the seed's semantics), not a false
+   CRASHED completion. *)
+let test_long_busy_hold_nacks () =
+  let cost = { Cost.default with Cost.window = 4; Cost.maxrequests = 4 } in
+  let net, kernels = make_net ~seed:77 ~cost 2 in
+  let server = List.nth kernels 0 and client = List.nth kernels 1 in
+  ignore
+    (Sodal.attach server
+       {
+         Sodal.default_spec with
+         init = (fun env ~parent:_ -> Sodal.advertise env patt);
+         on_request =
+           (fun env _ ->
+             (* hold the handler far beyond the r_us retransmission span *)
+             Sodal.compute env 600_000;
+             ignore (Sodal.accept_current_signal env ~arg:0));
+       });
+  let statuses = ref [] in
+  ignore
+    (Sodal.attach client
+       {
+         Sodal.default_spec with
+         task =
+           (fun env ->
+             let srv = Sodal.server ~mid:0 ~pattern:patt in
+             let tids = List.init 3 (fun _ -> Sodal.signal env srv ~arg:0) in
+             List.iter
+               (fun tid ->
+                 let c = Sodal.await_completion env tid in
+                 statuses := c.Sodal.status :: !statuses)
+               tids;
+             Sodal.serve env);
+       });
+  run ~horizon:10.0 net;
+  Alcotest.(check int) "all three requests completed" 3 (List.length !statuses);
+  Alcotest.(check bool) "no request died of the hold" true
+    (List.for_all (fun s -> s = Sodal.Comp_ok) !statuses);
+  Alcotest.(check bool) "the hold was converted to a BUSY nack" true
+    (Stats.counter (Kernel.stats server) "req.held_nacked" >= 1)
+
 let suites =
   [
     ( "proto.window",
@@ -257,5 +387,10 @@ let suites =
         Alcotest.test_case "reordered arrivals parked and released" `Quick
           test_window_reorders_parked;
         QCheck_alcotest.to_alcotest prop_window_invariants;
+        Alcotest.test_case "slot reuse across send eras" `Quick test_slot_reuse_stale_stash;
+        Alcotest.test_case "bus refuses mismatched windows" `Quick
+          test_window_mismatch_guard;
+        Alcotest.test_case "long-busy hold converts to BUSY" `Quick
+          test_long_busy_hold_nacks;
       ] );
   ]

@@ -103,12 +103,19 @@ let t2s () =
 
 (* ---- TRACE: Chrome trace_event exports of the T1 workloads ------------------------ *)
 
+(* Bench artifacts (Chrome traces, ...) land in _bench_out/ instead of
+   littering the working directory; the directory is gitignored. *)
+let bench_out file =
+  let dir = "_bench_out" in
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  Filename.concat dir file
+
 let trace_section () =
   hr "TRACE. Chrome trace_event exports (PUT / GET / EXCHANGE, 100 words)";
   List.iter
     (fun (slug, op) ->
       let r = W.stream ~op ~words:100 ~n:12 ~warmup:3 ~trace:true () in
-      let file = Printf.sprintf "soda_trace_%s.json" slug in
+      let file = bench_out (Printf.sprintf "soda_trace_%s.json" slug) in
       let oc = open_out file in
       Soda_obs.Export.output_chrome oc (Soda_obs.Recorder.events r.W.recorder);
       close_out oc;
@@ -444,6 +451,116 @@ let store_section () =
         ])
     [ 3; 5 ]
 
+(* ---- PROFILE: engine hot-path profiling --------------------------------------------- *)
+
+(* N-node SIGNAL ring: every node advertises the well-known pattern and
+   fires [ops] blocking SIGNALs at its successor while serving its own
+   predecessor, so all N streams run concurrently and the engine's event
+   rate and heap depth scale with N. Reports the engine's always-on
+   profiling counters (wall-clock events/sec, heap high-water, callbacks
+   by source tag) plus the opt-in GC allocation deltas, and writes the
+   machine-readable BENCH_pr6.json. *)
+
+let profile_ring ~nodes ~ops =
+  let module Pattern = Soda_base.Pattern in
+  let module Network = Soda_core.Network in
+  let module Sodal = Soda_runtime.Sodal in
+  let module Engine = Soda_sim.Engine in
+  let patt = Pattern.well_known 0o640 in
+  let net = Network.create ~seed:53 () in
+  let engine = Network.engine net in
+  Engine.set_profile_gc engine true;
+  let finished = ref 0 in
+  let spec ~next =
+    {
+      Sodal.default_spec with
+      init = (fun env ~parent:_ -> Sodal.advertise env patt);
+      on_request = (fun env _ -> ignore (Sodal.accept_current_signal env ~arg:0));
+      task =
+        (fun env ->
+          (* let the whole ring advertise before the first SIGNAL *)
+          Sodal.compute env 20_000;
+          let sv = Sodal.server ~mid:next ~pattern:patt in
+          for _ = 1 to ops do
+            let c = Sodal.b_signal env sv ~arg:0 in
+            if c.Sodal.status <> Sodal.Comp_ok then failwith "profile ring SIGNAL failed"
+          done;
+          incr finished;
+          Sodal.serve env);
+    }
+  in
+  let kernels = List.init nodes (fun mid -> Network.add_node net ~mid) in
+  List.iteri
+    (fun mid kernel -> ignore (Sodal.attach kernel (spec ~next:((mid + 1) mod nodes))))
+    kernels;
+  let virtual_us = Network.run ~until:3_600_000_000 net in
+  if !finished < nodes then
+    failwith (Printf.sprintf "profile ring n=%d: %d/%d nodes finished" nodes !finished nodes);
+  (engine, virtual_us)
+
+let profile_section () =
+  hr "PROFILE. Engine hot-path profiling (N-node SIGNAL ring)";
+  let module Engine = Soda_sim.Engine in
+  let ops = 40 in
+  let rows =
+    List.map
+      (fun nodes ->
+        let engine, virtual_us = profile_ring ~nodes ~ops in
+        (nodes, engine, virtual_us))
+      [ 8; 64 ]
+  in
+  Printf.printf "    %-6s %10s %12s %12s %10s %14s\n" "nodes" "fired" "wall ms"
+    "events/sec" "heap hw" "minor words";
+  List.iter
+    (fun (nodes, engine, _) ->
+      let c = Engine.counters engine in
+      let minor, _, _ = Engine.gc_words engine in
+      Printf.printf "    %-6d %10d %12.1f %12.0f %10d %14.0f\n" nodes c.Engine.fired
+        (Engine.wall_seconds engine *. 1e3)
+        (Engine.events_per_sec engine)
+        (Engine.heap_highwater engine) minor)
+    rows;
+  Printf.printf "\n    callbacks by source tag:\n";
+  List.iter
+    (fun (nodes, engine, _) ->
+      Printf.printf "    n=%-4d %s\n" nodes
+        (String.concat "  "
+           (List.map
+              (fun (tag, count) -> Printf.sprintf "%s=%d" tag count)
+              (Engine.tag_counts engine))))
+    rows;
+  (* machine-readable record, uploaded by CI next to BENCH_pr5.json *)
+  let oc = open_out "BENCH_pr6.json" in
+  Printf.fprintf oc "{\n  \"signal_ring_ops_per_node\": %d,\n  \"profile\": [\n" ops;
+  List.iteri
+    (fun i (nodes, engine, virtual_us) ->
+      let c = Engine.counters engine in
+      let minor, promoted, major = Engine.gc_words engine in
+      Printf.fprintf oc
+        "    { \"nodes\": %d, \"fired\": %d, \"virtual_us\": %d, \"wall_us\": %d, \
+         \"events_per_sec\": %.0f, \"heap_highwater\": %d, \"gc_minor_words\": %.0f, \
+         \"gc_promoted_words\": %.0f, \"gc_major_words\": %.0f, \"tags\": { %s } }%s\n"
+        nodes c.Engine.fired virtual_us
+        (int_of_float (Engine.wall_seconds engine *. 1e6))
+        (Engine.events_per_sec engine)
+        (Engine.heap_highwater engine) minor promoted major
+        (String.concat ", "
+           (List.map
+              (fun (tag, count) -> Printf.sprintf "\"%s\": %d" tag count)
+              (Engine.tag_counts engine)))
+        (if i < List.length rows - 1 then "," else ""))
+    rows;
+  Printf.fprintf oc "  ]\n}\n";
+  close_out oc;
+  Printf.printf "\n    wrote BENCH_pr6.json\n";
+  let ok =
+    List.for_all (fun (_, engine, _) -> Engine.events_per_sec engine > 0.0) rows
+  in
+  if not ok then begin
+    Printf.printf "    GATE FAILED: events/sec not measured (wall clock did not advance)\n";
+    exit 1
+  end
+
 (* ---- FAULT: a workload under a scripted fault plan ---------------------------------- *)
 
 (* Run the T1 PUT stream while a fault plan (--fault-plan FILE) executes
@@ -509,6 +626,7 @@ let sections =
     ("TRACE", trace_section);
     ("A1", a1); ("A2", a2); ("A3", a3); ("A4", a4); ("A5", a5); ("A6", a6);
     ("WINDOW", window_section);
+    ("PROFILE", profile_section);
     ("STORE", store_section);
     ("BENCH", bechamel);
   ]

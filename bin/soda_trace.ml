@@ -1,0 +1,91 @@
+(* soda_trace: offline analyzer for exported JSONL protocol traces.
+
+   Ingest a trace recorded with `sodal_run --trace FILE` (or written by
+   the test/bench harnesses), print the latency / per-pair / causal-tree
+   report, and optionally re-export the causal forest as Graphviz DOT or
+   the whole trace as Chrome trace_event JSON.
+
+     dune exec bin/soda_trace.exe -- run.jsonl
+     dune exec bin/soda_trace.exe -- run.jsonl --dot trees.dot --chrome run.json *)
+
+module Analyze = Soda_obs.Analyze
+
+let read_events = function
+  | "-" -> Analyze.events_of_channel stdin
+  | file ->
+    let ic = open_in_bin file in
+    Fun.protect ~finally:(fun () -> close_in ic) (fun () ->
+        Analyze.events_of_channel ic)
+
+let write_file path content =
+  let oc = open_out path in
+  output_string oc content;
+  close_out oc
+
+let run paths dot chrome quiet file =
+  match read_events file with
+  | exception Sys_error message -> `Error (false, message)
+  | exception Analyze.Parse_error message ->
+    `Error (false, Printf.sprintf "%s: %s" file message)
+  | events ->
+    if not quiet then Analyze.report ~max_paths:paths Format.std_formatter events;
+    let trees = lazy (Analyze.causal_trees events) in
+    (match dot with
+     | Some path ->
+       write_file path (Analyze.dot (Lazy.force trees));
+       Printf.printf "-- wrote DOT causal forest (%d traces) to %s\n"
+         (List.length (Lazy.force trees))
+         path
+     | None -> ());
+    (match chrome with
+     | Some path ->
+       write_file path (Soda_obs.Export.chrome events);
+       Printf.printf "-- wrote Chrome trace (%d events) to %s\n" (List.length events)
+         path
+     | None -> ());
+    `Ok ()
+
+open Cmdliner
+
+let paths =
+  Arg.(
+    value & opt int 5
+    & info [ "paths" ] ~docv:"N"
+        ~doc:"Print the critical paths of the $(docv) slowest causal trees.")
+
+let dot =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "dot" ] ~docv:"FILE"
+        ~doc:
+          "Write the causal forest as Graphviz DOT to $(docv) (one cluster per \
+           trace; render with `dot -Tsvg`).")
+
+let chrome =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "chrome" ] ~docv:"FILE"
+        ~doc:
+          "Re-export the parsed trace as Chrome trace_event JSON to $(docv) \
+           (openable in Perfetto or about://tracing).")
+
+let quiet =
+  Arg.(
+    value & flag
+    & info [ "quiet"; "q" ] ~doc:"Suppress the text report (exports still run).")
+
+let file =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"TRACE.jsonl" ~doc:"JSONL trace file ('-' reads stdin).")
+
+let cmd =
+  let doc = "analyze an exported SODA JSONL protocol trace" in
+  Cmd.v
+    (Cmd.info "soda_trace" ~doc)
+    Term.(ret (const run $ paths $ dot $ chrome $ quiet $ file))
+
+let () = exit (Cmd.eval cmd)

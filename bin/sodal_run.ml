@@ -50,12 +50,34 @@ let print_metrics net =
     (Network.nodes net);
   Format.printf "@."
 
+(* --metrics-json: every registry the run touched — engine profiling
+   gauges, bus stats, per-node kernel stats and the recorder's own
+   metrics (store latency histograms etc.) — as one JSON object. *)
+let export_metrics_json net file =
+  let engine_metrics = Soda_obs.Metrics.create () in
+  Soda_sim.Engine.export_metrics (Network.engine net) engine_metrics ~prefix:"engine";
+  let sections =
+    (("engine", engine_metrics)
+     :: ("bus", Soda_sim.Stats.registry (Soda_net.Bus.stats (Network.bus net)))
+     :: ("recorder", Soda_obs.Recorder.metrics (Network.recorder net))
+     :: List.map
+          (fun (mid, kernel) ->
+            ( Printf.sprintf "node.%d" mid,
+              Soda_sim.Stats.registry (Soda_core.Kernel.stats kernel) ))
+          (Network.nodes net))
+  in
+  let oc = open_out file in
+  output_string oc (Soda_obs.Export.metrics_sections_json sections);
+  close_out oc;
+  Printf.printf "-- wrote metrics JSON (%d registries) to %s\n" (List.length sections)
+    file
+
 (* --store N: run the deterministic store workload harness instead of
    SODAL sources — the same harness the linearizability suite uses, so a
    (seed, fault plan) pair printed by a failing qcheck case replays its
    exact schedule here (see docs/STORE.md). *)
-let run_store ~seed ~seconds ~trace ~metrics ~fault_plan ~n ~clients ~ops ~keys
-    ~think_us ~nameserver =
+let run_store ~seed ~seconds ~trace ~metrics ~metrics_json ~fault_plan ~n ~clients ~ops
+    ~keys ~think_us ~nameserver =
   let module Harness = Soda_store.Harness in
   let plan =
     match fault_plan with
@@ -89,6 +111,9 @@ let run_store ~seed ~seconds ~trace ~metrics ~fault_plan ~n ~clients ~ops ~keys
       ok no_quorum;
     (match trace with Some dest -> export_trace r.Harness.net dest | None -> ());
     if metrics then print_metrics r.Harness.net;
+    (match metrics_json with
+     | Some file -> export_metrics_json r.Harness.net file
+     | None -> ());
     `Ok ()
 
 (* --check: run the sodalint static analyzer (same rules as
@@ -106,16 +131,18 @@ let run_check files =
     `Ok ()
   end
 
-let run seed seconds trace metrics fault_plan store store_clients store_ops store_keys
-    store_think_us store_nameserver check files =
+let run seed seconds trace metrics metrics_json fault_plan store store_clients store_ops
+    store_keys store_think_us store_nameserver check files =
   if store > 0 then
-    run_store ~seed ~seconds ~trace ~metrics ~fault_plan ~n:store ~clients:store_clients
-      ~ops:store_ops ~keys:store_keys ~think_us:store_think_us
+    run_store ~seed ~seconds ~trace ~metrics ~metrics_json ~fault_plan ~n:store
+      ~clients:store_clients ~ops:store_ops ~keys:store_keys ~think_us:store_think_us
       ~nameserver:store_nameserver
   else if files = [] then `Error (true, "at least one SODAL source file is required")
   else if check then run_check files
   else begin
-    let net = Network.create ~seed ~trace:(trace <> None) () in
+    (* Tracing implies causal, as in the store harness: an exported trace
+       should carry the cross-node tree ids soda_trace reconstructs. *)
+    let net = Network.create ~seed ~trace:(trace <> None) ~causal:(trace <> None) () in
     let ok = ref true in
     let attachers = Hashtbl.create 8 in
     List.iteri
@@ -169,6 +196,7 @@ let run seed seconds trace metrics fault_plan store store_clients store_ops stor
         (float_of_int final /. 1000.0);
       (match trace with Some dest -> export_trace net dest | None -> ());
       if metrics then print_metrics net;
+      (match metrics_json with Some file -> export_metrics_json net file | None -> ());
       `Ok ()
     end
   end
@@ -200,6 +228,15 @@ let metrics =
     value & flag
     & info [ "metrics" ]
         ~doc:"Print the engine, bus and per-node metrics registries at the end.")
+
+let metrics_json =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics-json" ] ~docv:"FILE"
+        ~doc:
+          "Write every metrics registry of the run (engine profiling gauges, bus, \
+           recorder, one per node) as a single JSON object to $(docv).")
 
 let fault_plan =
   Arg.(
@@ -266,8 +303,8 @@ let cmd =
     (Cmd.info "sodal_run" ~doc)
     Term.(
       ret
-        (const run $ seed $ seconds $ trace $ metrics $ fault_plan $ store
-        $ store_clients $ store_ops $ store_keys $ store_think_us
+        (const run $ seed $ seconds $ trace $ metrics $ metrics_json $ fault_plan
+        $ store $ store_clients $ store_ops $ store_keys $ store_think_us
         $ store_nameserver $ check $ files))
 
 let () = exit (Cmd.eval cmd)

@@ -205,7 +205,7 @@ let create_node ~engine ~bus ~mid ?(cost = default_cost) () =
       next_call = 0;
     }
   in
-  node.nic <- Some (Nic.attach bus ~mid ~rx:(fun ~src ~broadcast:_ payload -> on_rx node ~src payload));
+  node.nic <- Some (Nic.attach bus ~mid ~rx:(fun ~src ~broadcast:_ ~ctx:_ payload -> on_rx node ~src payload));
   node
 
 let define_port node ~port handler = Hashtbl.replace node.ports port handler

@@ -9,6 +9,7 @@ module Cost = Soda_base.Cost_model
 module Transport = Soda_proto.Transport
 module Recorder = Soda_obs.Recorder
 module Event = Soda_obs.Event
+module Causal = Soda_obs.Causal
 
 type client = {
   invoke_handler : Types.handler_event -> unit;
@@ -46,6 +47,11 @@ type t = {
   completions : Types.handler_event Queue.t;
   pending : (int, pending_request) Hashtbl.t;  (* tid -> requester bookkeeping *)
   mutable crashed : bool;
+  (* Ambient causal parent: a client-visible operation (a store op, a
+     multi-request facility call) sets this so every REQUEST trapped
+     under it becomes a child span of the operation rather than a fresh
+     root. [None] (the default): each trap roots its own trace. *)
+  mutable causal_parent : Causal.ctx option;
 }
 
 let mid t = t.mid
@@ -64,8 +70,34 @@ let trace t fmt = Trace.record t.trace ~now:(Engine.now t.engine) ~actor:(actor 
 (* Typed observability events: guarded so a disabled trace costs one branch. *)
 let tracing t = Recorder.tracing t.trace
 
-let emit_event t kind =
-  Recorder.emit t.trace ~time_us:(Engine.now t.engine) ~mid:t.mid ~actor:t.actor_name kind
+let emit_event t ?ctx kind =
+  Recorder.emit t.trace ?ctx ~time_us:(Engine.now t.engine) ~mid:t.mid
+    ~actor:t.actor_name kind
+
+(* ---- causal identity ------------------------------------------------------ *)
+
+let set_causal_parent t ctx = t.causal_parent <- ctx
+let causal_parent t = t.causal_parent
+
+(* Root span for a client-visible operation (None unless the network was
+   created with causal tracing on). *)
+let mint_causal_root t = Recorder.mint_root (Trace.recorder t.trace)
+
+(* Context for a trap: child of the ambient operation if one is set,
+   otherwise a fresh root. Minting is two counter bumps — it never
+   schedules engine work, so timing is unchanged by causal tracing. *)
+let mint_trap_ctx t =
+  match t.causal_parent with
+  | Some parent -> Recorder.mint_child (Trace.recorder t.trace) parent
+  | None -> mint_causal_root t
+
+(* Causal identity of a handler event, resolved through the transport's
+   per-tid table (requester-side requests and server-side adoptions). *)
+let handler_event_ctx t = function
+  | Types.Request_arrival { requester = { Types.rq_tid; _ }; _ }
+  | Types.Request_completion { requester = { Types.rq_tid; _ }; _ } ->
+    Transport.causal_ctx t.transport ~tid:rq_tid
+  | _ -> None
 
 (* ---- advertisement table ------------------------------------------------- *)
 
@@ -124,11 +156,11 @@ let invoke_client_handler t event =
   | None -> ()
   | Some client ->
     t.hs_busy <- true;
-    if tracing t then emit_event t Event.Handler_invoke;
+    if tracing t then emit_event t ?ctx:(handler_event_ctx t event) Event.Handler_invoke;
     Stats.add_time (stats t) (Cost.label Cost.Context_switch) t.cost.Cost.context_switch_us;
     let epoch_client = client in
     ignore
-      (Engine.schedule t.engine ~delay:t.cost.Cost.context_switch_us (fun () ->
+      (Engine.schedule ~tag:"kernel" t.engine ~delay:t.cost.Cost.context_switch_us (fun () ->
            (* The client may have died between scheduling and delivery. *)
            match t.client with
            | Some c when c == epoch_client -> c.invoke_handler event
@@ -175,7 +207,7 @@ let internal_accept t ~src ~tid ~arg ~get_capacity ~data_out ~k =
      handler; reserved-pattern routines "cannot be impeded by the client
      handler state" (§3.4.3). *)
   ignore
-    (Engine.schedule t.engine ~delay:t.cost.Cost.packet_protocol_us (fun () ->
+    (Engine.schedule ~tag:"kernel" t.engine ~delay:t.cost.Cost.packet_protocol_us (fun () ->
          Transport.accept t.transport ~requester_mid:src ~requester_tid:tid ~arg
            ~get_capacity ~data_out ~on_done:k))
 
@@ -207,7 +239,7 @@ let kill_client t ~readvertise_boot ~drain =
     let drain_us = (2 * t.cost.Cost.ack_grace_us) + t.cost.Cost.retrans_interval_us in
     let generation = t.boot in
     ignore
-      (Engine.schedule t.engine ~delay:drain_us (fun () ->
+      (Engine.schedule ~tag:"kernel" t.engine ~delay:drain_us (fun () ->
            (* Skip the reset if a new client booted during the drain. *)
            if t.boot == generation || t.boot = No_client then reset ()))
   end
@@ -244,7 +276,7 @@ let handle_reserved t ~src ~tid ~pattern ~arg ~put_size ~get_size =
     (* Give the accept a moment to reach the wire before state is torn
        down; the requester sees completion, then we die. *)
     ignore
-      (Engine.schedule t.engine ~delay:(2 * t.cost.Cost.ack_grace_us) (fun () ->
+      (Engine.schedule ~tag:"kernel" t.engine ~delay:(2 * t.cost.Cost.ack_grace_us) (fun () ->
            kill_client t ~readvertise_boot:true ~drain:true))
   end
   else if Pattern.equal pattern Pattern.system_pattern then begin
@@ -309,7 +341,7 @@ let handle_reserved t ~src ~tid ~pattern ~arg ~put_size ~get_size =
            internal_accept t ~src ~tid ~arg:0 ~get_capacity:0 ~data_out:nothing
              ~k:(fun _ -> ());
            ignore
-             (Engine.schedule t.engine ~delay:t.cost.Cost.context_switch_us (fun () ->
+             (Engine.schedule ~tag:"kernel" t.engine ~delay:t.cost.Cost.context_switch_us (fun () ->
                   start_loaded_client t ~parent:src))
          end
        | Running _ ->
@@ -319,7 +351,7 @@ let handle_reserved t ~src ~tid ~pattern ~arg ~put_size ~get_size =
            internal_accept t ~src ~tid ~arg:0 ~get_capacity:0 ~data_out:nothing
              ~k:(fun _ -> ());
            ignore
-             (Engine.schedule t.engine ~delay:(2 * t.cost.Cost.ack_grace_us) (fun () ->
+             (Engine.schedule ~tag:"kernel" t.engine ~delay:(2 * t.cost.Cost.ack_grace_us) (fun () ->
                   kill_client t ~readvertise_boot:true ~drain:true))
          end
          else
@@ -342,7 +374,7 @@ let deliver_request t ~src ~tid ~pattern ~arg ~put_size ~get_size =
     if reserved_pattern_active t pattern then begin
       (* Reserved patterns bypass the client handler entirely. *)
       ignore
-        (Engine.schedule t.engine ~delay:0 (fun () ->
+        (Engine.schedule ~tag:"kernel" t.engine ~delay:0 (fun () ->
              handle_reserved t ~src ~tid ~pattern ~arg ~put_size ~get_size));
       `Deliver
     end
@@ -442,6 +474,7 @@ let create ~engine ~bus ~trace:tr ~cost ~mid ~boot_kinds =
       completions = Queue.create ();
       pending = Hashtbl.create 16;
       crashed = false;
+      causal_parent = None;
     }
   in
   Transport.set_callbacks transport
@@ -492,8 +525,12 @@ let request t ~server ~arg ~put ~get_buffer =
     | Types.Mid dst ->
       let tid = Pattern.Mint.fresh_tid t.mint in
       Hashtbl.replace t.pending tid { pr_get_buffer = get_buffer };
+      let ctx = mint_trap_ctx t in
+      (match ctx with
+       | Some c -> Transport.register_causal t.transport ~tid c
+       | None -> ());
       if tracing t then
-        emit_event t
+        emit_event t ?ctx
           (Event.Trap
              { tid; dst; pattern = Pattern.to_int server.Types.sv_pattern;
                put_size = Bytes.length put; get_size = Bytes.length get_buffer });
@@ -508,8 +545,12 @@ let request t ~server ~arg ~put ~get_buffer =
     | Types.Broadcast_mid ->
       let tid = Pattern.Mint.fresh_tid t.mint in
       Hashtbl.replace t.pending tid { pr_get_buffer = get_buffer };
+      let ctx = mint_trap_ctx t in
+      (match ctx with
+       | Some c -> Transport.register_causal t.transport ~tid c
+       | None -> ());
       if tracing t then
-        emit_event t
+        emit_event t ?ctx
           (Event.Trap
              { tid; dst = Event.broadcast_peer;
                pattern = Pattern.to_int server.Types.sv_pattern; put_size = 0;
@@ -527,7 +568,7 @@ let accept t ~requester ~arg ~get_buffer ~put ~on_done =
      what produces the paper's BUSY-NACK traces, §5.2.3). The cost is part
      of the accept trap overhead charged by the runtime. *)
   let on_done outcome =
-    ignore (Engine.schedule t.engine ~delay:100 (fun () -> on_done outcome))
+    ignore (Engine.schedule ~tag:"kernel" t.engine ~delay:100 (fun () -> on_done outcome))
   in
   Transport.accept t.transport ~requester_mid:requester.Types.rq_mid
     ~requester_tid:requester.Types.rq_tid ~arg ~get_capacity:(Bytes.length get_buffer)
@@ -584,7 +625,7 @@ let crash t =
   kill_client t ~readvertise_boot:true ~drain:false;
   let quarantine = Cost.crash_quarantine_us t.cost in
   ignore
-    (Engine.schedule t.engine ~delay:quarantine (fun () ->
+    (Engine.schedule ~tag:"kernel" t.engine ~delay:quarantine (fun () ->
          t.crashed <- false;
          Nic.enable t.nic;
          trace t "quarantine over (2*MPL + delta-t); rejoining network"))
@@ -607,7 +648,7 @@ let quarantine t =
   Nic.disable t.nic;
   let quarantine_us = Cost.crash_quarantine_us t.cost in
   ignore
-    (Engine.schedule t.engine ~delay:quarantine_us (fun () ->
+    (Engine.schedule ~tag:"kernel" t.engine ~delay:quarantine_us (fun () ->
          t.crashed <- false;
          Nic.enable t.nic;
          trace t "reboot quarantine over (2*MPL + delta-t); rejoining network"))

@@ -125,3 +125,20 @@ val quarantine : t -> unit
 
 (** Number of uncompleted requests issued by this client. *)
 val outstanding : t -> int
+
+(** {1 Causal identity}
+
+    All of these are inert (return [None] / store [None]) unless the
+    network's recorder was created with causal tracing on; minting only
+    bumps counters, so simulated timing is identical either way. *)
+
+(** Root span for a client-visible operation (e.g. one store op). *)
+val mint_causal_root : t -> Soda_obs.Causal.ctx option
+
+(** [set_causal_parent t ctx] makes every subsequent REQUEST trap mint
+    its span as a child of [ctx] instead of a fresh root — this is how a
+    multi-request operation (quorum fan-out, retries, failover) hangs
+    under one tree. Pass [None] to restore per-trap roots. *)
+val set_causal_parent : t -> Soda_obs.Causal.ctx option -> unit
+
+val causal_parent : t -> Soda_obs.Causal.ctx option

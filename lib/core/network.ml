@@ -14,9 +14,11 @@ type t = {
   node_boot_kinds : (int, int list) Hashtbl.t;  (* survives crash_node for reboots *)
 }
 
-let create ?(seed = 42) ?(cost = Cost.default) ?bus_config ?(trace = false) () =
+let create ?(seed = 42) ?(cost = Cost.default) ?bus_config ?(trace = false)
+    ?(causal = false) () =
   let engine = Engine.create ~seed () in
   let tr = Trace.create ~enabled:trace () in
+  Recorder.set_causal (Trace.recorder tr) causal;
   let bus = Bus.create ?config:bus_config ~obs:(Trace.recorder tr) engine in
   {
     engine;

@@ -12,11 +12,16 @@
 
 type t
 
+(** [causal] turns on causal-context minting in the shared recorder:
+    traps and deliveries are stamped with trace/span/parent ids that
+    cross nodes on frame metadata. Off by default; minting never
+    schedules engine work, so enabling it changes no simulated timing. *)
 val create :
   ?seed:int ->
   ?cost:Soda_base.Cost_model.t ->
   ?bus_config:Soda_net.Bus.config ->
   ?trace:bool ->
+  ?causal:bool ->
   unit ->
   t
 

@@ -37,7 +37,7 @@ let apply ?(quarantine = true) ?on_reboot net action =
       (Event.Fault_loss_burst
          { rate_pct = int_of_float ((rate *. 100.0) +. 0.5); duration_us });
     ignore
-      (Engine.schedule (Network.engine net) ~delay:duration_us (fun () ->
+      (Engine.schedule ~tag:"fault" (Network.engine net) ~delay:duration_us (fun () ->
            Bus.set_loss_rate bus saved))
 
 let install ?quarantine ?on_reboot net plan =
@@ -47,6 +47,6 @@ let install ?quarantine ?on_reboot net plan =
     (fun { Fault_plan.at_us; action } ->
       let delay = max 0 (at_us - now) in
       ignore
-        (Engine.schedule engine ~delay (fun () ->
+        (Engine.schedule ~tag:"fault" engine ~delay (fun () ->
              apply ?quarantine ?on_reboot net action)))
     plan

@@ -184,9 +184,9 @@ let deliver t frame =
   |> List.sort (fun (a, _) (b, _) -> compare a b)
   |> List.iter (fun (mid, rx) -> deliver_to mid rx)
 
-let send t ~src ~dst payload =
+let send t ?ctx ~src ~dst payload =
   let wire = Crc16.append payload in
-  let frame = { Frame.src; dst; wire } in
+  let frame = { Frame.src; dst; wire; ctx } in
   let now = Engine.now t.engine in
   let start = max now t.busy_until in
   let tx = transmission_time_us t ~payload_bytes:(Bytes.length payload) in
@@ -214,7 +214,7 @@ let send t ~src ~dst payload =
     | Some (min_us, max_us) -> min_us + Rng.int t.fault_rng (max_us - min_us + 1)
   in
   let arrival = start + tx + t.config.propagation_us + jitter_us - now in
-  ignore (Engine.schedule t.engine ~delay:arrival (fun () -> deliver t frame));
+  ignore (Engine.schedule ~tag:"bus" t.engine ~delay:arrival (fun () -> deliver t frame));
   if t.duplicate_pending > 0 then begin
     t.duplicate_pending <- t.duplicate_pending - 1;
     Stats.incr t.stats "bus.frames_duplicated";
@@ -222,5 +222,5 @@ let send t ~src ~dst payload =
        random slack: late enough to look like a stale retransmission. *)
     let slack = 1 + Rng.int t.fault_rng (max 1 t.config.propagation_us * 4) in
     ignore
-      (Engine.schedule t.engine ~delay:(arrival + tx + slack) (fun () -> deliver t frame))
+      (Engine.schedule ~tag:"bus" t.engine ~delay:(arrival + tx + slack) (fun () -> deliver t frame))
   end

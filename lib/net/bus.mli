@@ -96,8 +96,10 @@ val attach : t -> mid:int -> rx:(Frame.t -> unit) -> unit
 
 val detach : t -> mid:int -> unit
 
-(** [send t ~src ~dst payload] queues [payload] (CRC trailer added here)
-    for transmission. Delivery happens after queueing + transmission +
-    propagation delay. Frames from one source to one destination are
-    delivered in order (the medium is serial). *)
-val send : t -> src:int -> dst:Frame.dst -> bytes -> unit
+(** [send t ?ctx ~src ~dst payload] queues [payload] (CRC trailer added
+    here) for transmission. Delivery happens after queueing +
+    transmission + propagation delay. Frames from one source to one
+    destination are delivered in order (the medium is serial). [ctx]
+    rides the frame as out-of-band causal metadata (it survives
+    duplication and jitter but is not part of the wire bytes). *)
+val send : t -> ?ctx:Soda_obs.Causal.ctx -> src:int -> dst:Frame.dst -> bytes -> unit

@@ -8,6 +8,10 @@ type t = {
   src : int;  (** sending machine id *)
   dst : dst;
   wire : bytes;  (** payload plus CRC trailer, possibly corrupted in flight *)
+  ctx : Soda_obs.Causal.ctx option;
+      (** Causal identity of the sending span, carried out of band (frame
+          metadata, not wire bytes): invisible to CRC, corruption and the
+          golden byte-level trace. *)
 }
 
 val dst_matches : dst -> mid:int -> bool

@@ -20,15 +20,15 @@ let attach ?stats bus ~mid ~rx =
            | None -> ())
         | Some payload ->
           let broadcast = match frame.Frame.dst with Frame.Broadcast -> true | Frame.To _ -> false in
-          rx ~src:frame.Frame.src ~broadcast payload
+          rx ~src:frame.Frame.src ~broadcast ~ctx:frame.Frame.ctx payload
       end);
   t
 
 let mid t = t.mid
 
-let send t ~dst payload = Bus.send t.bus ~src:t.mid ~dst:(Frame.To dst) payload
+let send t ?ctx ~dst payload = Bus.send t.bus ?ctx ~src:t.mid ~dst:(Frame.To dst) payload
 
-let broadcast t payload = Bus.send t.bus ~src:t.mid ~dst:Frame.Broadcast payload
+let broadcast t ?ctx payload = Bus.send t.bus ?ctx ~src:t.mid ~dst:Frame.Broadcast payload
 
 let crc_drops t = t.crc_drops
 

@@ -17,16 +17,17 @@ val attach :
   ?stats:Soda_sim.Stats.t ->
   Bus.t ->
   mid:int ->
-  rx:(src:int -> broadcast:bool -> bytes -> unit) ->
+  rx:(src:int -> broadcast:bool -> ctx:Soda_obs.Causal.ctx option -> bytes -> unit) ->
   t
 
 val mid : t -> int
 
-(** [send t ~dst payload] transmits to a specific machine. *)
-val send : t -> dst:int -> bytes -> unit
+(** [send t ?ctx ~dst payload] transmits to a specific machine; [ctx] is
+    out-of-band causal metadata riding the frame (see {!Frame.t}). *)
+val send : t -> ?ctx:Soda_obs.Causal.ctx -> dst:int -> bytes -> unit
 
-(** [broadcast t payload] transmits to every station. *)
-val broadcast : t -> bytes -> unit
+(** [broadcast t ?ctx payload] transmits to every station. *)
+val broadcast : t -> ?ctx:Soda_obs.Causal.ctx -> bytes -> unit
 
 (** Frames dropped by this NIC due to CRC failure. *)
 val crc_drops : t -> int

@@ -1,0 +1,25 @@
+(* Causal identity for cross-node tracing.
+
+   A context names one node in a per-request causal tree: [trace] groups
+   every span born from one client-visible operation, [span] is this
+   node's id and [parent] its parent's span id ([no_parent] at the
+   root). Contexts are minted by the recorder (see
+   {!Recorder.mint_root}/{!Recorder.mint_child}) so ids are unique per
+   network, and travel *out of band* on simulated frame metadata — never
+   inside wire bytes — so enabling causal tracing perturbs neither
+   protocol timing nor packet encoding. *)
+
+type ctx = { trace : int; span : int; parent : int }
+
+let no_parent = -1
+
+let root ~trace ~span = { trace; span; parent = no_parent }
+
+(* A child keeps the trace id and hangs under [parent]'s span. *)
+let child parent ~span = { trace = parent.trace; span; parent = parent.span }
+
+let is_root ctx = ctx.parent = no_parent
+
+let pp ppf ctx =
+  if is_root ctx then Format.fprintf ppf "tr%d/sp%d" ctx.trace ctx.span
+  else Format.fprintf ppf "tr%d/sp%d<sp%d" ctx.trace ctx.span ctx.parent

@@ -1,0 +1,26 @@
+(** Causal identity for cross-node tracing.
+
+    A [ctx] names one node of a per-request causal tree: [trace] groups
+    every span born from one client-visible operation (a store op, a
+    REQUEST trap), [span] identifies this node and [parent] its parent
+    span ([no_parent] at the root). Contexts are minted through
+    {!Recorder.mint_root} and {!Recorder.mint_child} so ids are unique
+    within a network, and are carried out of band on simulated frame
+    metadata — never in wire bytes — so causal tracing is invisible to
+    protocol timing and to the golden window-1 trace. *)
+
+type ctx = { trace : int; span : int; parent : int }
+
+(** Parent sentinel of a tree root. *)
+val no_parent : int
+
+val root : trace:int -> span:int -> ctx
+
+(** [child parent ~span] keeps [parent]'s trace id and hangs the new span
+    under [parent.span]. *)
+val child : ctx -> span:int -> ctx
+
+val is_root : ctx -> bool
+
+(** "tr7/sp12<sp3" (root contexts omit the parent). *)
+val pp : Format.formatter -> ctx -> unit

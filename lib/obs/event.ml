@@ -80,7 +80,15 @@ type kind =
       (** A store operation finished ([ok = false]: no quorum reachable). *)
   | Note of string  (** Free-form text from the legacy [Trace.record] shim. *)
 
-type t = { time_us : int; mid : int; actor : string; kind : kind }
+type t = {
+  time_us : int;
+  mid : int;
+  actor : string;
+  kind : kind;
+  ctx : Causal.ctx option;
+      (** Causal identity, present only when the recorder mints contexts
+          (off by default, so legacy traces are unchanged). *)
+}
 
 let kind_label = function
   | Trap _ -> "trap"

@@ -74,7 +74,15 @@ type kind =
       (** A store operation finished ([ok = false]: no quorum reachable). *)
   | Note of string
 
-type t = { time_us : int; mid : int; actor : string; kind : kind }
+type t = {
+  time_us : int;
+  mid : int;
+  actor : string;
+  kind : kind;
+  ctx : Causal.ctx option;
+      (** Causal identity, present only when the recorder mints contexts
+          (off by default, so legacy traces are unchanged). *)
+}
 
 (** Short machine-readable label ("tx", "busy-nack", ...). *)
 val kind_label : kind -> string

@@ -119,7 +119,19 @@ let event_fields (e : Event.t) : json_field list =
         ("elapsed", `Int elapsed_us) ]
     | Note text -> [ ("actor", `Str e.actor); ("text", `Str text) ]
   in
-  base @ extra
+  (* Causal identity trails the event's own fields; absent when the
+     recorder minted no contexts, so pre-causal traces (and the golden
+     pingpong trace) are byte-identical. *)
+  let causal =
+    match e.ctx with
+    | None -> []
+    | Some c ->
+      ("tr", `Int c.Causal.trace) :: ("sp", `Int c.Causal.span)
+      ::
+      (if c.Causal.parent = Causal.no_parent then []
+       else [ ("pa", `Int c.Causal.parent) ])
+  in
+  base @ extra @ causal
 
 let jsonl_to_buffer b events =
   List.iter
@@ -137,6 +149,61 @@ let output_jsonl oc events =
   let b = Buffer.create 4096 in
   jsonl_to_buffer b events;
   Buffer.output_buffer oc b
+
+(* ---- Metrics registry JSON ---------------------------------------------- *)
+
+(* Machine-readable dump of one registry: counters and gauges verbatim,
+   histograms as their summary statistics (the log-scale buckets are an
+   implementation detail; percentiles carry the documented ≤ ~3% error).
+   [add_object] cannot nest, so the object is written textually. *)
+let metrics_to_buffer b m =
+  let named_ints close names value =
+    List.iteri
+      (fun i name ->
+        if i > 0 then Buffer.add_char b ',';
+        Buffer.add_string b (Printf.sprintf "\"%s\":%d" (escape_json name) (value name)))
+      names;
+    Buffer.add_string b close
+  in
+  Buffer.add_string b "{\"counters\":{";
+  named_ints "},\"gauges\":{" (Metrics.counter_names m) (Metrics.counter m);
+  named_ints "},\"histograms\":{" (Metrics.gauge_names m) (Metrics.gauge m);
+  List.iteri
+    (fun i name ->
+      match Metrics.histogram m name with
+      | None -> ()
+      | Some h ->
+        if i > 0 then Buffer.add_char b ',';
+        let module H = Metrics.Histogram in
+        Buffer.add_string b
+          (Printf.sprintf
+             "\"%s\":{\"count\":%d,\"sum\":%d,\"min\":%d,\"max\":%d,\"mean\":%.1f,\
+              \"p50\":%d,\"p90\":%d,\"p95\":%d,\"p99\":%d}"
+             (escape_json name) (H.count h) (H.sum h) (H.min_value h) (H.max_value h)
+             (H.mean h) (H.percentile h 50.0) (H.percentile h 90.0) (H.percentile h 95.0)
+             (H.percentile h 99.0)))
+    (Metrics.histogram_names m);
+  Buffer.add_string b "}}"
+
+let metrics_json m =
+  let b = Buffer.create 1024 in
+  metrics_to_buffer b m;
+  Buffer.contents b
+
+(* [sections] pairs a name with a registry; the result is one top-level
+   object, e.g. {"engine":{...},"bus":{...},"node.0":{...}}. *)
+let metrics_sections_json sections =
+  let b = Buffer.create 4096 in
+  Buffer.add_char b '{';
+  List.iteri
+    (fun i (name, m) ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_char b '\n';
+      Buffer.add_string b (Printf.sprintf "\"%s\":" (escape_json name));
+      metrics_to_buffer b m)
+    sections;
+  Buffer.add_string b "\n}\n";
+  Buffer.contents b
 
 (* ---- Chrome trace_event ------------------------------------------------- *)
 

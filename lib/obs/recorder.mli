@@ -14,7 +14,21 @@ val set_tracing : t -> bool -> unit
 
 val metrics : t -> Metrics.t
 
-val emit : t -> time_us:int -> mid:int -> actor:string -> Event.kind -> unit
+(** Causal-context minting (off by default). When off, [mint_root] and
+    [mint_child] return [None], so instrumentation sites stamp nothing
+    and the event stream is identical to a pre-causal recorder's. *)
+val causal : t -> bool
+
+val set_causal : t -> bool -> unit
+
+(** Fresh trace id + root span for a client-visible operation. *)
+val mint_root : t -> Causal.ctx option
+
+(** Fresh span under [parent] (same trace id). *)
+val mint_child : t -> Causal.ctx -> Causal.ctx option
+
+val emit :
+  t -> ?ctx:Causal.ctx -> time_us:int -> mid:int -> actor:string -> Event.kind -> unit
 
 (** Events in chronological order (same-instant events keep emission
     order). *)

@@ -4,6 +4,7 @@ module Stats = Soda_sim.Stats
 module Trace = Soda_sim.Trace
 module Recorder = Soda_obs.Recorder
 module Event = Soda_obs.Event
+module Causal = Soda_obs.Causal
 module Bus = Soda_net.Bus
 module Nic = Soda_net.Nic
 module Pattern = Soda_base.Pattern
@@ -191,6 +192,11 @@ type t = {
   srv_txns : (int * int, srv_txn) Hashtbl.t;
   mutable buffered : buffered_request option;  (* pipelined input buffer *)
   mutable epoch : int;  (* bumped on reset; stale deferred events are dropped *)
+  (* Causal identity per live transaction: the requester registers the
+     minted context at trap time, the server adopts a child span at
+     first sight of a context-carrying packet. Keyed by tid (globally
+     unique mints), populated only when the recorder runs causal. *)
+  tid_causal : (int, Causal.ctx) Hashtbl.t;
 }
 
 let mid t = t.mid
@@ -208,13 +214,31 @@ let actor t = t.actor_name
    is only built under the guard, so a quiet run allocates nothing. *)
 let tracing t = Recorder.tracing t.trace
 
+(* Every event that names a tid is stamped with that transaction's causal
+   context (when one is registered): the whole transport instruments
+   itself through this one chokepoint. *)
 let event t kind =
-  Recorder.emit t.trace ~time_us:(Engine.now t.engine) ~mid:t.mid ~actor:t.actor_name kind
+  let ctx =
+    match Event.tid kind with
+    | Some tid -> Hashtbl.find_opt t.tid_causal tid
+    | None -> None
+  in
+  Recorder.emit t.trace ?ctx ~time_us:(Engine.now t.engine) ~mid:t.mid
+    ~actor:t.actor_name kind
+
+(* Causal registration: the kernel calls [register_causal] at trap time
+   (requester side); the server side adopts a child span on first rx of a
+   context-carrying packet for a tid it has not seen. *)
+let register_causal t ~tid ctx = Hashtbl.replace t.tid_causal tid ctx
+
+let causal_ctx t ~tid = Hashtbl.find_opt t.tid_causal tid
+
+let forget_causal t ~tid = Hashtbl.remove t.tid_causal tid
 
 (* Schedule an engine event that is dropped if the node resets meanwhile. *)
 let defer t ~delay fn =
   let epoch = t.epoch in
-  Engine.schedule t.engine ~delay (fun () -> if t.epoch = epoch then fn ())
+  Engine.schedule ~tag:"proto" t.engine ~delay (fun () -> if t.epoch = epoch then fn ())
 
 (* Charge kernel CPU for one packet event and attribute it (§5.5 breakdown). *)
 let packet_cpu_us t =
@@ -383,11 +407,14 @@ let emit t ~dst ?(reliable = false) ?(seq = 0) ?(run = false) ?force_ack body =
            seq;
            retry = (match body with Wire.Request { retry; _ } -> retry | _ -> false);
          });
+  (* The sending span's causal identity rides the frame out of band;
+     wire bytes are already encoded above and unaffected. *)
+  let ctx = Hashtbl.find_opt t.tid_causal (tid_of_body body) in
   ignore
     (defer t ~delay:cpu (fun () ->
          match dst with
-         | `Peer peer -> Nic.send nic ~dst:peer bytes
-         | `Broadcast -> Nic.broadcast nic bytes))
+         | `Peer peer -> Nic.send nic ?ctx ~dst:peer bytes
+         | `Broadcast -> Nic.broadcast nic ?ctx bytes))
 
 (* The cumulative acknowledgement we can assert right now: the last
    in-order consumed sequence number. *)
@@ -796,6 +823,7 @@ let create ~engine ~bus ~mid ~cost ~trace =
       srv_txns = Hashtbl.create 16;
       buffered = None;
       epoch = 0;
+      tid_causal = Hashtbl.create 16;
     }
   in
   t
@@ -833,7 +861,10 @@ let complete_out_req t req completion =
        req.or_cancel_pending <- None;
        k false
      | None -> ());
-    (callbacks t).complete_request ~tid:req.or_tid completion
+    (callbacks t).complete_request ~tid:req.or_tid completion;
+    (* The request's span is closed; stale late packets for this tid are
+       no longer attributed to it. *)
+    forget_causal t ~tid:req.or_tid
   end
 
 let rec arm_probe t req =
@@ -956,7 +987,8 @@ let srv_gc t txn =
   txn.st_gc <-
     Some
       (defer t ~delay:(Cost.record_expiry_us t.cost) (fun () ->
-           Hashtbl.remove t.srv_txns (txn.st_src, txn.st_tid)))
+           Hashtbl.remove t.srv_txns (txn.st_src, txn.st_tid);
+           forget_causal t ~tid:txn.st_tid))
 
 let accept_check_done t txn ctx =
   if (not ctx.ac_done) && (not ctx.ac_need_data) && not ctx.ac_awaiting_ack then begin
@@ -1646,10 +1678,22 @@ let flush_buffered t =
      REQUEST deferred at the head of a receive window. *)
   if win t > 1 then Hashtbl.iter (fun _ conn -> drain_recv t conn) t.conns
 
-let process_packet t ~bytes pkt =
+let process_packet t ?ctx ~bytes pkt =
   let src = pkt.Wire.src in
   Stats.incr t.stats "pkt.recv.total";
   Stats.incr t.stats (Printf.sprintf "pkt.recv.%s" (kind_name pkt.Wire.body));
+  (* Causal adoption: the first context-carrying packet for an unknown tid
+     makes this node a child of the sender's span. Registered before the
+     Rx event below so even the first receive is attributed; duplicates
+     and retransmissions find the existing entry and change nothing. *)
+  (match ctx with
+   | Some parent ->
+     let tid = tid_of_body pkt.Wire.body in
+     if tid <> Event.no_tid && not (Hashtbl.mem t.tid_causal tid) then (
+       match Recorder.mint_child t.trace parent with
+       | Some child -> register_causal t ~tid child
+       | None -> ())
+   | None -> ());
   if tracing t then
     event t
       (Event.Rx
@@ -1754,13 +1798,14 @@ let process_packet t ~bytes pkt =
 
 let attach_nic t =
   let nic =
-    Nic.attach ~stats:t.stats t.bus ~mid:t.mid ~rx:(fun ~src:_ ~broadcast:_ payload ->
+    Nic.attach ~stats:t.stats t.bus ~mid:t.mid
+      ~rx:(fun ~src:_ ~broadcast:_ ~ctx payload ->
         match Wire.decode payload with
         | Error _ -> Stats.incr t.stats "pkt.decode_errors"
         | Ok pkt ->
           let cpu = packet_cpu_us t in
           let bytes = Bytes.length payload in
-          ignore (defer t ~delay:cpu (fun () -> process_packet t ~bytes pkt)))
+          ignore (defer t ~delay:cpu (fun () -> process_packet t ?ctx ~bytes pkt)))
   in
   t.nic <- Some nic;
   nic
@@ -1790,6 +1835,7 @@ let reset t =
   Hashtbl.reset t.out_reqs;
   Hashtbl.reset t.discovers;
   Hashtbl.reset t.srv_txns;
+  Hashtbl.reset t.tid_causal;
   t.buffered <- None;
   Trace.record t.trace ~now:(Engine.now t.engine) ~actor:(actor t) "kernel state reset"
 

@@ -135,3 +135,13 @@ val shutdown : t -> unit
 
 (** Number of uncompleted outbound requests (for MAXREQUESTS). *)
 val outstanding_requests : t -> int
+
+(** Causal identity, per live transaction. The kernel registers the
+    context minted at the REQUEST trap; the server side of the transport
+    adopts a child span at first sight of a context-carrying packet for
+    an unknown tid. Every transport event naming a registered tid is
+    stamped automatically; contexts are dropped on completion,
+    server-record expiry and {!reset}. *)
+val register_causal : t -> tid:int -> Soda_obs.Causal.ctx -> unit
+
+val causal_ctx : t -> tid:int -> Soda_obs.Causal.ctx option

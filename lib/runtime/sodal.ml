@@ -87,7 +87,7 @@ let await env f =
    pool management, §5.2.1), then run [k] on the other side of the trap. *)
 let trap env us k =
   Stats.add_time (Kernel.stats env.kernel) (Cost.label Cost.Client_overhead) us;
-  await env (fun resume -> ignore (Engine.schedule env.engine ~delay:us resume));
+  await env (fun resume -> ignore (Engine.schedule ~tag:"client" env.engine ~delay:us resume));
   k ()
 
 let wake_idlers env =
@@ -98,7 +98,7 @@ let wake_idlers env =
 let idle env = await env (fun resume -> env.idle_waiters <- resume :: env.idle_waiters)
 
 let compute env us =
-  if us > 0 then await env (fun resume -> ignore (Engine.schedule env.engine ~delay:us resume))
+  if us > 0 then await env (fun resume -> ignore (Engine.schedule ~tag:"client" env.engine ~delay:us resume))
 
 (* ---- handler machinery ------------------------------------------------ *)
 

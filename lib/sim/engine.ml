@@ -13,6 +13,17 @@ type t = {
   queue : event Heap.t;
   cancelled : (int, unit) Hashtbl.t;
   root_rng : Rng.t;
+  (* Hot-path profiling. The always-on part is integer bumps and one
+     hashtable hit per *tagged* schedule; wall-clock is read once per
+     [run] call, never inside the event loop, and never feeds back into
+     scheduling, so determinism is untouched. *)
+  mutable heap_highwater : int;
+  tag_counts : (string, int ref) Hashtbl.t;
+  mutable wall_s : float;  (* wall time accrued inside [run] *)
+  mutable profile_gc : bool;
+  mutable gc_minor_words : float;
+  mutable gc_major_words : float;
+  mutable gc_promoted_words : float;
 }
 
 exception Stop
@@ -27,18 +38,33 @@ let create ?(seed = 42) () =
     queue = Heap.create ();
     cancelled = Hashtbl.create 64;
     root_rng = Rng.create ~seed;
+    heap_highwater = 0;
+    tag_counts = Hashtbl.create 8;
+    wall_s = 0.0;
+    profile_gc = false;
+    gc_minor_words = 0.0;
+    gc_major_words = 0.0;
+    gc_promoted_words = 0.0;
   }
 
 let now t = t.clock
 
 let rng t = t.root_rng
 
-let schedule t ~delay fn =
+let schedule ?tag t ~delay fn =
   if delay < 0 then invalid_arg "Engine.schedule: negative delay";
   let seq = t.next_seq in
   t.next_seq <- seq + 1;
   t.live <- t.live + 1;
+  (match tag with
+   | None -> ()
+   | Some tag ->
+     (match Hashtbl.find_opt t.tag_counts tag with
+      | Some r -> incr r
+      | None -> Hashtbl.replace t.tag_counts tag (ref 1)));
   Heap.push t.queue ~key:(t.clock + delay) ~seq { id = seq; fn };
+  let depth = Heap.length t.queue in
+  if depth > t.heap_highwater then t.heap_highwater <- depth;
   seq
 
 let cancel t id =
@@ -54,13 +80,43 @@ let counters t =
   { scheduled = t.next_seq; fired = t.n_fired; cancelled = t.n_cancelled;
     pending = t.live }
 
+let heap_highwater t = t.heap_highwater
+
+let wall_seconds t = t.wall_s
+
+let events_per_sec t =
+  if t.wall_s > 0.0 then float_of_int t.n_fired /. t.wall_s else 0.0
+
+let tag_counts t =
+  Hashtbl.fold (fun tag r acc -> (tag, !r) :: acc) t.tag_counts []
+  |> List.sort compare
+
+let set_profile_gc t on = t.profile_gc <- on
+
+let gc_words t = (t.gc_minor_words, t.gc_promoted_words, t.gc_major_words)
+
 (* Publish the counters as gauges into a metrics registry. *)
 let export_metrics t m ~prefix =
   Soda_obs.Metrics.set_gauge m (prefix ^ ".scheduled") t.next_seq;
   Soda_obs.Metrics.set_gauge m (prefix ^ ".fired") t.n_fired;
   Soda_obs.Metrics.set_gauge m (prefix ^ ".cancelled") t.n_cancelled;
   Soda_obs.Metrics.set_gauge m (prefix ^ ".pending") t.live;
-  Soda_obs.Metrics.set_gauge m (prefix ^ ".clock_us") t.clock
+  Soda_obs.Metrics.set_gauge m (prefix ^ ".clock_us") t.clock;
+  Soda_obs.Metrics.set_gauge m (prefix ^ ".heap_highwater") t.heap_highwater;
+  Soda_obs.Metrics.set_gauge m (prefix ^ ".wall_us") (int_of_float (t.wall_s *. 1e6));
+  Soda_obs.Metrics.set_gauge m (prefix ^ ".events_per_sec")
+    (int_of_float (events_per_sec t));
+  Hashtbl.iter
+    (fun tag r -> Soda_obs.Metrics.set_gauge m (prefix ^ ".tag." ^ tag) !r)
+    t.tag_counts;
+  if t.profile_gc then begin
+    Soda_obs.Metrics.set_gauge m (prefix ^ ".gc_minor_words")
+      (int_of_float t.gc_minor_words);
+    Soda_obs.Metrics.set_gauge m (prefix ^ ".gc_promoted_words")
+      (int_of_float t.gc_promoted_words);
+    Soda_obs.Metrics.set_gauge m (prefix ^ ".gc_major_words")
+      (int_of_float t.gc_major_words)
+  end
 
 let stop _t = raise Stop
 
@@ -85,11 +141,22 @@ let step t ~until =
        end)
 
 let run ?(until = max_int) t =
+  let wall0 = Unix.gettimeofday () in
+  let gc0 = if t.profile_gc then Some (Gc.quick_stat ()) else None in
   (try
      while step t ~until do
        ()
      done
    with Stop -> ());
+  t.wall_s <- t.wall_s +. (Unix.gettimeofday () -. wall0);
+  (match gc0 with
+   | None -> ()
+   | Some g0 ->
+     let g1 = Gc.quick_stat () in
+     t.gc_minor_words <- t.gc_minor_words +. (g1.Gc.minor_words -. g0.Gc.minor_words);
+     t.gc_promoted_words <-
+       t.gc_promoted_words +. (g1.Gc.promoted_words -. g0.Gc.promoted_words);
+     t.gc_major_words <- t.gc_major_words +. (g1.Gc.major_words -. g0.Gc.major_words));
   (* If we stopped on the time horizon rather than queue exhaustion, the
      clock still reflects the last executed event; advance it to the horizon
      so that back-to-back [run_for] calls cover contiguous intervals. *)

@@ -20,8 +20,11 @@ val now : t -> int
 val rng : t -> Rng.t
 
 (** [schedule t ~delay f] runs [f] at [now t + delay] ([delay >= 0]).
-    Events scheduled for the same instant run in scheduling order. *)
-val schedule : t -> delay:int -> (unit -> unit) -> event_id
+    Events scheduled for the same instant run in scheduling order.
+    [tag] attributes the callback to a subsystem ("kernel", "bus", ...)
+    in the per-tag profiling counters; untagged schedules cost nothing
+    extra. *)
+val schedule : ?tag:string -> t -> delay:int -> (unit -> unit) -> event_id
 
 (** [cancel t id] prevents a pending event from firing; cancelling an
     already-fired or already-cancelled event is a no-op. *)
@@ -35,8 +38,40 @@ type counters = { scheduled : int; fired : int; cancelled : int; pending : int }
 
 val counters : t -> counters
 
+(** {2 Hot-path profiling}
+
+    Always-on and deterministic: the event loop itself never reads the
+    wall clock — [run] samples it once on entry and once on exit, and the
+    result feeds no scheduling decision. *)
+
+(** Deepest the event heap has ever been (includes cancelled-but-not-yet
+    popped entries, i.e. real memory pressure). *)
+val heap_highwater : t -> int
+
+(** Wall-clock seconds accrued inside [run]/[run_for] calls. *)
+val wall_seconds : t -> float
+
+(** Callbacks fired per wall-clock second over the engine's lifetime
+    (0 before the first [run] returns). *)
+val events_per_sec : t -> float
+
+(** Scheduled-callback counts per source tag, sorted by tag. *)
+val tag_counts : t -> (string * int) list
+
+(** Opt-in GC profiling: when enabled, each [run] call accumulates the
+    [Gc.quick_stat] allocation deltas it spans. Off by default — a
+    [Gc.quick_stat] pair per [run] is cheap but not free. *)
+val set_profile_gc : t -> bool -> unit
+
+(** Accumulated [(minor, promoted, major)] allocated words while
+    profiling was on. *)
+val gc_words : t -> float * float * float
+
 (** [export_metrics t m ~prefix] publishes the counters (and the current
-    clock) as gauges named [prefix ^ ".scheduled"] etc. into [m]. *)
+    clock) as gauges named [prefix ^ ".scheduled"] etc. into [m], plus
+    the profiling gauges [".heap_highwater"], [".wall_us"],
+    [".events_per_sec"], one [".tag.<tag>"] gauge per source tag, and —
+    when GC profiling is on — the [".gc_*_words"] allocation deltas. *)
 val export_metrics : t -> Soda_obs.Metrics.t -> prefix:string -> unit
 
 (** [run t] processes events until the queue is empty or [until] virtual

@@ -97,7 +97,9 @@ let run ?(n = 3) ?(clients = 2) ?(ops = 8) ?(keys = 2) ?(seed = 1) ?(loss = 0.0)
   (* dead replicas can pin fan-out slots for a whole Delta-t verdict;
      give clients headroom beyond the default MAXREQUESTS = 3 *)
   let cost = { Cost.default with maxrequests = n + 2 } in
-  let net = Network.create ~seed ~cost ?trace () in
+  (* Tracing implies causal: a traced store run should reconstruct each
+     client op's cross-node tree without a second switch to remember. *)
+  let net = Network.create ~seed ~cost ?trace ?causal:trace () in
   if loss > 0.0 then Soda_net.Bus.set_loss_rate (Network.bus net) loss;
   let replicas = Array.init n (fun index -> Store.replica ~cluster ~index) in
   for mid = 0 to n - 1 do

@@ -171,10 +171,28 @@ let quorum t = t.q
 
 let recorder env = Kernel.recorder (Sodal.kernel env)
 
+(* Store events are stamped with the ambient operation span (set by
+   [with_op_ctx] below), tying phase/retry/complete events into the same
+   causal tree as the quorum fan-out they describe. *)
 let emit env kind =
   let r = recorder env in
   if Recorder.tracing r then
-    Recorder.emit r ~time_us:(Sodal.now env) ~mid:(Sodal.my_mid env) ~actor:"store" kind
+    Recorder.emit r
+      ?ctx:(Kernel.causal_parent (Sodal.kernel env))
+      ~time_us:(Sodal.now env) ~mid:(Sodal.my_mid env) ~actor:"store" kind
+
+(* One causal root per client-visible store operation: every REQUEST the
+   op traps — quorum fan-out, backoff retries, failover re-sends — minted
+   while it runs becomes a child of this root, so the whole cross-node
+   operation reconstructs as one tree. The previous ambient parent is
+   restored on exit (ops can nest under a larger operation). *)
+let with_op_ctx env f =
+  let kernel = Sodal.kernel env in
+  let saved = Kernel.causal_parent kernel in
+  (match Kernel.mint_causal_root kernel with
+   | Some _ as ctx -> Kernel.set_causal_parent kernel ctx
+   | None -> ());
+  Fun.protect ~finally:(fun () -> Kernel.set_causal_parent kernel saved) f
 
 let metrics env = Recorder.metrics (recorder env)
 
@@ -343,6 +361,7 @@ let finish env ~op ~key ~t0 ~rounds result =
   result
 
 let read env h ~key =
+  with_op_ctx env @@ fun () ->
   let t0 = Sodal.now env in
   match query_phase env h ~op:"read" ~key with
   | Error No_quorum -> finish env ~op:"read" ~key ~t0 ~rounds:1 (Error No_quorum)
@@ -366,6 +385,7 @@ let read env h ~key =
     end
 
 let write env h ~key value =
+  with_op_ctx env @@ fun () ->
   let t0 = Sodal.now env in
   match query_phase env h ~op:"write" ~key with
   | Error No_quorum -> finish env ~op:"write" ~key ~t0 ~rounds:1 (Error No_quorum)
@@ -377,6 +397,7 @@ let write env h ~key value =
      | Error No_quorum -> finish env ~op:"write" ~key ~t0 ~rounds:2 (Error No_quorum))
 
 let cas env h ~key ~expect value =
+  with_op_ctx env @@ fun () ->
   let t0 = Sodal.now env in
   match query_phase env h ~op:"cas" ~key with
   | Error No_quorum -> finish env ~op:"cas" ~key ~t0 ~rounds:1 (Error No_quorum)

@@ -3,6 +3,7 @@ let () =
     (List.concat
        [
          Test_obs.suites;
+         Test_analyze.suites;
          Test_sim.suites;
          Test_net.suites;
          Test_wire.suites;

@@ -54,8 +54,8 @@ let setup ?(config = Bus.default_config) () =
 let test_unicast_delivery () =
   let e, bus = setup () in
   let got = ref None in
-  let n1 = Nic.attach bus ~mid:1 ~rx:(fun ~src ~broadcast:_ p -> got := Some (src, p)) in
-  let n2 = Nic.attach bus ~mid:2 ~rx:(fun ~src:_ ~broadcast:_ _ -> Alcotest.fail "mid 2 got frame") in
+  let n1 = Nic.attach bus ~mid:1 ~rx:(fun ~src ~broadcast:_ ~ctx:_ p -> got := Some (src, p)) in
+  let n2 = Nic.attach bus ~mid:2 ~rx:(fun ~src:_ ~broadcast:_ ~ctx:_ _ -> Alcotest.fail "mid 2 got frame") in
   ignore n1;
   Nic.send n2 ~dst:1 (b "ping");
   ignore (Engine.run e);
@@ -66,9 +66,9 @@ let test_unicast_delivery () =
 let test_broadcast_excludes_sender () =
   let e, bus = setup () in
   let hits = ref [] in
-  let sender = Nic.attach bus ~mid:0 ~rx:(fun ~src:_ ~broadcast:_ _ -> hits := 0 :: !hits) in
+  let sender = Nic.attach bus ~mid:0 ~rx:(fun ~src:_ ~broadcast:_ ~ctx:_ _ -> hits := 0 :: !hits) in
   for mid = 1 to 3 do
-    ignore (Nic.attach bus ~mid ~rx:(fun ~src:_ ~broadcast:_ _ -> hits := mid :: !hits))
+    ignore (Nic.attach bus ~mid ~rx:(fun ~src:_ ~broadcast:_ ~ctx:_ _ -> hits := mid :: !hits))
   done;
   Nic.broadcast sender (b "hello");
   ignore (Engine.run e);
@@ -79,8 +79,8 @@ let test_transmission_time () =
   (* 100-byte payload + 8 overhead + 2 crc = 110 bytes = 880 bits at 1 Mbit
      = 880 us, + 5 us propagation. *)
   let arrival = ref 0 in
-  ignore (Nic.attach bus ~mid:1 ~rx:(fun ~src:_ ~broadcast:_ _ -> arrival := Engine.now e));
-  let n0 = Nic.attach bus ~mid:0 ~rx:(fun ~src:_ ~broadcast:_ _ -> ()) in
+  ignore (Nic.attach bus ~mid:1 ~rx:(fun ~src:_ ~broadcast:_ ~ctx:_ _ -> arrival := Engine.now e));
+  let n0 = Nic.attach bus ~mid:0 ~rx:(fun ~src:_ ~broadcast:_ ~ctx:_ _ -> ()) in
   Nic.send n0 ~dst:1 (Bytes.create 100);
   ignore (Engine.run e);
   Alcotest.(check int) "bandwidth-accurate latency" 885 !arrival
@@ -89,9 +89,9 @@ let test_medium_serialisation () =
   let e, bus = setup () in
   let arrivals = ref [] in
   ignore
-    (Nic.attach bus ~mid:1 ~rx:(fun ~src:_ ~broadcast:_ _ ->
+    (Nic.attach bus ~mid:1 ~rx:(fun ~src:_ ~broadcast:_ ~ctx:_ _ ->
          arrivals := Engine.now e :: !arrivals));
-  let n0 = Nic.attach bus ~mid:0 ~rx:(fun ~src:_ ~broadcast:_ _ -> ()) in
+  let n0 = Nic.attach bus ~mid:0 ~rx:(fun ~src:_ ~broadcast:_ ~ctx:_ _ -> ()) in
   Nic.send n0 ~dst:1 (Bytes.create 100);
   Nic.send n0 ~dst:1 (Bytes.create 100);
   ignore (Engine.run e);
@@ -105,8 +105,8 @@ let test_loss_injection () =
   let config = { Bus.default_config with loss_rate = 1.0 } in
   let e, bus = setup ~config () in
   let got = ref false in
-  ignore (Nic.attach bus ~mid:1 ~rx:(fun ~src:_ ~broadcast:_ _ -> got := true));
-  let n0 = Nic.attach bus ~mid:0 ~rx:(fun ~src:_ ~broadcast:_ _ -> ()) in
+  ignore (Nic.attach bus ~mid:1 ~rx:(fun ~src:_ ~broadcast:_ ~ctx:_ _ -> got := true));
+  let n0 = Nic.attach bus ~mid:0 ~rx:(fun ~src:_ ~broadcast:_ ~ctx:_ _ -> ()) in
   Nic.send n0 ~dst:1 (b "doomed");
   ignore (Engine.run e);
   Alcotest.(check bool) "frame lost" false !got;
@@ -116,8 +116,8 @@ let test_corruption_dropped_by_crc () =
   let config = { Bus.default_config with corruption_rate = 1.0 } in
   let e, bus = setup ~config () in
   let got = ref false in
-  let n1 = Nic.attach bus ~mid:1 ~rx:(fun ~src:_ ~broadcast:_ _ -> got := true) in
-  let n0 = Nic.attach bus ~mid:0 ~rx:(fun ~src:_ ~broadcast:_ _ -> ()) in
+  let n1 = Nic.attach bus ~mid:1 ~rx:(fun ~src:_ ~broadcast:_ ~ctx:_ _ -> got := true) in
+  let n0 = Nic.attach bus ~mid:0 ~rx:(fun ~src:_ ~broadcast:_ ~ctx:_ _ -> ()) in
   Nic.send n0 ~dst:1 (b "garbled");
   ignore (Engine.run e);
   Alcotest.(check bool) "corrupted frame never reaches the kernel" false !got;
@@ -126,8 +126,8 @@ let test_corruption_dropped_by_crc () =
 let test_nic_disable () =
   let e, bus = setup () in
   let got = ref false in
-  let n1 = Nic.attach bus ~mid:1 ~rx:(fun ~src:_ ~broadcast:_ _ -> got := true) in
-  let n0 = Nic.attach bus ~mid:0 ~rx:(fun ~src:_ ~broadcast:_ _ -> ()) in
+  let n1 = Nic.attach bus ~mid:1 ~rx:(fun ~src:_ ~broadcast:_ ~ctx:_ _ -> got := true) in
+  let n0 = Nic.attach bus ~mid:0 ~rx:(fun ~src:_ ~broadcast:_ ~ctx:_ _ -> ()) in
   Nic.disable n1;
   Nic.send n0 ~dst:1 (b "x");
   ignore (Engine.run e);
@@ -162,8 +162,8 @@ let test_crc_drops_in_metrics () =
   let config = { Bus.default_config with corruption_rate = 1.0 } in
   let e, bus = setup ~config () in
   let stats = Soda_sim.Stats.create () in
-  let n1 = Nic.attach ~stats bus ~mid:1 ~rx:(fun ~src:_ ~broadcast:_ _ -> ()) in
-  let n0 = Nic.attach bus ~mid:0 ~rx:(fun ~src:_ ~broadcast:_ _ -> ()) in
+  let n1 = Nic.attach ~stats bus ~mid:1 ~rx:(fun ~src:_ ~broadcast:_ ~ctx:_ _ -> ()) in
+  let n0 = Nic.attach bus ~mid:0 ~rx:(fun ~src:_ ~broadcast:_ ~ctx:_ _ -> ()) in
   Nic.send n0 ~dst:1 (b "garbled");
   ignore (Engine.run e);
   Alcotest.(check int) "private counter" 1 (Nic.crc_drops n1);
@@ -173,8 +173,8 @@ let test_crc_drops_in_metrics () =
 let test_partition_and_heal () =
   let e, bus = setup () in
   let got = ref 0 in
-  ignore (Nic.attach bus ~mid:1 ~rx:(fun ~src:_ ~broadcast:_ _ -> incr got));
-  let n0 = Nic.attach bus ~mid:0 ~rx:(fun ~src:_ ~broadcast:_ _ -> ()) in
+  ignore (Nic.attach bus ~mid:1 ~rx:(fun ~src:_ ~broadcast:_ ~ctx:_ _ -> incr got));
+  let n0 = Nic.attach bus ~mid:0 ~rx:(fun ~src:_ ~broadcast:_ ~ctx:_ _ -> ()) in
   Bus.set_partition bus ([ 0 ], [ 1 ]);
   Nic.send n0 ~dst:1 (b "eaten");
   ignore (Engine.run e);
@@ -192,8 +192,8 @@ let test_partition_and_heal () =
 let test_partition_eats_inflight_frame () =
   let e, bus = setup () in
   let got = ref 0 in
-  ignore (Nic.attach bus ~mid:1 ~rx:(fun ~src:_ ~broadcast:_ _ -> incr got));
-  let n0 = Nic.attach bus ~mid:0 ~rx:(fun ~src:_ ~broadcast:_ _ -> ()) in
+  ignore (Nic.attach bus ~mid:1 ~rx:(fun ~src:_ ~broadcast:_ ~ctx:_ _ -> incr got));
+  let n0 = Nic.attach bus ~mid:0 ~rx:(fun ~src:_ ~broadcast:_ ~ctx:_ _ -> ()) in
   (* The frame enters the medium first; the cut appears while it is in
      flight (delivery happens at ~117 us for a 6-byte payload). *)
   Nic.send n0 ~dst:1 (b "launch");
@@ -204,8 +204,8 @@ let test_partition_eats_inflight_frame () =
 let test_third_party_unaffected_by_partition () =
   let e, bus = setup () in
   let got = ref 0 in
-  ignore (Nic.attach bus ~mid:2 ~rx:(fun ~src:_ ~broadcast:_ _ -> incr got));
-  let n0 = Nic.attach bus ~mid:0 ~rx:(fun ~src:_ ~broadcast:_ _ -> ()) in
+  ignore (Nic.attach bus ~mid:2 ~rx:(fun ~src:_ ~broadcast:_ ~ctx:_ _ -> incr got));
+  let n0 = Nic.attach bus ~mid:0 ~rx:(fun ~src:_ ~broadcast:_ ~ctx:_ _ -> ()) in
   Bus.set_partition bus ([ 0 ], [ 1 ]);
   Nic.send n0 ~dst:2 (b "bystander");
   ignore (Engine.run e);
@@ -214,8 +214,8 @@ let test_third_party_unaffected_by_partition () =
 let test_duplicate_next () =
   let e, bus = setup () in
   let got = ref 0 in
-  ignore (Nic.attach bus ~mid:1 ~rx:(fun ~src:_ ~broadcast:_ _ -> incr got));
-  let n0 = Nic.attach bus ~mid:0 ~rx:(fun ~src:_ ~broadcast:_ _ -> ()) in
+  ignore (Nic.attach bus ~mid:1 ~rx:(fun ~src:_ ~broadcast:_ ~ctx:_ _ -> incr got));
+  let n0 = Nic.attach bus ~mid:0 ~rx:(fun ~src:_ ~broadcast:_ ~ctx:_ _ -> ()) in
   Bus.duplicate_next bus;
   Nic.send n0 ~dst:1 (b "twice");
   Nic.send n0 ~dst:1 (b "once");
@@ -227,8 +227,8 @@ let test_duplicate_next () =
 let test_delay_jitter_validation_and_delivery () =
   let e, bus = setup () in
   let got = ref 0 in
-  ignore (Nic.attach bus ~mid:1 ~rx:(fun ~src:_ ~broadcast:_ _ -> incr got));
-  let n0 = Nic.attach bus ~mid:0 ~rx:(fun ~src:_ ~broadcast:_ _ -> ()) in
+  ignore (Nic.attach bus ~mid:1 ~rx:(fun ~src:_ ~broadcast:_ ~ctx:_ _ -> incr got));
+  let n0 = Nic.attach bus ~mid:0 ~rx:(fun ~src:_ ~broadcast:_ ~ctx:_ _ -> ()) in
   Alcotest.(check bool) "negative jitter rejected" true
     (try Bus.set_delay_jitter bus ~min_us:(-1) ~max_us:5; false
      with Invalid_argument _ -> true);
@@ -242,10 +242,10 @@ let test_delay_jitter_validation_and_delivery () =
 
 let test_duplicate_mid_rejected () =
   let _, bus = setup () in
-  ignore (Nic.attach bus ~mid:1 ~rx:(fun ~src:_ ~broadcast:_ _ -> ()));
+  ignore (Nic.attach bus ~mid:1 ~rx:(fun ~src:_ ~broadcast:_ ~ctx:_ _ -> ()));
   Alcotest.check_raises "duplicate station"
     (Invalid_argument "Bus.attach: mid 1 already attached") (fun () ->
-      ignore (Nic.attach bus ~mid:1 ~rx:(fun ~src:_ ~broadcast:_ _ -> ())))
+      ignore (Nic.attach bus ~mid:1 ~rx:(fun ~src:_ ~broadcast:_ ~ctx:_ _ -> ())))
 
 let suites =
   [

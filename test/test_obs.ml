@@ -82,7 +82,7 @@ let test_recorder_enable_disable () =
 
 (* ---- spans ---------------------------------------------------------------- *)
 
-let ev time_us mid kind = { Event.time_us; mid; actor = "t"; kind }
+let ev time_us mid kind = { Event.time_us; mid; actor = "t"; kind; ctx = None }
 
 let test_span_derivation () =
   (* Synthetic lifecycle: trap, first transmission, BUSY bounce, retry,

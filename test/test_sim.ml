@@ -304,6 +304,29 @@ let test_engine_counters () =
   Alcotest.(check int) "gauge scheduled" 2 (Soda_obs.Metrics.gauge m "eng.scheduled");
   Alcotest.(check int) "gauge clock" 1 (Soda_obs.Metrics.gauge m "eng.clock_us")
 
+let test_engine_profiling () =
+  let e = Engine.create () in
+  Engine.set_profile_gc e true;
+  ignore (Engine.schedule ~tag:"alpha" e ~delay:1 (fun () -> ()));
+  ignore (Engine.schedule ~tag:"alpha" e ~delay:2 (fun () -> ()));
+  ignore (Engine.schedule ~tag:"beta" e ~delay:3 (fun () -> ()));
+  ignore (Engine.schedule e ~delay:4 (fun () -> ()));  (* untagged: uncounted *)
+  Alcotest.(check int) "heap high-water tracks pushes" 4 (Engine.heap_highwater e);
+  ignore (Engine.run e);
+  Alcotest.(check (list (pair string int)))
+    "tag counts" [ ("alpha", 2); ("beta", 1) ] (Engine.tag_counts e);
+  Alcotest.(check int) "high-water survives drain" 4 (Engine.heap_highwater e);
+  Alcotest.(check bool) "wall clock accrued" true (Engine.wall_seconds e >= 0.0);
+  let minor, promoted, major = Engine.gc_words e in
+  Alcotest.(check bool) "gc deltas non-negative" true
+    (minor >= 0.0 && promoted >= 0.0 && major >= 0.0);
+  let m = Soda_obs.Metrics.create () in
+  Engine.export_metrics e m ~prefix:"eng";
+  Alcotest.(check int) "tag gauge" 2 (Soda_obs.Metrics.gauge m "eng.tag.alpha");
+  Alcotest.(check int) "heap gauge" 4 (Soda_obs.Metrics.gauge m "eng.heap_highwater");
+  Alcotest.(check bool) "gc gauge present" true
+    (List.mem "eng.gc_minor_words" (Soda_obs.Metrics.gauge_names m))
+
 let suites =
   [
     ( "sim.heap",
@@ -332,6 +355,7 @@ let suites =
         Alcotest.test_case "stop" `Quick test_engine_stop;
         Alcotest.test_case "negative delay rejected" `Quick test_engine_negative_delay;
         Alcotest.test_case "lifetime counters" `Quick test_engine_counters;
+        Alcotest.test_case "profiling counters" `Quick test_engine_profiling;
       ] );
     ( "sim.stats",
       [

@@ -279,7 +279,7 @@ let test_slot_reuse_stale_stash () =
       classify_unknown_tid = (fun _ -> `Stale);
     };
   ignore (Transport.attach_nic recv);
-  let peer = Nic.attach bus ~mid:1 ~rx:(fun ~src:_ ~broadcast:_ _ -> ()) in
+  let peer = Nic.attach bus ~mid:1 ~rx:(fun ~src:_ ~broadcast:_ ~ctx:_ _ -> ()) in
   let req ~tid ~seq ~run =
     Wire.encode
       {

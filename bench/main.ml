@@ -561,6 +561,144 @@ let profile_section () =
     exit 1
   end
 
+(* ---- SCALE: open-loop Zipf workload at thousands of nodes --------------------------- *)
+
+(* Sustain N nodes under the open-loop generator (lib/core/openloop.ml)
+   and report simulator throughput: wall-clock events/sec, simulated
+   requests per simulated second, and GC words per event. The request
+   count scales with N so big runs stay long enough to measure
+   (N=4096 -> 1,048,576 root requests). Node counts come from
+   SODA_SCALE_NODES (comma-separated; default "8,64" for CI — the
+   512/4096 points run in the nightly). Results land in BENCH_pr7.json.
+
+   Regression gates: events/sec must be measurable at every N, and when
+   both 8 and 64 run, N=64 throughput must hold >= 65% of N=8 (the seed's
+   list-based bus decayed super-linearly with station count; this pins
+   the array/pool rework). *)
+
+let scale_requests nodes = max 16384 (nodes * 256)
+
+let scale_nodes () =
+  match Sys.getenv_opt "SODA_SCALE_NODES" with
+  | None | Some "" -> [ 8; 64 ]
+  | Some spec ->
+    List.map
+      (fun field ->
+        match int_of_string_opt (String.trim field) with
+        | Some n when n >= 2 -> n
+        | _ ->
+          Printf.eprintf "bench: SODA_SCALE_NODES: bad node count %S\n" field;
+          exit 2)
+      (String.split_on_char ',' spec)
+
+let scale_section () =
+  hr "SCALE. Open-loop Zipf workload at N nodes (see docs/PERFORMANCE.md)";
+  let module Engine = Soda_sim.Engine in
+  let module Network = Soda_core.Network in
+  let module O = Soda_core.Openloop in
+  let module Pool = Soda_net.Pool in
+  let module Bus = Soda_net.Bus in
+  let nodes_list = scale_nodes () in
+  let rows =
+    List.map
+      (fun nodes ->
+        let requests = scale_requests nodes in
+        let r = W.scale ~nodes ~requests () in
+        if r.O.offered < requests then
+          failwith
+            (Printf.sprintf "scale n=%d: offered only %d/%d arrivals before the horizon"
+               nodes r.O.offered requests);
+        (nodes, requests, r))
+      nodes_list
+  in
+  Printf.printf "    %-6s %9s %10s %9s %11s %9s %11s %9s %8s\n" "nodes" "requests"
+    "fired" "wall ms" "events/sec" "virt s" "req/sim-s" "words/ev" "shed";
+  List.iter
+    (fun (nodes, requests, r) ->
+      let engine = Network.engine r.O.net in
+      let c = Engine.counters engine in
+      let minor, _, _ = Engine.gc_words engine in
+      let words_per_event =
+        if c.Engine.fired = 0 then 0.0 else minor /. float_of_int c.Engine.fired
+      in
+      let req_per_sim_s =
+        float_of_int r.O.completed /. (float_of_int r.O.virtual_us /. 1e6)
+      in
+      Printf.printf "    %-6d %9d %10d %9.1f %11.0f %9.1f %11.0f %9.1f %8d\n" nodes
+        requests c.Engine.fired
+        (Engine.wall_seconds engine *. 1e3)
+        (Engine.events_per_sec engine)
+        (float_of_int r.O.virtual_us /. 1e6)
+        req_per_sim_s words_per_event r.O.shed)
+    rows;
+  Printf.printf "\n    completions and scatter-gather:\n";
+  List.iter
+    (fun (nodes, _, r) ->
+      let pool = Bus.pool (Network.bus r.O.net) in
+      Printf.printf
+        "    n=%-5d issued=%d completed=%d failed=%d gathers=%d pool: %d/%d reused\n"
+        nodes r.O.issued r.O.completed r.O.failed r.O.gathers (Pool.reuses pool)
+        (Pool.acquires pool))
+    rows;
+  (* machine-readable record, uploaded by CI next to BENCH_pr6.json *)
+  let baseline_pr6_n64 = 432088.0 in
+  let ev_s nodes =
+    List.find_map
+      (fun (n, _, r) ->
+        if n = nodes then Some (Engine.events_per_sec (Network.engine r.O.net)) else None)
+      rows
+  in
+  let oc = open_out "BENCH_pr7.json" in
+  Printf.fprintf oc "{\n  \"baseline_pr6_n64_events_per_sec\": %.0f,\n" baseline_pr6_n64;
+  (match ev_s 64 with
+   | Some v -> Printf.fprintf oc "  \"n64_speedup_vs_pr6\": %.2f,\n" (v /. baseline_pr6_n64)
+   | None -> ());
+  Printf.fprintf oc "  \"scale\": [\n";
+  List.iteri
+    (fun i (nodes, requests, r) ->
+      let engine = Network.engine r.O.net in
+      let c = Engine.counters engine in
+      let minor, promoted, major = Engine.gc_words engine in
+      Printf.fprintf oc
+        "    { \"nodes\": %d, \"requests\": %d, \"offered\": %d, \"issued\": %d, \
+         \"completed\": %d, \"failed\": %d, \"shed\": %d, \"gathers\": %d, \
+         \"fired\": %d, \"virtual_us\": %d, \"wall_us\": %d, \"events_per_sec\": %.0f, \
+         \"heap_highwater\": %d, \"gc_minor_words\": %.0f, \"gc_promoted_words\": %.0f, \
+         \"gc_major_words\": %.0f, \"gc_words_per_event\": %.1f, \"tags\": { %s } }%s\n"
+        nodes requests r.O.offered r.O.issued r.O.completed r.O.failed r.O.shed
+        r.O.gathers c.Engine.fired r.O.virtual_us
+        (int_of_float (Engine.wall_seconds engine *. 1e6))
+        (Engine.events_per_sec engine)
+        (Engine.heap_highwater engine) minor promoted major
+        (if c.Engine.fired = 0 then 0.0 else minor /. float_of_int c.Engine.fired)
+        (String.concat ", "
+           (List.map
+              (fun (tag, count) -> Printf.sprintf "\"%s\": %d" tag count)
+              (Engine.tag_counts engine)))
+        (if i < List.length rows - 1 then "," else ""))
+    rows;
+  Printf.fprintf oc "  ]\n}\n";
+  close_out oc;
+  Printf.printf "\n    wrote BENCH_pr7.json\n";
+  let ok_measured =
+    List.for_all
+      (fun (_, _, r) -> Engine.events_per_sec (Network.engine r.O.net) > 0.0)
+      rows
+  in
+  if not ok_measured then begin
+    Printf.printf "    GATE FAILED: events/sec not measured (wall clock did not advance)\n";
+    exit 1
+  end;
+  match ev_s 8, ev_s 64 with
+  | Some v8, Some v64 ->
+    Printf.printf "    gate: N=64 at %.0f%% of N=8 throughput (floor 65%%)\n"
+      (100.0 *. v64 /. v8);
+    if v64 < 0.65 *. v8 then begin
+      Printf.printf "    GATE FAILED: N=64 events/sec %.0f < 65%% of N=8 %.0f\n" v64 v8;
+      exit 1
+    end
+  | _ -> ()
+
 (* ---- FAULT: a workload under a scripted fault plan ---------------------------------- *)
 
 (* Run the T1 PUT stream while a fault plan (--fault-plan FILE) executes
@@ -627,6 +765,7 @@ let sections =
     ("A1", a1); ("A2", a2); ("A3", a3); ("A4", a4); ("A5", a5); ("A6", a6);
     ("WINDOW", window_section);
     ("PROFILE", profile_section);
+    ("SCALE", scale_section);
     ("STORE", store_section);
     ("BENCH", bechamel);
   ]

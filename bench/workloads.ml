@@ -176,6 +176,13 @@ let stream ?(cost = Cost.default) ?(loss = 0.0) ?(seed = 271) ~op ~words
     warm_window = (!t_warm, !t_end);
   }
 
+(* Open-loop Zipf workload at scale (SCALE section): thin wrapper over
+   Soda_core.Openloop — see lib/core/openloop.ml and docs/PERFORMANCE.md
+   for the methodology (open vs closed loop, Zipf parameters, sizing). *)
+let scale ?(profile_gc = true) ~nodes ~requests () =
+  let cfg = Soda_core.Openloop.config ~nodes ~requests in
+  Soda_core.Openloop.run { cfg with Soda_core.Openloop.profile_gc }
+
 (* Blocking SIGNAL latency (B_SIGNAL of §4.1.1): strictly sequential. *)
 let blocking_signal ?(cost = Cost.default) ?(seed = 277) ?(mode = In_handler) ?(n = 30)
     ?(warmup = 5) () =

@@ -1,0 +1,43 @@
+(** Open-loop workload generator for scale runs.
+
+    Arrivals come from independent per-node Poisson processes that do not
+    slow down when the system falls behind (unlike the closed-loop §5.5
+    workloads): overload surfaces as shed requests and latency, never as a
+    reduced offered rate. Every node is both a server and a client; keys
+    follow a Zipf distribution, and a configurable fraction of arrivals
+    scatter-gather across several nodes. Runs are a pure function of the
+    config — the deterministic-replay regression in test/test_scale.ml
+    depends on it. See docs/PERFORMANCE.md for methodology. *)
+
+type config = {
+  nodes : int;
+  requests : int;  (** root arrivals to offer across the whole network *)
+  mean_interarrival_us : int;  (** per-node Poisson mean *)
+  zipf_theta : float;
+  keys : int;
+  fanout : int;  (** scatter width; 0 disables scatter-gather *)
+  fanout_every : int;  (** every n-th root arrival scatters *)
+  seed : int;
+  profile_gc : bool;  (** enable the engine's GC word-delta profiling *)
+}
+
+(** Default configuration at a given scale: per-node interarrival mean
+    grows with [nodes] so the aggregate offered rate stays ~1000 req/s of
+    simulated time (the Zipf-hot node stays below its handler capacity),
+    theta 0.99, 4 keys per node, fanout 4 every 16th arrival. *)
+val config : nodes:int -> requests:int -> config
+
+type result = {
+  offered : int;  (** root arrival events fired *)
+  issued : int;  (** requests the kernels admitted (roots + scatters) *)
+  completed : int;
+  failed : int;  (** completions with CRASHED/UNADVERTISED status *)
+  shed : int;  (** arrivals refused with MAXREQUESTS exhausted *)
+  gathers : int;  (** scatter groups whose every sub-request completed *)
+  virtual_us : int;  (** final virtual clock *)
+  net : Network.t;  (** the run's network, for engine/bus introspection *)
+}
+
+(** @raise Invalid_argument on fewer than two nodes, a negative request
+    count, a sub-microsecond interarrival mean, or bad fanout settings. *)
+val run : config -> result

@@ -25,27 +25,62 @@ type t = {
   engine : Engine.t;
   mutable config : config;
   stations : (int, Frame.t -> unit) Hashtbl.t;
+  (* Broadcast delivery order, cached as parallel arrays sorted by ascending
+     mid and rebuilt lazily after attach/detach. The seed rebuilt (fold +
+     sort) this list on EVERY delivery, which at thousands of stations
+     dominated the whole simulation's allocation. *)
+  mutable order_mids : int array;
+  mutable order_rx : (Frame.t -> unit) array;
+  mutable order_n : int;
+  mutable order_dirty : bool;
   mutable busy_until : int;
   fault_rng : Rng.t;
   stats : Stats.t;
+  (* Backing cells of the per-frame stats, fetched once: a frame costs
+     five accounting updates, and the string-keyed lookups were measurable
+     at thousands of frames per simulated second. *)
+  c_frames_sent : int ref;
+  c_bytes_sent : int ref;
+  c_frames_delivered : int ref;
+  t_medium_busy : int ref;
+  h_frame_bytes : Soda_obs.Metrics.histogram;
+  h_queueing_us : Soda_obs.Metrics.histogram;
+  pool : Pool.t;
   mutable obs : Recorder.t option;
   (* fault-plan state *)
   mutable partition : (int list * int list) option;
+  (* mid -> 1 (group_a) | 2 (group_b); mirrors [partition] so the
+     per-delivery cut check is two hashtable probes instead of four
+     List.mem scans. *)
+  part_group : (int, int) Hashtbl.t;
   mutable duplicate_pending : int;
   mutable jitter : (int * int) option;  (* (min_us, max_us) extra delivery delay *)
   mutable seq_window : int option;  (* transport window claimed by the stations *)
 }
 
 let create ?(config = default_config) ?obs engine =
+  let stats = Stats.create () in
   {
     engine;
     config;
     stations = Hashtbl.create 16;
+    order_mids = [||];
+    order_rx = [||];
+    order_n = 0;
+    order_dirty = false;
     busy_until = 0;
     fault_rng = Rng.split (Engine.rng engine);
-    stats = Stats.create ();
+    stats;
+    c_frames_sent = Stats.counter_cell stats "bus.frames_sent";
+    c_bytes_sent = Stats.counter_cell stats "bus.bytes_sent";
+    c_frames_delivered = Stats.counter_cell stats "bus.frames_delivered";
+    t_medium_busy = Stats.time_ref stats "bus.medium_busy";
+    h_frame_bytes = Stats.histogram_cell stats "bus.frame_bytes";
+    h_queueing_us = Stats.histogram_cell stats "bus.queueing_us";
+    pool = Pool.create ();
     obs;
     partition = None;
+    part_group = Hashtbl.create 16;
     duplicate_pending = 0;
     jitter = None;
     seq_window = None;
@@ -54,6 +89,7 @@ let create ?(config = default_config) ?obs engine =
 let engine t = t.engine
 let stats t = t.stats
 let config t = t.config
+let pool t = t.pool
 
 let set_obs t obs = t.obs <- Some obs
 
@@ -68,6 +104,12 @@ let claim_seq_window t ~window =
           a window-1 station's sequence space (2) cannot interoperate with a wider \
           peer's (16)"
          w window)
+
+(* Hot call sites test [tracing] BEFORE building the event payload: the
+   [Event.t] constructor argument is an allocation, and it was paid on
+   every frame even with tracing off. *)
+let tracing t =
+  match t.obs with Some r -> Recorder.tracing r | None -> false
 
 let emit_event t kind =
   match t.obs with
@@ -97,11 +139,15 @@ let set_partition t (group_a, group_b) =
         invalid_arg (Printf.sprintf "Bus.set_partition: mid %d in both groups" m))
     group_a;
   t.partition <- Some (group_a, group_b);
+  Hashtbl.reset t.part_group;
+  List.iter (fun m -> Hashtbl.replace t.part_group m 1) group_a;
+  List.iter (fun m -> Hashtbl.replace t.part_group m 2) group_b;
   emit_event t (Event.Fault_partition { group_a; group_b })
 
 let heal t =
   if t.partition <> None then begin
     t.partition <- None;
+    Hashtbl.reset t.part_group;
     emit_event t Event.Fault_heal
   end
 
@@ -112,8 +158,10 @@ let partitioned t = t.partition <> None
 let separated t a b =
   match t.partition with
   | None -> false
-  | Some (ga, gb) ->
-    (List.mem a ga && List.mem b gb) || (List.mem a gb && List.mem b ga)
+  | Some _ ->
+    let ga = match Hashtbl.find t.part_group a with g -> g | exception Not_found -> 0 in
+    let gb = match Hashtbl.find t.part_group b with g -> g | exception Not_found -> 0 in
+    ga <> 0 && gb <> 0 && ga <> gb
 
 let duplicate_next ?(count = 1) t =
   if count < 0 then invalid_arg "Bus.duplicate_next: negative count";
@@ -138,9 +186,24 @@ let transmission_time_us t ~payload_bytes =
 let attach t ~mid ~rx =
   if Hashtbl.mem t.stations mid then
     invalid_arg (Printf.sprintf "Bus.attach: mid %d already attached" mid);
-  Hashtbl.replace t.stations mid rx
+  Hashtbl.replace t.stations mid rx;
+  t.order_dirty <- true
 
-let detach t ~mid = Hashtbl.remove t.stations mid
+let detach t ~mid =
+  Hashtbl.remove t.stations mid;
+  t.order_dirty <- true
+
+let rebuild_order t =
+  let n = Hashtbl.length t.stations in
+  let mids = Array.make n 0 in
+  let i = ref 0 in
+  Hashtbl.iter (fun mid _ -> mids.(!i) <- mid; incr i) t.stations;
+  Array.sort compare mids;
+  let rx = Array.map (fun mid -> Hashtbl.find t.stations mid) mids in
+  t.order_mids <- mids;
+  t.order_rx <- rx;
+  t.order_n <- n;
+  t.order_dirty <- false
 
 let corrupt t wire =
   let copy = Bytes.copy wire in
@@ -149,62 +212,84 @@ let corrupt t wire =
   Bytes.set copy idx (Char.chr (byte lxor (1 + Rng.int t.fault_rng 255)));
   copy
 
-let deliver t frame =
-  let deliver_to mid rx =
-    if mid <> frame.Frame.src && Frame.dst_matches frame.Frame.dst ~mid then begin
-      (* Partition mask is evaluated at delivery time, so a frame already on
-         the wire when the cut appears is eaten too — that is exactly the
-         "ack eaten by a partition" adversary the chaos suite scripts. *)
-      if separated t frame.Frame.src mid then begin
-        Stats.incr t.stats "bus.frames_partitioned";
+let deliver_to t frame mid rx =
+  if mid <> frame.Frame.src && Frame.dst_matches frame.Frame.dst ~mid then begin
+    (* Partition mask is evaluated at delivery time, so a frame already on
+       the wire when the cut appears is eaten too — that is exactly the
+       "ack eaten by a partition" adversary the chaos suite scripts. *)
+    if separated t frame.Frame.src mid then begin
+      Stats.incr t.stats "bus.frames_partitioned";
+      if tracing t then
         emit_event t
           (Event.Bus_drop { src = frame.Frame.src; dst = mid; reason = "partitioned" })
-      end
-      else if Rng.chance t.fault_rng t.config.loss_rate then begin
-        Stats.incr t.stats "bus.frames_lost";
+    end
+    else if Rng.chance t.fault_rng t.config.loss_rate then begin
+      Stats.incr t.stats "bus.frames_lost";
+      if tracing t then
         emit_event t (Event.Bus_drop { src = frame.Frame.src; dst = mid; reason = "lost" })
-      end
-      else begin
-        let frame =
-          if Rng.chance t.fault_rng t.config.corruption_rate then begin
-            Stats.incr t.stats "bus.frames_corrupted";
+    end
+    else begin
+      let frame =
+        if Rng.chance t.fault_rng t.config.corruption_rate then begin
+          Stats.incr t.stats "bus.frames_corrupted";
+          if tracing t then
             emit_event t
               (Event.Bus_drop { src = frame.Frame.src; dst = mid; reason = "corrupted" });
-            { frame with Frame.wire = corrupt t frame.Frame.wire }
-          end
-          else frame
-        in
-        Stats.incr t.stats "bus.frames_delivered";
-        rx frame
-      end
+          { frame with Frame.wire = corrupt t frame.Frame.wire }
+        end
+        else frame
+      in
+      incr t.c_frames_delivered;
+      rx frame
     end
-  in
-  (* Deterministic delivery order: ascending mid. *)
-  Hashtbl.fold (fun mid rx acc -> (mid, rx) :: acc) t.stations []
-  |> List.sort (fun (a, _) (b, _) -> compare a b)
-  |> List.iter (fun (mid, rx) -> deliver_to mid rx)
+  end
 
-let send t ?ctx ~src ~dst payload =
-  let wire = Crc16.append payload in
+let deliver t frame =
+  match frame.Frame.dst with
+  | Frame.To mid -> begin
+    (* Unicast touches exactly one station; skip the broadcast sweep. The
+       fault RNG stream is unchanged versus the seed's all-stations scan:
+       non-matching stations never drew from it. *)
+    match Hashtbl.find t.stations mid with
+    | rx -> deliver_to t frame mid rx
+    | exception Not_found -> ()
+  end
+  | Frame.Broadcast ->
+    (* Deterministic delivery order: ascending mid. The arrays are a
+       snapshot — a station attached or detached by an rx callback during
+       this sweep takes effect from the next delivery, same as the seed's
+       fold-into-list behaviour. *)
+    if t.order_dirty then rebuild_order t;
+    let mids = t.order_mids and rxs = t.order_rx in
+    for i = 0 to t.order_n - 1 do
+      deliver_to t frame mids.(i) rxs.(i)
+    done
+
+(* Core transmission path. [release] marks pool-owned wire buffers: the bus
+   frees them after the frame's LAST delivery event (the duplicated copy
+   strictly trails the original, so releasing with the final event is safe). *)
+let send_frame t ?ctx ~src ~dst ~release wire =
+  let payload_bytes = Bytes.length wire - 2 in
   let frame = { Frame.src; dst; wire; ctx } in
   let now = Engine.now t.engine in
   let start = max now t.busy_until in
-  let tx = transmission_time_us t ~payload_bytes:(Bytes.length payload) in
+  let tx = transmission_time_us t ~payload_bytes in
   t.busy_until <- start + tx;
-  Stats.incr t.stats "bus.frames_sent";
-  Stats.add t.stats "bus.bytes_sent" (Bytes.length payload);
-  Stats.add_time t.stats "bus.medium_busy" tx;
-  Stats.sample t.stats "bus.frame_bytes" (Bytes.length payload);
-  Stats.sample t.stats "bus.queueing_us" (start - now);
-  emit_event t
-    (Event.Bus_frame
-       {
-         src;
-         dst = (match dst with Frame.To d -> d | Frame.Broadcast -> Event.broadcast_peer);
-         bytes = Bytes.length payload;
-         start_us = start;
-         end_us = start + tx;
-       });
+  incr t.c_frames_sent;
+  t.c_bytes_sent := !(t.c_bytes_sent) + payload_bytes;
+  t.t_medium_busy := !(t.t_medium_busy) + tx;
+  Soda_obs.Metrics.Histogram.observe t.h_frame_bytes payload_bytes;
+  Soda_obs.Metrics.Histogram.observe t.h_queueing_us (start - now);
+  if tracing t then
+    emit_event t
+      (Event.Bus_frame
+         {
+           src;
+           dst = (match dst with Frame.To d -> d | Frame.Broadcast -> Event.broadcast_peer);
+           bytes = payload_bytes;
+           start_us = start;
+           end_us = start + tx;
+         });
   (* Per-frame jitter is drawn at send time from the fault RNG, so runs stay
      a pure function of the seed. Jittered frames may arrive out of order,
      which is what exercises the alternating-bit sequence logic. *)
@@ -214,13 +299,28 @@ let send t ?ctx ~src ~dst payload =
     | Some (min_us, max_us) -> min_us + Rng.int t.fault_rng (max_us - min_us + 1)
   in
   let arrival = start + tx + t.config.propagation_us + jitter_us - now in
-  ignore (Engine.schedule ~tag:"bus" t.engine ~delay:arrival (fun () -> deliver t frame));
-  if t.duplicate_pending > 0 then begin
+  let dup = t.duplicate_pending > 0 in
+  let release_now = release && not dup in
+  ignore
+    (Engine.schedule ~tag:"bus" t.engine ~delay:arrival (fun () ->
+         deliver t frame;
+         if release_now then Pool.release t.pool wire));
+  if dup then begin
     t.duplicate_pending <- t.duplicate_pending - 1;
     Stats.incr t.stats "bus.frames_duplicated";
     (* The copy trails the original by one transmission time plus a small
        random slack: late enough to look like a stale retransmission. *)
     let slack = 1 + Rng.int t.fault_rng (max 1 t.config.propagation_us * 4) in
     ignore
-      (Engine.schedule ~tag:"bus" t.engine ~delay:(arrival + tx + slack) (fun () -> deliver t frame))
+      (Engine.schedule ~tag:"bus" t.engine ~delay:(arrival + tx + slack) (fun () ->
+           deliver t frame;
+           if release then Pool.release t.pool wire))
   end
+
+let send t ?ctx ~src ~dst payload =
+  send_frame t ?ctx ~src ~dst ~release:false (Crc16.append payload)
+
+let send_wire t ?ctx ~src ~dst wire =
+  if Bytes.length wire < 2 then
+    invalid_arg "Bus.send_wire: frame shorter than its CRC trailer";
+  send_frame t ?ctx ~src ~dst ~release:true wire

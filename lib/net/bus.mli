@@ -28,6 +28,12 @@ val create : ?config:config -> ?obs:Soda_obs.Recorder.t -> Soda_sim.Engine.t -> 
 val engine : t -> Soda_sim.Engine.t
 val stats : t -> Soda_sim.Stats.t
 
+(** The medium's shared frame-buffer pool. Hot-path senders acquire
+    exactly-sized buffers here, seal them ({!Crc16.seal}) and hand them to
+    {!send_wire}; the bus releases each buffer after the frame's final
+    delivery event. See docs/PERFORMANCE.md for the ownership rules. *)
+val pool : t -> Pool.t
+
 (** Current configuration (fault-rate setters mutate it in place). *)
 val config : t -> config
 
@@ -103,3 +109,13 @@ val detach : t -> mid:int -> unit
     rides the frame as out-of-band causal metadata (it survives
     duplication and jitter but is not part of the wire bytes). *)
 val send : t -> ?ctx:Soda_obs.Causal.ctx -> src:int -> dst:Frame.dst -> bytes -> unit
+
+(** [send_wire t ?ctx ~src ~dst wire] is {!send} for a pre-sealed frame:
+    [wire] already carries its CRC trailer ({!Crc16.seal}) and its
+    ownership transfers to the bus, which releases it into {!pool} after
+    the frame's last delivery event. The sender must not touch [wire]
+    after this call. Identical timing, fault handling and statistics to
+    {!send} (payload size is [Bytes.length wire - 2]).
+    @raise Invalid_argument if [wire] is shorter than the 2-byte trailer. *)
+val send_wire :
+  t -> ?ctx:Soda_obs.Causal.ctx -> src:int -> dst:Frame.dst -> bytes -> unit

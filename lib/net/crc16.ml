@@ -26,14 +26,26 @@ let append payload =
   Bytes.set wire (len + 1) (Char.chr (crc land 0xFF));
   wire
 
-let check wire =
+let seal wire ~len =
+  if len < 0 || Bytes.length wire < len + 2 then
+    invalid_arg "Crc16.seal: buffer too small for payload + trailer";
+  let crc = compute wire ~off:0 ~len in
+  Bytes.set wire len (Char.chr (crc lsr 8));
+  Bytes.set wire (len + 1) (Char.chr (crc land 0xFF))
+
+let payload_len wire =
   let total = Bytes.length wire in
-  if total < 2 then None
+  if total < 2 then -1
   else begin
     let len = total - 2 in
     let expected = compute wire ~off:0 ~len in
     let stored =
       (Char.code (Bytes.get wire len) lsl 8) lor Char.code (Bytes.get wire (len + 1))
     in
-    if expected = stored then Some (Bytes.sub wire 0 len) else None
+    if expected = stored then len else -1
   end
+
+let check wire =
+  match payload_len wire with
+  | -1 -> None
+  | len -> Some (Bytes.sub wire 0 len)

@@ -11,5 +11,17 @@ val compute : bytes -> off:int -> len:int -> int
 val append : bytes -> bytes
 
 (** [check wire] verifies a frame produced by [append]; returns the payload
-    without the trailer on success. *)
+    without the trailer on success. Allocates a copy — hot paths use
+    {!payload_len} and read the payload in place. *)
 val check : bytes -> bytes option
+
+(** [seal wire ~len] computes the CRC of [wire.[0 .. len-1]] and writes
+    the 2-byte big-endian trailer in place at [len]; the zero-copy
+    equivalent of [append] for pooled buffers of exactly [len + 2] bytes.
+    @raise Invalid_argument when the buffer lacks room for the trailer. *)
+val seal : bytes -> len:int -> unit
+
+(** [payload_len wire] verifies the trailer in place and returns the
+    payload length, or [-1] on CRC mismatch (no option allocation; this
+    runs once per delivered frame). *)
+val payload_len : bytes -> int

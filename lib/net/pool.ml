@@ -1,0 +1,66 @@
+(* Reusable frame-buffer pool.
+
+   Buffers are keyed by their EXACT length: a frame's [Bytes.length] is
+   load-bearing all over the net layer (CRC trailer position, the bus's
+   transmission-time computation, the NIC's payload-length recovery), so
+   handing out an oversized buffer would silently change wire semantics.
+   Packet sizes repeat heavily (an ACK is always the same size, data
+   packets cluster on the workload's record sizes), so exact-size free
+   lists hit almost always once a workload reaches steady state.
+
+   Ownership discipline (see docs/PERFORMANCE.md): the sender acquires,
+   encodes and seals a buffer, then transfers ownership to the bus via
+   [Bus.send_wire]; the bus releases it after the frame's final delivery
+   event. Nobody may retain a reference past that point — receivers copy
+   what they need while decoding. Losing a buffer (e.g. a send closure
+   invalidated by a kernel reset) is safe: the pool is a cache, not an
+   accounting authority, and unreleased buffers are simply reclaimed by
+   the GC. *)
+
+type bucket = { mutable store : bytes array; mutable n : int }
+
+type t = {
+  buckets : (int, bucket) Hashtbl.t;
+  mutable live : int;  (* acquired and not yet released *)
+  mutable acquires : int;
+  mutable reuses : int;
+}
+
+let create () = { buckets = Hashtbl.create 32; live = 0; acquires = 0; reuses = 0 }
+
+let acquire t len =
+  if len < 0 then invalid_arg "Pool.acquire: negative length";
+  t.acquires <- t.acquires + 1;
+  t.live <- t.live + 1;
+  match Hashtbl.find t.buckets len with
+  | bucket when bucket.n > 0 ->
+    bucket.n <- bucket.n - 1;
+    let buf = bucket.store.(bucket.n) in
+    bucket.store.(bucket.n) <- Bytes.empty;
+    t.reuses <- t.reuses + 1;
+    buf
+  | _ -> Bytes.create len
+  | exception Not_found -> Bytes.create len
+
+let release t buf =
+  let len = Bytes.length buf in
+  t.live <- t.live - 1;
+  let bucket =
+    match Hashtbl.find t.buckets len with
+    | bucket -> bucket
+    | exception Not_found ->
+      let bucket = { store = Array.make 8 Bytes.empty; n = 0 } in
+      Hashtbl.replace t.buckets len bucket;
+      bucket
+  in
+  if bucket.n = Array.length bucket.store then begin
+    let next = Array.make (2 * bucket.n) Bytes.empty in
+    Array.blit bucket.store 0 next 0 bucket.n;
+    bucket.store <- next
+  end;
+  bucket.store.(bucket.n) <- buf;
+  bucket.n <- bucket.n + 1
+
+let live t = t.live
+let acquires t = t.acquires
+let reuses t = t.reuses

@@ -1,0 +1,38 @@
+(** Reusable frame-buffer pool (exact-length free lists).
+
+    Hot-path senders acquire a buffer of the exact frame size, encode and
+    CRC-seal in place, and hand ownership to the bus ({!Bus.send_wire});
+    the bus releases the buffer back here after the frame's final
+    delivery event. Receivers must copy anything they keep — a released
+    buffer is recycled for a later frame of the same size.
+
+    The pool is a cache, not an accounting authority: a buffer that is
+    never released (a send closure squashed by a kernel reset, a run cut
+    off at the horizon) is reclaimed by the GC and the pool simply mints
+    a fresh one next time. See docs/PERFORMANCE.md for the full ownership
+    rules. *)
+
+type t
+
+val create : unit -> t
+
+(** [acquire t len] returns a buffer of exactly [len] bytes: a recycled
+    one when the [len]-bucket is non-empty, freshly allocated otherwise.
+    Contents are unspecified (recycled buffers carry stale bytes).
+    @raise Invalid_argument on negative [len]. *)
+val acquire : t -> int -> bytes
+
+(** [release t buf] returns [buf] to its exact-length bucket. The caller
+    must not touch [buf] afterwards. Releasing a buffer twice, or one
+    still referenced elsewhere, aliases a live frame — the property
+    suite checks the bus discipline never does. *)
+val release : t -> bytes -> unit
+
+(** Buffers acquired and not yet released. *)
+val live : t -> int
+
+(** Lifetime acquire count. *)
+val acquires : t -> int
+
+(** Acquires satisfied by recycling rather than fresh allocation. *)
+val reuses : t -> int

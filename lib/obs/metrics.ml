@@ -99,13 +99,19 @@ let create () =
   { counters = Hashtbl.create 32; gauges = Hashtbl.create 8;
     histograms = Hashtbl.create 8 }
 
+(* Exception-based lookups throughout this module: [Hashtbl.find_opt]
+   allocates a [Some] per hit, and counter bumps sit on the simulator's
+   per-packet hot path (several per packet), so the option garbage was
+   measurable at scale. *)
 let cell table name =
-  match Hashtbl.find_opt table name with
-  | Some r -> r
-  | None ->
+  match Hashtbl.find table name with
+  | r -> r
+  | exception Not_found ->
     let r = ref 0 in
     Hashtbl.replace table name r;
     r
+
+let counter_cell t name = cell t.counters name
 
 let incr t name = Stdlib.incr (cell t.counters name)
 
@@ -114,16 +120,17 @@ let add t name n =
   r := !r + n
 
 let counter t name =
-  match Hashtbl.find_opt t.counters name with Some r -> !r | None -> 0
+  match Hashtbl.find t.counters name with r -> !r | exception Not_found -> 0
 
 let set_gauge t name v = cell t.gauges name := v
 
-let gauge t name = match Hashtbl.find_opt t.gauges name with Some r -> !r | None -> 0
+let gauge t name =
+  match Hashtbl.find t.gauges name with r -> !r | exception Not_found -> 0
 
 let histogram_cell t name =
-  match Hashtbl.find_opt t.histograms name with
-  | Some h -> h
-  | None ->
+  match Hashtbl.find t.histograms name with
+  | h -> h
+  | exception Not_found ->
     let h = Histogram.create () in
     Hashtbl.replace t.histograms name h;
     h

@@ -16,6 +16,12 @@ val incr : t -> string -> unit
 val add : t -> string -> int -> unit
 val counter : t -> string -> int
 
+(** [counter_cell t name] is the counter's backing cell (created at zero
+    on first use): hot paths bump the ref directly instead of paying a
+    string hash + table probe per increment. Cells obtained before a
+    {!reset} are detached by it — re-fetch afterwards. *)
+val counter_cell : t -> string -> int ref
+
 (** Gauges (set to the latest value). *)
 
 val set_gauge : t -> string -> int -> unit
@@ -25,6 +31,10 @@ val gauge : t -> string -> int
 
 val observe : t -> string -> int -> unit
 val histogram : t -> string -> histogram option
+
+(** The histogram's backing cell (created empty on first use); same
+    hot-path/reset contract as {!counter_cell}. *)
+val histogram_cell : t -> string -> histogram
 
 module Histogram : sig
   type t = histogram

@@ -7,6 +7,8 @@ module Event = Soda_obs.Event
 module Causal = Soda_obs.Causal
 module Bus = Soda_net.Bus
 module Nic = Soda_net.Nic
+module Pool = Soda_net.Pool
+module Crc16 = Soda_net.Crc16
 module Pattern = Soda_base.Pattern
 module Cost = Soda_base.Cost_model
 module Types = Soda_base.Types
@@ -105,6 +107,11 @@ type conn = {
   mutable ack_owed : int option;  (* cumulative ack to send, piggybacked or timed *)
   mutable ack_timer : Engine.event_id option;
   mutable expiry_timer : Engine.event_id option;
+  mutable expiry_deadline : int;
+      (* virtual time before which the delta-t record must not expire;
+         pushed forward on every touch WITHOUT rescheduling [expiry_timer]
+         (a cancel + heap push per received packet) — the timer re-arms
+         itself for the remainder when it fires early *)
   (* bounding the pipelined hold: the head-of-window REQUEST currently
      deferred on a full input buffer, and how many of its retransmissions
      we have swallowed while holding it *)
@@ -197,6 +204,23 @@ type t = {
      first sight of a context-carrying packet. Keyed by tid (globally
      unique mints), populated only when the recorder runs causal. *)
   tid_causal : (int, Causal.ctx) Hashtbl.t;
+  hot : hot_cells;
+}
+
+(* Backing cells of the per-packet stats, fetched once at [create]: every
+   packet bumps two counters and four time accumulators on each side, and
+   the string-keyed lookups were a measurable slice of the packet cost at
+   scale. [sent_by_kind]/[recv_by_kind] are indexed by [body_index]. *)
+and hot_cells = {
+  c_sent_total : int ref;
+  c_recv_total : int ref;
+  sent_by_kind : int ref array;
+  recv_by_kind : int ref array;
+  t_transmission : int ref;
+  t_protocol : int ref;
+  t_conn_timer : int ref;
+  t_retrans_timer : int ref;
+  packet_cpu : int;  (* packet_protocol_us + conn_timer_us + retrans_timer_us *)
 }
 
 let mid t = t.mid
@@ -242,10 +266,11 @@ let defer t ~delay fn =
 
 (* Charge kernel CPU for one packet event and attribute it (§5.5 breakdown). *)
 let packet_cpu_us t =
-  Stats.add_time t.stats (Cost.label Cost.Protocol) t.cost.Cost.packet_protocol_us;
-  Stats.add_time t.stats (Cost.label Cost.Conn_timer) t.cost.Cost.conn_timer_us;
-  Stats.add_time t.stats (Cost.label Cost.Retrans_timer) t.cost.Cost.retrans_timer_us;
-  t.cost.Cost.packet_protocol_us + t.cost.Cost.conn_timer_us + t.cost.Cost.retrans_timer_us
+  let h = t.hot in
+  h.t_protocol := !(h.t_protocol) + t.cost.Cost.packet_protocol_us;
+  h.t_conn_timer := !(h.t_conn_timer) + t.cost.Cost.conn_timer_us;
+  h.t_retrans_timer := !(h.t_retrans_timer) + t.cost.Cost.retrans_timer_us;
+  h.packet_cpu
 
 (* ---- window geometry ---------------------------------------------------- *)
 
@@ -270,22 +295,30 @@ let conn_active conn =
   || (not (Queue.is_empty conn.sendq))
   || conn.ack_owed <> None || conn.recv_buf <> []
 
+(* Lazy expiry: every packet touches the record, and cancelling plus
+   re-scheduling the timer per touch cost a heap push/pop per packet. The
+   deadline lives in [expiry_deadline]; the armed event fires at some
+   stale deadline, notices it moved, and re-arms for the remainder — the
+   record still expires at exactly last-touch + record_expiry_us. *)
 let rec arm_expiry t conn =
-  (match conn.expiry_timer with
-   | Some id -> Engine.cancel t.engine id
-   | None -> ());
   let delay = Cost.record_expiry_us t.cost in
-  conn.expiry_timer <-
-    Some
-      (defer t ~delay (fun () ->
-           conn.expiry_timer <- None;
-           if conn_active conn then arm_expiry t conn
-           else begin
-             Trace.record t.trace ~now:(Engine.now t.engine) ~actor:(actor t)
-               "delta-t record for peer %d expired (take any SN)" conn.peer;
-             Stats.incr t.stats "deltat.records_expired";
-             Hashtbl.remove t.conns conn.peer
-           end))
+  conn.expiry_deadline <- Engine.now t.engine + delay;
+  if conn.expiry_timer = None then
+    conn.expiry_timer <- Some (defer t ~delay (fun () -> expiry_fired t conn))
+
+and expiry_fired t conn =
+  conn.expiry_timer <- None;
+  let now = Engine.now t.engine in
+  if now < conn.expiry_deadline then
+    conn.expiry_timer <-
+      Some (defer t ~delay:(conn.expiry_deadline - now) (fun () -> expiry_fired t conn))
+  else if conn_active conn then arm_expiry t conn
+  else begin
+    Trace.record t.trace ~now ~actor:(actor t)
+      "delta-t record for peer %d expired (take any SN)" conn.peer;
+    Stats.incr t.stats "deltat.records_expired";
+    Hashtbl.remove t.conns conn.peer
+  end
 
 let conn_for t peer =
   match Hashtbl.find_opt t.conns peer with
@@ -306,6 +339,7 @@ let conn_for t peer =
         ack_owed = None;
         ack_timer = None;
         expiry_timer = None;
+        expiry_deadline = 0;
         held_pkt = None;
         held_retries = 0;
       }
@@ -321,20 +355,28 @@ let touch t conn = arm_expiry t conn
 
 (* ---- raw packet emission ----------------------------------------------- *)
 
-let kind_name body =
+(* Per-kind counter names and the matching [body_index] order: the seed's
+   [Printf.sprintf "pkt.sent.%s" (kind_name body)] allocated a fresh
+   string per packet on both the send and receive hot paths; now the kind
+   indexes a cached cell array. *)
+let kind_names =
+  [| "REQ"; "ACCEPT"; "DATA"; "ACK"; "BUSY"; "ERR"; "CANCEL"; "CANCEL_R"; "PROBE";
+     "PROBE_R"; "DISCOVER"; "DISCOVER_R" |]
+
+let body_index body =
   match body with
-  | Wire.Request _ -> "REQ"
-  | Wire.Accept _ -> "ACCEPT"
-  | Wire.Put_data _ -> "DATA"
-  | Wire.Ack -> "ACK"
-  | Wire.Busy _ -> "BUSY"
-  | Wire.Error _ -> "ERR"
-  | Wire.Cancel_request _ -> "CANCEL"
-  | Wire.Cancel_reply _ -> "CANCEL_R"
-  | Wire.Probe _ -> "PROBE"
-  | Wire.Probe_reply _ -> "PROBE_R"
-  | Wire.Discover _ -> "DISCOVER"
-  | Wire.Discover_reply _ -> "DISCOVER_R"
+  | Wire.Request _ -> 0
+  | Wire.Accept _ -> 1
+  | Wire.Put_data _ -> 2
+  | Wire.Ack -> 3
+  | Wire.Busy _ -> 4
+  | Wire.Error _ -> 5
+  | Wire.Cancel_request _ -> 6
+  | Wire.Cancel_reply _ -> 7
+  | Wire.Probe _ -> 8
+  | Wire.Probe_reply _ -> 9
+  | Wire.Discover _ -> 10
+  | Wire.Discover_reply _ -> 11
 
 let pkt_of_body body =
   match body with
@@ -390,12 +432,12 @@ let emit t ~dst ?(reliable = false) ?(seq = 0) ?(run = false) ?force_ack body =
        | `Broadcast -> None)
   in
   let pkt = { Wire.src = t.mid; reliable; seq; ack; run; body } in
-  let bytes = Wire.encode pkt in
+  let size = Wire.encoded_size pkt in
   let cpu = packet_cpu_us t in
-  let tx = Bus.transmission_time_us t.bus ~payload_bytes:(Bytes.length bytes) in
-  Stats.add_time t.stats (Cost.label Cost.Transmission) tx;
-  Stats.incr t.stats "pkt.sent.total";
-  Stats.incr t.stats (Printf.sprintf "pkt.sent.%s" (kind_name body));
+  let tx = Bus.transmission_time_us t.bus ~payload_bytes:size in
+  t.hot.t_transmission := !(t.hot.t_transmission) + tx;
+  Stdlib.incr t.hot.c_sent_total;
+  Stdlib.incr t.hot.sent_by_kind.(body_index body);
   if tracing t then
     event t
       (Event.Tx
@@ -403,18 +445,27 @@ let emit t ~dst ?(reliable = false) ?(seq = 0) ?(run = false) ?force_ack body =
            tid = tid_of_body body;
            peer = (match dst with `Peer p -> p | `Broadcast -> Event.broadcast_peer);
            pkt = pkt_of_body body;
-           bytes = Bytes.length bytes;
+           bytes = size;
            seq;
            retry = (match body with Wire.Request { retry; _ } -> retry | _ -> false);
          });
+  (* Encode straight into a pooled frame buffer (payload + CRC trailer) and
+     seal it in place; ownership passes to the bus at send_wire time, which
+     releases the buffer after the frame's last delivery. If the deferred
+     send is squashed by a kernel reset the buffer is simply GC-reclaimed
+     (the pool is a cache, not an accounting authority). *)
+  let wire = Pool.acquire (Bus.pool t.bus) (size + 2) in
+  let written = Wire.encode_into pkt wire ~off:0 in
+  assert (written = size);
+  Crc16.seal wire ~len:written;
   (* The sending span's causal identity rides the frame out of band;
      wire bytes are already encoded above and unaffected. *)
   let ctx = Hashtbl.find_opt t.tid_causal (tid_of_body body) in
   ignore
     (defer t ~delay:cpu (fun () ->
          match dst with
-         | `Peer peer -> Nic.send nic ?ctx ~dst:peer bytes
-         | `Broadcast -> Nic.broadcast nic ?ctx bytes))
+         | `Peer peer -> Nic.send_wire nic ?ctx ~dst:peer wire
+         | `Broadcast -> Nic.broadcast_wire nic ?ctx wire))
 
 (* The cumulative acknowledgement we can assert right now: the last
    in-order consumed sequence number. *)
@@ -805,6 +856,24 @@ let create ~engine ~bus ~mid ~cost ~trace =
      sequence arithmetic from the LOCAL window, which is only sound if
      every station agrees. *)
   Bus.claim_seq_window bus ~window:(Cost.transport_window cost);
+  let stats = Stats.create () in
+  let hot =
+    {
+      c_sent_total = Stats.counter_cell stats "pkt.sent.total";
+      c_recv_total = Stats.counter_cell stats "pkt.recv.total";
+      sent_by_kind =
+        Array.map (fun k -> Stats.counter_cell stats ("pkt.sent." ^ k)) kind_names;
+      recv_by_kind =
+        Array.map (fun k -> Stats.counter_cell stats ("pkt.recv." ^ k)) kind_names;
+      t_transmission = Stats.time_ref stats (Cost.label Cost.Transmission);
+      t_protocol = Stats.time_ref stats (Cost.label Cost.Protocol);
+      t_conn_timer = Stats.time_ref stats (Cost.label Cost.Conn_timer);
+      t_retrans_timer = Stats.time_ref stats (Cost.label Cost.Retrans_timer);
+      packet_cpu =
+        cost.Cost.packet_protocol_us + cost.Cost.conn_timer_us
+        + cost.Cost.retrans_timer_us;
+    }
+  in
   let t =
     {
       engine;
@@ -813,7 +882,7 @@ let create ~engine ~bus ~mid ~cost ~trace =
       cost;
       trace;
       actor_name = Printf.sprintf "soda-%d" mid;
-      stats = Stats.create ();
+      stats;
       rng = Rng.split (Engine.rng engine);
       nic = None;
       cb = None;
@@ -824,6 +893,7 @@ let create ~engine ~bus ~mid ~cost ~trace =
       buffered = None;
       epoch = 0;
       tid_causal = Hashtbl.create 16;
+      hot;
     }
   in
   t
@@ -1680,8 +1750,8 @@ let flush_buffered t =
 
 let process_packet t ?ctx ~bytes pkt =
   let src = pkt.Wire.src in
-  Stats.incr t.stats "pkt.recv.total";
-  Stats.incr t.stats (Printf.sprintf "pkt.recv.%s" (kind_name pkt.Wire.body));
+  Stdlib.incr t.hot.c_recv_total;
+  Stdlib.incr t.hot.recv_by_kind.(body_index pkt.Wire.body);
   (* Causal adoption: the first context-carrying packet for an unknown tid
      makes this node a child of the sender's span. Registered before the
      Rx event below so even the first receive is attributed; duplicates
@@ -1797,15 +1867,17 @@ let process_packet t ?ctx ~bytes pkt =
   | (Wire.Request _ | Wire.Accept _ | Wire.Put_data _ | Wire.Cancel_request _), None -> ()
 
 let attach_nic t =
+  (* Zero-copy receive: decode straight out of the frame buffer (which may
+     be pooled and recycled after this callback returns) — the decoder
+     copies data fields out, so the [pkt] value owns no view of [wire]. *)
   let nic =
-    Nic.attach ~stats:t.stats t.bus ~mid:t.mid
-      ~rx:(fun ~src:_ ~broadcast:_ ~ctx payload ->
-        match Wire.decode payload with
+    Nic.attach_view ~stats:t.stats t.bus ~mid:t.mid
+      ~rx:(fun ~src:_ ~broadcast:_ ~ctx ~wire ~len ->
+        match Wire.decode_sub wire ~off:0 ~len with
         | Error _ -> Stats.incr t.stats "pkt.decode_errors"
         | Ok pkt ->
           let cpu = packet_cpu_us t in
-          let bytes = Bytes.length payload in
-          ignore (defer t ~delay:cpu (fun () -> process_packet t ?ctx ~bytes pkt)))
+          ignore (defer t ~delay:cpu (fun () -> process_packet t ?ctx ~bytes:len pkt)))
   in
   t.nic <- Some nic;
   nic

@@ -73,12 +73,42 @@ let put_data_field buf data =
   put_u32 buf (Bytes.length data);
   Buffer.add_bytes buf data
 
-type reader = { bytes : bytes; mutable pos : int }
+(* Offset writers for the zero-copy encode path: each takes a position
+   and returns the next one, so [encode_into] fills a caller-supplied
+   (typically pooled) buffer without any intermediate [Buffer]. *)
+
+let w8 b p v =
+  Bytes.set b p (Char.chr (v land 0xFF));
+  p + 1
+
+let w16 b p v =
+  let p = w8 b p (v lsr 8) in
+  w8 b p v
+
+let w32 b p v =
+  let p = w16 b p (v lsr 16) in
+  w16 b p v
+
+let wi32 b p v = w32 b p (v land 0xFFFFFFFF)
+
+let w48 b p v =
+  let p = w16 b p (v lsr 32) in
+  w32 b p v
+
+let wdata b p data =
+  let len = Bytes.length data in
+  let p = w32 b p len in
+  Bytes.blit data 0 b p len;
+  p + len
+
+(* [limit] bounds the readable slice so a packet can be decoded straight
+   out of a larger frame buffer without a [Bytes.sub] of the payload. *)
+type reader = { bytes : bytes; mutable pos : int; limit : int }
 
 exception Truncated
 
 let get_u8 r =
-  if r.pos >= Bytes.length r.bytes then raise Truncated;
+  if r.pos >= r.limit then raise Truncated;
   let v = Char.code (Bytes.get r.bytes r.pos) in
   r.pos <- r.pos + 1;
   v
@@ -101,7 +131,7 @@ let get_u48 r =
 
 let get_data_field r =
   let len = get_u32 r in
-  if r.pos + len > Bytes.length r.bytes then raise Truncated;
+  if len < 0 || r.pos + len > r.limit then raise Truncated;
   let data = Bytes.sub r.bytes r.pos len in
   r.pos <- r.pos + len;
   data
@@ -147,7 +177,83 @@ let flags t ~retry ~need_put_data =
   lor (if seq_ext t <> 0 then 0x40 else 0)
   lor if t.run then 0x80 else 0
 
+(* Exact wire size of a packet, kept in lockstep with the encoders below:
+   4 header bytes (kind, flags, src), one optional extension byte, then
+   the body. Used to acquire exactly-sized pooled buffers so a frame's
+   [Bytes.length] still means what it meant under the Buffer encoder. *)
+let body_size = function
+  | Request { data; _ } -> 6 + 6 + 4 + 4 + 4 + 4 + Bytes.length data
+  | Accept { data; _ } -> 6 + 4 + 4 + 4 + Bytes.length data
+  | Put_data { data; _ } -> 6 + 4 + Bytes.length data
+  | Ack -> 0
+  | Busy _ | Cancel_request _ | Probe _ | Discover_reply _ -> 6
+  | Error _ | Cancel_reply _ | Probe_reply _ -> 7
+  | Discover _ -> 12
+
+let encoded_size t = 4 + (if seq_ext t <> 0 then 1 else 0) + body_size t.body
+
+(* Zero-copy encoder: writes the packet into [buf] starting at [off] and
+   returns the number of bytes written (always [encoded_size t]). The
+   caller guarantees capacity; [Bytes.set] still bounds-checks. *)
+let encode_into t buf ~off =
+  let retry = match t.body with Request { retry; _ } -> retry | _ -> false in
+  let need_put_data =
+    match t.body with Accept { need_put_data; _ } -> need_put_data | _ -> false
+  in
+  let p = off in
+  let p = w8 buf p (kind_of_body t.body) in
+  let p = w8 buf p (flags t ~retry ~need_put_data) in
+  let p = w16 buf p t.src in
+  let p = if seq_ext t <> 0 then w8 buf p (seq_ext t) else p in
+  let p =
+    match t.body with
+    | Request { tid; pattern; arg; put_size; get_size; data; retry = _ } ->
+      let p = w48 buf p tid in
+      let p = w48 buf p (Pattern.to_int pattern) in
+      let p = wi32 buf p arg in
+      let p = w32 buf p put_size in
+      let p = w32 buf p get_size in
+      wdata buf p data
+    | Accept { tid; arg; put_transferred; need_put_data = _; data } ->
+      let p = w48 buf p tid in
+      let p = wi32 buf p arg in
+      let p = w32 buf p put_transferred in
+      wdata buf p data
+    | Put_data { tid; data } ->
+      let p = w48 buf p tid in
+      wdata buf p data
+    | Ack -> p
+    | Busy { tid } -> w48 buf p tid
+    | Error { tid; code } ->
+      let p = w48 buf p tid in
+      w8 buf p (err_to_int code)
+    | Cancel_request { tid } -> w48 buf p tid
+    | Cancel_reply { tid; ok } ->
+      let p = w48 buf p tid in
+      w8 buf p (if ok then 1 else 0)
+    | Probe { tid } -> w48 buf p tid
+    | Probe_reply { tid; alive } ->
+      let p = w48 buf p tid in
+      w8 buf p (if alive then 1 else 0)
+    | Discover { tid; pattern } ->
+      let p = w48 buf p tid in
+      w48 buf p (Pattern.to_int pattern)
+    | Discover_reply { tid } -> w48 buf p tid
+  in
+  p - off
+
 let encode t =
+  let size = encoded_size t in
+  let buf = Bytes.create size in
+  let written = encode_into t buf ~off:0 in
+  assert (written = size);
+  buf
+
+(* The seed's Buffer-based allocator, retained verbatim as the reference
+   implementation: the property suite in test/test_scale.ml checks that
+   [encode]/[encode_into] reproduce its output byte-for-byte on random
+   packets of every kind. *)
+let encode_buffer t =
   let buf = Buffer.create 64 in
   let retry = match t.body with Request { retry; _ } -> retry | _ -> false in
   let need_put_data =
@@ -194,9 +300,14 @@ let encode t =
 
 (* --- decode ----------------------------------------------------------- *)
 
-let decode bytes =
+(* Decode the packet occupying [bytes.[off .. off+len-1]] — the payload
+   view of a frame buffer — without copying the slice first. *)
+let decode_sub bytes ~off ~len =
+  if off < 0 || len < 0 || off + len > Bytes.length bytes then
+    Stdlib.Error "bad slice"
+  else
   try
-    let r = { bytes; pos = 0 } in
+    let r = { bytes; pos = off; limit = off + len } in
     let kind = get_u8 r in
     let flags = get_u8 r in
     let src = get_u16 r in
@@ -256,11 +367,13 @@ let decode bytes =
     match body_result with
     | Error _ as e -> e
     | Ok body ->
-      if r.pos <> Bytes.length bytes then Error "trailing bytes"
+      if r.pos <> off + len then Error "trailing bytes"
       else Ok { src; reliable; seq; ack; run; body }
   with
   | Truncated -> Error "truncated packet"
   | Invalid_argument msg -> Error msg
+
+let decode bytes = decode_sub bytes ~off:0 ~len:(Bytes.length bytes)
 
 let data_bytes t =
   match t.body with

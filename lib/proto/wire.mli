@@ -72,9 +72,31 @@ type t = {
     the seed encoding. *)
 val seq_mask : int
 
+(** Exact number of bytes {!encode} produces for [t] (header, optional
+    extension byte, body). Lets callers acquire exactly-sized pooled
+    buffers up front. *)
+val encoded_size : t -> int
+
+(** [encode_into t buf ~off] writes the packet at [buf.[off ..]] and
+    returns the byte count (always [encoded_size t]). The buffer must
+    have room for [encoded_size t] bytes at [off]; used with pooled
+    frame buffers so encoding allocates nothing. *)
+val encode_into : t -> bytes -> off:int -> int
+
 val encode : t -> bytes
 
+(** The seed's [Buffer]-based encoder, kept as the reference allocator:
+    byte-for-byte equal to {!encode} on every packet (property-tested in
+    test/test_scale.ml), but allocating. Not used on any hot path. *)
+val encode_buffer : t -> bytes
+
 val decode : bytes -> (t, string) result
+
+(** [decode_sub bytes ~off ~len] decodes the packet occupying exactly
+    [bytes.[off .. off+len-1]] — the payload view of a frame buffer —
+    without copying the slice out first. Rejects trailing bytes within
+    the slice, like {!decode}. *)
+val decode_sub : bytes -> off:int -> len:int -> (t, string) result
 
 (** Number of payload-data bytes carried (for accounting). *)
 val data_bytes : t -> int

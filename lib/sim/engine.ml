@@ -1,5 +1,3 @@
-type event = { id : int; fn : unit -> unit }
-
 type event_id = int
 
 type counters = { scheduled : int; fired : int; cancelled : int; pending : int }
@@ -10,7 +8,10 @@ type t = {
   mutable live : int;
   mutable n_fired : int;
   mutable n_cancelled : int;
-  queue : event Heap.t;
+  (* Callbacks ride the heap directly; the heap's tie-break sequence
+     number doubles as the event id, so a schedule allocates no per-event
+     record at all (the heap itself is structure-of-arrays). *)
+  queue : (unit -> unit) Heap.t;
   cancelled : (int, unit) Hashtbl.t;
   root_rng : Rng.t;
   (* Hot-path profiling. The always-on part is integer bumps and one
@@ -59,10 +60,12 @@ let schedule ?tag t ~delay fn =
   (match tag with
    | None -> ()
    | Some tag ->
-     (match Hashtbl.find_opt t.tag_counts tag with
-      | Some r -> incr r
-      | None -> Hashtbl.replace t.tag_counts tag (ref 1)));
-  Heap.push t.queue ~key:(t.clock + delay) ~seq { id = seq; fn };
+     (* exception-based lookup: [find_opt] would allocate a [Some] per
+        tagged schedule *)
+     (match Hashtbl.find t.tag_counts tag with
+      | r -> incr r
+      | exception Not_found -> Hashtbl.replace t.tag_counts tag (ref 1)));
+  Heap.push t.queue ~key:(t.clock + delay) ~seq fn;
   let depth = Heap.length t.queue in
   if depth > t.heap_highwater then t.heap_highwater <- depth;
   seq
@@ -121,24 +124,27 @@ let export_metrics t m ~prefix =
 let stop _t = raise Stop
 
 let step t ~until =
-  match Heap.peek_key t.queue with
-  | None -> false
-  | Some key when key > until -> false
-  | Some _ ->
-    (match Heap.pop_min t.queue with
-     | None -> false
-     | Some (time, _seq, event) ->
-       if Hashtbl.mem t.cancelled event.id then begin
-         Hashtbl.remove t.cancelled event.id;
-         true
-       end
-       else begin
-         t.clock <- time;
-         t.live <- t.live - 1;
-         t.n_fired <- t.n_fired + 1;
-         event.fn ();
-         true
-       end)
+  if Heap.is_empty t.queue then false
+  else begin
+    let time = Heap.min_key t.queue in
+    if time > until then false
+    else begin
+      let id = Heap.min_seq t.queue in
+      let fn = Heap.min_value t.queue in
+      Heap.drop_min t.queue;
+      if Hashtbl.mem t.cancelled id then begin
+        Hashtbl.remove t.cancelled id;
+        true
+      end
+      else begin
+        t.clock <- time;
+        t.live <- t.live - 1;
+        t.n_fired <- t.n_fired + 1;
+        fn ();
+        true
+      end
+    end
+  end
 
 let run ?(until = max_int) t =
   let wall0 = Unix.gettimeofday () in

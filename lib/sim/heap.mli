@@ -2,7 +2,12 @@
 
     Elements are ordered by an integer key (the event time) with a
     monotonically increasing sequence number as a tie-breaker, so that two
-    events scheduled for the same instant pop in insertion order. *)
+    events scheduled for the same instant pop in insertion order.
+
+    Keys, sequence numbers and values live in parallel arrays
+    (structure-of-arrays): steady-state push/pop allocates nothing, which
+    matters because every simulated callback crosses this heap once in
+    each direction. *)
 
 type 'a t
 
@@ -15,6 +20,19 @@ val is_empty : 'a t -> bool
 (** [push heap ~key ~seq value] inserts [value] with priority
     [(key, seq)]. *)
 val push : 'a t -> key:int -> seq:int -> 'a -> unit
+
+(** {2 Allocation-free draining}
+
+    The four accessors below are the event loop's interface: check
+    {!is_empty}, read the minimum with [min_key]/[min_seq]/[min_value],
+    then [drop_min]. All raise [Invalid_argument] on an empty heap. *)
+
+val min_key : 'a t -> int
+val min_seq : 'a t -> int
+val min_value : 'a t -> 'a
+val drop_min : 'a t -> unit
+
+(** {2 Allocating conveniences} *)
 
 (** [pop_min heap] removes and returns the element with the smallest
     [(key, seq)], or [None] if the heap is empty. *)

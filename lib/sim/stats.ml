@@ -19,14 +19,20 @@ let registry t = t.metrics
 let incr t name = Metrics.incr t.metrics name
 let add t name n = Metrics.add t.metrics name n
 let counter t name = Metrics.counter t.metrics name
+let counter_cell t name = Metrics.counter_cell t.metrics name
+let histogram_cell t name = Metrics.histogram_cell t.metrics name
 
+(* Exception-based lookup: [find_opt] would allocate a [Some] per
+   accounting call, and [add_time] runs several times per packet. *)
 let time_cell t name =
-  match Hashtbl.find_opt t.times name with
-  | Some r -> r
-  | None ->
+  match Hashtbl.find t.times name with
+  | r -> r
+  | exception Not_found ->
     let r = ref 0 in
     Hashtbl.replace t.times name r;
     r
+
+let time_ref = time_cell
 
 let add_time t name us =
   let r = time_cell t name in

@@ -21,6 +21,15 @@ val incr : t -> string -> unit
 val add : t -> string -> int -> unit
 val counter : t -> string -> int
 
+(** Backing cells for hot paths: fetch once, bump the ref/histogram
+    directly, skipping the per-call string hash + table probe. Cells
+    obtained before a {!reset} are detached by it — re-fetch afterwards.
+    (Nothing in the simulator resets stats mid-run.) *)
+
+val counter_cell : t -> string -> int ref
+val time_ref : t -> string -> int ref
+val histogram_cell : t -> string -> Soda_obs.Metrics.histogram
+
 (** Microsecond accumulators, reported in milliseconds. *)
 
 val add_time : t -> string -> int -> unit

@@ -1,0 +1,37 @@
+(* Zipf-distributed key sampler.
+
+   Key i (0-based) gets weight (i+1)^-theta; theta = 0 degenerates to
+   uniform, theta around 0.99 is the classic YCSB-style skew. Sampling is
+   a binary search over the normalized cumulative weights: O(log n) per
+   draw, no allocation after [create]. *)
+
+type t = { cum : float array }
+
+let create ~n ~theta =
+  if n <= 0 then invalid_arg "Zipf.create: need at least one key";
+  if not (theta >= 0.0) then invalid_arg "Zipf.create: theta must be >= 0";
+  let cum = Array.make n 0.0 in
+  let total = ref 0.0 in
+  for i = 0 to n - 1 do
+    total := !total +. (float_of_int (i + 1) ** -.theta);
+    cum.(i) <- !total
+  done;
+  let total = !total in
+  for i = 0 to n - 1 do
+    cum.(i) <- cum.(i) /. total
+  done;
+  (* Guard against rounding leaving the last slot a hair under 1. *)
+  cum.(n - 1) <- 1.0;
+  { cum }
+
+let size t = Array.length t.cum
+
+let sample t rng =
+  let u = Rng.float rng 1.0 in
+  (* First index whose cumulative weight exceeds u. *)
+  let lo = ref 0 and hi = ref (Array.length t.cum - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if t.cum.(mid) > u then hi := mid else lo := mid + 1
+  done;
+  !lo

@@ -1,0 +1,17 @@
+(** Zipf-distributed key sampler for workload generators.
+
+    Key [i] (0-based, of [n]) is drawn with probability proportional to
+    [(i+1) ** -theta]: [theta = 0] is uniform, [theta ~ 0.99] the classic
+    YCSB-style skew where a handful of hot keys dominate. Draws cost one
+    RNG float and a binary search — no allocation after {!create}. *)
+
+type t
+
+(** @raise Invalid_argument when [n <= 0] or [theta < 0] (or NaN). *)
+val create : n:int -> theta:float -> t
+
+val size : t -> int
+
+(** [sample t rng] draws a key in [0 .. size t - 1]. Consumes exactly one
+    [Rng.float] draw. *)
+val sample : t -> Rng.t -> int

@@ -25,6 +25,117 @@ let check_eventually net ~horizon flag msg =
   run ~horizon net;
   Alcotest.(check bool) msg true !flag
 
+(* The seed's list-based broadcast bus, kept verbatim as a differential
+   oracle for the array/hashtable-backed Soda_net.Bus: same config record,
+   same fault RNG draw order (jitter at send, loss/corruption per matching
+   delivery, duplicate slack after jitter), same delivery-time partition
+   mask, same ascending-mid delivery order. test_scale.ml drives both
+   implementations over random topologies and schedules on same-seed
+   engines and requires identical (receiver, time, bytes) delivery logs. *)
+module Ref_bus = struct
+  module Bus = Soda_net.Bus
+  module Rng = Soda_sim.Rng
+
+  type frame = { src : int; broadcast : bool; dst : int; wire : bytes }
+
+  type t = {
+    engine : Engine.t;
+    mutable config : Bus.config;
+    stations : (int, frame -> unit) Hashtbl.t;
+    mutable busy_until : int;
+    fault_rng : Rng.t;
+    mutable partition : (int list * int list) option;
+    mutable duplicate_pending : int;
+    mutable jitter : (int * int) option;
+  }
+
+  let create ?(config = Bus.default_config) engine =
+    {
+      engine;
+      config;
+      stations = Hashtbl.create 16;
+      busy_until = 0;
+      fault_rng = Rng.split (Engine.rng engine);
+      partition = None;
+      duplicate_pending = 0;
+      jitter = None;
+    }
+
+  let set_loss_rate t rate = t.config <- { t.config with Bus.loss_rate = rate }
+
+  let set_corruption_rate t rate =
+    t.config <- { t.config with Bus.corruption_rate = rate }
+
+  let set_partition t (group_a, group_b) = t.partition <- Some (group_a, group_b)
+  let heal t = t.partition <- None
+
+  let separated t a b =
+    match t.partition with
+    | None -> false
+    | Some (ga, gb) ->
+      (List.mem a ga && List.mem b gb) || (List.mem a gb && List.mem b ga)
+
+  let duplicate_next ?(count = 1) t = t.duplicate_pending <- t.duplicate_pending + count
+
+  let set_delay_jitter t ~min_us ~max_us =
+    t.jitter <- (if max_us = 0 then None else Some (min_us, max_us))
+
+  let transmission_time_us t ~payload_bytes =
+    let bytes = payload_bytes + t.config.Bus.frame_overhead_bytes + 2 in
+    let bits = bytes * 8 in
+    (bits * 1_000_000 + t.config.Bus.bandwidth_bps - 1) / t.config.Bus.bandwidth_bps
+
+  let attach t ~mid ~rx = Hashtbl.replace t.stations mid rx
+
+  let corrupt t wire =
+    let copy = Bytes.copy wire in
+    let idx = Rng.int t.fault_rng (Bytes.length copy) in
+    let byte = Char.code (Bytes.get copy idx) in
+    Bytes.set copy idx (Char.chr (byte lxor (1 + Rng.int t.fault_rng 255)));
+    copy
+
+  let deliver t frame =
+    let deliver_to mid rx =
+      if mid <> frame.src && (frame.broadcast || frame.dst = mid) then begin
+        if separated t frame.src mid then ()
+        else if Rng.chance t.fault_rng t.config.Bus.loss_rate then ()
+        else begin
+          let frame =
+            if Rng.chance t.fault_rng t.config.Bus.corruption_rate then
+              { frame with wire = corrupt t frame.wire }
+            else frame
+          in
+          rx frame
+        end
+      end
+    in
+    Hashtbl.fold (fun mid rx acc -> (mid, rx) :: acc) t.stations []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+    |> List.iter (fun (mid, rx) -> deliver_to mid rx)
+
+  let send t ~src ~broadcast ~dst payload =
+    let wire = Soda_net.Crc16.append payload in
+    let frame = { src; broadcast; dst; wire } in
+    let now = Engine.now t.engine in
+    let start = max now t.busy_until in
+    let tx = transmission_time_us t ~payload_bytes:(Bytes.length payload) in
+    t.busy_until <- start + tx;
+    let jitter_us =
+      match t.jitter with
+      | None -> 0
+      | Some (min_us, max_us) -> min_us + Rng.int t.fault_rng (max_us - min_us + 1)
+    in
+    let arrival = start + tx + t.config.Bus.propagation_us + jitter_us - now in
+    ignore (Engine.schedule ~tag:"bus" t.engine ~delay:arrival (fun () -> deliver t frame));
+    if t.duplicate_pending > 0 then begin
+      t.duplicate_pending <- t.duplicate_pending - 1;
+      let slack = 1 + Rng.int t.fault_rng (max 1 t.config.Bus.propagation_us * 4) in
+      ignore
+        (Engine.schedule ~tag:"bus" t.engine ~delay:(arrival + tx + slack) (fun () ->
+             deliver t frame))
+    end
+end
+
 (* A server that advertises [pattern] and accepts every arriving request in
    its handler, echoing [reply] back on GET/EXCHANGE. *)
 let echo_server ?(reply = "") kernel pattern =

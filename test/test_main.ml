@@ -22,4 +22,5 @@ let () =
          Test_analysis.suites;
          Test_chaos.suites;
          Test_store.suites;
+         Test_scale.suites;
        ])

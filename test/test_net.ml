@@ -240,6 +240,39 @@ let test_delay_jitter_validation_and_delivery () =
   ignore (Engine.run e);
   Alcotest.(check int) "jittered frames still all delivered" 5 !got
 
+(* PR 7 regression: the hashtable-backed partition check must pin the
+   seed's List.mem semantics exactly — the cut is symmetric, same-group
+   traffic delivers, mids in neither group talk to everyone, and heal
+   restores full connectivity. *)
+let test_partition_semantics () =
+  let e, bus = setup () in
+  let log = ref [] in
+  List.iter
+    (fun mid ->
+      Bus.attach bus ~mid ~rx:(fun f -> log := (f.Frame.src, mid) :: !log))
+    [ 1; 2; 3; 5 ];
+  Bus.set_partition bus ([ 1; 2 ], [ 3 ]);
+  let burst () =
+    log := [];
+    List.iter
+      (fun (src, dst) -> Bus.send bus ~src ~dst:(Frame.To dst) (b "x"))
+      [ (1, 3); (3, 1); (1, 2); (3, 5); (5, 3); (5, 1) ];
+    ignore (Engine.run e);
+    List.sort compare !log
+  in
+  Alcotest.(check (list (pair int int)))
+    "cut is symmetric; same group and unlisted mids deliver"
+    [ (1, 2); (3, 5); (5, 1); (5, 3) ]
+    (burst ());
+  Bus.heal bus;
+  Alcotest.(check (list (pair int int)))
+    "heal restores full connectivity"
+    [ (1, 2); (1, 3); (3, 1); (3, 5); (5, 1); (5, 3) ]
+    (burst ());
+  Alcotest.check_raises "mid in both groups rejected"
+    (Invalid_argument "Bus.set_partition: mid 2 in both groups") (fun () ->
+      Bus.set_partition bus ([ 1; 2 ], [ 2; 3 ]))
+
 let test_duplicate_mid_rejected () =
   let _, bus = setup () in
   ignore (Nic.attach bus ~mid:1 ~rx:(fun ~src:_ ~broadcast:_ ~ctx:_ _ -> ()));
@@ -278,6 +311,7 @@ let suites =
           test_partition_eats_inflight_frame;
         Alcotest.test_case "third party unaffected" `Quick
           test_third_party_unaffected_by_partition;
+        Alcotest.test_case "partition semantics pinned" `Quick test_partition_semantics;
         Alcotest.test_case "duplicate next" `Quick test_duplicate_next;
         Alcotest.test_case "delay jitter" `Quick test_delay_jitter_validation_and_delivery;
       ] );

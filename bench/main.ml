@@ -451,6 +451,115 @@ let store_section () =
         ])
     [ 3; 5 ]
 
+(* ---- SCD: set-constrained delivery broadcast --------------------------------------- *)
+
+(* Message complexity and operation throughput of the lib/scd SCD-broadcast
+   subsystem (docs/BROADCAST.md) for n in {8, 64} members: open-loop
+   clients drive the snapshot object and counter, and the per-broadcast
+   frame count is compared against the algorithm's analytic O(n^2) cost —
+   every member echoes each application message once to each of its n-1
+   peers, so a healthy run spends exactly n(n-1) FORWARD frames per
+   scd-broadcast. Writes a machine-readable BENCH_pr8.json.
+
+   Regression gate (CI runs this section on every push): at n=64 the
+   measured frames-per-broadcast must stay within 1.2x of n(n-1). A
+   violated gate exits nonzero — it means the echo path duplicates or
+   leaks frames (retries are metered separately and healthy runs have
+   none). The safety checkers also run on every row; a violation fails
+   the section outright. *)
+
+let scd_row ~n ~clients ~ops ~mean_interarrival_us =
+  let module Harness = Soda_scd.Harness in
+  let module Metrics = Soda_obs.Metrics in
+  let module Recorder = Soda_obs.Recorder in
+  let module Network = Soda_core.Network in
+  let r = Harness.run ~n ~clients ~ops ~regs:4 ~seed:88 ~mean_interarrival_us () in
+  (match Harness.check_delivery r with
+   | Ok () -> ()
+   | Error m -> Printf.printf "    SCD SAFETY VIOLATION (n=%d): %s\n" n m; exit 1);
+  (match Harness.check_objects r with
+   | Ok () -> ()
+   | Error m -> Printf.printf "    SCD SAFETY VIOLATION (n=%d): %s\n" n m; exit 1);
+  let m = Recorder.metrics (Network.recorder r.Harness.net) in
+  let forwards = Metrics.counter m "scd.forwards" in
+  let broadcasts = Metrics.counter m "scd.broadcasts" in
+  let completed = List.length r.Harness.history in
+  let frames_per_bcast =
+    float_of_int forwards /. float_of_int (max broadcasts 1)
+  in
+  let frames_per_op = float_of_int forwards /. float_of_int (max completed 1) in
+  let span_us =
+    List.fold_left
+      (fun (lo, hi) (o : Harness.op) -> (min lo o.start_us, max hi o.end_us))
+      (max_int, 0) r.Harness.history
+    |> fun (lo, hi) -> max 1 (hi - lo)
+  in
+  let ops_per_sec = float_of_int completed /. (float_of_int span_us /. 1e6) in
+  let lat_sum, lat_n =
+    List.fold_left
+      (fun (s, k) (o : Harness.op) ->
+        match o.outcome with
+        | Harness.Failed -> (s, k)
+        | _ -> (s + (o.end_us - o.start_us), k + 1))
+      (0, 0) r.Harness.history
+  in
+  let lat_ms = float_of_int lat_sum /. float_of_int (max lat_n 1) /. 1000.0 in
+  if lat_n < completed then begin
+    Printf.printf "    SCD LIVENESS VIOLATION (n=%d): %d/%d client ops failed\n" n
+      (completed - lat_n) completed;
+    exit 1
+  end;
+  (n, completed, broadcasts, forwards, frames_per_bcast, frames_per_op, ops_per_sec, lat_ms)
+
+let scd_section () =
+  hr "SCD. Set-constrained delivery broadcast (lib/scd): O(n^2) message cost";
+  let bound n = n * (n - 1) in
+  let tolerance = 1.2 in
+  Printf.printf
+    "    (open-loop clients on the snapshot object + counter; analytic cost\n\
+    \     is n(n-1) FORWARD frames per scd-broadcast)\n\n";
+  Printf.printf "    %-6s %6s %7s %9s %11s %9s %9s %9s %8s\n" "n" "ops" "bcasts"
+    "frames" "frames/bc" "bound" "frames/op" "ops/sec" "lat ms";
+  let rows =
+    List.map
+      (fun (n, clients, ops, mean) ->
+        let _, completed, broadcasts, forwards, fpb, fpo, ops_s, lat_ms =
+          scd_row ~n ~clients ~ops ~mean_interarrival_us:mean
+        in
+        Printf.printf "    %-6d %6d %7d %9d %11.1f %9d %9.0f %9.1f %8.1f\n" n completed
+          broadcasts forwards fpb (bound n) fpo ops_s lat_ms;
+        (n, completed, broadcasts, forwards, fpb, fpo, ops_s, lat_ms))
+      [ (8, 3, 8, 120_000); (64, 2, 5, 2_000_000) ]
+  in
+  let find n =
+    List.find (fun (n', _, _, _, _, _, _, _) -> n' = n) rows
+  in
+  let _, _, _, _, fpb64, _, _, _ = find 64 in
+  let gate_ok = fpb64 <= tolerance *. float_of_int (bound 64) in
+  let oc = open_out "BENCH_pr8.json" in
+  Printf.fprintf oc "{\n  \"analytic_frames_per_broadcast\": \"n*(n-1)\",\n";
+  Printf.fprintf oc "  \"tolerance\": %.2f,\n  \"scd\": [\n" tolerance;
+  List.iteri
+    (fun i (n, completed, broadcasts, forwards, fpb, fpo, ops_s, lat_ms) ->
+      Printf.fprintf oc
+        "    { \"n\": %d, \"client_ops\": %d, \"broadcasts\": %d, \"forwards\": %d, \
+         \"frames_per_broadcast\": %.1f, \"bound\": %d, \"frames_per_op\": %.0f, \
+         \"ops_per_sec\": %.1f, \"mean_latency_ms\": %.1f }%s\n"
+        n completed broadcasts forwards fpb (bound n) fpo ops_s lat_ms
+        (if i < List.length rows - 1 then "," else ""))
+    rows;
+  Printf.fprintf oc "  ],\n  \"gates\": { \"n64_quadratic_cost\": %b }\n}\n" gate_ok;
+  close_out oc;
+  Printf.printf "\n    wrote BENCH_pr8.json\n";
+  if not gate_ok then begin
+    Printf.printf
+      "    GATE FAILED: n=64 frames/broadcast %.1f exceeds %.1fx analytic bound %d\n"
+      fpb64 tolerance (bound 64);
+    exit 1
+  end;
+  Printf.printf "    gate OK: n=64 frames/broadcast %.1f within %.1fx of n(n-1)=%d\n"
+    fpb64 tolerance (bound 64)
+
 (* ---- PROFILE: engine hot-path profiling --------------------------------------------- *)
 
 (* N-node SIGNAL ring: every node advertises the well-known pattern and
@@ -767,6 +876,7 @@ let sections =
     ("PROFILE", profile_section);
     ("SCALE", scale_section);
     ("STORE", store_section);
+    ("SCD", scd_section);
     ("BENCH", bechamel);
   ]
 

@@ -116,6 +116,67 @@ let run_store ~seed ~seconds ~trace ~metrics ~metrics_json ~fault_plan ~n ~clien
      | None -> ());
     `Ok ()
 
+(* --scd N: run the SCD-broadcast workload harness (snapshot object +
+   counter on an N-member cluster) instead of SODAL sources. Like
+   --store, a (seed, fault plan) pair printed by a failing qcheck case
+   replays its exact schedule here (see docs/BROADCAST.md). *)
+let run_scd ~seed ~seconds ~trace ~metrics ~metrics_json ~fault_plan ~n ~clients ~ops
+    ~regs ~think_us =
+  let module Harness = Soda_scd.Harness in
+  let plan =
+    match fault_plan with
+    | None -> Ok None
+    | Some path ->
+      (match Soda_fault.Fault_plan.load path with
+       | Ok plan -> Ok (Some plan)
+       | Error message -> Error (Printf.sprintf "%s: %s" path message))
+  in
+  match plan with
+  | Error message -> `Error (false, message)
+  | Ok plan ->
+    let r =
+      Harness.run ~n ~clients ~ops ~regs ~seed ~think_us ?plan
+        ~trace:(trace <> None)
+        ~horizon_us:(int_of_float (seconds *. 1e6))
+        ()
+    in
+    Format.printf "%a" Harness.pp_history r.Harness.history;
+    let ok, failed =
+      List.fold_left
+        (fun (ok, failed) (op : Harness.op) ->
+          match op.outcome with
+          | Harness.Failed -> (ok, failed + 1)
+          | _ -> (ok + 1, failed))
+        (0, 0) r.Harness.history
+    in
+    Printf.printf
+      "-- scd: n=%d, %d/%d clients finished, %d ops (%d ok, %d unreachable)\n" n
+      r.Harness.clients_done r.Harness.clients_total
+      (List.length r.Harness.history)
+      ok failed;
+    let report name = function
+      | Ok () ->
+        Printf.printf "-- scd: %s OK\n" name;
+        true
+      | Error message ->
+        Printf.printf "-- scd: %s VIOLATED: %s\n" name message;
+        false
+    in
+    let delivery_ok = report "delivery (set-constrained)" (Harness.check_delivery r) in
+    let objects_ok = report "objects (snapshot/counter)" (Harness.check_objects r) in
+    (* convergence is a liveness property; a plan may legitimately leave
+       members crashed or partitioned, so only check the healthy case *)
+    (match plan with
+     | None -> ignore (report "convergence" (Harness.check_convergence r))
+     | Some _ -> ());
+    (match trace with Some dest -> export_trace r.Harness.net dest | None -> ());
+    if metrics then print_metrics r.Harness.net;
+    (match metrics_json with
+     | Some file -> export_metrics_json r.Harness.net file
+     | None -> ());
+    if delivery_ok && objects_ok then `Ok ()
+    else `Error (false, "scd safety checkers found violations")
+
 (* --check: run the sodalint static analyzer (same rules as
    bin/sodal_check.exe) and stop instead of executing. *)
 let run_check files =
@@ -132,21 +193,49 @@ let run_check files =
   end
 
 let run seed seconds trace metrics metrics_json fault_plan store store_clients store_ops
-    store_keys store_think_us store_nameserver check files =
+    store_keys store_think_us store_nameserver scd scd_clients scd_ops scd_regs
+    scd_think_us scd_members check files =
   if store > 0 then
     run_store ~seed ~seconds ~trace ~metrics ~metrics_json ~fault_plan ~n:store
       ~clients:store_clients ~ops:store_ops ~keys:store_keys ~think_us:store_think_us
       ~nameserver:store_nameserver
+  else if scd > 0 then
+    run_scd ~seed ~seconds ~trace ~metrics ~metrics_json ~fault_plan ~n:scd
+      ~clients:scd_clients ~ops:scd_ops ~regs:scd_regs ~think_us:scd_think_us
   else if files = [] then `Error (true, "at least one SODAL source file is required")
   else if check then run_check files
   else begin
     (* Tracing implies causal, as in the store harness: an exported trace
        should carry the cross-node tree ids soda_trace reconstructs. *)
-    let net = Network.create ~seed ~trace:(trace <> None) ~causal:(trace <> None) () in
+    let cost =
+      (* SCD members juggle one outstanding echo per peer channel plus the
+         client-facing accept, so give them the harness's request budget. *)
+      if scd_members > 0 then
+        { Soda_base.Cost_model.default with maxrequests = scd_members + 2 }
+      else Soda_base.Cost_model.default
+    in
+    let net = Network.create ~seed ~cost ~trace:(trace <> None) ~causal:(trace <> None) () in
     let ok = ref true in
     let attachers = Hashtbl.create 8 in
+    (* --scd-members K hosts the K members of SCD cluster "sodal" on
+       machines 0..K-1, so the programs (on machines K..) can
+       SCD_JOIN(K, regs) them — see examples/sodal/scd_demo.sodal. *)
+    let module Scd = Soda_scd.Scd in
+    for index = 0 to scd_members - 1 do
+      let kernel = Network.add_node net ~mid:index in
+      let member =
+        Scd.member ~cluster:"sodal" ~index ~mids:(List.init scd_members Fun.id)
+          ~regs:scd_regs
+      in
+      let attach kernel =
+        ignore (Soda_runtime.Sodal.attach kernel (Scd.member_spec member))
+      in
+      Hashtbl.replace attachers index attach;
+      attach kernel
+    done;
     List.iteri
-      (fun mid path ->
+      (fun i path ->
+        let mid = scd_members + i in
         let kernel = Network.add_node net ~mid in
         let source = read_file path in
         match Parser.parse source with
@@ -286,6 +375,49 @@ let store_nameserver =
           "Resolve store replicas through the switchboard (register/rebind path) \
            instead of their stable patterns (with --store).")
 
+let scd =
+  Arg.(
+    value & opt int 0
+    & info [ "scd" ] ~docv:"N"
+        ~doc:
+          "Run the SCD-broadcast workload harness (multi-writer snapshot object \
+           and counter) with $(docv) members instead of SODAL sources (see \
+           docs/BROADCAST.md). Combine with --seed and --fault-plan to replay a \
+           failing qcheck case bit-for-bit; the safety checkers run at the end \
+           and a violation exits non-zero.")
+
+let scd_clients =
+  Arg.(
+    value & opt int 2
+    & info [ "scd-clients" ] ~docv:"N" ~doc:"Concurrent SCD clients (with --scd).")
+
+let scd_ops =
+  Arg.(
+    value & opt int 6
+    & info [ "scd-ops" ] ~docv:"N" ~doc:"Operations per SCD client (with --scd).")
+
+let scd_regs =
+  Arg.(
+    value & opt int 2
+    & info [ "scd-regs" ] ~docv:"N"
+        ~doc:"Snapshot-object registers (with --scd).")
+
+let scd_think_us =
+  Arg.(
+    value & opt int 100_000
+    & info [ "scd-think-us" ] ~docv:"US"
+        ~doc:"Upper bound on per-op client think time in µs (with --scd).")
+
+let scd_members =
+  Arg.(
+    value & opt int 0
+    & info [ "scd-members" ] ~docv:"K"
+        ~doc:
+          "Host the $(docv) members of SCD cluster \"sodal\" on machines 0..K-1 \
+           alongside the SODAL programs (which then occupy machines K..); the \
+           programs reach them with SCD_JOIN(K, regs). Register count comes from \
+           $(b,--scd-regs).")
+
 let check =
   Arg.(
     value & flag
@@ -305,6 +437,8 @@ let cmd =
       ret
         (const run $ seed $ seconds $ trace $ metrics $ metrics_json $ fault_plan
         $ store $ store_clients $ store_ops $ store_keys $ store_think_us
-        $ store_nameserver $ check $ files))
+        $ store_nameserver $ scd $ scd_clients $ scd_ops $ scd_regs $ scd_think_us
+        $ scd_members
+        $ check $ files))
 
 let () = exit (Cmd.eval cmd)

@@ -13,6 +13,8 @@
    SL040  ENQUEUE on a provably full queue              (error)
    SL041  DEQUEUE on a provably empty queue             (error)
    SL052  UNADVERTISE of a never-advertised pattern     (error)
+   SL060  SCD operation but the program never SCD_JOINs (error)
+   SL061  SCD argument provably out of range            (error)
 
    The handler is analyzed as of its first invocation: values assigned by
    earlier invocations or by the task are not "definitely assigned" — by
@@ -530,6 +532,75 @@ let check_unadvertise emit (p : Ast.program) =
         stmts)
     (sections p)
 
+(* ---- SL060/SL061: SCD object usage ------------------------------------------ *)
+
+let scd_ops = [ "SCD_WRITE"; "SCD_SNAPSHOT"; "SCD_INCR"; "SCD_CREAD" ]
+
+let check_scd emit (p : Ast.program) =
+  let env = const_env p in
+  let as_int_const e =
+    match fold_const env e with Some (Cint n) -> Some n | _ -> None
+  in
+  (* does any section SCD_JOIN?  join order vs. op order is a runtime
+     concern (the task owns both); never joining at all is static *)
+  let joined = ref false in
+  (* registers count, when the join's second argument folds *)
+  let joined_regs = ref None in
+  List.iter
+    (fun (_, stmts) ->
+      iter_section_exprs
+        (fun (e : Ast.expr) ->
+          match e.Ast.expr with
+          | Ast.Call ("SCD_JOIN", [ n; regs ]) ->
+            joined := true;
+            (match as_int_const n with
+             | Some k when k <= 0 ->
+               emit e.Ast.eloc Diagnostic.Error "SL061"
+                 (Printf.sprintf "SCD_JOIN member count is %d, must be positive" k)
+             | _ -> ());
+            (match as_int_const regs with
+             | Some k when k <= 0 ->
+               emit e.Ast.eloc Diagnostic.Error "SL061"
+                 (Printf.sprintf "SCD_JOIN register count is %d, must be positive" k)
+             | Some k -> joined_regs := Some k
+             | None -> ())
+          | _ -> ())
+        stmts)
+    (sections p);
+  List.iter
+    (fun (_, stmts) ->
+      iter_section_exprs
+        (fun (e : Ast.expr) ->
+          match e.Ast.expr with
+          | Ast.Call (name, args) when List.mem name scd_ops ->
+            if not !joined then
+              emit e.Ast.eloc Diagnostic.Error "SL060"
+                (Printf.sprintf
+                   "%s, but this program never calls SCD_JOIN; the operation can \
+                    only raise at runtime"
+                   name);
+            (match (name, args) with
+             | ("SCD_WRITE" | "SCD_SNAPSHOT"), reg :: _ -> (
+               match as_int_const reg with
+               | Some r when r < 0 ->
+                 emit e.Ast.eloc Diagnostic.Error "SL061"
+                   (Printf.sprintf "%s register index is %d, must be non-negative"
+                      name r)
+               | Some r -> (
+                 match !joined_regs with
+                 | Some regs when r >= regs ->
+                   emit e.Ast.eloc Diagnostic.Error "SL061"
+                     (Printf.sprintf
+                        "%s register index is %d, but SCD_JOIN declared only %d \
+                         register(s)"
+                        name r regs)
+                 | _ -> ())
+               | None -> ())
+             | _ -> ())
+          | _ -> ())
+        stmts)
+    (sections p)
+
 (* ---- entry point ------------------------------------------------------------- *)
 
 let check ~file (p : Ast.program) : Diagnostic.t list =
@@ -544,4 +615,5 @@ let check ~file (p : Ast.program) : Diagnostic.t list =
   check_open_close emit p;
   check_queue_bounds emit decls p;
   check_unadvertise emit p;
+  check_scd emit p;
   List.rev !diags

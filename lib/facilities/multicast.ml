@@ -5,10 +5,14 @@ module Kernel = Soda_core.Kernel
 
 type outcome = { mid : int; status : Sodal.comp_status; reply_arg : int }
 
-let transfer env ~group ~pattern ~arg payload =
+let transfer env ?window ~group ~pattern ~arg payload =
   let members = List.sort_uniq compare group in
   let total = List.length members in
-  let window = Cost.client_window (Kernel.cost (Sodal.kernel env)) in
+  let window =
+    match window with
+    | Some w -> max 1 w
+    | None -> Cost.client_window (Kernel.cost (Sodal.kernel env))
+  in
   let in_flight = ref 0 in
   let outcomes = ref [] in
   let launch mid =
@@ -40,9 +44,11 @@ let transfer env ~group ~pattern ~arg payload =
   (* stable member order *)
   List.map (fun mid -> List.find (fun o -> o.mid = mid) !outcomes) members
 
-let put env ~group ~pattern ?(arg = 0) data = transfer env ~group ~pattern ~arg (Some data)
+let put env ?window ~group ~pattern ?(arg = 0) data =
+  transfer env ?window ~group ~pattern ~arg (Some data)
 
-let signal env ~group ~pattern ?(arg = 0) () = transfer env ~group ~pattern ~arg None
+let signal env ?window ~group ~pattern ?(arg = 0) () =
+  transfer env ?window ~group ~pattern ~arg None
 
 let put_discovered env ~pattern ?(arg = 0) ?(max_group = 32) data =
   let group = Sodal.discover_list env pattern ~max:max_group in

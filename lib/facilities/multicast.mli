@@ -17,15 +17,19 @@ type outcome = {
 
 (** [put env ~group ~pattern data] reliably delivers [data] to every
     machine in [group]; blocks until every member has completed (or
-    failed). At most MAXREQUESTS transfers are in flight at a time. *)
+    failed). At most [window] transfers are in flight at a time
+    (default: MAXREQUESTS - 1). Large fan-outs on the shared bus should
+    pass a small [window]: every in-flight transfer queues a frame on
+    the bus, and sojourn beyond the retransmission budget draws spurious
+    crash verdicts. *)
 val put :
-  Sodal.env -> group:int list -> pattern:Soda_base.Pattern.t -> ?arg:int -> bytes ->
-  outcome list
+  Sodal.env -> ?window:int -> group:int list -> pattern:Soda_base.Pattern.t ->
+  ?arg:int -> bytes -> outcome list
 
 (** [signal env ~group ~pattern] — dataless variant. *)
 val signal :
-  Sodal.env -> group:int list -> pattern:Soda_base.Pattern.t -> ?arg:int -> unit ->
-  outcome list
+  Sodal.env -> ?window:int -> group:int list -> pattern:Soda_base.Pattern.t ->
+  ?arg:int -> unit -> outcome list
 
 (** [put_discovered env ~pattern data] multicasts to every current
     advertiser of [pattern] (one DISCOVER round). *)

@@ -239,6 +239,17 @@ let kind_of_fields fields =
     Store_complete
       { op = str_f fields "op"; key = int_f fields "key"; ok = bool_f fields "ok";
         rounds = int_f fields "rounds"; elapsed_us = int_f fields "elapsed" }
+  | "scd-broadcast" ->
+    Scd_broadcast
+      { sd = int_f fields "sd"; sn = int_f fields "sn";
+        payload = str_f fields "payload" }
+  | "scd-deliver" ->
+    Scd_deliver { size = int_f fields "size"; pending = int_f fields "pending" }
+  | "scd-op" ->
+    Scd_op
+      { op = str_f fields "op"; origin = int_f fields "origin";
+        oseq = int_f fields "oseq"; ok = bool_f fields "ok";
+        elapsed_us = int_f fields "elapsed" }
   | "note" -> Note (str_f fields "text")
   | s -> raise (Parse_error (Printf.sprintf "unknown event kind %S" s))
 
@@ -390,6 +401,8 @@ let label_of_kind mid kind =
     (4, Printf.sprintf "store %s key=%d%s" op key (if ok then "" else " NO-QUORUM"))
   | Store_phase { op; key; _ } | Store_retry { op; key; _ } ->
     (3, Printf.sprintf "store %s key=%d" op key)
+  | Scd_op { op; origin; oseq; ok; _ } ->
+    (4, Printf.sprintf "scd %s op#%d.%d%s" op origin oseq (if ok then "" else " FAILED"))
   | Trap { tid; dst; _ } -> (3, Printf.sprintf "req#%d %d->%s" tid mid (peer_name dst))
   | Deliver { tid; src; _ } -> (2, Printf.sprintf "serve#%d @%d from %d" tid mid src)
   | Complete { tid; status } -> (1, Printf.sprintf "req#%d %s" tid status)

@@ -78,6 +78,13 @@ type kind =
       (** A quorum round failed to assemble a majority and is retried. *)
   | Store_complete of { op : string; key : int; ok : bool; rounds : int; elapsed_us : int }
       (** A store operation finished ([ok = false]: no quorum reachable). *)
+  | Scd_broadcast of { sd : int; sn : int; payload : string }
+      (** An SCD member started a broadcast (first FORWARD of a message). *)
+  | Scd_deliver of { size : int; pending : int }
+      (** An SCD member delivered a message set of [size] messages
+          ([pending] quadruplets remain buffered). *)
+  | Scd_op of { op : string; origin : int; oseq : int; ok : bool; elapsed_us : int }
+      (** An SCD client operation (write/snapshot/incr/cread) finished. *)
   | Note of string  (** Free-form text from the legacy [Trace.record] shim. *)
 
 type t = {
@@ -117,6 +124,9 @@ let kind_label = function
   | Store_phase _ -> "store-phase"
   | Store_retry _ -> "store-retry"
   | Store_complete _ -> "store-complete"
+  | Scd_broadcast _ -> "scd-broadcast"
+  | Scd_deliver _ -> "scd-deliver"
+  | Scd_op _ -> "scd-op"
   | Note _ -> "note"
 
 let peer_name p = if p = broadcast_peer then "*" else string_of_int p
@@ -179,6 +189,14 @@ let message = function
     Printf.sprintf "store %s key=%d %s after %d round(s) in %d us" op key
       (if ok then "ok" else "NO QUORUM")
       rounds elapsed_us
+  | Scd_broadcast { sd; sn; payload } ->
+    Printf.sprintf "scd broadcast (%d,%d) %s" sd sn payload
+  | Scd_deliver { size; pending } ->
+    Printf.sprintf "scd deliver set of %d message(s), %d buffered" size pending
+  | Scd_op { op; origin; oseq; ok; elapsed_us } ->
+    Printf.sprintf "scd %s op#%d.%d %s in %d us" op origin oseq
+      (if ok then "ok" else "FAILED")
+      elapsed_us
   | Note text -> text
 
 (* tid carried by an event, if any (for span grouping). *)
@@ -190,5 +208,6 @@ let tid = function
   | Window_advance _ -> None
   | Handler_invoke | Endhandler | Bus_frame _ | Bus_drop _ | Note _ | Fault_partition _
   | Fault_heal | Fault_crash _ | Fault_reboot _ | Fault_duplicate _ | Fault_jitter _
-  | Fault_loss_burst _ | Store_phase _ | Store_retry _ | Store_complete _ ->
+  | Fault_loss_burst _ | Store_phase _ | Store_retry _ | Store_complete _
+  | Scd_broadcast _ | Scd_deliver _ | Scd_op _ ->
     None

@@ -72,6 +72,13 @@ type kind =
       (** A quorum round failed to assemble a majority and is retried. *)
   | Store_complete of { op : string; key : int; ok : bool; rounds : int; elapsed_us : int }
       (** A store operation finished ([ok = false]: no quorum reachable). *)
+  | Scd_broadcast of { sd : int; sn : int; payload : string }
+      (** An SCD member started a broadcast (first FORWARD of a message). *)
+  | Scd_deliver of { size : int; pending : int }
+      (** An SCD member delivered a message set of [size] messages
+          ([pending] quadruplets remain buffered). *)
+  | Scd_op of { op : string; origin : int; oseq : int; ok : bool; elapsed_us : int }
+      (** An SCD client operation (write/snapshot/incr/cread) finished. *)
   | Note of string
 
 type t = {

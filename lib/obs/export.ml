@@ -117,6 +117,12 @@ let event_fields (e : Event.t) : json_field list =
     | Store_complete { op; key; ok; rounds; elapsed_us } ->
       [ ("op", `Str op); ("key", `Int key); ("ok", `Bool ok); ("rounds", `Int rounds);
         ("elapsed", `Int elapsed_us) ]
+    | Scd_broadcast { sd; sn; payload } ->
+      [ ("sd", `Int sd); ("sn", `Int sn); ("payload", `Str payload) ]
+    | Scd_deliver { size; pending } -> [ ("size", `Int size); ("pending", `Int pending) ]
+    | Scd_op { op; origin; oseq; ok; elapsed_us } ->
+      [ ("op", `Str op); ("origin", `Int origin); ("oseq", `Int oseq); ("ok", `Bool ok);
+        ("elapsed", `Int elapsed_us) ]
     | Note text -> [ ("actor", `Str e.actor); ("text", `Str text) ]
   in
   (* Causal identity trails the event's own fields; absent when the
@@ -281,7 +287,8 @@ let chrome_to_buffer b events =
             ("cat", `Str "bus"); ("ph", `Str "X"); ("pid", `Int bus_pid);
             ("tid", `Int 0); ("ts", `Int start_us); ("dur", `Int (end_us - start_us)) ]
       | Trap _ | Handler_invoke | Endhandler | Complete _
-      | Store_phase _ | Store_retry _ | Store_complete _ ->
+      | Store_phase _ | Store_retry _ | Store_complete _
+      | Scd_broadcast _ | Scd_deliver _ | Scd_op _ ->
         emit
           [ ("name", `Str (message e.kind)); ("cat", `Str "client"); ("ph", `Str "i");
             ("pid", `Int e.mid); ("tid", `Int track_client); ("ts", `Int e.time_us);

@@ -196,6 +196,11 @@ type t = {
   conns : (int, conn) Hashtbl.t;
   out_reqs : (int, out_req) Hashtbl.t;
   discovers : (int, discover_req) Hashtbl.t;
+  (* Broadcast frames are not covered by the per-connection seq/ack
+     machinery, so a bus-level duplication replays them verbatim. Responder
+     side of DISCOVER remembers recently answered (src, tid) pairs and
+     drops the replay instead of scheduling a second staggered reply. *)
+  seen_discovers : (int * int, unit) Hashtbl.t;
   srv_txns : (int * int, srv_txn) Hashtbl.t;
   mutable buffered : buffered_request option;  (* pipelined input buffer *)
   mutable epoch : int;  (* bumped on reset; stale deferred events are dropped *)
@@ -889,6 +894,7 @@ let create ~engine ~bus ~mid ~cost ~trace =
       conns = Hashtbl.create 8;
       out_reqs = Hashtbl.create 16;
       discovers = Hashtbl.create 4;
+      seen_discovers = Hashtbl.create 4;
       srv_txns = Hashtbl.create 16;
       buffered = None;
       epoch = 0;
@@ -1532,11 +1538,19 @@ let handle_probe_reply t tid alive =
   | Some _ | None -> ()
 
 let handle_discover t src tid pattern =
-  if (callbacks t).advertised pattern then begin
-    let delay = t.cost.Cost.discover_stagger_us * (t.mid + 1) in
-    Stats.incr t.stats "discover.matched";
+  if Hashtbl.mem t.seen_discovers (src, tid) then
+    Stats.incr t.stats "discover.duped"
+  else begin
+    Hashtbl.replace t.seen_discovers (src, tid) ();
     ignore
-      (defer t ~delay (fun () -> emit t ~dst:(`Peer src) (Wire.Discover_reply { tid })))
+      (defer t ~delay:(Cost.record_expiry_us t.cost) (fun () ->
+           Hashtbl.remove t.seen_discovers (src, tid)));
+    if (callbacks t).advertised pattern then begin
+      let delay = t.cost.Cost.discover_stagger_us * (t.mid + 1) in
+      Stats.incr t.stats "discover.matched";
+      ignore
+        (defer t ~delay (fun () -> emit t ~dst:(`Peer src) (Wire.Discover_reply { tid })))
+    end
   end
 
 let handle_discover_reply t src tid =
@@ -1906,6 +1920,7 @@ let reset t =
   Hashtbl.reset t.conns;
   Hashtbl.reset t.out_reqs;
   Hashtbl.reset t.discovers;
+  Hashtbl.reset t.seen_discovers;
   Hashtbl.reset t.srv_txns;
   Hashtbl.reset t.tid_causal;
   t.buffered <- None;

@@ -1,0 +1,762 @@
+module Types = Soda_base.Types
+module Pattern = Soda_base.Pattern
+module Rng = Soda_sim.Rng
+module Engine = Soda_sim.Engine
+module Kernel = Soda_core.Kernel
+module Sodal = Soda_runtime.Sodal
+module Cost = Soda_base.Cost_model
+module Scd_wire = Soda_proto.Scd_wire
+module Recorder = Soda_obs.Recorder
+module Metrics = Soda_obs.Metrics
+module Event = Soda_obs.Event
+
+let infinity_clock = max_int
+
+(* ---- patterns ----------------------------------------------------------- *)
+
+(* Stable per-(cluster, index) well-known patterns: an scd tag in the top
+   bits, a cluster hash in the middle, the member index in the low byte.
+   Each member advertises two entry points — its own pattern for client
+   operations and the shared cluster pattern for peer FORWARD frames —
+   and the handler branches on which one the request used. *)
+let cluster_hash cluster = Hashtbl.hash cluster land 0x3FFFFFF
+
+let member_pattern ~cluster ~index =
+  Pattern.well_known ((0o6 lsl 37) lor (cluster_hash cluster lsl 8) lor (index land 0xFF))
+
+let cluster_pattern ~cluster =
+  Pattern.well_known ((0o6 lsl 37) lor (1 lsl 36) lor (cluster_hash cluster lsl 8))
+
+(* ---- observability ------------------------------------------------------ *)
+
+let recorder env = Kernel.recorder (Sodal.kernel env)
+let metrics env = Recorder.metrics (recorder env)
+
+let emit env kind =
+  let r = recorder env in
+  if Recorder.tracing r then
+    Recorder.emit r
+      ?ctx:(Kernel.causal_parent (Sodal.kernel env))
+      ~time_us:(Sodal.now env) ~mid:(Sodal.my_mid env) ~actor:"scd" kind
+
+(* ---- operation codec ---------------------------------------------------- *)
+
+(* Client -> member submit payload:
+   [kind:1][origin:4][oseq:4][a:8][b:8]. *)
+
+let op_write = 0
+let op_snapshot = 1
+let op_incr = 2
+let op_cread = 3
+let op_request_size = 25
+
+let op_label = function
+  | 0 -> "write"
+  | 1 -> "snapshot"
+  | 2 -> "incr"
+  | _ -> "cread"
+
+let encode_op ~kind ~origin ~oseq ~a ~b =
+  let buf = Bytes.create op_request_size in
+  Bytes.set buf 0 (Char.chr (kind land 0xFF));
+  Bytes.set_int32_be buf 1 (Int32.of_int origin);
+  Bytes.set_int32_be buf 5 (Int32.of_int oseq);
+  Bytes.set_int64_be buf 9 (Int64.of_int a);
+  Bytes.set_int64_be buf 17 (Int64.of_int b);
+  buf
+
+let decode_op buf =
+  if Bytes.length buf <> op_request_size then None
+  else
+    Some
+      ( Char.code (Bytes.get buf 0),
+        Int32.to_int (Bytes.get_int32_be buf 1),
+        Int32.to_int (Bytes.get_int32_be buf 5),
+        Int64.to_int (Bytes.get_int64_be buf 9),
+        Int64.to_int (Bytes.get_int64_be buf 17) )
+
+(* Results: write -> applied timestamp (date, sd, sn); snapshot -> one
+   (value, date, sd, sn) entry per register; incr -> 8-byte ack;
+   cread -> the counter. *)
+
+let write_result_size = 12
+let reg_entry_size = 20
+let int_result_size = 8
+
+let encode_write_result ~date ~sd ~sn =
+  let b = Bytes.create write_result_size in
+  Bytes.set_int32_be b 0 (Int32.of_int date);
+  Bytes.set_int32_be b 4 (Int32.of_int sd);
+  Bytes.set_int32_be b 8 (Int32.of_int sn);
+  b
+
+let decode_write_result b =
+  ( Int32.to_int (Bytes.get_int32_be b 0),
+    Int32.to_int (Bytes.get_int32_be b 4),
+    Int32.to_int (Bytes.get_int32_be b 8) )
+
+let encode_int_result v =
+  let b = Bytes.create int_result_size in
+  Bytes.set_int64_be b 0 (Int64.of_int v);
+  b
+
+let decode_int_result b = Int64.to_int (Bytes.get_int64_be b 0)
+
+(* ---- member ------------------------------------------------------------- *)
+
+(* One outgoing FORWARD frame; [of_attempts] counts launches, so a frame
+   is dropped after [retry_cap] crash verdicts. *)
+type out_frame = { of_frame : bytes; mutable of_attempts : int }
+
+(* The per-peer send channel: a FIFO of FORWARD frames with at most one
+   transfer in flight and a backoff deadline after a failed attempt. *)
+type channel = {
+  ch_mid : int;
+  ch_q : out_frame Queue.t;
+  mutable ch_in_flight : bool;
+  mutable ch_ready_at : int;
+}
+
+(* A buffered quadruplet: one application message plus the clock vector
+   built from peer FORWARDs ([infinity_clock] = not heard yet). *)
+type quad = {
+  q_sd : int;
+  q_sn : int;
+  q_payload : Scd_wire.payload;
+  q_cl : int array;
+}
+
+(* A client operation this member proxies: created at submit (ticket
+   handed out in the accept's reply argument), broadcast by the task,
+   completed when its own message is delivered and applied here. *)
+type pending = {
+  p_ticket : int;
+  p_kind : int;
+  p_origin : int;
+  p_oseq : int;
+  p_a : int;
+  p_b : int;
+  (* Writes are two scd-broadcasts: a SYNC round first (so the proxy has
+     applied every write that completed before this one started — its
+     register date is then provably high enough), then the WRITE round.
+     [p_phase] is 1 during the sync round, 2 during the write round, 0
+     for single-round operations. *)
+  mutable p_phase : int;
+  mutable p_date : int;  (* write timestamp date, fixed at broadcast *)
+  mutable p_msg : (int * int) option;
+  mutable p_result : bytes option;
+  mutable p_waiter : Types.requester_signature option;  (* parked collect GET *)
+  p_start_us : int;
+}
+
+type member = {
+  cluster : string;
+  index : int;
+  n : int;
+  regs : int;
+  mids : int array;
+  peer_mids : int list;  (* everyone but us: the FORWARD multicast group *)
+  mutable clock : int;  (* sn of the next FORWARD this member sends *)
+  buffer : (int * int, quad) Hashtbl.t;
+  delivered : (int * int, unit) Hashtbl.t;
+  (* snapshot object *)
+  reg_v : int array;
+  reg_ts : (int * int * int) array;  (* (date, sd, sn), lexicographic *)
+  (* counter *)
+  mutable counter : int;
+  applied_incrs : (int * int, unit) Hashtbl.t;  (* (origin, oseq) *)
+  (* proxied client operations *)
+  mutable next_ticket : int;
+  ops : (int, pending) Hashtbl.t;
+  by_msg : (int * int, pending) Hashtbl.t;
+  (* work queues filled by the handler, drained by the task *)
+  inbox : Scd_wire.forward Queue.t;
+  op_inbox : int Queue.t;
+  (* per-peer outgoing FORWARD channels (see the echo path below) *)
+  chans : channel array;
+  mutable pump_cursor : int;
+  mutable next_launch_at : int;
+  mutable delivery_log : (int * int) list list;  (* newest first *)
+  mutable nbroadcasts : int;
+  mutable bcast_sns : int list;  (* sn of every broadcast we initiated *)
+  mutable boots : int;
+}
+
+let member ~cluster ~index ~mids ~regs =
+  let n = List.length mids in
+  if n = 0 then invalid_arg "Scd.member: empty cluster";
+  if index < 0 || index >= n then invalid_arg "Scd.member: index out of range";
+  if regs < 1 then invalid_arg "Scd.member: need at least one register";
+  {
+    cluster;
+    index;
+    n;
+    regs;
+    mids = Array.of_list mids;
+    peer_mids = List.filteri (fun i _ -> i <> index) mids;
+    clock = 0;
+    buffer = Hashtbl.create 32;
+    delivered = Hashtbl.create 64;
+    reg_v = Array.make regs 0;
+    reg_ts = Array.make regs (0, -1, -1);
+    counter = 0;
+    applied_incrs = Hashtbl.create 32;
+    next_ticket = 1;
+    ops = Hashtbl.create 16;
+    by_msg = Hashtbl.create 16;
+    inbox = Queue.create ();
+    op_inbox = Queue.create ();
+    chans =
+      Array.of_list
+        (List.filteri (fun i _ -> i <> index) mids
+        |> List.map (fun mid ->
+               { ch_mid = mid; ch_q = Queue.create (); ch_in_flight = false;
+                 ch_ready_at = 0 }));
+    pump_cursor = 0;
+    next_launch_at = 0;
+    delivery_log = [];
+    nbroadcasts = 0;
+    bcast_sns = [];
+    boots = 0;
+  }
+
+let deliveries m = List.rev m.delivery_log
+let registers m = Array.init m.regs (fun r -> (m.reg_v.(r), m.reg_ts.(r)))
+let counter_value m = m.counter
+let broadcasts_made m = m.nbroadcasts
+let broadcast_sns m = List.rev m.bcast_sns
+let buffered m = Hashtbl.length m.buffer
+let inbox_depth m = Queue.length m.inbox + Queue.length m.op_inbox
+let retry_depth m = Array.fold_left (fun acc ch -> acc + Queue.length ch.ch_q) 0 m.chans
+
+let majority m = (m.n / 2) + 1
+
+(* ---- echo path ---------------------------------------------------------- *)
+
+(* The delivery condition reasons about per-sender clocks, so the FORWARD
+   stream from one member to one peer must stay FIFO. Every send therefore
+   goes through the peer's channel: [echo] only enqueues, and [pump]
+   launches at most one non-blocking REQUEST per peer, advancing the queue
+   from the completion interrupt — a crashed or partitioned peer is
+   retried with jittered backoff (dropped after [retry_cap] verdicts) and
+   never stalls the other peers or the member task.
+
+   [pump] also enforces a global in-flight cap that shrinks with the
+   cluster size: all n members echo every message concurrently, and past
+   roughly 128 in-flight transfers cluster-wide the shared bus's queueing
+   delay exceeds the transport's retransmission budget, so healthy peers
+   start drawing spurious crash verdicts (congestion collapse). *)
+
+let retry_cap = 25
+let retry_spacing_us = 200_000
+
+(* Aggregate launch pacing: the 1 Mbit/s bus carries roughly 400 full
+   FORWARD transactions per second, and all n members send concurrently,
+   so each member spaces its launches n * 4 ms apart (cluster-wide ~250
+   frames/s, ~70% line utilisation) to keep the bus queue — and with it
+   every transfer's sojourn — under the retransmission crash budget. *)
+let launch_gap_us m = m.n * 4_000
+
+let echo m (fwd : Scd_wire.forward) =
+  if m.chans <> [||] then begin
+    let frame = Scd_wire.encode fwd in
+    Array.iter
+      (fun ch -> Queue.add { of_frame = frame; of_attempts = 0 } ch.ch_q)
+      m.chans
+  end
+
+let pump env m rng =
+  let len = Array.length m.chans in
+  if len > 0 then begin
+    let cap =
+      min (Cost.client_window (Kernel.cost (Sodal.kernel env))) (max 1 (128 / m.n))
+    in
+    let in_flight = ref 0 in
+    Array.iter (fun ch -> if ch.ch_in_flight then incr in_flight) m.chans;
+    let pat = cluster_pattern ~cluster:m.cluster in
+    let slots_full = ref false in
+    let i = ref 0 in
+    while (not !slots_full) && !in_flight < cap && !i < len do
+      let ch = m.chans.((m.pump_cursor + !i) mod len) in
+      incr i;
+      if
+        (not ch.ch_in_flight)
+        && (not (Queue.is_empty ch.ch_q))
+        &&
+        let now = Sodal.now env in
+        now >= ch.ch_ready_at && now >= m.next_launch_at
+      then begin
+        let f = Queue.peek ch.ch_q in
+        match Sodal.put env (Sodal.server ~mid:ch.ch_mid ~pattern:pat) ~arg:0 f.of_frame with
+        | exception Sodal.Too_many_requests -> slots_full := true
+        | tid ->
+          ch.ch_in_flight <- true;
+          incr in_flight;
+          m.next_launch_at <- Sodal.now env + launch_gap_us m;
+          f.of_attempts <- f.of_attempts + 1;
+          Metrics.incr (metrics env) "scd.forwards";
+          if f.of_attempts > 1 then Metrics.incr (metrics env) "scd.retry_frames";
+          Sodal.on_completion_of env tid (fun c ->
+              ch.ch_in_flight <- false;
+              match c.Sodal.status with
+              | Sodal.Comp_ok | Sodal.Comp_rejected ->
+                ignore (Queue.pop ch.ch_q);
+                ch.ch_ready_at <- 0
+              | Sodal.Comp_crashed | Sodal.Comp_unadvertised ->
+                if f.of_attempts >= retry_cap then begin
+                  ignore (Queue.pop ch.ch_q);
+                  Metrics.incr (metrics env) "scd.retry_dropped"
+                end
+                else
+                  ch.ch_ready_at <-
+                    Sodal.now env + retry_spacing_us
+                    + Rng.int rng (retry_spacing_us / 2))
+      end
+    done;
+    m.pump_cursor <- (m.pump_cursor + 1) mod len
+  end
+
+(* A queued frame not yet in flight waits on a timer (retry backoff or
+   the launch pacer), not on handler activity, so the task must poll. *)
+let sends_parked m =
+  Array.exists
+    (fun ch -> (not ch.ch_in_flight) && not (Queue.is_empty ch.ch_q))
+    m.chans
+
+(* ---- the SCD algorithm -------------------------------------------------- *)
+
+(* First sight of a message: buffer it with a fresh clock vector and echo
+   our own FORWARD. Repeat sights only lower the forwarder's clock entry
+   (min), which makes bus-duplicated or retried FORWARDs idempotent — an
+   echo is never double-counted. *)
+let process_forward env m (fwd : Scd_wire.forward) =
+  if fwd.sd < 0 || fwd.sd >= m.n || fwd.f < 0 || fwd.f >= m.n then
+    Metrics.incr (metrics env) "scd.bad_frame"
+  else begin
+    let key = (fwd.sd, fwd.sn) in
+    if Hashtbl.mem m.delivered key then Metrics.incr (metrics env) "scd.stale_forward"
+    else
+      match Hashtbl.find_opt m.buffer key with
+      | Some q -> q.q_cl.(fwd.f) <- min q.q_cl.(fwd.f) fwd.snf
+      | None ->
+        let q =
+          { q_sd = fwd.sd; q_sn = fwd.sn; q_payload = fwd.payload;
+            q_cl = Array.make m.n infinity_clock }
+        in
+        q.q_cl.(fwd.f) <- fwd.snf;
+        Hashtbl.replace m.buffer key q;
+        let snf = m.clock in
+        m.clock <- m.clock + 1;
+        q.q_cl.(m.index) <- min q.q_cl.(m.index) snf;
+        echo m { fwd with f = m.index; snf }
+  end
+
+let apply m (q : quad) =
+  match q.q_payload with
+  | Scd_wire.Write { reg; value; date; writer = _ } ->
+    if reg >= 0 && reg < m.regs then begin
+      (* max-wins on (date, sd, sn): commutative, so the order of applies
+         inside one delivered set does not matter *)
+      let ts = (date, q.q_sd, q.q_sn) in
+      if ts > m.reg_ts.(reg) then begin
+        m.reg_ts.(reg) <- ts;
+        m.reg_v.(reg) <- value
+      end
+    end
+  | Scd_wire.Incr { delta; origin; oseq } ->
+    if not (Hashtbl.mem m.applied_incrs (origin, oseq)) then begin
+      Hashtbl.replace m.applied_incrs (origin, oseq) ();
+      m.counter <- m.counter + delta
+    end
+  | Scd_wire.Sync -> ()
+
+let result_of_op m (p : pending) =
+  if p.p_kind = op_write then
+    let sd, sn = match p.p_msg with Some (sd, sn) -> (sd, sn) | None -> (m.index, -1) in
+    encode_write_result ~date:p.p_date ~sd ~sn
+  else if p.p_kind = op_snapshot then begin
+    let b = Bytes.create (m.regs * reg_entry_size) in
+    for r = 0 to m.regs - 1 do
+      let date, sd, sn = m.reg_ts.(r) in
+      let off = r * reg_entry_size in
+      Bytes.set_int64_be b off (Int64.of_int m.reg_v.(r));
+      Bytes.set_int32_be b (off + 8) (Int32.of_int date);
+      Bytes.set_int32_be b (off + 12) (Int32.of_int sd);
+      Bytes.set_int32_be b (off + 16) (Int32.of_int sn)
+    done;
+    b
+  end
+  else if p.p_kind = op_cread then encode_int_result m.counter
+  else encode_int_result 0
+
+let drop_op m (p : pending) =
+  Hashtbl.remove m.ops p.p_ticket;
+  match p.p_msg with Some key -> Hashtbl.remove m.by_msg key | None -> ()
+
+(* The operation's message was delivered (or an increment was recognised
+   as already applied): compute the reply from the just-updated local
+   state and complete a parked collect GET if one is waiting. *)
+let complete_op env m (p : pending) =
+  p.p_result <- Some (result_of_op m p);
+  let ms = metrics env in
+  Metrics.incr ms "scd.ops";
+  Metrics.observe ms "scd.op.us" (Sodal.now env - p.p_start_us);
+  emit env
+    (Event.Scd_op
+       { op = op_label p.p_kind; origin = p.p_origin; oseq = p.p_oseq; ok = true;
+         elapsed_us = Sodal.now env - p.p_start_us });
+  match (p.p_waiter, p.p_result) with
+  | Some asker, Some data -> (
+    p.p_waiter <- None;
+    match Sodal.accept_get env asker ~arg:0 ~data with
+    | Types.Accept_success -> drop_op m p
+    | Types.Accept_cancelled | Types.Accept_crashed ->
+      (* asker died; keep the result for a failover re-collect *)
+      ())
+  | _ -> ()
+
+let deliver_set env m quads =
+  let quads =
+    List.sort (fun a b -> compare (a.q_sd, a.q_sn) (b.q_sd, b.q_sn)) quads
+  in
+  let ids = List.map (fun q -> (q.q_sd, q.q_sn)) quads in
+  List.iter
+    (fun q ->
+      Hashtbl.remove m.buffer (q.q_sd, q.q_sn);
+      Hashtbl.replace m.delivered (q.q_sd, q.q_sn) ())
+    quads;
+  m.delivery_log <- ids :: m.delivery_log;
+  List.iter (fun q -> apply m q) quads;
+  let ms = metrics env in
+  Metrics.incr ms "scd.deliveries";
+  Metrics.observe ms "scd.set_size" (List.length ids);
+  emit env (Event.Scd_deliver { size = List.length ids; pending = Hashtbl.length m.buffer });
+  (* complete operations whose own message is in this set (after every
+     apply, so a snapshot/read sees the whole set's effect) *)
+  List.iter
+    (fun key ->
+      match Hashtbl.find_opt m.by_msg key with
+      | Some p when p.p_result = None ->
+        if p.p_kind = op_write && p.p_phase = 1 then begin
+          (* sync round done: the proxy is now up to date; run the write
+             round with a provably fresh date *)
+          p.p_phase <- 2;
+          Hashtbl.remove m.by_msg key;
+          p.p_msg <- None;
+          Queue.add p.p_ticket m.op_inbox
+        end
+        else complete_op env m p
+      | _ -> ())
+    ids
+
+(* Delivery condition: a buffered message whose clock is known for a
+   majority is a candidate; a candidate q must wait while some buffered
+   non-candidate q' is not provably after it (it might still have to join
+   q's set or precede it). [q < q'] iff a majority of clock entries are
+   strictly smaller; unknown entries (infinity on both sides) never count. *)
+let rec try_deliver env m =
+  let maj = majority m in
+  let known q =
+    Array.fold_left (fun acc v -> if v <> infinity_clock then acc + 1 else acc) 0 q.q_cl
+  in
+  let prec q q' =
+    let c = ref 0 in
+    for x = 0 to m.n - 1 do
+      if q.q_cl.(x) < q'.q_cl.(x) then incr c
+    done;
+    !c >= maj
+  in
+  let all = Hashtbl.fold (fun _ q acc -> q :: acc) m.buffer [] in
+  let cands, rest = List.partition (fun q -> known q >= maj) all in
+  let cands = ref cands in
+  let rest = ref rest in
+  let progress = ref true in
+  while !progress do
+    progress := false;
+    let blocked, ready =
+      List.partition (fun q -> List.exists (fun q' -> not (prec q q')) !rest) !cands
+    in
+    if blocked <> [] then begin
+      cands := ready;
+      rest := blocked @ !rest;
+      progress := true
+    end
+  done;
+  if !cands <> [] then begin
+    deliver_set env m !cands;
+    try_deliver env m
+  end
+
+(* ---- proxied operations ------------------------------------------------- *)
+
+let start_op env m ticket =
+  match Hashtbl.find_opt m.ops ticket with
+  | None -> ()
+  | Some p ->
+    if p.p_kind = op_incr && Hashtbl.mem m.applied_incrs (p.p_origin, p.p_oseq) then
+      (* failover retry of an increment that already went through: ack
+         without broadcasting a second application *)
+      complete_op env m p
+    else begin
+      let payload =
+        if p.p_kind = op_write && p.p_phase = 2 then begin
+          let date, _, _ = m.reg_ts.(p.p_a) in
+          p.p_date <- date + 1;
+          Scd_wire.Write { reg = p.p_a; value = p.p_b; date = date + 1; writer = m.index }
+        end
+        else if p.p_kind = op_incr then
+          Scd_wire.Incr { delta = p.p_a; origin = p.p_origin; oseq = p.p_oseq }
+        else Scd_wire.Sync
+      in
+      let sn = m.clock in
+      m.clock <- m.clock + 1;
+      let key = (m.index, sn) in
+      let q =
+        { q_sd = m.index; q_sn = sn; q_payload = payload;
+          q_cl = Array.make m.n infinity_clock }
+      in
+      q.q_cl.(m.index) <- sn;
+      Hashtbl.replace m.buffer key q;
+      p.p_msg <- Some key;
+      Hashtbl.replace m.by_msg key p;
+      m.nbroadcasts <- m.nbroadcasts + 1;
+      m.bcast_sns <- sn :: m.bcast_sns;
+      Metrics.incr (metrics env) "scd.broadcasts";
+      emit env
+        (Event.Scd_broadcast { sd = m.index; sn; payload = Scd_wire.payload_label payload });
+      echo m { Scd_wire.sd = m.index; sn; f = m.index; snf = sn; payload }
+    end
+
+(* ---- spec --------------------------------------------------------------- *)
+
+let valid_op m kind a = kind >= op_write && kind <= op_cread
+                        && (kind <> op_write || (a >= 0 && a < m.regs))
+
+let handle_request m env info =
+  if Pattern.equal info.Sodal.pattern (cluster_pattern ~cluster:m.cluster) then
+    (* peer FORWARD: accept in the handler (bounded) so a peer's blocking
+       multicast never waits on our task; the task drains the inbox *)
+    if info.Sodal.put_size > 0 && info.Sodal.get_size = 0 then begin
+      let into = Bytes.create info.Sodal.put_size in
+      let status, got = Sodal.accept_current_put env ~arg:0 ~into in
+      match status with
+      | Types.Accept_success -> (
+        let frame = if got = Bytes.length into then into else Bytes.sub into 0 got in
+        match Scd_wire.decode frame with
+        | Ok fwd -> Queue.add fwd m.inbox
+        | Error _ -> Metrics.incr (metrics env) "scd.bad_frame")
+      | Types.Accept_cancelled | Types.Accept_crashed -> ()
+    end
+    else Sodal.reject env
+  else if info.Sodal.put_size = op_request_size && info.Sodal.get_size = 0 then begin
+    (* submit: hand out a ticket in the accept's reply argument; the task
+       broadcasts the operation *)
+    let ticket = m.next_ticket in
+    m.next_ticket <- m.next_ticket + 1;
+    let into = Bytes.create op_request_size in
+    let status, got = Sodal.accept_current_put env ~arg:ticket ~into in
+    match status with
+    | Types.Accept_success when got = op_request_size -> (
+      match decode_op into with
+      | Some (kind, origin, oseq, a, b) when valid_op m kind a ->
+        let p =
+          { p_ticket = ticket; p_kind = kind; p_origin = origin; p_oseq = oseq; p_a = a;
+            p_b = b; p_phase = (if kind = op_write then 1 else 0); p_date = 0;
+            p_msg = None; p_result = None; p_waiter = None; p_start_us = Sodal.now env }
+        in
+        Hashtbl.replace m.ops ticket p;
+        Queue.add ticket m.op_inbox
+      | Some _ | None -> Metrics.incr (metrics env) "scd.bad_op")
+    | Types.Accept_success | Types.Accept_cancelled | Types.Accept_crashed -> ()
+  end
+  else if info.Sodal.get_size > 0 && info.Sodal.put_size = 0 then begin
+    (* collect: answer now if the operation is done, else park the asker
+       until its message is scd-delivered *)
+    match Hashtbl.find_opt m.ops info.Sodal.arg with
+    | Some p -> (
+      match p.p_result with
+      | Some data -> (
+        match Sodal.accept_current_get env ~arg:0 ~data with
+        | Types.Accept_success -> drop_op m p
+        | Types.Accept_cancelled | Types.Accept_crashed -> ())
+      | None -> p.p_waiter <- Some info.Sodal.asker)
+    | None -> Sodal.reject env
+  end
+  else Sodal.reject env
+
+let member_task m env =
+  let rng = Rng.split (Engine.rng (Kernel.engine (Sodal.kernel env))) in
+  while true do
+    let worked = ref false in
+    while not (Queue.is_empty m.inbox) do
+      worked := true;
+      process_forward env m (Queue.pop m.inbox)
+    done;
+    while not (Queue.is_empty m.op_inbox) do
+      worked := true;
+      start_op env m (Queue.pop m.op_inbox)
+    done;
+    try_deliver env m;
+    pump env m rng;
+    (* Re-check the inboxes before sleeping: [pump] awaits inside
+       [Sodal.put]'s trap, during which the handler may have accepted new
+       frames — their wake fired while we were blocked, not idle, so
+       sleeping on the stale [worked] flag would strand them (a lost
+       wakeup). *)
+    if (not !worked) && Queue.is_empty m.inbox && Queue.is_empty m.op_inbox then
+      if sends_parked m then Sodal.compute env 50_000 else Sodal.idle env
+  done
+
+let member_spec m =
+  let member_pat = member_pattern ~cluster:m.cluster ~index:m.index in
+  let cluster_pat = cluster_pattern ~cluster:m.cluster in
+  {
+    Sodal.default_spec with
+    init =
+      (fun env ~parent:_ ->
+        m.boots <- m.boots + 1;
+        (* completions registered by the previous incarnation died with
+           its env: clear the in-flight marks so the heads are re-sent
+           (duplicate FORWARDs are idempotent at the receiver) *)
+        Array.iter
+          (fun ch ->
+            ch.ch_in_flight <- false;
+            ch.ch_ready_at <- 0)
+          m.chans;
+        Sodal.advertise env member_pat;
+        Sodal.advertise env cluster_pat);
+    on_request = (fun env info -> handle_request m env info);
+    task = (fun env -> member_task m env);
+  }
+
+(* ---- client ------------------------------------------------------------- *)
+
+type t = {
+  cluster : string;
+  n : int;
+  c_regs : int;
+  members : Types.server_signature array;
+  mutable cur : int;
+  origin : int;
+  mutable oseq : int;
+  attempts : int;
+  backoff_base_us : int;
+  backoff_cap_us : int;
+  rng : Rng.t;
+}
+
+type error = Unreachable
+
+type ts = int * int * int
+
+let handle ?(attempts = 12) ?(backoff_base_us = 20_000) ?(backoff_cap_us = 500_000) env
+    ~cluster ~mids ~regs =
+  let n = List.length mids in
+  if n = 0 then invalid_arg "Scd.handle: empty cluster";
+  let members =
+    Array.of_list
+      (List.mapi
+         (fun i mid -> Sodal.server ~mid ~pattern:(member_pattern ~cluster ~index:i))
+         mids)
+  in
+  {
+    cluster;
+    n;
+    c_regs = regs;
+    members;
+    cur = Sodal.my_mid env mod n;
+    origin = Sodal.my_mid env;
+    oseq = 0;
+    attempts;
+    backoff_base_us;
+    backoff_cap_us;
+    rng = Rng.split (Engine.rng (Kernel.engine (Sodal.kernel env)));
+  }
+
+(* One operation: submit (PUT, accepted immediately with a ticket), then
+   collect (GET with the ticket, parked at the member until the
+   operation's message is delivered). Crashed/unadvertised members cause
+   a failover to the next member with capped jittered backoff; increments
+   stay exactly-once because members dedupe them by (origin, oseq). *)
+let do_op env t ~kind ~a ~b ~get_size =
+  t.oseq <- t.oseq + 1;
+  let oseq = t.oseq in
+  let t0 = Sodal.now env in
+  let req = encode_op ~kind ~origin:t.origin ~oseq ~a ~b in
+  let rec attempt k =
+    let sv = t.members.(t.cur) in
+    let fail_over () =
+      if k >= t.attempts then begin
+        Metrics.incr (metrics env) "scd.unreachable";
+        emit env
+          (Event.Scd_op
+             { op = op_label kind; origin = t.origin; oseq; ok = false;
+               elapsed_us = Sodal.now env - t0 });
+        Error Unreachable
+      end
+      else begin
+        Metrics.incr (metrics env) "scd.failovers";
+        t.cur <- (t.cur + 1) mod t.n;
+        let d = min t.backoff_cap_us (t.backoff_base_us lsl min (k - 1) 16) in
+        Sodal.compute env (d + Rng.int t.rng (max d 1));
+        attempt (k + 1)
+      end
+    in
+    let c = Sodal.b_put env sv ~arg:0 req in
+    match c.Sodal.status with
+    | Sodal.Comp_ok ->
+      let ticket = c.Sodal.reply_arg in
+      let into = Bytes.create get_size in
+      let rec collect j =
+        let g = Sodal.b_get env sv ~arg:ticket ~into in
+        match g.Sodal.status with
+        | Sodal.Comp_ok when g.Sodal.get_transferred = get_size ->
+          Metrics.incr (metrics env) "scd.client_ops";
+          Ok into
+        | Sodal.Comp_crashed when j < t.attempts ->
+          (* A collect parked past the transport's Delta-t draws a crash
+             verdict even when the member is alive and the operation
+             merely slow (large clusters: one broadcast is n(n-1) frames
+             on the shared bus). Re-collect the same ticket — the member
+             keeps the result when a parked asker's transaction aborts —
+             and only fail over to a fresh submit when the ticket is
+             really gone (rejected) or the retries run out. *)
+          Metrics.incr (metrics env) "scd.recollects";
+          Sodal.compute env (t.backoff_base_us + Rng.int t.rng t.backoff_base_us);
+          collect (j + 1)
+        | Sodal.Comp_ok | Sodal.Comp_rejected | Sodal.Comp_crashed
+        | Sodal.Comp_unadvertised ->
+          fail_over ()
+      in
+      collect 1
+    | Sodal.Comp_rejected | Sodal.Comp_crashed | Sodal.Comp_unadvertised -> fail_over ()
+  in
+  attempt 1
+
+let write env t ~reg v =
+  if reg < 0 || reg >= t.c_regs then invalid_arg "Scd.write: register out of range";
+  match do_op env t ~kind:op_write ~a:reg ~b:v ~get_size:write_result_size with
+  | Ok b -> Ok (decode_write_result b)
+  | Error e -> Error e
+
+let snapshot env t =
+  match do_op env t ~kind:op_snapshot ~a:0 ~b:0 ~get_size:(t.c_regs * reg_entry_size) with
+  | Ok b ->
+    Ok
+      (Array.init t.c_regs (fun r ->
+           let off = r * reg_entry_size in
+           ( Int64.to_int (Bytes.get_int64_be b off),
+             ( Int32.to_int (Bytes.get_int32_be b (off + 8)),
+               Int32.to_int (Bytes.get_int32_be b (off + 12)),
+               Int32.to_int (Bytes.get_int32_be b (off + 16)) ) )))
+  | Error e -> Error e
+
+let incr env t ~delta =
+  match do_op env t ~kind:op_incr ~a:delta ~b:0 ~get_size:int_result_size with
+  | Ok _ -> Ok ()
+  | Error e -> Error e
+
+let cread env t =
+  match do_op env t ~kind:op_cread ~a:0 ~b:0 ~get_size:int_result_size with
+  | Ok b -> Ok (decode_int_result b)
+  | Error e -> Error e

@@ -101,6 +101,14 @@ let all =
     b "ISFULL" ~arity:1 ~role:(Queue_op `Probe);
     b "ALMOSTFULL" ~arity:1 ~role:(Queue_op `Probe);
     b "ALMOSTEMPTY" ~arity:1 ~role:(Queue_op `Probe);
+    (* SCD-broadcast derived objects (lib/scd): join once from the task,
+       then operate; every operation blocks until its scd-broadcast
+       message is delivered back, so none is legal in the handler *)
+    b "SCD_JOIN" ~arity:2 ~context:Task_only;
+    b "SCD_WRITE" ~arity:2 ~context:Task_only ~blocking:true;
+    b "SCD_SNAPSHOT" ~arity:1 ~context:Task_only ~blocking:true;
+    b "SCD_INCR" ~arity:1 ~context:Task_only ~blocking:true;
+    b "SCD_CREAD" ~arity:0 ~context:Task_only ~blocking:true;
     b "SIG" ~arity:2;
     b "CONCAT" ~arity:2;
     b "ITOA" ~arity:1;

@@ -3,6 +3,7 @@ module Pattern = Soda_base.Pattern
 module Types = Soda_base.Types
 module Sodal = Soda_runtime.Sodal
 module Bqueue = Soda_runtime.Bqueue
+module Scd = Soda_scd.Scd
 
 exception Runtime_error of string
 
@@ -61,6 +62,7 @@ type state = {
   globals : (string, value ref) Hashtbl.t;
   print : string -> unit;
   program : Ast.program;
+  mutable scd : Scd.t option;  (** bound by SCD_JOIN, used by the SCD_* ops *)
 }
 
 let var_cell state name =
@@ -239,6 +241,41 @@ let call_builtin state env name args =
   | "PRINT" ->
     state.print (String.concat "" (List.map value_to_string args));
     VUnit
+  | "SCD_JOIN" ->
+    let n = as_int (arg 0) and regs = as_int (arg 1) in
+    if n <= 0 then error "SCD_JOIN: member count must be positive, got %d" n;
+    if regs <= 0 then error "SCD_JOIN: register count must be positive, got %d" regs;
+    state.scd <- Some (Scd.handle env ~cluster:"sodal" ~mids:(List.init n Fun.id) ~regs);
+    VUnit
+  | "SCD_WRITE" | "SCD_SNAPSHOT" | "SCD_INCR" | "SCD_CREAD" -> (
+    let h =
+      match state.scd with
+      | Some h -> h
+      | None -> error "%s before SCD_JOIN" name
+    in
+    let result =
+      match name with
+      | "SCD_WRITE" ->
+        let reg = as_int (arg 0) in
+        if reg < 0 then error "SCD_WRITE: register index must be non-negative, got %d" reg;
+        Result.map (fun (_ : Scd.ts) -> VUnit) (Scd.write env h ~reg (as_int (arg 1)))
+      | "SCD_SNAPSHOT" ->
+        let reg = as_int (arg 0) in
+        if reg < 0 then
+          error "SCD_SNAPSHOT: register index must be non-negative, got %d" reg;
+        Result.map
+          (fun arr ->
+            if reg >= Array.length arr then
+              error "SCD_SNAPSHOT: register %d out of range (%d registers)" reg
+                (Array.length arr)
+            else VInt (fst arr.(reg)))
+          (Scd.snapshot env h)
+      | "SCD_INCR" -> Result.map (fun () -> VUnit) (Scd.incr env h ~delta:(as_int (arg 0)))
+      | _ -> Result.map (fun v -> VInt v) (Scd.cread env h)
+    in
+    match result with
+    | Ok v -> v
+    | Error Scd.Unreachable -> error "%s: scd cluster unreachable" name)
   | _ -> error "unknown built-in %s" name
 
 (* ---- evaluation --------------------------------------------------------------- *)
@@ -354,7 +391,7 @@ let context_var_default = function
   | _ -> VInt 0
 
 let make_state ?(print = print_endline) program =
-  let state = { globals = Hashtbl.create 32; print; program } in
+  let state = { globals = Hashtbl.create 32; print; program; scd = None } in
   (* handler context variables always exist *)
   List.iter
     (fun name -> set_builtin_var state name (context_var_default name))

@@ -21,7 +21,11 @@
     - queues: [ENQUEUE(q,v)], [DEQUEUE(q)], [ISEMPTY(q)], [ISFULL(q)],
       [ALMOSTFULL(q)], [ALMOSTEMPTY(q)]
     - misc: [PRINT(...)], [CONCAT(a,b)], [ITOA(n)], [LENGTH(s)],
-      [CANCEL(tid)], [SIG(mid,tid)] *)
+      [CANCEL(tid)], [SIG(mid,tid)]
+    - SCD objects (task-only; members must run on mids [0..n-1]):
+      [SCD_JOIN(n,regs)], then [SCD_WRITE(reg,v)], [SCD_SNAPSHOT(reg)]
+      (returns the register's value from an atomic snapshot),
+      [SCD_INCR(delta)], [SCD_CREAD()] (returns the counter) *)
 
 module Sodal = Soda_runtime.Sodal
 

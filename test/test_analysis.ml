@@ -67,6 +67,8 @@ let golden_cases =
       [
         "sl055_a.sodal:16:3 warning SL055"; "sl055_b.sodal:16:3 warning SL055";
       ] );
+    ([ "sl060_no_join.sodal" ], [ "sl060_no_join.sodal:4:3 error SL060" ]);
+    ([ "sl061_bad_reg.sodal" ], [ "sl061_bad_reg.sodal:5:3 error SL061" ]);
   ]
 
 let test_golden () =
@@ -98,7 +100,7 @@ let test_rule_coverage () =
     [
       "SL000"; "SL001"; "SL002"; "SL003"; "SL004"; "SL010"; "SL011"; "SL012";
       "SL020"; "SL030"; "SL031"; "SL040"; "SL041"; "SL050"; "SL051"; "SL052";
-      "SL053"; "SL054"; "SL055";
+      "SL053"; "SL054"; "SL055"; "SL060"; "SL061";
     ]
 
 (* the shipped examples are lint-clean, checked as one system (the

@@ -22,5 +22,6 @@ let () =
          Test_analysis.suites;
          Test_chaos.suites;
          Test_store.suites;
+         Test_scd.suites;
          Test_scale.suites;
        ])

@@ -1,0 +1,444 @@
+(* SCD-broadcast (lib/scd): wire-codec units, the algorithm and its
+   derived objects on a healthy cluster, the discover-duplication
+   regression from the multicast audit, hand-crafted fault plans, and
+   the qcheck properties -- set-constrained delivery / containment of
+   the delivered sets, plus snapshot-object and counter consistency,
+   under random crash, partition, loss-burst and duplication plans.
+
+   A failing case prints its (seed, workload, fault plan) triple; the
+   plan is in the fault-plan file format, so saving it to plan.txt and
+   running
+
+     dune exec bin/sodal_run.exe -- --scd 3 --seed SEED --fault-plan plan.txt
+
+   replays the exact schedule bit-for-bit (same harness underneath).
+   Nightly soak runs scale the case count with SODA_SCD_CHECK_COUNT and
+   shift the seed space with SODA_SCD_SEED. *)
+
+open Helpers
+module Fault_plan = Soda_fault.Fault_plan
+module Scd_wire = Soda_proto.Scd_wire
+module Scd = Soda_scd.Scd
+module Harness = Soda_scd.Harness
+module Stats = Soda_sim.Stats
+module Bus = Soda_net.Bus
+module Metrics = Soda_obs.Metrics
+
+let env_int name default =
+  match Sys.getenv_opt name with
+  | Some s -> (try int_of_string (String.trim s) with _ -> default)
+  | None -> default
+
+let check_count = env_int "SODA_SCD_CHECK_COUNT" 120
+let seed_base = env_int "SODA_SCD_SEED" 0
+
+(* ---- wire codec -------------------------------------------------------- *)
+
+let test_wire_roundtrip () =
+  let frames =
+    [
+      { Scd_wire.sd = 0; sn = 0; f = 0; snf = 0; payload = Scd_wire.Sync };
+      { Scd_wire.sd = 3; sn = 41; f = 1; snf = 9;
+        payload = Scd_wire.Write { reg = 7; value = -123_456_789_012; date = 5; writer = 2 } };
+      { Scd_wire.sd = 65_535; sn = 0x7FFF_FFFF; f = 65_535; snf = 0x7FFF_FFFF;
+        payload = Scd_wire.Incr { delta = min_int; origin = 12; oseq = 34 } };
+    ]
+  in
+  List.iter
+    (fun fwd ->
+      let wire = Scd_wire.encode fwd in
+      Alcotest.(check int)
+        "encoded_size" (Bytes.length wire)
+        (Scd_wire.encoded_size fwd);
+      match Scd_wire.decode wire with
+      | Ok fwd' ->
+        Alcotest.(check bool)
+          (Format.asprintf "%a" Scd_wire.pp fwd)
+          true (Scd_wire.equal fwd fwd')
+      | Error e -> Alcotest.failf "decode failed: %s" e)
+    frames
+
+let test_wire_rejects_garbage () =
+  let reject label b =
+    match Scd_wire.decode b with
+    | Ok _ -> Alcotest.failf "%s decoded" label
+    | Error _ -> ()
+  in
+  reject "empty" Bytes.empty;
+  reject "truncated header" (Bytes.create 5);
+  let b = Bytes.make 29 '\000' in
+  Bytes.set b 0 '\xee';
+  reject "unknown tag" b;
+  let good =
+    Scd_wire.encode
+      { Scd_wire.sd = 1; sn = 2; f = 3; snf = 4;
+        payload = Scd_wire.Incr { delta = 9; origin = 1; oseq = 2 } }
+  in
+  reject "truncated payload" (Bytes.sub good 0 (Bytes.length good - 1))
+
+(* ---- healthy cluster ---------------------------------------------------- *)
+
+(* n members on mids 0..n-1, one scripted client on mid n. *)
+let with_cluster ?(n = 3) ?(regs = 2) ~seed script =
+  let cost = { Cost.default with maxrequests = n + 2 } in
+  let net, kernels = make_net ~seed ~cost (n + 1) in
+  let mids = List.init n Fun.id in
+  let members = Array.init n (fun index -> Scd.member ~cluster:"t" ~index ~mids ~regs) in
+  List.iteri
+    (fun mid kernel ->
+      if mid < n then ignore (Sodal.attach kernel (Scd.member_spec members.(mid))))
+    kernels;
+  ignore
+    (Sodal.attach (List.nth kernels n)
+       {
+         Sodal.default_spec with
+         task =
+           (fun env ->
+             Sodal.compute env 50_000;
+             let h = Scd.handle env ~cluster:"t" ~mids ~regs in
+             script env h);
+       });
+  run net;
+  (net, members)
+
+let ts_testable = Alcotest.(triple int int int)
+
+let test_objects_basic () =
+  let snapshots = ref [] in
+  let counts = ref [] in
+  let _, members =
+    with_cluster ~seed:61 (fun env h ->
+        (match Scd.write env h ~reg:0 42 with
+         | Ok _ -> ()
+         | Error Scd.Unreachable -> Alcotest.fail "write unreachable");
+        snapshots := [ Scd.snapshot env h ];
+        ignore (Scd.write env h ~reg:1 7);
+        ignore (Scd.write env h ~reg:0 43);
+        snapshots := Scd.snapshot env h :: !snapshots;
+        ignore (Scd.incr env h ~delta:5);
+        ignore (Scd.incr env h ~delta:6);
+        counts := [ Scd.cread env h ])
+  in
+  (match !snapshots with
+   | [ Ok s2; Ok s1 ] ->
+     Alcotest.(check int) "first snapshot sees the write" 42 (fst s1.(0));
+     Alcotest.(check int) "second snapshot: reg 0 overwritten" 43 (fst s2.(0));
+     Alcotest.(check int) "second snapshot: reg 1" 7 (fst s2.(1));
+     let _, (d1, _, _) = s1.(0) and _, (d2, _, _) = s2.(0) in
+     Alcotest.(check bool) "overwrite advanced the date" true (d2 > d1)
+   | _ -> Alcotest.fail "snapshots did not complete");
+  (match !counts with
+   | [ Ok c ] -> Alcotest.(check int) "counter totals the increments" 11 c
+   | _ -> Alcotest.fail "cread did not complete");
+  (* all members applied the same final state *)
+  Array.iter
+    (fun m ->
+      Alcotest.(check int) "register 0 converged" 43 (fst (Scd.registers m).(0));
+      Alcotest.(check int) "counter converged" 11 (Scd.counter_value m))
+    members
+
+(* Every member sends exactly one FORWARD per peer per message, so a
+   healthy loss-free run costs exactly n(n-1) frames per broadcast --
+   the O(n^2) bound the bench gates against. *)
+let test_quadratic_message_cost () =
+  let net, members =
+    with_cluster ~seed:62 (fun env h ->
+        ignore (Scd.write env h ~reg:0 1);
+        ignore (Scd.incr env h ~delta:2);
+        ignore (Scd.snapshot env h))
+  in
+  let broadcasts =
+    Array.fold_left (fun acc m -> acc + Scd.broadcasts_made m) 0 members
+  in
+  let metrics = Soda_obs.Recorder.metrics (Network.recorder net) in
+  Alcotest.(check bool) "some broadcasts happened" true (broadcasts > 0);
+  Alcotest.(check int) "forwards = n(n-1) per broadcast"
+    (broadcasts * 3 * 2)
+    (Metrics.counter metrics "scd.forwards");
+  Alcotest.(check int) "broadcast counter agrees" broadcasts
+    (Metrics.counter metrics "scd.broadcasts")
+
+let test_deliveries_well_formed () =
+  let r = Harness.run ~n:3 ~clients:2 ~ops:6 ~regs:2 ~seed:63 () in
+  Alcotest.(check int) "all clients finished" r.clients_total r.clients_done;
+  List.iter
+    (fun (op : Harness.op) ->
+      if op.outcome = Harness.Failed then
+        Alcotest.failf "op failed on a healthy cluster:\n%s"
+          (Format.asprintf "%a" Harness.pp_history r.history))
+    r.history;
+  (match Harness.check_delivery r with
+   | Ok () -> ()
+   | Error m -> Alcotest.fail m);
+  (match Harness.check_objects r with
+   | Ok () -> ()
+   | Error m -> Alcotest.fail m);
+  match Harness.check_convergence r with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail m
+
+(* write timestamps are unique and returned to the writer *)
+let test_write_timestamps () =
+  let results = ref [] in
+  ignore
+    (with_cluster ~seed:64 (fun env h ->
+         for i = 1 to 4 do
+           match Scd.write env h ~reg:0 i with
+           | Ok ts -> results := ts :: !results
+           | Error Scd.Unreachable -> Alcotest.fail "unreachable"
+         done));
+  let tss = List.rev !results in
+  Alcotest.(check int) "four writes" 4 (List.length tss);
+  Alcotest.(check (list ts_testable))
+    "timestamps strictly increase" tss (List.sort_uniq compare tss)
+
+(* ---- multicast duplication audit (satellite regression) ------------------ *)
+
+(* A duplicated DISCOVER broadcast used to trigger a second staggered
+   Discover_reply from every matcher; the responder now dedupes by
+   (src, tid) and counts the replay. *)
+let test_discover_duplication_deduped () =
+  let net, kernels = make_net ~seed:65 3 in
+  let pattern = Pattern.well_known 0o741 in
+  List.iter (fun k -> ignore (echo_server k pattern)) [ List.nth kernels 1; List.nth kernels 2 ];
+  let found = ref None in
+  ignore
+    (Sodal.attach (List.nth kernels 0)
+       {
+         Sodal.default_spec with
+         task =
+           (fun env ->
+             Sodal.compute env 20_000;
+             (* arm the bus so the DISCOVER frame itself is doubled *)
+             Bus.duplicate_next (Network.bus net);
+             found := Some (Sodal.discover env pattern));
+       });
+  run net;
+  Alcotest.(check bool) "discover still resolves" true (!found <> None);
+  List.iter
+    (fun responder ->
+      let stats = Kernel.stats (List.nth kernels responder) in
+      Alcotest.(check int)
+        (Printf.sprintf "responder %d matched the discover once" responder)
+        1
+        (Stats.counter stats "discover.matched");
+      Alcotest.(check bool)
+        (Printf.sprintf "responder %d saw the replay" responder)
+        true
+        (Stats.counter stats "discover.duped" >= 1))
+    [ 1; 2 ]
+
+(* ---- hand-crafted fault plans ------------------------------------------- *)
+
+let assert_safe ?(liveness = true) (r : Harness.result) =
+  if liveness then begin
+    Alcotest.(check int) "all clients finished" r.clients_total r.clients_done;
+    List.iter
+      (fun (op : Harness.op) ->
+        if op.outcome = Harness.Failed then
+          Alcotest.failf "op failed with a majority reachable:\n%s"
+            (Format.asprintf "%a" Harness.pp_history r.history))
+      r.history
+  end;
+  (match Harness.check_delivery r with
+   | Ok () -> ()
+   | Error m ->
+     Alcotest.failf "%s\n%s" m (Format.asprintf "%a" Harness.pp_history r.history));
+  match Harness.check_objects r with
+  | Ok () -> ()
+  | Error m ->
+    Alcotest.failf "%s\n%s" m (Format.asprintf "%a" Harness.pp_history r.history)
+
+let test_survives_minority_crash () =
+  let plan = [ { Fault_plan.at_us = 400_000; action = Fault_plan.Crash 0 } ] in
+  assert_safe
+    (Harness.run ~n:3 ~clients:2 ~ops:6 ~regs:2 ~seed:(seed_base + 66) ~plan ())
+
+let test_partition_heals_and_converges () =
+  let plan =
+    [
+      { Fault_plan.at_us = 300_000; action = Fault_plan.Partition ([ 0 ], [ 1; 2; 3; 4 ]) };
+      { Fault_plan.at_us = 900_000; action = Fault_plan.Heal };
+    ]
+  in
+  let r = Harness.run ~n:3 ~clients:2 ~ops:6 ~regs:2 ~seed:(seed_base + 67) ~plan () in
+  assert_safe r;
+  match Harness.check_convergence r with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail m
+
+let test_duplication_is_idempotent () =
+  let plan =
+    [
+      { Fault_plan.at_us = 0; action = Fault_plan.Duplicate_next 40 };
+      { Fault_plan.at_us = 500_000; action = Fault_plan.Duplicate_next 40 };
+    ]
+  in
+  let r = Harness.run ~n:3 ~clients:2 ~ops:6 ~regs:2 ~seed:(seed_base + 68) ~plan () in
+  assert_safe r;
+  match Harness.check_convergence r with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail m
+
+let test_loss_burst_safety () =
+  let plan =
+    [
+      { Fault_plan.at_us = 100_000;
+        action = Fault_plan.Loss_burst { rate = 0.25; duration_us = 300_000 } };
+    ]
+  in
+  (* the medium degrades: crash verdicts (hence Failed ops) are
+     legitimate, only safety is asserted *)
+  assert_safe ~liveness:false
+    (Harness.run ~n:3 ~clients:2 ~ops:6 ~regs:2 ~seed:(seed_base + 69) ~plan ())
+
+(* ---- properties under random fault plans -------------------------------- *)
+
+(* Four adversary modes. [Crashes] (minority, no reboot) and [Cut]
+   provably keep a majority of members reachable from every client, so
+   every operation must complete; [Dup] loses nothing, so the same
+   holds; [Burst] degrades the medium, where crash verdicts (and hence
+   Failed ops) are legitimate and only safety is asserted. Convergence
+   is only checked where nothing is permanently lost or down ([Cut],
+   [Dup]). *)
+type adversary =
+  | Crashes of (int * int) list  (* victim, at *)
+  | Cut of int list * int * int  (* minority group, at, heal gap *)
+  | Burst of int * int * int  (* at, rate pct, duration *)
+  | Dup of int * int  (* at, frames *)
+
+type scenario = {
+  n : int;
+  seed : int;
+  clients : int;
+  ops : int;
+  regs : int;
+  think_us : int;  (* 0 = hot contention: ops overlap constantly *)
+  adversary : adversary;
+}
+
+let gen_scenario ~n st =
+  let open QCheck.Gen in
+  let f = (n - 1) / 2 in
+  let seed = int_bound 99_999 st in
+  let clients = int_range 1 3 st in
+  let ops = int_range 3 8 st in
+  let regs = int_range 1 3 st in
+  let think_us = oneofl [ 0; 25_000; 250_000 ] st in
+  let adversary =
+    match int_bound 3 st with
+    | 0 ->
+      (* up to f distinct victims, crashed for good *)
+      let victims = List.init f (fun i -> i) in
+      let picked = List.filter (fun _ -> bool st) victims in
+      let picked = if picked = [] then [ 0 ] else picked in
+      Crashes (List.map (fun v -> (v, int_range 100_000 2_000_000 st)) picked)
+    | 1 ->
+      let size = int_range 1 f st in
+      let group = List.init size Fun.id in
+      Cut (group, int_range 100_000 1_500_000 st, int_range 100_000 1_000_000 st)
+    | 2 -> Burst (int_range 0 1_000_000 st, int_range 10 35 st, int_range 50_000 400_000 st)
+    | _ -> Dup (int_range 0 1_000_000 st, int_range 5 60 st)
+  in
+  { n; seed; clients; ops; regs; think_us; adversary }
+
+let plan_of_scenario s =
+  match s.adversary with
+  | Crashes victims ->
+    List.map (fun (v, at) -> { Fault_plan.at_us = at; action = Fault_plan.Crash v }) victims
+    |> List.sort (fun a b -> compare a.Fault_plan.at_us b.Fault_plan.at_us)
+  | Cut (group, at, heal_gap) ->
+    (* the minority group against everyone else (members + clients) *)
+    let others =
+      List.filter (fun m -> not (List.mem m group)) (List.init (s.n + 3) Fun.id)
+    in
+    [
+      { Fault_plan.at_us = at; action = Fault_plan.Partition (group, others) };
+      { Fault_plan.at_us = at + heal_gap; action = Fault_plan.Heal };
+    ]
+  | Burst (at, pct, duration_us) ->
+    [
+      { Fault_plan.at_us = at;
+        action = Fault_plan.Loss_burst { rate = float_of_int pct /. 100.0; duration_us } };
+    ]
+  | Dup (at, count) ->
+    [ { Fault_plan.at_us = at; action = Fault_plan.Duplicate_next count } ]
+
+let liveness_guaranteed s =
+  match s.adversary with Crashes _ | Cut _ | Dup _ -> true | Burst _ -> false
+
+let convergence_expected s =
+  match s.adversary with Cut _ | Dup _ -> true | Crashes _ | Burst _ -> false
+
+let scenario_print s =
+  Printf.sprintf
+    "n=%d seed=%d clients=%d ops=%d regs=%d think=%dus\n-- fault plan --\n%s-- replay --\n\
+     save the plan above to plan.txt, then:\n\
+     \  dune exec bin/sodal_run.exe -- --scd %d --scd-clients %d --scd-ops %d \\\n\
+     \    --scd-regs %d --scd-think-us %d --seed %d --fault-plan plan.txt\n"
+    s.n (seed_base + s.seed + 1) s.clients s.ops s.regs s.think_us
+    (Fault_plan.to_string (plan_of_scenario s))
+    s.n s.clients s.ops s.regs s.think_us (seed_base + s.seed + 1)
+
+let prop_scd ~n =
+  QCheck.Test.make
+    ~name:
+      (Printf.sprintf "scd: set-constrained delivery and object safety (n=%d)" n)
+    ~count:check_count
+    (QCheck.make ~print:scenario_print (gen_scenario ~n))
+    (fun s ->
+      let r =
+        Harness.run ~n ~clients:s.clients ~ops:s.ops ~regs:s.regs ~think_us:s.think_us
+          ~seed:(seed_base + s.seed + 1) ~plan:(plan_of_scenario s) ()
+      in
+      if r.clients_done <> r.clients_total then
+        QCheck.Test.fail_reportf "hang: %d/%d clients finished" r.clients_done
+          r.clients_total;
+      if liveness_guaranteed s then
+        List.iter
+          (fun (o : Harness.op) ->
+            if o.outcome = Harness.Failed then
+              QCheck.Test.fail_reportf
+                "op failed with a majority reachable:@.%a" Harness.pp_history r.history)
+          r.history;
+      (match Harness.check_delivery r with
+       | Ok () -> ()
+       | Error msg ->
+         QCheck.Test.fail_reportf "%s:@.%a" msg Harness.pp_history r.history);
+      (match Harness.check_objects r with
+       | Ok () -> ()
+       | Error msg ->
+         QCheck.Test.fail_reportf "%s:@.%a" msg Harness.pp_history r.history);
+      if convergence_expected s then
+        (match Harness.check_convergence r with
+         | Ok () -> ()
+         | Error msg ->
+           QCheck.Test.fail_reportf "%s:@.%a" msg Harness.pp_history r.history);
+      true)
+
+let suites =
+  [
+    ( "scd",
+      [
+        Alcotest.test_case "wire: round-trips every payload" `Quick test_wire_roundtrip;
+        Alcotest.test_case "wire: rejects garbage" `Quick test_wire_rejects_garbage;
+        Alcotest.test_case "objects on a healthy cluster" `Quick test_objects_basic;
+        Alcotest.test_case "quadratic message cost" `Quick test_quadratic_message_cost;
+        Alcotest.test_case "delivery properties on a healthy run" `Quick
+          test_deliveries_well_formed;
+        Alcotest.test_case "write timestamps increase" `Quick test_write_timestamps;
+        Alcotest.test_case "duplicated DISCOVER answered once" `Quick
+          test_discover_duplication_deduped;
+        Alcotest.test_case "survives a minority crash" `Quick test_survives_minority_crash;
+        Alcotest.test_case "partition heals and converges" `Quick
+          test_partition_heals_and_converges;
+        Alcotest.test_case "frame duplication is idempotent" `Quick
+          test_duplication_is_idempotent;
+        Alcotest.test_case "loss burst keeps safety" `Quick test_loss_burst_safety;
+      ] );
+    ( "scd.prop",
+      [
+        QCheck_alcotest.to_alcotest (prop_scd ~n:3);
+        QCheck_alcotest.to_alcotest (prop_scd ~n:5);
+      ] );
+  ]

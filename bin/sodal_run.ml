@@ -177,17 +177,34 @@ let run_scd ~seed ~seconds ~trace ~metrics ~metrics_json ~fault_plan ~n ~clients
     if delivery_ok && objects_ok then `Ok ()
     else `Error (false, "scd safety checkers found violations")
 
-(* --check: run the sodalint static analyzer (same rules as
-   bin/sodal_check.exe) and stop instead of executing. *)
+(* --check: run the sodalint static analyzer and the whole-system model
+   checker (same rules as bin/sodal_check.exe --model-check) and stop
+   instead of executing. *)
 let run_check files =
+  let module An = Soda_analysis in
   let sources =
-    List.map (fun path -> { Soda_analysis.Sodalint.path; text = read_file path }) files
+    List.map (fun path -> { An.Sodalint.path; text = read_file path }) files
   in
-  let diags = Soda_analysis.Sodalint.analyze sources in
-  List.iter (fun d -> Format.printf "%a@." Soda_analysis.Diagnostic.pp d) diags;
-  if Soda_analysis.Diagnostic.has_errors diags then
+  let diags = An.Sodalint.analyze sources in
+  let programs, parse_diags = An.Sodalint.parse_programs sources in
+  let diags, mc =
+    if parse_diags <> [] then (diags, None)
+    else
+      let r = An.Modelcheck.run (An.Automata.extract programs) in
+      ( List.sort_uniq An.Diagnostic.compare
+          (diags @ An.Modelcheck.diagnostics_of r),
+        Some r )
+  in
+  List.iter (fun d -> Format.printf "%a@." An.Diagnostic.pp d) diags;
+  if An.Diagnostic.has_errors diags then
     `Error (false, "static analysis found errors; not running")
   else begin
+    (match mc with
+     | Some r ->
+       Printf.printf "-- model check: %d configuration(s) explored%s\n"
+         r.An.Modelcheck.configs_explored
+         (if r.An.Modelcheck.exhausted then "" else " (bounded)")
+     | None -> ());
     Printf.printf "-- %d file(s) pass sodalint\n" (List.length files);
     `Ok ()
   end
@@ -423,8 +440,9 @@ let check =
     value & flag
     & info [ "check" ]
         ~doc:
-          "Statically check the programs (sodalint, see docs/ANALYSIS.md) instead \
-           of running them; non-zero exit if any rule reports an error.")
+          "Statically check the programs (sodalint plus the whole-system model \
+           checker, see docs/ANALYSIS.md) instead of running them; non-zero \
+           exit if any rule reports an error.")
 
 let files =
   Arg.(value & pos_all file [] & info [] ~docv:"FILE.sodal" ~doc:"SODAL source files.")

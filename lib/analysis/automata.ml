@@ -1,0 +1,438 @@
+(* Communicating-automata extraction for the whole-system model checker
+   (see {!Modelcheck} and docs/ANALYSIS.md "Model checking").
+
+   Each SODAL program becomes one finite automaton: states are the CFG
+   program points of its initialization and task sections (chained, the
+   way the runtime runs them), and every protocol-visible built-in call
+   — classified by {!Builtins.effect_of}, the same shared table the
+   interpreter dispatches on — becomes an effect on the node that
+   contains it, in evaluation (post-)order, so a nested
+   [ACCEPT_PUT(DEQUEUE(q), ...)] reads "pop the deferred signature, then
+   accept it". Handler [case entry] arms are extracted as their own
+   little automata, executed atomically on message delivery (§4.1.1: the
+   handler runs to completion).
+
+   Pattern operands are resolved by the same constant folding the
+   cross-program rules use; whatever cannot be resolved statically
+   (GETUNIQUEID patterns, computed queue names, effects hidden in
+   [case completion] arms) sets the [imprecise] flag, which makes the
+   model checker refrain from the universal claims (SL071). *)
+
+module Ast = Soda_sodal_lang.Ast
+module Builtins = Soda_sodal_lang.Builtins
+module SM = Map.Make (String)
+
+type site = {
+  s_file : string;
+  s_prog : string;
+  s_pos : Ast.pos;
+  s_builtin : string;
+  s_pattern : int option;
+}
+
+(* one protocol-visible effect, in evaluation order within its node *)
+type eff =
+  | Advertise of int option
+  | Unadvertise of int option
+  | Request of {
+      shape : Builtins.shape;
+      blocking : bool;
+      pattern : int option;
+      site : int;
+    }
+  | Discover of { pattern : int option; site : int }
+  | Accept_current of { shape : Builtins.shape; site : int }
+  | Accept_queued of { queue : int option; site : int }
+      (* by-signature accept; [queue] is the signature queue index when
+         the signature operand is literally DEQUEUE(q) — the §4.2.1 port
+         idiom *)
+  | Reject of { site : int }
+  | Defer of { queue : int; site : int }  (* ENQUEUE(q, ASKER) *)
+  | Enqueue_data of int
+  | Dequeue_data of int
+  | Open_h
+  | Close_h
+  | Idle of { site : int }
+  | Die of { site : int }
+
+(* branch conditions the model can resolve exactly against the tracked
+   queue lengths; everything else is nondeterministic *)
+type cond =
+  | Unknown
+  | Probe of { queue : int; kind : [ `Empty | `Full ]; negated : bool }
+
+type kind =
+  | Seq of int list  (* successors *)
+  | Branch of cond * int list * int list  (* true / false successors *)
+  | Exit_section  (* end of the task: the machine keeps serving *)
+
+type node = { effs : eff array; kind : kind }
+
+type arm = {
+  a_label : [ `Pat of int | `Otherwise | `Unknown ];
+  a_nodes : node array;
+  a_entry : int;
+}
+
+type prog = {
+  p_file : string;
+  p_name : string;
+  p_entry : int;
+  p_nodes : node array;
+  p_arms : arm list;
+  p_q_caps : int array;
+  p_q_sig : bool array;  (* the queue ever holds requester signatures *)
+  p_q_names : string array;
+  p_imprecise : bool;
+}
+
+type system = {
+  progs : prog array;
+  sites : site array;
+  sys_imprecise : bool;
+}
+
+let site_name (s : site) =
+  match s.s_pattern with
+  | Some p -> Printf.sprintf "%s %%0%o" s.s_builtin p
+  | None -> s.s_builtin
+
+(* ---- per-program extraction ---------------------------------------------- *)
+
+type ctx = {
+  file : string;
+  prog_name : string;
+  env : Check.const_value SM.t;
+  q_index : int SM.t;
+  q_sig : bool array;
+  sites_acc : site list ref;
+  mutable n_sites : int;
+  mutable imprecise : bool;
+}
+
+let mk_site ctx name pos pattern =
+  let id = ctx.n_sites in
+  ctx.n_sites <- id + 1;
+  ctx.sites_acc :=
+    {
+      s_file = ctx.file;
+      s_prog = ctx.prog_name;
+      s_pos = pos;
+      s_builtin = name;
+      s_pattern = pattern;
+    }
+    :: !(ctx.sites_acc);
+  id
+
+let queue_of ctx (e : Ast.expr) =
+  match e.Ast.expr with
+  | Ast.Var q -> SM.find_opt (String.uppercase_ascii q) ctx.q_index
+  | _ -> None
+
+let rec mentions_asker (e : Ast.expr) =
+  match e.Ast.expr with
+  | Ast.Var x | Ast.Field (x, _) -> String.uppercase_ascii x = "ASKER"
+  | Ast.Binop (_, a, b) -> mentions_asker a || mentions_asker b
+  | Ast.Unop (_, a) -> mentions_asker a
+  | Ast.Call (_, args) -> List.exists mentions_asker args
+  | Ast.Int _ | Ast.Bool _ | Ast.Str _ | Ast.Pattern_lit _ -> false
+
+let nth_opt = List.nth_opt
+
+let pattern_arg ctx args i =
+  Option.bind (nth_opt args i) (Check.as_pattern_const ctx.env)
+
+(* effects of one expression, evaluation order (arguments first) *)
+let rec effs_of_expr ctx acc (e : Ast.expr) =
+  match e.Ast.expr with
+  | Ast.Binop (_, a, b) -> effs_of_expr ctx (effs_of_expr ctx acc a) b
+  | Ast.Unop (_, a) -> effs_of_expr ctx acc a
+  | Ast.Int _ | Ast.Bool _ | Ast.Str _ | Ast.Pattern_lit _ | Ast.Var _ | Ast.Field _
+    ->
+    acc
+  | Ast.Call (name, args) -> (
+    match Builtins.find name with
+    | None -> List.fold_left (effs_of_expr ctx) acc args
+    | Some b -> (
+      match Builtins.effect_of b with
+      | Builtins.Eff_accept { current = false; shape = _ } -> (
+        (* nested DEQUEUE(q) as the signature operand: pop that deferred
+           requester and complete it — don't also count the dequeue *)
+        match args with
+        | ({ Ast.expr = Ast.Call (dq, [ qe ]); _ } as sig_arg) :: rest
+          when (match Builtins.find dq with
+               | Some db -> Builtins.effect_of db = Builtins.Eff_dequeue
+               | None -> false) -> (
+          match queue_of ctx qe with
+          | Some q when ctx.q_sig.(q) ->
+            let acc = List.fold_left (effs_of_expr ctx) acc rest in
+            Accept_queued { queue = Some q; site = mk_site ctx name e.Ast.eloc None }
+            :: acc
+          | _ ->
+            let acc = List.fold_left (effs_of_expr ctx) acc (sig_arg :: rest) in
+            Accept_queued { queue = None; site = mk_site ctx name e.Ast.eloc None }
+            :: acc)
+        | _ ->
+          let acc = List.fold_left (effs_of_expr ctx) acc args in
+          Accept_queued { queue = None; site = mk_site ctx name e.Ast.eloc None }
+          :: acc)
+      | eff -> (
+        let acc = List.fold_left (effs_of_expr ctx) acc args in
+        match eff with
+        | Builtins.Eff_advertise ->
+          let p = pattern_arg ctx args 0 in
+          if p = None then ctx.imprecise <- true;
+          Advertise p :: acc
+        | Builtins.Eff_unadvertise ->
+          let p = pattern_arg ctx args 0 in
+          if p = None then ctx.imprecise <- true;
+          Unadvertise p :: acc
+        | Builtins.Eff_request { shape; blocking } ->
+          let p = pattern_arg ctx args 1 in
+          if p = None then ctx.imprecise <- true;
+          Request
+            { shape; blocking; pattern = p; site = mk_site ctx name e.Ast.eloc p }
+          :: acc
+        | Builtins.Eff_discover ->
+          let p = pattern_arg ctx args 0 in
+          if p = None then ctx.imprecise <- true;
+          Discover { pattern = p; site = mk_site ctx name e.Ast.eloc p } :: acc
+        | Builtins.Eff_accept { current = true; shape } ->
+          Accept_current { shape; site = mk_site ctx name e.Ast.eloc None } :: acc
+        | Builtins.Eff_accept { current = false; _ } -> assert false
+        | Builtins.Eff_reject -> Reject { site = mk_site ctx name e.Ast.eloc None } :: acc
+        | Builtins.Eff_enqueue -> (
+          match (nth_opt args 0, nth_opt args 1) with
+          | Some qe, Some v -> (
+            match queue_of ctx qe with
+            | Some q ->
+              if mentions_asker v && ctx.q_sig.(q) then
+                Defer { queue = q; site = mk_site ctx "ENQUEUE" e.Ast.eloc None } :: acc
+              else Enqueue_data q :: acc
+            | None ->
+              ctx.imprecise <- true;
+              acc)
+          | _ -> acc)
+        | Builtins.Eff_dequeue -> (
+          match Option.bind (nth_opt args 0) (queue_of ctx) with
+          | Some q -> Dequeue_data q :: acc
+          | None ->
+            ctx.imprecise <- true;
+            acc)
+        | Builtins.Eff_probe -> acc
+        | Builtins.Eff_open -> Open_h :: acc
+        | Builtins.Eff_close -> Close_h :: acc
+        | Builtins.Eff_idle -> Idle { site = mk_site ctx name e.Ast.eloc None } :: acc
+        | Builtins.Eff_die -> Die { site = mk_site ctx name e.Ast.eloc None } :: acc
+        | Builtins.Eff_pure -> acc)))
+
+let effs_of_instr ctx (instr : Cfg.instr) =
+  let exprs =
+    match instr with
+    | Cfg.Assign (_, e) | Cfg.Eval e | Cfg.Branch e -> [ e ]
+    | Cfg.Nop _ | Cfg.Ret -> []
+  in
+  Array.of_list
+    (List.rev (List.fold_left (fun acc e -> effs_of_expr ctx acc e) [] exprs))
+
+let rec classify_cond ctx negated (e : Ast.expr) =
+  match e.Ast.expr with
+  | Ast.Unop (Ast.Not, a) -> classify_cond ctx (not negated) a
+  | Ast.Call ("ISEMPTY", [ qe ]) -> (
+    match queue_of ctx qe with
+    | Some q -> Probe { queue = q; kind = `Empty; negated }
+    | None -> Unknown)
+  | Ast.Call ("ISFULL", [ qe ]) -> (
+    match queue_of ctx qe with
+    | Some q -> Probe { queue = q; kind = `Full; negated }
+    | None -> Unknown)
+  | _ -> Unknown
+
+(* translate one section CFG into nodes, with ids shifted by [offset];
+   [on_exit] gives the section exit node's kind *)
+let nodes_of_cfg ctx (cfg : Cfg.t) ~offset ~exit_kind =
+  Array.map
+    (fun (n : Cfg.node) ->
+      let shift = List.map (fun id -> id + offset) in
+      let effs = effs_of_instr ctx n.Cfg.instr in
+      let kind =
+        if n.Cfg.id = cfg.Cfg.exit_ then exit_kind
+        else
+          match n.Cfg.instr with
+          | Cfg.Branch e ->
+            Branch
+              (classify_cond ctx false e, shift n.Cfg.succ_true, shift n.Cfg.succ_false)
+          | _ -> Seq (shift n.Cfg.succ)
+      in
+      { effs; kind })
+    cfg.Cfg.nodes
+
+let extract_prog ~file (p : Ast.program) : prog * site list =
+  let env = Check.const_env p in
+  (* queue declarations, in declaration order *)
+  let q_names = ref [] and q_caps = ref [] in
+  List.iter
+    (fun (d : Ast.decl) ->
+      match d.Ast.decl with
+      | Ast.Var_decl (names, Ast.T_queue cap) ->
+        List.iter
+          (fun n ->
+            q_names := String.uppercase_ascii n :: !q_names;
+            q_caps := cap :: !q_caps)
+          names
+      | _ -> ())
+    p.Ast.decls;
+  let q_names = Array.of_list (List.rev !q_names) in
+  let q_caps = Array.of_list (List.rev !q_caps) in
+  let q_index =
+    Array.to_seq q_names
+    |> Seq.fold_lefti (fun m i name -> SM.add name i m) SM.empty
+  in
+  (* a queue is a signature queue when anything ENQUEUEs ASKER into it *)
+  let q_sig = Array.make (Array.length q_names) false in
+  List.iter
+    (fun (_, stmts) ->
+      Check.iter_section_exprs
+        (fun (e : Ast.expr) ->
+          match e.Ast.expr with
+          | Ast.Call ("ENQUEUE", [ { Ast.expr = Ast.Var q; _ }; v ]) -> (
+            match SM.find_opt (String.uppercase_ascii q) q_index with
+            | Some i when mentions_asker v -> q_sig.(i) <- true
+            | _ -> ())
+          | _ -> ())
+        stmts)
+    (Check.sections p);
+  let ctx =
+    {
+      file;
+      prog_name = p.Ast.name;
+      env;
+      q_index;
+      q_sig;
+      sites_acc = ref [];
+      n_sites = 0;
+      imprecise = false;
+    }
+  in
+  (* initialization chained into the task, the way the runtime runs them *)
+  let cfg_init = Cfg.build p.Ast.initialization in
+  let cfg_task = Cfg.build p.Ast.task in
+  let n_init = Array.length cfg_init.Cfg.nodes in
+  let init_nodes =
+    nodes_of_cfg ctx cfg_init ~offset:0 ~exit_kind:(Seq [ n_init + cfg_task.Cfg.entry ])
+  in
+  let task_nodes = nodes_of_cfg ctx cfg_task ~offset:n_init ~exit_kind:Exit_section in
+  let nodes = Array.append init_nodes task_nodes in
+  (* handler arms: [case entry of] dispatches arrivals; effects outside
+     those arms (or in [case completion]) are invisible to the model *)
+  let arms = ref [] in
+  let in_arms = ref [] in
+  List.iter
+    (Check.iter_stmt
+       ~expr:(fun _ -> ())
+       ~stmt:(fun (s : Ast.stmt) ->
+         match s.Ast.stmt with
+         | Ast.Case_entry case_arms ->
+           List.iter
+             (fun (label, body) ->
+               in_arms := body :: !in_arms;
+               let a_label =
+                 match label with
+                 | None -> `Otherwise
+                 | Some le -> (
+                   match Check.as_pattern_const env le with
+                   | Some pat -> `Pat pat
+                   | None ->
+                     ctx.imprecise <- true;
+                     `Unknown)
+               in
+               let cfg = Cfg.build body in
+               let a_nodes = nodes_of_cfg ctx cfg ~offset:0 ~exit_kind:(Seq []) in
+               arms := { a_label; a_nodes; a_entry = cfg.Cfg.entry } :: !arms)
+             case_arms
+         | _ -> ()))
+    p.Ast.handler;
+  (* handler effects outside any entry arm would run where the model
+     cannot see them: flag, don't model *)
+  let armed_stmts = List.concat !in_arms in
+  let armed = ref [] in
+  List.iter
+    (Check.iter_stmt
+       ~expr:(fun e -> armed := e :: !armed)
+       ~stmt:(fun _ -> ()))
+    armed_stmts;
+  let in_armed (e : Ast.expr) =
+    List.exists (fun (a : Ast.expr) -> a == e) !armed
+  in
+  List.iter
+    (Check.iter_stmt
+       ~expr:(fun e ->
+         Check.iter_expr
+           (fun (sub : Ast.expr) ->
+             match sub.Ast.expr with
+             | Ast.Call (name, _) -> (
+               match Builtins.find name with
+               | Some b
+                 when Builtins.effect_of b <> Builtins.Eff_pure
+                      && Builtins.effect_of b <> Builtins.Eff_probe
+                      && not (in_armed e) ->
+                 ctx.imprecise <- true
+               | _ -> ())
+             | _ -> ())
+           e)
+       ~stmt:(fun _ -> ()))
+    p.Ast.handler;
+  ( {
+      p_file = file;
+      p_name = p.Ast.name;
+      p_entry = cfg_init.Cfg.entry;
+      p_nodes = nodes;
+      p_arms = List.rev !arms;
+      p_q_caps = q_caps;
+      p_q_sig = q_sig;
+      p_q_names = q_names;
+      p_imprecise = ctx.imprecise;
+    },
+    List.rev !(ctx.sites_acc) )
+
+(* ---- whole-system extraction ----------------------------------------------- *)
+
+(* Site ids are per-system: each program's local ids are shifted onto one
+   global table so the model checker can index bookkeeping arrays. *)
+let shift_sites offset (p : prog) =
+  let shift_eff = function
+    | Request r -> Request { r with site = r.site + offset }
+    | Discover d -> Discover { d with site = d.site + offset }
+    | Accept_current a -> Accept_current { a with site = a.site + offset }
+    | Accept_queued a -> Accept_queued { a with site = a.site + offset }
+    | Reject r -> Reject { site = r.site + offset }
+    | Defer d -> Defer { d with site = d.site + offset }
+    | Idle i -> Idle { site = i.site + offset }
+    | Die d -> Die { site = d.site + offset }
+    | (Advertise _ | Unadvertise _ | Enqueue_data _ | Dequeue_data _ | Open_h | Close_h)
+      as e ->
+      e
+  in
+  let shift_nodes = Array.map (fun n -> { n with effs = Array.map shift_eff n.effs }) in
+  {
+    p with
+    p_nodes = shift_nodes p.p_nodes;
+    p_arms = List.map (fun a -> { a with a_nodes = shift_nodes a.a_nodes }) p.p_arms;
+  }
+
+let extract (programs : (string * Ast.program) list) : system =
+  let progs, site_lists =
+    List.split (List.map (fun (file, p) -> extract_prog ~file p) programs)
+  in
+  let shifted, _ =
+    List.fold_left2
+      (fun (acc, offset) p sites ->
+        (shift_sites offset p :: acc, offset + List.length sites))
+      ([], 0) progs site_lists
+  in
+  let progs = Array.of_list (List.rev shifted) in
+  {
+    progs;
+    sites = Array.of_list (List.concat site_lists);
+    sys_imprecise = Array.exists (fun p -> p.p_imprecise) progs;
+  }

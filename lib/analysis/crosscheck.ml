@@ -278,56 +278,19 @@ let check (programs : (string * Ast.program) list) : Diagnostic.t list =
               summaries)
         requester.requests)
     summaries;
-  (* SL055: wait-for graph. Program A waits on B when A issues a
-     blocking request for a pattern B advertises. An edge that lies on a
-     cycle means every program involved can end up blocked at once if
-     the accepts happen task-side. *)
+  (* SL055: cyclic synchronous wait. The rule id and message predate the
+     model checker; the back-end is now precise — {!Modelcheck.run}
+     explores the product automaton and reports a blocking request only
+     when some *reachable* configuration has it on an instantaneous
+     wait-for cycle (every program on the cycle blocked at once). *)
   if whole_system then begin
-    let n = List.length summaries in
-    let arr = Array.of_list summaries in
-    let index_advertising pat =
-      let hits = ref [] in
-      Array.iteri
-        (fun i s -> if List.exists (fun (p, _) -> p = pat) s.advertised then hits := i :: !hits)
-        arr;
-      !hits
+    let r =
+      Modelcheck.run ~max_configs:20_000 ~max_depth:20_000
+        (Automata.extract programs)
     in
-    let edges = Array.make n [] in
-    Array.iteri
-      (fun i s ->
-        List.iter
-          (fun r ->
-            if r.r_blocking then
-              match r.r_pattern with
-              | Some pat ->
-                List.iter
-                  (fun j -> if j <> i then edges.(i) <- (j, pat, r.r_loc) :: edges.(i))
-                  (index_advertising pat)
-              | None -> ())
-          s.requests)
-      arr;
-    let reaches src dst =
-      let seen = Array.make n false in
-      let rec go i =
-        if seen.(i) then false
-        else begin
-          seen.(i) <- true;
-          List.exists (fun (j, _, _) -> j = dst || go j) edges.(i)
-        end
-      in
-      go src
-    in
-    Array.iteri
-      (fun i s ->
-        List.iter
-          (fun (j, pat, loc) ->
-            if reaches j i then
-              emit s.file loc Diagnostic.Warning "SL055"
-                (Printf.sprintf
-                   "blocking request to %%0%o (served by program %s) lies on a \
-                    synchronous wait cycle: %s can block waiting on %s in turn"
-                   pat arr.(j).prog arr.(j).prog s.prog))
-          (List.rev edges.(i)))
-      arr
+    List.iter
+      (fun ((s : Automata.site), message) ->
+        emit s.Automata.s_file s.Automata.s_pos Diagnostic.Warning "SL055" message)
+      r.Modelcheck.wait_cycles
   end;
   List.rev !diags

@@ -1,0 +1,1139 @@
+(* Bounded explicit-state model checking of a whole SODAL system (the
+   communicating automata of {!Automata}) under a message-bag semantics:
+   a configuration is every program's control position plus its
+   advertised set, handler-open flag and queue contents, together with
+   the bag of in-flight requests. Exploration is breadth-first, so the
+   first path that reaches a violation is a minimal interleaving trace.
+
+   The semantics mirror lib/core/kernel.ml:
+   - a request for a pattern nobody currently advertises completes with
+     UNADVERTISED (it does not hang); DISCOVER, by contrast, retries
+     until an advertiser exists;
+   - a closed handler makes the transport retry (BUSY), so the message
+     waits in the bag until some advertiser opens;
+   - the handler runs to completion atomically on delivery; an arm that
+     neither accepts, rejects nor defers the request leaves the sender
+     waiting forever;
+   - a task that runs off its end keeps the machine alive and serving
+     (only DIE tears it down).
+
+   Rules emitted (docs/ANALYSIS.md "Model checking"):
+   SL070 global deadlock        — a reachable configuration with no
+                                  enabled transition while some program
+                                  is blocked in a request/accept/discover
+   SL071 orphan message         — a request site that is sent on some path
+                                  but never completed (accepted, rejected,
+                                  crashed or unadvertised) anywhere in the
+                                  exhaustively explored state space
+   SL072 BUSY/retry livelock    — a cycle the system can repeat forever in
+                                  which requests are rejected or complete
+                                  unadvertised but none is ever accepted
+   SL073 advertise-withdrawal race — a request completes UNADVERTISED for
+                                  a pattern some program has withdrawn
+
+   Partial-order reduction: a pending request *send* commutes with every
+   other enabled transition and disables none of them, so when a program's
+   next step is a send, only that transition is expanded from the
+   configuration (a persistent set of size one); the pruned interleavings
+   reach the same configurations through the successor. Bounds (depth,
+   configuration count, bag capacity) mark the run as non-exhausted, which
+   suppresses the universal rule SL071. *)
+
+module A = Automata
+module Builtins = Soda_sodal_lang.Builtins
+
+type pending = {
+  p_sender : int;
+  p_site : int;
+  p_shape : Builtins.shape;
+  p_blocking : bool;
+  p_pattern : int;
+}
+
+type qentry = Q_req of pending | Q_data
+
+type pos = { node : int; idx : int }
+
+type phase =
+  | P_run of pos
+  | P_block_req of { cont : pos; site : int; pattern : int }
+  | P_block_disc of { cont : pos; site : int; pattern : int }
+  | P_block_acc of { cont : pos; site : int; queue : int option }
+  | P_idle of { cont : pos; site : int }
+  | P_spin  (* internal divergence; the handler still serves *)
+  | P_done  (* task finished; the machine stays up and serves *)
+  | P_dead  (* DIE *)
+
+type qval = Qlen of int | Qsig of qentry list
+
+type proc = { phase : phase; open_ : bool; adv : int list; queues : qval array }
+
+type config = { procs : proc array; bag : pending list; withdrawn : int list }
+
+(* completion / send markers carried on transition edges *)
+type ekind =
+  | K_send of int
+  | K_accept of int
+  | K_reject of int
+  | K_unadv of int * bool  (* site, pattern was withdrawn *)
+  | K_crash of int
+
+type violation = {
+  v_rule : string;
+  v_severity : Diagnostic.severity;
+  v_sites : A.site list;
+  v_message : string;
+  v_trace : string list;
+}
+
+type result = {
+  violations : violation list;
+  configs_explored : int;
+  exhausted : bool;
+  wait_cycles : (A.site * string) list;  (* the SL055 back-end *)
+}
+
+module CT = Hashtbl.Make (struct
+  type t = config
+
+  let equal = ( = )
+  let hash (c : config) = Hashtbl.hash_param 128 256 c
+end)
+
+type explorer = {
+  sys : A.system;
+  bag_cap : int;
+  max_configs : int;
+  max_depth : int;
+  ids : int CT.t;
+  states : (int, config) Hashtbl.t;
+  parent : (int, int * string) Hashtbl.t;
+  depth : (int, int) Hashtbl.t;
+  mutable n_states : int;
+  mutable edges : (int * int * ekind list) list;
+  site_sent : bool array;
+  site_completed : bool array;
+  site_first_sent : int option array;
+  mutable truncated : bool;
+}
+
+(* ---- small helpers --------------------------------------------------------- *)
+
+let ins_sorted x l = if List.mem x l then l else List.sort compare (x :: l)
+let remove1 x l = List.filter (fun y -> y <> x) l
+
+let with_proc cfg i p =
+  let procs = Array.copy cfg.procs in
+  procs.(i) <- p;
+  { cfg with procs }
+
+let qlen = function Qlen n -> n | Qsig l -> List.length l
+
+let set_queue (p : proc) q v =
+  let queues = Array.copy p.queues in
+  queues.(q) <- v;
+  { p with queues }
+
+let has_advertiser cfg pat =
+  Array.exists (fun (p : proc) -> List.mem pat p.adv) cfg.procs
+
+let site ex id = ex.sys.sites.(id)
+let prog_name ex i = ex.sys.progs.(i).A.p_name
+
+let site_label ex id = A.site_name (site ex id)
+
+let unblock_sender procs (m : pending) =
+  if not m.p_blocking then procs
+  else
+    match procs.(m.p_sender).phase with
+    | P_block_req { cont; _ } ->
+      let procs = Array.copy procs in
+      procs.(m.p_sender) <- { procs.(m.p_sender) with phase = P_run cont };
+      procs
+    | _ -> procs
+
+(* one instance of each distinct pending, preserving order *)
+let rec distinct = function
+  | [] -> []
+  | m :: rest -> m :: distinct (List.filter (fun x -> x <> m) rest)
+
+(* ---- control closure -------------------------------------------------------- *)
+
+let resolve_cond (prog : A.prog) (p : proc) = function
+  | A.Unknown -> None
+  | A.Probe { queue; kind; negated } ->
+    let n = qlen p.queues.(queue) in
+    let v =
+      match kind with `Empty -> n = 0 | `Full -> n >= prog.A.p_q_caps.(queue)
+    in
+    Some (if negated then not v else v)
+
+(* where control goes after the effects of [node_id] are done: the next
+   effect positions, section exit, or internal divergence *)
+let control_outcomes (prog : A.prog) (p : proc) node_id =
+  let outs = ref [] in
+  let work = ref 0 in
+  let add o = if not (List.mem o !outs) then outs := !outs @ [ o ] in
+  let rec succs path id =
+    incr work;
+    if !work > 4096 then add `Spin
+    else
+      match prog.A.p_nodes.(id).A.kind with
+      | A.Exit_section -> add `Exit
+      | A.Seq ss -> List.iter (visit path) ss
+      | A.Branch (cond, ts, fs) -> (
+        match resolve_cond prog p cond with
+        | Some true -> List.iter (visit path) ts
+        | Some false -> List.iter (visit path) fs
+        | None ->
+          List.iter (visit path) ts;
+          List.iter (visit path) fs)
+  and visit path id =
+    (* reaching any effect node is progress — even the one we left, as a
+       loop back to a send is a retry, not divergence; only a cycle
+       through effect-free nodes spins *)
+    if Array.length prog.A.p_nodes.(id).A.effs > 0 then
+      add (`At { node = id; idx = 0 })
+    else if List.mem id path then add `Spin
+    else succs (id :: path) id
+  in
+  succs [ node_id ] node_id;
+  !outs
+
+(* ---- handler-arm execution --------------------------------------------------- *)
+
+(* which arms can receive pattern [pat]: first matching label wins;
+   labels that don't fold are tried both ways *)
+let dispatch_arms (prog : A.prog) pat =
+  let rec go = function
+    | [] -> [ None ]
+    | (a : A.arm) :: rest -> (
+      match a.A.a_label with
+      | `Pat q when q = pat -> [ Some a ]
+      | `Pat _ -> go rest
+      | `Otherwise -> [ Some a ]
+      | `Unknown -> Some a :: go rest)
+  in
+  go prog.A.p_arms
+
+(* Run one handler arm of program [j] atomically on delivery of [m],
+   returning every resulting configuration with its completion markers
+   and a short description of what the arm did to the request. *)
+let run_arm ex cfg j (m : pending) (arm : A.arm option) =
+  let prog = ex.sys.progs.(j) in
+  let results = ref [] in
+  let budget = ref 512 in
+  let finish cfg consumed kinds =
+    let desc =
+      if List.exists (function K_accept _ -> true | _ -> false) kinds then "accepted"
+      else if List.exists (function K_reject _ -> true | _ -> false) kinds then
+        "rejected"
+      else if consumed = `Deferred then "deferred"
+      else "left unanswered"
+    in
+    results := (cfg, kinds, desc) :: !results
+  in
+  let fallback cfg consumed kinds =
+    (* budget or loop guard hit: assume the benign outcome so the bounded
+       run over-approximates liveness; universal rules are suppressed *)
+    ex.truncated <- true;
+    match consumed with
+    | `No ->
+      let procs = unblock_sender cfg.procs m in
+      finish { cfg with procs } `Yes (K_accept m.p_site :: kinds)
+    | c -> finish cfg c kinds
+  in
+  match arm with
+  | None -> [ ({ cfg with procs = cfg.procs }, [], "ignored (no matching arm)") ]
+  | Some arm ->
+    let rec go path apos cfg consumed kinds =
+      decr budget;
+      if !budget <= 0 then fallback cfg consumed kinds
+      else
+        let node = arm.A.a_nodes.(apos.node) in
+        if apos.idx < Array.length node.A.effs then begin
+          let next = { apos with idx = apos.idx + 1 } in
+          let self = cfg.procs.(j) in
+          match node.A.effs.(apos.idx) with
+          | A.Accept_current _ ->
+            if consumed = `No then
+              let procs = unblock_sender cfg.procs m in
+              go path next { cfg with procs } `Yes (K_accept m.p_site :: kinds)
+            else go path next cfg consumed kinds
+          | A.Reject _ ->
+            if consumed = `No then
+              let procs = unblock_sender cfg.procs m in
+              go path next { cfg with procs } `Yes (K_reject m.p_site :: kinds)
+            else go path next cfg consumed kinds
+          | A.Defer { queue; _ } ->
+            let entries =
+              match self.queues.(queue) with Qsig l -> l | Qlen _ -> []
+            in
+            if consumed = `No then
+              let entries =
+                if List.length entries >= prog.A.p_q_caps.(queue) then begin
+                  (* the runtime would raise on the full queue; drop *)
+                  ex.truncated <- true;
+                  entries
+                end
+                else entries @ [ Q_req m ]
+              in
+              let cfg = with_proc cfg j (set_queue self queue (Qsig entries)) in
+              go path next cfg `Deferred kinds
+            else
+              let entries =
+                if List.length entries >= prog.A.p_q_caps.(queue) then entries
+                else entries @ [ Q_data ]
+              in
+              let cfg = with_proc cfg j (set_queue self queue (Qsig entries)) in
+              go path next cfg consumed kinds
+          | A.Accept_queued { queue; _ } -> (
+            let pick =
+              match queue with
+              | Some q -> (
+                match self.queues.(q) with Qsig (e :: rest) -> Some (q, e, rest) | _ -> None)
+              | None ->
+                let found = ref None in
+                Array.iteri
+                  (fun q v ->
+                    match v with
+                    | Qsig (e :: rest) when !found = None && prog.A.p_q_sig.(q) ->
+                      found := Some (q, e, rest)
+                    | _ -> ())
+                  self.queues;
+                !found
+            in
+            match pick with
+            | Some (q, Q_req pend, rest) ->
+              let cfg = with_proc cfg j (set_queue self q (Qsig rest)) in
+              let procs = unblock_sender cfg.procs pend in
+              go path next { cfg with procs } consumed (K_accept pend.p_site :: kinds)
+            | Some (q, Q_data, rest) ->
+              go path next (with_proc cfg j (set_queue self q (Qsig rest))) consumed kinds
+            | None ->
+              (* by-signature accept with nothing queued: the handler
+                 would wait; assume the wait is eventually served *)
+              ex.truncated <- true;
+              go path next cfg consumed kinds)
+          | A.Request { blocking = _; pattern; site; shape } -> (
+            (* a handler-side send is fire-and-forget (a blocking one is
+               an SL001 error; modelled as non-blocking) *)
+            match pattern with
+            | Some pat ->
+              if List.length cfg.bag >= ex.bag_cap then begin
+                ex.truncated <- true;
+                go path next cfg consumed kinds
+              end
+              else
+                let m' =
+                  {
+                    p_sender = j;
+                    p_site = site;
+                    p_shape = shape;
+                    p_blocking = false;
+                    p_pattern = pat;
+                  }
+                in
+                go path next
+                  { cfg with bag = List.sort compare (m' :: cfg.bag) }
+                  consumed
+                  (K_send site :: kinds)
+            | None -> go path next cfg consumed kinds)
+          | A.Advertise (Some pat) ->
+            go path next (with_proc cfg j { self with adv = ins_sorted pat self.adv })
+              consumed kinds
+          | A.Unadvertise (Some pat) ->
+            let cfg =
+              with_proc cfg j { self with adv = remove1 pat self.adv }
+            in
+            go path next { cfg with withdrawn = ins_sorted pat cfg.withdrawn } consumed kinds
+          | A.Advertise None | A.Unadvertise None -> go path next cfg consumed kinds
+          | A.Enqueue_data q ->
+            let v =
+              match self.queues.(q) with
+              | Qlen n -> Qlen (min (n + 1) prog.A.p_q_caps.(q))
+              | Qsig l ->
+                if List.length l >= prog.A.p_q_caps.(q) then Qsig l
+                else Qsig (l @ [ Q_data ])
+            in
+            go path next (with_proc cfg j (set_queue self q v)) consumed kinds
+          | A.Dequeue_data q ->
+            let v =
+              match self.queues.(q) with
+              | Qlen n -> Some (Qlen (max (n - 1) 0))
+              | Qsig _ -> None
+              (* signature queues are popped by the accept that names them *)
+            in
+            let cfg =
+              match v with
+              | Some v -> with_proc cfg j (set_queue self q v)
+              | None -> cfg
+            in
+            go path next cfg consumed kinds
+          | A.Open_h -> go path next (with_proc cfg j { self with open_ = true }) consumed kinds
+          | A.Close_h ->
+            go path next (with_proc cfg j { self with open_ = false }) consumed kinds
+          | A.Discover _ | A.Idle _ ->
+            (* blocking in the handler is an SL001 error; skip *)
+            go path next cfg consumed kinds
+          | A.Die _ ->
+            let cfg = with_proc cfg j { self with phase = P_dead; adv = [] } in
+            finish cfg consumed kinds
+        end
+        else
+          match node.A.kind with
+          | A.Exit_section | A.Seq [] -> finish cfg consumed kinds
+          | A.Seq ss ->
+            List.iter
+              (fun s -> step_into path s cfg consumed kinds)
+              ss
+          | A.Branch (cond, ts, fs) -> (
+            match resolve_cond prog cfg.procs.(j) cond with
+            | Some true -> List.iter (fun s -> step_into path s cfg consumed kinds) ts
+            | Some false -> List.iter (fun s -> step_into path s cfg consumed kinds) fs
+            | None ->
+              List.iter (fun s -> step_into path s cfg consumed kinds) ts;
+              List.iter (fun s -> step_into path s cfg consumed kinds) fs)
+    and step_into path id cfg consumed kinds =
+      if List.mem id path then fallback cfg consumed kinds
+      else go (id :: path) { node = id; idx = 0 } cfg consumed kinds
+    in
+    go [ arm.A.a_entry ] { node = arm.A.a_entry; idx = 0 } cfg `No [];
+    List.rev !results
+
+(* ---- transition generation --------------------------------------------------- *)
+
+(* local transitions of program [i] running at [pos] *)
+let local_steps ex cfg i pos ~elided =
+  let prog = ex.sys.progs.(i) in
+  let self = cfg.procs.(i) in
+  let node = prog.A.p_nodes.(pos.node) in
+  let name = prog_name ex i in
+  if pos.idx < Array.length node.A.effs then begin
+    let next = { pos with idx = pos.idx + 1 } in
+    let run phase = { self with phase } in
+    match node.A.effs.(pos.idx) with
+    | A.Advertise (Some pat) ->
+      [
+        ( Printf.sprintf "%s: ADVERTISE %%0%o" name pat,
+          [],
+          with_proc cfg i { (run (P_run next)) with adv = ins_sorted pat self.adv } );
+      ]
+    | A.Unadvertise (Some pat) ->
+      let cfg' =
+        with_proc cfg i { (run (P_run next)) with adv = remove1 pat self.adv }
+      in
+      [
+        ( Printf.sprintf "%s: UNADVERTISE %%0%o" name pat,
+          [],
+          { cfg' with withdrawn = ins_sorted pat cfg'.withdrawn } );
+      ]
+    | A.Advertise None | A.Unadvertise None -> [ ("", [], with_proc cfg i (run (P_run next))) ]
+    | A.Request { shape; blocking; pattern = Some pat; site } ->
+      if List.length cfg.bag >= ex.bag_cap then begin
+        elided := true;
+        []
+      end
+      else
+        let m =
+          { p_sender = i; p_site = site; p_shape = shape; p_blocking = blocking; p_pattern = pat }
+        in
+        let phase =
+          if blocking then P_block_req { cont = next; site; pattern = pat }
+          else P_run next
+        in
+        let cfg' =
+          { (with_proc cfg i (run phase)) with bag = List.sort compare (m :: cfg.bag) }
+        in
+        [
+          ( Printf.sprintf "%s: %s%s" name (site_label ex site)
+              (if blocking then " (blocks)" else ""),
+            [ K_send site ],
+            cfg' );
+        ]
+    | A.Request { pattern = None; _ } -> [ ("", [], with_proc cfg i (run (P_run next))) ]
+    | A.Discover { pattern = Some pat; site } ->
+      if has_advertiser cfg pat then
+        [
+          ( Printf.sprintf "%s: DISCOVER %%0%o finds an advertiser" name pat,
+            [],
+            with_proc cfg i (run (P_run next)) );
+        ]
+      else
+        [
+          ( Printf.sprintf "%s: DISCOVER %%0%o (blocks)" name pat,
+            [],
+            with_proc cfg i (run (P_block_disc { cont = next; site; pattern = pat })) );
+        ]
+    | A.Discover { pattern = None; _ } -> [ ("", [], with_proc cfg i (run (P_run next))) ]
+    | A.Accept_queued { queue; site = acc_site } -> (
+      let pick =
+        match queue with
+        | Some q -> (
+          match self.queues.(q) with
+          | Qsig (e :: rest) -> Some (q, e, rest)
+          | Qsig [] -> None
+          | Qlen _ -> None)
+        | None ->
+          let found = ref None in
+          Array.iteri
+            (fun q v ->
+              match v with
+              | Qsig (e :: rest) when !found = None && prog.A.p_q_sig.(q) ->
+                found := Some (q, e, rest)
+              | _ -> ())
+            self.queues;
+          !found
+      in
+      let plain_queue = match queue with Some q -> not prog.A.p_q_sig.(q) | None -> false in
+      if plain_queue then [ ("", [], with_proc cfg i (run (P_run next))) ]
+      else
+        match pick with
+        | Some (q, Q_req pend, rest) ->
+          let cfg' = with_proc cfg i (set_queue (run (P_run next)) q (Qsig rest)) in
+          let procs = unblock_sender cfg'.procs pend in
+          [
+            ( Printf.sprintf "%s: %s completes the deferred %s from %s" name
+                (site ex acc_site).A.s_builtin
+                (site_label ex pend.p_site)
+                (prog_name ex pend.p_sender),
+              [ K_accept pend.p_site ],
+              { cfg' with procs } );
+          ]
+        | Some (q, Q_data, rest) ->
+          [ ("", [], with_proc cfg i (set_queue (run (P_run next)) q (Qsig rest))) ]
+        | None ->
+          [
+            ( Printf.sprintf "%s: %s waits for a queued signature" name
+                (site ex acc_site).A.s_builtin,
+              [],
+              with_proc cfg i (run (P_block_acc { cont = next; site = acc_site; queue })) );
+          ])
+    | A.Accept_current _ | A.Reject _ -> [ ("", [], with_proc cfg i (run (P_run next))) ]
+    | A.Defer { queue; _ } | A.Enqueue_data queue ->
+      let v =
+        match self.queues.(queue) with
+        | Qlen n -> Qlen (min (n + 1) prog.A.p_q_caps.(queue))
+        | Qsig l ->
+          if List.length l >= prog.A.p_q_caps.(queue) then Qsig l else Qsig (l @ [ Q_data ])
+      in
+      [ ("", [], with_proc cfg i (set_queue (run (P_run next)) queue v)) ]
+    | A.Dequeue_data q ->
+      let v =
+        match self.queues.(q) with
+        | Qlen n -> Some (Qlen (max (n - 1) 0))
+        | Qsig _ -> None
+      in
+      let p = run (P_run next) in
+      let p = match v with Some v -> set_queue p q v | None -> p in
+      [ ("", [], with_proc cfg i p) ]
+    | A.Open_h -> [ (Printf.sprintf "%s: OPEN" name, [], with_proc cfg i { (run (P_run next)) with open_ = true }) ]
+    | A.Close_h ->
+      [ (Printf.sprintf "%s: CLOSE" name, [], with_proc cfg i { (run (P_run next)) with open_ = false }) ]
+    | A.Idle { site } ->
+      (* The runtime wakes idlers after every handler invocation, and the
+         cooperative task never yields between a queue probe and idle()
+         registration — so a task cannot sleep past work its handler has
+         already queued. Model: IDLE is a pass-through while any queue is
+         non-empty; it only truly sleeps on an empty machine (a later
+         delivery wakes it). *)
+      if Array.exists (fun v -> qlen v > 0) self.queues then
+        [ ("", [], with_proc cfg i (run (P_run next))) ]
+      else
+        [
+          ( Printf.sprintf "%s: IDLE" name,
+            [],
+            with_proc cfg i (run (P_idle { cont = next; site })) );
+        ]
+    | A.Die _ ->
+      (* death crash-completes whatever the program had deferred *)
+      let kinds = ref [] in
+      let procs = ref cfg.procs in
+      Array.iter
+        (fun v ->
+          match v with
+          | Qsig l ->
+            List.iter
+              (fun e ->
+                match e with
+                | Q_req pend ->
+                  kinds := K_crash pend.p_site :: !kinds;
+                  procs := unblock_sender !procs pend
+                | Q_data -> ())
+              l
+          | Qlen _ -> ())
+        self.queues;
+      let dead =
+        {
+          phase = P_dead;
+          open_ = false;
+          adv = [];
+          queues = Array.map (fun _ -> Qsig []) self.queues;
+        }
+      in
+      let procs = Array.copy !procs in
+      procs.(i) <- dead;
+      [ (Printf.sprintf "%s: DIE" name, !kinds, { cfg with procs }) ]
+  end
+  else
+    List.map
+      (fun o ->
+        let phase =
+          match o with `At p -> P_run p | `Exit -> P_done | `Spin -> P_spin
+        in
+        ("", [], with_proc cfg i { self with phase }))
+      (control_outcomes prog self pos.node)
+
+let remove1_first m bag =
+  let rec go = function
+    | [] -> []
+    | x :: rest -> if x = m then rest else x :: go rest
+  in
+  go bag
+
+let deliveries ex cfg =
+  let out = ref [] in
+  List.iter
+    (fun (m : pending) ->
+      let bag' = remove1_first m cfg.bag in
+      let advertisers = ref [] in
+      Array.iteri
+        (fun j (p : proc) -> if List.mem m.p_pattern p.adv then advertisers := j :: !advertisers)
+        cfg.procs;
+      let advertisers = List.rev !advertisers in
+      if advertisers = [] then begin
+        let withdrawn = List.mem m.p_pattern cfg.withdrawn in
+        let procs = unblock_sender cfg.procs m in
+        out :=
+          ( Printf.sprintf "%s from %s completes UNADVERTISED"
+              (site_label ex m.p_site)
+              (prog_name ex m.p_sender),
+            [ K_unadv (m.p_site, withdrawn) ],
+            { cfg with procs; bag = bag' } )
+          :: !out
+      end
+      else
+        List.iter
+          (fun j ->
+            if cfg.procs.(j).open_ then begin
+              (* the handler runs even while the task computes or blocks;
+                 an idle task is resumed by the activity *)
+              let cfg0 = { cfg with bag = bag' } in
+              let cfg0 =
+                match cfg0.procs.(j).phase with
+                | P_idle { cont; _ } ->
+                  with_proc cfg0 j { (cfg0.procs.(j)) with phase = P_run cont }
+                | _ -> cfg0
+              in
+              List.iter
+                (fun arm ->
+                  List.iter
+                    (fun (cfg', kinds, desc) ->
+                      out :=
+                        ( Printf.sprintf "deliver %s from %s to %s: %s"
+                            (site_label ex m.p_site)
+                            (prog_name ex m.p_sender) (prog_name ex j) desc,
+                          kinds,
+                          cfg' )
+                        :: !out)
+                    (run_arm ex cfg0 j m arm))
+                (dispatch_arms ex.sys.progs.(j) m.p_pattern)
+            end)
+          advertisers)
+    (distinct cfg.bag);
+  List.rev !out
+
+let expand ex cfg =
+  let elided = ref false in
+  (* partial-order reduction: a program whose next step is an enabled
+     send commutes with everything else — expand only it *)
+  let por =
+    let found = ref None in
+    Array.iteri
+      (fun i (p : proc) ->
+        if !found = None then
+          match p.phase with
+          | P_run pos ->
+            let prog = ex.sys.progs.(i) in
+            let node = prog.A.p_nodes.(pos.node) in
+            if pos.idx < Array.length node.A.effs then (
+              match node.A.effs.(pos.idx) with
+              | A.Request { pattern = Some _; _ }
+                when List.length cfg.bag < ex.bag_cap ->
+                found := Some (i, pos)
+              | _ -> ())
+          | _ -> ())
+      cfg.procs;
+    !found
+  in
+  match por with
+  | Some (i, pos) ->
+    let trans = local_steps ex cfg i pos ~elided in
+    (trans, !elided)
+  | None ->
+    let trans = ref [] in
+    Array.iteri
+      (fun i (p : proc) ->
+        match p.phase with
+        | P_run pos -> trans := !trans @ local_steps ex cfg i pos ~elided
+        | P_block_disc { cont; pattern; _ } ->
+          if has_advertiser cfg pattern then
+            trans :=
+              !trans
+              @ [
+                  ( Printf.sprintf "%s: DISCOVER %%0%o completes" (prog_name ex i) pattern,
+                    [],
+                    with_proc cfg i { p with phase = P_run cont } );
+                ]
+        | P_block_acc { cont; site = s; queue } -> (
+          let prog = ex.sys.progs.(i) in
+          let pick =
+            match queue with
+            | Some q -> (
+              match p.queues.(q) with Qsig (e :: rest) -> Some (q, e, rest) | _ -> None)
+            | None ->
+              let found = ref None in
+              Array.iteri
+                (fun q v ->
+                  match v with
+                  | Qsig (e :: rest) when !found = None && prog.A.p_q_sig.(q) ->
+                    found := Some (q, e, rest)
+                  | _ -> ())
+                p.queues;
+              !found
+          in
+          match pick with
+          | Some (q, Q_req pend, rest) ->
+            let cfg' = with_proc cfg i (set_queue { p with phase = P_run cont } q (Qsig rest)) in
+            let procs = unblock_sender cfg'.procs pend in
+            trans :=
+              !trans
+              @ [
+                  ( Printf.sprintf "%s: %s completes the deferred %s from %s"
+                      (prog_name ex i) (site ex s).A.s_builtin
+                      (site_label ex pend.p_site)
+                      (prog_name ex pend.p_sender),
+                    [ K_accept pend.p_site ],
+                    { cfg' with procs } );
+                ]
+          | Some (q, Q_data, rest) ->
+            trans :=
+              !trans
+              @ [ ("", [], with_proc cfg i (set_queue { p with phase = P_run cont } q (Qsig rest))) ]
+          | None -> ())
+        | P_block_req _ | P_idle _ | P_spin | P_done | P_dead -> ())
+      cfg.procs;
+    (!trans @ deliveries ex cfg, !elided)
+
+(* ---- the instantaneous wait-for cycle scan (SL055 back-end) ------------------- *)
+
+let wait_cycle_edges cfg =
+  (* i -> j when i is blocked in a request for a pattern j advertises *)
+  let n = Array.length cfg.procs in
+  let edges = Array.make n [] in
+  Array.iteri
+    (fun i (p : proc) ->
+      match p.phase with
+      | P_block_req { pattern; site; _ } ->
+        Array.iteri
+          (fun j (q : proc) ->
+            if j <> i && List.mem pattern q.adv then
+              edges.(i) <- (j, pattern, site) :: edges.(i))
+          cfg.procs
+      | _ -> ())
+    cfg.procs;
+  let reaches src dst =
+    let seen = Array.make n false in
+    let rec go i =
+      if seen.(i) then false
+      else begin
+        seen.(i) <- true;
+        List.exists (fun (j, _, _) -> j = dst || go j) edges.(i)
+      end
+    in
+    go src
+  in
+  let hits = ref [] in
+  Array.iteri
+    (fun i es ->
+      List.iter
+        (fun (j, pattern, s) -> if reaches j i then hits := (i, j, pattern, s) :: !hits)
+        (List.rev es))
+    edges;
+  List.rev !hits
+
+(* ---- exploration -------------------------------------------------------------- *)
+
+let intern ex cfg ~from ~label ~d =
+  match CT.find_opt ex.ids cfg with
+  | Some id -> (id, false)
+  | None ->
+    let id = ex.n_states in
+    ex.n_states <- id + 1;
+    CT.add ex.ids cfg id;
+    Hashtbl.replace ex.states id cfg;
+    Hashtbl.replace ex.depth id d;
+    (match from with
+     | Some src -> Hashtbl.replace ex.parent id (src, label)
+     | None -> ());
+    (id, true)
+
+let trace_to ex id =
+  let rec go id acc =
+    match Hashtbl.find_opt ex.parent id with
+    | None -> acc
+    | Some (src, label) -> go src (if label = "" then acc else label :: acc)
+  in
+  go id []
+
+let blocked_sites cfg =
+  let sites = ref [] in
+  Array.iter
+    (fun (p : proc) ->
+      match p.phase with
+      | P_block_req { site; _ } | P_block_disc { site; _ } | P_block_acc { site; _ } ->
+        sites := site :: !sites
+      | _ -> ())
+    cfg.procs;
+  List.rev !sites
+
+let initial_config (sys : A.system) =
+  {
+    procs =
+      Array.map
+        (fun (p : A.prog) ->
+          {
+            phase = P_run { node = p.A.p_entry; idx = 0 };
+            open_ = true;
+            adv = [];
+            queues = Array.map (fun s -> if s then Qsig [] else Qlen 0) p.A.p_q_sig;
+          })
+        sys.progs;
+    bag = [];
+    withdrawn = [];
+  }
+
+(* ---- SCC analysis for SL072 ---------------------------------------------------- *)
+
+(* Kosaraju with explicit stacks; returns the SCC id of every config *)
+let scc_ids n edges =
+  let adj = Array.make n [] and radj = Array.make n [] in
+  List.iter
+    (fun (u, v, _) ->
+      adj.(u) <- v :: adj.(u);
+      radj.(v) <- u :: radj.(v))
+    edges;
+  let visited = Array.make n false in
+  let order = ref [] in
+  for s = 0 to n - 1 do
+    if not visited.(s) then begin
+      let stack = ref [ (s, adj.(s)) ] in
+      visited.(s) <- true;
+      while !stack <> [] do
+        match !stack with
+        | [] -> ()
+        | (u, []) :: rest ->
+          order := u :: !order;
+          stack := rest
+        | (u, v :: vs) :: rest ->
+          stack := (u, vs) :: rest;
+          if not visited.(v) then begin
+            visited.(v) <- true;
+            stack := (v, adj.(v)) :: !stack
+          end
+      done
+    end
+  done;
+  let comp = Array.make n (-1) in
+  let c = ref 0 in
+  List.iter
+    (fun s ->
+      if comp.(s) = -1 then begin
+        let stack = ref [ s ] in
+        comp.(s) <- !c;
+        while !stack <> [] do
+          match !stack with
+          | [] -> ()
+          | u :: rest ->
+            stack := rest;
+            List.iter
+              (fun v ->
+                if comp.(v) = -1 then begin
+                  comp.(v) <- !c;
+                  stack := v :: !stack
+                end)
+              radj.(u)
+        done;
+        incr c
+      end)
+    !order;
+  comp
+
+(* ---- entry point ---------------------------------------------------------------- *)
+
+let run ?(max_configs = 100_000) ?(max_depth = 100_000) ?(bag_cap = 6)
+    (sys : A.system) : result =
+  let n_sites = Array.length sys.sites in
+  let ex =
+    {
+      sys;
+      bag_cap;
+      max_configs;
+      max_depth;
+      ids = CT.create 4096;
+      states = Hashtbl.create 4096;
+      parent = Hashtbl.create 4096;
+      depth = Hashtbl.create 4096;
+      n_states = 0;
+      edges = [];
+      site_sent = Array.make (max 1 n_sites) false;
+      site_completed = Array.make (max 1 n_sites) false;
+      site_first_sent = Array.make (max 1 n_sites) None;
+      truncated = false;
+    }
+  in
+  let whole_system = Array.length sys.progs >= 2 in
+  let root, _ = intern ex (initial_config sys) ~from:None ~label:"" ~d:0 in
+  let q = Queue.create () in
+  Queue.push root q;
+  let deadlocks = ref [] in  (* (sorted blocked sites, config id), first hit *)
+  let unadv_races = ref [] in  (* (site, config id), first hit *)
+  let wait_hits = ref [] in  (* (site, message), first hit *)
+  let explored = ref 0 in
+  while not (Queue.is_empty q) do
+    let cid = Queue.pop q in
+    if !explored >= ex.max_configs then ex.truncated <- true
+    else begin
+      incr explored;
+      let cfg = Hashtbl.find ex.states cid in
+      let d = Hashtbl.find ex.depth cid in
+      if whole_system then
+        List.iter
+          (fun (i, j, pattern, s) ->
+            if not (List.mem_assoc s !wait_hits) then
+              wait_hits :=
+                !wait_hits
+                @ [
+                    ( s,
+                      Printf.sprintf
+                        "blocking request to %%0%o (served by program %s) lies on a \
+                         synchronous wait cycle: %s can block waiting on %s in turn"
+                        pattern (prog_name ex j) (prog_name ex j) (prog_name ex i) );
+                  ])
+          (wait_cycle_edges cfg);
+      if d >= ex.max_depth then ex.truncated <- true
+      else begin
+        let trans, elided = expand ex cfg in
+        if elided then ex.truncated <- true;
+        if trans = [] && not elided then begin
+          let blocked = blocked_sites cfg in
+          if blocked <> [] then begin
+            let key = List.sort_uniq compare blocked in
+            if not (List.mem_assoc key !deadlocks) then
+              deadlocks := !deadlocks @ [ (key, cid) ]
+          end
+        end;
+        List.iter
+          (fun (label, kinds, cfg') ->
+            let cid', fresh = intern ex cfg' ~from:(Some cid) ~label ~d:(d + 1) in
+            ex.edges <- (cid, cid', kinds) :: ex.edges;
+            List.iter
+              (fun k ->
+                match k with
+                | K_send s ->
+                  ex.site_sent.(s) <- true;
+                  if ex.site_first_sent.(s) = None then
+                    ex.site_first_sent.(s) <- Some cid'
+                | K_accept s | K_reject s | K_crash s -> ex.site_completed.(s) <- true
+                | K_unadv (s, withdrawn) ->
+                  ex.site_completed.(s) <- true;
+                  if withdrawn && not (List.mem_assoc s !unadv_races) then
+                    unadv_races := !unadv_races @ [ (s, cid') ])
+              kinds;
+            if fresh then Queue.push cid' q)
+          trans
+      end
+    end
+  done;
+  let exhausted = (not ex.truncated) && not sys.sys_imprecise in
+  let violations = ref [] in
+  (* SL070: global deadlock *)
+  List.iter
+    (fun (sites, cid) ->
+      let cfg = Hashtbl.find ex.states cid in
+      let parts =
+        List.filter_map
+          (fun (p : proc) ->
+            match p.phase with
+            | P_block_req { site = s; pattern; _ } ->
+              Some
+                (Printf.sprintf "%s is blocked in %s for %%0%o"
+                   (site ex s).A.s_prog (site ex s).A.s_builtin pattern)
+            | P_block_disc { site = s; pattern; _ } ->
+              Some
+                (Printf.sprintf "%s is blocked in DISCOVER %%0%o" (site ex s).A.s_prog
+                   pattern)
+            | P_block_acc { site = s; _ } ->
+              Some
+                (Printf.sprintf "%s is blocked in %s with nothing queued"
+                   (site ex s).A.s_prog (site ex s).A.s_builtin)
+            | _ -> None)
+          (Array.to_list cfg.procs)
+      in
+      violations :=
+        {
+          v_rule = "SL070";
+          v_severity = Diagnostic.Error;
+          v_sites = List.map (site ex) sites;
+          v_message =
+            Printf.sprintf "global deadlock: %s; no transition can ever fire again"
+              (String.concat ", " parts);
+          v_trace = trace_to ex cid;
+        }
+        :: !violations)
+    !deadlocks;
+  (* SL071: orphan messages (only meaningful after exhaustive exploration) *)
+  if exhausted then
+    Array.iteri
+      (fun s sent ->
+        if sent && not ex.site_completed.(s) then
+          violations :=
+            {
+              v_rule = "SL071";
+              v_severity = Diagnostic.Error;
+              v_sites = [ site ex s ];
+              v_message =
+                Printf.sprintf
+                  "orphan message: this %s is never completed on any reachable path \
+                   — no peer state accepts, rejects or fails it"
+                  (site_label ex s);
+              v_trace =
+                (match ex.site_first_sent.(s) with
+                 | Some cid -> trace_to ex cid
+                 | None -> []);
+            }
+            :: !violations)
+      ex.site_sent;
+  (* SL072: reject/unadvertised retry cycles with no accept *)
+  let comp = scc_ids ex.n_states ex.edges in
+  let module IM = Map.Make (Int) in
+  let scc_info = ref IM.empty in
+  let get c = try IM.find c !scc_info with Not_found -> ([], [], false, []) in
+  List.iter
+    (fun (u, v, kinds) ->
+      if comp.(u) = comp.(v) then begin
+        let members, bad_sites, has_accept, labels = get comp.(u) in
+        let members = u :: v :: members in
+        let bad_sites, has_accept =
+          List.fold_left
+            (fun (bs, ha) k ->
+              match k with
+              | K_reject s | K_unadv (s, _) -> (s :: bs, ha)
+              | K_accept _ -> (bs, true)
+              | _ -> (bs, ha))
+            (bad_sites, has_accept) kinds
+        in
+        let label =
+          match Hashtbl.find_opt ex.parent v with Some (_, l) -> l | None -> ""
+        in
+        scc_info := IM.add comp.(u) (members, bad_sites, has_accept, label :: labels) !scc_info
+      end)
+    ex.edges;
+  (* several SCCs can witness the same livelock (e.g. with and without an
+     unrelated idle step in the cycle): keep one violation per site set,
+     the one entered earliest — its trace is shortest *)
+  let livelocks = ref [] in
+  IM.iter
+    (fun _ (members, bad_sites, has_accept, _) ->
+      if bad_sites <> [] && not has_accept then begin
+        let sites = List.sort_uniq compare bad_sites in
+        let entry =
+          List.fold_left
+            (fun best m ->
+              let dm = Hashtbl.find ex.depth m in
+              match best with
+              | Some (_, db) when db <= dm -> best
+              | _ -> Some (m, dm))
+            None (List.sort_uniq compare members)
+        in
+        match entry with
+        | None -> ()
+        | Some (m, d) ->
+          let cycle_labels =
+            List.filter_map
+              (fun (u, v, _) ->
+                if comp.(u) = comp.(v) && comp.(u) = comp.(List.hd members) then
+                  match Hashtbl.find_opt ex.parent v with
+                  | Some (_, l) when l <> "" -> Some l
+                  | _ -> None
+                else None)
+              ex.edges
+          in
+          let trace =
+            trace_to ex m
+            @ ("-- the cycle repeats --" :: List.sort_uniq compare cycle_labels)
+          in
+          let better =
+            match List.assoc_opt sites !livelocks with
+            | Some (d', _) -> d < d'
+            | None -> true
+          in
+          if better then
+            livelocks := (sites, (d, trace)) :: List.remove_assoc sites !livelocks
+      end)
+    !scc_info;
+  List.iter
+    (fun (sites, (_, trace)) ->
+      violations :=
+        {
+          v_rule = "SL072";
+          v_severity = Diagnostic.Warning;
+          v_sites = List.map (site ex) sites;
+          v_message =
+            "retry livelock: the system can cycle forever while this request is \
+             rejected or completes unadvertised, and no accept ever happens in \
+             the cycle";
+          v_trace = trace;
+        }
+        :: !violations)
+    (List.rev !livelocks);
+  (* SL073: request completes UNADVERTISED after a matching withdrawal *)
+  List.iter
+    (fun (s, cid) ->
+      violations :=
+        {
+          v_rule = "SL073";
+          v_severity = Diagnostic.Warning;
+          v_sites = [ site ex s ];
+          v_message =
+            Printf.sprintf
+              "advertise-withdrawal race: this %s can complete UNADVERTISED because \
+               the serving program withdraws the pattern"
+              (site_label ex s);
+          v_trace = trace_to ex cid;
+        }
+        :: !violations)
+    !unadv_races;
+  {
+    violations = List.rev !violations;
+    configs_explored = !explored;
+    exhausted;
+    wait_cycles =
+      List.map (fun (s, message) -> (site ex s, message)) !wait_hits;
+  }
+
+(* ---- diagnostics ---------------------------------------------------------------- *)
+
+let diagnostics_of (r : result) : Diagnostic.t list =
+  List.concat_map
+    (fun v ->
+      List.map
+        (fun (s : A.site) ->
+          Diagnostic.make ~file:s.A.s_file ~pos:s.A.s_pos ~severity:v.v_severity
+            ~rule:v.v_rule ~message:v.v_message)
+        v.v_sites)
+    r.violations
+
+let check ?max_configs ?max_depth ?bag_cap (programs : (string * Soda_sodal_lang.Ast.program) list) :
+    result =
+  run ?max_configs ?max_depth ?bag_cap (A.extract programs)

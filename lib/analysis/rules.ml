@@ -1,0 +1,213 @@
+(* The sodalint rule catalog: one entry per stable rule id, feeding
+   `sodal_check --explain SLNNN`, the generated docs/RULES.md, and the
+   SARIF rule metadata. The catalog-completeness test checks that every
+   rule id the analyzers can emit has an entry here, so a new rule
+   cannot ship undocumented. *)
+
+type t = {
+  id : string;
+  severity : Diagnostic.severity;
+  title : string;  (** one line, imperative mood *)
+  detail : string;  (** paragraph: what, why, paper citation *)
+  example : string;  (** a minimal SODAL trigger, derived from a fixture *)
+}
+
+let r id severity title detail example = { id; severity; title; detail; example }
+
+let all =
+  [
+    r "SL000" Diagnostic.Error "the source does not parse"
+      "A lexical or syntax error. The message carries the expected-token \
+       set; nothing else is checked in a file that does not parse, but \
+       other files given on the same command line still are."
+      "task begin\n  i := ;        -- syntax error: expression expected\nend;";
+    r "SL001" Diagnostic.Error "blocking built-in in the handler"
+      "B_SIGNAL/B_PUT/B_GET/B_EXCHANGE, DISCOVER, IDLE and DIE suspend \
+       the calling fiber for unbounded time. The handler must run to \
+       completion (section 3.3.2/4.1.1): a blocked handler can never be \
+       resumed, because the arrival or completion that would resume it is \
+       delivered by that same handler. By-signature ACCEPT_* waits are \
+       bounded and explicitly permitted in the handler (section 4.1.2)."
+      "handler begin\n\
+      \  case entry of\n\
+      \    SVC : begin\n\
+      \      st := B_SIGNAL(peer, SVC, 0);   -- deadlocks the machine\n\
+      \    end;\n\
+      \  esac;\nend;";
+    r "SL002" Diagnostic.Error "ACCEPT_CURRENT_*/REJECT outside the handler"
+      "Only the handler has a \"current request\" (section 4.1.2); in the \
+       initialization or task there is nothing these built-ins could \
+       address."
+      "task begin\n  ACCEPT_CURRENT_SIGNAL(0);   -- no current request here\nend;";
+    r "SL003" Diagnostic.Error "call to a built-in that does not exist"
+      "The name is not in the shared built-in table (lib/sodal_lang/\
+       builtins.ml) that the interpreter, the analyzer and the model \
+       checker all dispatch on."
+      "task begin\n  BSIGNAL(peer, SVC, 0);   -- misspelt B_SIGNAL\nend;";
+    r "SL004" Diagnostic.Error "built-in called with the wrong arity"
+      "Argument count does not match the table signature; the interpreter \
+       would refuse the call at run time."
+      "task begin\n  ADVERTISE();   -- ADVERTISE expects 1 argument\nend;";
+    r "SL010" Diagnostic.Error "reference to an undeclared variable"
+      "The name is neither declared nor one of the handler context \
+       variables of section 4.1.2 (ASKER, ARG, STATUS, PATTERN, PUTSIZE, \
+       GETSIZE, TID, ...), which are always in scope."
+      "task begin\n  counter := counter + 1;   -- counter is never declared\nend;";
+    r "SL011" Diagnostic.Warning "the same name declared twice"
+      "A later declaration shadows the earlier one; almost always a \
+       copy-paste slip." "var item : string;\nvar item : integer;";
+    r "SL012" Diagnostic.Warning "a declaration that is never used"
+      "The variable is neither read nor written outside its declaration."
+      "var scratch : string;   -- never mentioned again";
+    r "SL020" Diagnostic.Error "read before definite assignment"
+      "Dataflow over the CFG: the variable is not assigned on every path \
+       reaching the read. The handler and task inherit what the \
+       initialization definitely assigned; the handler is judged as of \
+       its first invocation. Queues and consts are initialised by their \
+       declarations."
+      "task begin\n\
+      \  if not ISEMPTY(q) then\n\
+      \    item := DEQUEUE(q);\n\
+      \  fi;\n\
+      \  PRINT(item);   -- unassigned when the queue was empty\nend;";
+    r "SL030" Diagnostic.Error "CLOSE with no OPEN anywhere"
+      "Once the machine closes (section 3.4) it refuses arrivals forever; \
+       with no OPEN in the program the handler can never serve again."
+      "handler begin\n\
+      \  case entry of\n\
+      \    SVC : begin\n\
+      \      ACCEPT_CURRENT_SIGNAL(0);\n\
+      \      CLOSE();   -- and nothing ever reopens\n\
+      \    end;\n\
+      \  esac;\nend;";
+    r "SL031" Diagnostic.Warning "CLOSE on a provably closed machine"
+      "Three-point lattice (open/closed/either) through the CFG; a \
+       blocking task-side call resets to *either* when the handler \
+       itself toggles the state, as the port program of section 4.2.1 \
+       does." "CLOSE();\nCLOSE();   -- already closed on every path here";
+    r "SL040" Diagnostic.Error "ENQUEUE on a provably full queue"
+      "Queue length intervals are tracked through the CFG and refined by \
+       ISFULL/ISEMPTY branches; Bqueue.enqueue raises at run time \
+       (section 4.1.4: queues are bounded)."
+      "var q : queue[1];\n...\nENQUEUE(q, 1);\nENQUEUE(q, 2);   -- q holds at most one";
+    r "SL041" Diagnostic.Error "DEQUEUE on a provably empty queue"
+      "Mirror image of SL040: the length interval proves the queue empty \
+       at the dequeue." "var q : queue[3];\n...\nitem := DEQUEUE(q);   -- nothing was ever enqueued";
+    r "SL050" Diagnostic.Warning "request for a pattern nobody advertises"
+      "No program in the checked set advertises the pattern: a DISCOVER \
+       blocks forever, a request completes UNADVERTISED (section 3.4.1). \
+       Needs at least two files on the command line."
+      "-- no program in the set advertises %0700\ntask begin\n\
+      \  server := DISCOVER(%0700);\nend;";
+    r "SL051" Diagnostic.Warning "the same pattern advertised twice"
+      "The second ADVERTISE by the same program is a no-op at best and \
+       usually a sign two services were merged by mistake."
+      "initialization begin\n  ADVERTISE(SVC);\n  ADVERTISE(SVC);\nend;";
+    r "SL052" Diagnostic.Error "UNADVERTISE of a never-advertised pattern"
+      "The pattern set is per-machine (section 3.4.1), so withdrawing a \
+       pattern this program never advertises on any path is a no-op and \
+       almost always names the wrong constant."
+      "initialization begin\n  UNADVERTISE(%0777); -- never advertised\nend;";
+    r "SL053" Diagnostic.Error "request shape does not match the serving accept"
+      "A REQUEST is implicitly SIGNAL/PUT/GET/EXCHANGE by which of its \
+       buffers are non-empty (section 3.3.1), and the accept must present \
+       the mirror image; an EXCHANGE accept also serves plain PUT or GET. \
+       Arms that defer the request (REJECT, ENQUEUE of the signature, \
+       by-signature ACCEPT later — the section 4.2.1 port idiom) are \
+       exempt."
+      "-- requester:  st := B_PUT(server, SVC, 0, \"payload\");\n\
+       -- server arm: ACCEPT_CURRENT_GET(\"reply\")   -- GET cannot serve PUT";
+    r "SL054" Diagnostic.Warning "transfer provably truncated"
+      "The requester sends more bytes than the serving accept's buffer \
+       holds, or the reply exceeds the requester's receive buffer; \
+       section 3.3.1: \"the smaller of the two sizes\" wins."
+      "-- requester sends 11 bytes:  B_PUT(server, SVC, 0, \"hello world\")\n\
+       -- server accepts at most 4:  ACCEPT_CURRENT_PUT(0, 4)";
+    r "SL055" Diagnostic.Warning "blocking request on a reachable wait cycle"
+      "Machine A blocks on a pattern B advertises while B in turn blocks \
+       on A. The back-end is the whole-system model checker: the request \
+       is flagged only when some reachable configuration really has every \
+       program on the cycle blocked at once. Needs at least two files."
+      "-- program a: B_SIGNAL(DISCOVER(B_SVC), B_SVC, 0)\n\
+       -- program b: B_SIGNAL(DISCOVER(A_SVC), A_SVC, 0)\n\
+       -- each serves its own pattern only after the request completes";
+    r "SL060" Diagnostic.Error "SCD operation without SCD_JOIN"
+      "SCD_WRITE/SCD_SNAPSHOT/SCD_INCR/SCD_CREAD in a program that never \
+       calls SCD_JOIN can only raise at run time; see docs/BROADCAST.md."
+      "task begin\n  SCD_WRITE(0, 7);   -- never joined a cluster\nend;";
+    r "SL061" Diagnostic.Error "SCD argument provably out of range"
+      "Constant folding proves a non-positive member or register count in \
+       SCD_JOIN, a negative register index, or an index >= the folded \
+       register count." "task begin\n  SCD_JOIN(3, 2);\n  SCD_WRITE(5, 1);   -- only registers 0 and 1 exist\nend;";
+    r "SL070" Diagnostic.Error "global deadlock"
+      "The model checker found a reachable configuration of the whole \
+       system in which no transition can ever fire again while at least \
+       one program is blocked in a request, a DISCOVER or a by-signature \
+       accept. The diagnostic carries a minimal interleaving trace \
+       (sodal_check --model-check --counterexample)."
+      "-- dl_a and dl_b both run:\n\
+       task begin\n\
+      \  B_SIGNAL(DISCOVER(PEER), PEER, 0);   -- blocks; the peer's handler\n\
+      \  ...                                  -- only ENQUEUEs the signature\n\
+       end;\n\
+       -- both are blocked before either task ever serves its queue";
+    r "SL071" Diagnostic.Error "orphan message"
+      "A request is sent on some path but never completed — accepted, \
+       rejected, crashed or failed UNADVERTISED — in any reachable \
+       configuration: the handler arm that matches it forgets to answer. \
+       Only reported when the exploration was exhaustive (no bound was \
+       hit and nothing in the system defeated static extraction)."
+      "handler begin\n\
+      \  case entry of\n\
+      \    FLAG : begin\n\
+      \      PRINT(\"seen a flag\");   -- neither accepts nor rejects\n\
+      \    end;\n\
+      \  esac;\nend;";
+    r "SL072" Diagnostic.Warning "BUSY/retry livelock"
+      "The system can cycle forever through configurations in which the \
+       request is rejected or completes UNADVERTISED but no accept ever \
+       happens: a retry loop against a server that always says no."
+      "-- server arm:  REJECT();\n\
+       -- client task: while st <> \"COMPLETED\" do\n\
+       --                st := B_SIGNAL(server, SVC, 0);\n\
+       --              end;";
+    r "SL073" Diagnostic.Warning "advertise-withdrawal race"
+      "A request can complete UNADVERTISED because the serving program \
+       withdraws the pattern (UNADVERTISE) while the request is in \
+       flight: whether the caller is served depends on the schedule."
+      "-- server task: UNADVERTISE(FLAG);   -- client may still be sending\n\
+       -- client task: st := B_SIGNAL(0, FLAG, 0);";
+  ]
+
+let find id = List.find_opt (fun x -> x.id = id) all
+
+let explain id =
+  match find id with
+  | None -> None
+  | Some x ->
+    Some
+      (Printf.sprintf "%s (%s): %s\n\n%s\n\nExample:\n%s\n" x.id
+         (Diagnostic.severity_name x.severity)
+         x.title x.detail x.example)
+
+(* docs/RULES.md is generated from this catalog: `sodal_check --rules-md`
+   writes it, CI diffs it against the committed copy. *)
+let to_markdown () =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    "# sodalint rules\n\n\
+     <!-- Generated by `sodal_check --rules-md`; do not edit by hand.\n\
+    \     CI fails when this file drifts from lib/analysis/rules.ml. -->\n\n\
+     Every diagnostic the `sodal_check` analyzer (lib/analysis) can emit, \n\
+     one section per stable rule id. `sodal_check --explain SLNNN` prints \n\
+     the same text at the command line; docs/ANALYSIS.md explains how the \n\
+     analyses work, including the whole-system model checker behind \n\
+     SL055 and SL070–SL073.\n\n";
+  List.iter
+    (fun x ->
+      Buffer.add_string buf
+        (Printf.sprintf "## %s — %s (%s)\n\n%s\n\n```\n%s\n```\n\n" x.id x.title
+           (Diagnostic.severity_name x.severity)
+           x.detail x.example))
+    all;
+  Buffer.contents buf

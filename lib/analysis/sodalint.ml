@@ -22,7 +22,9 @@ let parse_source (src : source) =
       (Diagnostic.make ~file:src.path ~pos ~severity:Diagnostic.Error ~rule:"SL000"
          ~message:("lexical error: " ^ message))
 
-let analyze ?(cross = true) (sources : source list) : Diagnostic.t list =
+(* every source that parses, plus SL000 diagnostics for those that don't
+   — the shape both [analyze] and the model-check CLI path consume *)
+let parse_programs (sources : source list) =
   let parsed, parse_diags =
     List.fold_left
       (fun (ok, bad) src ->
@@ -31,7 +33,10 @@ let analyze ?(cross = true) (sources : source list) : Diagnostic.t list =
         | Error d -> (ok, d :: bad))
       ([], []) sources
   in
-  let parsed = List.rev parsed in
+  (List.rev parsed, List.rev parse_diags)
+
+let analyze ?(cross = true) (sources : source list) : Diagnostic.t list =
+  let parsed, parse_diags = parse_programs sources in
   let per_program =
     List.concat_map (fun (file, program) -> Check.check ~file program) parsed
   in

@@ -123,6 +123,45 @@ let table =
 
 let find name = Hashtbl.find_opt table name
 
+(* The protocol-visible effect of one built-in call, derived from the
+   table entry: what the whole-system model checker (lib/analysis
+   automata/modelcheck) observes when a program executes it. Everything
+   not listed here — COMPUTE, string helpers, the SCD_* cluster ops
+   (whose members are runtime-hosted, outside the SODAL-program model) —
+   is [Eff_pure]: internal to the machine, invisible to its peers. *)
+type effect_ =
+  | Eff_advertise
+  | Eff_unadvertise
+  | Eff_request of { shape : shape; blocking : bool }
+  | Eff_accept of { shape : shape; current : bool }
+  | Eff_reject
+  | Eff_discover
+  | Eff_enqueue
+  | Eff_dequeue
+  | Eff_probe  (** queue probe: feeds branch conditions, moves no data *)
+  | Eff_open
+  | Eff_close
+  | Eff_idle
+  | Eff_die
+  | Eff_pure
+
+let effect_of t =
+  match (t.role, t.name) with
+  | Request { shape; blocking }, _ -> Eff_request { shape; blocking }
+  | Accept { shape; current }, _ -> Eff_accept { shape; current }
+  | Discover, _ -> Eff_discover
+  | Advertise, _ -> Eff_advertise
+  | Unadvertise, _ -> Eff_unadvertise
+  | Queue_op `Enqueue, _ -> Eff_enqueue
+  | Queue_op `Dequeue, _ -> Eff_dequeue
+  | Queue_op `Probe, _ -> Eff_probe
+  | Handler_ctl `Open, _ -> Eff_open
+  | Handler_ctl `Close, _ -> Eff_close
+  | Plain, "REJECT" -> Eff_reject
+  | Plain, "IDLE" -> Eff_idle
+  | Plain, "DIE" -> Eff_die
+  | Plain, _ -> Eff_pure
+
 (* Handler-context variables that always exist in a SODAL program's
    global scope (§4.1.2), shared between the interpreter (which binds
    them) and the analyzer (which must not flag them as undeclared). *)

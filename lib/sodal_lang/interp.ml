@@ -92,6 +92,203 @@ let completion_result state c =
   set_builtin_var state "LAST_STATUS" (VStr (status_string c.Sodal.status));
   set_builtin_var state "LAST_ARG" (VInt c.Sodal.reply_arg)
 
+(* Built-in dispatch is an explicit registration table keyed by name, so
+   the implemented set is enumerable: the lockstep guard test asserts it
+   is exactly the shared signature table {!Builtins.all} — the
+   interpreter, the static analyzer and the model checker cannot drift. *)
+type impl = state -> Sodal.env -> value list -> value
+
+let impl_table : (string, impl) Hashtbl.t = Hashtbl.create 64
+
+let register name (f : impl) = Hashtbl.replace impl_table name f
+
+let implemented_builtins () =
+  List.sort String.compare (Hashtbl.fold (fun name _ acc -> name :: acc) impl_table [])
+
+let arg args i = List.nth args i
+
+let scd_op name : impl =
+ fun state env args ->
+  let h =
+    match state.scd with Some h -> h | None -> error "%s before SCD_JOIN" name
+  in
+  let result =
+    match name with
+    | "SCD_WRITE" ->
+      let reg = as_int (arg args 0) in
+      if reg < 0 then error "SCD_WRITE: register index must be non-negative, got %d" reg;
+      Result.map (fun (_ : Scd.ts) -> VUnit) (Scd.write env h ~reg (as_int (arg args 1)))
+    | "SCD_SNAPSHOT" ->
+      let reg = as_int (arg args 0) in
+      if reg < 0 then
+        error "SCD_SNAPSHOT: register index must be non-negative, got %d" reg;
+      Result.map
+        (fun arr ->
+          if reg >= Array.length arr then
+            error "SCD_SNAPSHOT: register %d out of range (%d registers)" reg
+              (Array.length arr)
+          else VInt (fst arr.(reg)))
+        (Scd.snapshot env h)
+    | "SCD_INCR" -> Result.map (fun () -> VUnit) (Scd.incr env h ~delta:(as_int (arg args 0)))
+    | _ -> Result.map (fun v -> VInt v) (Scd.cread env h)
+  in
+  match result with
+  | Ok v -> v
+  | Error Scd.Unreachable -> error "%s: scd cluster unreachable" name
+
+let () =
+  register "ADVERTISE" (fun _state env args ->
+      Sodal.advertise env (as_pattern (arg args 0));
+      VUnit);
+  register "UNADVERTISE" (fun _state env args ->
+      Sodal.unadvertise env (as_pattern (arg args 0));
+      VUnit);
+  register "GETUNIQUEID" (fun _state env _args -> VPattern (Sodal.getuniqueid env));
+  register "DISCOVER" (fun _state env args ->
+      match (Sodal.discover env (as_pattern (arg args 0))).Types.sv_mid with
+      | Types.Mid m -> VInt m
+      | Types.Broadcast_mid -> error "DISCOVER returned broadcast");
+  register "MYMID" (fun _state env _args -> VInt (Sodal.my_mid env));
+  register "OPEN" (fun _state env _args ->
+      Sodal.open_handler env;
+      VUnit);
+  register "CLOSE" (fun _state env _args ->
+      Sodal.close_handler env;
+      VUnit);
+  register "DIE" (fun _state env _args -> Sodal.die env);
+  register "IDLE" (fun _state env _args ->
+      Sodal.idle env;
+      VUnit);
+  register "COMPUTE" (fun _state env args ->
+      Sodal.compute env (as_int (arg args 0));
+      VUnit);
+  register "SIGNAL" (fun _state env args ->
+      VInt
+        (Sodal.signal env
+           (server_of (as_int (arg args 0)) (as_pattern (arg args 1)))
+           ~arg:(as_int (arg args 2))));
+  register "PUT" (fun _state env args ->
+      VInt
+        (Sodal.put env
+           (server_of (as_int (arg args 0)) (as_pattern (arg args 1)))
+           ~arg:(as_int (arg args 2))
+           (Bytes.of_string (as_str (arg args 3)))));
+  register "B_SIGNAL" (fun state env args ->
+      let c =
+        Sodal.b_signal env
+          (server_of (as_int (arg args 0)) (as_pattern (arg args 1)))
+          ~arg:(as_int (arg args 2))
+      in
+      completion_result state c;
+      VStr (status_string c.Sodal.status));
+  register "B_PUT" (fun state env args ->
+      let c =
+        Sodal.b_put env
+          (server_of (as_int (arg args 0)) (as_pattern (arg args 1)))
+          ~arg:(as_int (arg args 2))
+          (Bytes.of_string (as_str (arg args 3)))
+      in
+      completion_result state c;
+      VStr (status_string c.Sodal.status));
+  register "B_GET" (fun state env args ->
+      let into = Bytes.create (as_int (arg args 3)) in
+      let c =
+        Sodal.b_get env
+          (server_of (as_int (arg args 0)) (as_pattern (arg args 1)))
+          ~arg:(as_int (arg args 2))
+          ~into
+      in
+      completion_result state c;
+      VStr (Bytes.sub_string into 0 c.Sodal.get_transferred));
+  register "B_EXCHANGE" (fun state env args ->
+      let into = Bytes.create (as_int (arg args 4)) in
+      let c =
+        Sodal.b_exchange env
+          (server_of (as_int (arg args 0)) (as_pattern (arg args 1)))
+          ~arg:(as_int (arg args 2))
+          (Bytes.of_string (as_str (arg args 3)))
+          ~into
+      in
+      completion_result state c;
+      VStr (Bytes.sub_string into 0 c.Sodal.get_transferred));
+  register "ACCEPT_SIGNAL" (fun _state env args ->
+      VStr
+        (accept_status_string
+           (Sodal.accept_signal env (as_sig (arg args 0)) ~arg:(as_int (arg args 1)))));
+  register "ACCEPT_PUT" (fun state env args ->
+      let into = Bytes.create (as_int (arg args 2)) in
+      let status, got =
+        Sodal.accept_put env (as_sig (arg args 0)) ~arg:(as_int (arg args 1)) ~into
+      in
+      set_builtin_var state "LAST_STATUS" (VStr (accept_status_string status));
+      VStr (Bytes.sub_string into 0 got));
+  register "ACCEPT_GET" (fun _state env args ->
+      VStr
+        (accept_status_string
+           (Sodal.accept_get env (as_sig (arg args 0)) ~arg:(as_int (arg args 1))
+              ~data:(Bytes.of_string (as_str (arg args 2))))));
+  register "ACCEPT_EXCHANGE" (fun state env args ->
+      let into = Bytes.create (as_int (arg args 2)) in
+      let status, got =
+        Sodal.accept_exchange env (as_sig (arg args 0)) ~arg:(as_int (arg args 1)) ~into
+          ~data:(Bytes.of_string (as_str (arg args 3)))
+      in
+      set_builtin_var state "LAST_STATUS" (VStr (accept_status_string status));
+      VStr (Bytes.sub_string into 0 got));
+  register "ACCEPT_CURRENT_SIGNAL" (fun _state env args ->
+      VStr
+        (accept_status_string (Sodal.accept_current_signal env ~arg:(as_int (arg args 0)))));
+  register "ACCEPT_CURRENT_PUT" (fun state env args ->
+      let into = Bytes.create (as_int (arg args 1)) in
+      let status, got = Sodal.accept_current_put env ~arg:(as_int (arg args 0)) ~into in
+      set_builtin_var state "LAST_STATUS" (VStr (accept_status_string status));
+      VStr (Bytes.sub_string into 0 got));
+  register "ACCEPT_CURRENT_GET" (fun _state env args ->
+      VStr
+        (accept_status_string
+           (Sodal.accept_current_get env ~arg:(as_int (arg args 0))
+              ~data:(Bytes.of_string (as_str (arg args 1))))));
+  register "ACCEPT_CURRENT_EXCHANGE" (fun state env args ->
+      let into = Bytes.create (as_int (arg args 1)) in
+      let status, got =
+        Sodal.accept_current_exchange env ~arg:(as_int (arg args 0)) ~into
+          ~data:(Bytes.of_string (as_str (arg args 2)))
+      in
+      set_builtin_var state "LAST_STATUS" (VStr (accept_status_string status));
+      VStr (Bytes.sub_string into 0 got));
+  register "REJECT" (fun _state env _args ->
+      Sodal.reject env;
+      VUnit);
+  register "CANCEL" (fun _state env args -> VBool (Sodal.cancel env (as_int (arg args 0))));
+  register "ENQUEUE" (fun _state _env args ->
+      Bqueue.enqueue (as_queue (arg args 0)) (arg args 1);
+      VUnit);
+  register "DEQUEUE" (fun _state _env args -> Bqueue.dequeue (as_queue (arg args 0)));
+  register "ISEMPTY" (fun _state _env args ->
+      VBool (Bqueue.is_empty (as_queue (arg args 0))));
+  register "ISFULL" (fun _state _env args -> VBool (Bqueue.is_full (as_queue (arg args 0))));
+  register "ALMOSTFULL" (fun _state _env args ->
+      VBool (Bqueue.almost_full (as_queue (arg args 0))));
+  register "ALMOSTEMPTY" (fun _state _env args ->
+      VBool (Bqueue.almost_empty (as_queue (arg args 0))));
+  register "SIG" (fun _state _env args ->
+      VSig { Types.rq_mid = as_int (arg args 0); rq_tid = as_int (arg args 1) });
+  register "CONCAT" (fun _state _env args -> VStr (as_str (arg args 0) ^ as_str (arg args 1)));
+  register "ITOA" (fun _state _env args -> VStr (string_of_int (as_int (arg args 0))));
+  register "LENGTH" (fun _state _env args -> VInt (String.length (as_str (arg args 0))));
+  register "PRINT" (fun state _env args ->
+      state.print (String.concat "" (List.map value_to_string args));
+      VUnit);
+  register "SCD_JOIN" (fun state env args ->
+      let n = as_int (arg args 0) and regs = as_int (arg args 1) in
+      if n <= 0 then error "SCD_JOIN: member count must be positive, got %d" n;
+      if regs <= 0 then error "SCD_JOIN: register count must be positive, got %d" regs;
+      state.scd <- Some (Scd.handle env ~cluster:"sodal" ~mids:(List.init n Fun.id) ~regs);
+      VUnit);
+  List.iter
+    (fun name -> register name (scd_op name))
+    [ "SCD_WRITE"; "SCD_SNAPSHOT"; "SCD_INCR"; "SCD_CREAD" ]
+
 let call_builtin state env name args =
   (* arity and existence come from the shared signature table, the same
      one the static analyzer (lib/analysis) checks against *)
@@ -100,183 +297,9 @@ let call_builtin state env name args =
    | Some { Builtins.arity = Some n; _ } when List.length args <> n ->
      error "%s expects %d arguments" name n
    | Some _ -> ());
-  let arg i = List.nth args i in
-  match name with
-  | "ADVERTISE" ->
-    Sodal.advertise env (as_pattern (arg 0));
-    VUnit
-  | "UNADVERTISE" ->
-    Sodal.unadvertise env (as_pattern (arg 0));
-    VUnit
-  | "GETUNIQUEID" ->
-    VPattern (Sodal.getuniqueid env)
-  | "DISCOVER" ->
-    (match (Sodal.discover env (as_pattern (arg 0))).Types.sv_mid with
-     | Types.Mid m -> VInt m
-     | Types.Broadcast_mid -> error "DISCOVER returned broadcast")
-  | "MYMID" ->
-    VInt (Sodal.my_mid env)
-  | "OPEN" ->
-    Sodal.open_handler env;
-    VUnit
-  | "CLOSE" ->
-    Sodal.close_handler env;
-    VUnit
-  | "DIE" ->
-    Sodal.die env
-  | "IDLE" ->
-    Sodal.idle env;
-    VUnit
-  | "COMPUTE" ->
-    Sodal.compute env (as_int (arg 0));
-    VUnit
-  | "SIGNAL" ->
-    VInt (Sodal.signal env (server_of (as_int (arg 0)) (as_pattern (arg 1))) ~arg:(as_int (arg 2)))
-  | "PUT" ->
-    VInt
-      (Sodal.put env
-         (server_of (as_int (arg 0)) (as_pattern (arg 1)))
-         ~arg:(as_int (arg 2))
-         (Bytes.of_string (as_str (arg 3))))
-  | "B_SIGNAL" ->
-    let c =
-      Sodal.b_signal env (server_of (as_int (arg 0)) (as_pattern (arg 1))) ~arg:(as_int (arg 2))
-    in
-    completion_result state c;
-    VStr (status_string c.Sodal.status)
-  | "B_PUT" ->
-    let c =
-      Sodal.b_put env
-        (server_of (as_int (arg 0)) (as_pattern (arg 1)))
-        ~arg:(as_int (arg 2))
-        (Bytes.of_string (as_str (arg 3)))
-    in
-    completion_result state c;
-    VStr (status_string c.Sodal.status)
-  | "B_GET" ->
-    let into = Bytes.create (as_int (arg 3)) in
-    let c =
-      Sodal.b_get env (server_of (as_int (arg 0)) (as_pattern (arg 1))) ~arg:(as_int (arg 2))
-        ~into
-    in
-    completion_result state c;
-    VStr (Bytes.sub_string into 0 c.Sodal.get_transferred)
-  | "B_EXCHANGE" ->
-    let into = Bytes.create (as_int (arg 4)) in
-    let c =
-      Sodal.b_exchange env
-        (server_of (as_int (arg 0)) (as_pattern (arg 1)))
-        ~arg:(as_int (arg 2))
-        (Bytes.of_string (as_str (arg 3)))
-        ~into
-    in
-    completion_result state c;
-    VStr (Bytes.sub_string into 0 c.Sodal.get_transferred)
-  | "ACCEPT_SIGNAL" ->
-    VStr (accept_status_string (Sodal.accept_signal env (as_sig (arg 0)) ~arg:(as_int (arg 1))))
-  | "ACCEPT_PUT" ->
-    let into = Bytes.create (as_int (arg 2)) in
-    let status, got = Sodal.accept_put env (as_sig (arg 0)) ~arg:(as_int (arg 1)) ~into in
-    set_builtin_var state "LAST_STATUS" (VStr (accept_status_string status));
-    VStr (Bytes.sub_string into 0 got)
-  | "ACCEPT_GET" ->
-    VStr
-      (accept_status_string
-         (Sodal.accept_get env (as_sig (arg 0)) ~arg:(as_int (arg 1))
-            ~data:(Bytes.of_string (as_str (arg 2)))))
-  | "ACCEPT_EXCHANGE" ->
-    let into = Bytes.create (as_int (arg 2)) in
-    let status, got =
-      Sodal.accept_exchange env (as_sig (arg 0)) ~arg:(as_int (arg 1)) ~into
-        ~data:(Bytes.of_string (as_str (arg 3)))
-    in
-    set_builtin_var state "LAST_STATUS" (VStr (accept_status_string status));
-    VStr (Bytes.sub_string into 0 got)
-  | "ACCEPT_CURRENT_SIGNAL" ->
-    VStr (accept_status_string (Sodal.accept_current_signal env ~arg:(as_int (arg 0))))
-  | "ACCEPT_CURRENT_PUT" ->
-    let into = Bytes.create (as_int (arg 1)) in
-    let status, got = Sodal.accept_current_put env ~arg:(as_int (arg 0)) ~into in
-    set_builtin_var state "LAST_STATUS" (VStr (accept_status_string status));
-    VStr (Bytes.sub_string into 0 got)
-  | "ACCEPT_CURRENT_GET" ->
-    VStr
-      (accept_status_string
-         (Sodal.accept_current_get env ~arg:(as_int (arg 0))
-            ~data:(Bytes.of_string (as_str (arg 1)))))
-  | "ACCEPT_CURRENT_EXCHANGE" ->
-    let into = Bytes.create (as_int (arg 1)) in
-    let status, got =
-      Sodal.accept_current_exchange env ~arg:(as_int (arg 0)) ~into
-        ~data:(Bytes.of_string (as_str (arg 2)))
-    in
-    set_builtin_var state "LAST_STATUS" (VStr (accept_status_string status));
-    VStr (Bytes.sub_string into 0 got)
-  | "REJECT" ->
-    Sodal.reject env;
-    VUnit
-  | "CANCEL" ->
-    VBool (Sodal.cancel env (as_int (arg 0)))
-  | "ENQUEUE" ->
-    Bqueue.enqueue (as_queue (arg 0)) (arg 1);
-    VUnit
-  | "DEQUEUE" ->
-    Bqueue.dequeue (as_queue (arg 0))
-  | "ISEMPTY" ->
-    VBool (Bqueue.is_empty (as_queue (arg 0)))
-  | "ISFULL" ->
-    VBool (Bqueue.is_full (as_queue (arg 0)))
-  | "ALMOSTFULL" ->
-    VBool (Bqueue.almost_full (as_queue (arg 0)))
-  | "ALMOSTEMPTY" ->
-    VBool (Bqueue.almost_empty (as_queue (arg 0)))
-  | "SIG" ->
-    VSig { Types.rq_mid = as_int (arg 0); rq_tid = as_int (arg 1) }
-  | "CONCAT" ->
-    VStr (as_str (arg 0) ^ as_str (arg 1))
-  | "ITOA" ->
-    VStr (string_of_int (as_int (arg 0)))
-  | "LENGTH" ->
-    VInt (String.length (as_str (arg 0)))
-  | "PRINT" ->
-    state.print (String.concat "" (List.map value_to_string args));
-    VUnit
-  | "SCD_JOIN" ->
-    let n = as_int (arg 0) and regs = as_int (arg 1) in
-    if n <= 0 then error "SCD_JOIN: member count must be positive, got %d" n;
-    if regs <= 0 then error "SCD_JOIN: register count must be positive, got %d" regs;
-    state.scd <- Some (Scd.handle env ~cluster:"sodal" ~mids:(List.init n Fun.id) ~regs);
-    VUnit
-  | "SCD_WRITE" | "SCD_SNAPSHOT" | "SCD_INCR" | "SCD_CREAD" -> (
-    let h =
-      match state.scd with
-      | Some h -> h
-      | None -> error "%s before SCD_JOIN" name
-    in
-    let result =
-      match name with
-      | "SCD_WRITE" ->
-        let reg = as_int (arg 0) in
-        if reg < 0 then error "SCD_WRITE: register index must be non-negative, got %d" reg;
-        Result.map (fun (_ : Scd.ts) -> VUnit) (Scd.write env h ~reg (as_int (arg 1)))
-      | "SCD_SNAPSHOT" ->
-        let reg = as_int (arg 0) in
-        if reg < 0 then
-          error "SCD_SNAPSHOT: register index must be non-negative, got %d" reg;
-        Result.map
-          (fun arr ->
-            if reg >= Array.length arr then
-              error "SCD_SNAPSHOT: register %d out of range (%d registers)" reg
-                (Array.length arr)
-            else VInt (fst arr.(reg)))
-          (Scd.snapshot env h)
-      | "SCD_INCR" -> Result.map (fun () -> VUnit) (Scd.incr env h ~delta:(as_int (arg 0)))
-      | _ -> Result.map (fun v -> VInt v) (Scd.cread env h)
-    in
-    match result with
-    | Ok v -> v
-    | Error Scd.Unreachable -> error "%s: scd cluster unreachable" name)
-  | _ -> error "unknown built-in %s" name
+  match Hashtbl.find_opt impl_table name with
+  | Some impl -> impl state env args
+  | None -> error "unknown built-in %s" name
 
 (* ---- evaluation --------------------------------------------------------------- *)
 

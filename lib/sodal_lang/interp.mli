@@ -31,6 +31,12 @@ module Sodal = Soda_runtime.Sodal
 
 exception Runtime_error of string
 
+(** The names the interpreter's dispatch table actually implements,
+    sorted. The lockstep guard test checks this is exactly the name set
+    of {!Builtins.all}, so interpreter, analyzer and model checker
+    cannot drift. *)
+val implemented_builtins : unit -> string list
+
 (** [spec_of_program ?print program] compiles the AST into a client spec.
     [print] receives PRINT output (default: stdout). *)
 val spec_of_program : ?print:(string -> unit) -> Ast.program -> Sodal.spec

@@ -20,6 +20,7 @@ let () =
          Test_stream.suites;
          Test_sodal_lang.suites;
          Test_analysis.suites;
+        Test_modelcheck.suites;
          Test_chaos.suites;
          Test_store.suites;
          Test_scd.suites;

@@ -46,6 +46,12 @@ type t = {
   pipelined : bool;
   associative_patterns : bool;
   window : int;
+  aimd : bool;
+  cwnd_init : int;
+  aimd_incr : float;
+  rtt_alpha : float;
+  rtt_beta : float;
+  bus_capacity_pkts : int;
 }
 
 let default =
@@ -78,11 +84,17 @@ let default =
     pipelined = true;
     associative_patterns = true;
     window = 1;
+    aimd = true;
+    cwnd_init = 2;
+    aimd_incr = 1.0;
+    rtt_alpha = 0.125;
+    rtt_beta = 0.25;
+    bus_capacity_pkts = 128;
   }
 
 let non_pipelined = { default with pipelined = false }
 
-let max_window = 8
+let max_window = 64
 
 (* Transport windows: W sequence numbers may be unacknowledged per
    peer-direction. W=1 is the paper's alternating bit and must stay the
@@ -90,14 +102,62 @@ let max_window = 8
 let transport_window t = max 1 (min t.window max_window)
 
 (* The sequence-number space. W=1 keeps the 1-bit space (and hence the
-   seed's exact wire encoding); wider windows use the 4-bit extension
-   field, whose 16-value space satisfies space >= 2W for W <= 8. *)
-let seq_space t = if transport_window t = 1 then 2 else 16
+   seed's exact wire encoding); W <= 8 keeps the 4-bit single-extension
+   space; wider windows use the second extension byte's full 8-bit
+   space. Each tier satisfies space >= 2W, so cumulative acks can never
+   be confused with live sequence numbers. *)
+let seq_space t =
+  let w = transport_window t in
+  if w = 1 then 2 else if w <= 8 then 16 else 256
 
 (* Client-side pipelining depth for the block-transfer facilities
    (stream/multicast double buffering, §4.4.1): keep one request slot in
    reserve so control traffic is never locked out by MAXREQUESTS. *)
 let client_window t = max 1 (t.maxrequests - 1)
+
+(* ---- Congestion control (AIMD + Jacobson RTT estimation) ----
+   Pure arithmetic lives here so the transport's control laws are
+   unit-testable without a bus: the transport feeds acks, losses and
+   RTT samples through these and stores the resulting floats. *)
+
+(* Initial congestion window, clamped into [1, W]. *)
+let cwnd_init t = float_of_int (max 1 (min t.cwnd_init (transport_window t)))
+
+(* Additive increase: one clean cumulative ack grows cwnd by aimd_incr,
+   capped by the cost-model window so cwnd never exceeds what the
+   sequence space can express. *)
+let aimd_increase t ~cwnd =
+  Float.min (float_of_int (transport_window t)) (cwnd +. t.aimd_incr)
+
+(* Multiplicative decrease: halve on retransmission-timer expiry, but
+   never below one packet in flight (the alternating-bit floor). *)
+let aimd_decrease _t ~cwnd = Float.max 1.0 (cwnd /. 2.0)
+
+(* Jacobson/Karels estimator. srtt_us = 0.0 means "no sample yet": the
+   first sample seeds the mean directly and the variance at half the
+   sample, exactly as in RFC 6298. Returns (srtt', rttvar'). *)
+let rtt_update t ~srtt_us ~rttvar_us ~sample_us =
+  let sample = float_of_int sample_us in
+  if srtt_us <= 0.0 then (sample, sample /. 2.0)
+  else
+    let err = Float.abs (srtt_us -. sample) in
+    let rttvar' = ((1.0 -. t.rtt_beta) *. rttvar_us) +. (t.rtt_beta *. err) in
+    let srtt' = ((1.0 -. t.rtt_alpha) *. srtt_us) +. (t.rtt_alpha *. sample) in
+    (srtt', rttvar')
+
+(* Retransmission timeout derived from the estimator, floored at the
+   static retransmit interval so an adaptive sender never fires earlier
+   than the fixed-schedule one did. *)
+let rto_us t ~srtt_us ~rttvar_us =
+  if srtt_us <= 0.0 then t.retrans_interval_us
+  else
+    max t.retrans_interval_us (int_of_float (srtt_us +. (4.0 *. rttvar_us)))
+
+(* Fair share of the bus for one of [stations] concurrent senders:
+   bounds aggregate in-flight packets by the bus capacity. This is the
+   cap the SCD pump uses to avoid congestion collapse at large n. *)
+let fair_share_window t ~stations =
+  max 1 (min (client_window t) (t.bus_capacity_pkts / max 1 stations))
 
 let r_us t =
   let rec sum i interval acc =

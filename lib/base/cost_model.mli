@@ -68,6 +68,18 @@ type t = {
       (** transport send/receive window W per peer-direction; 1 = the
           paper's alternating bit (the default, wire-compatible with the
           seed), up to [max_window] *)
+  (* congestion control *)
+  aimd : bool;
+      (** adapt the effective send window per connection (AIMD); only
+          meaningful when [window > 1] — window-1 runs always behave
+          exactly like the seed's alternating bit *)
+  cwnd_init : int;  (** initial congestion window, clamped to [1, W] *)
+  aimd_incr : float;  (** additive increase per clean cumulative ack *)
+  rtt_alpha : float;  (** smoothed-RTT gain (RFC 6298: 1/8) *)
+  rtt_beta : float;  (** RTT-variance gain (RFC 6298: 1/4) *)
+  bus_capacity_pkts : int;
+      (** aggregate in-flight packets one bus can absorb before
+          queueing collapses; feeds [fair_share_window] *)
 }
 
 val default : t
@@ -75,20 +87,50 @@ val default : t
 (** The non-pipelined kernel of the first performance table. *)
 val non_pipelined : t
 
-(** Largest supported transport window (bounded by the 4-bit wire field:
-    the sequence space must be at least 2W). *)
+(** Largest supported transport window (bounded by the 8-bit wire field:
+    the sequence space must be at least 2W, and 2 x 64 <= 256). *)
 val max_window : int
 
 (** [window] clamped to [1, max_window]. *)
 val transport_window : t -> int
 
-(** Modular sequence-number space: 2 when the window is 1 (the seed's
-    1-bit encoding), 16 otherwise. *)
+(** Modular sequence-number space, tiered to match the wire encoding:
+    2 when the window is 1 (the seed's 1-bit encoding), 16 for windows
+    up to 8 (the single-extension-byte format), 256 above that (second
+    extension byte). Always at least twice the window. *)
 val seq_space : t -> int
 
 (** Pipelining depth the block-transfer facilities use per destination:
     MAXREQUESTS - 1, leaving one slot for control traffic (§4.4.1). *)
 val client_window : t -> int
+
+(** Initial congestion window as a float, clamped to [1, W]. *)
+val cwnd_init : t -> float
+
+(** [aimd_increase t ~cwnd] after one clean cumulative ack: cwnd grows
+    by [aimd_incr], capped at the cost-model window. *)
+val aimd_increase : t -> cwnd:float -> float
+
+(** [aimd_decrease t ~cwnd] after a retransmission-timer expiry: cwnd
+    halves, floored at 1.0 (stop-and-wait, never zero). *)
+val aimd_decrease : t -> cwnd:float -> float
+
+(** [rtt_update t ~srtt_us ~rttvar_us ~sample_us] folds one RTT sample
+    into the Jacobson/Karels estimator and returns [(srtt', rttvar')].
+    [srtt_us <= 0.0] means "no sample yet": the first sample seeds the
+    mean and half-sample variance (RFC 6298). *)
+val rtt_update : t -> srtt_us:float -> rttvar_us:float -> sample_us:int -> float * float
+
+(** Retransmission timeout from the estimator state: srtt + 4 rttvar,
+    floored at [retrans_interval_us] (an adaptive sender never fires
+    earlier than the fixed schedule). With no sample yet, exactly
+    [retrans_interval_us]. *)
+val rto_us : t -> srtt_us:float -> rttvar_us:float -> int
+
+(** [fair_share_window t ~stations] caps one of [stations] concurrent
+    senders' in-flight packets so the aggregate stays within
+    [bus_capacity_pkts]; never below 1, never above [client_window]. *)
+val fair_share_window : t -> stations:int -> int
 
 (** Total span of retransmissions, R (for Delta-t intervals). *)
 val r_us : t -> int

@@ -93,6 +93,10 @@ let pool t = t.pool
 
 let set_obs t obs = t.obs <- Some obs
 
+(* Seq-space width implied by a station's transport window; mirrors
+   Cost_model.seq_space's tiers (1-bit / 4-bit / 8-bit encodings). *)
+let seq_space_of_window w = if w <= 1 then 2 else if w <= 8 then 16 else 256
+
 let claim_seq_window t ~window =
   match t.seq_window with
   | None -> t.seq_window <- Some window
@@ -100,10 +104,12 @@ let claim_seq_window t ~window =
   | Some w ->
     invalid_arg
       (Printf.sprintf
-         "Bus.claim_seq_window: stations disagree on the transport window (%d vs %d); \
-          a window-1 station's sequence space (2) cannot interoperate with a wider \
-          peer's (16)"
-         w window)
+         "Bus.claim_seq_window: stations disagree on the transport window: the \
+          first station claimed window %d (seq space %d), the new station wants \
+          window %d (seq space %d). A receiver classifies packets against its \
+          own window, so every station on one medium must use the same width"
+         w (seq_space_of_window w) window
+         (seq_space_of_window window))
 
 (* Hot call sites test [tracing] BEFORE building the event payload: the
    [Event.t] constructor argument is an allocation, and it was paid on

@@ -44,9 +44,12 @@ val set_obs : t -> Soda_obs.Recorder.t -> unit
 
 (** Every station on one medium must use the same reliable-protocol send
     window: the receive-side sequence arithmetic is derived from the local
-    window, so a window-1 station (sequence space 2) cannot interoperate
-    with a wider peer (space 16). The first claim pins the medium's window.
-    @raise Invalid_argument when a later claim disagrees. *)
+    window, so stations with different windows — and hence possibly
+    different sequence-space widths (2 at window 1, 16 up to window 8,
+    256 above) — cannot interoperate. The first claim pins the medium's
+    window.
+    @raise Invalid_argument when a later claim disagrees; the message
+    names both stations' windows and derived sequence spaces. *)
 val claim_seq_window : t -> window:int -> unit
 
 (** Set the per-delivery frame-loss probability.

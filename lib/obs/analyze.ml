@@ -193,6 +193,14 @@ let kind_of_fields fields =
     Window_buffer
       { tid = int_f fields "tid"; peer = int_f fields "peer"; seq = int_f fields "seq";
         expected = int_f fields "expected" }
+  | "cwnd-change" ->
+    Cwnd_change
+      { peer = int_f fields "peer"; cwnd = int_f fields "cwnd";
+        in_flight = int_f fields "in_flight"; reason = str_f fields "reason" }
+  | "rtt-sample" ->
+    Rtt_sample
+      { peer = int_f fields "peer"; sample_us = int_f fields "sample";
+        srtt_us = int_f fields "srtt"; rttvar_us = int_f fields "rttvar" }
   | "probe" ->
     Probe
       { tid = int_f fields "tid"; peer = int_f fields "peer";

@@ -49,6 +49,13 @@ type kind =
   | Window_buffer of { tid : int; peer : int; seq : int; expected : int }
       (** Receiver side: an out-of-order packet parked in the receive
           window until the gap at [expected] fills. *)
+  | Cwnd_change of { peer : int; cwnd : int; in_flight : int; reason : string }
+      (** Congestion window moved: [reason] is ["ack"] (additive
+          increase) or ["loss"] (multiplicative decrease on
+          retransmission-timer expiry). Windowed transports only. *)
+  | Rtt_sample of { peer : int; sample_us : int; srtt_us : int; rttvar_us : int }
+      (** One Karn-clean RTT measurement folded into the estimator
+          (smoothed mean + variance after the update). *)
   | Probe of { tid : int; peer : int; misses : int }
   | Deliver of { tid : int; src : int; pattern : int; put_size : int; get_size : int;
                  from_buffer : bool }
@@ -107,6 +114,8 @@ let kind_label = function
   | Retransmit _ -> "retransmit"
   | Window_advance _ -> "window-advance"
   | Window_buffer _ -> "window-buffer"
+  | Cwnd_change _ -> "cwnd-change"
+  | Rtt_sample _ -> "rtt-sample"
   | Probe _ -> "probe"
   | Deliver _ -> "deliver"
   | Handler_invoke -> "handler-invoke"
@@ -157,6 +166,11 @@ let message = function
   | Window_buffer { tid; peer; seq; expected } ->
     Printf.sprintf "hold #%d sn=%d from %d in receive window (expecting sn=%d)" tid seq
       peer expected
+  | Cwnd_change { peer; cwnd; in_flight; reason } ->
+    Printf.sprintf "cwnd to %d now %d on %s (%d in flight)" peer cwnd reason in_flight
+  | Rtt_sample { peer; sample_us; srtt_us; rttvar_us } ->
+    Printf.sprintf "rtt to %d sample %d us (srtt %d us, rttvar %d us)" peer sample_us
+      srtt_us rttvar_us
   | Probe { tid; peer; misses } ->
     Printf.sprintf "probe #%d at %d (misses %d)" tid peer misses
   | Deliver { tid; src; pattern; put_size; get_size; from_buffer } ->
@@ -205,7 +219,7 @@ let tid = function
   | Acked { tid; _ } | Busy_nack { tid; _ } | Retransmit { tid; _ } | Probe { tid; _ }
   | Deliver { tid; _ } | Complete { tid; _ } | Window_buffer { tid; _ } ->
     if tid = no_tid then None else Some tid
-  | Window_advance _ -> None
+  | Window_advance _ | Cwnd_change _ | Rtt_sample _ -> None
   | Handler_invoke | Endhandler | Bus_frame _ | Bus_drop _ | Note _ | Fault_partition _
   | Fault_heal | Fault_crash _ | Fault_reboot _ | Fault_duplicate _ | Fault_jitter _
   | Fault_loss_burst _ | Store_phase _ | Store_retry _ | Store_complete _

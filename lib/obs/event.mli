@@ -45,6 +45,15 @@ type kind =
   | Window_buffer of { tid : int; peer : int; seq : int; expected : int }
       (** Receiver side: an out-of-order packet parked in the receive
           window until the gap at [expected] fills. *)
+  | Cwnd_change of { peer : int; cwnd : int; in_flight : int; reason : string }
+      (** Congestion window moved: [reason] is ["ack"] (additive
+          increase on a clean cumulative ack) or ["loss"]
+          (multiplicative decrease on retransmission-timer expiry).
+          Emitted only by windowed (> 1) transports with AIMD on. *)
+  | Rtt_sample of { peer : int; sample_us : int; srtt_us : int; rttvar_us : int }
+      (** One RTT measurement accepted by the estimator (Karn's rule:
+          retransmitted packets never sample); [srtt_us]/[rttvar_us]
+          are the post-update smoothed mean and variance. *)
   | Probe of { tid : int; peer : int; misses : int }
   | Deliver of { tid : int; src : int; pattern : int; put_size : int; get_size : int;
                  from_buffer : bool }

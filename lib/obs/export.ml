@@ -87,6 +87,12 @@ let event_fields (e : Event.t) : json_field list =
     | Window_buffer { tid; peer; seq; expected } ->
       [ ("tid", `Int tid); ("peer", `Int peer); ("seq", `Int seq);
         ("expected", `Int expected) ]
+    | Cwnd_change { peer; cwnd; in_flight; reason } ->
+      [ ("peer", `Int peer); ("cwnd", `Int cwnd); ("in_flight", `Int in_flight);
+        ("reason", `Str reason) ]
+    | Rtt_sample { peer; sample_us; srtt_us; rttvar_us } ->
+      [ ("peer", `Int peer); ("sample", `Int sample_us); ("srtt", `Int srtt_us);
+        ("rttvar", `Int rttvar_us) ]
     | Probe { tid; peer; misses } ->
       [ ("tid", `Int tid); ("peer", `Int peer); ("misses", `Int misses) ]
     | Deliver { tid; src; pattern; put_size; get_size; from_buffer } ->
@@ -294,7 +300,8 @@ let chrome_to_buffer b events =
             ("pid", `Int e.mid); ("tid", `Int track_client); ("ts", `Int e.time_us);
             ("s", `Str "t") ]
       | Tx _ | Rx _ | Acked _ | Busy_nack _ | Retransmit _ | Probe _ | Deliver _
-      | Enqueue _ | Bus_drop _ | Window_advance _ | Window_buffer _ ->
+      | Enqueue _ | Bus_drop _ | Window_advance _ | Window_buffer _ | Cwnd_change _
+      | Rtt_sample _ ->
         emit
           [ ("name", `Str (message e.kind)); ("cat", `Str (kind_label e.kind));
             ("ph", `Str "i"); ("pid", `Int e.mid); ("tid", `Int track_packets);

@@ -63,6 +63,10 @@ type sent_pkt = {
   mutable sp_waiting_busy : bool;  (* window 1 only: parked between BUSY retries *)
   mutable sp_timer : Engine.event_id option;
   mutable sp_finished : bool;
+  mutable sp_sent_at : int;
+      (* virtual time of the most recent actual emission; 0 = never sent.
+         Feeds the RTT estimator only when the packet was emitted exactly
+         once (Karn's rule: a retransmitted packet's ack is ambiguous) *)
   sp_done : send_outcome -> unit;
 }
 
@@ -117,6 +121,15 @@ type conn = {
      we have swallowed while holding it *)
   mutable held_pkt : Wire.t option;
   mutable held_retries : int;
+  (* congestion control (windowed transports with aimd on): effective
+     send window = min(cwnd, window); Jacobson estimator state in float
+     microseconds, srtt = 0.0 until the first Karn-clean sample *)
+  mutable cwnd : float;
+  mutable srtt_us : float;
+  mutable rttvar_us : float;
+  mutable cwnd_cut_at : int;
+      (* last multiplicative decrease; a burst of timer expiries within
+         one RTO counts as a single loss event *)
 }
 
 (* ---- requester-side transaction records -------------------------------- *)
@@ -293,6 +306,16 @@ let seq_prev t s = (s - 1 + sspace t) mod sspace t
    this is exactly one record -- the seed's single last-consumed pair. *)
 let max_consumed t = max 1 (sspace t - 1)
 
+(* Is congestion control live on this transport? Window-1 runs always
+   behave exactly like the seed's alternating bit, AIMD knob or not. *)
+let aimd_on t = t.cost.Cost.aimd && win t > 1
+
+(* Effective send window: min(cwnd, peer receive window, cost-model cap).
+   The bus pins one window per medium (Bus.claim_seq_window), so the
+   local cost-model window IS the peer's receive window. *)
+let eff_win t conn =
+  if aimd_on t then max 1 (min (win t) (int_of_float conn.cwnd)) else win t
+
 (* ---- connection records ------------------------------------------------ *)
 
 let conn_active conn =
@@ -347,6 +370,10 @@ let conn_for t peer =
         expiry_deadline = 0;
         held_pkt = None;
         held_retries = 0;
+        cwnd = Cost.cwnd_init t.cost;
+        srtt_us = 0.0;
+        rttvar_us = 0.0;
+        cwnd_cut_at = 0;
       }
     in
     Hashtbl.replace t.conns peer c;
@@ -515,10 +542,85 @@ let replay_response t conn cr =
 
 (* ---- sliding-window sending --------------------------------------------- *)
 
-let retrans_delay t sp =
+(* ---- congestion control (AIMD + Jacobson RTT, windowed only) ----------- *)
+
+let cwnd_note t conn ~reason =
+  Stats.sample t.stats "net.cwnd" (int_of_float conn.cwnd);
+  if tracing t then
+    event t
+      (Event.Cwnd_change
+         { peer = conn.peer; cwnd = int_of_float conn.cwnd;
+           in_flight = List.length conn.outstanding; reason })
+
+(* Fold one acked packet into the RTT estimator. Karn's rule: a packet
+   that was ever retransmitted (or re-emitted after a BUSY) has an
+   ambiguous ack and must not sample. *)
+let rtt_sample_sp t conn sp =
+  if aimd_on t && sp.sp_retries = 0 && sp.sp_busy_attempts = 0 && sp.sp_sent_at > 0
+  then begin
+    let sample = Engine.now t.engine - sp.sp_sent_at in
+    if sample >= 0 then begin
+      let srtt, rttvar =
+        Cost.rtt_update t.cost ~srtt_us:conn.srtt_us ~rttvar_us:conn.rttvar_us
+          ~sample_us:sample
+      in
+      conn.srtt_us <- srtt;
+      conn.rttvar_us <- rttvar;
+      Stats.sample t.stats "net.rtt_us" sample;
+      if tracing t then
+        event t
+          (Event.Rtt_sample
+             { peer = conn.peer; sample_us = sample; srtt_us = int_of_float srtt;
+               rttvar_us = int_of_float rttvar })
+    end
+  end
+
+(* Additive increase: one cumulative ack covering only never-retransmitted
+   packets grows cwnd by the cost model's increment (capped at W). *)
+let cwnd_on_clean_ack t conn acked =
+  if
+    aimd_on t && acked <> []
+    && List.for_all (fun sp -> sp.sp_retries = 0 && sp.sp_busy_attempts = 0) acked
+  then begin
+    let before = int_of_float conn.cwnd in
+    conn.cwnd <- Cost.aimd_increase t.cost ~cwnd:conn.cwnd;
+    if int_of_float conn.cwnd <> before then cwnd_note t conn ~reason:"ack"
+  end
+
+(* Multiplicative decrease on retransmission-timer expiry. A burst of
+   expiries within one RTO is a single loss event (one halving), or a
+   full window's worth of simultaneous timeouts would collapse cwnd to
+   the floor in one step. *)
+let cwnd_on_loss t conn =
+  if aimd_on t then begin
+    let now = Engine.now t.engine in
+    let rto = Cost.rto_us t.cost ~srtt_us:conn.srtt_us ~rttvar_us:conn.rttvar_us in
+    if now - conn.cwnd_cut_at >= rto then begin
+      conn.cwnd_cut_at <- now;
+      let before = int_of_float conn.cwnd in
+      conn.cwnd <- Cost.aimd_decrease t.cost ~cwnd:conn.cwnd;
+      if int_of_float conn.cwnd <> before then cwnd_note t conn ~reason:"loss"
+    end
+  end
+
+let retrans_delay t conn sp =
   let base =
     float_of_int t.cost.Cost.retrans_interval_us
     *. (t.cost.Cost.retrans_backoff ** float_of_int sp.sp_retries)
+  in
+  (* Adaptive floor: once the estimator has a sample, never fire before
+     srtt + 4 rttvar (with the same per-retry backoff). Under incast the
+     static schedule undershoots the queueing delay and every client
+     retransmits spuriously; the estimator absorbs it. The static formula
+     below remains a lower bound, so an adaptive sender never fires
+     EARLIER than the fixed-schedule one did. *)
+  let base =
+    if aimd_on t && conn.srtt_us > 0.0 then
+      Float.max base
+        (float_of_int
+           (Cost.rto_us t.cost ~srtt_us:conn.srtt_us ~rttvar_us:conn.rttvar_us)
+         *. (t.cost.Cost.retrans_backoff ** float_of_int sp.sp_retries))
+    else base
   in
   (* A 2000-byte frame holds the 1 Mbit medium for ~16 ms, and the expected
      acknowledgement path includes the peer's data copies and (for a
@@ -595,6 +697,13 @@ let pop_ready q now =
 
 let next_ready_at q = Queue.fold (fun acc p -> min acc p.ps_ready_at) max_int q
 
+(* The item [pop_ready] would return, without removing it. *)
+let peek_ready q now =
+  Queue.fold
+    (fun acc p ->
+      match acc with Some _ -> acc | None -> if p.ps_ready_at <= now then Some p else None)
+    None q
+
 let remove_outstanding conn sp =
   conn.outstanding <- List.filter (fun p -> p != sp) conn.outstanding
 
@@ -609,6 +718,9 @@ let rec transmit_sent t conn sp =
   let attempt = sp.sp_retries + sp.sp_busy_attempts in
   if attempt > 0 then begin
     Stats.incr t.stats "pkt.retransmissions";
+    (* separate the timer-expiry retransmissions (the congestion signal
+       AIMD reacts to) from BUSY re-emissions (handler flow control) *)
+    if sp.sp_retries > 0 then Stats.incr t.stats "pkt.retransmissions.timer";
     if tracing t then
       event t
         (Event.Retransmit
@@ -627,6 +739,7 @@ let rec transmit_sent t conn sp =
   let copy_us = if data_bytes > 0 then Cost.data_copy_us t.cost ~bytes:data_bytes else 0 in
   if copy_us > 0 then Stats.add_time t.stats (Cost.label Cost.Protocol) copy_us;
   if copy_us = 0 then begin
+    sp.sp_sent_at <- Engine.now t.engine;
     emit t ~dst:(`Peer conn.peer) ~reliable:true ~seq:sp.sp_seq ~run:sp.sp_run body;
     arm_retrans t conn sp
   end
@@ -641,6 +754,7 @@ let rec transmit_sent t conn sp =
     ignore
       (defer t ~delay:copy_us (fun () ->
            if not sp.sp_finished then begin
+             sp.sp_sent_at <- Engine.now t.engine;
              emit t ~dst:(`Peer conn.peer) ~reliable:true ~seq:sp.sp_seq ~run:sp.sp_run
                body;
              arm_retrans t conn sp
@@ -652,12 +766,15 @@ let rec transmit_sent t conn sp =
 
 and arm_retrans t conn sp =
   cancel_sp_timer t sp;
-  let delay = retrans_delay t sp in
+  let delay = retrans_delay t conn sp in
   sp.sp_timer <-
     Some
       (defer t ~delay (fun () ->
            sp.sp_timer <- None;
            if not sp.sp_finished then begin
+             (* the timer expiring IS the loss signal: halve cwnd (at
+                most once per RTO) whether we retry or give up *)
+             cwnd_on_loss t conn;
              if sp.sp_retries >= t.cost.Cost.max_retrans then
                finish_sent t conn sp Out_timeout
              else begin
@@ -719,6 +836,8 @@ and apply_cum_ack t conn a =
           (Event.Window_advance
              { peer = conn.peer; base = conn.send_base;
                in_flight = List.length conn.outstanding });
+      List.iter (rtt_sample_sp t conn) !acked;
+      cwnd_on_clean_ack t conn !acked;
       List.iter
         (fun sp ->
           if tracing t then
@@ -764,10 +883,10 @@ and start_next t conn =
   let continue = ref true in
   while !continue do
     let extent = dist t conn.send_base conn.send_next in
-    if extent >= win t || Queue.is_empty conn.sendq then continue := false
+    if Queue.is_empty conn.sendq then continue := false
     else begin
       let now = Engine.now t.engine in
-      match pop_ready conn.sendq now with
+      match peek_ready conn.sendq now with
       | None ->
         (* every queued send is backing off after a BUSY; wake when the
            nearest matures *)
@@ -780,7 +899,19 @@ and start_next t conn =
                    start_next t conn))
         end;
         continue := false
-      | Some pending ->
+      (* The DATA of an accepted exchange answers an explicit server
+         grant: the handler over there is already parked waiting for it,
+         so gating it on a collapsed cwnd can deadlock the window (the
+         in-flight REQUESTs it sits behind are BUSY-bounced by that very
+         handler). It bypasses the congestion window; the peer's receive
+         window still caps it. *)
+      | Some peeked
+        when extent >= (if peeked.ps_kind = K_put_data then win t else eff_win t conn)
+        -> continue := false
+      | Some _ ->
+        let pending =
+          match pop_ready conn.sendq now with Some p -> p | None -> assert false
+        in
         let sp =
           {
             sp_kind = pending.ps_kind;
@@ -793,6 +924,7 @@ and start_next t conn =
             sp_waiting_busy = false;
             sp_timer = None;
             sp_finished = false;
+            sp_sent_at = 0;
             sp_done = pending.ps_done;
           }
         in
@@ -850,6 +982,18 @@ let send_reliable t ~peer ~kind ~tid body ~on_done =
       | Some sp ->
         park_busy_sent t conn sp;
         queue_push_front conn.sendq pending
+      | None when win t > 1 ->
+        (* keep granted DATA ahead of unsent requests (FIFO among DATA):
+           the next window slot must go to the exchange the server is
+           already waiting on, not to a new REQUEST it would BUSY-bounce *)
+        Queue.push pending conn.sendq;
+        let puts = Queue.create () and rest = Queue.create () in
+        Queue.iter
+          (fun p -> Queue.push p (if p.ps_kind = K_put_data then puts else rest))
+          conn.sendq;
+        Queue.clear conn.sendq;
+        Queue.transfer puts conn.sendq;
+        Queue.transfer rest conn.sendq
       | None -> Queue.push pending conn.sendq)
    | _ -> Queue.push pending conn.sendq);
   start_next t conn
@@ -1932,3 +2076,20 @@ let shutdown t =
   t.nic <- None
 
 let outstanding_requests t = Hashtbl.length t.out_reqs + Hashtbl.length t.discovers
+
+(* Congestion-control introspection, for the test suites. *)
+let effective_window t ~peer =
+  match Hashtbl.find_opt t.conns peer with
+  | Some conn -> eff_win t conn
+  | None -> win t
+
+let cwnd t ~peer =
+  match Hashtbl.find_opt t.conns peer with
+  | Some conn -> Some conn.cwnd
+  | None -> None
+
+let rtt_estimate_us t ~peer =
+  match Hashtbl.find_opt t.conns peer with
+  | Some conn when conn.srtt_us > 0.0 ->
+    Some (int_of_float conn.srtt_us, int_of_float conn.rttvar_us)
+  | _ -> None

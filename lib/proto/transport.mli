@@ -2,14 +2,24 @@
 
     One [Transport.t] per node implements:
 
-    - a {b sliding-window} reliable protocol over 4-bit modular sequence
+    - a {b sliding-window} reliable protocol over 8-bit modular sequence
       numbers: up to [cost.window] (clamped 1..[max_window]) unacknowledged
       reliable messages per peer per direction, cumulative piggybacked
       acks, per-packet retransmission timers with randomised exponential
       backoff, bounded out-of-order buffering at the receiver, and strict
       in-order delivery. Window 1 degenerates to the paper's
       alternating-bit stop-and-wait (§5.2.3) exactly — same wire bytes,
-      same golden trace;
+      same golden trace — and windows up to 8 keep the earlier 4-bit
+      single-extension encoding byte for byte;
+    - {b AIMD congestion control} (windowed transports with [cost.aimd]):
+      each connection carries a congestion window that grows additively
+      on clean cumulative acks and halves on retransmission-timer expiry
+      (at most once per RTO); the effective send window is
+      min(cwnd, peer receive window, cost-model cap). A Jacobson RTT
+      estimator (smoothed mean + variance, Karn's rule: retransmitted
+      packets never sample) floors the retransmission timeout so queueing
+      delay under incast is absorbed instead of triggering spurious
+      retransmit storms;
     - {b Delta-t} connection management: no explicit connection setup; a
       peer's record is created on first contact (window 1: any sequence
       bit is accepted; wider windows: only a run-start-flagged packet may
@@ -135,6 +145,19 @@ val shutdown : t -> unit
 
 (** Number of uncompleted outbound requests (for MAXREQUESTS). *)
 val outstanding_requests : t -> int
+
+(** Effective send window toward [peer]: min(cwnd, window) with AIMD on,
+    the configured window otherwise (or when no connection record
+    exists yet). Exposed for the congestion-control test suites. *)
+val effective_window : t -> peer:int -> int
+
+(** Congestion window toward [peer]; [None] when no connection record
+    exists. Always within [1, window]. *)
+val cwnd : t -> peer:int -> float option
+
+(** RTT estimator state toward [peer] as [(srtt_us, rttvar_us)]; [None]
+    before the first Karn-clean sample (or without a record). *)
+val rtt_estimate_us : t -> peer:int -> (int * int) option
 
 (** Causal identity, per live transaction. The kernel registers the
     context minted at the REQUEST trap; the server side of the transport

@@ -42,12 +42,18 @@ type t = {
   body : body;
 }
 
-(* Sequence numbers are 4-bit (space 16, window <= 8). The low bit lives in
-   the seed's original flag positions; the high bits travel in an extension
-   byte that is only present (flag 0x40) when some high bit is set, so a
-   window-1 node's packets remain byte-identical to the alternating-bit
-   encoding. *)
-let seq_mask = 0x0F
+(* Sequence numbers are 8-bit (space 256, window <= 64), spread over the
+   seed's original flag positions plus up to two extension bytes so that
+   narrower configurations keep their historical encodings byte for byte:
+   - bit 0 lives in the seed's flag positions (0x02 seq / 0x08 ack);
+   - bits 1-3 live in a first extension byte, present (flag 0x40) only
+     when nonzero — exactly the 4-bit layout windows <= 8 have always
+     used, so their packets stay byte-identical;
+   - bits 4-7 live in a second extension byte whose presence is
+     signalled by bit 6 (0x40) of the first.
+   A window-1 node's packets remain byte-identical to the seed's
+   alternating-bit encoding. *)
+let seq_mask = 0xFF
 
 (* --- encoding helpers ------------------------------------------------- *)
 
@@ -162,10 +168,20 @@ let err_of_int = function
 
 (* --- encode ----------------------------------------------------------- *)
 
+(* Second extension byte: seq bits 4-7 in the low nibble, ack bits 4-7
+   in the high nibble. Zero (and thus absent) whenever both numbers fit
+   in 4 bits, which keeps every window<=8 packet on the old format. *)
+let seq_ext2 t =
+  let seq_hi = (t.seq land seq_mask) lsr 4 in
+  let ack_hi = match t.ack with None -> 0 | Some a -> (a land seq_mask) lsr 4 in
+  seq_hi lor (ack_hi lsl 4)
+
+(* First extension byte: seq bits 1-3, ack bits 1-3, and bit 6 marking
+   the presence of the second extension byte. *)
 let seq_ext t =
-  let seq_hi = (t.seq land seq_mask) lsr 1 in
-  let ack_hi = match t.ack with None -> 0 | Some a -> (a land seq_mask) lsr 1 in
-  seq_hi lor (ack_hi lsl 3)
+  let seq_mid = (t.seq land 0x0F) lsr 1 in
+  let ack_mid = match t.ack with None -> 0 | Some a -> (a land 0x0F) lsr 1 in
+  seq_mid lor (ack_mid lsl 3) lor (if seq_ext2 t <> 0 then 0x40 else 0)
 
 let flags t ~retry ~need_put_data =
   (if t.reliable then 0x01 else 0)
@@ -178,9 +194,10 @@ let flags t ~retry ~need_put_data =
   lor if t.run then 0x80 else 0
 
 (* Exact wire size of a packet, kept in lockstep with the encoders below:
-   4 header bytes (kind, flags, src), one optional extension byte, then
-   the body. Used to acquire exactly-sized pooled buffers so a frame's
-   [Bytes.length] still means what it meant under the Buffer encoder. *)
+   4 header bytes (kind, flags, src), up to two optional extension
+   bytes, then the body. Used to acquire exactly-sized pooled buffers so
+   a frame's [Bytes.length] still means what it meant under the Buffer
+   encoder. *)
 let body_size = function
   | Request { data; _ } -> 6 + 6 + 4 + 4 + 4 + 4 + Bytes.length data
   | Accept { data; _ } -> 6 + 4 + 4 + 4 + Bytes.length data
@@ -190,7 +207,11 @@ let body_size = function
   | Error _ | Cancel_reply _ | Probe_reply _ -> 7
   | Discover _ -> 12
 
-let encoded_size t = 4 + (if seq_ext t <> 0 then 1 else 0) + body_size t.body
+let encoded_size t =
+  4
+  + (if seq_ext t <> 0 then 1 else 0)
+  + (if seq_ext2 t <> 0 then 1 else 0)
+  + body_size t.body
 
 (* Zero-copy encoder: writes the packet into [buf] starting at [off] and
    returns the number of bytes written (always [encoded_size t]). The
@@ -205,6 +226,7 @@ let encode_into t buf ~off =
   let p = w8 buf p (flags t ~retry ~need_put_data) in
   let p = w16 buf p t.src in
   let p = if seq_ext t <> 0 then w8 buf p (seq_ext t) else p in
+  let p = if seq_ext2 t <> 0 then w8 buf p (seq_ext2 t) else p in
   let p =
     match t.body with
     | Request { tid; pattern; arg; put_size; get_size; data; retry = _ } ->
@@ -263,6 +285,7 @@ let encode_buffer t =
   put_u8 buf (flags t ~retry ~need_put_data);
   put_u16 buf t.src;
   if seq_ext t <> 0 then put_u8 buf (seq_ext t);
+  if seq_ext2 t <> 0 then put_u8 buf (seq_ext2 t);
   (match t.body with
    | Request { tid; pattern; arg; put_size; get_size; data; retry = _ } ->
      put_u48 buf tid;
@@ -313,10 +336,18 @@ let decode_sub bytes ~off ~len =
     let src = get_u16 r in
     let reliable = flags land 0x01 <> 0 in
     let ext = if flags land 0x40 <> 0 then get_u8 r else 0 in
-    let seq = (if flags land 0x02 <> 0 then 1 else 0) lor ((ext land 0x07) lsl 1) in
+    let ext2 = if ext land 0x40 <> 0 then get_u8 r else 0 in
+    let seq =
+      (if flags land 0x02 <> 0 then 1 else 0)
+      lor ((ext land 0x07) lsl 1)
+      lor ((ext2 land 0x0F) lsl 4)
+    in
     let ack =
       if flags land 0x04 <> 0 then
-        Some ((if flags land 0x08 <> 0 then 1 else 0) lor (((ext lsr 3) land 0x07) lsl 1))
+        Some
+          ((if flags land 0x08 <> 0 then 1 else 0)
+           lor (((ext lsr 3) land 0x07) lsl 1)
+           lor (((ext2 lsr 4) land 0x0F) lsl 4))
       else None
     in
     let retry = flags land 0x10 <> 0 in

@@ -66,15 +66,18 @@ type t = {
   body : body;
 }
 
-(** Sequence numbers are 4 bits on the wire: the low bit rides the
-    original flag positions, the high bits an extension byte present only
-    when non-zero (flag 0x40), keeping window-1 packets byte-identical to
-    the seed encoding. *)
+(** Sequence numbers are 8 bits on the wire, in a two-tier extension
+    scheme: the low bit rides the original flag positions; bits 1-3 ride
+    a first extension byte present only when non-zero (flag 0x40) — the
+    historical 4-bit layout; bits 4-7 ride a second extension byte whose
+    presence is signalled by bit 6 of the first. Window-1 packets stay
+    byte-identical to the seed encoding and window<=8 packets to the
+    single-extension 4-bit format. *)
 val seq_mask : int
 
-(** Exact number of bytes {!encode} produces for [t] (header, optional
-    extension byte, body). Lets callers acquire exactly-sized pooled
-    buffers up front. *)
+(** Exact number of bytes {!encode} produces for [t] (header, up to two
+    optional extension bytes, body). Lets callers acquire exactly-sized
+    pooled buffers up front. *)
 val encoded_size : t -> int
 
 (** [encode_into t buf ~off] writes the packet at [buf.[off ..]] and

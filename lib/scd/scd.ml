@@ -268,9 +268,11 @@ let echo m (fwd : Scd_wire.forward) =
 let pump env m rng =
   let len = Array.length m.chans in
   if len > 0 then begin
-    let cap =
-      min (Cost.client_window (Kernel.cost (Sodal.kernel env))) (max 1 (128 / m.n))
-    in
+    (* Cluster fair share of the bus: n members each launching at most
+       bus_capacity_pkts/n keeps the aggregate in-flight FORWARDs within
+       what the medium absorbs — the same cap the transport's AIMD layer
+       models (Cost_model.fair_share_window), not a parallel mechanism. *)
+    let cap = Cost.fair_share_window (Kernel.cost (Sodal.kernel env)) ~stations:m.n in
     let in_flight = ref 0 in
     Array.iter (fun ch -> if ch.ch_in_flight then incr in_flight) m.chans;
     let pat = cluster_pattern ~cluster:m.cluster in

@@ -1,19 +1,23 @@
-(* Golden-trace generator: runs a fixed-seed pingpong scenario with tracing
-   on and prints the JSONL export on stdout. The dune rule diffs the output
-   against pingpong_trace.expected.jsonl, so any change to event emission,
+(* Golden-trace generator: runs a fixed-seed scenario with tracing on and
+   prints the JSONL export on stdout. The dune rules diff the output
+   against the checked-in snapshots, so any change to event emission,
    protocol timing or the exporter shows up as a reviewable diff
-   (`dune promote` accepts it). *)
+   (`dune promote` accepts it).
+
+   Scenarios (selected by argv):
+   - "pingpong" (default): window 1 — the degenerate sliding window must
+     reproduce the seed's alternating-bit trace byte for byte;
+   - "windowed": window 4 — pins the window<=8 single-extension-byte wire
+     format and the AIMD ramp (cwnd growth on clean cumulative acks). *)
 
 module Network = Soda_core.Network
 module Sodal = Soda_runtime.Sodal
 module Pattern = Soda_base.Pattern
-module Trace = Soda_sim.Trace
+module Cost = Soda_base.Cost_model
 
-let () =
+let pingpong () =
   let patt = Pattern.well_known 0o321 in
-  (* Pin the transport window to 1: the degenerate sliding window must
-     reproduce the seed's alternating-bit trace byte for byte. *)
-  let cost = { Soda_base.Cost_model.default with Soda_base.Cost_model.window = 1 } in
+  let cost = { Cost.default with Cost.window = 1 } in
   let net = Network.create ~seed:2025 ~cost ~trace:true () in
   let k0 = Network.add_node net ~mid:0 in
   let k1 = Network.add_node net ~mid:1 in
@@ -42,5 +46,53 @@ let () =
              done;
              Sodal.serve env);
        });
+  net
+
+let windowed () =
+  let patt = Pattern.well_known 0o321 in
+  let cost = { Cost.default with Cost.window = 4; maxrequests = 5 } in
+  let net = Network.create ~seed:2025 ~cost ~trace:true () in
+  let k0 = Network.add_node net ~mid:0 in
+  let k1 = Network.add_node net ~mid:1 in
+  ignore
+    (Sodal.attach k0
+       {
+         Sodal.default_spec with
+         init = (fun env ~parent:_ -> Sodal.advertise env patt);
+         on_request =
+           (fun env _ -> ignore (Sodal.accept_current_signal env ~arg:0));
+       });
+  ignore
+    (Sodal.attach k1
+       {
+         Sodal.default_spec with
+         task =
+           (fun env ->
+             (* six pipelined signals: enough to open the window past the
+                initial cwnd and exercise cumulative piggybacked acks *)
+             let sv = Sodal.server ~mid:0 ~pattern:patt in
+             let pending = ref 0 in
+             for i = 1 to 6 do
+               while !pending >= 4 do
+                 Sodal.idle env
+               done;
+               let tid = Sodal.signal env sv ~arg:i in
+               incr pending;
+               Sodal.on_completion_of env tid (fun _ -> decr pending)
+             done;
+             while !pending > 0 do
+               Sodal.idle env
+             done;
+             Sodal.serve env);
+       });
+  net
+
+let () =
+  let net =
+    match if Array.length Sys.argv > 1 then Sys.argv.(1) else "pingpong" with
+    | "pingpong" -> pingpong ()
+    | "windowed" -> windowed ()
+    | s -> failwith (Printf.sprintf "unknown golden scenario %S" s)
+  in
   ignore (Network.run ~until:60_000_000 net);
   print_string (Soda_obs.Export.jsonl (Soda_obs.Recorder.events (Network.recorder net)))

@@ -487,6 +487,177 @@ let test_window_duplicate_storm () =
   Alcotest.(check bool) "all ops completed OK" true
     (Hashtbl.fold (fun _ st ok -> ok && st = Sodal.Comp_ok) outcome.statuses true)
 
+(* ---- incast: many clients fan in on one server (PR 10) ----------------------- *)
+
+(* [clients] windowed senders each push [ops] signals at one server.
+   Returns (statuses keyed by (client, op), virtual finish time). The
+   congestion regime the AIMD layer exists for: aggregate in-flight
+   demand far exceeds what the shared medium absorbs, so queueing delay
+   inflates roughly [clients]-fold and a static retransmission schedule
+   fires spuriously on packets that are merely queued. *)
+let run_incast ~seed ~clients ~ops ~window plan =
+  let cost = { Cost.default with Cost.window; maxrequests = window + 1 } in
+  let net, kernels = make_net ~seed ~cost (clients + 1) in
+  ignore
+    (Sodal.attach (List.nth kernels 0)
+       {
+         Sodal.default_spec with
+         Sodal.init = (fun env ~parent:_ -> Sodal.advertise env patt);
+         on_request =
+           (fun env info ->
+             ignore info.Sodal.arg;
+             ignore (Sodal.accept_current_signal env ~arg:0));
+       });
+  let statuses = Hashtbl.create 256 in
+  let done_count = ref 0 and finished_at = ref 0 in
+  List.iteri
+    (fun idx kernel ->
+      if idx > 0 then
+        ignore
+          (Sodal.attach kernel
+             {
+               Sodal.default_spec with
+               task =
+                 (fun env ->
+                   let sv = Sodal.server ~mid:0 ~pattern:patt in
+                   let in_flight = ref 0 in
+                   for i = 1 to ops do
+                     while !in_flight >= window do
+                       Sodal.idle env
+                     done;
+                     let tid = Sodal.signal env sv ~arg:i in
+                     incr in_flight;
+                     Sodal.on_completion_of env tid (fun c ->
+                         decr in_flight;
+                         Hashtbl.replace statuses (idx, i) c.Sodal.status;
+                         incr done_count;
+                         if !done_count = clients * ops then
+                           finished_at := Sodal.now env)
+                   done;
+                   while !in_flight > 0 do
+                     Sodal.idle env
+                   done);
+             }))
+    kernels;
+  Injector.install net plan;
+  ignore (Network.run ~until:600_000_000 net);
+  (statuses, !finished_at)
+
+(* 16 clients -> 1 server through a mid-transfer loss burst: the batch
+   must converge with every op COMPLETED (no false CRASHED verdict — a
+   queued-but-alive server is not a crashed one) and a finish time within
+   2x of the loss-free run of the same workload. Without the adaptive
+   RTO + AIMD machinery this collapses: the static schedule undershoots
+   the 16-deep queueing delay and the retransmit storm feeds itself. *)
+let test_incast_converges_under_loss_burst () =
+  let clients = 16 and ops = 8 and window = 8 in
+  let plan =
+    [
+      { Fault_plan.at_us = 50_000;
+        action = Fault_plan.Loss_burst { rate = 0.3; duration_us = 100_000 } };
+    ]
+  in
+  let all_ok statuses =
+    Hashtbl.fold (fun _ st ok -> ok && st = Sodal.Comp_ok) statuses true
+  in
+  let statuses_clean, t_clean = run_incast ~seed:64 ~clients ~ops ~window [] in
+  let statuses_lossy, t_lossy = run_incast ~seed:64 ~clients ~ops ~window plan in
+  Alcotest.(check int) "all ops completed (loss-free)" (clients * ops)
+    (Hashtbl.length statuses_clean);
+  Alcotest.(check int) "all ops completed (loss burst)" (clients * ops)
+    (Hashtbl.length statuses_lossy);
+  Alcotest.(check bool) "zero false CRASHED verdicts (loss-free)" true
+    (all_ok statuses_clean);
+  Alcotest.(check bool) "zero false CRASHED verdicts (loss burst)" true
+    (all_ok statuses_lossy);
+  Alcotest.(check bool)
+    (Printf.sprintf "lossy run within 2x of loss-free (%d us <= 2 * %d us)" t_lossy
+       t_clean)
+    true
+    (t_lossy <= 2 * t_clean)
+
+(* ---- Karn's rule (scripted peer) --------------------------------------------- *)
+
+module Transport = Soda_proto.Transport
+module Wire = Soda_proto.Wire
+module Nic = Soda_net.Nic
+module Engine = Soda_sim.Engine
+module Trace = Soda_sim.Trace
+
+(* A scripted peer controls exactly which transmission of a REQUEST gets
+   acknowledged. [ack_first = false] swallows the first copy and acks
+   only the retransmission: the sender cannot know which copy the ack
+   answers, so Karn's rule forbids the sample and the estimator must
+   stay empty. The [ack_first = true] control run must sample. *)
+let run_karn ~ack_first =
+  let engine = Engine.create ~seed:17 () in
+  let trace = Trace.create ~enabled:false () in
+  let bus = Bus.create engine in
+  let cost = { Cost.default with Cost.window = 4; maxrequests = 5 } in
+  let sender = Transport.create ~engine ~bus ~mid:0 ~cost ~trace in
+  Transport.set_callbacks sender
+    {
+      Transport.deliver_request =
+        (fun ~src:_ ~tid:_ ~pattern:_ ~arg:_ ~put_size:_ ~get_size:_ -> `Deliver);
+      complete_request = (fun ~tid:_ _ -> ());
+      advertised = (fun _ -> true);
+      classify_unknown_tid = (fun _ -> `Stale);
+    };
+  ignore (Transport.attach_nic sender);
+  let requests_seen = ref 0 in
+  let peer = ref None in
+  let p =
+    Nic.attach bus ~mid:1 ~rx:(fun ~src:_ ~broadcast:_ ~ctx:_ payload ->
+        match Wire.decode_sub payload ~off:0 ~len:(Bytes.length payload) with
+        | Error _ -> ()
+        | Ok pkt ->
+          (match pkt.Wire.body with
+           | Wire.Request _ ->
+             incr requests_seen;
+             if ack_first || !requests_seen >= 2 then begin
+               let ack =
+                 Wire.encode
+                   { Wire.src = 1; reliable = false; seq = 0;
+                     ack = Some pkt.Wire.seq; run = false; body = Wire.Ack }
+               in
+               ignore
+                 (Engine.schedule engine ~delay:500 (fun () ->
+                      Nic.send (Option.get !peer) ~dst:0 ack))
+             end
+           | _ -> ()))
+  in
+  peer := Some p;
+  (* Submit at a nonzero virtual time: a packet emitted at t=0 would be
+     indistinguishable from the estimator's never-sent sentinel. *)
+  ignore
+    (Engine.schedule engine ~delay:1000 (fun () ->
+         Transport.submit_request sender ~dst:1 ~tid:9001 ~pattern:patt ~arg:7
+           ~put_data:Bytes.empty ~get_size:0));
+  (* The delta-t record (and the estimator riding on it) expires after
+     ~150 ms of silence, so snapshot the estimate while the record is
+     still live rather than after the full run. *)
+  let estimate = ref None in
+  ignore
+    (Engine.schedule engine ~delay:50_000 (fun () ->
+         estimate := Transport.rtt_estimate_us sender ~peer:1));
+  ignore (Engine.run ~until:5_000_000 engine);
+  (!requests_seen, !estimate)
+
+let test_karn_retransmit_never_samples () =
+  let seen, estimate = run_karn ~ack_first:false in
+  Alcotest.(check bool) "the REQUEST was retransmitted" true (seen >= 2);
+  Alcotest.(check bool) "retransmitted packet never feeds the RTT estimator" true
+    (estimate = None)
+
+let test_karn_clean_ack_samples () =
+  let seen, estimate = run_karn ~ack_first:true in
+  Alcotest.(check int) "single transmission sufficed" 1 seen;
+  match estimate with
+  | Some (srtt, rttvar) ->
+    Alcotest.(check bool) "positive smoothed RTT" true (srtt > 0);
+    Alcotest.(check bool) "non-negative variance" true (rttvar >= 0)
+  | None -> Alcotest.fail "clean first-transmission ack must sample the estimator"
+
 (* ---- facilities under fault plans -------------------------------------------- *)
 
 (* An RPC call across a partition cut + heal, with duplicated frames and
@@ -751,6 +922,12 @@ let suites =
           test_window_crash_with_unacked;
         Alcotest.test_case "windowed: duplicate storm" `Quick
           test_window_duplicate_storm;
+        Alcotest.test_case "incast: 16 clients converge under loss burst" `Quick
+          test_incast_converges_under_loss_burst;
+        Alcotest.test_case "karn: retransmitted packet never samples RTT" `Quick
+          test_karn_retransmit_never_samples;
+        Alcotest.test_case "karn: clean ack samples RTT" `Quick
+          test_karn_clean_ack_samples;
       ] );
     ( "chaos.facilities",
       [

@@ -328,6 +328,61 @@ let test_deltat_record_expiry () =
   let take_any = Trace.find (Network.trace net) ~substring:"taking any SN" in
   Alcotest.(check bool) "take-any on recontact" true (List.length take_any > 0)
 
+(* ---- AIMD transparency (loss-free differential) ------------------------------ *)
+
+(* On a clean wire congestion control must be invisible to the
+   application: the identical workload, AIMD on vs off, delivers the
+   same request sequence to the handler and the same completions to the
+   client. Only the pacing may differ (cwnd ramps from its initial
+   value instead of opening the full window at once). *)
+let run_aimd_differential ~aimd =
+  let cost = { Cost.default with Cost.window = 8; maxrequests = 9; aimd } in
+  let net, kernels = make_net ~seed:44 ~cost 2 in
+  let seen = ref [] in
+  ignore
+    (Sodal.attach (List.nth kernels 0)
+       {
+         Sodal.default_spec with
+         init = (fun env ~parent:_ -> Sodal.advertise env patt);
+         on_request =
+           (fun env info ->
+             seen := info.Sodal.arg :: !seen;
+             ignore (Sodal.accept_current_signal env ~arg:0));
+       });
+  let ok = Array.make 20 false in
+  let pending = ref 0 in
+  ignore
+    (Sodal.attach (List.nth kernels 1)
+       {
+         Sodal.default_spec with
+         task =
+           (fun env ->
+             let sv = Sodal.server ~mid:0 ~pattern:patt in
+             for i = 0 to 19 do
+               while !pending >= 8 do
+                 Sodal.idle env
+               done;
+               let tid = Sodal.signal env sv ~arg:i in
+               incr pending;
+               Sodal.on_completion_of env tid (fun c ->
+                   decr pending;
+                   ok.(i) <- c.Sodal.status = Sodal.Comp_ok)
+             done;
+             while !pending > 0 do
+               Sodal.idle env
+             done);
+       });
+  run ~horizon:60.0 net;
+  (List.rev !seen, Array.to_list ok)
+
+let test_aimd_transparent_loss_free () =
+  let seen_on, ok_on = run_aimd_differential ~aimd:true in
+  let seen_off, ok_off = run_aimd_differential ~aimd:false in
+  Alcotest.(check int) "all twenty delivered" 20 (List.length seen_on);
+  Alcotest.(check bool) "all completed ok" true (List.for_all (fun b -> b) ok_on);
+  Alcotest.(check (list int)) "identical delivery sequence" seen_off seen_on;
+  Alcotest.(check (list bool)) "identical completion sequence" ok_off ok_on
+
 let suites =
   [
     ( "transport.reliability",
@@ -354,4 +409,9 @@ let suites =
       ] );
     ( "transport.deltat",
       [ Alcotest.test_case "record expiry + take-any" `Quick test_deltat_record_expiry ] );
+    ( "transport.aimd",
+      [
+        Alcotest.test_case "AIMD transparent on a clean wire" `Quick
+          test_aimd_transparent_loss_free;
+      ] );
   ]

@@ -35,6 +35,8 @@ let test_seq_space () =
   Alcotest.(check int) "window 1 keeps the alternating bit" 2 (s 1);
   Alcotest.(check int) "window 2 widens to 4 bits" 16 (s 2);
   Alcotest.(check int) "window 8 widens to 4 bits" 16 (s 8);
+  Alcotest.(check int) "window 9 widens to 8 bits" 256 (s 9);
+  Alcotest.(check int) "window 64 stays within 8 bits" 256 (s 64);
   (* W <= S/2 must hold for every admissible window, or duplicate
      detection is ambiguous (a retransmit of base is indistinguishable
      from new data at base + W). *)
@@ -62,9 +64,9 @@ let dist s base x = ((x - base) + s) mod s
 
 let prop_modular_roundtrip =
   QCheck.Test.make ~name:"modular seq distance inverts modular advance" ~count:500
-    QCheck.(triple (int_bound 1) (int_bound 15) (int_bound 15))
-    (fun (narrow, base, d) ->
-      let s = if narrow = 1 then 2 else 16 in
+    QCheck.(triple (int_bound 2) (int_bound 255) (int_bound 255))
+    (fun (tier, base, d) ->
+      let s = match tier with 0 -> 2 | 1 -> 16 | _ -> 256 in
       let base = base mod s and d = d mod s in
       let x = (base + d) mod s in
       dist s base x = d && dist s x ((x + ((s - d) mod s)) mod s) = (s - d) mod s)
@@ -87,15 +89,18 @@ let no_ack_of_unsent events =
     events
 
 (* Window_advance never reports more than W in flight; Window_buffer only
-   parks packets strictly inside the receive window (0 < dist < W). *)
+   parks packets strictly inside the receive window (0 < dist < W). The
+   modular distance must be computed in the window's own tier of the
+   sequence space (2 / 16 / 256). *)
 let window_events_bounded ~window events =
+  let space = Cost.seq_space { Cost.default with Cost.window = window } in
   List.for_all
     (fun (e : Event.t) ->
       match e.Event.kind with
       | Event.Window_advance { in_flight; _ } -> in_flight >= 0 && in_flight < window
       | Event.Window_buffer { seq; expected; _ } ->
         (* d = 0 is an in-order REQUEST held while the input buffer drains *)
-        dist 16 expected seq < window
+        dist space expected seq < window
       | _ -> true)
     events
 
@@ -105,8 +110,8 @@ let max_occupancy kernel = Stats.max_us (Kernel.stats kernel) "net.window_occupa
    Returns (send result, reassembled blocks, events, client kernel,
    finish time). The sink rejects any out-of-order chunk, so a transport
    that delivers out of order fails the send. *)
-let run_stream ~seed ~window ~loss ?plan payload =
-  let cost = { Cost.default with Cost.window; Cost.maxrequests = window + 1 } in
+let run_stream ?(aimd = true) ~seed ~window ~loss ?plan payload =
+  let cost = { Cost.default with Cost.window; Cost.maxrequests = window + 1; aimd } in
   let net, kernels = make_net ~seed ~cost ~trace:true 2 in
   if loss > 0.0 then Soda_net.Bus.set_loss_rate (Network.bus net) loss;
   let blocks = ref [] in
@@ -245,6 +250,85 @@ let prop_window_invariants =
           ok_sent ok_blocks ok_occ (max_occupancy client) ok_ack ok_win;
       ok_sent && ok_blocks && ok_occ && ok_ack && ok_win)
 
+(* ---- AIMD / RTT estimator unit laws ------------------------------------------ *)
+
+let test_aimd_laws () =
+  let c = { Cost.default with Cost.window = 8 } in
+  Alcotest.(check bool) "increase adds the increment" true
+    (Cost.aimd_increase c ~cwnd:2.0 = 2.0 +. c.Cost.aimd_incr);
+  Alcotest.(check bool) "increase caps at W" true (Cost.aimd_increase c ~cwnd:8.0 = 8.0);
+  Alcotest.(check bool) "decrease halves" true (Cost.aimd_decrease c ~cwnd:8.0 = 4.0);
+  Alcotest.(check bool) "decrease floors at 1" true (Cost.aimd_decrease c ~cwnd:1.0 = 1.0);
+  Alcotest.(check bool) "initial cwnd within [1, W]" true
+    (let i = Cost.cwnd_init c in 1.0 <= i && i <= 8.0);
+  let srtt, rttvar = Cost.rtt_update c ~srtt_us:0.0 ~rttvar_us:0.0 ~sample_us:8_000 in
+  Alcotest.(check bool) "first sample seeds srtt" true (srtt = 8_000.0);
+  Alcotest.(check bool) "first sample seeds rttvar = sample/2" true (rttvar = 4_000.0);
+  Alcotest.(check int) "empty estimator falls back to the static interval"
+    c.Cost.retrans_interval_us
+    (Cost.rto_us c ~srtt_us:0.0 ~rttvar_us:0.0);
+  Alcotest.(check bool) "rto never undershoots the static interval" true
+    (Cost.rto_us c ~srtt_us:100.0 ~rttvar_us:1.0 >= c.Cost.retrans_interval_us);
+  Alcotest.(check bool) "rto tracks srtt + 4 rttvar once seeded" true
+    (Cost.rto_us c ~srtt_us:100_000.0 ~rttvar_us:5_000.0 = 120_000)
+
+(* Feeding the estimator a constant trace must contract srtt toward the
+   sample at every step (the smoothed mean is a convex combination), and
+   the variance term must stay non-negative throughout. *)
+let prop_rtt_converges =
+  QCheck.Test.make ~name:"constant RTT trace contracts the estimator" ~count:200
+    QCheck.(triple (int_range 1 1_000_000) (int_range 1 1_000_000) (int_range 1 50))
+    (fun (start, sample, steps) ->
+      let c = Cost.default in
+      let target = float_of_int sample in
+      let srtt = ref (float_of_int start)
+      and rttvar = ref (float_of_int start /. 2.0)
+      and ok = ref true in
+      for _ = 1 to steps do
+        let s', v' =
+          Cost.rtt_update c ~srtt_us:!srtt ~rttvar_us:!rttvar ~sample_us:sample
+        in
+        if Float.abs (s' -. target) > Float.abs (!srtt -. target) +. 1e-6 || v' < 0.0
+        then ok := false;
+        srtt := s';
+        rttvar := v'
+      done;
+      !ok)
+
+(* End-to-end at the full 8-bit window: a lossy W=64 stream still
+   reassembles, and every Cwnd_change / Rtt_sample the transport emits
+   respects the AIMD bounds (cwnd in [1, W], growth only on acks,
+   non-negative estimator state). *)
+let wide_payload = String.init 5_000 (fun i -> Char.chr ((i * 11 mod 94) + 33))
+
+let test_cwnd_events_bounded () =
+  let sent, blocks, events, client, _ =
+    run_stream ~seed:91 ~window:64 ~loss:0.05 wide_payload
+  in
+  Alcotest.(check bool) "send ok under loss" true (sent = Some (Ok ()));
+  Alcotest.(check (list string)) "block reassembled once" [ wide_payload ] blocks;
+  Alcotest.(check bool) "occupancy never exceeds W" true (max_occupancy client <= 64);
+  Alcotest.(check bool) "no ack of an unsent packet" true (no_ack_of_unsent events);
+  Alcotest.(check bool) "window events bounded in the 256 space" true
+    (window_events_bounded ~window:64 events);
+  Alcotest.(check bool) "cwnd grew on clean acks" true
+    (List.exists
+       (fun (e : Event.t) ->
+         match e.Event.kind with
+         | Event.Cwnd_change { reason; _ } -> reason = "ack"
+         | _ -> false)
+       events);
+  Alcotest.(check bool) "cwnd always within [1, W]; estimator state sane" true
+    (List.for_all
+       (fun (e : Event.t) ->
+         match e.Event.kind with
+         | Event.Cwnd_change { cwnd; in_flight; _ } ->
+           1 <= cwnd && cwnd <= 64 && in_flight >= 0 && in_flight <= 64
+         | Event.Rtt_sample { sample_us; srtt_us; rttvar_us; _ } ->
+           sample_us >= 0 && srtt_us > 0 && rttvar_us >= 0
+         | _ -> true)
+       events)
+
 (* ---- sequence-slot reuse across send eras (regression) ----------------------- *)
 
 module Transport = Soda_proto.Transport
@@ -326,11 +410,20 @@ let test_window_mismatch_guard () =
   in
   mk 0 4;
   mk 1 4;
-  Alcotest.(check bool) "mismatched station refused" true
-    (try
-       mk 2 1;
-       false
-     with Invalid_argument _ -> true)
+  let contains msg needle =
+    let nl = String.length needle and ml = String.length msg in
+    let rec go i = i + nl <= ml && (String.sub msg i nl = needle || go (i + 1)) in
+    go 0
+  in
+  match mk 2 1 with
+  | () -> Alcotest.fail "mismatched station accepted"
+  | exception Invalid_argument msg ->
+    (* the diagnostic must name BOTH stations' windows and derived
+       sequence spaces, or the operator cannot tell which side to fix *)
+    Alcotest.(check bool) "names the incumbent window and space" true
+      (contains msg "window 4 (seq space 16)");
+    Alcotest.(check bool) "names the newcomer window and space" true
+      (contains msg "window 1 (seq space 2)")
 
 (* A pipelined W>1 kernel defers an in-order REQUEST while its input
    buffer is full. The hold must be bounded: a handler that stays busy
@@ -387,6 +480,9 @@ let suites =
         Alcotest.test_case "reordered arrivals parked and released" `Quick
           test_window_reorders_parked;
         QCheck_alcotest.to_alcotest prop_window_invariants;
+        Alcotest.test_case "AIMD and RTO unit laws" `Quick test_aimd_laws;
+        QCheck_alcotest.to_alcotest prop_rtt_converges;
+        Alcotest.test_case "W=64 cwnd/rtt events bounded" `Quick test_cwnd_events_bounded;
         Alcotest.test_case "slot reuse across send eras" `Quick test_slot_reuse_stale_stash;
         Alcotest.test_case "bus refuses mismatched windows" `Quick
           test_window_mismatch_guard;

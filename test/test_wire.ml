@@ -82,12 +82,14 @@ let test_decode_garbage () =
   | Ok _ -> Alcotest.fail "padded decoded"
 
 let test_wide_seq_roundtrip () =
-  (* Every 4-bit seq/ack combination survives the codec; values 0/1 with a
-     0/1 ack must not grow the packet (the window-1 encoding is the seed's
-     alternating-bit layout, extension byte absent). *)
+  (* Every 8-bit seq/ack combination survives the codec. Sizes tier with
+     the values: 0/1 with a 0/1 ack keeps the seed's alternating-bit
+     layout (no extension byte), 4-bit values add the first extension
+     byte (the window<=8 format, byte for byte), and anything wider adds
+     the second. *)
   let baseline = Bytes.length (Wire.encode (mk ~reliable:true (Wire.Busy { tid = 9 }))) in
-  for seq = 0 to 15 do
-    for ack = -1 to 15 do
+  for seq = 0 to 255 do
+    for ack = -1 to 255 do
       let pkt =
         mk ~reliable:true ~seq
           ?ack:(if ack < 0 then None else Some ack)
@@ -99,7 +101,21 @@ let test_wide_seq_roundtrip () =
         Alcotest.(check int)
           (Printf.sprintf "window-1 layout unchanged (seq=%d ack=%d)" seq ack)
           baseline len
-      else Alcotest.(check int) "one extension byte" (baseline + 1) len
+      else if seq < 16 && ack < 16 then begin
+        Alcotest.(check int)
+          (Printf.sprintf "one extension byte (seq=%d ack=%d)" seq ack)
+          (baseline + 1) len;
+        (* the window<=8 format is untouched: the extension byte never
+           carries the second-extension marker for 4-bit values *)
+        Alcotest.(check int)
+          (Printf.sprintf "no ext2 marker (seq=%d ack=%d)" seq ack)
+          0
+          (Char.code (Bytes.get (Wire.encode pkt) 4) land 0x40)
+      end
+      else
+        Alcotest.(check int)
+          (Printf.sprintf "two extension bytes (seq=%d ack=%d)" seq ack)
+          (baseline + 2) len
     done
   done;
   (* the run flag is a flag bit: it survives the codec and costs no bytes *)
@@ -185,8 +201,8 @@ let gen_packet =
       {
         Wire.src = int_bound 0xFFFF st;
         reliable = bool st;
-        seq = int_bound 15 st;
-        ack = (if bool st then Some (int_bound 15 st) else None);
+        seq = int_bound 255 st;
+        ack = (if bool st then Some (int_bound 255 st) else None);
         run = bool st;
         body;
       })
@@ -196,6 +212,20 @@ let arb_packet = QCheck.make ~print:Wire.describe gen_packet
 let prop_wire_roundtrip =
   QCheck.Test.make ~name:"wire codec roundtrips arbitrary packets" ~count:500 arb_packet
     (fun pkt -> roundtrip pkt = pkt)
+
+(* The three encoders are one codec: the zero-copy [encode_into] and the
+   Buffer-based [encode_buffer] produce byte-identical frames of exactly
+   [encoded_size], for the full 8-bit seq/ack range. *)
+let prop_encoders_agree =
+  QCheck.Test.make ~name:"encode_into / encode_buffer / encoded_size agree" ~count:500
+    arb_packet
+    (fun pkt ->
+      let size = Wire.encoded_size pkt in
+      let buf = Bytes.make (size + 8) '\xAA' in
+      let written = Wire.encode_into pkt buf ~off:3 in
+      written = size
+      && Bytes.sub buf 3 written = Wire.encode_buffer pkt
+      && Bytes.sub buf 3 written = Wire.encode pkt)
 
 (* Fuzz: decoding arbitrary bytes never raises; it returns Ok or Error. *)
 let prop_decode_never_crashes =
@@ -259,6 +289,7 @@ let suites =
         Alcotest.test_case "garbage rejected" `Quick test_decode_garbage;
         Alcotest.test_case "data accounting" `Quick test_data_bytes;
         QCheck_alcotest.to_alcotest prop_wire_roundtrip;
+        QCheck_alcotest.to_alcotest prop_encoders_agree;
         QCheck_alcotest.to_alcotest prop_decode_never_crashes;
         QCheck_alcotest.to_alcotest prop_mutation_never_crashes;
         QCheck_alcotest.to_alcotest prop_bus_corruption_decode_total;
